@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ipleasing"
+)
+
+// testDataset generates one small dataset shared by the command tests.
+func testDataset(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ds")
+	w := ipleasing.Generate(ipleasing.Config{Seed: 5, Scale: 0.005})
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunEveryExperiment(t *testing.T) {
+	dir := testDataset(t)
+	// Silence the experiment output: the test only checks for errors.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	for _, exp := range []string{
+		"table1", "table2", "table3", "fig3",
+		"hijackers", "abuse", "baseline", "legacy", "geo", "market", "relinfer",
+		"ablations", "all",
+	} {
+		if err := run(dir, 0.005, 5, exp, ""); err != nil {
+			t.Errorf("run(%q) failed: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	dir := testDataset(t)
+	if err := run(dir, 0.005, 5, "nope", ""); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunGeneratesMissingDataset(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	dir := filepath.Join(t.TempDir(), "fresh")
+	if err := run(dir, 0.005, 1, "table1", ""); err != nil {
+		t.Fatalf("run on missing dataset: %v", err)
+	}
+	// A second run must reuse the generated dataset.
+	if err := run(dir, 0.005, 1, "table1", ""); err != nil {
+		t.Fatalf("run on existing dataset: %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+// Command leaseeval curates the broker/ISP reference dataset (paper §5.3)
+// from a dataset directory, scores the inference against it, and prints
+// the confusion matrix of the paper's Table 2 with the §6.2 error
+// breakdown. With -legacy, the §8 legacy-space extension's verdicts
+// augment the scoring.
+//
+// Usage:
+//
+//	leaseeval -data dataset [-legacy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ipleasing"
+)
+
+func main() {
+	data := flag.String("data", "dataset", "dataset directory")
+	withLegacy := flag.Bool("legacy", false, "augment with the legacy-space extension")
+	flag.Parse()
+
+	if err := run(*data, *withLegacy, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "leaseeval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data string, withLegacy bool, w io.Writer) error {
+	ds, err := ipleasing.LoadDataset(data)
+	if err != nil {
+		return err
+	}
+	res := ds.Infer(ipleasing.Options{})
+	ref := ds.Curate()
+
+	var ev *ipleasing.Evaluation
+	if withLegacy {
+		var extra []ipleasing.Prefix
+		for _, inf := range ds.InferLegacy(ipleasing.Options{}) {
+			if inf.Verdict == ipleasing.LegacyLeased {
+				extra = append(extra, inf.Prefix)
+			}
+		}
+		ev = ipleasing.EvaluateAugmented(ref, res, extra)
+		fmt.Fprintf(w, "legacy extension enabled: %d legacy leases added\n\n", len(extra))
+	} else {
+		ev = ipleasing.Evaluate(ref, res)
+	}
+
+	fmt.Fprintf(w, "curation: %d brokers matched exactly, %d fuzzily, %d absent; %d maintainer handles\n",
+		ref.BrokersExact, ref.BrokersFuzzy, ref.BrokersUnmatched, ref.MaintainerHandles)
+	fmt.Fprintf(w, "broker-managed prefixes: %d (excluded %d as non-leased) -> %d positives; %d ISP negatives\n",
+		ref.BrokerPrefixes, ref.Excluded, len(ref.Positives), len(ref.Negatives))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, ev.Confusion.String())
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "false negatives by inferred category:")
+	for cat, n := range ev.FalseNegativesByCategory() {
+		fmt.Fprintf(w, "  %-22s %d\n", cat, n)
+	}
+	return nil
+}

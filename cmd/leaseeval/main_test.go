@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipleasing"
+)
+
+func dataset(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := ipleasing.Generate(ipleasing.Config{Seed: 2, Scale: 0.01}).WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunPrintsMatrix(t *testing.T) {
+	dir := dataset(t)
+	var buf bytes.Buffer
+	if err := run(dir, false, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"(TP)", "(FN)", "(FP)", "(TN)", "Precision", "brokers matched"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithLegacyImprovesFN(t *testing.T) {
+	dir := dataset(t)
+	var plain, legacy bytes.Buffer
+	if err := run(dir, false, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, true, &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(legacy.String(), "legacy extension enabled") {
+		t.Fatal("legacy banner missing")
+	}
+	fn := func(s string) string {
+		i := strings.Index(s, "(FN)")
+		if i < 0 {
+			return ""
+		}
+		return s[i-10 : i]
+	}
+	if fn(plain.String()) == "" || fn(legacy.String()) == "" {
+		t.Fatal("FN cells missing")
+	}
+}
+
+func TestRunMissingDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(filepath.Join(t.TempDir(), "nope"), false, &buf); err == nil {
+		t.Fatal("missing dataset accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipleasing"
+)
+
+func dataset(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := ipleasing.Generate(ipleasing.Config{Seed: 2, Scale: 0.005}).WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := dataset(t)
+	out := filepath.Join(t.TempDir(), "out.csv")
+	var buf bytes.Buffer
+	if err := run(config{data: dir, out: out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "leased") {
+		t.Fatalf("summary = %q", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines < 100 {
+		t.Fatalf("CSV too small: %d lines", lines)
+	}
+	if !strings.HasPrefix(string(data), "registry,prefix,category") {
+		t.Fatal("CSV header missing")
+	}
+}
+
+func TestRunLeasedOnlySmaller(t *testing.T) {
+	dir := dataset(t)
+	full := filepath.Join(t.TempDir(), "full.csv")
+	leased := filepath.Join(t.TempDir(), "leased.csv")
+	var buf bytes.Buffer
+	if err := run(config{data: dir, out: full}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(config{data: dir, out: leased, leasedOnly: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := os.Stat(full)
+	ls, _ := os.Stat(leased)
+	if ls.Size() >= fs.Size() {
+		t.Fatalf("leased-only (%d) not smaller than full (%d)", ls.Size(), fs.Size())
+	}
+	// Every data row in the leased-only export is flagged leased.
+	data, _ := os.ReadFile(leased)
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "registry,") {
+			continue
+		}
+		if !strings.Contains(line, ",true,") {
+			t.Fatalf("non-leased row in leased-only export: %q", line)
+		}
+	}
+}
+
+func TestRunMissingDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(config{data: filepath.Join(t.TempDir(), "nope"), out: "x.csv"}, &buf); err == nil {
+		t.Fatal("missing dataset accepted")
+	}
+}

@@ -1,0 +1,108 @@
+// Command leasewatch diffs two inference CSV exports (from leaseinfer)
+// and reports leasing-market movement between them: new leases, ended
+// leases, and re-leases where a prefix moved straight to a different
+// originator. Pair it with monthly datasets for a §8-style longitudinal
+// watch.
+//
+// Usage:
+//
+//	leasewatch old.csv new.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ipleasing/internal/core"
+	"ipleasing/internal/netutil"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: leasewatch old.csv new.csv")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "leasewatch:", err)
+		os.Exit(1)
+	}
+}
+
+// leaseView maps leased prefixes to their primary originator.
+func leaseView(path string) (map[netutil.Prefix]uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	infs, err := core.ReadCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[netutil.Prefix]uint32)
+	for _, inf := range infs {
+		if inf.Category.Leased() {
+			out[inf.Prefix] = inf.Originator()
+		}
+	}
+	return out, nil
+}
+
+func run(oldPath, newPath string, w io.Writer) error {
+	oldLeases, err := leaseView(oldPath)
+	if err != nil {
+		return err
+	}
+	newLeases, err := leaseView(newPath)
+	if err != nil {
+		return err
+	}
+
+	var started, ended, releases, stable []netutil.Prefix
+	for p, origin := range newLeases {
+		prev, was := oldLeases[p]
+		switch {
+		case !was:
+			started = append(started, p)
+		case prev != origin:
+			releases = append(releases, p)
+		default:
+			stable = append(stable, p)
+		}
+	}
+	for p := range oldLeases {
+		if _, still := newLeases[p]; !still {
+			ended = append(ended, p)
+		}
+	}
+	for _, s := range [][]netutil.Prefix{started, ended, releases, stable} {
+		netutil.SortPrefixes(s)
+	}
+
+	fmt.Fprintf(w, "leases: %d -> %d\n", len(oldLeases), len(newLeases))
+	fmt.Fprintf(w, "  stable:    %d\n", len(stable))
+	fmt.Fprintf(w, "  started:   %d\n", len(started))
+	fmt.Fprintf(w, "  ended:     %d\n", len(ended))
+	fmt.Fprintf(w, "  re-leased: %d (originator changed)\n", len(releases))
+
+	show := func(title string, ps []netutil.Prefix, origins map[netutil.Prefix]uint32) {
+		if len(ps) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "\n%s:\n", title)
+		for i, p := range ps {
+			if i == 20 {
+				fmt.Fprintf(w, "  ... and %d more\n", len(ps)-20)
+				break
+			}
+			fmt.Fprintf(w, "  %-18s AS%d\n", p, origins[p])
+		}
+	}
+	show("new leases", started, newLeases)
+	show("ended leases", ended, oldLeases)
+	show("re-leased", releases, newLeases)
+	return nil
+}

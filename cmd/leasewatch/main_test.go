@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipleasing/internal/core"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/whois"
+)
+
+func writeCSV(t *testing.T, path string, infs []core.Inference) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := core.WriteCSV(f, infs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func inf(prefix string, cat core.Category, origin uint32) core.Inference {
+	i := core.Inference{
+		Registry: whois.RIPE,
+		Prefix:   netutil.MustParsePrefix(prefix),
+		Category: cat,
+	}
+	if origin != 0 {
+		i.LeafOrigins = []uint32{origin}
+	}
+	return i
+}
+
+func TestDiff(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.csv")
+	newPath := filepath.Join(dir, "new.csv")
+	writeCSV(t, oldPath, []core.Inference{
+		inf("10.0.0.0/24", core.LeasedNoRootOrigin, 100), // stable
+		inf("10.0.1.0/24", core.LeasedNoRootOrigin, 200), // will end
+		inf("10.0.2.0/24", core.LeasedNoRootOrigin, 300), // will re-lease
+		inf("10.0.3.0/24", core.Unused, 0),               // never leased
+	})
+	writeCSV(t, newPath, []core.Inference{
+		inf("10.0.0.0/24", core.LeasedNoRootOrigin, 100),
+		inf("10.0.1.0/24", core.Unused, 0),
+		inf("10.0.2.0/24", core.LeasedWithRootOrigin, 301),
+		inf("10.0.4.0/24", core.LeasedNoRootOrigin, 400), // new
+	})
+
+	var buf bytes.Buffer
+	if err := run(oldPath, newPath, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"leases: 3 -> 3",
+		"stable:    1",
+		"started:   1",
+		"ended:     1",
+		"re-leased: 1",
+		"10.0.4.0/24",
+		"10.0.1.0/24",
+		"AS301",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.csv")
+	writeCSV(t, good, nil)
+	var buf bytes.Buffer
+	if err := run(filepath.Join(dir, "missing.csv"), good, &buf); err == nil {
+		t.Fatal("missing old accepted")
+	}
+	if err := run(good, filepath.Join(dir, "missing.csv"), &buf); err == nil {
+		t.Fatal("missing new accepted")
+	}
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a,valid,row\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, good, &buf); err == nil {
+		t.Fatal("malformed CSV accepted")
+	}
+}

@@ -1,0 +1,117 @@
+// Command mrtdump inspects MRT files in the style of bgpdump: it prints
+// the peer index table and one line per RIB entry (prefix, peer, origin,
+// AS path). Useful for debugging generated or downloaded RIB dumps.
+//
+// Usage:
+//
+//	mrtdump [-peers] [-count] file.mrt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ipleasing/internal/mrt"
+)
+
+func main() {
+	showPeers := flag.Bool("peers", false, "print only the peer index table")
+	countOnly := flag.Bool("count", false, "print only record counts")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mrtdump [-peers] [-count] file.mrt")
+		os.Exit(2)
+	}
+	if err := dump(flag.Arg(0), *showPeers, *countOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "mrtdump:", err)
+		os.Exit(1)
+	}
+}
+
+func dump(path string, peersOnly, countOnly bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	rd := mrt.NewReader(f)
+	var peers *mrt.PeerIndexTable
+	counts := map[string]int{}
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch {
+		case rec.Type == mrt.TypeTableDumpV2 && rec.Subtype == mrt.SubtypePeerIndexTable:
+			counts["peer-index-table"]++
+			peers, err = mrt.DecodePeerIndexTable(rec.Body)
+			if err != nil {
+				return err
+			}
+			if !countOnly {
+				fmt.Printf("PEER_INDEX_TABLE collector=%08x view=%q peers=%d\n",
+					peers.CollectorID, peers.ViewName, len(peers.Peers))
+				if peersOnly {
+					for i, p := range peers.Peers {
+						fmt.Printf("  [%d] AS%d %s bgp-id=%08x\n", i, p.AS, p.Addr, p.BGPID)
+					}
+				}
+			}
+		case rec.Type == mrt.TypeTableDumpV2 && rec.Subtype == mrt.SubtypeRIBIPv4Unicast:
+			counts["rib-ipv4-unicast"]++
+			if peersOnly || countOnly {
+				continue
+			}
+			rib, err := mrt.DecodeRIBIPv4(rec.Body)
+			if err != nil {
+				return err
+			}
+			for _, e := range rib.Entries {
+				path, err := mrt.PathOf(e.Attrs)
+				if err != nil {
+					return err
+				}
+				peerStr := fmt.Sprintf("#%d", e.PeerIndex)
+				if peers != nil && int(e.PeerIndex) < len(peers.Peers) {
+					peerStr = fmt.Sprintf("AS%d", peers.Peers[e.PeerIndex].AS)
+				}
+				fmt.Printf("RIB %-18s peer=%-10s path=%s origins=%v\n",
+					rib.Prefix, peerStr, pathString(path), path.Origins())
+			}
+		case rec.Type == mrt.TypeBGP4MP:
+			counts["bgp4mp"]++
+		default:
+			counts[fmt.Sprintf("type-%d-%d", rec.Type, rec.Subtype)]++
+		}
+	}
+	if countOnly {
+		for k, v := range counts {
+			fmt.Printf("%s: %d\n", k, v)
+		}
+	}
+	return nil
+}
+
+func pathString(p mrt.ASPath) string {
+	var parts []string
+	for _, seg := range p {
+		var asns []string
+		for _, a := range seg.ASNs {
+			asns = append(asns, fmt.Sprint(a))
+		}
+		s := strings.Join(asns, " ")
+		if seg.Type == mrt.SegmentASSet {
+			s = "{" + strings.Join(asns, ",") + "}"
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, " ")
+}

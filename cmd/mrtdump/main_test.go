@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/mrt"
+	"ipleasing/internal/netutil"
+)
+
+func sampleFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rib.mrt")
+	peers := []mrt.Peer{{BGPID: 1, Addr: netutil.MustParseAddr("192.0.2.1"), AS: 65001}}
+	routes := []bgp.Route{
+		{Prefix: netutil.MustParsePrefix("203.0.113.0/24"), Path: mrt.NewASPathSequence(65001, 64500)},
+		{Prefix: netutil.MustParsePrefix("198.51.100.0/24"), Path: mrt.NewASPathSequence(65001, 64501)},
+	}
+	if err := bgp.WriteMRTFile(path, 1712000000, peers, routes); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture redirects stdout during fn.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 1<<16)
+	n, _ := r.Read(out)
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return string(out[:n])
+}
+
+func TestDumpFull(t *testing.T) {
+	path := sampleFile(t)
+	out := capture(t, func() error { return dump(path, false, false) })
+	for _, want := range []string{"PEER_INDEX_TABLE", "203.0.113.0/24", "origins=[64500]", "65001 64501"} {
+		if !contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpPeersOnly(t *testing.T) {
+	path := sampleFile(t)
+	out := capture(t, func() error { return dump(path, true, false) })
+	if !contains(out, "AS65001") || contains(out, "RIB ") {
+		t.Fatalf("peers-only output wrong:\n%s", out)
+	}
+}
+
+func TestDumpCountOnly(t *testing.T) {
+	path := sampleFile(t)
+	out := capture(t, func() error { return dump(path, false, true) })
+	if !contains(out, "rib-ipv4-unicast: 2") || !contains(out, "peer-index-table: 1") {
+		t.Fatalf("count output wrong:\n%s", out)
+	}
+}
+
+func TestDumpMissingFile(t *testing.T) {
+	if err := dump(filepath.Join(t.TempDir(), "none.mrt"), false, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,67 @@
+// Abuse audit: cross-reference inferred leases with the Spamhaus
+// ASN-DROP archive and the RPKI, reproducing the workflow of the paper's
+// §6.4 — who is leasing to blocklisted ASes, and which leased prefixes
+// carry ROAs authorising them?
+//
+//	go run ./examples/abuseaudit [-scale 0.02] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ipleasing"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "world scale")
+	seed := flag.Int64("seed", 7, "world seed")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "ipleasing-abuse-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := ipleasing.Generate(ipleasing.Config{Seed: *seed, Scale: *scale}).WriteDir(dir); err != nil {
+		log.Fatal(err)
+	}
+	ds, err := ipleasing.LoadDataset(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := ds.Infer(ipleasing.Options{})
+	rep := ds.AnalyzeAbuse(res)
+
+	fmt.Printf("leased prefixes:            %d\n", rep.LeasedTotal)
+	fmt.Printf("  originated by DROP ASes:  %d (%.2f%%)\n", rep.LeasedDropped, 100*rep.LeasedDropShare())
+	fmt.Printf("non-leased prefixes:        %d\n", rep.NonLeasedTotal)
+	fmt.Printf("  originated by DROP ASes:  %d (%.2f%%)\n", rep.NonLeasedDropped, 100*rep.NonLeasedDropShare())
+	fmt.Printf("=> a leased prefix is %.1fx more likely to be abusive (paper: ~5x)\n\n", rep.AbuseRatio())
+
+	// Name the concrete offenders: leased prefixes whose origin is
+	// blocklisted, with the holder and facilitator on the hook.
+	fmt.Println("leases originated by blocklisted ASes:")
+	count := 0
+	for _, inf := range res.LeasedInferences() {
+		origin := inf.Originator()
+		if origin == 0 || !ds.Drop.ListedEver(origin) {
+			continue
+		}
+		count++
+		if count <= 10 {
+			fmt.Printf("  %-18s AS%-8d holder=%s facilitators=%v\n",
+				inf.Prefix, origin, inf.HolderOrg, inf.Facilitators)
+		}
+	}
+	fmt.Printf("  (%d total)\n\n", count)
+
+	// ROAs authorising blocklisted ASes — the paper's observation that
+	// leasing can hand attackers valid RPKI credentials.
+	fmt.Printf("ROAs covering leased prefixes: %d, of which %d (%.1f%%) authorise a blocklisted AS\n",
+		rep.LeasedROAs, rep.LeasedROAsBad, 100*rep.LeasedROABadShare())
+	fmt.Printf("(non-leased prefixes with blocklisted-AS ROAs: %.1f%%)\n",
+		100*rep.NonLeasedROABadShare())
+}

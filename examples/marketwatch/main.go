@@ -1,0 +1,71 @@
+// Market watch: track the leasing market month over month — lease
+// populations, churn, back-to-back re-leases, and lease durations — the
+// longitudinal study the paper's §8 proposes as future work.
+//
+//	go run ./examples/marketwatch
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ipleasing"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "ipleasing-market-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := ipleasing.Generate(ipleasing.Config{Seed: 17, Scale: 0.01}).WriteDir(dir); err != nil {
+		log.Fatal(err)
+	}
+	ds, err := ipleasing.LoadDataset(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Monthly routing snapshots, each run through the full inference.
+	snaps, err := ds.LoadMarket()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := ds.AnalyzeMarket(snaps, ipleasing.Options{})
+
+	fmt.Println("leasing-market activity by month:")
+	fmt.Printf("%-9s %7s %6s %6s %10s   trend\n", "month", "leased", "new", "ended", "re-leased")
+	maxLeased := 0
+	for _, m := range rep.Months {
+		if m.Leased > maxLeased {
+			maxLeased = m.Leased
+		}
+	}
+	for _, m := range rep.Months {
+		bar := strings.Repeat("#", m.Leased*30/maxLeased)
+		fmt.Printf("%-9s %7d %6d %6d %10d   %s\n",
+			m.Time.Format("2006-01"), m.Leased, m.New, m.Ended, m.Releases, bar)
+	}
+
+	fmt.Printf("\nmean lease run:     %.1f months (right-censored by the window)\n", rep.MeanLeaseMonths())
+	fmt.Printf("monthly churn rate: %.1f%% of the leased population\n", 100*rep.ChurnRate())
+
+	fmt.Println("\nlease-duration histogram:")
+	for d := 1; d <= len(rep.Months); d++ {
+		if c := rep.DurationHistogram[d]; c > 0 {
+			fmt.Printf("  %d mo: %-5d %s\n", d, c, strings.Repeat("*", c*40/max(rep.DurationHistogram)))
+		}
+	}
+}
+
+func max(h map[int]int) int {
+	m := 1
+	for _, c := range h {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}

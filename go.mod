@@ -1,0 +1,3 @@
+module ipleasing
+
+go 1.22

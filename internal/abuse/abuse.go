@@ -1,0 +1,162 @@
+// Package abuse computes the paper's §6.4 abuse correlation: the share of
+// leased versus non-leased prefixes originated by Spamhaus ASN-DROP-listed
+// ASes, and the share of their RPKI ROAs that authorise blocklisted ASes.
+package abuse
+
+import (
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/core"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/rpki"
+	"ipleasing/internal/spamhaus"
+)
+
+// Report is the §6.4 result set.
+type Report struct {
+	// Origination by blocklisted ASes.
+	LeasedTotal      int
+	LeasedDropped    int // leased prefixes originated by an ASN-DROP AS
+	NonLeasedTotal   int
+	NonLeasedDropped int
+
+	// ROA analysis.
+	LeasedROAs       int // ROAs covering leased prefixes
+	LeasedROAsBad    int // of those, authorising a blocklisted AS
+	LeasedWithROA    int // leased prefixes with at least one ROA
+	NonLeasedWithROA int
+	NonLeasedROABad  int // non-leased prefixes whose ROAs include a blocklisted AS
+
+	// Route-origin-validation states (RFC 6811) of the announcements,
+	// indexed by rpki.State: how RPKI-compliant is leased space compared
+	// to the rest of the table? (extension of §6.4)
+	LeasedROV    [3]int
+	NonLeasedROV [3]int
+}
+
+// ROVShare returns the share of leased (or non-leased) announcements in
+// the given validation state.
+func (r *Report) ROVShare(leased bool, s rpki.State) float64 {
+	counts := r.NonLeasedROV
+	total := r.NonLeasedTotal
+	if leased {
+		counts, total = r.LeasedROV, r.LeasedTotal
+	}
+	return share(counts[s], total)
+}
+
+// LeasedDropShare is the fraction of leased prefixes originated by
+// blocklisted ASes (paper: 1.1%).
+func (r *Report) LeasedDropShare() float64 { return share(r.LeasedDropped, r.LeasedTotal) }
+
+// NonLeasedDropShare is the same for non-leased prefixes (paper: 0.2%).
+func (r *Report) NonLeasedDropShare() float64 { return share(r.NonLeasedDropped, r.NonLeasedTotal) }
+
+// AbuseRatio is how many times more likely a leased prefix is to be
+// originated by a blocklisted AS (paper: ≈5×).
+func (r *Report) AbuseRatio() float64 {
+	nl := r.NonLeasedDropShare()
+	if nl == 0 {
+		return 0
+	}
+	return r.LeasedDropShare() / nl
+}
+
+// LeasedROABadShare is the fraction of leased-prefix ROAs naming a
+// blocklisted AS (paper: 1.6%).
+func (r *Report) LeasedROABadShare() float64 { return share(r.LeasedROAsBad, r.LeasedROAs) }
+
+// NonLeasedROABadShare is the fraction of ROA-covered non-leased prefixes
+// whose ROAs include a blocklisted AS (paper: 0.2%).
+func (r *Report) NonLeasedROABadShare() float64 {
+	return share(r.NonLeasedROABad, r.NonLeasedWithROA)
+}
+
+func share(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Analyze computes the report. The drop archive provides blocklist
+// membership over the observation window; vrps is the RPKI state at the
+// measurement time.
+func Analyze(res *core.Result, table *bgp.Table, drop *spamhaus.Archive, vrps *rpki.Set) *Report {
+	rep := &Report{}
+	leasedSet := make(map[netutil.Prefix]bool)
+
+	for _, inf := range res.LeasedInferences() {
+		leasedSet[inf.Prefix] = true
+		rep.LeasedTotal++
+		dropped := false
+		for _, o := range inf.LeafOrigins {
+			if drop.ListedEver(o) {
+				dropped = true
+			}
+		}
+		if dropped {
+			rep.LeasedDropped++
+		}
+		if vrps != nil {
+			covering := vrps.Covering(inf.Prefix)
+			if len(covering) > 0 {
+				rep.LeasedWithROA++
+			}
+			for _, v := range covering {
+				rep.LeasedROAs++
+				if drop.ListedEver(v.ASN) {
+					rep.LeasedROAsBad++
+				}
+			}
+			rep.LeasedROV[rovState(vrps, inf.Prefix, inf.LeafOrigins)]++
+		}
+	}
+
+	if table != nil {
+		table.Walk(func(p netutil.Prefix, origins []uint32) bool {
+			if leasedSet[p] {
+				return true
+			}
+			rep.NonLeasedTotal++
+			for _, o := range origins {
+				if drop.ListedEver(o) {
+					rep.NonLeasedDropped++
+					break
+				}
+			}
+			if vrps != nil {
+				covering := vrps.Covering(p)
+				if len(covering) > 0 {
+					rep.NonLeasedWithROA++
+					for _, v := range covering {
+						if drop.ListedEver(v.ASN) {
+							rep.NonLeasedROABad++
+							break
+						}
+					}
+				}
+				rep.NonLeasedROV[rovState(vrps, p, origins)]++
+			}
+			return true
+		})
+	}
+	return rep
+}
+
+// rovState validates an announcement set: Valid if any origin validates,
+// otherwise Invalid if covered, otherwise NotFound.
+func rovState(vrps *rpki.Set, p netutil.Prefix, origins []uint32) rpki.State {
+	state := rpki.NotFound
+	for _, o := range origins {
+		switch vrps.Validate(p, o) {
+		case rpki.Valid:
+			return rpki.Valid
+		case rpki.Invalid:
+			state = rpki.Invalid
+		}
+	}
+	if len(origins) == 0 {
+		return vrps.Validate(p, 0) // membership only; origin 0 never validates
+	}
+	return state
+}

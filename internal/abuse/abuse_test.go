@@ -1,0 +1,99 @@
+package abuse
+
+import (
+	"testing"
+
+	"ipleasing/internal/core"
+	"ipleasing/internal/rpki"
+	"ipleasing/internal/spamhaus"
+	"ipleasing/internal/synth"
+	"ipleasing/internal/whois"
+)
+
+// TestPaperShapes verifies §6.4's headline: leased prefixes are roughly
+// five times more likely to be originated by blocklisted ASes, and their
+// ROAs are far more likely to authorise blocklisted ASes.
+func TestPaperShapes(t *testing.T) {
+	w := synth.Generate(synth.Config{Seed: 31, Scale: 0.02})
+	res := w.Pipeline().Infer()
+	rep := Analyze(res, w.Table(), w.Drop, w.RPKI.Latest().Set())
+
+	if rep.LeasedTotal == 0 || rep.NonLeasedTotal == 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	ls, ns := rep.LeasedDropShare(), rep.NonLeasedDropShare()
+	if ls <= ns {
+		t.Fatalf("leased drop share %.4f <= non-leased %.4f", ls, ns)
+	}
+	if ratio := rep.AbuseRatio(); ratio < 2 || ratio > 15 {
+		t.Errorf("abuse ratio = %.1f, want ~5", ratio)
+	}
+	if ls < 0.003 || ls > 0.03 {
+		t.Errorf("leased drop share = %.4f, want ~0.011", ls)
+	}
+
+	// ROA coverage: leased ~66%, non-leased ~46%.
+	leasedCover := float64(rep.LeasedWithROA) / float64(rep.LeasedTotal)
+	nonLeasedCover := float64(rep.NonLeasedWithROA) / float64(rep.NonLeasedTotal)
+	if leasedCover < 0.5 || leasedCover > 0.8 {
+		t.Errorf("leased ROA coverage = %.2f, want ~0.66", leasedCover)
+	}
+	if nonLeasedCover < 0.35 || nonLeasedCover > 0.6 {
+		t.Errorf("non-leased ROA coverage = %.2f, want ~0.46", nonLeasedCover)
+	}
+	// Blocklisted-AS ROAs concentrate on leased prefixes.
+	if rep.LeasedROABadShare() <= rep.NonLeasedROABadShare() {
+		t.Errorf("ROA bad shares: leased %.4f <= non-leased %.4f",
+			rep.LeasedROABadShare(), rep.NonLeasedROABadShare())
+	}
+
+	// ROV distribution: every announced prefix lands in exactly one
+	// state, and Valid dominates among ROA-covered prefixes (the
+	// generator signs ROAs for the actual origins).
+	leasedROV := rep.LeasedROV[rpki.NotFound] + rep.LeasedROV[rpki.Valid] + rep.LeasedROV[rpki.Invalid]
+	if leasedROV != rep.LeasedTotal {
+		t.Errorf("leased ROV states %d != %d prefixes", leasedROV, rep.LeasedTotal)
+	}
+	nonROV := rep.NonLeasedROV[rpki.NotFound] + rep.NonLeasedROV[rpki.Valid] + rep.NonLeasedROV[rpki.Invalid]
+	if nonROV != rep.NonLeasedTotal {
+		t.Errorf("non-leased ROV states %d != %d prefixes", nonROV, rep.NonLeasedTotal)
+	}
+	if rep.LeasedROV[rpki.Valid] == 0 || rep.NonLeasedROV[rpki.Valid] == 0 {
+		t.Error("no Valid announcements")
+	}
+	if rep.LeasedROV[rpki.NotFound] == 0 {
+		t.Error("no NotFound announcements (ROA coverage should be partial)")
+	}
+	if rep.ROVShare(true, rpki.Valid) <= 0 || rep.ROVShare(false, rpki.Valid) <= 0 {
+		t.Error("ROVShare zero")
+	}
+}
+
+func TestAnalyzeWithoutRPKI(t *testing.T) {
+	w := synth.Generate(synth.Config{Seed: 5, Scale: 0.005})
+	res := w.Pipeline().Infer()
+	rep := Analyze(res, w.Table(), w.Drop, nil)
+	if rep.LeasedROAs != 0 || rep.NonLeasedWithROA != 0 {
+		t.Fatal("ROA counts without VRPs")
+	}
+	if rep.LeasedTotal == 0 {
+		t.Fatal("no leased prefixes analysed")
+	}
+}
+
+func TestZeroGuards(t *testing.T) {
+	var rep Report
+	if rep.LeasedDropShare() != 0 || rep.AbuseRatio() != 0 ||
+		rep.LeasedROABadShare() != 0 || rep.NonLeasedROABadShare() != 0 {
+		t.Fatal("zero-division guards missing")
+	}
+}
+
+func TestAnalyzeEmptyResult(t *testing.T) {
+	res := &core.Result{Regions: map[whois.Registry]*core.RegionResult{}}
+	drop := &spamhaus.Archive{}
+	rep := Analyze(res, nil, drop, rpki.NewSet(nil))
+	if rep.LeasedTotal != 0 || rep.NonLeasedTotal != 0 {
+		t.Fatal("counts from empty inputs")
+	}
+}

@@ -1,0 +1,200 @@
+// Package arinwhois reads and writes the ARIN bulk-WHOIS dialect.
+//
+// ARIN's bulk WHOIS is distributed as blank-line-separated records of
+// "Key: Value" lines, the same surface grammar as RPSL but with ARIN's own
+// vocabulary: network records keyed by NetHandle with a NetRange and a
+// NetType, AS records keyed by ASHandle, and organisation records keyed by
+// OrgID. This package decodes those records into typed structs and encodes
+// them back, reusing the line-level RPSL scanner.
+package arinwhois
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/rpsl"
+)
+
+// NetType values observed in ARIN bulk WHOIS that matter for portability
+// classification (paper §2.1).
+const (
+	NetTypeDirectAllocation = "Direct Allocation"
+	NetTypeDirectAssignment = "Direct Assignment"
+	NetTypeReallocation     = "Reallocation"
+	NetTypeReassignment     = "Reassignment"
+	NetTypeLegacy           = "Legacy"
+)
+
+// Net is an ARIN network record (NetHandle object).
+type Net struct {
+	Handle  string        // NetHandle, e.g. NET-192-0-2-0-1
+	OrgID   string        // OrgID of the registrant
+	Parent  string        // parent NetHandle, "" for top-level
+	Name    string        // NetName
+	Range   netutil.Range // NetRange
+	Type    string        // NetType (see constants)
+	RegDate string        // registration date, YYYY-MM-DD (informational)
+	Country string        // Country (ISO 3166-1 alpha-2)
+}
+
+// AS is an ARIN autonomous-system record (ASHandle object).
+type AS struct {
+	Handle string // ASHandle, e.g. AS64500
+	Number uint32 // ASNumber
+	OrgID  string
+	Name   string // ASName
+}
+
+// Org is an ARIN organisation record (OrgID object).
+type Org struct {
+	ID      string // OrgID
+	Name    string // OrgName
+	Country string // Country (ISO 3166-1 alpha-2)
+}
+
+// Database is the parsed content of an ARIN bulk-WHOIS dump.
+type Database struct {
+	Nets []*Net
+	ASes []*AS
+	Orgs []*Org
+}
+
+// Parse decodes an ARIN bulk-WHOIS dump. Records of unknown classes are
+// skipped; malformed known records are an error.
+func Parse(r io.Reader) (*Database, error) {
+	objs, err := rpsl.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("arinwhois: %w", err)
+	}
+	db := &Database{}
+	for i, o := range objs {
+		switch o.Class() {
+		case "nethandle":
+			n, err := netFromObject(o)
+			if err != nil {
+				return nil, fmt.Errorf("arinwhois: record %d: %w", i, err)
+			}
+			db.Nets = append(db.Nets, n)
+		case "ashandle":
+			a, err := asFromObject(o)
+			if err != nil {
+				return nil, fmt.Errorf("arinwhois: record %d: %w", i, err)
+			}
+			db.ASes = append(db.ASes, a)
+		case "orgid":
+			g, err := orgFromObject(o)
+			if err != nil {
+				return nil, fmt.Errorf("arinwhois: record %d: %w", i, err)
+			}
+			db.Orgs = append(db.Orgs, g)
+		}
+	}
+	return db, nil
+}
+
+func netFromObject(o *rpsl.Object) (*Net, error) {
+	n := &Net{Handle: o.Key()}
+	n.OrgID, _ = o.Get("orgid")
+	n.Parent, _ = o.Get("parent")
+	n.Name, _ = o.Get("netname")
+	n.Type, _ = o.Get("nettype")
+	n.RegDate, _ = o.Get("regdate")
+	n.Country, _ = o.Get("country")
+	rng, ok := o.Get("netrange")
+	if !ok {
+		return nil, fmt.Errorf("net %s: missing NetRange", n.Handle)
+	}
+	var err error
+	n.Range, err = netutil.ParseRange(rng)
+	if err != nil {
+		return nil, fmt.Errorf("net %s: %w", n.Handle, err)
+	}
+	return n, nil
+}
+
+func asFromObject(o *rpsl.Object) (*AS, error) {
+	a := &AS{Handle: o.Key()}
+	a.OrgID, _ = o.Get("orgid")
+	a.Name, _ = o.Get("asname")
+	numStr, ok := o.Get("asnumber")
+	if !ok {
+		// Fall back to the handle ("AS64500").
+		numStr = strings.TrimPrefix(strings.ToUpper(a.Handle), "AS")
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(numStr), 10, 32)
+	if err != nil {
+		return nil, fmt.Errorf("as %s: bad ASNumber %q", a.Handle, numStr)
+	}
+	a.Number = uint32(v)
+	return a, nil
+}
+
+func orgFromObject(o *rpsl.Object) (*Org, error) {
+	g := &Org{ID: o.Key()}
+	g.Name, _ = o.Get("orgname")
+	g.Country, _ = o.Get("country")
+	if g.Name == "" {
+		return nil, fmt.Errorf("org %s: missing OrgName", g.ID)
+	}
+	return g, nil
+}
+
+// Write encodes the database in bulk-WHOIS form: orgs, then ASes, then nets.
+func Write(w io.Writer, db *Database) error {
+	ww := rpsl.NewWriter(w)
+	for _, g := range db.Orgs {
+		o := &rpsl.Object{}
+		o.Add("OrgID", g.ID)
+		o.Add("OrgName", g.Name)
+		if g.Country != "" {
+			o.Add("Country", g.Country)
+		}
+		if err := ww.Write(o); err != nil {
+			return err
+		}
+	}
+	for _, a := range db.ASes {
+		o := &rpsl.Object{}
+		o.Add("ASHandle", a.Handle)
+		o.Add("ASNumber", strconv.FormatUint(uint64(a.Number), 10))
+		if a.Name != "" {
+			o.Add("ASName", a.Name)
+		}
+		if a.OrgID != "" {
+			o.Add("OrgID", a.OrgID)
+		}
+		if err := ww.Write(o); err != nil {
+			return err
+		}
+	}
+	for _, n := range db.Nets {
+		o := &rpsl.Object{}
+		o.Add("NetHandle", n.Handle)
+		o.Add("NetRange", n.Range.String())
+		if n.Name != "" {
+			o.Add("NetName", n.Name)
+		}
+		if n.Type != "" {
+			o.Add("NetType", n.Type)
+		}
+		if n.OrgID != "" {
+			o.Add("OrgID", n.OrgID)
+		}
+		if n.Parent != "" {
+			o.Add("Parent", n.Parent)
+		}
+		if n.RegDate != "" {
+			o.Add("RegDate", n.RegDate)
+		}
+		if n.Country != "" {
+			o.Add("Country", n.Country)
+		}
+		if err := ww.Write(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}

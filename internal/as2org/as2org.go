@@ -1,0 +1,140 @@
+// Package as2org reads and writes the CAIDA AS-to-Organization mapping
+// dataset format and answers the org-membership queries the inference uses
+// to treat sibling ASes (same organisation, different AS numbers) as
+// related (paper §5.2, §6.2).
+//
+// The file format is the published CAIDA pipe format, two line kinds:
+//
+//	<asn>|<changed>|<aut_name>|<org_id>|<opaque_id>|<source>
+//	<org_id>|<changed>|<org_name>|<country>|<source>
+//
+// with '#' comment lines. AS lines are distinguished by a numeric first
+// field.
+package as2org
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Map is the AS→organisation mapping.
+type Map struct {
+	asOrg   map[uint32]string // ASN → org id
+	orgName map[string]string // org id → display name
+	orgCC   map[string]string // org id → country
+}
+
+// New returns an empty Map.
+func New() *Map {
+	return &Map{
+		asOrg:   make(map[uint32]string),
+		orgName: make(map[string]string),
+		orgCC:   make(map[string]string),
+	}
+}
+
+// AddAS records that asn belongs to org id.
+func (m *Map) AddAS(asn uint32, orgID string) { m.asOrg[asn] = orgID }
+
+// AddOrg records an organisation's display name and country.
+func (m *Map) AddOrg(orgID, name, country string) {
+	m.orgName[orgID] = name
+	m.orgCC[orgID] = country
+}
+
+// OrgOf returns the org id owning asn.
+func (m *Map) OrgOf(asn uint32) (string, bool) {
+	o, ok := m.asOrg[asn]
+	return o, ok
+}
+
+// OrgName returns the display name of an org id (the id itself if
+// unnamed).
+func (m *Map) OrgName(orgID string) string {
+	if n, ok := m.orgName[orgID]; ok && n != "" {
+		return n
+	}
+	return orgID
+}
+
+// Country returns the org's registered country code.
+func (m *Map) Country(orgID string) string { return m.orgCC[orgID] }
+
+// Siblings reports whether two ASNs map to the same organisation.
+func (m *Map) Siblings(a, b uint32) bool {
+	oa, oka := m.asOrg[a]
+	ob, okb := m.asOrg[b]
+	return oka && okb && oa == ob
+}
+
+// ASNs returns every mapped ASN in ascending order.
+func (m *Map) ASNs() []uint32 {
+	out := make([]uint32, 0, len(m.asOrg))
+	for a := range m.asOrg {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumASes returns the number of mapped ASNs.
+func (m *Map) NumASes() int { return len(m.asOrg) }
+
+// Parse reads the CAIDA pipe format.
+func Parse(r io.Reader) (*Map, error) {
+	m := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("as2org: line %d: want >=4 fields, got %d", lineNum, len(fields))
+		}
+		if asn, err := strconv.ParseUint(fields[0], 10, 32); err == nil {
+			// AS line: asn|changed|aut_name|org_id|opaque_id|source
+			m.AddAS(uint32(asn), fields[3])
+			continue
+		}
+		// Org line: org_id|changed|org_name|country|source
+		cc := ""
+		if len(fields) >= 4 {
+			cc = fields[3]
+		}
+		m.AddOrg(fields[0], fields[2], cc)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Write renders the map in the CAIDA pipe format: org lines then AS lines,
+// each section preceded by its format comment.
+func Write(w io.Writer, m *Map) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# format: org_id|changed|org_name|country|source")
+	orgIDs := make([]string, 0, len(m.orgName))
+	for id := range m.orgName {
+		orgIDs = append(orgIDs, id)
+	}
+	sort.Strings(orgIDs)
+	for _, id := range orgIDs {
+		fmt.Fprintf(bw, "%s|20240401|%s|%s|SYNTH\n", id, m.orgName[id], m.orgCC[id])
+	}
+	fmt.Fprintln(bw, "# format: aut|changed|aut_name|org_id|opaque_id|source")
+	for _, asn := range m.ASNs() {
+		org := m.asOrg[asn]
+		fmt.Fprintf(bw, "%d|20240401|AS%d|%s|_|SYNTH\n", asn, asn, org)
+	}
+	return bw.Flush()
+}

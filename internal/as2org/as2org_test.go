@@ -1,0 +1,88 @@
+package as2org
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `# format: org_id|changed|org_name|country|source
+ORG-GCI|20240101|GCI Network|SE|RIPE
+ORG-VOD1|20240101|Vodafone GmbH|DE|RIPE
+# format: aut|changed|aut_name|org_id|opaque_id|source
+8851|20240101|GCI-AS|ORG-GCI|_|RIPE
+3209|20240101|VODANET|ORG-VOD1|_|RIPE
+12302|20240101|VODAFONE-RO|ORG-VOD1|_|RIPE
+`
+
+func TestParse(t *testing.T) {
+	m, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumASes() != 3 {
+		t.Fatalf("NumASes = %d", m.NumASes())
+	}
+	if org, ok := m.OrgOf(8851); !ok || org != "ORG-GCI" {
+		t.Fatalf("OrgOf(8851) = %q %v", org, ok)
+	}
+	if _, ok := m.OrgOf(99999); ok {
+		t.Fatal("unknown ASN mapped")
+	}
+	if m.OrgName("ORG-VOD1") != "Vodafone GmbH" {
+		t.Fatalf("OrgName = %q", m.OrgName("ORG-VOD1"))
+	}
+	if m.OrgName("ORG-NONE") != "ORG-NONE" {
+		t.Fatal("unknown org name should echo id")
+	}
+	if m.Country("ORG-GCI") != "SE" {
+		t.Fatalf("Country = %q", m.Country("ORG-GCI"))
+	}
+	if !m.Siblings(3209, 12302) {
+		t.Fatal("Vodafone siblings not detected")
+	}
+	if m.Siblings(8851, 3209) {
+		t.Fatal("cross-org siblings detected")
+	}
+	if m.Siblings(8851, 424242) {
+		t.Fatal("unmapped ASN sibling")
+	}
+	asns := m.ASNs()
+	if len(asns) != 3 || asns[0] != 3209 || asns[2] != 12302 {
+		t.Fatalf("ASNs = %v", asns)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	if _, err := Parse(strings.NewReader("justone|field\n")); err == nil {
+		t.Fatal("short line accepted")
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	m, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if back.NumASes() != m.NumASes() {
+		t.Fatal("AS count changed")
+	}
+	for _, asn := range m.ASNs() {
+		a, _ := m.OrgOf(asn)
+		b, _ := back.OrgOf(asn)
+		if a != b {
+			t.Fatalf("ASN %d: %q != %q", asn, a, b)
+		}
+	}
+	if back.OrgName("ORG-VOD1") != "Vodafone GmbH" || back.Country("ORG-VOD1") != "DE" {
+		t.Fatal("org metadata lost")
+	}
+}

@@ -1,0 +1,150 @@
+package asrel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildGraph() *Graph {
+	g := New()
+	g.AddP2C(1, 10) // 1 provides transit to 10
+	g.AddP2C(1, 11)
+	g.AddP2C(10, 100) // chain: 1 -> 10 -> 100
+	g.AddP2P(10, 11)
+	return g
+}
+
+func TestRelationships(t *testing.T) {
+	g := buildGraph()
+	if r, ok := g.Relationship(1, 10); !ok || r != P2C {
+		t.Fatalf("1->10 = %v %v", r, ok)
+	}
+	if r, ok := g.Relationship(10, 1); !ok || r != C2P {
+		t.Fatalf("10->1 = %v %v", r, ok)
+	}
+	if r, ok := g.Relationship(10, 11); !ok || r != P2P {
+		t.Fatalf("10<->11 = %v %v", r, ok)
+	}
+	if _, ok := g.Relationship(1, 100); ok {
+		t.Fatal("transitive edge reported as direct")
+	}
+	if !g.Related(1, 10) || !g.Related(10, 1) || !g.Related(10, 11) {
+		t.Fatal("Related missed direct edges")
+	}
+	if g.Related(1, 100) {
+		t.Fatal("Related(1,100) should be false (no direct edge)")
+	}
+	if !g.Related(5, 5) {
+		t.Fatal("Related self should be true")
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestNeighborLists(t *testing.T) {
+	g := buildGraph()
+	if c := g.Customers(1); len(c) != 2 || c[0] != 10 || c[1] != 11 {
+		t.Fatalf("Customers(1) = %v", c)
+	}
+	if p := g.Providers(100); len(p) != 1 || p[0] != 10 {
+		t.Fatalf("Providers(100) = %v", p)
+	}
+	if p := g.Peers(11); len(p) != 1 || p[0] != 10 {
+		t.Fatalf("Peers(11) = %v", p)
+	}
+	if g.Customers(999) != nil {
+		t.Fatal("unknown AS has customers")
+	}
+}
+
+func TestDuplicateEdgesIgnored(t *testing.T) {
+	g := New()
+	g.AddP2C(1, 2)
+	g.AddP2C(1, 2)
+	g.AddP2P(3, 4)
+	g.AddP2P(4, 3)
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if len(g.Customers(1)) != 1 || len(g.Peers(3)) != 1 {
+		t.Fatal("duplicate edges inflated neighbor lists")
+	}
+}
+
+func TestInCustomerCone(t *testing.T) {
+	g := buildGraph()
+	if !g.InCustomerCone(1, 100) {
+		t.Fatal("100 should be in 1's cone via 10")
+	}
+	if !g.InCustomerCone(1, 1) {
+		t.Fatal("self cone")
+	}
+	if g.InCustomerCone(100, 1) {
+		t.Fatal("cone is directional")
+	}
+	if g.InCustomerCone(11, 10) {
+		t.Fatal("peering must not extend the cone")
+	}
+}
+
+func TestParseWrite(t *testing.T) {
+	in := `# comment
+1|10|-1
+1|11|-1
+10|11|0
+`
+	g, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != 3 {
+		t.Fatalf("round trip edges = %d", back.NumEdges())
+	}
+	if r, ok := back.Relationship(1, 10); !ok || r != P2C {
+		t.Fatal("p2c lost in round trip")
+	}
+	if r, ok := back.Relationship(11, 10); !ok || r != P2P {
+		t.Fatal("p2p lost in round trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"1|2\n", "x|2|-1\n", "1|y|0\n", "1|2|5\n", "1|2|z\n"} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestRelString(t *testing.T) {
+	if P2C.String() != "p2c" || P2P.String() != "p2p" || C2P.String() != "c2p" {
+		t.Fatal("rel names")
+	}
+	if Rel(5).String() == "" {
+		t.Fatal("unknown rel name")
+	}
+}
+
+func BenchmarkRelated(b *testing.B) {
+	g := New()
+	for i := uint32(0); i < 50000; i++ {
+		g.AddP2C(i%1000, 1000+i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Related(uint32(i%1000), 1000+uint32(i%50000))
+	}
+}

@@ -1,0 +1,126 @@
+package asrel
+
+import "sort"
+
+// InferFromPaths reconstructs an AS relationship graph from observed BGP
+// AS paths using the classic Gao degree heuristic (Gao 2001), the family
+// of algorithms behind the CAIDA dataset the paper consumes. The paper's
+// §7 notes that relationship data "is derived from BGP data [and]
+// inherits these limitations"; inferring the graph from the same RIB lets
+// that dependency be studied directly (see the relinfer experiment).
+//
+// The heuristic: an AS's degree is its number of distinct path
+// neighbours. Every path is split at its highest-degree AS (the "top
+// provider"): edges before it climb customer-to-provider, edges after it
+// descend provider-to-customer. Votes are tallied across paths; pairs
+// with contradictory majorities become peers.
+func InferFromPaths(paths [][]uint32) *Graph {
+	neighbors := make(map[uint32]map[uint32]bool)
+	addNeighbor := func(a, b uint32) {
+		if neighbors[a] == nil {
+			neighbors[a] = make(map[uint32]bool)
+		}
+		neighbors[a][b] = true
+	}
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			if p[i] == p[i+1] {
+				continue // prepending
+			}
+			addNeighbor(p[i], p[i+1])
+			addNeighbor(p[i+1], p[i])
+		}
+	}
+	degree := func(a uint32) int { return len(neighbors[a]) }
+
+	// Vote tally: votes[pack(provider, customer)]++ per traversal.
+	votes := make(map[uint64]int)
+	for _, p := range paths {
+		clean := p[:0:0]
+		for i, a := range p {
+			if i == 0 || p[i-1] != a {
+				clean = append(clean, a)
+			}
+		}
+		if len(clean) < 2 {
+			continue
+		}
+		top := 0
+		for i := 1; i < len(clean); i++ {
+			if degree(clean[i]) > degree(clean[top]) {
+				top = i
+			}
+		}
+		for i := 0; i < top; i++ {
+			votes[pack(clean[i+1], clean[i])]++ // uphill: right is provider
+		}
+		for i := top; i+1 < len(clean); i++ {
+			votes[pack(clean[i], clean[i+1])]++ // downhill: left is provider
+		}
+	}
+
+	// Resolve each unordered pair once, deterministically.
+	type pair struct{ a, b uint32 }
+	resolved := make(map[pair]bool)
+	var pairs []pair
+	for k := range votes {
+		a, b := uint32(k>>32), uint32(k)
+		p := pair{a, b}
+		if a > b {
+			p = pair{b, a}
+		}
+		if !resolved[p] {
+			resolved[p] = true
+			pairs = append(pairs, p)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	g := New()
+	for _, p := range pairs {
+		ab := votes[pack(p.a, p.b)] // a provider of b
+		ba := votes[pack(p.b, p.a)] // b provider of a
+		switch {
+		case ab > ba:
+			g.AddP2C(p.a, p.b)
+		case ba > ab:
+			g.AddP2C(p.b, p.a)
+		default:
+			g.AddP2P(p.a, p.b)
+		}
+	}
+	return g
+}
+
+// Agreement compares two graphs over the union of their edges: the share
+// of AS pairs on which both graphs agree about relatedness.
+func Agreement(a, b *Graph) float64 {
+	type pair struct{ x, y uint32 }
+	seen := make(map[pair]bool)
+	collect := func(g *Graph) {
+		for k := range g.rels {
+			x, y := uint32(k>>32), uint32(k)
+			p := pair{x, y}
+			if x > y {
+				p = pair{y, x}
+			}
+			seen[p] = true
+		}
+	}
+	collect(a)
+	collect(b)
+	if len(seen) == 0 {
+		return 1
+	}
+	agree := 0
+	for p := range seen {
+		if a.Related(p.x, p.y) == b.Related(p.x, p.y) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(seen))
+}

@@ -1,0 +1,72 @@
+package asrel
+
+import (
+	"testing"
+)
+
+func TestInferFromPathsValleyFree(t *testing.T) {
+	// Topology: 1 is the big transit (degree 4: neighbours 2,3,4,5);
+	// 2 and 3 are mid providers with stub customers 10 and 11.
+	paths := [][]uint32{
+		{10, 2, 1, 3, 11}, // up through 2, across the top, down through 3
+		{11, 3, 1, 2, 10},
+		{4, 1, 5}, // stubs hanging off the transit
+		{5, 1, 4},
+	}
+	g := InferFromPaths(paths)
+	cases := []struct {
+		a, b uint32
+		want Rel
+	}{
+		{1, 2, P2C},
+		{1, 3, P2C},
+		{2, 10, P2C},
+		{3, 11, P2C},
+	}
+	for _, c := range cases {
+		r, ok := g.Relationship(c.a, c.b)
+		if !ok || r != c.want {
+			t.Errorf("Relationship(%d,%d) = %v,%v want %v", c.a, c.b, r, ok, c.want)
+		}
+	}
+}
+
+func TestInferFromPathsTieBecomesPeer(t *testing.T) {
+	// Contradictory evidence: 4 and 5 appear on both sides of the top
+	// equally often.
+	paths := [][]uint32{
+		{4, 9, 5}, // 9 tops (degree grows below)
+		{5, 9, 4},
+		{9, 4, 5}, // downhill: 4 provider of 5
+		{9, 5, 4}, // downhill: 5 provider of 4
+	}
+	g := InferFromPaths(paths)
+	r, ok := g.Relationship(4, 5)
+	if !ok || r != P2P {
+		t.Fatalf("tied votes = %v,%v want p2p", r, ok)
+	}
+}
+
+func TestInferHandlesPrependingAndShortPaths(t *testing.T) {
+	g := InferFromPaths([][]uint32{
+		{1, 1, 2, 2, 2, 3}, // prepending collapsed
+		{7},                // too short, ignored
+		nil,
+	})
+	if _, ok := g.Relationship(1, 2); !ok {
+		t.Fatal("prepended path lost edges")
+	}
+	if g.Related(1, 1) != true {
+		t.Fatal("self relation")
+	}
+}
+
+func TestAgreementIdentity(t *testing.T) {
+	g := buildGraph()
+	if Agreement(g, g) != 1 {
+		t.Fatal("self agreement != 1")
+	}
+	if Agreement(New(), New()) != 1 {
+		t.Fatal("empty agreement != 1")
+	}
+}

@@ -1,0 +1,147 @@
+// Package baseline implements the maintainer-comparison leasing heuristic
+// of Prehn et al. (CoNEXT 2020), which the paper compares against in
+// §6.1: an address block is classified leased when its maintainers differ
+// from its parent block's maintainers.
+//
+// The comparison illustrates both failure modes the paper discusses: the
+// baseline flags customer blocks with self-managed maintainers (false
+// positives relative to the routing-aware method) but also catches
+// inactive leases the routing-aware method classifies Unused.
+package baseline
+
+import (
+	"ipleasing/internal/core"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/prefixtree"
+	"ipleasing/internal/whois"
+)
+
+// Inference is the baseline's verdict for one leaf prefix.
+type Inference struct {
+	Registry whois.Registry
+	Prefix   netutil.Prefix
+	Leased   bool // maintainers differ from the parent block's
+}
+
+// Options tunes the baseline. The zero value matches the inference
+// pipeline's tree construction.
+type Options struct {
+	// MaxPrefixLen drops hyper-specifics; 0 means 24.
+	MaxPrefixLen uint8
+}
+
+func (o Options) maxLen() uint8 {
+	if o.MaxPrefixLen == 0 {
+		return 24
+	}
+	return o.MaxPrefixLen
+}
+
+type nodeVal struct {
+	inet *whois.InetNum
+}
+
+// Infer classifies every non-portable leaf prefix by maintainer
+// difference.
+func Infer(ds *whois.Dataset, opts Options) []Inference {
+	var out []Inference
+	for _, reg := range whois.Registries {
+		db, ok := ds.DBs[reg]
+		if !ok {
+			continue
+		}
+		tree := &prefixtree.Tree[nodeVal]{}
+		for _, inet := range db.InetNums {
+			if inet.Portability == whois.Legacy || inet.Portability == whois.PortabilityUnknown {
+				continue
+			}
+			for _, p := range inet.Prefixes() {
+				if p.Len > opts.maxLen() {
+					continue
+				}
+				if _, exists := tree.Get(p); !exists {
+					tree.Insert(p, nodeVal{inet: inet})
+				}
+			}
+		}
+		tree.Walk(func(e prefixtree.Entry[nodeVal]) bool {
+			if e.HasChildren || e.Value.inet.Portability != whois.NonPortable {
+				return true
+			}
+			anc := tree.Ancestors(e.Prefix)
+			if len(anc) == 0 {
+				return true // orphan: no parent to compare against
+			}
+			parent := anc[len(anc)-1].Value.inet
+			out = append(out, Inference{
+				Registry: reg,
+				Prefix:   e.Prefix,
+				Leased:   !sameMaintainers(e.Value.inet.MntBy, parent.MntBy),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// sameMaintainers reports whether the two maintainer sets share at least
+// one handle (a shared maintainer means the provider still manages the
+// block, i.e. not leased under the heuristic).
+func sameMaintainers(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Comparison contrasts the baseline with the routing-aware inference over
+// the common leaf population (§6.1's preliminary comparison).
+type Comparison struct {
+	Both         int // leased under both methods
+	OnlyBaseline int // leased under the maintainer heuristic only
+	OnlyOurs     int // leased under the routing-aware method only
+	Neither      int
+}
+
+// Total returns the number of compared leaves.
+func (c Comparison) Total() int { return c.Both + c.OnlyBaseline + c.OnlyOurs + c.Neither }
+
+// Agreement returns the fraction of leaves where the methods agree.
+func (c Comparison) Agreement() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.Both+c.Neither) / float64(c.Total())
+}
+
+// Compare matches baseline verdicts with the pipeline's result by prefix.
+func Compare(base []Inference, res *core.Result) Comparison {
+	ours := make(map[netutil.Prefix]bool)
+	for _, inf := range res.All() {
+		if inf.Category != core.Orphan {
+			ours[inf.Prefix] = inf.Category.Leased()
+		}
+	}
+	var c Comparison
+	for _, b := range base {
+		leased, ok := ours[b.Prefix]
+		if !ok {
+			continue
+		}
+		switch {
+		case b.Leased && leased:
+			c.Both++
+		case b.Leased && !leased:
+			c.OnlyBaseline++
+		case !b.Leased && leased:
+			c.OnlyOurs++
+		default:
+			c.Neither++
+		}
+	}
+	return c
+}

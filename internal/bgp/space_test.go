@@ -1,0 +1,59 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipleasing/internal/netutil"
+)
+
+// TestRoutedAddressSpaceAgainstBitmap: for random small tables over a
+// bounded universe, the merged-interval accounting must equal a
+// brute-force per-address count.
+func TestRoutedAddressSpaceAgainstBitmap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 40; iter++ {
+		var tbl Table
+		// Universe: 10.0.0.0/16 (65536 addresses) so the bitmap is cheap.
+		covered := make([]bool, 1<<16)
+		n := 1 + rng.Intn(25)
+		for i := 0; i < n; i++ {
+			length := uint8(18 + rng.Intn(15)) // /18../32
+			base := 0x0A000000 | (rng.Uint32() & 0x0000ffff)
+			p := netutil.Prefix{Base: netutil.Addr(base), Len: length}.Canonicalize()
+			// Clamp inside the universe: /18 and /17 could escape it.
+			if p.Len < 16 {
+				continue
+			}
+			tbl.AddRoute(p, uint32(64500+i))
+			for a := p.First(); ; a++ {
+				if uint32(a)&0xffff0000 == 0x0A000000 {
+					covered[uint32(a)&0xffff] = true
+				}
+				if a == p.Last() {
+					break
+				}
+			}
+		}
+		want := uint64(0)
+		for _, c := range covered {
+			if c {
+				want++
+			}
+		}
+		if got := tbl.RoutedAddressSpace(); got != want {
+			t.Fatalf("iter %d: RoutedAddressSpace = %d, bitmap %d", iter, got, want)
+		}
+	}
+}
+
+// TestRoutedAddressSpaceFullRange covers the /0 edge (the merge loop's
+// uint64 arithmetic must not overflow).
+func TestRoutedAddressSpaceFullRange(t *testing.T) {
+	var tbl Table
+	tbl.AddRoute(netutil.Prefix{}, 1) // 0.0.0.0/0
+	tbl.AddRoute(mp("10.0.0.0/8"), 2)
+	if got := tbl.RoutedAddressSpace(); got != 1<<32 {
+		t.Fatalf("full-range space = %d", got)
+	}
+}

@@ -1,0 +1,350 @@
+// Package bgp builds a global routing-table view from MRT RIB dumps
+// (Routeviews / RIPE RIS style) and answers the origin queries the
+// leasing inference needs (paper §5.1 step 4):
+//
+//   - the exact-match origin AS(es) of a prefix, and
+//   - the least-specific covering prefix and its origin(s), used for root
+//     blocks whose holder aggregated consecutive allocations in BGP.
+//
+// Tables from multiple collectors can be merged; multi-origin (MOAS)
+// prefixes keep every observed origin.
+package bgp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"ipleasing/internal/mrt"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/prefixtree"
+)
+
+// Route is one (prefix, AS path) announcement as seen from the
+// collector's vantage points.
+type Route struct {
+	Prefix netutil.Prefix
+	Path   mrt.ASPath
+	// Visibility is how many vantage points carry the route; 0 means
+	// all of them. Partial visibility models the collection bias the
+	// paper's §7 discusses.
+	Visibility int
+}
+
+// originSet tracks the origins observed for a prefix and how many vantage
+// points reported each.
+type originSet struct {
+	counts map[uint32]int
+}
+
+// Table is an aggregated routing-table view. The zero value is empty and
+// ready for use. Not safe for concurrent mutation.
+type Table struct {
+	tree prefixtree.Tree[*originSet]
+}
+
+// AddRoute records one announcement of p originated by origin.
+func (t *Table) AddRoute(p netutil.Prefix, origin uint32) {
+	p = p.Canonicalize()
+	os, ok := t.tree.Get(p)
+	if !ok {
+		os = &originSet{counts: make(map[uint32]int, 1)}
+		t.tree.Insert(p, os)
+	}
+	os.counts[origin]++
+}
+
+// NumPrefixes returns the number of distinct announced prefixes.
+func (t *Table) NumPrefixes() int { return t.tree.Len() }
+
+// HasPrefix reports whether p is announced exactly.
+func (t *Table) HasPrefix(p netutil.Prefix) bool {
+	_, ok := t.tree.Get(p)
+	return ok
+}
+
+// Origins returns the origin ASes announcing exactly p, most-seen first
+// (ties broken by ASN for determinism). Nil if p is not announced.
+func (t *Table) Origins(p netutil.Prefix) []uint32 {
+	os, ok := t.tree.Get(p)
+	if !ok {
+		return nil
+	}
+	return os.sorted()
+}
+
+// Visibility returns the number of vantage-point announcements observed
+// for p (0 if unannounced). A RIB dump contributes one per peer carrying
+// the route.
+func (t *Table) Visibility(p netutil.Prefix) int {
+	os, ok := t.tree.Get(p)
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, c := range os.counts {
+		n += c
+	}
+	return n
+}
+
+// OriginsMinVisibility is Origins, but treats prefixes carried by fewer
+// than min vantage points as unannounced (min <= 1 disables the filter).
+// This implements the §7 vantage-point-bias sensitivity study.
+func (t *Table) OriginsMinVisibility(p netutil.Prefix, min int) []uint32 {
+	if min > 1 && t.Visibility(p) < min {
+		return nil
+	}
+	return t.Origins(p)
+}
+
+func (s *originSet) sorted() []uint32 {
+	out := make([]uint32, 0, len(s.counts))
+	for a := range s.counts {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := s.counts[out[i]], s.counts[out[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// CoveringOrigins returns the least-specific announced prefix covering p
+// (which may be p itself) and its origins. This implements the paper's
+// fallback lookup for root prefixes aggregated in BGP.
+func (t *Table) CoveringOrigins(p netutil.Prefix) (netutil.Prefix, []uint32, bool) {
+	cp, os, ok := t.tree.ShortestMatch(p)
+	if !ok {
+		return netutil.Prefix{}, nil, false
+	}
+	return cp, os.sorted(), true
+}
+
+// LongestMatch returns the most-specific announced prefix covering p and
+// its origins.
+func (t *Table) LongestMatch(p netutil.Prefix) (netutil.Prefix, []uint32, bool) {
+	mp, os, ok := t.tree.LongestMatch(p)
+	if !ok {
+		return netutil.Prefix{}, nil, false
+	}
+	return mp, os.sorted(), true
+}
+
+// Prefixes returns every announced prefix in canonical order.
+func (t *Table) Prefixes() []netutil.Prefix {
+	out := make([]netutil.Prefix, 0, t.tree.Len())
+	t.tree.Walk(func(e prefixtree.Entry[*originSet]) bool {
+		out = append(out, e.Prefix)
+		return true
+	})
+	return out
+}
+
+// Walk visits every (prefix, origins) pair in canonical order.
+func (t *Table) Walk(fn func(p netutil.Prefix, origins []uint32) bool) {
+	t.tree.Walk(func(e prefixtree.Entry[*originSet]) bool {
+		return fn(e.Prefix, e.Value.sorted())
+	})
+}
+
+// RoutedAddressSpace returns the number of distinct IPv4 addresses covered
+// by at least one announced prefix (the paper's "routed v4 address space").
+func (t *Table) RoutedAddressSpace() uint64 {
+	ranges := make([]netutil.Range, 0, t.tree.Len())
+	t.tree.Walk(func(e prefixtree.Entry[*originSet]) bool {
+		ranges = append(ranges, netutil.RangeOf(e.Prefix))
+		return true
+	})
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].First < ranges[j].First })
+	var total uint64
+	var curFirst, curLast uint64
+	started := false
+	for _, r := range ranges {
+		f, l := uint64(r.First), uint64(r.Last)
+		if !started {
+			curFirst, curLast, started = f, l, true
+			continue
+		}
+		if f <= curLast+1 {
+			if l > curLast {
+				curLast = l
+			}
+			continue
+		}
+		total += curLast - curFirst + 1
+		curFirst, curLast = f, l
+	}
+	if started {
+		total += curLast - curFirst + 1
+	}
+	return total
+}
+
+// LoadMRT merges all TABLE_DUMP_V2 RIB_IPV4_UNICAST records from an MRT
+// stream into the table. Non-RIB records (peer index tables, BGP4MP) are
+// skipped. Entries whose AS_PATH is missing or empty are ignored; paths
+// ending in an AS_SET contribute every set member as an origin.
+func (t *Table) LoadMRT(r io.Reader) error {
+	rd := mrt.NewReader(r)
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if rec.Type != mrt.TypeTableDumpV2 || rec.Subtype != mrt.SubtypeRIBIPv4Unicast {
+			continue
+		}
+		rib, err := mrt.DecodeRIBIPv4(rec.Body)
+		if err != nil {
+			return fmt.Errorf("bgp: %w", err)
+		}
+		for _, e := range rib.Entries {
+			path, err := mrt.PathOf(e.Attrs)
+			if err != nil {
+				return fmt.Errorf("bgp: rib %v: %w", rib.Prefix, err)
+			}
+			for _, origin := range path.Origins() {
+				t.AddRoute(rib.Prefix, origin)
+			}
+		}
+	}
+}
+
+// ReadPaths extracts the distinct flattened AS paths from an MRT RIB
+// stream, for relationship inference (asrel.InferFromPaths).
+func ReadPaths(r io.Reader) ([][]uint32, error) {
+	rd := mrt.NewReader(r)
+	seen := make(map[string]bool)
+	var out [][]uint32
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Type != mrt.TypeTableDumpV2 || rec.Subtype != mrt.SubtypeRIBIPv4Unicast {
+			continue
+		}
+		rib, err := mrt.DecodeRIBIPv4(rec.Body)
+		if err != nil {
+			return nil, fmt.Errorf("bgp: %w", err)
+		}
+		for _, e := range rib.Entries {
+			path, err := mrt.PathOf(e.Attrs)
+			if err != nil {
+				return nil, err
+			}
+			seq := path.Sequence()
+			if len(seq) < 2 {
+				continue
+			}
+			key := make([]byte, 0, len(seq)*5)
+			for _, a := range seq {
+				key = append(key, byte(a>>24), byte(a>>16), byte(a>>8), byte(a), '|')
+			}
+			if !seen[string(key)] {
+				seen[string(key)] = true
+				out = append(out, seq)
+			}
+		}
+	}
+}
+
+// ReadPathsFile extracts distinct AS paths from an MRT file.
+func ReadPathsFile(path string) ([][]uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPaths(f)
+}
+
+// LoadMRTFile merges one MRT file into the table.
+func (t *Table) LoadMRTFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.LoadMRT(f); err != nil {
+		return fmt.Errorf("bgp: %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadMRTFiles merges several MRT files (e.g. multiple collectors or a
+// multi-day window) into one table.
+func (t *Table) LoadMRTFiles(paths []string) error {
+	for _, p := range paths {
+		if err := t.LoadMRTFile(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMRT renders routes as a TABLE_DUMP_V2 dump: one PEER_INDEX_TABLE
+// followed by one RIB_IPV4_UNICAST record per route, carrying one RIB
+// entry per vantage point that sees the route (Route.Visibility peers,
+// all of them when 0), like a real collector dump. The routes' paths
+// must be non-empty.
+func WriteMRT(w io.Writer, ts uint32, peers []mrt.Peer, routes []Route) error {
+	if len(peers) == 0 {
+		return fmt.Errorf("bgp: WriteMRT requires at least one peer")
+	}
+	ww := mrt.NewWriter(w)
+	tbl := &mrt.PeerIndexTable{CollectorID: 0xc0000201, ViewName: "synthetic", Peers: peers}
+	if err := ww.WriteRecord(tbl.Record(ts)); err != nil {
+		return err
+	}
+	for i, rt := range routes {
+		if len(rt.Path) == 0 {
+			return fmt.Errorf("bgp: route %v has empty AS path", rt.Prefix)
+		}
+		vis := rt.Visibility
+		if vis <= 0 || vis > len(peers) {
+			vis = len(peers)
+		}
+		rib := &mrt.RIB{Sequence: uint32(i), Prefix: rt.Prefix}
+		for v := 0; v < vis; v++ {
+			peerIdx := (i + v) % len(peers)
+			rib.Entries = append(rib.Entries, mrt.RIBEntry{
+				PeerIndex:      uint16(peerIdx),
+				OriginatedTime: ts,
+				Attrs: []mrt.Attribute{
+					mrt.OriginAttr(mrt.OriginIGP),
+					mrt.ASPathAttr(rt.Path),
+					mrt.NextHopAttr(peers[peerIdx].Addr),
+				},
+			})
+		}
+		if err := ww.WriteRecord(rib.Record(ts)); err != nil {
+			return err
+		}
+	}
+	return ww.Flush()
+}
+
+// WriteMRTFile writes routes to path as a TABLE_DUMP_V2 dump.
+func WriteMRTFile(path string, ts uint32, peers []mrt.Peer, routes []Route) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := WriteMRT(f, ts, peers, routes)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -1,0 +1,269 @@
+package bgp
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"ipleasing/internal/mrt"
+	"ipleasing/internal/netutil"
+)
+
+func mp(s string) netutil.Prefix { return netutil.MustParsePrefix(s) }
+
+func TestAddRouteOrigins(t *testing.T) {
+	var tbl Table
+	tbl.AddRoute(mp("203.0.113.0/24"), 64500)
+	tbl.AddRoute(mp("203.0.113.0/24"), 64500)
+	tbl.AddRoute(mp("203.0.113.0/24"), 64501) // MOAS
+	tbl.AddRoute(mp("198.51.100.0/24"), 64502)
+
+	if tbl.NumPrefixes() != 2 {
+		t.Fatalf("NumPrefixes = %d", tbl.NumPrefixes())
+	}
+	got := tbl.Origins(mp("203.0.113.0/24"))
+	if len(got) != 2 || got[0] != 64500 || got[1] != 64501 {
+		t.Fatalf("Origins = %v (want most-seen first)", got)
+	}
+	if tbl.Origins(mp("192.0.2.0/24")) != nil {
+		t.Fatal("unannounced prefix has origins")
+	}
+	if !tbl.HasPrefix(mp("198.51.100.0/24")) || tbl.HasPrefix(mp("198.51.100.0/25")) {
+		t.Fatal("HasPrefix wrong")
+	}
+}
+
+func TestCoveringAndLongest(t *testing.T) {
+	var tbl Table
+	tbl.AddRoute(mp("10.0.0.0/8"), 100)
+	tbl.AddRoute(mp("10.2.0.0/16"), 200)
+
+	cp, origins, ok := tbl.CoveringOrigins(mp("10.2.3.0/24"))
+	if !ok || cp != mp("10.0.0.0/8") || origins[0] != 100 {
+		t.Fatalf("CoveringOrigins = %v %v %v", cp, origins, ok)
+	}
+	lp, origins, ok := tbl.LongestMatch(mp("10.2.3.0/24"))
+	if !ok || lp != mp("10.2.0.0/16") || origins[0] != 200 {
+		t.Fatalf("LongestMatch = %v %v %v", lp, origins, ok)
+	}
+	if _, _, ok := tbl.CoveringOrigins(mp("11.0.0.0/24")); ok {
+		t.Fatal("covering match outside table")
+	}
+}
+
+func TestRoutedAddressSpace(t *testing.T) {
+	var tbl Table
+	if tbl.RoutedAddressSpace() != 0 {
+		t.Fatal("empty table routed space != 0")
+	}
+	tbl.AddRoute(mp("10.0.0.0/8"), 1)
+	tbl.AddRoute(mp("10.1.0.0/16"), 2) // nested: no extra space
+	if got := tbl.RoutedAddressSpace(); got != 1<<24 {
+		t.Fatalf("nested routed space = %d", got)
+	}
+	tbl.AddRoute(mp("11.0.0.0/8"), 3) // adjacent
+	if got := tbl.RoutedAddressSpace(); got != 2<<24 {
+		t.Fatalf("adjacent routed space = %d", got)
+	}
+	tbl.AddRoute(mp("192.0.2.0/24"), 4) // disjoint
+	if got := tbl.RoutedAddressSpace(); got != 2<<24+256 {
+		t.Fatalf("disjoint routed space = %d", got)
+	}
+}
+
+func TestWalkAndPrefixes(t *testing.T) {
+	var tbl Table
+	tbl.AddRoute(mp("10.0.0.0/8"), 1)
+	tbl.AddRoute(mp("9.0.0.0/8"), 2)
+	ps := tbl.Prefixes()
+	if len(ps) != 2 || ps[0] != mp("9.0.0.0/8") {
+		t.Fatalf("Prefixes = %v", ps)
+	}
+	n := 0
+	tbl.Walk(func(p netutil.Prefix, origins []uint32) bool {
+		n++
+		return false // early stop
+	})
+	if n != 1 {
+		t.Fatalf("Walk early stop visited %d", n)
+	}
+}
+
+func sampleRoutes() []Route {
+	return []Route{
+		{Prefix: mp("203.0.113.0/24"), Path: mrt.NewASPathSequence(65001, 64500)},
+		{Prefix: mp("198.51.100.0/24"), Path: mrt.NewASPathSequence(65002, 64501)},
+		{Prefix: mp("198.51.100.0/25"), Path: mrt.NewASPathSequence(65001, 64502)},
+		// Aggregate ending in an AS_SET: both members become origins.
+		{Prefix: mp("192.0.2.0/24"), Path: mrt.ASPath{
+			{Type: mrt.SegmentASSequence, ASNs: []uint32{65001, 64503}},
+			{Type: mrt.SegmentASSet, ASNs: []uint32{64504, 64505}},
+		}},
+	}
+}
+
+func samplePeers() []mrt.Peer {
+	return []mrt.Peer{
+		{BGPID: 1, Addr: netutil.MustParseAddr("192.0.2.1"), AS: 65001},
+		{BGPID: 2, Addr: netutil.MustParseAddr("192.0.2.2"), AS: 65002},
+	}
+}
+
+func TestMRTRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMRT(&buf, 1712000000, samplePeers(), sampleRoutes()); err != nil {
+		t.Fatal(err)
+	}
+	var tbl Table
+	if err := tbl.LoadMRT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumPrefixes() != 4 {
+		t.Fatalf("NumPrefixes = %d", tbl.NumPrefixes())
+	}
+	if got := tbl.Origins(mp("203.0.113.0/24")); len(got) != 1 || got[0] != 64500 {
+		t.Fatalf("origins = %v", got)
+	}
+	if got := tbl.Origins(mp("192.0.2.0/24")); len(got) != 2 {
+		t.Fatalf("AS_SET origins = %v", got)
+	}
+}
+
+func TestVisibility(t *testing.T) {
+	var tbl Table
+	if tbl.Visibility(mp("10.0.0.0/8")) != 0 {
+		t.Fatal("visibility of unannounced prefix")
+	}
+	tbl.AddRoute(mp("10.0.0.0/8"), 1)
+	tbl.AddRoute(mp("10.0.0.0/8"), 1)
+	tbl.AddRoute(mp("10.0.0.0/8"), 2)
+	if got := tbl.Visibility(mp("10.0.0.0/8")); got != 3 {
+		t.Fatalf("Visibility = %d", got)
+	}
+	if got := tbl.OriginsMinVisibility(mp("10.0.0.0/8"), 3); len(got) != 2 {
+		t.Fatalf("min-vis 3 origins = %v", got)
+	}
+	if got := tbl.OriginsMinVisibility(mp("10.0.0.0/8"), 4); got != nil {
+		t.Fatalf("min-vis 4 origins = %v", got)
+	}
+	if got := tbl.OriginsMinVisibility(mp("10.0.0.0/8"), 0); len(got) != 2 {
+		t.Fatal("min-vis 0 should not filter")
+	}
+}
+
+func TestMRTPerPeerVisibility(t *testing.T) {
+	routes := []Route{
+		{Prefix: mp("203.0.113.0/24"), Path: mrt.NewASPathSequence(65001, 64500)},                 // all peers
+		{Prefix: mp("198.51.100.0/24"), Path: mrt.NewASPathSequence(65001, 64501), Visibility: 1}, // one peer
+	}
+	var buf bytes.Buffer
+	if err := WriteMRT(&buf, 0, samplePeers(), routes); err != nil {
+		t.Fatal(err)
+	}
+	var tbl Table
+	if err := tbl.LoadMRT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Visibility(mp("203.0.113.0/24")); got != len(samplePeers()) {
+		t.Fatalf("full visibility = %d", got)
+	}
+	if got := tbl.Visibility(mp("198.51.100.0/24")); got != 1 {
+		t.Fatalf("partial visibility = %d", got)
+	}
+}
+
+func TestWriteMRTErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMRT(&buf, 0, nil, nil); err == nil {
+		t.Fatal("no peers accepted")
+	}
+	err := WriteMRT(&buf, 0, samplePeers(), []Route{{Prefix: mp("10.0.0.0/8")}})
+	if err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestLoadMRTFileAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "rv.mrt")
+	f2 := filepath.Join(dir, "ris.mrt")
+	if err := WriteMRTFile(f1, 1712000000, samplePeers(), sampleRoutes()[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMRTFile(f2, 1712000000, samplePeers(), sampleRoutes()[2:]); err != nil {
+		t.Fatal(err)
+	}
+	var tbl Table
+	if err := tbl.LoadMRTFiles([]string{f1, f2}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumPrefixes() != 4 {
+		t.Fatalf("merged NumPrefixes = %d", tbl.NumPrefixes())
+	}
+	if err := tbl.LoadMRTFile(filepath.Join(dir, "missing.mrt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadMRTSkipsForeignRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	// A BGP4MP record the table loader should skip.
+	msg := &mrt.BGP4MPMessage{MsgType: mrt.BGPMsgKeepalive}
+	if err := w.WriteRecord(msg.Record(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMRT(&buf, 0, samplePeers(), sampleRoutes()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	var tbl Table
+	if err := tbl.LoadMRT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumPrefixes() != 1 {
+		t.Fatalf("NumPrefixes = %d", tbl.NumPrefixes())
+	}
+}
+
+func TestLoadMRTCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	bad := &mrt.RawRecord{
+		Header: mrt.Header{Type: mrt.TypeTableDumpV2, Subtype: mrt.SubtypeRIBIPv4Unicast},
+		Body:   []byte{0, 0, 0, 1, 99}, // prefix length 99
+	}
+	if err := w.WriteRecord(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var tbl Table
+	if err := tbl.LoadMRT(&buf); err == nil {
+		t.Fatal("corrupt RIB accepted")
+	}
+}
+
+func BenchmarkLoadMRT(b *testing.B) {
+	routes := make([]Route, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		p := netutil.Prefix{Base: netutil.Addr(uint32(i) << 12), Len: 24}.Canonicalize()
+		routes = append(routes, Route{Prefix: p, Path: mrt.NewASPathSequence(65001, uint32(64000+i%500))})
+	}
+	var buf bytes.Buffer
+	if err := WriteMRT(&buf, 0, samplePeers(), routes); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var tbl Table
+		if err := tbl.LoadMRT(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

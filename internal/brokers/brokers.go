@@ -1,0 +1,243 @@
+// Package brokers manages the lists of RIR-registered IP brokers the
+// paper's evaluation (§5.3) is built from — ARIN "qualified facilitators",
+// APNIC "registered brokers", and the archived RIPE NCC "recognised
+// brokers" page — and implements the company-name normalisation needed to
+// match broker names to WHOIS organisation objects despite legal-suffix
+// variations (LTD vs L.T.D.), punctuation, and fictitious business names.
+package brokers
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ipleasing/internal/whois"
+)
+
+// Broker is one registered broker.
+type Broker struct {
+	Registry whois.Registry // which RIR's list it appears on
+	Name     string         // name as published by the RIR
+}
+
+// List is a set of registered brokers.
+type List struct {
+	Brokers []Broker
+}
+
+// ByRegistry returns the brokers registered with reg.
+func (l *List) ByRegistry(reg whois.Registry) []Broker {
+	var out []Broker
+	for _, b := range l.Brokers {
+		if b.Registry == reg {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Len returns the number of brokers on the list.
+func (l *List) Len() int { return len(l.Brokers) }
+
+// Parse reads a broker list: "REGISTRY|Company Name" lines with '#'
+// comments.
+func Parse(r io.Reader) (*List, error) {
+	sc := bufio.NewScanner(r)
+	l := &List{}
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.IndexByte(line, '|')
+		if idx <= 0 {
+			return nil, fmt.Errorf("brokers: line %d: want REGISTRY|NAME, got %q", lineNum, line)
+		}
+		reg, err := whois.ParseRegistry(line[:idx])
+		if err != nil {
+			return nil, fmt.Errorf("brokers: line %d: %v", lineNum, err)
+		}
+		name := strings.TrimSpace(line[idx+1:])
+		if name == "" {
+			return nil, fmt.Errorf("brokers: line %d: empty broker name", lineNum)
+		}
+		l.Brokers = append(l.Brokers, Broker{Registry: reg, Name: name})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Write renders the list sorted by registry then name.
+func Write(w io.Writer, l *List) error {
+	sorted := make([]Broker, len(l.Brokers))
+	copy(sorted, l.Brokers)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Registry != sorted[j].Registry {
+			return sorted[i].Registry < sorted[j].Registry
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# registered IP brokers: REGISTRY|NAME")
+	for _, b := range sorted {
+		fmt.Fprintf(bw, "%s|%s\n", b.Registry, b.Name)
+	}
+	return bw.Flush()
+}
+
+// legalSuffixes are corporate-form tokens dropped during normalisation.
+// Dots are stripped before tokenisation, so "L.T.D." matches "ltd".
+var legalSuffixes = map[string]bool{
+	"ltd": true, "limited": true, "llc": true, "inc": true, "incorporated": true,
+	"corp": true, "corporation": true, "co": true, "company": true,
+	"gmbh": true, "ag": true, "sa": true, "sarl": true, "srl": true, "spa": true,
+	"bv": true, "nv": true, "ab": true, "as": true, "oy": true, "aps": true,
+	"plc": true, "pte": true, "pty": true, "fzco": true, "fze": true, "fzc": true,
+	"lda": true, "kk": true, "sro": true, "doo": true, "ooo": true, "uab": true,
+	"sl": true, "kft": true, "zrt": true, "oü": true, "eood": true,
+}
+
+// Normalize reduces a company name to a canonical matching key: lower
+// case, punctuation removed, legal-form suffix tokens dropped, whitespace
+// collapsed. "IPXO, LTD", "Ipxo L.T.D." and "IPXO PTE.LTD." normalise
+// identically.
+func Normalize(name string) string {
+	// Lower-case; map punctuation to spaces, but keep '.' attached to its
+	// token so abbreviated suffixes ("L.T.D.", "PTE.LTD.") stay whole.
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r >= 0x80, r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	tokens := strings.Fields(b.String())
+	var out, kept []string
+	for _, tok := range tokens {
+		undotted := strings.ReplaceAll(tok, ".", "")
+		if undotted == "" {
+			continue
+		}
+		kept = append(kept, undotted)
+		if legalSuffixes[undotted] {
+			continue // "l.t.d." → "ltd"
+		}
+		if parts := strings.FieldsFunc(tok, func(r rune) bool { return r == '.' }); len(parts) > 1 {
+			// "pte.ltd" drops only if every dotted part is a legal form.
+			all := true
+			for _, p := range parts {
+				if !legalSuffixes[p] {
+					all = false
+					break
+				}
+			}
+			if all {
+				continue
+			}
+		}
+		out = append(out, undotted)
+	}
+	if len(out) == 0 {
+		// Name consisted only of legal tokens; keep them rather than
+		// matching everything.
+		return strings.Join(kept, " ")
+	}
+	return strings.Join(out, " ")
+}
+
+// MatchKind describes how a broker name matched an organisation name.
+type MatchKind int
+
+const (
+	// NoMatch: the names do not correspond.
+	NoMatch MatchKind = iota
+	// ExactMatch: identical normalised keys (the paper's "directly
+	// mapped" brokers).
+	ExactMatch
+	// FuzzyMatch: one normalised key contains the other (the paper's
+	// manual matches across suffix/abbreviation variations).
+	FuzzyMatch
+)
+
+func (k MatchKind) String() string {
+	switch k {
+	case ExactMatch:
+		return "exact"
+	case FuzzyMatch:
+		return "fuzzy"
+	}
+	return "none"
+}
+
+// Match compares a broker name with an organisation name.
+func Match(brokerName, orgName string) MatchKind {
+	nb, no := Normalize(brokerName), Normalize(orgName)
+	if nb == "" || no == "" {
+		return NoMatch
+	}
+	if nb == no {
+		return ExactMatch
+	}
+	// Containment at word granularity, guarding against tiny keys.
+	if len(nb) >= 4 && len(no) >= 4 {
+		if containsWords(no, nb) || containsWords(nb, no) {
+			return FuzzyMatch
+		}
+	}
+	return NoMatch
+}
+
+// containsWords reports whether needle appears in hay as a contiguous
+// word sequence.
+func containsWords(hay, needle string) bool {
+	if hay == needle {
+		return true
+	}
+	idx := strings.Index(hay, needle)
+	for idx >= 0 {
+		leftOK := idx == 0 || hay[idx-1] == ' '
+		r := idx + len(needle)
+		rightOK := r == len(hay) || hay[r] == ' '
+		if leftOK && rightOK {
+			return true
+		}
+		next := strings.Index(hay[idx+1:], needle)
+		if next < 0 {
+			break
+		}
+		idx += 1 + next
+	}
+	return false
+}
+
+// OrgMatch is one broker→organisation correspondence found in a WHOIS
+// database.
+type OrgMatch struct {
+	Broker Broker
+	Org    *whois.Org
+	Kind   MatchKind
+}
+
+// MatchOrgs finds, for each broker registered with db's registry, the
+// organisations whose names match. This reproduces paper §6.2's mapping of
+// registered brokers to WHOIS organisation objects (exact plus manual
+// fuzzy matches); brokers absent from the database yield no match.
+func MatchOrgs(l *List, db *whois.Database) []OrgMatch {
+	var out []OrgMatch
+	for _, b := range l.ByRegistry(db.Registry) {
+		for _, org := range db.Orgs {
+			if k := Match(b.Name, org.Name); k != NoMatch {
+				out = append(out, OrgMatch{Broker: b, Org: org, Kind: k})
+			}
+		}
+	}
+	return out
+}

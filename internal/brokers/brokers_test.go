@@ -1,0 +1,115 @@
+package brokers
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ipleasing/internal/whois"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"IPXO, LTD", "ipxo"},
+		{"Ipxo L.T.D.", "ipxo"},
+		{"EGIHosting", "egihosting"},
+		{"Cyber Assets FZCO", "cyber assets"},
+		{"PSINet, Inc.", "psinet"},
+		{"Resilans AB", "resilans"},
+		{"Cloud  Innovation   Ltd", "cloud innovation"},
+		{"Aceville PTE.LTD.", "aceville"},
+		{"LTD", "ltd"}, // all-legal-token names keep their tokens
+		{"Co. Ltd.", "co ltd"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		broker, org string
+		want        MatchKind
+	}{
+		{"IPXO, LTD", "IPXO L.T.D.", ExactMatch},
+		{"EGIHosting", "EGIHosting, Inc", ExactMatch},
+		{"Cyber Assets FZCO", "Cyber Assets", ExactMatch},
+		{"IPXO", "IPXO Marketplace", FuzzyMatch}, // word containment
+		{"Prefix Broker BV", "The Prefix Broker Group", FuzzyMatch},
+		{"IPXO", "EGIHosting", NoMatch},
+		{"ABC", "ABCDEF Networks", NoMatch}, // substring but not word-aligned
+		{"", "x", NoMatch},
+	}
+	for _, c := range cases {
+		if got := Match(c.broker, c.org); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.broker, c.org, got, c.want)
+		}
+	}
+}
+
+func TestMatchKindString(t *testing.T) {
+	if ExactMatch.String() != "exact" || FuzzyMatch.String() != "fuzzy" || NoMatch.String() != "none" {
+		t.Fatal("kind names")
+	}
+}
+
+func TestParseWrite(t *testing.T) {
+	in := `# registered brokers
+RIPE|IPXO, LTD
+RIPE|Prefix Broker BV
+ARIN|Hilco Streambank
+APNIC|Aceville PTE.LTD.
+`
+	l, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := l.ByRegistry(whois.RIPE); len(got) != 2 {
+		t.Fatalf("RIPE brokers = %v", got)
+	}
+	if got := l.ByRegistry(whois.LACNIC); len(got) != 0 {
+		t.Fatalf("LACNIC brokers = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil || back.Len() != 4 {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"RIPE\n", "NOPE|X\n", "RIPE|\n", "|name\n"} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestMatchOrgs(t *testing.T) {
+	l := &List{Brokers: []Broker{
+		{Registry: whois.RIPE, Name: "IPXO, LTD"},
+		{Registry: whois.RIPE, Name: "Ghost Broker LLC"}, // not in DB
+		{Registry: whois.ARIN, Name: "IPXO, LTD"},        // wrong registry
+	}}
+	db := whois.NewDatabase(whois.RIPE)
+	db.Orgs = []*whois.Org{
+		{Registry: whois.RIPE, ID: "ORG-IPXO", Name: "IPXO L.T.D."},
+		{Registry: whois.RIPE, ID: "ORG-OTHER", Name: "Unrelated Networks"},
+	}
+	db.Reindex()
+	got := MatchOrgs(l, db)
+	if len(got) != 1 {
+		t.Fatalf("matches = %+v", got)
+	}
+	if got[0].Org.ID != "ORG-IPXO" || got[0].Kind != ExactMatch {
+		t.Fatalf("match = %+v", got[0])
+	}
+}

@@ -1,0 +1,413 @@
+// Package core implements the paper's leasing-inference methodology
+// (§5.1–§5.2): it builds per-RIR address allocation trees from WHOIS data,
+// resolves BGP origins for roots and leaves, and classifies every
+// non-portable leaf prefix into the paper's four groups, flagging leases.
+//
+// The pipeline's inputs are the substrate types: a whois.Dataset, a
+// bgp.Table built from MRT RIB dumps, a CAIDA-style asrel.Graph, and an
+// as2org.Map for sibling detection.
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"ipleasing/internal/as2org"
+	"ipleasing/internal/asrel"
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/prefixtree"
+	"ipleasing/internal/whois"
+)
+
+// Category is the paper's classification of a leaf prefix (§5.2).
+type Category int
+
+const (
+	// Unused (group 1): neither the leaf nor its root is originated in
+	// BGP.
+	Unused Category = iota
+	// AggregatedCustomer (group 2): only the root is originated; the
+	// leaf was aggregated into its parent announcement.
+	AggregatedCustomer
+	// ISPCustomer (group 3): only the leaf is originated, by an AS
+	// related to the root's RIR-assigned ASes.
+	ISPCustomer
+	// LeasedNoRootOrigin (group 3, leased): only the leaf is originated,
+	// by an AS unrelated to the root's ASes.
+	LeasedNoRootOrigin
+	// DelegatedCustomer (group 4): both are originated and the leaf's
+	// origin is related to the root's assigned AS or BGP origin.
+	DelegatedCustomer
+	// LeasedWithRootOrigin (group 4, leased): both are originated and
+	// the leaf's origin is related to neither.
+	LeasedWithRootOrigin
+	// Orphan: a non-portable leaf with no covering root block in the
+	// registry; the paper's method cannot classify it.
+	Orphan
+	numCategories
+)
+
+var categoryNames = [...]string{
+	"unused", "aggregated-customer", "isp-customer", "leased-3",
+	"delegated-customer", "leased-4", "orphan",
+}
+
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return "invalid"
+	}
+	return categoryNames[c]
+}
+
+// Leased reports whether the category is one of the two leased groups.
+func (c Category) Leased() bool {
+	return c == LeasedNoRootOrigin || c == LeasedWithRootOrigin
+}
+
+// Group returns the paper's group number (1–4), or 0 for Orphan.
+func (c Category) Group() int {
+	switch c {
+	case Unused:
+		return 1
+	case AggregatedCustomer:
+		return 2
+	case ISPCustomer, LeasedNoRootOrigin:
+		return 3
+	case DelegatedCustomer, LeasedWithRootOrigin:
+		return 4
+	}
+	return 0
+}
+
+// Inference is the classification of one leaf prefix, with the business
+// roles of Figure 1 attached: the root org is the IP holder, the leaf
+// maintainers are the facilitators, and the leaf's BGP origins are the
+// originators.
+type Inference struct {
+	Registry whois.Registry
+	Prefix   netutil.Prefix // the leaf prefix
+	Category Category
+
+	Root        netutil.Prefix // covering root prefix (zero if Orphan)
+	HolderOrg   string         // root block's organisation (IP holder)
+	RootASNs    []uint32       // RIR-assigned ASNs of the holder org
+	RootOrigins []uint32       // BGP origins of the root (exact or covering)
+	LeafOrigins []uint32       // BGP origins of the leaf (exact match)
+
+	Facilitators []string // leaf maintainer handles
+	NetName      string
+	Country      string
+}
+
+// Originator returns the primary origin AS of the leaf, or 0 if the leaf
+// is not announced.
+func (inf *Inference) Originator() uint32 {
+	if len(inf.LeafOrigins) == 0 {
+		return 0
+	}
+	return inf.LeafOrigins[0]
+}
+
+// Options tunes the pipeline. The zero value is the paper's methodology;
+// the other fields drive the DESIGN.md ablations.
+type Options struct {
+	// MaxPrefixLen drops hyper-specific blocks longer than this from the
+	// allocation tree. 0 means the paper's default of 24.
+	MaxPrefixLen uint8
+	// RootLookupExactOnly disables the least-specific covering-prefix
+	// fallback when resolving root origins (ablation: aggregated roots
+	// then look unused).
+	RootLookupExactOnly bool
+	// DisableSiblingExpansion turns off as2org sibling matching in the
+	// relatedness test (ablation: subsidiaries become false leases).
+	DisableSiblingExpansion bool
+	// MinVisibility treats prefixes carried by fewer vantage points as
+	// unannounced (sensitivity study for the §7 incomplete-BGP-data
+	// limitation). 0 or 1 disables the filter.
+	MinVisibility int
+}
+
+func (o Options) maxLen() uint8 {
+	if o.MaxPrefixLen == 0 {
+		return 24
+	}
+	return o.MaxPrefixLen
+}
+
+// Pipeline wires the datasets together.
+type Pipeline struct {
+	Whois *whois.Dataset
+	Table *bgp.Table
+	Rel   *asrel.Graph
+	Orgs  *as2org.Map
+	Opts  Options
+}
+
+// Related implements the paper's AS-relatedness test: equal ASNs, a direct
+// CAIDA relationship edge, or (unless ablated) as2org siblinghood.
+func (p *Pipeline) Related(a, b uint32) bool {
+	if a == b {
+		return true
+	}
+	if p.Rel != nil && p.Rel.Related(a, b) {
+		return true
+	}
+	if !p.Opts.DisableSiblingExpansion && p.Orgs != nil && p.Orgs.Siblings(a, b) {
+		return true
+	}
+	return false
+}
+
+func (p *Pipeline) relatedToAny(origin uint32, candidates []uint32) bool {
+	for _, c := range candidates {
+		if p.Related(origin, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// treeValue is the allocation-tree payload for one registered prefix.
+type treeValue struct {
+	inet *whois.InetNum
+}
+
+// RegionResult is one registry's classified leaves plus summary counts.
+type RegionResult struct {
+	Registry   whois.Registry
+	Inferences []Inference
+	Counts     [numCategories]int
+	// TotalLeaves counts the classified non-portable leaf prefixes
+	// (orphans excluded), matching Table 1's denominators.
+	TotalLeaves int
+}
+
+// Leased returns the number of leased leaf prefixes.
+func (r *RegionResult) Leased() int {
+	return r.Counts[LeasedNoRootOrigin] + r.Counts[LeasedWithRootOrigin]
+}
+
+// Result is the full inference output.
+type Result struct {
+	Regions map[whois.Registry]*RegionResult
+	// TotalBGPPrefixes is the number of distinct prefixes in the routing
+	// table (Table 1's "all routed prefixes" denominator).
+	TotalBGPPrefixes int
+	// RoutedSpace is the number of routed IPv4 addresses.
+	RoutedSpace uint64
+}
+
+// All returns every inference across registries, registry order then
+// prefix order.
+func (r *Result) All() []Inference {
+	var out []Inference
+	for _, reg := range whois.Registries {
+		if rr, ok := r.Regions[reg]; ok {
+			out = append(out, rr.Inferences...)
+		}
+	}
+	return out
+}
+
+// LeasedInferences returns only the leased inferences.
+func (r *Result) LeasedInferences() []Inference {
+	var out []Inference
+	for _, inf := range r.All() {
+		if inf.Category.Leased() {
+			out = append(out, inf)
+		}
+	}
+	return out
+}
+
+// TotalLeased returns the leased-prefix count across registries.
+func (r *Result) TotalLeased() int {
+	n := 0
+	for _, rr := range r.Regions {
+		n += rr.Leased()
+	}
+	return n
+}
+
+// LeasedShareOfBGP returns leased prefixes as a fraction of all routed
+// prefixes (the paper's headline 4.1%).
+func (r *Result) LeasedShareOfBGP() float64 {
+	if r.TotalBGPPrefixes == 0 {
+		return 0
+	}
+	return float64(r.TotalLeased()) / float64(r.TotalBGPPrefixes)
+}
+
+// LeasedAddressSpace returns the number of addresses in leased leaf
+// prefixes.
+func (r *Result) LeasedAddressSpace() uint64 {
+	var n uint64
+	for _, inf := range r.All() {
+		if inf.Category.Leased() {
+			n += inf.Prefix.NumAddrs()
+		}
+	}
+	return n
+}
+
+// Infer runs the full methodology over every registry. Registries are
+// processed concurrently: they share only read-only inputs (the routing
+// table, relationship graph, and org map), and each produces an
+// independent RegionResult.
+func (p *Pipeline) Infer() *Result {
+	res := &Result{Regions: make(map[whois.Registry]*RegionResult)}
+	if p.Table != nil {
+		res.TotalBGPPrefixes = p.Table.NumPrefixes()
+		res.RoutedSpace = p.Table.RoutedAddressSpace()
+	}
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for _, reg := range whois.Registries {
+		db, ok := p.Whois.DBs[reg]
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(reg whois.Registry, db *whois.Database) {
+			defer wg.Done()
+			rr := p.inferRegion(db)
+			mu.Lock()
+			res.Regions[reg] = rr
+			mu.Unlock()
+		}(reg, db)
+	}
+	wg.Wait()
+	return res
+}
+
+// BuildTree constructs one registry's allocation tree (§5.1 step 2):
+// all non-legacy registered blocks, decomposed to CIDR, hyper-specifics
+// dropped. Exposed for the baseline comparison and tests.
+func (p *Pipeline) BuildTree(db *whois.Database) *prefixtree.Tree[treeValue] {
+	tree := &prefixtree.Tree[treeValue]{}
+	maxLen := p.Opts.maxLen()
+	for _, inet := range db.InetNums {
+		if inet.Portability == whois.Legacy || inet.Portability == whois.PortabilityUnknown {
+			continue
+		}
+		for _, pfx := range inet.Prefixes() {
+			if pfx.Len > maxLen {
+				continue
+			}
+			if _, exists := tree.Get(pfx); !exists {
+				tree.Insert(pfx, treeValue{inet: inet})
+			}
+		}
+	}
+	return tree
+}
+
+func (p *Pipeline) inferRegion(db *whois.Database) *RegionResult {
+	rr := &RegionResult{Registry: db.Registry}
+	tree := p.BuildTree(db)
+
+	tree.Walk(func(e prefixtree.Entry[treeValue]) bool {
+		if e.HasChildren {
+			return true // intermediate or root with children: not a leaf
+		}
+		leaf := e.Value.inet
+		if leaf.Portability != whois.NonPortable {
+			return true // standalone portable block: root-only, skip
+		}
+		inf := p.classifyLeaf(db, tree, e.Prefix, leaf, e.Depth)
+		rr.Counts[inf.Category]++
+		if inf.Category != Orphan {
+			rr.TotalLeaves++
+		}
+		rr.Inferences = append(rr.Inferences, inf)
+		return true
+	})
+	return rr
+}
+
+func (p *Pipeline) classifyLeaf(db *whois.Database, tree *prefixtree.Tree[treeValue], pfx netutil.Prefix, leaf *whois.InetNum, depth int) Inference {
+	inf := Inference{
+		Registry:     db.Registry,
+		Prefix:       pfx,
+		Facilitators: leaf.MntBy,
+		NetName:      leaf.NetName,
+		Country:      leaf.Country,
+	}
+	if depth == 0 {
+		// Non-portable block with no covering root allocation.
+		inf.Category = Orphan
+		return inf
+	}
+	rootPfx, rootVal, _ := tree.RootOf(pfx)
+	root := rootVal.inet
+	inf.Root = rootPfx
+	inf.HolderOrg = root.OrgID
+	if inf.Country == "" {
+		inf.Country = root.Country
+	}
+
+	// Step 3: RIR-assigned ASNs of the root organisation.
+	inf.RootASNs = db.ASNsOfOrg(root.OrgID)
+
+	// Step 4: BGP origins. Leaf: exact match only. Root: exact match,
+	// falling back to the least-specific covering announcement. The
+	// MinVisibility option discounts poorly-seen exact announcements.
+	if p.Table != nil {
+		inf.LeafOrigins = p.Table.OriginsMinVisibility(pfx, p.Opts.MinVisibility)
+		inf.RootOrigins = p.Table.OriginsMinVisibility(rootPfx, p.Opts.MinVisibility)
+		if len(inf.RootOrigins) == 0 && !p.Opts.RootLookupExactOnly {
+			if cp, origins, ok := p.Table.CoveringOrigins(rootPfx); ok {
+				if p.Opts.MinVisibility <= 1 || p.Table.Visibility(cp) >= p.Opts.MinVisibility {
+					inf.RootOrigins = origins
+				}
+			}
+		}
+	}
+
+	// Step 5: classification (§5.2).
+	leafUp := len(inf.LeafOrigins) > 0
+	rootUp := len(inf.RootOrigins) > 0
+	switch {
+	case !leafUp && !rootUp:
+		inf.Category = Unused
+	case !leafUp && rootUp:
+		inf.Category = AggregatedCustomer
+	case leafUp && !rootUp:
+		if p.anyRelated(inf.LeafOrigins, inf.RootASNs) {
+			inf.Category = ISPCustomer
+		} else {
+			inf.Category = LeasedNoRootOrigin
+		}
+	default: // both announced
+		candidates := append(append([]uint32(nil), inf.RootASNs...), inf.RootOrigins...)
+		if p.anyRelated(inf.LeafOrigins, candidates) {
+			inf.Category = DelegatedCustomer
+		} else {
+			inf.Category = LeasedWithRootOrigin
+		}
+	}
+	return inf
+}
+
+func (p *Pipeline) anyRelated(origins, candidates []uint32) bool {
+	for _, o := range origins {
+		if p.relatedToAny(o, candidates) {
+			return true
+		}
+	}
+	return false
+}
+
+// SortInferences orders inferences by registry then prefix, for
+// deterministic output.
+func SortInferences(infs []Inference) {
+	sort.Slice(infs, func(i, j int) bool {
+		if infs[i].Registry != infs[j].Registry {
+			return infs[i].Registry < infs[j].Registry
+		}
+		return infs[i].Prefix.Compare(infs[j].Prefix) < 0
+	})
+}

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ipleasing/internal/as2org"
+	"ipleasing/internal/asrel"
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/whois"
+)
+
+func mp(s string) netutil.Prefix { return netutil.MustParsePrefix(s) }
+
+func rangeOf(s string) netutil.Range { return netutil.RangeOf(mp(s)) }
+
+// figure2World reproduces the paper's Figure 2 example plus one case per
+// classification group.
+func figure2World() *Pipeline {
+	ds := whois.NewDataset()
+	db := ds.DB(whois.RIPE)
+	db.Orgs = []*whois.Org{
+		{Registry: whois.RIPE, ID: "ORG-GCI1-RIPE", Name: "GCI Network", Country: "SE"},
+		{Registry: whois.RIPE, ID: "ORG-ISP1-RIPE", Name: "Example ISP"},
+	}
+	db.AutNums = []*whois.AutNum{
+		{Registry: whois.RIPE, Number: 8851, Name: "GCI-AS", OrgID: "ORG-GCI1-RIPE"},
+		{Registry: whois.RIPE, Number: 64496, Name: "ISP-AS", OrgID: "ORG-ISP1-RIPE"},
+	}
+	db.InetNums = []*whois.InetNum{
+		// Figure 2: the GCI root and its two leaves.
+		{Registry: whois.RIPE, Range: rangeOf("213.210.0.0/18"), Status: "ALLOCATED PA",
+			Portability: whois.Portable, OrgID: "ORG-GCI1-RIPE", MntBy: []string{"MNT-GCICOM"}, Country: "SE"},
+		{Registry: whois.RIPE, Range: rangeOf("213.210.33.0/24"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable, MntBy: []string{"IPXO-MNT"}, NetName: "IPXO-LEASE"},
+		{Registry: whois.RIPE, Range: rangeOf("213.210.2.0/23"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable, MntBy: []string{"MNT-GCICOM"}},
+		// ISP-customer scenario: root not announced, leaf announced by a
+		// customer of the holder's AS.
+		{Registry: whois.RIPE, Range: rangeOf("198.51.0.0/16"), Status: "ALLOCATED PA",
+			Portability: whois.Portable, OrgID: "ORG-ISP1-RIPE"},
+		{Registry: whois.RIPE, Range: rangeOf("198.51.7.0/24"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable, MntBy: []string{"MNT-CUST"}},
+		// Group-3 leased under the same root: origin unrelated.
+		{Registry: whois.RIPE, Range: rangeOf("198.51.9.0/24"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable, MntBy: []string{"BROKER-MNT"}},
+		// Unused leaf under the same root.
+		{Registry: whois.RIPE, Range: rangeOf("198.51.200.0/24"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable},
+		// Delegated customer: both announced, origins directly related.
+		{Registry: whois.RIPE, Range: rangeOf("192.0.0.0/20"), Status: "ALLOCATED PA",
+			Portability: whois.Portable, OrgID: "ORG-ISP1-RIPE"},
+		{Registry: whois.RIPE, Range: rangeOf("192.0.3.0/24"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable},
+		// Orphan non-portable block (no covering root).
+		{Registry: whois.RIPE, Range: rangeOf("203.0.113.0/24"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable},
+		// Legacy block: excluded from the tree entirely.
+		{Registry: whois.RIPE, Range: rangeOf("192.88.0.0/18"), Status: "LEGACY",
+			Portability: whois.Legacy},
+		// Hyper-specific (> /24): dropped.
+		{Registry: whois.RIPE, Range: rangeOf("198.51.7.128/25"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable},
+	}
+	db.Reindex()
+
+	var tbl bgp.Table
+	tbl.AddRoute(mp("213.210.0.0/18"), 8851)   // root announced by holder
+	tbl.AddRoute(mp("213.210.33.0/24"), 15169) // leased leaf announced by hosting AS
+	tbl.AddRoute(mp("198.51.7.0/24"), 64497)   // ISP customer leaf
+	tbl.AddRoute(mp("198.51.9.0/24"), 65550)   // leased leaf (no relation)
+	tbl.AddRoute(mp("192.0.0.0/20"), 64496)    // delegation root
+	tbl.AddRoute(mp("192.0.3.0/24"), 64499)    // delegated leaf (customer of 64496)
+
+	rel := asrel.New()
+	rel.AddP2C(64496, 64497) // ISP's customer
+	rel.AddP2C(64496, 64499) // delegated customer
+
+	orgs := as2org.New()
+	orgs.AddAS(8851, "GCI")
+	orgs.AddAS(15169, "GOOGLE")
+
+	return &Pipeline{Whois: ds, Table: &tbl, Rel: rel, Orgs: orgs}
+}
+
+func findInference(t *testing.T, res *Result, pfx string) Inference {
+	t.Helper()
+	for _, inf := range res.All() {
+		if inf.Prefix == mp(pfx) {
+			return inf
+		}
+	}
+	t.Fatalf("no inference for %s", pfx)
+	return Inference{}
+}
+
+func TestClassificationGroups(t *testing.T) {
+	p := figure2World()
+	res := p.Infer()
+
+	cases := []struct {
+		prefix string
+		want   Category
+	}{
+		{"213.210.33.0/24", LeasedWithRootOrigin}, // Figure 2's bold orange leaf
+		{"213.210.2.0/23", AggregatedCustomer},
+		{"198.51.7.0/24", ISPCustomer},
+		{"198.51.9.0/24", LeasedNoRootOrigin},
+		{"198.51.200.0/24", Unused},
+		{"192.0.3.0/24", DelegatedCustomer},
+		{"203.0.113.0/24", Orphan},
+	}
+	for _, c := range cases {
+		inf := findInference(t, res, c.prefix)
+		if inf.Category != c.want {
+			t.Errorf("%s: got %v, want %v", c.prefix, inf.Category, c.want)
+		}
+	}
+}
+
+func TestFigure2Roles(t *testing.T) {
+	res := figure2World().Infer()
+	inf := findInference(t, res, "213.210.33.0/24")
+	if inf.Root != mp("213.210.0.0/18") {
+		t.Fatalf("root = %v", inf.Root)
+	}
+	if inf.HolderOrg != "ORG-GCI1-RIPE" {
+		t.Fatalf("holder = %q", inf.HolderOrg)
+	}
+	if len(inf.RootASNs) != 1 || inf.RootASNs[0] != 8851 {
+		t.Fatalf("root ASNs = %v", inf.RootASNs)
+	}
+	if len(inf.RootOrigins) != 1 || inf.RootOrigins[0] != 8851 {
+		t.Fatalf("root origins = %v", inf.RootOrigins)
+	}
+	if inf.Originator() != 15169 {
+		t.Fatalf("originator = %d", inf.Originator())
+	}
+	if len(inf.Facilitators) != 1 || inf.Facilitators[0] != "IPXO-MNT" {
+		t.Fatalf("facilitators = %v", inf.Facilitators)
+	}
+	if inf.Country != "SE" { // inherited from root
+		t.Fatalf("country = %q", inf.Country)
+	}
+	unan := findInference(t, res, "198.51.200.0/24")
+	if unan.Originator() != 0 {
+		t.Fatal("unused leaf has an originator")
+	}
+}
+
+func TestHyperSpecificAndLegacyExcluded(t *testing.T) {
+	res := figure2World().Infer()
+	for _, inf := range res.All() {
+		if inf.Prefix == mp("198.51.7.128/25") {
+			t.Fatal("hyper-specific leaf classified")
+		}
+		if inf.Prefix == mp("192.88.0.0/18") {
+			t.Fatal("legacy block classified")
+		}
+	}
+}
+
+func TestRegionCountsAndTotals(t *testing.T) {
+	res := figure2World().Infer()
+	rr := res.Regions[whois.RIPE]
+	if rr.TotalLeaves != 6 { // 7 classified leaves minus 1 orphan
+		t.Fatalf("TotalLeaves = %d", rr.TotalLeaves)
+	}
+	if rr.Leased() != 2 {
+		t.Fatalf("Leased = %d", rr.Leased())
+	}
+	if rr.Counts[Orphan] != 1 {
+		t.Fatalf("orphans = %d", rr.Counts[Orphan])
+	}
+	if res.TotalBGPPrefixes != 6 {
+		t.Fatalf("TotalBGPPrefixes = %d", res.TotalBGPPrefixes)
+	}
+	if res.TotalLeased() != 2 {
+		t.Fatalf("TotalLeased = %d", res.TotalLeased())
+	}
+	if got := res.LeasedShareOfBGP(); got <= 0 || got >= 1 {
+		t.Fatalf("LeasedShareOfBGP = %f", got)
+	}
+	if res.LeasedAddressSpace() != 2*256 {
+		t.Fatalf("LeasedAddressSpace = %d", res.LeasedAddressSpace())
+	}
+	if len(res.LeasedInferences()) != 2 {
+		t.Fatal("LeasedInferences wrong")
+	}
+	if res.RoutedSpace == 0 {
+		t.Fatal("RoutedSpace = 0")
+	}
+}
+
+func TestSiblingExpansion(t *testing.T) {
+	// Vodafone scenario: leaf origin is a different ASN of the same org.
+	p := figure2World()
+	db := p.Whois.DB(whois.RIPE)
+	db.InetNums = append(db.InetNums, &whois.InetNum{
+		Registry: whois.RIPE, Range: rangeOf("198.51.44.0/24"), Status: "ASSIGNED PA",
+		Portability: whois.NonPortable,
+	})
+	db.Reindex()
+	p.Table.AddRoute(mp("198.51.44.0/24"), 64777) // unrelated in asrel...
+	p.Orgs.AddAS(64777, "ORG-SAME")
+	p.Orgs.AddAS(64496, "ORG-SAME") // ...but a sibling of the holder's AS
+
+	res := p.Infer()
+	if got := findInference(t, res, "198.51.44.0/24").Category; got != ISPCustomer {
+		t.Fatalf("sibling leaf = %v, want ISPCustomer", got)
+	}
+
+	// Ablation: without sibling expansion it becomes a false lease,
+	// exactly the paper's Vodafone false-positive mechanism (§6.2).
+	p.Opts.DisableSiblingExpansion = true
+	res = p.Infer()
+	if got := findInference(t, res, "198.51.44.0/24").Category; got != LeasedNoRootOrigin {
+		t.Fatalf("ablated sibling leaf = %v, want LeasedNoRootOrigin", got)
+	}
+}
+
+func TestRootCoveringLookup(t *testing.T) {
+	// Root 10.0.0.0/16 is announced only as part of the aggregate
+	// 10.0.0.0/15 (the holder aggregated two consecutive allocations).
+	ds := whois.NewDataset()
+	db := ds.DB(whois.RIPE)
+	db.Orgs = []*whois.Org{{Registry: whois.RIPE, ID: "ORG-A", Name: "A"}}
+	db.AutNums = []*whois.AutNum{{Registry: whois.RIPE, Number: 64500, OrgID: "ORG-A"}}
+	db.InetNums = []*whois.InetNum{
+		{Registry: whois.RIPE, Range: rangeOf("10.0.0.0/16"), Status: "ALLOCATED PA",
+			Portability: whois.Portable, OrgID: "ORG-A"},
+		{Registry: whois.RIPE, Range: rangeOf("10.0.5.0/24"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable},
+	}
+	db.Reindex()
+	var tbl bgp.Table
+	tbl.AddRoute(mp("10.0.0.0/15"), 64500) // aggregate announcement only
+	p := &Pipeline{Whois: ds, Table: &tbl, Rel: asrel.New(), Orgs: as2org.New()}
+
+	res := p.Infer()
+	if got := findInference(t, res, "10.0.5.0/24").Category; got != AggregatedCustomer {
+		t.Fatalf("with covering lookup = %v, want AggregatedCustomer", got)
+	}
+
+	// Ablation: exact-only root lookup misses the aggregate and the leaf
+	// degrades to Unused.
+	p.Opts.RootLookupExactOnly = true
+	res = p.Infer()
+	if got := findInference(t, res, "10.0.5.0/24").Category; got != Unused {
+		t.Fatalf("exact-only = %v, want Unused", got)
+	}
+}
+
+func TestMultiPrefixLeafRange(t *testing.T) {
+	// A leaf registered as a non-CIDR range becomes several leaf
+	// prefixes, each classified separately (the paper counts prefixes).
+	ds := whois.NewDataset()
+	db := ds.DB(whois.RIPE)
+	db.InetNums = []*whois.InetNum{
+		{Registry: whois.RIPE, Range: rangeOf("10.0.0.0/16"), Status: "ALLOCATED PA",
+			Portability: whois.Portable, OrgID: "ORG-A"},
+		{Registry: whois.RIPE, Range: netutil.Range{
+			First: netutil.MustParseAddr("10.0.1.0"),
+			Last:  netutil.MustParseAddr("10.0.3.255"), // /24 + /23
+		}, Status: "ASSIGNED PA", Portability: whois.NonPortable},
+	}
+	db.Reindex()
+	var tbl bgp.Table
+	p := &Pipeline{Whois: ds, Table: &tbl}
+	res := p.Infer()
+	if got := res.Regions[whois.RIPE].TotalLeaves; got != 2 {
+		t.Fatalf("TotalLeaves = %d, want 2 (one per CIDR piece)", got)
+	}
+}
+
+// TestMinVisibility: single-peer announcements are discounted under the
+// §7 vantage-point-bias sensitivity option.
+func TestMinVisibility(t *testing.T) {
+	ds := whois.NewDataset()
+	db := ds.DB(whois.RIPE)
+	db.InetNums = []*whois.InetNum{
+		{Registry: whois.RIPE, Range: rangeOf("10.0.0.0/16"), Status: "ALLOCATED PA",
+			Portability: whois.Portable, OrgID: "ORG-A"},
+		{Registry: whois.RIPE, Range: rangeOf("10.0.1.0/24"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable},
+	}
+	db.Reindex()
+	var tbl bgp.Table
+	tbl.AddRoute(mp("10.0.1.0/24"), 65010) // leaf seen by one peer only
+	p := &Pipeline{Whois: ds, Table: &tbl}
+
+	res := p.Infer()
+	if got := findInference(t, res, "10.0.1.0/24").Category; got != LeasedNoRootOrigin {
+		t.Fatalf("default = %v", got)
+	}
+	p.Opts.MinVisibility = 2
+	res = p.Infer()
+	if got := findInference(t, res, "10.0.1.0/24").Category; got != Unused {
+		t.Fatalf("min-vis 2 = %v, want Unused (announcement discounted)", got)
+	}
+	// A well-seen announcement survives the filter.
+	tbl.AddRoute(mp("10.0.1.0/24"), 65010)
+	res = p.Infer()
+	if got := findInference(t, res, "10.0.1.0/24").Category; got != LeasedNoRootOrigin {
+		t.Fatalf("min-vis 2 with 2 peers = %v", got)
+	}
+}
+
+// TestMultihomingLimitation documents the paper's §7 limitation: a
+// customer that announces its delegated prefix through a second,
+// unrelated upstream — with the provider relationship invisible in the
+// AS-relationship data — is inferred leased even though it is a
+// legitimate multihomed customer. The methodology cannot distinguish
+// this case without reactive measurement.
+func TestMultihomingLimitation(t *testing.T) {
+	ds := whois.NewDataset()
+	db := ds.DB(whois.RIPE)
+	db.Orgs = []*whois.Org{{Registry: whois.RIPE, ID: "ORG-ISP", Name: "ISP"}}
+	db.AutNums = []*whois.AutNum{{Registry: whois.RIPE, Number: 64500, OrgID: "ORG-ISP"}}
+	db.InetNums = []*whois.InetNum{
+		{Registry: whois.RIPE, Range: rangeOf("10.0.0.0/16"), Status: "ALLOCATED PA",
+			Portability: whois.Portable, OrgID: "ORG-ISP"},
+		{Registry: whois.RIPE, Range: rangeOf("10.0.9.0/24"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable},
+	}
+	db.Reindex()
+	var tbl bgp.Table
+	tbl.AddRoute(mp("10.0.0.0/16"), 64500)
+	// The multihomed customer's own AS announces the leaf. Its p2c
+	// relationship with AS64500 exists in reality but is missing from
+	// the relationship dataset (a known data gap).
+	tbl.AddRoute(mp("10.0.9.0/24"), 65010)
+	p := &Pipeline{Whois: ds, Table: &tbl, Rel: asrel.New(), Orgs: as2org.New()}
+	res := p.Infer()
+	inf := findInference(t, res, "10.0.9.0/24")
+	if inf.Category != LeasedWithRootOrigin {
+		t.Fatalf("multihomed customer = %v; the documented limitation expects a false lease", inf.Category)
+	}
+	// Once the relationship is observed, the same leaf is a delegated
+	// customer.
+	p.Rel.AddP2C(64500, 65010)
+	res = p.Infer()
+	if got := findInference(t, res, "10.0.9.0/24").Category; got != DelegatedCustomer {
+		t.Fatalf("with observed relationship = %v", got)
+	}
+}
+
+func TestCategoryHelpers(t *testing.T) {
+	if !LeasedNoRootOrigin.Leased() || !LeasedWithRootOrigin.Leased() || Unused.Leased() {
+		t.Fatal("Leased() wrong")
+	}
+	groups := map[Category]int{
+		Unused: 1, AggregatedCustomer: 2, ISPCustomer: 3, LeasedNoRootOrigin: 3,
+		DelegatedCustomer: 4, LeasedWithRootOrigin: 4, Orphan: 0,
+	}
+	for c, g := range groups {
+		if c.Group() != g {
+			t.Errorf("%v.Group() = %d, want %d", c, c.Group(), g)
+		}
+	}
+	if Category(99).String() != "invalid" {
+		t.Fatal("invalid category name")
+	}
+}
+
+func TestRelatedNilGraphs(t *testing.T) {
+	p := &Pipeline{}
+	if !p.Related(5, 5) {
+		t.Fatal("self not related")
+	}
+	if p.Related(5, 6) {
+		t.Fatal("related with nil graphs")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	res := figure2World().Infer()
+	infs := res.All()
+	SortInferences(infs)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, infs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(infs) {
+		t.Fatalf("round trip count %d != %d", len(back), len(infs))
+	}
+	for i := range infs {
+		a, b := infs[i], back[i]
+		if a.Registry != b.Registry || a.Prefix != b.Prefix || a.Category != b.Category ||
+			a.HolderOrg != b.HolderOrg || len(a.LeafOrigins) != len(b.LeafOrigins) ||
+			len(a.Facilitators) != len(b.Facilitators) {
+			t.Fatalf("inference %d: %+v != %+v", i, a, b)
+		}
+		for j := range a.LeafOrigins {
+			if a.LeafOrigins[j] != b.LeafOrigins[j] {
+				t.Fatalf("inference %d leaf origins differ", i)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, bad := range []string{
+		"onlyonefield\n",
+		"NOPE,1.2.3.0/24,unused,1,false,,,,,,,,\n",
+		"RIPE,garbage,unused,1,false,,,,,,,,\n",
+		"RIPE,1.2.3.0/24,badcat,1,false,,,,,,,,\n",
+		"RIPE,1.2.3.0/24,unused,1,false,,,x;y,,,,,\n",
+	} {
+		if _, err := ReadCSV(bytes.NewBufferString(bad)); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded", bad)
+		}
+	}
+}
+
+func BenchmarkInferFigure2(b *testing.B) {
+	p := figure2World()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Infer()
+	}
+}

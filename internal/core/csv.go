@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/whois"
+)
+
+// csvHeader is the column layout of the inference CSV export.
+const csvHeader = "registry,prefix,category,group,leased,root,holder_org,root_asns,root_origins,leaf_origins,facilitators,netname,country"
+
+func joinASNs(asns []uint32) string {
+	if len(asns) == 0 {
+		return ""
+	}
+	parts := make([]string, len(asns))
+	for i, a := range asns {
+		parts[i] = strconv.FormatUint(uint64(a), 10)
+	}
+	return strings.Join(parts, ";")
+}
+
+func splitASNs(s string) ([]uint32, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	out := make([]uint32, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad ASN %q", p)
+		}
+		out = append(out, uint32(v))
+	}
+	return out, nil
+}
+
+// WriteCSV exports inferences in a stable line format, one per leaf.
+func WriteCSV(w io.Writer, infs []Inference) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, csvHeader); err != nil {
+		return err
+	}
+	for _, inf := range infs {
+		root := ""
+		if inf.Category != Orphan {
+			root = inf.Root.String()
+		}
+		_, err := fmt.Fprintf(bw, "%s,%s,%s,%d,%t,%s,%s,%s,%s,%s,%s,%s,%s\n",
+			inf.Registry, inf.Prefix, inf.Category, inf.Category.Group(),
+			inf.Category.Leased(), root, inf.HolderOrg,
+			joinASNs(inf.RootASNs), joinASNs(inf.RootOrigins), joinASNs(inf.LeafOrigins),
+			strings.Join(inf.Facilitators, ";"),
+			strings.ReplaceAll(inf.NetName, ",", " "), inf.Country)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// parseCategory recovers a Category from its String form.
+func parseCategory(s string) (Category, error) {
+	for c := Category(0); c < numCategories; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown category %q", s)
+}
+
+// ReadCSV parses the export written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Inference, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var out []Inference
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line == csvHeader || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) != 13 {
+			return nil, fmt.Errorf("core: line %d: want 13 fields, got %d", lineNum, len(f))
+		}
+		reg, err := whois.ParseRegistry(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %v", lineNum, err)
+		}
+		pfx, err := netutil.ParsePrefix(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %v", lineNum, err)
+		}
+		cat, err := parseCategory(f[2])
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %v", lineNum, err)
+		}
+		inf := Inference{Registry: reg, Prefix: pfx, Category: cat, HolderOrg: f[6], NetName: f[11], Country: f[12]}
+		if f[5] != "" {
+			if inf.Root, err = netutil.ParsePrefix(f[5]); err != nil {
+				return nil, fmt.Errorf("core: line %d: %v", lineNum, err)
+			}
+		}
+		if inf.RootASNs, err = splitASNs(f[7]); err != nil {
+			return nil, fmt.Errorf("core: line %d: %v", lineNum, err)
+		}
+		if inf.RootOrigins, err = splitASNs(f[8]); err != nil {
+			return nil, fmt.Errorf("core: line %d: %v", lineNum, err)
+		}
+		if inf.LeafOrigins, err = splitASNs(f[9]); err != nil {
+			return nil, fmt.Errorf("core: line %d: %v", lineNum, err)
+		}
+		if f[10] != "" {
+			inf.Facilitators = strings.Split(f[10], ";")
+		}
+		out = append(out, inf)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

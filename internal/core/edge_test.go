@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"ipleasing/internal/as2org"
+	"ipleasing/internal/asrel"
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/whois"
+)
+
+// TestMOASLeaf: a leaf announced by multiple origins is leased only if
+// none of them is related to the holder; one related origin is enough to
+// keep it a customer.
+func TestMOASLeaf(t *testing.T) {
+	ds := whois.NewDataset()
+	db := ds.DB(whois.RIPE)
+	db.Orgs = []*whois.Org{{Registry: whois.RIPE, ID: "ORG-H", Name: "H"}}
+	db.AutNums = []*whois.AutNum{{Registry: whois.RIPE, Number: 64500, OrgID: "ORG-H"}}
+	db.InetNums = []*whois.InetNum{
+		{Registry: whois.RIPE, Range: rangeOf("10.0.0.0/16"), Status: "ALLOCATED PA",
+			Portability: whois.Portable, OrgID: "ORG-H"},
+		{Registry: whois.RIPE, Range: rangeOf("10.0.1.0/24"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable},
+		{Registry: whois.RIPE, Range: rangeOf("10.0.2.0/24"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable},
+	}
+	db.Reindex()
+	var tbl bgp.Table
+	// Leaf 1: MOAS with one origin related (the holder's own AS).
+	tbl.AddRoute(mp("10.0.1.0/24"), 65001)
+	tbl.AddRoute(mp("10.0.1.0/24"), 64500)
+	// Leaf 2: MOAS with no related origin.
+	tbl.AddRoute(mp("10.0.2.0/24"), 65001)
+	tbl.AddRoute(mp("10.0.2.0/24"), 65002)
+
+	p := &Pipeline{Whois: ds, Table: &tbl, Rel: asrel.New(), Orgs: as2org.New()}
+	res := p.Infer()
+	if got := findInference(t, res, "10.0.1.0/24").Category; got != ISPCustomer {
+		t.Fatalf("related MOAS = %v", got)
+	}
+	if got := findInference(t, res, "10.0.2.0/24").Category; got != LeasedNoRootOrigin {
+		t.Fatalf("unrelated MOAS = %v", got)
+	}
+	inf := findInference(t, res, "10.0.2.0/24")
+	if len(inf.LeafOrigins) != 2 {
+		t.Fatalf("MOAS origins = %v", inf.LeafOrigins)
+	}
+}
+
+// TestDuplicateRegistrations: when two WHOIS objects cover the same
+// prefix, the first registration wins and the tree stays consistent.
+func TestDuplicateRegistrations(t *testing.T) {
+	ds := whois.NewDataset()
+	db := ds.DB(whois.RIPE)
+	db.InetNums = []*whois.InetNum{
+		{Registry: whois.RIPE, Range: rangeOf("10.0.0.0/16"), Status: "ALLOCATED PA",
+			Portability: whois.Portable, OrgID: "ORG-FIRST"},
+		{Registry: whois.RIPE, Range: rangeOf("10.0.0.0/16"), Status: "ALLOCATED PA",
+			Portability: whois.Portable, OrgID: "ORG-SECOND"}, // duplicate
+		{Registry: whois.RIPE, Range: rangeOf("10.0.3.0/24"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable},
+	}
+	db.Reindex()
+	var tbl bgp.Table
+	p := &Pipeline{Whois: ds, Table: &tbl}
+	res := p.Infer()
+	inf := findInference(t, res, "10.0.3.0/24")
+	if inf.HolderOrg != "ORG-FIRST" {
+		t.Fatalf("holder = %q, want first registration", inf.HolderOrg)
+	}
+	if res.Regions[whois.RIPE].TotalLeaves != 1 {
+		t.Fatalf("TotalLeaves = %d", res.Regions[whois.RIPE].TotalLeaves)
+	}
+}
+
+// TestZeroLenPrefixLeafRejected: a /0 registration cannot crash the
+// pipeline; it simply becomes a (weird) root.
+func TestExtremePrefixes(t *testing.T) {
+	ds := whois.NewDataset()
+	db := ds.DB(whois.RIPE)
+	db.InetNums = []*whois.InetNum{
+		{Registry: whois.RIPE, Range: netutil.Range{First: 0, Last: 0xffffffff},
+			Status: "ALLOCATED PA", Portability: whois.Portable, OrgID: "ORG-ALL"},
+		{Registry: whois.RIPE, Range: rangeOf("10.0.0.0/24"), Status: "ASSIGNED PA",
+			Portability: whois.NonPortable},
+	}
+	db.Reindex()
+	var tbl bgp.Table
+	p := &Pipeline{Whois: ds, Table: &tbl}
+	res := p.Infer()
+	inf := findInference(t, res, "10.0.0.0/24")
+	if inf.Category != Unused || inf.Root != (netutil.Prefix{}) {
+		t.Fatalf("leaf under /0 root: %+v", inf)
+	}
+}
+
+// TestResultHelpersEmpty covers the aggregate helpers on empty results.
+func TestResultHelpersEmpty(t *testing.T) {
+	res := &Result{Regions: map[whois.Registry]*RegionResult{}}
+	if res.TotalLeased() != 0 || res.LeasedShareOfBGP() != 0 ||
+		res.LeasedAddressSpace() != 0 || len(res.All()) != 0 ||
+		len(res.LeasedInferences()) != 0 {
+		t.Fatal("empty result helpers non-zero")
+	}
+}

@@ -1,0 +1,231 @@
+// Package ecosystem computes the paper's §6.3 leasing-ecosystem analyses:
+// the top IP holders per registry (Table 3), the top facilitators and
+// originators of leased prefixes, and the overlap between lease
+// originators and serial BGP hijackers.
+package ecosystem
+
+import (
+	"sort"
+
+	"ipleasing/internal/as2org"
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/core"
+	"ipleasing/internal/hijack"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/whois"
+)
+
+// OrgCount is a ranked organisation (holder or facilitator).
+type OrgCount struct {
+	ID    string // org handle or maintainer handle
+	Name  string // display name when resolvable
+	Count int    // leased prefixes attributed to it
+	// Countries is the number of distinct countries the organisation's
+	// leases are registered in (holders only; the paper notes e.g.
+	// Cyber Assets FZCO leasing into 44 countries).
+	Countries int
+}
+
+// ASNCount is a ranked originator.
+type ASNCount struct {
+	ASN   uint32
+	Name  string
+	Count int
+}
+
+// TopHolders ranks IP holders by leased-prefix count per registry
+// (Table 3). n limits each registry's list (0 = all).
+func TopHolders(res *core.Result, ds *whois.Dataset, n int) map[whois.Registry][]OrgCount {
+	out := make(map[whois.Registry][]OrgCount)
+	for reg, rr := range res.Regions {
+		counts := make(map[string]int)
+		countries := make(map[string]map[string]bool)
+		for _, inf := range rr.Inferences {
+			if inf.Category.Leased() && inf.HolderOrg != "" {
+				counts[inf.HolderOrg]++
+				if inf.Country != "" {
+					if countries[inf.HolderOrg] == nil {
+						countries[inf.HolderOrg] = make(map[string]bool)
+					}
+					countries[inf.HolderOrg][inf.Country] = true
+				}
+			}
+		}
+		ranked := rankOrgs(counts, n)
+		for i := range ranked {
+			ranked[i].Countries = len(countries[ranked[i].ID])
+			if db, ok := ds.DBs[reg]; ok {
+				if org, ok := db.OrgByID(ranked[i].ID); ok {
+					ranked[i].Name = org.Name
+				}
+			}
+		}
+		out[reg] = ranked
+	}
+	return out
+}
+
+// TopFacilitators ranks leaf maintainers of leased prefixes per registry.
+// When ds is non-nil, maintainer handles are resolved to the names of the
+// organisations referencing them (e.g. a broker's mnt handle becomes the
+// broker's registered name).
+func TopFacilitators(res *core.Result, ds *whois.Dataset, n int) map[whois.Registry][]OrgCount {
+	names := make(map[string]string)
+	if ds != nil {
+		for _, db := range ds.DBs {
+			for _, org := range db.Orgs {
+				for _, m := range org.MntRef {
+					if _, taken := names[m]; !taken {
+						names[m] = org.Name
+					}
+				}
+			}
+		}
+	}
+	out := make(map[whois.Registry][]OrgCount)
+	for reg, rr := range res.Regions {
+		counts := make(map[string]int)
+		for _, inf := range rr.Inferences {
+			if !inf.Category.Leased() {
+				continue
+			}
+			for _, m := range inf.Facilitators {
+				counts[m]++
+			}
+		}
+		ranked := rankOrgs(counts, n)
+		for i := range ranked {
+			if name, ok := names[ranked[i].ID]; ok && name != "" {
+				ranked[i].Name = name
+			}
+		}
+		out[reg] = ranked
+	}
+	return out
+}
+
+func rankOrgs(counts map[string]int, n int) []OrgCount {
+	ranked := make([]OrgCount, 0, len(counts))
+	for id, c := range counts {
+		ranked = append(ranked, OrgCount{ID: id, Name: id, Count: c})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Count != ranked[j].Count {
+			return ranked[i].Count > ranked[j].Count
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	if n > 0 && len(ranked) > n {
+		ranked = ranked[:n]
+	}
+	return ranked
+}
+
+// TopOriginators ranks origin ASes of leased prefixes globally.
+func TopOriginators(res *core.Result, orgs *as2org.Map, n int) []ASNCount {
+	counts := make(map[uint32]int)
+	for _, inf := range res.LeasedInferences() {
+		if o := inf.Originator(); o != 0 {
+			counts[o]++
+		}
+	}
+	ranked := make([]ASNCount, 0, len(counts))
+	for asn, c := range counts {
+		name := ""
+		if orgs != nil {
+			if org, ok := orgs.OrgOf(asn); ok {
+				name = orgs.OrgName(org)
+			}
+		}
+		ranked = append(ranked, ASNCount{ASN: asn, Name: name, Count: c})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Count != ranked[j].Count {
+			return ranked[i].Count > ranked[j].Count
+		}
+		return ranked[i].ASN < ranked[j].ASN
+	})
+	if n > 0 && len(ranked) > n {
+		ranked = ranked[:n]
+	}
+	return ranked
+}
+
+// HijackerOverlap is the §6.3 serial-hijacker correlation.
+type HijackerOverlap struct {
+	Originators          int // distinct origin ASes of leased prefixes
+	HijackerOriginators  int // of those, on the serial-hijacker list
+	LeasedTotal          int
+	LeasedByHijackers    int // leased prefixes originated by hijackers
+	NonLeasedTotal       int
+	NonLeasedByHijackers int
+}
+
+// OriginatorHijackerShare returns HijackerOriginators / Originators.
+func (h HijackerOverlap) OriginatorHijackerShare() float64 {
+	if h.Originators == 0 {
+		return 0
+	}
+	return float64(h.HijackerOriginators) / float64(h.Originators)
+}
+
+// LeasedHijackedShare returns LeasedByHijackers / LeasedTotal.
+func (h HijackerOverlap) LeasedHijackedShare() float64 {
+	if h.LeasedTotal == 0 {
+		return 0
+	}
+	return float64(h.LeasedByHijackers) / float64(h.LeasedTotal)
+}
+
+// NonLeasedHijackedShare returns NonLeasedByHijackers / NonLeasedTotal.
+func (h HijackerOverlap) NonLeasedHijackedShare() float64 {
+	if h.NonLeasedTotal == 0 {
+		return 0
+	}
+	return float64(h.NonLeasedByHijackers) / float64(h.NonLeasedTotal)
+}
+
+// OverlapHijackers computes the hijacker correlation: leased prefixes come
+// from the inference result; non-leased prefixes are every other announced
+// prefix in the table.
+func OverlapHijackers(res *core.Result, table *bgp.Table, hj *hijack.Set) HijackerOverlap {
+	var out HijackerOverlap
+	leasedSet := make(map[netutil.Prefix]bool)
+	origins := make(map[uint32]bool)
+	for _, inf := range res.LeasedInferences() {
+		leasedSet[inf.Prefix] = true
+		out.LeasedTotal++
+		hijacked := false
+		for _, o := range inf.LeafOrigins {
+			origins[o] = true
+			if hj.Contains(o) {
+				hijacked = true
+			}
+		}
+		if hijacked {
+			out.LeasedByHijackers++
+		}
+	}
+	out.Originators = len(origins)
+	for o := range origins {
+		if hj.Contains(o) {
+			out.HijackerOriginators++
+		}
+	}
+	if table != nil {
+		table.Walk(func(p netutil.Prefix, porigins []uint32) bool {
+			if leasedSet[p] {
+				return true
+			}
+			out.NonLeasedTotal++
+			for _, o := range porigins {
+				if hj.Contains(o) {
+					out.NonLeasedByHijackers++
+					break
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

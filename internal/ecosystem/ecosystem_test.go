@@ -1,0 +1,128 @@
+package ecosystem
+
+import (
+	"strings"
+	"testing"
+
+	"ipleasing/internal/core"
+	"ipleasing/internal/synth"
+	"ipleasing/internal/whois"
+)
+
+func world(t *testing.T) (*synth.World, *core.Result) {
+	t.Helper()
+	w := synth.Generate(synth.Config{Seed: 21, Scale: 0.01})
+	return w, w.Pipeline().Infer()
+}
+
+func TestTopHoldersTable3Shape(t *testing.T) {
+	w, res := world(t)
+	top := TopHolders(res, w.Whois, 3)
+	for _, reg := range whois.Registries {
+		if len(top[reg]) != 3 {
+			t.Fatalf("%v: top holders = %d", reg, len(top[reg]))
+		}
+		// Ranked descending with resolved display names.
+		if top[reg][0].Count < top[reg][1].Count || top[reg][1].Count < top[reg][2].Count {
+			t.Errorf("%v: not descending: %+v", reg, top[reg])
+		}
+	}
+	// The named Table-3 holders must appear at the top of their regions.
+	expectTop := map[whois.Registry]string{
+		whois.RIPE:    "Resilans",
+		whois.ARIN:    "EGIHosting",
+		whois.AFRINIC: "Cloud Innovation",
+	}
+	for reg, frag := range expectTop {
+		if !strings.Contains(top[reg][0].Name, frag) {
+			t.Errorf("%v top holder = %q, want %q-ish", reg, top[reg][0].Name, frag)
+		}
+	}
+	// Cloud Innovation must dwarf AFRINIC's #2 (paper: 2,014 vs 38).
+	af := top[whois.AFRINIC]
+	if af[0].Count < 5*af[1].Count {
+		t.Errorf("AFRINIC dominance missing: %d vs %d", af[0].Count, af[1].Count)
+	}
+}
+
+func TestTopFacilitatorsIPXO(t *testing.T) {
+	_, res := world(t)
+	top := TopFacilitators(res, nil, 3)
+	// IPXO's maintainer must rank top-3 in RIPE, ARIN and APNIC (§6.3).
+	ipxoHandle := ""
+	for _, f := range top[whois.RIPE] {
+		if strings.HasPrefix(f.ID, "BRK1-") {
+			ipxoHandle = f.ID
+		}
+	}
+	if ipxoHandle == "" {
+		t.Fatalf("IPXO handle not in RIPE top-3: %+v", top[whois.RIPE])
+	}
+	for _, reg := range []whois.Registry{whois.ARIN, whois.APNIC} {
+		found := false
+		for _, f := range top[reg] {
+			if f.ID == ipxoHandle {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("IPXO not top-3 facilitator in %v: %+v", reg, top[reg])
+		}
+	}
+}
+
+func TestTopOriginatorsNamedHosts(t *testing.T) {
+	w, res := world(t)
+	top := TopOriginators(res, w.Orgs, 5)
+	if len(top) != 5 {
+		t.Fatalf("top originators = %d", len(top))
+	}
+	names := make([]string, 0, 5)
+	for _, o := range top {
+		names = append(names, o.Name)
+	}
+	joined := strings.Join(names, ";")
+	hits := 0
+	for _, want := range []string{"M247", "Stark", "Datacamp"} {
+		if strings.Contains(joined, want) {
+			hits++
+		}
+	}
+	if hits < 2 {
+		t.Errorf("named hosting providers missing from top-5: %v", names)
+	}
+}
+
+func TestHijackerOverlapShape(t *testing.T) {
+	w, res := world(t)
+	ov := OverlapHijackers(res, w.Table(), w.Hijackers)
+	if ov.Originators == 0 || ov.LeasedTotal == 0 || ov.NonLeasedTotal == 0 {
+		t.Fatalf("degenerate overlap: %+v", ov)
+	}
+	// Leased prefixes are markedly more hijacker-originated (paper:
+	// 13.3% vs 3.1%).
+	ls, ns := ov.LeasedHijackedShare(), ov.NonLeasedHijackedShare()
+	if ls < 2*ns {
+		t.Errorf("hijacker shares: leased %.3f vs non-leased %.3f, want clear gap", ls, ns)
+	}
+	if ls < 0.05 || ls > 0.25 {
+		t.Errorf("leased hijacked share = %.3f, want ~0.133", ls)
+	}
+	if s := ov.OriginatorHijackerShare(); s <= 0 || s > 0.2 {
+		t.Errorf("originator hijacker share = %.3f, want ~0.029", s)
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	res := &core.Result{Regions: map[whois.Registry]*core.RegionResult{}}
+	if got := TopHolders(res, whois.NewDataset(), 3); len(got) != 0 {
+		t.Fatal("holders from empty result")
+	}
+	if got := TopOriginators(res, nil, 3); len(got) != 0 {
+		t.Fatal("originators from empty result")
+	}
+	var zero HijackerOverlap
+	if zero.OriginatorHijackerShare() != 0 || zero.LeasedHijackedShare() != 0 || zero.NonLeasedHijackedShare() != 0 {
+		t.Fatal("zero-division guards missing")
+	}
+}

@@ -1,0 +1,250 @@
+// Package eval curates the reference dataset of the paper's §5.3 and
+// scores inference results against it (§6.2, Table 2).
+//
+// Positives come from RIR-registered IP brokers: broker names are matched
+// to WHOIS organisations (exactly or fuzzily), the organisations'
+// maintainer handles are collected, and every address block carrying one
+// of those maintainers becomes a broker-managed prefix. Blocks known not
+// to be leased (brokers that also act as ISPs) are excluded via a manual
+// curation list. Negatives are the announced prefixes maintained by five
+// residential ISPs.
+package eval
+
+import (
+	"sort"
+
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/brokers"
+	"ipleasing/internal/core"
+	"ipleasing/internal/metrics"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/whois"
+)
+
+// ISPRef names one negative-set ISP.
+type ISPRef struct {
+	Registry whois.Registry
+	Name     string
+}
+
+// Inputs are the datasets the curation step consumes.
+type Inputs struct {
+	Whois      *whois.Dataset
+	Table      *bgp.Table
+	Brokers    *brokers.List
+	Exclusions []netutil.Prefix // broker-managed but not leased (manual filter)
+	ISPs       []ISPRef
+	// MaxPrefixLen drops hyper-specifics, mirroring the inference tree.
+	// 0 means 24.
+	MaxPrefixLen uint8
+}
+
+func (in Inputs) maxLen() uint8 {
+	if in.MaxPrefixLen == 0 {
+		return 24
+	}
+	return in.MaxPrefixLen
+}
+
+// Reference is the curated evaluation dataset.
+type Reference struct {
+	Positives []netutil.Prefix // broker-managed, believed leased
+	Negatives []netutil.Prefix // ISP-managed, announced, believed non-leased
+
+	// Curation statistics, for the §6.2 narrative.
+	BrokersExact      int // brokers matched to orgs by identical key
+	BrokersFuzzy      int // matched through name variations
+	BrokersUnmatched  int // absent from the databases
+	MaintainerHandles int // distinct maintainer handles collected
+	BrokerPrefixes    int // broker-managed prefixes before filtering
+	Excluded          int // prefixes removed by the manual filter
+}
+
+// Curate builds the reference dataset.
+func Curate(in Inputs) *Reference {
+	ref := &Reference{}
+	excluded := make(map[netutil.Prefix]bool, len(in.Exclusions))
+	for _, p := range in.Exclusions {
+		excluded[p] = true
+	}
+
+	seenBroker := make(map[string]brokers.MatchKind) // broker name → best match
+	handlesByReg := make(map[whois.Registry]map[string]bool)
+
+	for _, reg := range whois.Registries {
+		db, ok := in.Whois.DBs[reg]
+		if !ok {
+			continue
+		}
+		handles := make(map[string]bool)
+		for _, m := range brokers.MatchOrgs(in.Brokers, db) {
+			if k, seen := seenBroker[m.Broker.Name]; !seen || m.Kind > k {
+				seenBroker[m.Broker.Name] = m.Kind
+			}
+			for _, h := range m.Org.MntRef {
+				handles[h] = true
+			}
+		}
+		handlesByReg[reg] = handles
+		ref.MaintainerHandles += len(handles)
+	}
+	for _, b := range in.Brokers.Brokers {
+		switch seenBroker[b.Name] {
+		case brokers.ExactMatch:
+			ref.BrokersExact++
+		case brokers.FuzzyMatch:
+			ref.BrokersFuzzy++
+		default:
+			ref.BrokersUnmatched++
+		}
+	}
+
+	// Broker-managed prefixes → positives after the manual filter.
+	for _, reg := range whois.Registries {
+		db, ok := in.Whois.DBs[reg]
+		if !ok {
+			continue
+		}
+		handles := handlesByReg[reg]
+		if len(handles) == 0 {
+			continue
+		}
+		for _, inet := range db.InetNums {
+			if !anyHandle(inet.MntBy, handles) {
+				continue
+			}
+			for _, p := range inet.Prefixes() {
+				if p.Len > in.maxLen() {
+					continue
+				}
+				ref.BrokerPrefixes++
+				if excluded[p] {
+					ref.Excluded++
+					continue
+				}
+				ref.Positives = append(ref.Positives, p)
+			}
+		}
+	}
+
+	// ISP negatives: maintained by the ISP's org handles and announced.
+	for _, isp := range in.ISPs {
+		db, ok := in.Whois.DBs[isp.Registry]
+		if !ok {
+			continue
+		}
+		handles := make(map[string]bool)
+		for _, org := range db.Orgs {
+			if brokers.Match(isp.Name, org.Name) == brokers.ExactMatch {
+				for _, h := range org.MntRef {
+					handles[h] = true
+				}
+			}
+		}
+		if len(handles) == 0 {
+			continue
+		}
+		for _, inet := range db.InetNums {
+			if inet.Portability != whois.NonPortable || !anyHandle(inet.MntBy, handles) {
+				continue
+			}
+			for _, p := range inet.Prefixes() {
+				if p.Len > in.maxLen() {
+					continue
+				}
+				if in.Table != nil && !in.Table.HasPrefix(p) {
+					continue // negatives must be originated in BGP
+				}
+				ref.Negatives = append(ref.Negatives, p)
+			}
+		}
+	}
+	netutil.SortPrefixes(ref.Positives)
+	netutil.SortPrefixes(ref.Negatives)
+	return ref
+}
+
+func anyHandle(mnts []string, handles map[string]bool) bool {
+	for _, m := range mnts {
+		if handles[m] {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the total number of validated prefixes.
+func (r *Reference) Size() int { return len(r.Positives) + len(r.Negatives) }
+
+// Outcome details one scored prefix, for error analysis.
+type Outcome struct {
+	Prefix   netutil.Prefix
+	Actual   bool // true = actually leased (positive label)
+	Inferred bool
+	Category core.Category // inferred category; Orphan-like zero if absent
+	InOutput bool          // false when the inference never saw the prefix (legacy)
+}
+
+// Evaluation is the scored result.
+type Evaluation struct {
+	Confusion metrics.Confusion
+	Outcomes  []Outcome
+}
+
+// FalseNegativesByCategory breaks down FNs by inferred category, with
+// "absent" (legacy) counted under Orphan.
+func (e *Evaluation) FalseNegativesByCategory() map[core.Category]int {
+	out := make(map[core.Category]int)
+	for _, o := range e.Outcomes {
+		if o.Actual && !o.Inferred {
+			out[o.Category]++
+		}
+	}
+	return out
+}
+
+// Evaluate scores an inference result against the reference dataset.
+func Evaluate(ref *Reference, res *core.Result) *Evaluation {
+	return EvaluateAugmented(ref, res, nil)
+}
+
+// EvaluateAugmented scores a result with additional leased verdicts from
+// methodology extensions (e.g. the legacy-space inference): any prefix in
+// extraLeased counts as inferred leased even if the core pipeline never
+// classified it.
+func EvaluateAugmented(ref *Reference, res *core.Result, extraLeased []netutil.Prefix) *Evaluation {
+	infByPrefix := make(map[netutil.Prefix]core.Inference)
+	for _, inf := range res.All() {
+		infByPrefix[inf.Prefix] = inf
+	}
+	extra := make(map[netutil.Prefix]bool, len(extraLeased))
+	for _, p := range extraLeased {
+		extra[p] = true
+	}
+	ev := &Evaluation{}
+	score := func(p netutil.Prefix, actual bool) {
+		inf, ok := infByPrefix[p]
+		o := Outcome{Prefix: p, Actual: actual, InOutput: ok}
+		if ok {
+			o.Inferred = inf.Category.Leased()
+			o.Category = inf.Category
+		} else {
+			o.Category = core.Orphan
+		}
+		if extra[p] {
+			o.Inferred = true
+		}
+		ev.Confusion.Record(actual, o.Inferred)
+		ev.Outcomes = append(ev.Outcomes, o)
+	}
+	for _, p := range ref.Positives {
+		score(p, true)
+	}
+	for _, p := range ref.Negatives {
+		score(p, false)
+	}
+	sort.Slice(ev.Outcomes, func(i, j int) bool {
+		return ev.Outcomes[i].Prefix.Compare(ev.Outcomes[j].Prefix) < 0
+	})
+	return ev
+}

@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"testing"
+
+	"ipleasing/internal/brokers"
+	"ipleasing/internal/core"
+	"ipleasing/internal/synth"
+	"ipleasing/internal/whois"
+)
+
+func world(t *testing.T) (*synth.World, *core.Result) {
+	t.Helper()
+	w := synth.Generate(synth.Config{Seed: 11, Scale: 0.01})
+	return w, w.Pipeline().Infer()
+}
+
+func inputsFor(w *synth.World) Inputs {
+	isps := make([]ISPRef, 0, len(w.EvalISPs))
+	for _, isp := range w.EvalISPs {
+		isps = append(isps, ISPRef{Registry: isp.Registry, Name: isp.Name})
+	}
+	return Inputs{
+		Whois:      w.Whois,
+		Table:      w.Table(),
+		Brokers:    w.Brokers,
+		Exclusions: w.Exclusions,
+		ISPs:       isps,
+	}
+}
+
+func TestCurateFindsBothLabelSets(t *testing.T) {
+	w, _ := world(t)
+	ref := Curate(inputsFor(w))
+	if len(ref.Positives) == 0 {
+		t.Fatal("no positives curated")
+	}
+	if len(ref.Negatives) == 0 {
+		t.Fatal("no negatives curated")
+	}
+	if ref.BrokersExact == 0 || ref.BrokersFuzzy == 0 || ref.BrokersUnmatched == 0 {
+		t.Fatalf("broker matching stats: exact=%d fuzzy=%d unmatched=%d",
+			ref.BrokersExact, ref.BrokersFuzzy, ref.BrokersUnmatched)
+	}
+	if ref.MaintainerHandles == 0 {
+		t.Fatal("no maintainer handles")
+	}
+	if ref.Excluded == 0 {
+		t.Fatal("manual filter removed nothing (broker-ISP prefixes missing)")
+	}
+	if ref.BrokerPrefixes != len(ref.Positives)+ref.Excluded {
+		t.Fatalf("accounting: %d != %d + %d", ref.BrokerPrefixes, len(ref.Positives), ref.Excluded)
+	}
+	if ref.Size() != len(ref.Positives)+len(ref.Negatives) {
+		t.Fatal("Size wrong")
+	}
+}
+
+// TestTable2Shape verifies the confusion-matrix shape of the paper's
+// Table 2: high precision, recall dragged down by inactive leases, false
+// positives driven by unmodelled subsidiaries.
+func TestTable2Shape(t *testing.T) {
+	w, res := world(t)
+	ref := Curate(inputsFor(w))
+	ev := Evaluate(ref, res)
+	c := ev.Confusion
+
+	if c.Total() != ref.Size() {
+		t.Fatalf("scored %d of %d", c.Total(), ref.Size())
+	}
+	if p := c.Precision(); p < 0.9 {
+		t.Errorf("precision = %.3f, want high (paper 0.98)", p)
+	}
+	if r := c.Recall(); r < 0.6 || r > 0.95 {
+		t.Errorf("recall = %.3f, want ~0.82", r)
+	}
+	if c.FP == 0 {
+		t.Error("no false positives (subsidiary effect missing)")
+	}
+	if c.FN == 0 {
+		t.Error("no false negatives (inactive leases missing)")
+	}
+
+	// False negatives must be dominated by Unused (inactive leases),
+	// with the rest absent-from-output legacy blocks — §6.2's breakdown.
+	byCat := ev.FalseNegativesByCategory()
+	if byCat[core.Unused] == 0 {
+		t.Error("no unused-classified FNs")
+	}
+	legacyFNs := 0
+	for _, o := range ev.Outcomes {
+		if o.Actual && !o.Inferred && !o.InOutput {
+			legacyFNs++
+		}
+	}
+	if legacyFNs == 0 {
+		t.Error("no legacy FNs (absent from inference output)")
+	}
+	if byCat[core.Unused]+legacyFNs != c.FN {
+		t.Errorf("FN breakdown %d+%d != %d", byCat[core.Unused], legacyFNs, c.FN)
+	}
+}
+
+// TestGroundTruthAgreement cross-checks the curated labels against the
+// generator's planted truth.
+func TestGroundTruthAgreement(t *testing.T) {
+	w, _ := world(t)
+	ref := Curate(inputsFor(w))
+	truth := w.TruthByPrefix()
+	for _, p := range ref.Positives {
+		tr, ok := truth[p]
+		if !ok {
+			t.Fatalf("positive %v not in ground truth", p)
+		}
+		if !tr.ActuallyLeased {
+			t.Errorf("positive %v is not actually leased", p)
+		}
+		if !tr.BrokerManaged {
+			t.Errorf("positive %v is not broker-managed", p)
+		}
+	}
+	for _, p := range ref.Negatives {
+		if tr, ok := truth[p]; ok && tr.ActuallyLeased {
+			t.Errorf("negative %v is actually leased", p)
+		}
+	}
+}
+
+func TestCurateEmptyInputs(t *testing.T) {
+	ref := Curate(Inputs{Whois: whois.NewDataset(), Brokers: &brokers.List{}})
+	if ref.Size() != 0 {
+		t.Fatal("empty world produced labels")
+	}
+	ev := Evaluate(ref, &core.Result{Regions: map[whois.Registry]*core.RegionResult{}})
+	if ev.Confusion.Total() != 0 {
+		t.Fatal("empty evaluation non-empty")
+	}
+}

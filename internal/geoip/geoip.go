@@ -1,0 +1,238 @@
+// Package geoip models IP-geolocation databases and measures their
+// disagreement over prefixes, the §8 observation the paper makes about
+// the leasing market: marketplace prefixes geolocate to different
+// continents depending on the database, because some providers track the
+// current lessee while others keep the holder's stale registration
+// country.
+//
+// Databases are stored in the self-published geofeed style of RFC 8805:
+//
+//	prefix,alpha2-country[,region[,city]]
+//
+// one entry per line, '#' comments allowed.
+package geoip
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/prefixtree"
+)
+
+// DB is one provider's geolocation database.
+type DB struct {
+	Name string
+	tree prefixtree.Tree[string]
+	n    int
+}
+
+// NewDB returns an empty database for the named provider.
+func NewDB(name string) *DB { return &DB{Name: name} }
+
+// Add records that p geolocates to the ISO 3166-1 alpha-2 country cc.
+func (db *DB) Add(p netutil.Prefix, cc string) {
+	if added := db.tree.Insert(p.Canonicalize(), strings.ToUpper(cc)); added {
+		db.n++
+	}
+}
+
+// Len returns the number of entries.
+func (db *DB) Len() int { return db.n }
+
+// Country returns the country of the most-specific entry covering p.
+func (db *DB) Country(p netutil.Prefix) (string, bool) {
+	_, cc, ok := db.tree.LongestMatch(p)
+	return cc, ok
+}
+
+// Parse reads one provider's database from its geofeed-style CSV.
+func Parse(name string, r io.Reader) (*DB, error) {
+	db := NewDB(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("geoip: %s line %d: want prefix,country", name, lineNum)
+		}
+		p, err := netutil.ParsePrefix(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, fmt.Errorf("geoip: %s line %d: %v", name, lineNum, err)
+		}
+		cc := strings.ToUpper(strings.TrimSpace(fields[1]))
+		if len(cc) != 2 {
+			return nil, fmt.Errorf("geoip: %s line %d: bad country %q", name, lineNum, fields[1])
+		}
+		db.Add(p, cc)
+	}
+	return db, sc.Err()
+}
+
+// Write renders the database in geofeed-style CSV, sorted by prefix.
+func Write(w io.Writer, db *DB) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# geofeed: %s\n", db.Name)
+	var err error
+	db.tree.Walk(func(e prefixtree.Entry[string]) bool {
+		_, err = fmt.Fprintf(bw, "%s,%s\n", e.Prefix, e.Value)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Panel is a set of provider databases queried together.
+type Panel struct {
+	DBs []*DB
+}
+
+// Countries returns the per-provider countries for p (providers without
+// coverage are skipped).
+func (pl *Panel) Countries(p netutil.Prefix) []string {
+	var out []string
+	for _, db := range pl.DBs {
+		if cc, ok := db.Country(p); ok {
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+// Disagrees reports whether the providers covering p disagree on its
+// country (at least two distinct answers).
+func (pl *Panel) Disagrees(p netutil.Prefix) bool {
+	return pl.DistinctCountries(p) > 1
+}
+
+// DistinctCountries returns the number of distinct countries reported
+// for p.
+func (pl *Panel) DistinctCountries(p netutil.Prefix) int {
+	seen := make(map[string]bool)
+	for _, cc := range pl.Countries(p) {
+		seen[cc] = true
+	}
+	return len(seen)
+}
+
+// Report contrasts geolocation disagreement over two prefix populations
+// (leased vs non-leased).
+type Report struct {
+	LeasedTotal       int
+	LeasedDisagree    int
+	NonLeasedTotal    int
+	NonLeasedDisagree int
+	MaxDistinct       int         // worst-case distinct countries on a leased prefix
+	DistinctHistogram map[int]int // leased prefixes by #distinct countries
+}
+
+// LeasedShare returns the disagreement rate over leased prefixes.
+func (r *Report) LeasedShare() float64 {
+	if r.LeasedTotal == 0 {
+		return 0
+	}
+	return float64(r.LeasedDisagree) / float64(r.LeasedTotal)
+}
+
+// NonLeasedShare returns the disagreement rate over non-leased prefixes.
+func (r *Report) NonLeasedShare() float64 {
+	if r.NonLeasedTotal == 0 {
+		return 0
+	}
+	return float64(r.NonLeasedDisagree) / float64(r.NonLeasedTotal)
+}
+
+// Analyze measures disagreement over the two populations.
+func (pl *Panel) Analyze(leased, nonLeased []netutil.Prefix) *Report {
+	rep := &Report{DistinctHistogram: make(map[int]int)}
+	for _, p := range leased {
+		n := pl.DistinctCountries(p)
+		if n == 0 {
+			continue
+		}
+		rep.LeasedTotal++
+		rep.DistinctHistogram[n]++
+		if n > 1 {
+			rep.LeasedDisagree++
+		}
+		if n > rep.MaxDistinct {
+			rep.MaxDistinct = n
+		}
+	}
+	for _, p := range nonLeased {
+		n := pl.DistinctCountries(p)
+		if n == 0 {
+			continue
+		}
+		rep.NonLeasedTotal++
+		if n > 1 {
+			rep.NonLeasedDisagree++
+		}
+	}
+	return rep
+}
+
+// dbFileName renders a provider's file name under the geo directory.
+func dbFileName(name string) string { return "geofeed-" + name + ".csv" }
+
+// WriteDir writes every provider database into dir.
+func WriteDir(dir string, panel *Panel) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, db := range panel.DBs {
+		f, err := os.Create(filepath.Join(dir, dbFileName(db.Name)))
+		if err != nil {
+			return err
+		}
+		werr := Write(f, db)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
+// LoadDir reads every provider database in dir, sorted by provider name.
+func LoadDir(dir string) (*Panel, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	panel := &Panel{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "geofeed-") || !strings.HasSuffix(name, ".csv") {
+			continue
+		}
+		provider := strings.TrimSuffix(strings.TrimPrefix(name, "geofeed-"), ".csv")
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		db, perr := Parse(provider, f)
+		f.Close()
+		if perr != nil {
+			return nil, perr
+		}
+		panel.DBs = append(panel.DBs, db)
+	}
+	sort.Slice(panel.DBs, func(i, j int) bool { return panel.DBs[i].Name < panel.DBs[j].Name })
+	return panel, nil
+}

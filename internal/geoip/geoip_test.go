@@ -1,0 +1,156 @@
+package geoip
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ipleasing/internal/netutil"
+)
+
+func mp(s string) netutil.Prefix { return netutil.MustParsePrefix(s) }
+
+func TestDBLookup(t *testing.T) {
+	db := NewDB("test")
+	db.Add(mp("10.0.0.0/8"), "us")
+	db.Add(mp("10.1.0.0/16"), "DE")
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if cc, ok := db.Country(mp("10.1.2.0/24")); !ok || cc != "DE" {
+		t.Fatalf("most-specific lookup = %q %v", cc, ok)
+	}
+	if cc, ok := db.Country(mp("10.2.0.0/16")); !ok || cc != "US" { // upper-cased
+		t.Fatalf("fallback lookup = %q %v", cc, ok)
+	}
+	if _, ok := db.Country(mp("192.0.2.0/24")); ok {
+		t.Fatal("uncovered prefix resolved")
+	}
+	// Re-adding the same prefix replaces, not grows.
+	db.Add(mp("10.0.0.0/8"), "FR")
+	if db.Len() != 2 {
+		t.Fatalf("Len after overwrite = %d", db.Len())
+	}
+}
+
+func TestParseWriteRoundTrip(t *testing.T) {
+	in := "# geofeed: prov\n10.0.0.0/8,US\n192.0.2.0/24,jp\n"
+	db, err := Parse("prov", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 || db.Name != "prov" {
+		t.Fatalf("db = %+v", db)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse("prov", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc, _ := back.Country(mp("192.0.2.0/24")); cc != "JP" {
+		t.Fatalf("round trip country = %q", cc)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"justafield\n", "nonprefix,US\n", "10.0.0.0/8,USA\n", "10.0.0.0/8,x\n"} {
+		if _, err := Parse("p", strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func testPanel() *Panel {
+	a, b, c := NewDB("a"), NewDB("b"), NewDB("c")
+	// Agreement prefix.
+	for _, db := range []*DB{a, b, c} {
+		db.Add(mp("10.0.0.0/24"), "US")
+	}
+	// Disagreement prefix: 2 countries.
+	a.Add(mp("10.0.1.0/24"), "US")
+	b.Add(mp("10.0.1.0/24"), "BR")
+	c.Add(mp("10.0.1.0/24"), "US")
+	// 3 countries.
+	a.Add(mp("10.0.2.0/24"), "US")
+	b.Add(mp("10.0.2.0/24"), "BR")
+	c.Add(mp("10.0.2.0/24"), "JP")
+	// Covered by only one provider.
+	a.Add(mp("10.0.3.0/24"), "SE")
+	return &Panel{DBs: []*DB{a, b, c}}
+}
+
+func TestPanelQueries(t *testing.T) {
+	pl := testPanel()
+	if got := pl.Countries(mp("10.0.0.0/24")); len(got) != 3 {
+		t.Fatalf("Countries = %v", got)
+	}
+	if pl.Disagrees(mp("10.0.0.0/24")) {
+		t.Fatal("agreement flagged as disagreement")
+	}
+	if !pl.Disagrees(mp("10.0.1.0/24")) {
+		t.Fatal("disagreement missed")
+	}
+	if n := pl.DistinctCountries(mp("10.0.2.0/24")); n != 3 {
+		t.Fatalf("distinct = %d", n)
+	}
+	if n := pl.DistinctCountries(mp("10.0.3.0/24")); n != 1 {
+		t.Fatalf("single-provider distinct = %d", n)
+	}
+	if n := pl.DistinctCountries(mp("192.0.2.0/24")); n != 0 {
+		t.Fatalf("uncovered distinct = %d", n)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	pl := testPanel()
+	rep := pl.Analyze(
+		[]netutil.Prefix{mp("10.0.1.0/24"), mp("10.0.2.0/24"), mp("192.0.2.0/24")}, // last uncovered
+		[]netutil.Prefix{mp("10.0.0.0/24"), mp("10.0.3.0/24")},
+	)
+	if rep.LeasedTotal != 2 || rep.LeasedDisagree != 2 {
+		t.Fatalf("leased: %+v", rep)
+	}
+	if rep.NonLeasedTotal != 2 || rep.NonLeasedDisagree != 0 {
+		t.Fatalf("non-leased: %+v", rep)
+	}
+	if rep.MaxDistinct != 3 {
+		t.Fatalf("MaxDistinct = %d", rep.MaxDistinct)
+	}
+	if rep.LeasedShare() != 1.0 || rep.NonLeasedShare() != 0.0 {
+		t.Fatalf("shares: %f %f", rep.LeasedShare(), rep.NonLeasedShare())
+	}
+	if rep.DistinctHistogram[2] != 1 || rep.DistinctHistogram[3] != 1 {
+		t.Fatalf("histogram: %v", rep.DistinctHistogram)
+	}
+	var zero Report
+	if zero.LeasedShare() != 0 || zero.NonLeasedShare() != 0 {
+		t.Fatal("zero guards")
+	}
+}
+
+func TestDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pl := testPanel()
+	if err := WriteDir(dir, pl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.DBs) != 3 {
+		t.Fatalf("providers = %d", len(back.DBs))
+	}
+	if back.DBs[0].Name != "a" || back.DBs[2].Name != "c" {
+		t.Fatal("providers unsorted")
+	}
+	if !back.Disagrees(mp("10.0.1.0/24")) {
+		t.Fatal("disagreement lost in round trip")
+	}
+	if _, err := LoadDir(dir + "-none"); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}

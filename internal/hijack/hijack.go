@@ -1,0 +1,81 @@
+// Package hijack manages the serial-hijacker AS list the paper overlaps
+// with lease originators (§6.3). The list mirrors the inferred serial
+// BGP hijackers of Testart et al. (IMC 2019): ASes with persistently
+// hijack-like announcement behaviour in the global routing table.
+//
+// The on-disk form is one ASN per line (with or without an "AS" prefix),
+// '#' comments allowed.
+package hijack
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Set is a set of serial-hijacker ASNs.
+type Set struct {
+	asns map[uint32]bool
+}
+
+// New builds a Set from asns.
+func New(asns []uint32) *Set {
+	s := &Set{asns: make(map[uint32]bool, len(asns))}
+	for _, a := range asns {
+		s.asns[a] = true
+	}
+	return s
+}
+
+// Contains reports whether asn is a listed serial hijacker.
+func (s *Set) Contains(asn uint32) bool { return s.asns[asn] }
+
+// Len returns the number of listed ASNs.
+func (s *Set) Len() int { return len(s.asns) }
+
+// ASNs returns the listed ASNs in ascending order.
+func (s *Set) ASNs() []uint32 {
+	out := make([]uint32, 0, len(s.asns))
+	for a := range s.asns {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Parse reads an ASN-per-line list.
+func Parse(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	var asns []uint32
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		line = strings.TrimPrefix(strings.ToUpper(line), "AS")
+		v, err := strconv.ParseUint(line, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("hijack: line %d: bad ASN %q", lineNum, sc.Text())
+		}
+		asns = append(asns, uint32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(asns), nil
+}
+
+// Write renders the set, one ASN per line, ascending.
+func Write(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# serial hijacker ASNs (Testart et al. style)")
+	for _, a := range s.ASNs() {
+		fmt.Fprintf(bw, "AS%d\n", a)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,46 @@
+package hijack
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseWrite(t *testing.T) {
+	in := "# serial hijackers\nAS197426\n12345\n\nAS3266\n"
+	s, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Contains(197426) || !s.Contains(12345) || !s.Contains(3266) || s.Contains(1) {
+		t.Fatal("Contains wrong")
+	}
+	asns := s.ASNs()
+	if len(asns) != 3 || asns[0] != 3266 || asns[2] != 197426 {
+		t.Fatalf("ASNs = %v", asns)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil || back.Len() != 3 || !back.Contains(12345) {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestParseError(t *testing.T) {
+	if _, err := Parse(strings.NewReader("ASfoo\n")); err == nil {
+		t.Fatal("bad ASN accepted")
+	}
+}
+
+func TestNewDeduplicates(t *testing.T) {
+	s := New([]uint32{5, 5, 6})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

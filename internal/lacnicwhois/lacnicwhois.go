@@ -1,0 +1,148 @@
+// Package lacnicwhois reads and writes the LACNIC bulk-WHOIS dialect.
+//
+// LACNIC's dump differs from the RPSL registries in two relevant ways
+// (paper §5.1): address blocks are written in CIDR notation rather than
+// ranges, and there are no standalone organisation objects — the holder is
+// embedded in each block's owner / ownerid fields. AS number objects carry
+// the owner the same way.
+package lacnicwhois
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/rpsl"
+)
+
+// Block statuses used by the LACNIC dump. Reallocated / reassigned blocks
+// are the non-portable space the leasing inference inspects.
+const (
+	StatusAllocated   = "allocated"
+	StatusAssigned    = "assigned"
+	StatusReallocated = "reallocated"
+	StatusReassigned  = "reassigned"
+)
+
+// Block is a LACNIC inetnum object.
+type Block struct {
+	Prefix  netutil.Prefix
+	Status  string // one of the Status constants
+	Owner   string // organisation display name
+	OwnerID string // registry handle for the owner
+	Country string
+}
+
+// ASN is a LACNIC aut-num object.
+type ASN struct {
+	Number  uint32
+	Owner   string
+	OwnerID string
+}
+
+// Database is the parsed content of a LACNIC dump.
+type Database struct {
+	Blocks []*Block
+	ASNs   []*ASN
+}
+
+// Parse decodes a LACNIC bulk-WHOIS dump.
+func Parse(r io.Reader) (*Database, error) {
+	objs, err := rpsl.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("lacnicwhois: %w", err)
+	}
+	db := &Database{}
+	for i, o := range objs {
+		switch o.Class() {
+		case "inetnum":
+			b, err := blockFromObject(o)
+			if err != nil {
+				return nil, fmt.Errorf("lacnicwhois: record %d: %w", i, err)
+			}
+			db.Blocks = append(db.Blocks, b)
+		case "aut-num":
+			a, err := asnFromObject(o)
+			if err != nil {
+				return nil, fmt.Errorf("lacnicwhois: record %d: %w", i, err)
+			}
+			db.ASNs = append(db.ASNs, a)
+		}
+	}
+	return db, nil
+}
+
+func blockFromObject(o *rpsl.Object) (*Block, error) {
+	b := &Block{}
+	var err error
+	b.Prefix, err = netutil.ParsePrefixLoose(o.Key())
+	if err != nil {
+		return nil, err
+	}
+	status, _ := o.Get("status")
+	b.Status = strings.ToLower(strings.TrimSpace(status))
+	switch b.Status {
+	case StatusAllocated, StatusAssigned, StatusReallocated, StatusReassigned:
+	case "":
+		return nil, fmt.Errorf("block %v: missing status", b.Prefix)
+	default:
+		return nil, fmt.Errorf("block %v: unknown status %q", b.Prefix, b.Status)
+	}
+	b.Owner, _ = o.Get("owner")
+	b.OwnerID, _ = o.Get("ownerid")
+	b.Country, _ = o.Get("country")
+	if b.OwnerID == "" {
+		return nil, fmt.Errorf("block %v: missing ownerid", b.Prefix)
+	}
+	return b, nil
+}
+
+func asnFromObject(o *rpsl.Object) (*ASN, error) {
+	a := &ASN{}
+	key := strings.TrimPrefix(strings.ToUpper(o.Key()), "AS")
+	v, err := strconv.ParseUint(key, 10, 32)
+	if err != nil {
+		return nil, fmt.Errorf("aut-num %q: %v", o.Key(), err)
+	}
+	a.Number = uint32(v)
+	a.Owner, _ = o.Get("owner")
+	a.OwnerID, _ = o.Get("ownerid")
+	if a.OwnerID == "" {
+		return nil, fmt.Errorf("aut-num %q: missing ownerid", o.Key())
+	}
+	return a, nil
+}
+
+// Write encodes the database: blocks first, then ASNs.
+func Write(w io.Writer, db *Database) error {
+	ww := rpsl.NewWriter(w)
+	for _, b := range db.Blocks {
+		o := &rpsl.Object{}
+		o.Add("inetnum", b.Prefix.String())
+		o.Add("status", b.Status)
+		if b.Owner != "" {
+			o.Add("owner", b.Owner)
+		}
+		o.Add("ownerid", b.OwnerID)
+		if b.Country != "" {
+			o.Add("country", b.Country)
+		}
+		if err := ww.Write(o); err != nil {
+			return err
+		}
+	}
+	for _, a := range db.ASNs {
+		o := &rpsl.Object{}
+		o.Add("aut-num", "AS"+strconv.FormatUint(uint64(a.Number), 10))
+		if a.Owner != "" {
+			o.Add("owner", a.Owner)
+		}
+		o.Add("ownerid", a.OwnerID)
+		if err := ww.Write(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+// Package legacy extends the paper's methodology to legacy address
+// space, the extension its §7/§8 proposes as future work.
+//
+// Legacy blocks predate the RIR system and have no portability status, so
+// the core pipeline excludes them (they were the paper's 138 residual
+// false negatives). This package applies the closest analogue of the
+// §5.2 test that the available data supports: a legacy block announced in
+// BGP is inferred leased when its origin AS is related neither to the
+// block's registered organisation nor to any organisation sharing one of
+// the block's maintainers. Legacy holders that announce their own space
+// (or have a customer of theirs do it) stay non-leased.
+package legacy
+
+import (
+	"sort"
+
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/whois"
+)
+
+// RelatedFunc is the AS-relatedness test, normally core.Pipeline.Related.
+type RelatedFunc func(a, b uint32) bool
+
+// Inputs for the legacy inference.
+type Inputs struct {
+	Whois   *whois.Dataset
+	Table   *bgp.Table
+	Related RelatedFunc
+	// MaxPrefixLen drops hyper-specifics, as in the core tree. 0 = 24.
+	MaxPrefixLen uint8
+}
+
+func (in Inputs) maxLen() uint8 {
+	if in.MaxPrefixLen == 0 {
+		return 24
+	}
+	return in.MaxPrefixLen
+}
+
+// Verdict classifies one legacy prefix.
+type Verdict int
+
+const (
+	// Unadvertised: the block is not originated in BGP.
+	Unadvertised Verdict = iota
+	// HolderOperated: originated by an AS related to the block's
+	// organisation or maintainer-sharing organisations.
+	HolderOperated
+	// Leased: originated by an unrelated AS.
+	Leased
+	// NoExpectation: announced, but the registry records give no
+	// expected AS to compare against, so no inference is possible.
+	NoExpectation
+)
+
+var verdictNames = [...]string{"unadvertised", "holder-operated", "leased", "no-expectation"}
+
+func (v Verdict) String() string {
+	if v < 0 || int(v) >= len(verdictNames) {
+		return "invalid"
+	}
+	return verdictNames[v]
+}
+
+// Inference is one legacy block's result.
+type Inference struct {
+	Registry     whois.Registry
+	Prefix       netutil.Prefix
+	Verdict      Verdict
+	Origins      []uint32 // BGP origins of the block
+	ExpectedASNs []uint32 // ASNs the origin was compared against
+	Maintainers  []string
+}
+
+// Infer classifies every registered legacy block.
+func Infer(in Inputs) []Inference {
+	var out []Inference
+	for _, reg := range whois.Registries {
+		db, ok := in.Whois.DBs[reg]
+		if !ok {
+			continue
+		}
+		expected := expectedASNIndex(db)
+		for _, inet := range db.InetNums {
+			if inet.Portability != whois.Legacy {
+				continue
+			}
+			for _, p := range inet.Prefixes() {
+				if p.Len > in.maxLen() {
+					continue
+				}
+				out = append(out, classify(in, db, expected, inet, p))
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Registry != out[j].Registry {
+			return out[i].Registry < out[j].Registry
+		}
+		return out[i].Prefix.Compare(out[j].Prefix) < 0
+	})
+	return out
+}
+
+// expectedASNIndex maps each maintainer handle to the ASNs of every
+// organisation referencing that handle — the "who should be announcing
+// blocks under this maintainer" lookup.
+func expectedASNIndex(db *whois.Database) map[string][]uint32 {
+	byMnt := make(map[string][]uint32)
+	for _, org := range db.Orgs {
+		asns := db.ASNsOfOrg(org.ID)
+		if len(asns) == 0 {
+			continue
+		}
+		for _, m := range org.MntRef {
+			byMnt[m] = append(byMnt[m], asns...)
+		}
+	}
+	return byMnt
+}
+
+func classify(in Inputs, db *whois.Database, byMnt map[string][]uint32, inet *whois.InetNum, p netutil.Prefix) Inference {
+	inf := Inference{
+		Registry:    db.Registry,
+		Prefix:      p,
+		Maintainers: inet.MntBy,
+	}
+	if in.Table != nil {
+		inf.Origins = in.Table.Origins(p)
+	}
+	// Expected ASNs: the block org's registered ASNs plus the ASNs of
+	// organisations sharing a maintainer with the block.
+	seen := make(map[uint32]bool)
+	add := func(asns []uint32) {
+		for _, a := range asns {
+			if !seen[a] {
+				seen[a] = true
+				inf.ExpectedASNs = append(inf.ExpectedASNs, a)
+			}
+		}
+	}
+	if inet.OrgID != "" {
+		add(db.ASNsOfOrg(inet.OrgID))
+	}
+	for _, m := range inet.MntBy {
+		add(byMnt[m])
+	}
+	sort.Slice(inf.ExpectedASNs, func(i, j int) bool { return inf.ExpectedASNs[i] < inf.ExpectedASNs[j] })
+
+	switch {
+	case len(inf.Origins) == 0:
+		inf.Verdict = Unadvertised
+	case len(inf.ExpectedASNs) == 0:
+		inf.Verdict = NoExpectation
+	default:
+		related := false
+		for _, o := range inf.Origins {
+			for _, e := range inf.ExpectedASNs {
+				if in.Related == nil {
+					if o == e {
+						related = true
+					}
+				} else if in.Related(o, e) {
+					related = true
+				}
+			}
+		}
+		if related {
+			inf.Verdict = HolderOperated
+		} else {
+			inf.Verdict = Leased
+		}
+	}
+	return inf
+}
+
+// Summary aggregates verdict counts.
+type Summary struct {
+	Counts [4]int
+	Total  int
+}
+
+// Summarize tallies a result set.
+func Summarize(infs []Inference) Summary {
+	var s Summary
+	for _, inf := range infs {
+		s.Counts[inf.Verdict]++
+		s.Total++
+	}
+	return s
+}

@@ -1,0 +1,179 @@
+// Package market analyses IP-leasing market dynamics over time — the
+// longitudinal study the paper's §8 proposes as future work. It runs the
+// core inference against a sequence of monthly routing tables (the WHOIS
+// state held fixed over the window) and reports lease churn: how many
+// prefixes are leased each month, how many leases start and end, how
+// often a prefix moves straight from one lessee to another, and how long
+// leases last.
+package market
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ipleasing/internal/as2org"
+	"ipleasing/internal/asrel"
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/core"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/whois"
+)
+
+// Snapshot is one month's routing view.
+type Snapshot struct {
+	Time  time.Time
+	Table *bgp.Table
+}
+
+// LoadDir reads monthly rib-<unix>.mrt files from dir, ascending by time.
+func LoadDir(dir string) ([]Snapshot, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Snapshot
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "rib-") || !strings.HasSuffix(name, ".mrt") {
+			continue
+		}
+		unix, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "rib-"), ".mrt"), 10, 64)
+		if err != nil {
+			continue
+		}
+		tbl := &bgp.Table{}
+		if err := tbl.LoadMRTFile(filepath.Join(dir, name)); err != nil {
+			return nil, err
+		}
+		out = append(out, Snapshot{Time: time.Unix(unix, 0).UTC(), Table: tbl})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	if len(out) == 0 {
+		return nil, fmt.Errorf("market: no rib-<unix>.mrt snapshots in %s", dir)
+	}
+	return out, nil
+}
+
+// MonthStats is one month's lease-market activity.
+type MonthStats struct {
+	Time   time.Time
+	Leased int // prefixes inferred leased this month
+	New    int // leased now, not leased the previous month
+	Ended  int // leased the previous month, not now
+	// Releases counts prefixes leased in both months but originated by a
+	// different AS — back-to-back re-leases without a visible gap.
+	Releases int
+}
+
+// Report is the longitudinal result.
+type Report struct {
+	Months []MonthStats
+	// DurationHistogram counts maximal same-lessee runs by length in
+	// months (runs still open at the window edge are included, so long
+	// leases are right-censored).
+	DurationHistogram map[int]int
+}
+
+// MeanLeaseMonths returns the mean observed lease-run length.
+func (r *Report) MeanLeaseMonths() float64 {
+	total, n := 0, 0
+	for d, c := range r.DurationHistogram {
+		total += d * c
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// ChurnRate returns mean (new + ended) per month divided by the mean
+// leased population — a rough market-velocity figure.
+func (r *Report) ChurnRate() float64 {
+	if len(r.Months) < 2 {
+		return 0
+	}
+	var churn, leased int
+	for _, m := range r.Months[1:] {
+		churn += m.New + m.Ended
+		leased += m.Leased
+	}
+	if leased == 0 {
+		return 0
+	}
+	return float64(churn) / float64(leased)
+}
+
+// Inputs for the longitudinal analysis.
+type Inputs struct {
+	Whois *whois.Dataset
+	Rel   *asrel.Graph
+	Orgs  *as2org.Map
+	Opts  core.Options
+}
+
+// Analyze runs the core inference per snapshot and derives churn.
+func Analyze(in Inputs, snapshots []Snapshot) *Report {
+	rep := &Report{DurationHistogram: make(map[int]int)}
+	type leaseState struct {
+		origin uint32
+		run    int
+	}
+	active := make(map[netutil.Prefix]*leaseState)
+
+	var prev map[netutil.Prefix]uint32
+	for _, snap := range snapshots {
+		p := &core.Pipeline{Whois: in.Whois, Table: snap.Table, Rel: in.Rel, Orgs: in.Orgs, Opts: in.Opts}
+		res := p.Infer()
+		cur := make(map[netutil.Prefix]uint32)
+		for _, inf := range res.LeasedInferences() {
+			cur[inf.Prefix] = inf.Originator()
+		}
+		ms := MonthStats{Time: snap.Time, Leased: len(cur)}
+		if prev != nil {
+			for pfx, origin := range cur {
+				po, was := prev[pfx]
+				if !was {
+					ms.New++
+				} else if po != origin {
+					ms.Releases++
+				}
+			}
+			for pfx := range prev {
+				if _, still := cur[pfx]; !still {
+					ms.Ended++
+				}
+			}
+		}
+		// Run accounting.
+		for pfx, origin := range cur {
+			st := active[pfx]
+			if st != nil && st.origin == origin {
+				st.run++
+				continue
+			}
+			if st != nil {
+				rep.DurationHistogram[st.run]++
+			}
+			active[pfx] = &leaseState{origin: origin, run: 1}
+		}
+		for pfx, st := range active {
+			if _, still := cur[pfx]; !still {
+				rep.DurationHistogram[st.run]++
+				delete(active, pfx)
+			}
+		}
+		rep.Months = append(rep.Months, ms)
+		prev = cur
+	}
+	// Close the runs still open at the window edge (right-censored).
+	for _, st := range active {
+		rep.DurationHistogram[st.run]++
+	}
+	return rep
+}

@@ -1,0 +1,117 @@
+package market
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ipleasing/internal/synth"
+)
+
+func loadWorld(t *testing.T) (*synth.World, []Snapshot) {
+	t.Helper()
+	w := synth.Generate(synth.Config{Seed: 71, Scale: 0.005})
+	dir := t.TempDir()
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := LoadDir(filepath.Join(dir, synth.DirMarket))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, snaps
+}
+
+func TestLoadDir(t *testing.T) {
+	w, snaps := loadWorld(t)
+	if len(snaps) != 6 {
+		t.Fatalf("snapshots = %d, want 6", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if !snaps[i].Time.After(snaps[i-1].Time) {
+			t.Fatal("snapshots unsorted")
+		}
+	}
+	// The final month must match the world's current snapshot time and
+	// its table must contain the current routes.
+	last := snaps[len(snaps)-1]
+	if !last.Time.Equal(w.SnapshotTime) {
+		t.Fatalf("last snapshot %v != %v", last.Time, w.SnapshotTime)
+	}
+	cur := w.Table()
+	if last.Table.NumPrefixes() != cur.NumPrefixes() {
+		t.Fatalf("final month %d prefixes, current %d",
+			last.Table.NumPrefixes(), cur.NumPrefixes())
+	}
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestAnalyzeChurnShape(t *testing.T) {
+	w, snaps := loadWorld(t)
+	rep := Analyze(Inputs{Whois: w.Whois, Rel: w.Rel, Orgs: w.Orgs}, snaps)
+	if len(rep.Months) != 6 {
+		t.Fatalf("months = %d", len(rep.Months))
+	}
+	// Every month has a leased population; the final month matches the
+	// main-world inference.
+	mainLeased := w.Pipeline().Infer().TotalLeased()
+	last := rep.Months[len(rep.Months)-1]
+	if last.Leased != mainLeased {
+		t.Fatalf("final month leased %d != main inference %d", last.Leased, mainLeased)
+	}
+	var sawNew, sawEnded bool
+	for _, m := range rep.Months[1:] {
+		if m.Leased == 0 {
+			t.Fatalf("month %v has no leases", m.Time)
+		}
+		if m.New > 0 {
+			sawNew = true
+		}
+		if m.Ended > 0 {
+			sawEnded = true
+		}
+	}
+	if !sawNew || !sawEnded {
+		t.Errorf("no churn observed: new=%v ended=%v", sawNew, sawEnded)
+	}
+	// Duration accounting: total run-months equals total leased-months.
+	totalRunMonths := 0
+	for d, c := range rep.DurationHistogram {
+		if d < 1 || d > 6 {
+			t.Fatalf("impossible run length %d", d)
+		}
+		totalRunMonths += d * c
+	}
+	totalLeasedMonths := 0
+	for _, m := range rep.Months {
+		totalLeasedMonths += m.Leased
+	}
+	if totalRunMonths != totalLeasedMonths {
+		t.Fatalf("run months %d != leased months %d", totalRunMonths, totalLeasedMonths)
+	}
+	if mean := rep.MeanLeaseMonths(); mean <= 1 || mean > 6 {
+		t.Errorf("mean lease months = %.2f", mean)
+	}
+	if churn := rep.ChurnRate(); churn <= 0 || churn > 1 {
+		t.Errorf("churn rate = %.3f", churn)
+	}
+}
+
+func TestAnalyzeSingleSnapshot(t *testing.T) {
+	w, snaps := loadWorld(t)
+	rep := Analyze(Inputs{Whois: w.Whois, Rel: w.Rel, Orgs: w.Orgs}, snaps[:1])
+	if len(rep.Months) != 1 || rep.Months[0].New != 0 || rep.Months[0].Ended != 0 {
+		t.Fatalf("single snapshot: %+v", rep.Months)
+	}
+	if rep.ChurnRate() != 0 {
+		t.Fatal("churn from one month")
+	}
+}
+
+func TestZeroGuards(t *testing.T) {
+	rep := &Report{DurationHistogram: map[int]int{}}
+	if rep.MeanLeaseMonths() != 0 || rep.ChurnRate() != 0 {
+		t.Fatal("zero guards")
+	}
+}

@@ -1,0 +1,75 @@
+package market
+
+import (
+	"testing"
+	"time"
+
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/whois"
+)
+
+// handWorld builds a two-leaf registry where the lease states per month
+// are fully controlled, so churn accounting can be checked exactly.
+func handWorld() *whois.Dataset {
+	ds := whois.NewDataset()
+	db := ds.DB(whois.RIPE)
+	db.Orgs = []*whois.Org{{Registry: whois.RIPE, ID: "ORG-H", Name: "Holder"}}
+	db.AutNums = []*whois.AutNum{{Registry: whois.RIPE, Number: 64500, OrgID: "ORG-H"}}
+	db.InetNums = []*whois.InetNum{
+		{Registry: whois.RIPE, Range: netutil.RangeOf(netutil.MustParsePrefix("10.0.0.0/16")),
+			Status: "ALLOCATED PA", Portability: whois.Portable, OrgID: "ORG-H"},
+		{Registry: whois.RIPE, Range: netutil.RangeOf(netutil.MustParsePrefix("10.0.1.0/24")),
+			Status: "ASSIGNED PA", Portability: whois.NonPortable, MntBy: []string{"BRK-MNT"}},
+		{Registry: whois.RIPE, Range: netutil.RangeOf(netutil.MustParsePrefix("10.0.2.0/24")),
+			Status: "ASSIGNED PA", Portability: whois.NonPortable, MntBy: []string{"BRK-MNT"}},
+	}
+	db.Reindex()
+	return ds
+}
+
+func monthTable(leases map[string]uint32) *bgp.Table {
+	var t bgp.Table
+	for pfx, origin := range leases {
+		t.AddRoute(netutil.MustParsePrefix(pfx), origin)
+	}
+	return &t
+}
+
+// TestAnalyzeExactChurn scripts three months:
+//
+//	month 1: A leased to 65001, B dark
+//	month 2: A re-leased to 65002, B leased to 65003  → 1 new, 1 release
+//	month 3: A gone, B still 65003                    → 1 ended
+func TestAnalyzeExactChurn(t *testing.T) {
+	ds := handWorld()
+	t0 := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	snaps := []Snapshot{
+		{Time: t0, Table: monthTable(map[string]uint32{"10.0.1.0/24": 65001})},
+		{Time: t0.AddDate(0, 1, 0), Table: monthTable(map[string]uint32{
+			"10.0.1.0/24": 65002, "10.0.2.0/24": 65003,
+		})},
+		{Time: t0.AddDate(0, 2, 0), Table: monthTable(map[string]uint32{"10.0.2.0/24": 65003})},
+	}
+	rep := Analyze(Inputs{Whois: ds}, snaps)
+	if len(rep.Months) != 3 {
+		t.Fatalf("months = %d", len(rep.Months))
+	}
+	m1, m2, m3 := rep.Months[0], rep.Months[1], rep.Months[2]
+	if m1.Leased != 1 || m1.New != 0 || m1.Ended != 0 {
+		t.Fatalf("month1 = %+v", m1)
+	}
+	if m2.Leased != 2 || m2.New != 1 || m2.Ended != 0 || m2.Releases != 1 {
+		t.Fatalf("month2 = %+v", m2)
+	}
+	if m3.Leased != 1 || m3.New != 0 || m3.Ended != 1 || m3.Releases != 0 {
+		t.Fatalf("month3 = %+v", m3)
+	}
+	// Runs: A@65001 ×1, A@65002 ×1, B@65003 ×2 → hist {1:2, 2:1}.
+	if rep.DurationHistogram[1] != 2 || rep.DurationHistogram[2] != 1 {
+		t.Fatalf("durations = %v", rep.DurationHistogram)
+	}
+	if mean := rep.MeanLeaseMonths(); mean < 1.3 || mean > 1.34 {
+		t.Fatalf("mean = %f", mean)
+	}
+}

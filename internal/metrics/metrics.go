@@ -1,0 +1,84 @@
+// Package metrics implements the information-retrieval metrics of the
+// paper's Appendix A, used to evaluate leasing inferences against the
+// curated reference dataset (Table 2).
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Confusion is a binary confusion matrix over lease predictions.
+type Confusion struct {
+	TP int // actual lease, inferred lease
+	FP int // actual non-lease, inferred lease (Type I)
+	TN int // actual non-lease, inferred non-lease
+	FN int // actual lease, inferred non-lease (Type II)
+}
+
+// Add merges another matrix into c.
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}
+
+// Record tallies one prediction.
+func (c *Confusion) Record(actual, predicted bool) {
+	switch {
+	case actual && predicted:
+		c.TP++
+	case actual && !predicted:
+		c.FN++
+	case !actual && predicted:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of observations.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Precision is TP / (TP + FP): the share of inferred leases that are real.
+func (c Confusion) Precision() float64 { return ratio(c.TP, c.TP+c.FP) }
+
+// Recall is TP / (TP + FN): the share of real leases that were inferred.
+func (c Confusion) Recall() float64 { return ratio(c.TP, c.TP+c.FN) }
+
+// Specificity is TN / (TN + FP).
+func (c Confusion) Specificity() float64 { return ratio(c.TN, c.TN+c.FP) }
+
+// NPV is TN / (TN + FN): negative predictive value.
+func (c Confusion) NPV() float64 { return ratio(c.TN, c.TN+c.FN) }
+
+// Accuracy is (TP + TN) / total.
+func (c Confusion) Accuracy() float64 { return ratio(c.TP+c.TN, c.Total()) }
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix in the layout of the paper's Table 2.
+func (c Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "                Inferred Lease  Inferred Non-lease\n")
+	fmt.Fprintf(&b, "Actual Lease     %7d (TP)     %7d (FN)   Recall      %.2f\n", c.TP, c.FN, c.Recall())
+	fmt.Fprintf(&b, "Actual Non-lease %7d (FP)     %7d (TN)   Specificity %.2f\n", c.FP, c.TN, c.Specificity())
+	fmt.Fprintf(&b, "Precision %.2f   NPV %.2f   Accuracy %.2f   (n=%d)\n",
+		c.Precision(), c.NPV(), c.Accuracy(), c.Total())
+	return b.String()
+}

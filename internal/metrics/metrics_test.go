@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperMatrix is the exact confusion matrix of the paper's Table 2.
+func paperMatrix() Confusion {
+	return Confusion{TP: 7735, FN: 1743, FP: 121, TN: 5257}
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 0.005 }
+
+func TestPaperTable2(t *testing.T) {
+	c := paperMatrix()
+	if c.Total() != 14856 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if !approx(c.Precision(), 0.98) {
+		t.Errorf("Precision = %.3f", c.Precision())
+	}
+	if !approx(c.Recall(), 0.816) {
+		t.Errorf("Recall = %.3f", c.Recall())
+	}
+	if !approx(c.Specificity(), 0.9775) {
+		t.Errorf("Specificity = %.3f", c.Specificity())
+	}
+	if !approx(c.NPV(), 0.751) {
+		t.Errorf("NPV = %.3f", c.NPV())
+	}
+	if !approx(c.Accuracy(), 0.8745) {
+		t.Errorf("Accuracy = %.3f", c.Accuracy())
+	}
+}
+
+func TestRecordAndAdd(t *testing.T) {
+	var c Confusion
+	c.Record(true, true)   // TP
+	c.Record(true, false)  // FN
+	c.Record(false, true)  // FP
+	c.Record(false, false) // TN
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("Record: %+v", c)
+	}
+	var d Confusion
+	d.Add(c)
+	d.Add(c)
+	if d.Total() != 8 || d.TP != 2 {
+		t.Fatalf("Add: %+v", d)
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.Specificity() != 0 ||
+		c.NPV() != 0 || c.Accuracy() != 0 || c.F1() != 0 {
+		t.Fatal("empty matrix metrics should be 0")
+	}
+}
+
+func TestF1(t *testing.T) {
+	c := Confusion{TP: 10, FP: 0, FN: 0, TN: 5}
+	if c.F1() != 1 {
+		t.Fatalf("perfect F1 = %v", c.F1())
+	}
+}
+
+func TestString(t *testing.T) {
+	s := paperMatrix().String()
+	for _, want := range []string{"7735 (TP)", "1743 (FN)", "121 (FP)", "5257 (TN)", "Precision 0.98"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+// Property: metric identities hold for arbitrary matrices.
+func TestIdentitiesQuick(t *testing.T) {
+	f := func(tp, fp, tn, fn uint16) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		if c.Total() != int(tp)+int(fp)+int(tn)+int(fn) {
+			return false
+		}
+		for _, v := range []float64{c.Precision(), c.Recall(), c.Specificity(), c.NPV(), c.Accuracy(), c.F1()} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		// Accuracy is a convex combination of recall and specificity.
+		if c.Total() > 0 {
+			wPos := float64(int(tp)+int(fn)) / float64(c.Total())
+			expect := wPos*c.Recall() + (1-wPos)*c.Specificity()
+			if (int(tp)+int(fn) > 0) && (int(tn)+int(fp) > 0) && math.Abs(expect-c.Accuracy()) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

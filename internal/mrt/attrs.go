@@ -1,0 +1,249 @@
+package mrt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ipleasing/internal/netutil"
+)
+
+// BGP path-attribute type codes (RFC 4271 §5.1, RFC 1997).
+const (
+	AttrOrigin          uint8 = 1
+	AttrASPath          uint8 = 2
+	AttrNextHop         uint8 = 3
+	AttrMED             uint8 = 4
+	AttrLocalPref       uint8 = 5
+	AttrAtomicAggregate uint8 = 6
+	AttrAggregator      uint8 = 7
+	AttrCommunities     uint8 = 8
+)
+
+// Attribute flag bits.
+const (
+	FlagOptional   uint8 = 0x80
+	FlagTransitive uint8 = 0x40
+	FlagPartial    uint8 = 0x20
+	FlagExtLen     uint8 = 0x10
+)
+
+// ORIGIN attribute values.
+const (
+	OriginIGP        uint8 = 0
+	OriginEGP        uint8 = 1
+	OriginIncomplete uint8 = 2
+)
+
+// AS_PATH segment types (RFC 4271 §4.3).
+const (
+	SegmentASSet      uint8 = 1
+	SegmentASSequence uint8 = 2
+)
+
+// Attribute is one BGP path attribute, undecoded.
+type Attribute struct {
+	Flags uint8
+	Type  uint8
+	Value []byte
+}
+
+// ErrBadAttribute reports a structurally invalid path attribute.
+var ErrBadAttribute = errors.New("mrt: malformed path attribute")
+
+// ParseAttributes decodes a path-attribute blob. as4 selects 4-byte AS
+// numbers in AS_PATH (always true inside TABLE_DUMP_V2 per RFC 6396
+// §4.3.4; false only for legacy 2-byte BGP4MP messages).
+func ParseAttributes(b []byte, as4 bool) ([]Attribute, error) {
+	_ = as4 // width is enforced when decoding AS_PATH, see ASPath.
+	var out []Attribute
+	pos := 0
+	for pos < len(b) {
+		if pos+2 > len(b) {
+			return nil, fmt.Errorf("%w: header at %d", ErrBadAttribute, pos)
+		}
+		flags, typ := b[pos], b[pos+1]
+		pos += 2
+		var alen int
+		if flags&FlagExtLen != 0 {
+			if pos+2 > len(b) {
+				return nil, fmt.Errorf("%w: extended length at %d", ErrBadAttribute, pos)
+			}
+			alen = int(binary.BigEndian.Uint16(b[pos:]))
+			pos += 2
+		} else {
+			if pos+1 > len(b) {
+				return nil, fmt.Errorf("%w: length at %d", ErrBadAttribute, pos)
+			}
+			alen = int(b[pos])
+			pos++
+		}
+		if pos+alen > len(b) {
+			return nil, fmt.Errorf("%w: value of attr type %d overruns buffer", ErrBadAttribute, typ)
+		}
+		out = append(out, Attribute{Flags: flags, Type: typ, Value: b[pos : pos+alen]})
+		pos += alen
+	}
+	return out, nil
+}
+
+// EncodeAttributes renders attributes back to wire form, using the
+// extended-length encoding whenever a value exceeds 255 bytes.
+func EncodeAttributes(attrs []Attribute) []byte {
+	var out []byte
+	for _, a := range attrs {
+		flags := a.Flags
+		if len(a.Value) > 255 {
+			flags |= FlagExtLen
+		}
+		out = append(out, flags, a.Type)
+		if flags&FlagExtLen != 0 {
+			out = binary.BigEndian.AppendUint16(out, uint16(len(a.Value)))
+		} else {
+			out = append(out, byte(len(a.Value)))
+		}
+		out = append(out, a.Value...)
+	}
+	return out
+}
+
+// Segment is one AS_PATH segment.
+type Segment struct {
+	Type uint8 // SegmentASSet or SegmentASSequence
+	ASNs []uint32
+}
+
+// ASPath is a parsed AS_PATH attribute.
+type ASPath []Segment
+
+// ParseASPath decodes an AS_PATH attribute value. as4 selects the AS
+// number width.
+func ParseASPath(v []byte, as4 bool) (ASPath, error) {
+	width := 2
+	if as4 {
+		width = 4
+	}
+	var path ASPath
+	pos := 0
+	for pos < len(v) {
+		if pos+2 > len(v) {
+			return nil, fmt.Errorf("%w: AS_PATH segment header", ErrBadAttribute)
+		}
+		seg := Segment{Type: v[pos]}
+		if seg.Type != SegmentASSet && seg.Type != SegmentASSequence {
+			return nil, fmt.Errorf("%w: AS_PATH segment type %d", ErrBadAttribute, seg.Type)
+		}
+		count := int(v[pos+1])
+		pos += 2
+		if pos+count*width > len(v) {
+			return nil, fmt.Errorf("%w: AS_PATH segment overruns value", ErrBadAttribute)
+		}
+		for i := 0; i < count; i++ {
+			if as4 {
+				seg.ASNs = append(seg.ASNs, binary.BigEndian.Uint32(v[pos:]))
+			} else {
+				seg.ASNs = append(seg.ASNs, uint32(binary.BigEndian.Uint16(v[pos:])))
+			}
+			pos += width
+		}
+		path = append(path, seg)
+	}
+	return path, nil
+}
+
+// Encode renders the path with the given AS width.
+func (p ASPath) Encode(as4 bool) []byte {
+	var out []byte
+	for _, s := range p {
+		out = append(out, s.Type, byte(len(s.ASNs)))
+		for _, a := range s.ASNs {
+			if as4 {
+				out = binary.BigEndian.AppendUint32(out, a)
+			} else {
+				out = binary.BigEndian.AppendUint16(out, uint16(a))
+			}
+		}
+	}
+	return out
+}
+
+// Origins returns the origin AS(es) of the path: the last ASN when the
+// path ends in an AS_SEQUENCE, or every member when it ends in an AS_SET
+// (aggregated routes have ambiguous origins).
+func (p ASPath) Origins() []uint32 {
+	if len(p) == 0 {
+		return nil
+	}
+	last := p[len(p)-1]
+	if len(last.ASNs) == 0 {
+		return nil
+	}
+	if last.Type == SegmentASSequence {
+		return []uint32{last.ASNs[len(last.ASNs)-1]}
+	}
+	out := make([]uint32, len(last.ASNs))
+	copy(out, last.ASNs)
+	return out
+}
+
+// Sequence returns the flattened ASN sequence of all segments, in order.
+func (p ASPath) Sequence() []uint32 {
+	var out []uint32
+	for _, s := range p {
+		out = append(out, s.ASNs...)
+	}
+	return out
+}
+
+// NewASPathSequence builds a single-sequence path from hops.
+func NewASPathSequence(hops ...uint32) ASPath {
+	return ASPath{{Type: SegmentASSequence, ASNs: hops}}
+}
+
+// ASPathAttr builds an AS_PATH attribute (4-byte encoding, the
+// TABLE_DUMP_V2 requirement).
+func ASPathAttr(p ASPath) Attribute {
+	return Attribute{Flags: FlagTransitive, Type: AttrASPath, Value: p.Encode(true)}
+}
+
+// OriginAttr builds an ORIGIN attribute.
+func OriginAttr(origin uint8) Attribute {
+	return Attribute{Flags: FlagTransitive, Type: AttrOrigin, Value: []byte{origin}}
+}
+
+// NextHopAttr builds a NEXT_HOP attribute.
+func NextHopAttr(hop netutil.Addr) Attribute {
+	v := make([]byte, 4)
+	binary.BigEndian.PutUint32(v, uint32(hop))
+	return Attribute{Flags: FlagTransitive, Type: AttrNextHop, Value: v}
+}
+
+// CommunitiesAttr builds a COMMUNITIES attribute from (asn<<16|value)
+// words.
+func CommunitiesAttr(comms []uint32) Attribute {
+	v := make([]byte, 0, 4*len(comms))
+	for _, c := range comms {
+		v = binary.BigEndian.AppendUint32(v, c)
+	}
+	return Attribute{Flags: FlagOptional | FlagTransitive, Type: AttrCommunities, Value: v}
+}
+
+// FindAttr returns the first attribute of the given type.
+func FindAttr(attrs []Attribute, typ uint8) (Attribute, bool) {
+	for _, a := range attrs {
+		if a.Type == typ {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// PathOf extracts and parses the AS_PATH from an attribute list
+// (4-byte encoding).
+func PathOf(attrs []Attribute) (ASPath, error) {
+	a, ok := FindAttr(attrs, AttrASPath)
+	if !ok {
+		return nil, nil
+	}
+	return ParseASPath(a.Value, true)
+}

@@ -1,0 +1,178 @@
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ipleasing/internal/netutil"
+)
+
+// BGP message types (RFC 4271 §4.1).
+const (
+	BGPMsgOpen         uint8 = 1
+	BGPMsgUpdate       uint8 = 2
+	BGPMsgNotification uint8 = 3
+	BGPMsgKeepalive    uint8 = 4
+)
+
+// bgpMarkerLen is the length of the all-ones marker that opens every BGP
+// message.
+const bgpMarkerLen = 16
+
+// BGP4MPMessage is a BGP4MP_MESSAGE_AS4 record: one BGP message observed
+// between a collector and a peer (RFC 6396 §4.4.2). Only the IPv4 address
+// family is modelled.
+type BGP4MPMessage struct {
+	PeerAS, LocalAS uint32
+	IfIndex         uint16
+	PeerIP, LocalIP netutil.Addr
+	MsgType         uint8
+	MsgBody         []byte // BGP message body (after marker/length/type)
+}
+
+const afiIPv4 = 1
+
+// DecodeBGP4MPMessageAS4 parses the body of a BGP4MP_MESSAGE_AS4 record.
+func DecodeBGP4MPMessageAS4(body []byte) (*BGP4MPMessage, error) {
+	c := &byteCursor{b: body}
+	m := &BGP4MPMessage{
+		PeerAS:  c.u32("peer as"),
+		LocalAS: c.u32("local as"),
+		IfIndex: c.u16("ifindex"),
+	}
+	afi := c.u16("afi")
+	if c.err != nil {
+		return nil, c.err
+	}
+	if afi != afiIPv4 {
+		return nil, fmt.Errorf("mrt: BGP4MP AFI %d not supported", afi)
+	}
+	m.PeerIP = netutil.Addr(c.u32("peer ip"))
+	m.LocalIP = netutil.Addr(c.u32("local ip"))
+	// BGP message: 16-byte marker, 2-byte length, 1-byte type.
+	c.bytes(bgpMarkerLen, "bgp marker")
+	msgLen := int(c.u16("bgp length"))
+	m.MsgType = c.u8("bgp type")
+	if c.err != nil {
+		return nil, c.err
+	}
+	bodyLen := msgLen - bgpMarkerLen - 3
+	if bodyLen < 0 || bodyLen > c.remaining() {
+		return nil, fmt.Errorf("mrt: BGP message length %d inconsistent with record", msgLen)
+	}
+	m.MsgBody = c.bytes(bodyLen, "bgp body")
+	return m, c.err
+}
+
+// Encode renders the record body.
+func (m *BGP4MPMessage) Encode() []byte {
+	out := make([]byte, 0, 18+bgpMarkerLen+3+len(m.MsgBody))
+	out = binary.BigEndian.AppendUint32(out, m.PeerAS)
+	out = binary.BigEndian.AppendUint32(out, m.LocalAS)
+	out = binary.BigEndian.AppendUint16(out, m.IfIndex)
+	out = binary.BigEndian.AppendUint16(out, afiIPv4)
+	out = binary.BigEndian.AppendUint32(out, uint32(m.PeerIP))
+	out = binary.BigEndian.AppendUint32(out, uint32(m.LocalIP))
+	for i := 0; i < bgpMarkerLen; i++ {
+		out = append(out, 0xff)
+	}
+	out = binary.BigEndian.AppendUint16(out, uint16(bgpMarkerLen+3+len(m.MsgBody)))
+	out = append(out, m.MsgType)
+	out = append(out, m.MsgBody...)
+	return out
+}
+
+// Record wraps the encoded message in an MRT record.
+func (m *BGP4MPMessage) Record(ts uint32) *RawRecord {
+	return &RawRecord{
+		Header: Header{Timestamp: ts, Type: TypeBGP4MP, Subtype: SubtypeBGP4MPMessageAS4},
+		Body:   m.Encode(),
+	}
+}
+
+// BGPUpdate is a parsed BGP UPDATE message body (RFC 4271 §4.3).
+type BGPUpdate struct {
+	Withdrawn []netutil.Prefix
+	Attrs     []Attribute
+	NLRI      []netutil.Prefix
+}
+
+// DecodeBGPUpdate parses an UPDATE message body. as4 selects the AS_PATH
+// number width used later by ParseASPath (stored attributes are kept raw).
+func DecodeBGPUpdate(body []byte) (*BGPUpdate, error) {
+	c := &byteCursor{b: body}
+	u := &BGPUpdate{}
+	wlen := int(c.u16("withdrawn length"))
+	wb := c.bytes(wlen, "withdrawn routes")
+	if c.err != nil {
+		return nil, c.err
+	}
+	var err error
+	u.Withdrawn, err = decodeNLRI(wb)
+	if err != nil {
+		return nil, fmt.Errorf("mrt: withdrawn routes: %w", err)
+	}
+	alen := int(c.u16("attribute length"))
+	ab := c.bytes(alen, "path attributes")
+	if c.err != nil {
+		return nil, c.err
+	}
+	u.Attrs, err = ParseAttributes(ab, true)
+	if err != nil {
+		return nil, err
+	}
+	u.NLRI, err = decodeNLRI(c.bytes(c.remaining(), "nlri"))
+	if err != nil {
+		return nil, fmt.Errorf("mrt: nlri: %w", err)
+	}
+	return u, c.err
+}
+
+// Encode renders the UPDATE body.
+func (u *BGPUpdate) Encode() []byte {
+	wb := encodeNLRI(u.Withdrawn)
+	ab := EncodeAttributes(u.Attrs)
+	out := make([]byte, 0, 4+len(wb)+len(ab)+len(u.NLRI)*5)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(wb)))
+	out = append(out, wb...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(ab)))
+	out = append(out, ab...)
+	out = append(out, encodeNLRI(u.NLRI)...)
+	return out
+}
+
+// decodeNLRI parses packed (len, prefix-bytes) IPv4 NLRI.
+func decodeNLRI(b []byte) ([]netutil.Prefix, error) {
+	var out []netutil.Prefix
+	pos := 0
+	for pos < len(b) {
+		plen := b[pos]
+		pos++
+		if plen > 32 {
+			return nil, fmt.Errorf("invalid NLRI prefix length %d", plen)
+		}
+		n := (int(plen) + 7) / 8
+		if pos+n > len(b) {
+			return nil, fmt.Errorf("NLRI overruns buffer")
+		}
+		var base uint32
+		for i := 0; i < n; i++ {
+			base |= uint32(b[pos+i]) << (24 - 8*i)
+		}
+		pos += n
+		out = append(out, netutil.Prefix{Base: netutil.Addr(base), Len: plen}.Canonicalize())
+	}
+	return out, nil
+}
+
+func encodeNLRI(ps []netutil.Prefix) []byte {
+	var out []byte
+	for _, p := range ps {
+		out = append(out, p.Len)
+		n := (int(p.Len) + 7) / 8
+		for i := 0; i < n; i++ {
+			out = append(out, byte(uint32(p.Base)>>(24-8*i)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,455 @@
+package mrt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"ipleasing/internal/netutil"
+)
+
+func mp(s string) netutil.Prefix { return netutil.MustParsePrefix(s) }
+
+func TestRawRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []*RawRecord{
+		{Header: Header{Timestamp: 1712000000, Type: TypeTableDumpV2, Subtype: SubtypePeerIndexTable}, Body: []byte{1, 2, 3}},
+		{Header: Header{Timestamp: 1712000001, Type: TypeBGP4MP, Subtype: SubtypeBGP4MPMessageAS4}, Body: nil},
+	}
+	for _, r := range recs {
+		if err := w.WriteRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReader(&buf)
+	for i, want := range recs {
+		got, err := rd.Next()
+		if err != nil {
+			t.Fatalf("rec %d: %v", i, err)
+		}
+		if got.Timestamp != want.Timestamp || got.Type != want.Type || got.Subtype != want.Subtype {
+			t.Fatalf("rec %d header mismatch: %+v", i, got.Header)
+		}
+		if !bytes.Equal(got.Body, want.Body) {
+			t.Fatalf("rec %d body mismatch", i)
+		}
+		if got.Length != uint32(len(want.Body)) {
+			t.Fatalf("rec %d length = %d", i, got.Length)
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.WriteRecord(&RawRecord{Header: Header{Type: TypeTableDumpV2}, Body: make([]byte, 100)})
+	_ = w.Flush()
+	full := buf.Bytes()
+
+	// Cut inside the header.
+	rd := NewReader(bytes.NewReader(full[:6]))
+	if _, err := rd.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("header cut: %v", err)
+	}
+	// Cut inside the body.
+	rd = NewReader(bytes.NewReader(full[:20]))
+	if _, err := rd.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("body cut: %v", err)
+	}
+	// Implausible length field.
+	bad := append([]byte(nil), full[:12]...)
+	bad[8], bad[9], bad[10], bad[11] = 0xff, 0xff, 0xff, 0xff
+	rd = NewReader(bytes.NewReader(bad))
+	if _, err := rd.Next(); err == nil {
+		t.Fatal("implausible length accepted")
+	}
+}
+
+func TestPeerIndexTableRoundTrip(t *testing.T) {
+	tbl := &PeerIndexTable{
+		CollectorID: 0x0a000001,
+		ViewName:    "rib.20240401",
+		Peers: []Peer{
+			{BGPID: 1, Addr: netutil.MustParseAddr("192.0.2.1"), AS: 64500},
+			{BGPID: 2, Addr: netutil.MustParseAddr("198.51.100.7"), AS: 4200000001},
+		},
+	}
+	back, err := DecodePeerIndexTable(tbl.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CollectorID != tbl.CollectorID || back.ViewName != tbl.ViewName || len(back.Peers) != 2 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	for i := range tbl.Peers {
+		if back.Peers[i] != tbl.Peers[i] {
+			t.Fatalf("peer %d: %+v != %+v", i, back.Peers[i], tbl.Peers[i])
+		}
+	}
+	rec := tbl.Record(1712000000)
+	if rec.Type != TypeTableDumpV2 || rec.Subtype != SubtypePeerIndexTable {
+		t.Fatal("record header wrong")
+	}
+}
+
+func TestPeerIndexTableIPv6PeerSkipped(t *testing.T) {
+	// Hand-build a table with one IPv6+AS4 peer followed by an IPv4 peer.
+	var body []byte
+	body = append(body, 0, 0, 0, 9) // collector
+	body = append(body, 0, 0)       // view name len 0
+	body = append(body, 0, 2)       // 2 peers
+	body = append(body, peerTypeIPv6|peerTypeAS4)
+	body = append(body, 0, 0, 0, 1)          // bgp id
+	body = append(body, make([]byte, 16)...) // v6 addr
+	body = append(body, 0, 0, 0xfd, 0xe8)    // as 65000
+	body = append(body, peerTypeAS4, 0, 0, 0, 2, 192, 0, 2, 1, 0, 0, 0xfd, 0xe9)
+	tbl, err := DecodePeerIndexTable(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Peers) != 2 || tbl.Peers[0].AS != 65000 || tbl.Peers[1].AS != 65001 {
+		t.Fatalf("peers = %+v", tbl.Peers)
+	}
+	if tbl.Peers[1].Addr != netutil.MustParseAddr("192.0.2.1") {
+		t.Fatal("v4 peer after v6 misaligned")
+	}
+}
+
+func TestPeerIndexTable2ByteAS(t *testing.T) {
+	var body []byte
+	body = append(body, 0, 0, 0, 9, 0, 0, 0, 1) // collector, no view, 1 peer
+	body = append(body, 0 /* v4 + 2-byte AS */, 0, 0, 0, 1, 10, 0, 0, 1, 0xfd, 0xe8)
+	tbl, err := DecodePeerIndexTable(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Peers[0].AS != 65000 {
+		t.Fatalf("as = %d", tbl.Peers[0].AS)
+	}
+}
+
+func TestDecodePeerIndexTableTruncated(t *testing.T) {
+	tbl := &PeerIndexTable{ViewName: "x", Peers: []Peer{{BGPID: 1, AS: 2}}}
+	enc := tbl.Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodePeerIndexTable(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestRIBRoundTrip(t *testing.T) {
+	rib := &RIB{
+		Sequence: 42,
+		Prefix:   mp("203.0.113.0/24"),
+		Entries: []RIBEntry{
+			{
+				PeerIndex:      0,
+				OriginatedTime: 1712000000,
+				Attrs: []Attribute{
+					OriginAttr(OriginIGP),
+					ASPathAttr(NewASPathSequence(64500, 64501, 64502)),
+					NextHopAttr(netutil.MustParseAddr("192.0.2.1")),
+				},
+			},
+			{
+				PeerIndex:      1,
+				OriginatedTime: 1712000100,
+				Attrs: []Attribute{
+					OriginAttr(OriginIncomplete),
+					ASPathAttr(NewASPathSequence(65010, 64502)),
+				},
+			},
+		},
+	}
+	back, err := DecodeRIBIPv4(rib.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Sequence != 42 || back.Prefix != rib.Prefix || len(back.Entries) != 2 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	p, err := PathOf(back.Entries[0].Attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Origins(); len(got) != 1 || got[0] != 64502 {
+		t.Fatalf("origins = %v", got)
+	}
+	if seq := p.Sequence(); len(seq) != 3 || seq[0] != 64500 {
+		t.Fatalf("sequence = %v", seq)
+	}
+}
+
+func TestRIBPrefixEncodingWidths(t *testing.T) {
+	// Prefix byte count varies with length: /0 0 bytes, /8 1, /17 3, /32 4.
+	for _, s := range []string{"0.0.0.0/0", "10.0.0.0/8", "10.128.0.0/17", "192.0.2.255/32", "1.2.3.4/31"} {
+		rib := &RIB{Prefix: netutil.MustParsePrefix(s).Canonicalize()}
+		back, err := DecodeRIBIPv4(rib.Encode())
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if back.Prefix != rib.Prefix {
+			t.Fatalf("%s -> %v", s, back.Prefix)
+		}
+	}
+}
+
+func TestDecodeRIBBadPrefixLen(t *testing.T) {
+	body := []byte{0, 0, 0, 1, 40} // seq=1, plen=40
+	if _, err := DecodeRIBIPv4(body); err == nil {
+		t.Fatal("prefix length 40 accepted")
+	}
+}
+
+func TestDecodeRIBTruncated(t *testing.T) {
+	rib := &RIB{
+		Sequence: 1, Prefix: mp("10.0.0.0/8"),
+		Entries: []RIBEntry{{Attrs: []Attribute{OriginAttr(0)}}},
+	}
+	enc := rib.Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeRIBIPv4(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestAttributesRoundTrip(t *testing.T) {
+	attrs := []Attribute{
+		OriginAttr(OriginEGP),
+		ASPathAttr(ASPath{
+			{Type: SegmentASSequence, ASNs: []uint32{64500, 64501}},
+			{Type: SegmentASSet, ASNs: []uint32{65000, 65001, 65002}},
+		}),
+		NextHopAttr(netutil.MustParseAddr("10.0.0.1")),
+		CommunitiesAttr([]uint32{64500<<16 | 100, 64500<<16 | 200}),
+	}
+	back, err := ParseAttributes(EncodeAttributes(attrs), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(attrs) {
+		t.Fatalf("count = %d", len(back))
+	}
+	for i := range attrs {
+		if back[i].Type != attrs[i].Type || !bytes.Equal(back[i].Value, attrs[i].Value) {
+			t.Fatalf("attr %d mismatch", i)
+		}
+	}
+}
+
+func TestExtendedLengthAttribute(t *testing.T) {
+	long := Attribute{Flags: FlagTransitive, Type: AttrCommunities, Value: make([]byte, 300)}
+	enc := EncodeAttributes([]Attribute{long})
+	back, err := ParseAttributes(enc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || len(back[0].Value) != 300 {
+		t.Fatalf("ext-len round trip: %+v", back)
+	}
+	if back[0].Flags&FlagExtLen == 0 {
+		t.Fatal("ext-len flag not set on wire")
+	}
+}
+
+func TestParseAttributesMalformed(t *testing.T) {
+	cases := [][]byte{
+		{0x40},             // header cut
+		{0x40, 2},          // missing length
+		{0x50, 2, 0},       // ext-len cut
+		{0x40, 2, 5, 1, 2}, // value overruns
+	}
+	for i, c := range cases {
+		if _, err := ParseAttributes(c, true); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestASPathOrigins(t *testing.T) {
+	seq := NewASPathSequence(1, 2, 3)
+	if got := seq.Origins(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("sequence origins = %v", got)
+	}
+	set := ASPath{
+		{Type: SegmentASSequence, ASNs: []uint32{1, 2}},
+		{Type: SegmentASSet, ASNs: []uint32{7, 8}},
+	}
+	if got := set.Origins(); len(got) != 2 {
+		t.Fatalf("set origins = %v", got)
+	}
+	if got := (ASPath{}).Origins(); got != nil {
+		t.Fatalf("empty origins = %v", got)
+	}
+	if got := (ASPath{{Type: SegmentASSequence}}).Origins(); got != nil {
+		t.Fatalf("empty segment origins = %v", got)
+	}
+}
+
+func TestASPath2ByteEncoding(t *testing.T) {
+	p := NewASPathSequence(64500, 64501)
+	enc := p.Encode(false)
+	back, err := ParseASPath(enc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].ASNs[1] != 64501 {
+		t.Fatalf("2-byte round trip: %+v", back)
+	}
+	// Parsing 2-byte encoding as 4-byte must fail or mis-align, never panic.
+	if _, err := ParseASPath(enc[:3], true); err == nil {
+		t.Fatal("misaligned parse accepted")
+	}
+}
+
+func TestASPathBadSegmentType(t *testing.T) {
+	if _, err := ParseASPath([]byte{9, 1, 0, 0, 0, 1}, true); err == nil {
+		t.Fatal("segment type 9 accepted")
+	}
+}
+
+func TestASPathRoundTripQuick(t *testing.T) {
+	f := func(asns []uint32, split uint8) bool {
+		if len(asns) > 200 {
+			asns = asns[:200]
+		}
+		var p ASPath
+		if len(asns) > 0 {
+			mid := int(split) % (len(asns) + 1)
+			if mid > 0 {
+				p = append(p, Segment{Type: SegmentASSequence, ASNs: asns[:mid]})
+			}
+			if mid < len(asns) {
+				p = append(p, Segment{Type: SegmentASSet, ASNs: asns[mid:]})
+			}
+		}
+		back, err := ParseASPath(p.Encode(true), true)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(p) {
+			return false
+		}
+		for i := range p {
+			if back[i].Type != p[i].Type || len(back[i].ASNs) != len(p[i].ASNs) {
+				return false
+			}
+			for j := range p[i].ASNs {
+				if back[i].ASNs[j] != p[i].ASNs[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBGP4MPMessageRoundTrip(t *testing.T) {
+	upd := &BGPUpdate{
+		Withdrawn: []netutil.Prefix{mp("10.0.0.0/8")},
+		Attrs: []Attribute{
+			OriginAttr(OriginIGP),
+			ASPathAttr(NewASPathSequence(64500, 64501)),
+			NextHopAttr(netutil.MustParseAddr("192.0.2.1")),
+		},
+		NLRI: []netutil.Prefix{mp("203.0.113.0/24"), mp("198.51.100.128/25")},
+	}
+	msg := &BGP4MPMessage{
+		PeerAS: 64500, LocalAS: 65000, IfIndex: 3,
+		PeerIP:  netutil.MustParseAddr("192.0.2.1"),
+		LocalIP: netutil.MustParseAddr("192.0.2.2"),
+		MsgType: BGPMsgUpdate,
+		MsgBody: upd.Encode(),
+	}
+	back, err := DecodeBGP4MPMessageAS4(msg.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PeerAS != 64500 || back.LocalAS != 65000 || back.MsgType != BGPMsgUpdate {
+		t.Fatalf("msg header: %+v", back)
+	}
+	u, err := DecodeBGPUpdate(back.MsgBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Withdrawn) != 1 || u.Withdrawn[0] != mp("10.0.0.0/8") {
+		t.Fatalf("withdrawn = %v", u.Withdrawn)
+	}
+	if len(u.NLRI) != 2 || u.NLRI[1] != mp("198.51.100.128/25") {
+		t.Fatalf("nlri = %v", u.NLRI)
+	}
+	p, _ := PathOf(u.Attrs)
+	if got := p.Origins(); len(got) != 1 || got[0] != 64501 {
+		t.Fatalf("origins = %v", got)
+	}
+	rec := msg.Record(1700000000)
+	if rec.Type != TypeBGP4MP || rec.Subtype != SubtypeBGP4MPMessageAS4 {
+		t.Fatal("record header wrong")
+	}
+}
+
+func TestDecodeBGP4MPTruncated(t *testing.T) {
+	msg := &BGP4MPMessage{MsgType: BGPMsgKeepalive}
+	enc := msg.Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeBGP4MPMessageAS4(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeNLRIBad(t *testing.T) {
+	if _, err := decodeNLRI([]byte{40}); err == nil {
+		t.Fatal("plen 40 accepted")
+	}
+	if _, err := decodeNLRI([]byte{24, 1, 2}); err == nil {
+		t.Fatal("short NLRI accepted")
+	}
+}
+
+func TestFindAttr(t *testing.T) {
+	attrs := []Attribute{OriginAttr(0), NextHopAttr(1)}
+	if a, ok := FindAttr(attrs, AttrNextHop); !ok || a.Type != AttrNextHop {
+		t.Fatal("FindAttr missed")
+	}
+	if _, ok := FindAttr(attrs, AttrASPath); ok {
+		t.Fatal("FindAttr false positive")
+	}
+	if p, err := PathOf(attrs); err != nil || p != nil {
+		t.Fatal("PathOf without AS_PATH should be nil, nil")
+	}
+}
+
+func BenchmarkRIBEncodeDecode(b *testing.B) {
+	rib := &RIB{
+		Sequence: 1, Prefix: mp("203.0.113.0/24"),
+		Entries: []RIBEntry{{
+			Attrs: []Attribute{
+				OriginAttr(OriginIGP),
+				ASPathAttr(NewASPathSequence(64500, 64501, 64502, 64503)),
+				NextHopAttr(netutil.MustParseAddr("192.0.2.1")),
+			},
+		}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := rib.Encode()
+		if _, err := DecodeRIBIPv4(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

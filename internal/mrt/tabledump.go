@@ -1,0 +1,165 @@
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ipleasing/internal/netutil"
+)
+
+// Peer is one collector peer from a PEER_INDEX_TABLE (RFC 6396 §4.3.1).
+// Only IPv4 peers are modelled; the peer-type bits are emitted accordingly.
+type Peer struct {
+	BGPID uint32
+	Addr  netutil.Addr
+	AS    uint32
+}
+
+// PeerIndexTable is the first record of a TABLE_DUMP_V2 dump; RIB entries
+// reference peers by index into it.
+type PeerIndexTable struct {
+	CollectorID uint32
+	ViewName    string
+	Peers       []Peer
+}
+
+const (
+	peerTypeIPv6 = 0x01 // bit 0: address family
+	peerTypeAS4  = 0x02 // bit 1: 4-byte AS number
+)
+
+// DecodePeerIndexTable parses the body of a PEER_INDEX_TABLE record.
+func DecodePeerIndexTable(body []byte) (*PeerIndexTable, error) {
+	c := &byteCursor{b: body}
+	t := &PeerIndexTable{CollectorID: c.u32("collector id")}
+	nameLen := int(c.u16("view name length"))
+	t.ViewName = string(c.bytes(nameLen, "view name"))
+	n := int(c.u16("peer count"))
+	for i := 0; i < n; i++ {
+		pt := c.u8("peer type")
+		p := Peer{BGPID: c.u32("peer bgp id")}
+		if pt&peerTypeIPv6 != 0 {
+			// IPv6 peers are skipped over but preserved positionally so
+			// indexes keep lining up; the address is recorded as zero.
+			c.bytes(16, "peer ipv6 address")
+		} else {
+			p.Addr = netutil.Addr(c.u32("peer ipv4 address"))
+		}
+		if pt&peerTypeAS4 != 0 {
+			p.AS = c.u32("peer as4")
+		} else {
+			p.AS = uint32(c.u16("peer as2"))
+		}
+		t.Peers = append(t.Peers, p)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	return t, nil
+}
+
+// Encode renders the table body. All peers are written as IPv4 + AS4.
+func (t *PeerIndexTable) Encode() []byte {
+	out := make([]byte, 0, 10+len(t.ViewName)+len(t.Peers)*9)
+	out = binary.BigEndian.AppendUint32(out, t.CollectorID)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(t.ViewName)))
+	out = append(out, t.ViewName...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(t.Peers)))
+	for _, p := range t.Peers {
+		out = append(out, peerTypeAS4) // IPv4 + 4-byte AS
+		out = binary.BigEndian.AppendUint32(out, p.BGPID)
+		out = binary.BigEndian.AppendUint32(out, uint32(p.Addr))
+		out = binary.BigEndian.AppendUint32(out, p.AS)
+	}
+	return out
+}
+
+// Record wraps the encoded table in an MRT record.
+func (t *PeerIndexTable) Record(ts uint32) *RawRecord {
+	return &RawRecord{
+		Header: Header{Timestamp: ts, Type: TypeTableDumpV2, Subtype: SubtypePeerIndexTable},
+		Body:   t.Encode(),
+	}
+}
+
+// RIBEntry is one peer's path for a prefix (RFC 6396 §4.3.4).
+type RIBEntry struct {
+	PeerIndex      uint16
+	OriginatedTime uint32
+	Attrs          []Attribute
+}
+
+// RIB is a RIB_IPV4_UNICAST record: one prefix and the entries announcing
+// it.
+type RIB struct {
+	Sequence uint32
+	Prefix   netutil.Prefix
+	Entries  []RIBEntry
+}
+
+// DecodeRIBIPv4 parses the body of a RIB_IPV4_UNICAST record.
+func DecodeRIBIPv4(body []byte) (*RIB, error) {
+	c := &byteCursor{b: body}
+	r := &RIB{Sequence: c.u32("sequence")}
+	plen := c.u8("prefix length")
+	if plen > 32 {
+		return nil, fmt.Errorf("mrt: invalid IPv4 prefix length %d", plen)
+	}
+	nBytes := (int(plen) + 7) / 8
+	pb := c.bytes(nBytes, "prefix bytes")
+	var base uint32
+	for i, b := range pb {
+		base |= uint32(b) << (24 - 8*i)
+	}
+	r.Prefix = netutil.Prefix{Base: netutil.Addr(base), Len: plen}.Canonicalize()
+	n := int(c.u16("entry count"))
+	for i := 0; i < n; i++ {
+		e := RIBEntry{
+			PeerIndex:      c.u16("peer index"),
+			OriginatedTime: c.u32("originated time"),
+		}
+		alen := int(c.u16("attribute length"))
+		ab := c.bytes(alen, "attributes")
+		if c.err != nil {
+			return nil, c.err
+		}
+		attrs, err := ParseAttributes(ab, true)
+		if err != nil {
+			return nil, fmt.Errorf("mrt: rib seq %d entry %d: %w", r.Sequence, i, err)
+		}
+		e.Attrs = attrs
+		r.Entries = append(r.Entries, e)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	return r, nil
+}
+
+// Encode renders the RIB body.
+func (r *RIB) Encode() []byte {
+	out := make([]byte, 0, 64)
+	out = binary.BigEndian.AppendUint32(out, r.Sequence)
+	out = append(out, r.Prefix.Len)
+	nBytes := (int(r.Prefix.Len) + 7) / 8
+	for i := 0; i < nBytes; i++ {
+		out = append(out, byte(uint32(r.Prefix.Base)>>(24-8*i)))
+	}
+	out = binary.BigEndian.AppendUint16(out, uint16(len(r.Entries)))
+	for _, e := range r.Entries {
+		out = binary.BigEndian.AppendUint16(out, e.PeerIndex)
+		out = binary.BigEndian.AppendUint32(out, e.OriginatedTime)
+		ab := EncodeAttributes(e.Attrs)
+		out = binary.BigEndian.AppendUint16(out, uint16(len(ab)))
+		out = append(out, ab...)
+	}
+	return out
+}
+
+// Record wraps the encoded RIB in an MRT record.
+func (r *RIB) Record(ts uint32) *RawRecord {
+	return &RawRecord{
+		Header: Header{Timestamp: ts, Type: TypeTableDumpV2, Subtype: SubtypeRIBIPv4Unicast},
+		Body:   r.Encode(),
+	}
+}

@@ -1,0 +1,72 @@
+package prefixtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipleasing/internal/netutil"
+)
+
+// Property: random interleavings of insert/delete/reinsert agree with a
+// reference map for Get/Len, and lookups stay consistent with brute
+// force afterwards.
+func TestInsertDeleteReinsertAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for iter := 0; iter < 30; iter++ {
+		var tr Tree[int]
+		ref := make(map[netutil.Prefix]int)
+		universe := make([]netutil.Prefix, 0, 40)
+		for i := 0; i < 40; i++ {
+			universe = append(universe, netutil.Prefix{
+				Base: netutil.Addr(rng.Uint32()), Len: uint8(6 + rng.Intn(20)),
+			}.Canonicalize())
+		}
+		for op := 0; op < 400; op++ {
+			p := universe[rng.Intn(len(universe))]
+			switch rng.Intn(3) {
+			case 0, 1: // insert / overwrite
+				v := rng.Int()
+				_, existed := ref[p]
+				added := tr.Insert(p, v)
+				if added == existed {
+					t.Fatalf("Insert(%v) added=%v but existed=%v", p, added, existed)
+				}
+				ref[p] = v
+			case 2: // delete
+				_, existed := ref[p]
+				if deleted := tr.Delete(p); deleted != existed {
+					t.Fatalf("Delete(%v) = %v, existed %v", p, deleted, existed)
+				}
+				delete(ref, p)
+			}
+			if tr.Len() != len(ref) {
+				t.Fatalf("Len = %d, ref %d", tr.Len(), len(ref))
+			}
+		}
+		// Final consistency sweep.
+		for _, p := range universe {
+			got, ok := tr.Get(p)
+			want, existed := ref[p]
+			if ok != existed || (ok && got != want) {
+				t.Fatalf("Get(%v) = %v,%v want %v,%v", p, got, ok, want, existed)
+			}
+		}
+		// Longest match still agrees with brute force after deletions.
+		for probe := 0; probe < 50; probe++ {
+			q := netutil.Prefix{Base: netutil.Addr(rng.Uint32()), Len: uint8(rng.Intn(33))}.Canonicalize()
+			var best *netutil.Prefix
+			for p := range ref {
+				if p.ContainsPrefix(q) {
+					pp := p
+					if best == nil || p.Len > best.Len {
+						best = &pp
+					}
+				}
+			}
+			gp, _, ok := tr.LongestMatch(q)
+			if (best != nil) != ok || (ok && gp != *best) {
+				t.Fatalf("LongestMatch(%v) = %v,%v want %v", q, gp, ok, best)
+			}
+		}
+	}
+}

@@ -1,0 +1,364 @@
+// Package prefixtree implements a binary radix trie keyed by IPv4 CIDR
+// prefixes. It backs two distinct structures in the pipeline:
+//
+//   - the per-RIR address allocation tree (paper §5.1 step 2), where the
+//     root/leaf classification of registered address blocks drives the
+//     leasing inference; and
+//   - longest-match and least-specific covering-prefix lookup over BGP
+//     routing tables (paper §5.1 step 4).
+//
+// The trie is a path-compressed binary trie: internal branching nodes are
+// materialised only where inserted prefixes diverge, so memory stays
+// proportional to the number of inserted prefixes.
+package prefixtree
+
+import (
+	"ipleasing/internal/netutil"
+)
+
+// Tree is a radix trie mapping IPv4 prefixes to values of type V.
+// The zero value is an empty tree ready for use. Tree is not safe for
+// concurrent mutation; concurrent readers are safe once building is done.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	prefix netutil.Prefix
+	lo, hi *node[V]
+	value  V
+	set    bool // true if this node holds an inserted prefix
+}
+
+// Len returns the number of prefixes stored in the tree.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Insert stores value under p, replacing any existing value. It reports
+// whether the prefix was newly inserted (false if it replaced an entry).
+func (t *Tree[V]) Insert(p netutil.Prefix, value V) bool {
+	p = p.Canonicalize()
+	if t.root == nil {
+		t.root = &node[V]{prefix: netutil.Prefix{}} // /0 anchor
+	}
+	n := t.root
+	for {
+		if n.prefix == p {
+			added := !n.set
+			n.value, n.set = value, true
+			if added {
+				t.size++
+			}
+			return added
+		}
+		// p is strictly inside n.prefix here.
+		child := &n.hi
+		if p.Bit(n.prefix.Len) == 0 {
+			child = &n.lo
+		}
+		c := *child
+		if c == nil {
+			*child = &node[V]{prefix: p, value: value, set: true}
+			t.size++
+			return true
+		}
+		if c.prefix.ContainsPrefix(p) {
+			n = c
+			continue
+		}
+		if p.ContainsPrefix(c.prefix) {
+			// Splice p above c.
+			nn := &node[V]{prefix: p, value: value, set: true}
+			if c.prefix.Bit(p.Len) == 0 {
+				nn.lo = c
+			} else {
+				nn.hi = c
+			}
+			*child = nn
+			t.size++
+			return true
+		}
+		// Diverged: create the longest common ancestor branching node.
+		anc := commonAncestor(p, c.prefix)
+		branch := &node[V]{prefix: anc}
+		if p.Bit(anc.Len) == 0 {
+			branch.lo = &node[V]{prefix: p, value: value, set: true}
+			branch.hi = c
+		} else {
+			branch.hi = &node[V]{prefix: p, value: value, set: true}
+			branch.lo = c
+		}
+		*child = branch
+		t.size++
+		return true
+	}
+}
+
+// commonAncestor returns the longest prefix containing both a and b.
+func commonAncestor(a, b netutil.Prefix) netutil.Prefix {
+	maxLen := a.Len
+	if b.Len < maxLen {
+		maxLen = b.Len
+	}
+	diff := uint32(a.Base) ^ uint32(b.Base)
+	var l uint8
+	for l = 0; l < maxLen; l++ {
+		if diff&(1<<(31-l)) != 0 {
+			break
+		}
+	}
+	return netutil.Prefix{Base: a.Base, Len: l}.Canonicalize()
+}
+
+// Get returns the value stored under exactly p.
+func (t *Tree[V]) Get(p netutil.Prefix) (V, bool) {
+	var zero V
+	n := t.lookupNode(p)
+	if n == nil || !n.set {
+		return zero, false
+	}
+	return n.value, true
+}
+
+func (t *Tree[V]) lookupNode(p netutil.Prefix) *node[V] {
+	p = p.Canonicalize()
+	n := t.root
+	for n != nil {
+		if n.prefix == p {
+			return n
+		}
+		if !n.prefix.ContainsPrefix(p) {
+			return nil
+		}
+		if p.Bit(n.prefix.Len) == 0 {
+			n = n.lo
+		} else {
+			n = n.hi
+		}
+		if n != nil && !n.prefix.ContainsPrefix(p) && !p.ContainsPrefix(n.prefix) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// LongestMatch returns the most-specific inserted prefix that contains p
+// (which may be p itself).
+func (t *Tree[V]) LongestMatch(p netutil.Prefix) (netutil.Prefix, V, bool) {
+	var (
+		best    *node[V]
+		zero    V
+		current = t.root
+	)
+	p = p.Canonicalize()
+	for current != nil && current.prefix.ContainsPrefix(p) {
+		if current.set {
+			best = current
+		}
+		if current.prefix.Len >= p.Len {
+			break
+		}
+		if p.Bit(current.prefix.Len) == 0 {
+			current = current.lo
+		} else {
+			current = current.hi
+		}
+	}
+	if best == nil {
+		return netutil.Prefix{}, zero, false
+	}
+	return best.prefix, best.value, true
+}
+
+// ShortestMatch returns the least-specific inserted prefix that contains p
+// (the covering supernet closest to the root; may be p itself). This is the
+// lookup the paper uses for root prefixes that were aggregated in BGP.
+func (t *Tree[V]) ShortestMatch(p netutil.Prefix) (netutil.Prefix, V, bool) {
+	var zero V
+	p = p.Canonicalize()
+	current := t.root
+	for current != nil && current.prefix.ContainsPrefix(p) {
+		if current.set {
+			return current.prefix, current.value, true
+		}
+		if current.prefix.Len >= p.Len {
+			break
+		}
+		if p.Bit(current.prefix.Len) == 0 {
+			current = current.lo
+		} else {
+			current = current.hi
+		}
+	}
+	return netutil.Prefix{}, zero, false
+}
+
+// LongestMatchAddr is LongestMatch for a single address.
+func (t *Tree[V]) LongestMatchAddr(a netutil.Addr) (netutil.Prefix, V, bool) {
+	return t.LongestMatch(netutil.Prefix{Base: a, Len: 32})
+}
+
+// Delete removes p from the tree, reporting whether it was present.
+// Structural nodes are left in place (they are cheap and deletion is rare
+// in this pipeline).
+func (t *Tree[V]) Delete(p netutil.Prefix) bool {
+	n := t.lookupNode(p)
+	if n == nil || !n.set {
+		return false
+	}
+	var zero V
+	n.set, n.value = false, zero
+	t.size--
+	return true
+}
+
+// Entry is a stored (prefix, value) pair together with its position in the
+// containment hierarchy of inserted prefixes.
+type Entry[V any] struct {
+	Prefix netutil.Prefix
+	Value  V
+	// Depth is the number of inserted strict ancestors of Prefix.
+	// Depth 0 means Prefix is a root of the allocation forest.
+	Depth int
+	// HasChildren reports whether any inserted prefix lies strictly
+	// inside Prefix. Leaf entries have HasChildren == false.
+	HasChildren bool
+}
+
+// Walk visits every inserted prefix in ascending Compare order (supernets
+// before their subnets), computing hierarchy metadata. If fn returns false
+// the walk stops.
+func (t *Tree[V]) Walk(fn func(e Entry[V]) bool) {
+	t.walk(t.root, 0, fn)
+}
+
+func (t *Tree[V]) walk(n *node[V], depth int, fn func(e Entry[V]) bool) bool {
+	if n == nil {
+		return true
+	}
+	childDepth := depth
+	if n.set {
+		e := Entry[V]{
+			Prefix:      n.prefix,
+			Value:       n.value,
+			Depth:       depth,
+			HasChildren: hasSetDescendant(n.lo) || hasSetDescendant(n.hi),
+		}
+		if !fn(e) {
+			return false
+		}
+		childDepth = depth + 1
+	}
+	if !t.walk(n.lo, childDepth, fn) {
+		return false
+	}
+	return t.walk(n.hi, childDepth, fn)
+}
+
+func hasSetDescendant[V any](n *node[V]) bool {
+	for n != nil {
+		if n.set {
+			return true
+		}
+		if hasSetDescendant[V](n.lo) {
+			return true
+		}
+		n = n.hi
+	}
+	return false
+}
+
+// Entries returns all inserted entries in Walk order.
+func (t *Tree[V]) Entries() []Entry[V] {
+	out := make([]Entry[V], 0, t.size)
+	t.Walk(func(e Entry[V]) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// Roots returns the inserted prefixes that have no inserted ancestor —
+// the roots of the allocation forest (paper §5.1: portable blocks).
+func (t *Tree[V]) Roots() []Entry[V] {
+	var out []Entry[V]
+	t.Walk(func(e Entry[V]) bool {
+		if e.Depth == 0 {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}
+
+// Leaves returns the inserted prefixes with no inserted descendants —
+// the leaves of the allocation forest (paper §5.1: the most-specific
+// sub-allocations, candidates for lease classification).
+func (t *Tree[V]) Leaves() []Entry[V] {
+	var out []Entry[V]
+	t.Walk(func(e Entry[V]) bool {
+		if !e.HasChildren {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}
+
+// RootOf returns the least-specific inserted ancestor of p (possibly p
+// itself): the allocation-forest root whose subtree contains p.
+func (t *Tree[V]) RootOf(p netutil.Prefix) (netutil.Prefix, V, bool) {
+	return t.ShortestMatch(p)
+}
+
+// Ancestors returns every inserted strict ancestor of p, outermost first.
+func (t *Tree[V]) Ancestors(p netutil.Prefix) []Entry[V] {
+	var out []Entry[V]
+	p = p.Canonicalize()
+	current := t.root
+	depth := 0
+	for current != nil && current.prefix.ContainsPrefix(p) {
+		if current.set && current.prefix != p {
+			out = append(out, Entry[V]{Prefix: current.prefix, Value: current.value, Depth: depth})
+			depth++
+		}
+		if current.prefix.Len >= p.Len {
+			break
+		}
+		if p.Bit(current.prefix.Len) == 0 {
+			current = current.lo
+		} else {
+			current = current.hi
+		}
+	}
+	return out
+}
+
+// Covered returns every inserted prefix contained in p (including p
+// itself if inserted), in Walk order.
+func (t *Tree[V]) Covered(p netutil.Prefix) []Entry[V] {
+	var out []Entry[V]
+	p = p.Canonicalize()
+	// Descend to the subtree rooted at the node covering p, then walk it.
+	n := t.root
+	for n != nil && !p.ContainsPrefix(n.prefix) {
+		if !n.prefix.ContainsPrefix(p) {
+			return nil
+		}
+		if p.Bit(n.prefix.Len) == 0 {
+			n = n.lo
+		} else {
+			n = n.hi
+		}
+	}
+	if n == nil {
+		return nil
+	}
+	t.walk(n, 0, func(e Entry[V]) bool {
+		if p.ContainsPrefix(e.Prefix) {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}

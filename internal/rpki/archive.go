@@ -1,0 +1,211 @@
+package rpki
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is the VRP state at one point in time.
+type Snapshot struct {
+	Time time.Time
+	VRPs []VRP
+
+	set *Set // lazily built
+}
+
+// Set returns a queryable Set over the snapshot's VRPs, building it on
+// first use.
+func (s *Snapshot) Set() *Set {
+	if s.set == nil {
+		s.set = NewSet(s.VRPs)
+	}
+	return s.set
+}
+
+// Archive is a time-ordered sequence of VRP snapshots (the paper uses
+// 30-minute granularity).
+type Archive struct {
+	Snapshots []Snapshot // ascending by Time
+}
+
+// Add inserts a snapshot, keeping the archive sorted.
+func (a *Archive) Add(s Snapshot) {
+	i := sort.Search(len(a.Snapshots), func(i int) bool {
+		return a.Snapshots[i].Time.After(s.Time)
+	})
+	a.Snapshots = append(a.Snapshots, Snapshot{})
+	copy(a.Snapshots[i+1:], a.Snapshots[i:])
+	a.Snapshots[i] = s
+}
+
+// At returns the latest snapshot at or before t, or nil if the archive
+// starts after t.
+func (a *Archive) At(t time.Time) *Snapshot {
+	i := sort.Search(len(a.Snapshots), func(i int) bool {
+		return a.Snapshots[i].Time.After(t)
+	})
+	if i == 0 {
+		return nil
+	}
+	return &a.Snapshots[i-1]
+}
+
+// Latest returns the newest snapshot, or nil for an empty archive.
+func (a *Archive) Latest() *Snapshot {
+	if len(a.Snapshots) == 0 {
+		return nil
+	}
+	return &a.Snapshots[len(a.Snapshots)-1]
+}
+
+// UnionSet returns a Set over every VRP that appears in any snapshot —
+// the paper's use of a multi-day archive window "to capture RPKI records
+// for prefixes that were not immediately created at the time the lease
+// occurred" (§4).
+func (a *Archive) UnionSet() *Set {
+	seen := make(map[VRP]bool)
+	s := &Set{}
+	for _, snap := range a.Snapshots {
+		for _, v := range snap.VRPs {
+			v.Prefix = v.Prefix.Canonicalize()
+			if !seen[v] {
+				seen[v] = true
+				s.Add(v)
+			}
+		}
+	}
+	return s
+}
+
+// Diff reports the VRP churn from snapshot a to snapshot b.
+type Diff struct {
+	Added   []VRP
+	Removed []VRP
+}
+
+// DiffSnapshots computes the exact VRP delta between two snapshots.
+func DiffSnapshots(from, to *Snapshot) Diff {
+	inFrom := make(map[VRP]bool, len(from.VRPs))
+	for _, v := range from.VRPs {
+		inFrom[v] = true
+	}
+	inTo := make(map[VRP]bool, len(to.VRPs))
+	for _, v := range to.VRPs {
+		inTo[v] = true
+	}
+	var d Diff
+	for _, v := range to.VRPs {
+		if !inFrom[v] {
+			d.Added = append(d.Added, v)
+		}
+	}
+	for _, v := range from.VRPs {
+		if !inTo[v] {
+			d.Removed = append(d.Removed, v)
+		}
+	}
+	sortVRPs(d.Added)
+	sortVRPs(d.Removed)
+	return d
+}
+
+func sortVRPs(vs []VRP) {
+	sort.Slice(vs, func(i, j int) bool {
+		if c := vs[i].Prefix.Compare(vs[j].Prefix); c != 0 {
+			return c < 0
+		}
+		return vs[i].ASN < vs[j].ASN
+	})
+}
+
+// Churn summarises VRP turnover across consecutive snapshots.
+func (a *Archive) Churn() (added, removed int) {
+	for i := 1; i < len(a.Snapshots); i++ {
+		d := DiffSnapshots(&a.Snapshots[i-1], &a.Snapshots[i])
+		added += len(d.Added)
+		removed += len(d.Removed)
+	}
+	return added, removed
+}
+
+// Span returns the time range covered by the archive.
+func (a *Archive) Span() (first, last time.Time, ok bool) {
+	if len(a.Snapshots) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return a.Snapshots[0].Time, a.Snapshots[len(a.Snapshots)-1].Time, true
+}
+
+// snapshotFileName renders a snapshot file name: vrps-<unix>.csv.
+func snapshotFileName(t time.Time) string {
+	return "vrps-" + strconv.FormatInt(t.Unix(), 10) + ".csv"
+}
+
+// parseSnapshotFileName recovers the timestamp from a snapshot file name.
+func parseSnapshotFileName(name string) (time.Time, error) {
+	base := strings.TrimSuffix(name, ".csv")
+	if !strings.HasPrefix(base, "vrps-") || base == name {
+		return time.Time{}, fmt.Errorf("rpki: %q is not a snapshot file name", name)
+	}
+	unix, err := strconv.ParseInt(strings.TrimPrefix(base, "vrps-"), 10, 64)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("rpki: bad timestamp in %q", name)
+	}
+	return time.Unix(unix, 0).UTC(), nil
+}
+
+// WriteDir writes the archive as one CSV file per snapshot under dir,
+// creating dir if needed.
+func (a *Archive) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range a.Snapshots {
+		f, err := os.Create(filepath.Join(dir, snapshotFileName(s.Time)))
+		if err != nil {
+			return err
+		}
+		werr := WriteCSV(f, s.VRPs)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
+// LoadDir reads every snapshot file in dir into an archive.
+func LoadDir(dir string) (*Archive, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	a := &Archive{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		ts, err := parseSnapshotFileName(e.Name())
+		if err != nil {
+			continue // foreign file; skip
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		vrps, perr := ReadCSV(f)
+		f.Close()
+		if perr != nil {
+			return nil, fmt.Errorf("rpki: %s: %w", e.Name(), perr)
+		}
+		a.Add(Snapshot{Time: ts, VRPs: vrps})
+	}
+	return a, nil
+}

@@ -1,0 +1,220 @@
+// Package rpki models Route Origin Authorizations and implements route
+// origin validation (RFC 6811) over archives of validated ROA payloads
+// (VRPs), mirroring the 30-minute-granularity RPKI archive the paper uses
+// (§4) for its abuse analysis (§6.4) and lease-timeline study (§6.5).
+//
+// A VRP with ASN 0 (AS0, RFC 7607) authorises no origin at all: it makes
+// covered announcements Invalid unless another VRP validates them. The
+// paper observes facilitators such as IPXO using AS0 ROAs between leases.
+package rpki
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/prefixtree"
+)
+
+// VRP is a validated ROA payload: the (prefix, max-length, origin)
+// authorisation extracted from a signed ROA.
+type VRP struct {
+	ASN    uint32 // authorised origin; 0 = AS0 (deny)
+	Prefix netutil.Prefix
+	MaxLen uint8  // maximum announced length authorised
+	TA     string // trust anchor name (ripe, arin, apnic, afrinic, lacnic)
+}
+
+// Covers reports whether the VRP covers an announcement of p: the VRP
+// prefix contains p (max-length is evaluated separately by Validate).
+func (v VRP) Covers(p netutil.Prefix) bool {
+	return v.Prefix.ContainsPrefix(p)
+}
+
+// Matches reports whether the VRP validates an announcement of p by
+// origin: covered, within max-length, and origin equals the VRP ASN.
+func (v VRP) Matches(p netutil.Prefix, origin uint32) bool {
+	return v.Covers(p) && p.Len <= v.MaxLen && v.ASN == origin
+}
+
+// State is the RFC 6811 validation outcome of an announcement.
+type State int
+
+const (
+	// NotFound: no VRP covers the announced prefix.
+	NotFound State = iota
+	// Valid: at least one covering VRP matches the origin and length.
+	Valid
+	// Invalid: covering VRPs exist but none matches.
+	Invalid
+)
+
+var stateNames = [...]string{"NotFound", "Valid", "Invalid"}
+
+func (s State) String() string {
+	if s < 0 || int(s) >= len(stateNames) {
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+	return stateNames[s]
+}
+
+// Set is a queryable collection of VRPs. Build with Add, then query.
+// The zero value is an empty set.
+type Set struct {
+	tree prefixtree.Tree[[]VRP]
+	n    int
+}
+
+// Add inserts a VRP.
+func (s *Set) Add(v VRP) {
+	v.Prefix = v.Prefix.Canonicalize()
+	existing, _ := s.tree.Get(v.Prefix)
+	s.tree.Insert(v.Prefix, append(existing, v))
+	s.n++
+}
+
+// Len returns the number of VRPs in the set.
+func (s *Set) Len() int { return s.n }
+
+// VRPs returns every VRP, ordered by prefix then ASN.
+func (s *Set) VRPs() []VRP {
+	out := make([]VRP, 0, s.n)
+	s.tree.Walk(func(e prefixtree.Entry[[]VRP]) bool {
+		out = append(out, e.Value...)
+		return true
+	})
+	for i := 1; i < len(out); i++ { // stable per-prefix ordering by ASN
+		for j := i; j > 0 && out[j-1].Prefix == out[j].Prefix && out[j-1].ASN > out[j].ASN; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Covering returns every VRP whose prefix covers p.
+func (s *Set) Covering(p netutil.Prefix) []VRP {
+	var out []VRP
+	p = p.Canonicalize()
+	cur := p
+	for {
+		if vs, ok := s.tree.Get(cur); ok {
+			out = append(out, vs...)
+		}
+		if cur.Len == 0 {
+			break
+		}
+		cur = cur.Parent()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Prefix.Compare(out[j].Prefix); c != 0 {
+			return c < 0
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	return out
+}
+
+// Validate performs RFC 6811 route origin validation of an announcement.
+func (s *Set) Validate(p netutil.Prefix, origin uint32) State {
+	covering := s.Covering(p)
+	if len(covering) == 0 {
+		return NotFound
+	}
+	for _, v := range covering {
+		if v.Matches(p, origin) {
+			return Valid
+		}
+	}
+	return Invalid
+}
+
+// AuthorizedASNs returns the distinct ASNs authorised for any prefix
+// covering p (AS0 included): the "ROAs associated with a prefix" view the
+// paper uses in §6.4.
+func (s *Set) AuthorizedASNs(p netutil.Prefix) []uint32 {
+	seen := make(map[uint32]bool)
+	var out []uint32
+	for _, v := range s.Covering(p) {
+		if !seen[v.ASN] {
+			seen[v.ASN] = true
+			out = append(out, v.ASN)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WriteCSV emits VRPs in the conventional validated-payload CSV form:
+//
+//	ASN,IP Prefix,Max Length,Trust Anchor
+//
+// with a header row, AS numbers in "AS64500" form.
+func WriteCSV(w io.Writer, vrps []VRP) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("ASN,IP Prefix,Max Length,Trust Anchor\n"); err != nil {
+		return err
+	}
+	for _, v := range vrps {
+		if _, err := fmt.Fprintf(bw, "AS%d,%s,%d,%s\n", v.ASN, v.Prefix, v.MaxLen, v.TA); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the CSV form written by WriteCSV (header optional).
+func ReadCSV(r io.Reader) ([]VRP, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var out []VRP
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if lineNum == 1 && strings.HasPrefix(strings.ToUpper(line), "ASN,") {
+			continue // header
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("rpki: line %d: want at least 3 fields, got %d", lineNum, len(fields))
+		}
+		asnStr := strings.TrimPrefix(strings.ToUpper(strings.TrimSpace(fields[0])), "AS")
+		asn, err := strconv.ParseUint(asnStr, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("rpki: line %d: bad ASN %q", lineNum, fields[0])
+		}
+		p, err := netutil.ParsePrefix(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return nil, fmt.Errorf("rpki: line %d: %v", lineNum, err)
+		}
+		ml, err := strconv.ParseUint(strings.TrimSpace(fields[2]), 10, 8)
+		if err != nil || ml > 32 || uint8(ml) < p.Len {
+			return nil, fmt.Errorf("rpki: line %d: bad max length %q", lineNum, fields[2])
+		}
+		v := VRP{ASN: uint32(asn), Prefix: p, MaxLen: uint8(ml)}
+		if len(fields) >= 4 {
+			v.TA = strings.TrimSpace(fields[3])
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NewSet builds a Set from a VRP slice.
+func NewSet(vrps []VRP) *Set {
+	s := &Set{}
+	for _, v := range vrps {
+		s.Add(v)
+	}
+	return s
+}

@@ -1,0 +1,296 @@
+package rpki
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ipleasing/internal/netutil"
+)
+
+func mp(s string) netutil.Prefix { return netutil.MustParsePrefix(s) }
+
+func TestVRPMatches(t *testing.T) {
+	v := VRP{ASN: 64500, Prefix: mp("203.0.113.0/24"), MaxLen: 25}
+	if !v.Matches(mp("203.0.113.0/24"), 64500) {
+		t.Fatal("exact match failed")
+	}
+	if !v.Matches(mp("203.0.113.128/25"), 64500) {
+		t.Fatal("within max-length failed")
+	}
+	if v.Matches(mp("203.0.113.0/26"), 64500) {
+		t.Fatal("beyond max-length matched")
+	}
+	if v.Matches(mp("203.0.113.0/24"), 64501) {
+		t.Fatal("wrong origin matched")
+	}
+	if v.Matches(mp("203.0.112.0/24"), 64500) {
+		t.Fatal("uncovered prefix matched")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := NewSet([]VRP{
+		{ASN: 64500, Prefix: mp("203.0.113.0/24"), MaxLen: 24},
+		{ASN: 64501, Prefix: mp("198.51.100.0/24"), MaxLen: 26},
+	})
+	if got := s.Validate(mp("203.0.113.0/24"), 64500); got != Valid {
+		t.Fatalf("valid case = %v", got)
+	}
+	if got := s.Validate(mp("203.0.113.0/24"), 64999); got != Invalid {
+		t.Fatalf("wrong origin = %v", got)
+	}
+	if got := s.Validate(mp("203.0.113.0/25"), 64500); got != Invalid {
+		t.Fatalf("too-specific = %v (covered but over max-len)", got)
+	}
+	if got := s.Validate(mp("192.0.2.0/24"), 64500); got != NotFound {
+		t.Fatalf("uncovered = %v", got)
+	}
+	if got := s.Validate(mp("198.51.100.64/26"), 64501); got != Valid {
+		t.Fatalf("sub-prefix within maxlen = %v", got)
+	}
+}
+
+func TestValidateAS0(t *testing.T) {
+	// AS0 VRP alone: every covered announcement is Invalid.
+	s := NewSet([]VRP{{ASN: 0, Prefix: mp("203.0.113.0/24"), MaxLen: 32}})
+	if got := s.Validate(mp("203.0.113.0/24"), 64500); got != Invalid {
+		t.Fatalf("AS0-covered = %v", got)
+	}
+	// AS0 plus a real authorisation: the real one still validates.
+	s.Add(VRP{ASN: 64500, Prefix: mp("203.0.113.0/24"), MaxLen: 24})
+	if got := s.Validate(mp("203.0.113.0/24"), 64500); got != Valid {
+		t.Fatalf("AS0+real = %v", got)
+	}
+}
+
+func TestMOASValidation(t *testing.T) {
+	s := NewSet([]VRP{
+		{ASN: 64500, Prefix: mp("10.0.0.0/16"), MaxLen: 16},
+		{ASN: 64501, Prefix: mp("10.0.0.0/16"), MaxLen: 16},
+	})
+	if s.Validate(mp("10.0.0.0/16"), 64500) != Valid || s.Validate(mp("10.0.0.0/16"), 64501) != Valid {
+		t.Fatal("both authorised origins should be Valid")
+	}
+	got := s.AuthorizedASNs(mp("10.0.0.0/16"))
+	if len(got) != 2 || got[0] != 64500 || got[1] != 64501 {
+		t.Fatalf("AuthorizedASNs = %v", got)
+	}
+}
+
+func TestCoveringAcrossLevels(t *testing.T) {
+	s := NewSet([]VRP{
+		{ASN: 1, Prefix: mp("10.0.0.0/8"), MaxLen: 24},
+		{ASN: 2, Prefix: mp("10.1.0.0/16"), MaxLen: 24},
+	})
+	got := s.Covering(mp("10.1.2.0/24"))
+	if len(got) != 2 {
+		t.Fatalf("Covering = %v", got)
+	}
+	// Announce at /24 under the /8 VRP's maxlen: valid for ASN 1.
+	if s.Validate(mp("10.1.2.0/24"), 1) != Valid {
+		t.Fatal("less-specific VRP should validate")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if NotFound.String() != "NotFound" || Valid.String() != "Valid" || Invalid.String() != "Invalid" {
+		t.Fatal("state names")
+	}
+	if State(9).String() == "" {
+		t.Fatal("out of range state name")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	vrps := []VRP{
+		{ASN: 64500, Prefix: mp("203.0.113.0/24"), MaxLen: 24, TA: "ripe"},
+		{ASN: 0, Prefix: mp("198.51.100.0/24"), MaxLen: 32, TA: "arin"},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, vrps); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "ASN,IP Prefix,Max Length,Trust Anchor\n") {
+		t.Fatalf("missing header: %q", buf.String())
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("count = %d", len(back))
+	}
+	for i := range vrps {
+		if back[i] != vrps[i] {
+			t.Fatalf("vrp %d: %+v != %+v", i, back[i], vrps[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"AS64500,203.0.113.0/24\n",         // too few fields
+		"ASxyz,203.0.113.0/24,24,ripe\n",   // bad ASN
+		"AS64500,notaprefix,24,ripe\n",     // bad prefix
+		"AS64500,203.0.113.0/24,40,ripe\n", // maxlen > 32
+		"AS64500,203.0.113.0/24,20,ripe\n", // maxlen < prefix len
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded", c)
+		}
+	}
+	// Comments and blank lines are fine; header optional.
+	got, err := ReadCSV(strings.NewReader("# comment\n\nAS1,10.0.0.0/8,8,ripe\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("comment handling: %v %v", got, err)
+	}
+}
+
+func TestSetVRPsOrdered(t *testing.T) {
+	s := NewSet([]VRP{
+		{ASN: 9, Prefix: mp("10.0.0.0/8"), MaxLen: 8},
+		{ASN: 1, Prefix: mp("10.0.0.0/8"), MaxLen: 8},
+		{ASN: 5, Prefix: mp("9.0.0.0/8"), MaxLen: 8},
+	})
+	vs := s.VRPs()
+	if len(vs) != 3 || s.Len() != 3 {
+		t.Fatalf("VRPs = %v", vs)
+	}
+	if vs[0].Prefix != mp("9.0.0.0/8") || vs[1].ASN != 1 || vs[2].ASN != 9 {
+		t.Fatalf("ordering = %v", vs)
+	}
+}
+
+func TestArchiveAtAndSpan(t *testing.T) {
+	a := &Archive{}
+	t0 := time.Date(2024, 4, 1, 0, 0, 0, 0, time.UTC)
+	// Insert out of order; Add must keep sorted.
+	a.Add(Snapshot{Time: t0.Add(time.Hour)})
+	a.Add(Snapshot{Time: t0})
+	a.Add(Snapshot{Time: t0.Add(30 * time.Minute), VRPs: []VRP{{ASN: 1, Prefix: mp("10.0.0.0/8"), MaxLen: 8}}})
+
+	if s := a.At(t0.Add(45 * time.Minute)); s == nil || !s.Time.Equal(t0.Add(30*time.Minute)) {
+		t.Fatalf("At = %+v", s)
+	}
+	if s := a.At(t0.Add(-time.Second)); s != nil {
+		t.Fatal("At before archive should be nil")
+	}
+	if s := a.At(t0); s == nil || !s.Time.Equal(t0) {
+		t.Fatal("At exact time failed")
+	}
+	if l := a.Latest(); l == nil || !l.Time.Equal(t0.Add(time.Hour)) {
+		t.Fatal("Latest wrong")
+	}
+	first, last, ok := a.Span()
+	if !ok || !first.Equal(t0) || !last.Equal(t0.Add(time.Hour)) {
+		t.Fatal("Span wrong")
+	}
+	// Snapshot Set is lazily built and functional.
+	s := a.At(t0.Add(30 * time.Minute))
+	if s.Set().Validate(mp("10.0.0.0/8"), 1) != Valid {
+		t.Fatal("snapshot set validate failed")
+	}
+	var empty Archive
+	if empty.Latest() != nil {
+		t.Fatal("empty Latest != nil")
+	}
+	if _, _, ok := empty.Span(); ok {
+		t.Fatal("empty Span ok")
+	}
+}
+
+func TestArchiveDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Date(2024, 4, 1, 0, 0, 0, 0, time.UTC)
+	a := &Archive{}
+	a.Add(Snapshot{Time: t0, VRPs: []VRP{{ASN: 64500, Prefix: mp("203.0.113.0/24"), MaxLen: 24, TA: "ripe"}}})
+	a.Add(Snapshot{Time: t0.Add(30 * time.Minute), VRPs: []VRP{{ASN: 0, Prefix: mp("203.0.113.0/24"), MaxLen: 32, TA: "ripe"}}})
+	if err := a.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Snapshots) != 2 {
+		t.Fatalf("snapshots = %d", len(back.Snapshots))
+	}
+	if !back.Snapshots[0].Time.Equal(t0) || back.Snapshots[0].VRPs[0].ASN != 64500 {
+		t.Fatalf("snapshot 0 = %+v", back.Snapshots[0])
+	}
+	if back.Snapshots[1].VRPs[0].ASN != 0 {
+		t.Fatal("AS0 snapshot lost")
+	}
+	if _, err := LoadDir(dir + "-missing"); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestUnionSetAndDiff(t *testing.T) {
+	t0 := time.Date(2024, 4, 1, 0, 0, 0, 0, time.UTC)
+	v1 := VRP{ASN: 1, Prefix: mp("10.0.0.0/24"), MaxLen: 24, TA: "ripe"}
+	v2 := VRP{ASN: 2, Prefix: mp("10.0.1.0/24"), MaxLen: 24, TA: "ripe"}
+	v3 := VRP{ASN: 3, Prefix: mp("10.0.2.0/24"), MaxLen: 24, TA: "ripe"}
+	a := &Archive{}
+	a.Add(Snapshot{Time: t0, VRPs: []VRP{v1, v2}})
+	a.Add(Snapshot{Time: t0.Add(time.Hour), VRPs: []VRP{v1, v3}}) // v2 removed, v3 added
+
+	u := a.UnionSet()
+	if u.Len() != 3 {
+		t.Fatalf("union size = %d", u.Len())
+	}
+	// v2 only existed early: the union still validates it.
+	if u.Validate(mp("10.0.1.0/24"), 2) != Valid {
+		t.Fatal("union lost an early VRP")
+	}
+	// The latest snapshot alone would not.
+	if a.Latest().Set().Validate(mp("10.0.1.0/24"), 2) == Valid {
+		t.Fatal("latest snapshot should not contain v2")
+	}
+
+	d := DiffSnapshots(&a.Snapshots[0], &a.Snapshots[1])
+	if len(d.Added) != 1 || d.Added[0] != v3 {
+		t.Fatalf("added = %v", d.Added)
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != v2 {
+		t.Fatalf("removed = %v", d.Removed)
+	}
+	added, removed := a.Churn()
+	if added != 1 || removed != 1 {
+		t.Fatalf("churn = %d,%d", added, removed)
+	}
+	var empty Archive
+	if empty.UnionSet().Len() != 0 {
+		t.Fatal("empty union non-empty")
+	}
+}
+
+func TestSnapshotFileNameParse(t *testing.T) {
+	ts := time.Unix(1712000000, 0).UTC()
+	name := snapshotFileName(ts)
+	back, err := parseSnapshotFileName(name)
+	if err != nil || !back.Equal(ts) {
+		t.Fatalf("parse(%q) = %v %v", name, back, err)
+	}
+	for _, bad := range []string{"foo.csv", "vrps-x.csv", "vrps-1.txt"} {
+		if _, err := parseSnapshotFileName(bad); err == nil {
+			t.Errorf("parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	var s Set
+	for i := 0; i < 20000; i++ {
+		p := netutil.Prefix{Base: netutil.Addr(uint32(i) << 10), Len: 22}.Canonicalize()
+		s.Add(VRP{ASN: uint32(64000 + i%1000), Prefix: p, MaxLen: 24})
+	}
+	probe := mp("0.0.64.0/24")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Validate(probe, 64000)
+	}
+}

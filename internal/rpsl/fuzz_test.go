@@ -1,0 +1,61 @@
+package rpsl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: arbitrary text input never panics the reader; it either
+// yields objects or an error.
+func TestReaderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = ReadAll(strings.NewReader(s))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Robustness: random line soup assembled from RPSL-ish fragments parses
+// or errors deterministically, and any parsed object round-trips.
+func TestFragmentSoup(t *testing.T) {
+	fragments := []string{
+		"inetnum:        10.0.0.0 - 10.0.0.255",
+		"mnt-by: SOME-MNT",
+		"+ continuation",
+		"   indented continuation",
+		"# comment",
+		"% server comment",
+		"",
+		"no-colon-line",
+		"status: ASSIGNED PA",
+		": empty-name",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 300; iter++ {
+		n := rng.Intn(12)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString(fragments[rng.Intn(len(fragments))])
+			b.WriteByte('\n')
+		}
+		objs, err := ReadAll(strings.NewReader(b.String()))
+		if err != nil {
+			continue
+		}
+		for _, o := range objs {
+			var buf strings.Builder
+			w := NewWriter(&buf)
+			if werr := w.Write(o); werr != nil {
+				t.Fatalf("write after parse: %v", werr)
+			}
+			back, rerr := ReadAll(strings.NewReader(buf.String()))
+			if rerr != nil || len(back) != 1 {
+				t.Fatalf("re-parse failed: %v (input %q)", rerr, buf.String())
+			}
+		}
+	}
+}

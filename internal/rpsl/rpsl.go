@@ -1,0 +1,252 @@
+// Package rpsl reads and writes objects in the Routing Policy Specification
+// Language style used by the RIPE, APNIC, and AFRINIC WHOIS bulk database
+// dumps (RFC 2622 syntax as deployed by the RIRs).
+//
+// An RPSL database is a stream of objects separated by blank lines. Each
+// object is a sequence of "attribute: value" lines; a line beginning with
+// whitespace or '+' continues the previous attribute's value, and '#'
+// introduces a comment that runs to end of line. The first attribute of an
+// object names its class (inetnum, aut-num, organisation, mntner, ...).
+package rpsl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Attribute is a single attribute of an RPSL object. Repeated attributes
+// (e.g. multiple mnt-by lines) are preserved in order.
+type Attribute struct {
+	Name  string // lower-cased attribute name, e.g. "inetnum"
+	Value string // value with comments stripped and continuations joined
+}
+
+// Object is one RPSL object: an ordered list of attributes. The first
+// attribute determines the object's class and primary key.
+type Object struct {
+	Attributes []Attribute
+}
+
+// Class returns the name of the first attribute — the object class —
+// or "" for an empty object.
+func (o *Object) Class() string {
+	if len(o.Attributes) == 0 {
+		return ""
+	}
+	return o.Attributes[0].Name
+}
+
+// Key returns the value of the first attribute — the object's primary key.
+func (o *Object) Key() string {
+	if len(o.Attributes) == 0 {
+		return ""
+	}
+	return o.Attributes[0].Value
+}
+
+// Get returns the value of the first attribute named name (lower case)
+// and whether it exists.
+func (o *Object) Get(name string) (string, bool) {
+	for _, a := range o.Attributes {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// GetAll returns the values of every attribute named name, in order.
+func (o *Object) GetAll(name string) []string {
+	var out []string
+	for _, a := range o.Attributes {
+		if a.Name == name {
+			out = append(out, a.Value)
+		}
+	}
+	return out
+}
+
+// Add appends an attribute.
+func (o *Object) Add(name, value string) {
+	o.Attributes = append(o.Attributes, Attribute{Name: strings.ToLower(name), Value: value})
+}
+
+// String renders the object in RPSL dump format, one attribute per line,
+// with the canonical column-aligned "name:" field.
+func (o *Object) String() string {
+	var b strings.Builder
+	for _, a := range o.Attributes {
+		b.WriteString(a.Name)
+		b.WriteByte(':')
+		pad := 16 - len(a.Name) - 1
+		if pad < 1 {
+			pad = 1
+		}
+		for i := 0; i < pad; i++ {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.Value)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Reader decodes a stream of RPSL objects.
+type Reader struct {
+	s       *bufio.Scanner
+	lineNum int
+	pending string // a lookahead line, "" if none
+	hasPend bool
+	err     error
+}
+
+// NewReader returns a Reader over r. Lines longer than 1 MiB are an error.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64*1024), 1<<20)
+	return &Reader{s: s}
+}
+
+func (r *Reader) nextLine() (string, bool) {
+	if r.hasPend {
+		r.hasPend = false
+		return r.pending, true
+	}
+	if r.s.Scan() {
+		r.lineNum++
+		return r.s.Text(), true
+	}
+	r.err = r.s.Err()
+	return "", false
+}
+
+func (r *Reader) unread(line string) {
+	r.pending = line
+	r.hasPend = true
+}
+
+// stripComment removes a '#' comment. RPSL values do not quote '#', so a
+// bare IndexByte is correct for RIR dump data.
+func stripComment(s string) string {
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimRight(s, " \t")
+}
+
+// Next returns the next object in the stream, or io.EOF when exhausted.
+// Whole-line comments ('%' server remarks and '#' comments) and blank lines
+// between objects are skipped. Malformed attribute lines inside an object
+// produce an error identifying the line number.
+func (r *Reader) Next() (*Object, error) {
+	// Skip blanks and comment lines to the start of an object.
+	var line string
+	var ok bool
+	for {
+		line, ok = r.nextLine()
+		if !ok {
+			if r.err != nil {
+				return nil, r.err
+			}
+			return nil, io.EOF
+		}
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "#") || strings.HasPrefix(t, "%") {
+			continue
+		}
+		break
+	}
+
+	obj := &Object{}
+	for {
+		if strings.TrimSpace(line) == "" {
+			break // end of object
+		}
+		switch {
+		case strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%"):
+			// comment line inside an object: skip
+		case line[0] == ' ' || line[0] == '\t' || line[0] == '+':
+			// Continuation of the previous attribute.
+			if len(obj.Attributes) == 0 {
+				return nil, fmt.Errorf("rpsl: line %d: continuation with no attribute", r.lineNum)
+			}
+			cont := line[1:]
+			cont = strings.TrimSpace(stripComment(cont))
+			last := &obj.Attributes[len(obj.Attributes)-1]
+			if cont != "" {
+				if last.Value != "" {
+					last.Value += " " + cont
+				} else {
+					last.Value = cont
+				}
+			}
+		default:
+			colon := strings.IndexByte(line, ':')
+			if colon <= 0 {
+				return nil, fmt.Errorf("rpsl: line %d: malformed attribute line %q", r.lineNum, line)
+			}
+			name := strings.ToLower(strings.TrimSpace(line[:colon]))
+			if strings.ContainsAny(name, " \t") {
+				return nil, fmt.Errorf("rpsl: line %d: malformed attribute name %q", r.lineNum, name)
+			}
+			value := strings.TrimSpace(stripComment(line[colon+1:]))
+			obj.Attributes = append(obj.Attributes, Attribute{Name: name, Value: value})
+		}
+		line, ok = r.nextLine()
+		if !ok {
+			if r.err != nil {
+				return nil, r.err
+			}
+			break // EOF terminates the last object
+		}
+	}
+	if len(obj.Attributes) == 0 {
+		return nil, io.EOF
+	}
+	return obj, nil
+}
+
+// ReadAll decodes every object in r.
+func ReadAll(r io.Reader) ([]*Object, error) {
+	rd := NewReader(r)
+	var out []*Object
+	for {
+		o, err := rd.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, o)
+	}
+}
+
+// Writer encodes RPSL objects separated by blank lines.
+type Writer struct {
+	w   io.Writer
+	n   int
+	err error
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write emits one object. Objects are separated by a single blank line.
+func (w *Writer) Write(o *Object) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.n > 0 {
+		if _, w.err = io.WriteString(w.w, "\n"); w.err != nil {
+			return w.err
+		}
+	}
+	if _, w.err = io.WriteString(w.w, o.String()); w.err != nil {
+		return w.err
+	}
+	w.n++
+	return nil
+}

@@ -1,0 +1,257 @@
+package rpsl
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleDB = `
+% This is a RIPE-style server banner comment.
+# And a hash comment.
+
+inetnum:        213.210.0.0 - 213.210.63.255
+netname:        GCI-NET
+org:            ORG-GCI1-RIPE
+status:         ALLOCATED PA
+mnt-by:         MNT-GCICOM
+source:         RIPE
+
+inetnum:        213.210.33.0 - 213.210.33.255
+netname:        IPXO-LEASE
+descr:          Leased out block # trailing comment
+                second description line
+status:         ASSIGNED PA
+mnt-by:         IPXO-MNT
+mnt-by:         MNT-GCICOM
+source:         RIPE
+
+aut-num:        AS8851
+as-name:        GCI-AS
+org:            ORG-GCI1-RIPE
+source:         RIPE
+
+organisation:   ORG-GCI1-RIPE
+org-name:       GCI Network
++               (continuation with plus)
+source:         RIPE
+`
+
+func TestReadAll(t *testing.T) {
+	objs, err := ReadAll(strings.NewReader(sampleDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 4 {
+		t.Fatalf("got %d objects, want 4", len(objs))
+	}
+	if objs[0].Class() != "inetnum" || objs[0].Key() != "213.210.0.0 - 213.210.63.255" {
+		t.Fatalf("obj0 = %q %q", objs[0].Class(), objs[0].Key())
+	}
+	if v, _ := objs[0].Get("status"); v != "ALLOCATED PA" {
+		t.Fatalf("status = %q", v)
+	}
+	// Trailing comment stripped, continuation joined.
+	if v, _ := objs[1].Get("descr"); v != "Leased out block second description line" {
+		t.Fatalf("descr = %q", v)
+	}
+	// Repeated attributes preserved in order.
+	mnts := objs[1].GetAll("mnt-by")
+	if len(mnts) != 2 || mnts[0] != "IPXO-MNT" || mnts[1] != "MNT-GCICOM" {
+		t.Fatalf("mnt-by = %v", mnts)
+	}
+	// '+' continuation.
+	if v, _ := objs[3].Get("org-name"); v != "GCI Network (continuation with plus)" {
+		t.Fatalf("org-name = %q", v)
+	}
+	if objs[2].Class() != "aut-num" || objs[2].Key() != "AS8851" {
+		t.Fatalf("obj2 = %q %q", objs[2].Class(), objs[2].Key())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	o := &Object{}
+	if _, ok := o.Get("anything"); ok {
+		t.Fatal("Get on empty object")
+	}
+	if o.Class() != "" || o.Key() != "" {
+		t.Fatal("empty object class/key")
+	}
+	o.Add("MNT-by", "X") // name should be lower-cased
+	if v, ok := o.Get("mnt-by"); !ok || v != "X" {
+		t.Fatal("Add did not lower-case name")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	objs, err := ReadAll(strings.NewReader(""))
+	if err != nil || len(objs) != 0 {
+		t.Fatalf("empty input: %v %v", objs, err)
+	}
+	objs, err = ReadAll(strings.NewReader("\n\n% only comments\n# more\n\n"))
+	if err != nil || len(objs) != 0 {
+		t.Fatalf("comment-only input: %v %v", objs, err)
+	}
+}
+
+func TestNoTrailingNewline(t *testing.T) {
+	objs, err := ReadAll(strings.NewReader("inetnum: 10.0.0.0 - 10.0.0.255\nstatus: ASSIGNED PA"))
+	if err != nil || len(objs) != 1 {
+		t.Fatalf("objs=%v err=%v", objs, err)
+	}
+	if v, _ := objs[0].Get("status"); v != "ASSIGNED PA" {
+		t.Fatal("lost last attribute without trailing newline")
+	}
+}
+
+func TestMalformed(t *testing.T) {
+	// Continuation before any attribute.
+	if _, err := ReadAll(strings.NewReader("  dangling continuation\n")); err == nil {
+		t.Fatal("dangling continuation accepted")
+	}
+	// Attribute line with no colon.
+	if _, err := ReadAll(strings.NewReader("inetnum: 10.0.0.0 - 10.0.0.255\nnocolonhere\n")); err == nil {
+		t.Fatal("missing colon accepted")
+	}
+	// Colon at position 0.
+	if _, err := ReadAll(strings.NewReader(":empty name\n")); err == nil {
+		t.Fatal("empty attribute name accepted")
+	}
+	// Space inside attribute name.
+	if _, err := ReadAll(strings.NewReader("bad name: value\n")); err == nil {
+		t.Fatal("attribute name with space accepted")
+	}
+}
+
+func TestCommentInsideObject(t *testing.T) {
+	in := "inetnum: 10.0.0.0 - 10.0.0.255\n# interior comment\nstatus: ASSIGNED PA\n"
+	objs, err := ReadAll(strings.NewReader(in))
+	if err != nil || len(objs) != 1 {
+		t.Fatalf("objs=%v err=%v", objs, err)
+	}
+	if v, _ := objs[0].Get("status"); v != "ASSIGNED PA" {
+		t.Fatal("comment inside object broke parsing")
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	objs, err := ReadAll(strings.NewReader(sampleDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, o := range objs {
+		if err := w.Write(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(objs) {
+		t.Fatalf("round trip count %d != %d", len(back), len(objs))
+	}
+	for i := range objs {
+		if len(back[i].Attributes) != len(objs[i].Attributes) {
+			t.Fatalf("obj %d attr count changed", i)
+		}
+		for j := range objs[i].Attributes {
+			if back[i].Attributes[j] != objs[i].Attributes[j] {
+				t.Fatalf("obj %d attr %d: %v != %v", i, j, back[i].Attributes[j], objs[i].Attributes[j])
+			}
+		}
+	}
+}
+
+// Property: any object built from sane attribute names/values survives a
+// write/read round trip.
+func TestRoundTripQuick(t *testing.T) {
+	sanitize := func(s string, name bool) string {
+		var b strings.Builder
+		for _, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+				b.WriteRune(r)
+			case !name && (r == ' ' || r == '.' || r == '/'):
+				b.WriteRune(r)
+			}
+		}
+		out := strings.TrimSpace(b.String())
+		if out == "" {
+			out = "x"
+		}
+		return out
+	}
+	f := func(names, values []string) bool {
+		if len(names) == 0 {
+			return true
+		}
+		o := &Object{}
+		for i, n := range names {
+			v := "v"
+			if i < len(values) {
+				v = sanitize(values[i], false)
+			}
+			o.Add(strings.ToLower(sanitize(n, true)), v)
+		}
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).Write(o); err != nil {
+			return false
+		}
+		back, err := ReadAll(&buf)
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		if len(back[0].Attributes) != len(o.Attributes) {
+			return false
+		}
+		for i := range o.Attributes {
+			got, want := back[0].Attributes[i], o.Attributes[i]
+			// Internal whitespace may be normalised only at the edges.
+			if got.Name != want.Name || got.Value != strings.TrimSpace(want.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderSequential(t *testing.T) {
+	rd := NewReader(strings.NewReader(sampleDB))
+	count := 0
+	for {
+		_, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != 4 {
+		t.Fatalf("sequential count = %d", count)
+	}
+	// Next after EOF keeps returning EOF.
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("post-EOF = %v", err)
+	}
+}
+
+func BenchmarkReadAll(b *testing.B) {
+	data := strings.Repeat(sampleDB, 100)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAll(strings.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package spamhaus reads and writes the Spamhaus ASN-DROP list format and
+// manages monthly snapshots of it, as the paper's abuse analysis does
+// (§6.4): the list names ASes used for spam operations, botnet command and
+// control, and similar abusive activity.
+//
+// ASN-DROP is distributed as JSON Lines; each entry looks like
+//
+//	{"asn":213371,"rir":"ripencc","domain":"example.net","cc":"SC","asname":"SQUITTER-NETWORKS"}
+//
+// and metadata lines carrying "type":"metadata" are ignored.
+package spamhaus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Entry is one blocklisted AS.
+type Entry struct {
+	ASN    uint32 `json:"asn"`
+	RIR    string `json:"rir,omitempty"`
+	Domain string `json:"domain,omitempty"`
+	CC     string `json:"cc,omitempty"`
+	ASName string `json:"asname,omitempty"`
+}
+
+// List is one ASN-DROP snapshot.
+type List struct {
+	Entries []Entry
+	byASN   map[uint32]bool
+}
+
+// NewList builds a snapshot from entries.
+func NewList(entries []Entry) *List {
+	l := &List{Entries: entries, byASN: make(map[uint32]bool, len(entries))}
+	for _, e := range entries {
+		l.byASN[e.ASN] = true
+	}
+	return l
+}
+
+// Contains reports whether asn is on the list.
+func (l *List) Contains(asn uint32) bool { return l.byASN[asn] }
+
+// Len returns the number of listed ASes.
+func (l *List) Len() int { return len(l.Entries) }
+
+// ASNs returns the listed ASNs in ascending order.
+func (l *List) ASNs() []uint32 {
+	out := make([]uint32, 0, len(l.byASN))
+	for a := range l.byASN {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// metaLine matches Spamhaus metadata records interleaved in the feed.
+type metaLine struct {
+	Type string `json:"type"`
+}
+
+// Parse reads a JSONL ASN-DROP feed.
+func Parse(r io.Reader) (*List, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var entries []Entry
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var meta metaLine
+		if err := json.Unmarshal([]byte(line), &meta); err == nil && meta.Type == "metadata" {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("spamhaus: line %d: %w", lineNum, err)
+		}
+		if e.ASN == 0 {
+			return nil, fmt.Errorf("spamhaus: line %d: missing asn", lineNum)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewList(entries), nil
+}
+
+// Write renders the list as JSONL, entries sorted by ASN.
+func Write(w io.Writer, l *List) error {
+	bw := bufio.NewWriter(w)
+	sorted := make([]Entry, len(l.Entries))
+	copy(sorted, l.Entries)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ASN < sorted[j].ASN })
+	for _, e := range sorted {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Archive is a set of monthly ASN-DROP snapshots, as the paper collects
+// February through May 2024.
+type Archive struct {
+	Months []Month // ascending by Year/Month
+}
+
+// Month is one monthly snapshot.
+type Month struct {
+	Year  int
+	Month time.Month
+	List  *List
+}
+
+// Add inserts a monthly snapshot in order.
+func (a *Archive) Add(year int, month time.Month, l *List) {
+	m := Month{Year: year, Month: month, List: l}
+	i := sort.Search(len(a.Months), func(i int) bool {
+		mi := a.Months[i]
+		return mi.Year > year || (mi.Year == year && mi.Month > month)
+	})
+	a.Months = append(a.Months, Month{})
+	copy(a.Months[i+1:], a.Months[i:])
+	a.Months[i] = m
+}
+
+// ListedEver reports whether asn appears in any monthly snapshot — the
+// paper's membership test over its observation window.
+func (a *Archive) ListedEver(asn uint32) bool {
+	for _, m := range a.Months {
+		if m.List.Contains(asn) {
+			return true
+		}
+	}
+	return false
+}
+
+// Union returns the ASNs listed in at least one month.
+func (a *Archive) Union() []uint32 {
+	seen := make(map[uint32]bool)
+	for _, m := range a.Months {
+		for asn := range m.List.byASN {
+			seen[asn] = true
+		}
+	}
+	out := make([]uint32, 0, len(seen))
+	for asn := range seen {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// monthFileName renders "asndrop-YYYYMM.json".
+func monthFileName(year int, month time.Month) string {
+	return fmt.Sprintf("asndrop-%04d%02d.json", year, int(month))
+}
+
+// WriteDir writes one JSON file per month under dir.
+func (a *Archive) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, m := range a.Months {
+		f, err := os.Create(filepath.Join(dir, monthFileName(m.Year, m.Month)))
+		if err != nil {
+			return err
+		}
+		werr := Write(f, m.List)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
+// LoadDir reads every monthly file in dir.
+func LoadDir(dir string) (*Archive, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	a := &Archive{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "asndrop-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		stamp := strings.TrimSuffix(strings.TrimPrefix(name, "asndrop-"), ".json")
+		if len(stamp) != 6 {
+			continue
+		}
+		var year, monthNum int
+		if _, err := fmt.Sscanf(stamp, "%4d%2d", &year, &monthNum); err != nil || monthNum < 1 || monthNum > 12 {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		l, perr := Parse(f)
+		f.Close()
+		if perr != nil {
+			return nil, fmt.Errorf("spamhaus: %s: %w", name, perr)
+		}
+		a.Add(year, time.Month(monthNum), l)
+	}
+	return a, nil
+}

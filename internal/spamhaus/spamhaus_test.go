@@ -1,0 +1,108 @@
+package spamhaus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sample = `{"asn":213371,"rir":"ripencc","domain":"example.net","cc":"SC","asname":"SQUITTER-NETWORKS"}
+{"type":"metadata","timestamp":1712000000}
+{"asn":401115,"rir":"arin","cc":"US","asname":"EXAMPLE-HOSTING"}
+`
+
+func TestParse(t *testing.T) {
+	l, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if !l.Contains(213371) || !l.Contains(401115) || l.Contains(1) {
+		t.Fatal("Contains wrong")
+	}
+	asns := l.ASNs()
+	if len(asns) != 2 || asns[0] != 213371 {
+		t.Fatalf("ASNs = %v", asns)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+	if _, err := Parse(strings.NewReader(`{"rir":"arin"}` + "\n")); err == nil {
+		t.Fatal("missing asn accepted")
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	l, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || !back.Contains(213371) {
+		t.Fatal("round trip lost entries")
+	}
+	// Entry fields preserved.
+	var found bool
+	for _, e := range back.Entries {
+		if e.ASN == 213371 && e.ASName == "SQUITTER-NETWORKS" && e.CC == "SC" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("entry fields lost")
+	}
+}
+
+func TestArchive(t *testing.T) {
+	a := &Archive{}
+	a.Add(2024, time.March, NewList([]Entry{{ASN: 100}}))
+	a.Add(2024, time.February, NewList([]Entry{{ASN: 200}}))
+	a.Add(2024, time.April, NewList([]Entry{{ASN: 100}, {ASN: 300}}))
+
+	if len(a.Months) != 3 || a.Months[0].Month != time.February {
+		t.Fatalf("months unsorted: %+v", a.Months)
+	}
+	if !a.ListedEver(200) || !a.ListedEver(300) || a.ListedEver(999) {
+		t.Fatal("ListedEver wrong")
+	}
+	u := a.Union()
+	if len(u) != 3 || u[0] != 100 || u[2] != 300 {
+		t.Fatalf("Union = %v", u)
+	}
+}
+
+func TestArchiveDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a := &Archive{}
+	a.Add(2024, time.February, NewList([]Entry{{ASN: 100, ASName: "X"}}))
+	a.Add(2024, time.May, NewList([]Entry{{ASN: 300}}))
+	if err := a.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Months) != 2 {
+		t.Fatalf("months = %d", len(back.Months))
+	}
+	if back.Months[0].Year != 2024 || back.Months[0].Month != time.February || !back.Months[0].List.Contains(100) {
+		t.Fatalf("month 0 = %+v", back.Months[0])
+	}
+	if _, err := LoadDir(dir + "-none"); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}

@@ -1,0 +1,300 @@
+// Package synth generates a deterministic synthetic Internet — WHOIS
+// databases, BGP RIB dumps, AS relationships, AS-to-org mappings, RPKI
+// archives, abuse lists, and broker registries — rendered in the same
+// on-disk formats as the paper's real datasets (§4), with planted ground
+// truth.
+//
+// The generator is the repository's substitute for the data the paper
+// downloads from the RIRs, Routeviews/RIS, the RPKI archive, Spamhaus and
+// CAIDA (see DESIGN.md §2): every knob defaults to the counts reported in
+// the paper's Table 1/2/3 and §6.3–§6.5, multiplied by Config.Scale, so
+// the reproduced experiments exhibit the published shapes at a laptop
+// -friendly size while the consuming code paths stay byte-format faithful.
+package synth
+
+import (
+	"ipleasing/internal/whois"
+)
+
+// Table1Cell is one registry's row of paper Table 1: the number of leaf
+// prefixes per inference group at full (paper) scale.
+type Table1Cell struct {
+	Unused     int // group 1
+	Aggregated int // group 2
+	ISPCust    int // group 3, ISP customer
+	Leased3    int // group 3, leased
+	Delegated  int // group 4, delegated customer
+	Leased4    int // group 4, leased
+}
+
+// Total returns the row total (the classified leaf count).
+func (c Table1Cell) Total() int {
+	return c.Unused + c.Aggregated + c.ISPCust + c.Leased3 + c.Delegated + c.Leased4
+}
+
+// Leased returns the row's leased count.
+func (c Table1Cell) Leased() int { return c.Leased3 + c.Leased4 }
+
+// PaperTable1 reproduces the per-registry group counts of the paper's
+// Table 1 (April 2024).
+var PaperTable1 = map[whois.Registry]Table1Cell{
+	whois.RIPE:    {Unused: 63670, Aggregated: 204337, ISPCust: 31484, Leased3: 26774, Delegated: 27610, Leased4: 1872},
+	whois.ARIN:    {Unused: 43011, Aggregated: 98316, ISPCust: 10302, Leased3: 6697, Delegated: 22927, Leased4: 5633},
+	whois.APNIC:   {Unused: 25437, Aggregated: 21515, ISPCust: 7725, Leased3: 3275, Delegated: 8291, Leased4: 150},
+	whois.AFRINIC: {Unused: 28936, Aggregated: 1741, ISPCust: 777, Leased3: 2172, Delegated: 1236, Leased4: 63},
+	whois.LACNIC:  {Unused: 27551, Aggregated: 11950, ISPCust: 2250, Leased3: 627, Delegated: 1294, Leased4: 55},
+}
+
+// TopHolder names an IP holder and its paper-scale leased-prefix count
+// (Table 3).
+type TopHolder struct {
+	Name   string
+	Leases int
+	// Facilitates marks holders that run their own leasing platform
+	// (Cloud Innovation in AFRINIC, §6.3 "top facilitators").
+	Facilitates bool
+}
+
+// PaperTopHolders reproduces Table 3: the top-3 IP holders per registry.
+var PaperTopHolders = map[whois.Registry][]TopHolder{
+	whois.RIPE: {
+		{Name: "Resilans AB", Leases: 1106},
+		{Name: "Cyber Assets FZCO", Leases: 941},
+		{Name: "Russian Scientific-Research Institute", Leases: 675},
+	},
+	whois.ARIN: {
+		{Name: "EGIHosting", Leases: 1418},
+		{Name: "PSINet, Inc.", Leases: 1233},
+		{Name: "Ace Data Centers, Inc.", Leases: 533},
+	},
+	whois.APNIC: {
+		{Name: "Orient Express LDI Limited", Leases: 145},
+		{Name: "Capitalonline Data Service (HK)", Leases: 135},
+		{Name: "Aceville PTE.LTD.", Leases: 96},
+	},
+	whois.AFRINIC: {
+		{Name: "Cloud Innovation Ltd", Leases: 2014, Facilitates: true},
+		{Name: "ATI - Agence Tunisienne Internet", Leases: 38},
+		{Name: "Nile Online", Leases: 32},
+	},
+	whois.LACNIC: {
+		{Name: "Radiografica Costarricense", Leases: 114},
+		{Name: "Impsat Fiber Networks Inc", Leases: 88},
+		{Name: "Newcom Limited", Leases: 25},
+	},
+}
+
+// TopOriginatorNames are the hosting providers the paper finds among the
+// top-five originators of leased prefixes in both RIPE and ARIN (§6.3),
+// with representative ASNs.
+var TopOriginatorNames = []struct {
+	Name string
+	ASN  uint32
+}{
+	{Name: "M247 Europe", ASN: 9009},
+	{Name: "Stark Industries Solutions", ASN: 44477},
+	{Name: "Datacamp Limited", ASN: 60068},
+}
+
+// EvalISP is one of the five residential ISPs whose prefixes form the
+// evaluation negatives (§5.3 / §6.2).
+type EvalISP struct {
+	Name     string
+	Registry whois.Registry
+	// Subsidiaries is the number of separately registered subsidiary
+	// organisations with their own AS numbers. The paper found 110 of
+	// its 121 false positives were Vodafone subsidiaries whose
+	// relationships the AS-relationship data missed.
+	Subsidiaries int
+	// Negatives is the paper-scale count of validated non-leased
+	// prefixes collected from this ISP.
+	Negatives int
+	// SubsidiaryFPs is the paper-scale count of subsidiary-announced
+	// prefixes that become false positives.
+	SubsidiaryFPs int
+}
+
+// PaperEvalISPs reproduces the evaluation ISPs. Negatives total 5,378 and
+// subsidiary false positives 110, per §6.2.
+var PaperEvalISPs = []EvalISP{
+	{Name: "AT&T Services", Registry: whois.ARIN, Negatives: 1310},
+	{Name: "Comcast Cable Communications", Registry: whois.ARIN, Negatives: 1250},
+	{Name: "Orange S.A.", Registry: whois.RIPE, Negatives: 1050},
+	{Name: "Vodafone GmbH", Registry: whois.RIPE, Negatives: 968, Subsidiaries: 17, SubsidiaryFPs: 110},
+	{Name: "IIJ - Internet Initiative Japan", Registry: whois.APNIC, Negatives: 800},
+}
+
+// EvalShape carries the paper-scale evaluation-set composition (§6.2):
+// broker-managed positives and their failure modes.
+type EvalShape struct {
+	// RIPEBrokers is the number of registered RIPE brokers: 46 exactly
+	// matched + 39 fuzzily matched + 30 absent from the database.
+	RIPEBrokersExact  int
+	RIPEBrokersFuzzy  int
+	RIPEBrokersAbsent int
+	ARINBrokers       int // 9 qualified facilitators (2 with prefixes)
+	APNICBrokers      int // 38 registered brokers (no maintainer data)
+
+	// ActiveLeases is the paper-scale count of broker-managed prefixes
+	// that are actively leased (9,478 positives minus inactive/legacy).
+	ActiveLeases int
+	// InactiveLeases are broker-managed but not yet announced: the
+	// paper's 1,605 unused-classified false negatives.
+	InactiveLeases int
+	// LegacyLeases are broker-managed legacy blocks: 138 false
+	// negatives outside the portability definitions.
+	LegacyLeases int
+	// BrokerISPPrefixes are broker-managed but connectivity-provided
+	// (the 1,621 prefixes manually filtered out during curation).
+	BrokerISPPrefixes int
+	// OtherFPs is the handful of non-Vodafone false positives (121-110).
+	OtherFPs int
+}
+
+// PaperEvalShape is the §6.2 composition at paper scale.
+var PaperEvalShape = EvalShape{
+	RIPEBrokersExact:  46,
+	RIPEBrokersFuzzy:  39,
+	RIPEBrokersAbsent: 30,
+	ARINBrokers:       9,
+	APNICBrokers:      38,
+	ActiveLeases:      7735,
+	InactiveLeases:    1605,
+	LegacyLeases:      138,
+	BrokerISPPrefixes: 1621,
+	OtherFPs:          11,
+}
+
+// AbuseShape carries the §6.3–§6.4 abuse-correlation targets.
+type AbuseShape struct {
+	// LeasedDropShare: fraction of leased prefixes originated by
+	// ASN-DROP-listed ASes (paper: 1.1%).
+	LeasedDropShare float64
+	// NonLeasedDropShare: same for non-leased prefixes (paper: 0.2%).
+	NonLeasedDropShare float64
+	// LeasedHijackerShare: fraction of leased prefixes originated by
+	// serial-hijacker ASes (paper: 13.3%).
+	LeasedHijackerShare float64
+	// NonLeasedHijackerShare: same for non-leased (paper: 3.1%).
+	NonLeasedHijackerShare float64
+	// HijackerOriginatorShare: fraction of lease originators that are
+	// serial hijackers (paper: 2.9% = 269/9,217).
+	HijackerOriginatorShare float64
+	// LeasedROAShare: fraction of leased prefixes with ROAs
+	// (paper: 31,156/47,318).
+	LeasedROAShare float64
+	// NonLeasedROAShare: same for non-leased (paper: 506,629/1,100,025).
+	NonLeasedROAShare float64
+	// LeasedROABadShare: fraction of leased-prefix ROAs naming a
+	// blocklisted AS (paper: 1.6%).
+	LeasedROABadShare float64
+	// NonLeasedROABadShare: same for non-leased (paper: 0.2%).
+	NonLeasedROABadShare float64
+	// Hijackers is the paper-scale serial-hijacker list size (957).
+	Hijackers int
+	// DropASNs is the approximate ASN-DROP list size.
+	DropASNs int
+}
+
+// PaperAbuseShape is the published abuse correlation.
+var PaperAbuseShape = AbuseShape{
+	LeasedDropShare:         0.011,
+	NonLeasedDropShare:      0.002,
+	LeasedHijackerShare:     0.133,
+	NonLeasedHijackerShare:  0.031,
+	HijackerOriginatorShare: 0.029,
+	LeasedROAShare:          0.658,
+	NonLeasedROAShare:       0.461,
+	LeasedROABadShare:       0.016,
+	NonLeasedROABadShare:    0.002,
+	Hijackers:               957,
+	DropASNs:                300,
+}
+
+// Config controls world generation.
+type Config struct {
+	// Seed drives the deterministic PRNG.
+	Seed int64
+	// Scale multiplies every paper-scale count. 0 means DefaultScale.
+	// At 0.02 the world has ~14k leaf blocks and ~23k routed prefixes.
+	Scale float64
+	// LeasedBGPShare is the target share of leased prefixes among all
+	// routed prefixes; filler announcements are sized to hit it.
+	// 0 means the paper's 4.1%.
+	LeasedBGPShare float64
+	// Months is the longitudinal window: monthly routing snapshots
+	// ending at the world's snapshot time (§8 market-dynamics
+	// extension). 0 means 6; negative disables the longitudinal data.
+	Months int
+	// Table1, TopHolders, EvalISPs, Eval, Abuse override the paper
+	// shapes when non-nil / non-zero.
+	Table1     map[whois.Registry]Table1Cell
+	TopHolders map[whois.Registry][]TopHolder
+	EvalISPs   []EvalISP
+	Eval       *EvalShape
+	Abuse      *AbuseShape
+}
+
+// DefaultScale keeps the default world near 14k classified leaves.
+const DefaultScale = 0.02
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return DefaultScale
+	}
+	return c.Scale
+}
+
+func (c Config) leasedShare() float64 {
+	if c.LeasedBGPShare <= 0 {
+		return 0.041
+	}
+	return c.LeasedBGPShare
+}
+
+func (c Config) table1() map[whois.Registry]Table1Cell {
+	if c.Table1 != nil {
+		return c.Table1
+	}
+	return PaperTable1
+}
+
+func (c Config) topHolders() map[whois.Registry][]TopHolder {
+	if c.TopHolders != nil {
+		return c.TopHolders
+	}
+	return PaperTopHolders
+}
+
+func (c Config) evalISPs() []EvalISP {
+	if c.EvalISPs != nil {
+		return c.EvalISPs
+	}
+	return PaperEvalISPs
+}
+
+func (c Config) eval() EvalShape {
+	if c.Eval != nil {
+		return *c.Eval
+	}
+	return PaperEvalShape
+}
+
+func (c Config) abuse() AbuseShape {
+	if c.Abuse != nil {
+		return *c.Abuse
+	}
+	return PaperAbuseShape
+}
+
+// scaleCount scales a paper count, keeping nonzero counts at least 1.
+func scaleCount(n int, s float64) int {
+	if n <= 0 {
+		return 0
+	}
+	v := int(float64(n)*s + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

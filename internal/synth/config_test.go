@@ -1,0 +1,81 @@
+package synth
+
+import (
+	"testing"
+
+	"ipleasing/internal/core"
+	"ipleasing/internal/whois"
+)
+
+// TestConfigOverrides: custom Table-1 shapes and top holders flow through
+// generation and come back out of the inference.
+func TestConfigOverrides(t *testing.T) {
+	cfg := Config{
+		Seed:  5,
+		Scale: 1, // counts below are literal
+		Table1: map[whois.Registry]Table1Cell{
+			whois.RIPE:    {Unused: 10, Aggregated: 20, ISPCust: 5, Leased3: 30, Delegated: 8, Leased4: 4},
+			whois.ARIN:    {Leased3: 2},
+			whois.APNIC:   {},
+			whois.AFRINIC: {},
+			whois.LACNIC:  {},
+		},
+		TopHolders: map[whois.Registry][]TopHolder{
+			whois.RIPE: {{Name: "Mega Lessor Inc", Leases: 12}},
+		},
+		EvalISPs: []EvalISP{},
+		Eval: &EvalShape{
+			RIPEBrokersExact: 3, RIPEBrokersFuzzy: 1, RIPEBrokersAbsent: 1,
+			ActiveLeases: 8, InactiveLeases: 2, LegacyLeases: 1, BrokerISPPrefixes: 2,
+		},
+		Months: -1, // longitudinal disabled
+	}
+	w := Generate(cfg)
+	if len(w.Market) != 0 {
+		t.Fatal("Months=-1 still generated market data")
+	}
+	res := w.Pipeline().Infer()
+	rr := res.Regions[whois.RIPE]
+	// +1 leased-3 for the timeline prefix's budget slot is taken from
+	// the configured 30, so the inferred counts match the cells exactly.
+	if got := rr.Counts[core.LeasedNoRootOrigin]; got != 30 {
+		t.Errorf("leased-3 = %d, want 30", got)
+	}
+	if got := rr.Counts[core.LeasedWithRootOrigin]; got != 4 {
+		t.Errorf("leased-4 = %d, want 4", got)
+	}
+	if got := rr.Counts[core.AggregatedCustomer]; got != 20 {
+		t.Errorf("aggregated = %d, want 20", got)
+	}
+	if got := res.Regions[whois.ARIN].Leased(); got != 2 {
+		t.Errorf("ARIN leased = %d, want 2", got)
+	}
+	// The custom top holder dominates.
+	holders := make(map[string]int)
+	for _, inf := range rr.Inferences {
+		if inf.Category.Leased() {
+			holders[inf.HolderOrg]++
+		}
+	}
+	db := w.Whois.DB(whois.RIPE)
+	best, bestN := "", 0
+	for org, n := range holders {
+		if n > bestN {
+			best, bestN = org, n
+		}
+	}
+	org, ok := db.OrgByID(best)
+	if !ok || org.Name != "Mega Lessor Inc" {
+		t.Errorf("top holder = %q (%d leases)", org.Name, bestN)
+	}
+}
+
+// TestLeasedShareOverride: the filler sizing honours a custom target.
+func TestLeasedShareOverride(t *testing.T) {
+	w := Generate(Config{Seed: 6, Scale: 0.005, LeasedBGPShare: 0.10})
+	res := w.Pipeline().Infer()
+	share := res.LeasedShareOfBGP()
+	if share < 0.07 || share > 0.14 {
+		t.Fatalf("leased share = %.3f, want ~0.10", share)
+	}
+}

@@ -1,0 +1,551 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ipleasing/internal/as2org"
+	"ipleasing/internal/asrel"
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/brokers"
+	"ipleasing/internal/mrt"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/whois"
+)
+
+// registryFirstOctet maps each registry to a disjoint band of /8s the
+// generator carves allocations from. Filler (non-registry) announcements
+// use octets outside every band so they never cover registered blocks.
+var registryFirstOctet = map[whois.Registry]uint32{
+	whois.RIPE:    80,  // 80.0.0.0 – 95.255.255.255
+	whois.ARIN:    60,  // 60 – 75
+	whois.APNIC:   100, // 100 – 115
+	whois.AFRINIC: 40,  // 40 – 55
+	whois.LACNIC:  176, // 176 – 191
+}
+
+const fillerFirstOctet = 120 // 120 – 170: filler band
+
+// rootPrefixLen is the size of generated root allocations: a /18 holds up
+// to 64 /24 leaves.
+const rootPrefixLen = 8 + 10 // /18
+
+// rootCapacity leaves head-room inside each /18 so leaf placement never
+// overflows.
+const rootCapacity = 56
+
+// statusFor returns the registry-native status string for a portability
+// class, so generated dumps read like real ones.
+func statusFor(reg whois.Registry, p whois.Portability) string {
+	switch reg {
+	case whois.RIPE, whois.AFRINIC:
+		if p == whois.Portable {
+			return "ALLOCATED PA"
+		}
+		return "ASSIGNED PA"
+	case whois.APNIC:
+		if p == whois.Portable {
+			return "ALLOCATED PORTABLE"
+		}
+		return "ASSIGNED NON-PORTABLE"
+	case whois.ARIN:
+		if p == whois.Portable {
+			return "Direct Allocation"
+		}
+		return "Reassignment"
+	case whois.LACNIC:
+		if p == whois.Portable {
+			return "allocated"
+		}
+		return "reassigned"
+	}
+	return "ALLOCATED PA"
+}
+
+// gen holds generator state.
+type gen struct {
+	cfg Config
+	rng *rand.Rand
+	w   *World
+
+	nextASN    uint32
+	addrCursor map[whois.Registry]uint32
+
+	tier1    []uint32
+	transits map[whois.Registry][]uint32
+
+	// lease-originator pools (global, like real hosting companies).
+	hostNormal  *weighted // ordinary hosting ASes
+	hostHijack  []uint32  // serial-hijacker originators
+	hostDrop    []uint32  // ASN-DROP-listed originators
+	hijackerSet map[uint32]bool
+	dropSet     map[uint32]bool
+
+	// per-registry facilitator maintainer handles, lease-weighted.
+	// brokerFac handles belong to registered brokers (their prefixes
+	// form the evaluation positives); otherFac handles do not.
+	brokerFac map[whois.Registry]*weightedStr
+	otherFac  map[whois.Registry]*weightedStr
+	brokerMnt map[whois.Registry]map[string]bool
+
+	// countries for flavour.
+	countries []string
+
+	// bookkeeping for the RPKI / abuse phases.
+	leased         []routeInfo // inferred-leased announced prefixes
+	nonleased      []routeInfo // all other announced prefixes
+	evalISPMnts    []string
+	timelinePrefix netutil.Prefix
+	dropListed     map[uint32]bool
+	siblingASN     map[string]uint32
+	custMntSeq     int
+	// error-diffusion accumulators for the abuse mixes.
+	dropAcc, hijAcc float64
+
+	// per-holder lazily created customer ASes.
+	custASN map[string][]uint32
+
+	// remaining broker-managed active-lease budget per registry.
+	brokerBudget map[whois.Registry]int
+
+	orgSeq int
+}
+
+// weighted is a weighted ASN picker.
+type weighted struct {
+	asns    []uint32
+	cum     []int
+	totalWt int
+}
+
+func newWeighted() *weighted { return &weighted{} }
+
+func (w *weighted) add(asn uint32, wt int) {
+	w.totalWt += wt
+	w.asns = append(w.asns, asn)
+	w.cum = append(w.cum, w.totalWt)
+}
+
+func (w *weighted) pick(rng *rand.Rand) uint32 {
+	if w.totalWt == 0 {
+		panic("synth: empty weighted picker")
+	}
+	x := rng.Intn(w.totalWt)
+	i := sort.SearchInts(w.cum, x+1)
+	return w.asns[i]
+}
+
+// weightedStr is a weighted string picker.
+type weightedStr struct {
+	vals    []string
+	cum     []int
+	totalWt int
+}
+
+func (w *weightedStr) add(v string, wt int) {
+	w.totalWt += wt
+	w.vals = append(w.vals, v)
+	w.cum = append(w.cum, w.totalWt)
+}
+
+func (w *weightedStr) pick(rng *rand.Rand) string {
+	x := rng.Intn(w.totalWt)
+	i := sort.SearchInts(w.cum, x+1)
+	return w.vals[i]
+}
+
+// Generate builds a complete synthetic world from cfg.
+func Generate(cfg Config) *World {
+	g := &gen{
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
+		nextASN:      100000,
+		addrCursor:   make(map[whois.Registry]uint32),
+		transits:     make(map[whois.Registry][]uint32),
+		hijackerSet:  make(map[uint32]bool),
+		dropSet:      make(map[uint32]bool),
+		brokerFac:    make(map[whois.Registry]*weightedStr),
+		otherFac:     make(map[whois.Registry]*weightedStr),
+		brokerMnt:    make(map[whois.Registry]map[string]bool),
+		custASN:      make(map[string][]uint32),
+		siblingASN:   make(map[string]uint32),
+		brokerBudget: make(map[whois.Registry]int),
+		countries:    []string{"US", "DE", "GB", "NL", "SE", "FR", "JP", "SG", "BR", "ZA", "AE", "CY", "PA", "RU", "CN", "TN", "CR"},
+	}
+	g.w = &World{
+		Cfg:          cfg,
+		Whois:        whois.NewDataset(),
+		Rel:          asrel.New(),
+		Orgs:         as2org.New(),
+		SnapshotTime: time.Date(2024, 4, 1, 0, 0, 0, 0, time.UTC),
+	}
+	for _, reg := range whois.Registries {
+		g.addrCursor[reg] = registryFirstOctet[reg] << 24
+	}
+
+	g.buildBackbone()
+	g.buildOriginatorPools()
+	g.buildBrokersAndFacilitators()
+	for _, reg := range whois.Registries {
+		g.generateRegistry(reg)
+	}
+	g.generateFiller()
+	g.generateTimeline()
+	g.generateAbuseLists()
+	g.generateRPKI()
+	g.generateGeo()
+	g.generateMarket()
+	g.generateMntners()
+
+	for _, reg := range whois.Registries {
+		g.w.Whois.DB(reg).Reindex()
+	}
+	return g.w
+}
+
+// generateMntners backfills maintainer objects for every handle the RPSL
+// registries reference, as a real dump would contain.
+func (g *gen) generateMntners() {
+	for _, reg := range []whois.Registry{whois.RIPE, whois.APNIC, whois.AFRINIC} {
+		db := g.w.Whois.DB(reg)
+		seen := make(map[string]bool)
+		add := func(handle string) {
+			if handle == "" || seen[handle] {
+				return
+			}
+			seen[handle] = true
+			db.Mntners = append(db.Mntners, &whois.Mntner{
+				Registry: reg, Handle: handle, Descr: "maintainer " + handle,
+			})
+		}
+		for _, inet := range db.InetNums {
+			for _, m := range inet.MntBy {
+				add(m)
+			}
+		}
+		for _, org := range db.Orgs {
+			for _, m := range org.MntRef {
+				add(m)
+			}
+		}
+	}
+}
+
+func (g *gen) asn() uint32 {
+	a := g.nextASN
+	g.nextASN++
+	return a
+}
+
+func (g *gen) country() string {
+	return g.countries[g.rng.Intn(len(g.countries))]
+}
+
+// allocBlock carves the next block of the given length from a registry's
+// address band.
+func (g *gen) allocBlock(reg whois.Registry, length uint8) netutil.Prefix {
+	size := uint32(1) << (32 - length)
+	cur := g.addrCursor[reg]
+	if rem := cur % size; rem != 0 {
+		cur += size - rem
+	}
+	g.addrCursor[reg] = cur + size
+	return netutil.Prefix{Base: netutil.Addr(cur), Len: length}
+}
+
+// buildBackbone creates the tier-1 clique, per-registry transit ASes, and
+// the collector vantage points.
+func (g *gen) buildBackbone() {
+	for i := 0; i < 8; i++ {
+		a := g.asn()
+		g.tier1 = append(g.tier1, a)
+		g.w.Orgs.AddAS(a, fmt.Sprintf("ORG-T1-%d", i))
+		g.w.Orgs.AddOrg(fmt.Sprintf("ORG-T1-%d", i), fmt.Sprintf("Tier One Backbone %d", i), "US")
+	}
+	for i := 0; i < len(g.tier1); i++ {
+		for j := i + 1; j < len(g.tier1); j++ {
+			g.w.Rel.AddP2P(g.tier1[i], g.tier1[j])
+		}
+	}
+	for _, reg := range whois.Registries {
+		for i := 0; i < 4; i++ {
+			a := g.asn()
+			g.transits[reg] = append(g.transits[reg], a)
+			g.w.Rel.AddP2C(g.tier1[g.rng.Intn(len(g.tier1))], a)
+			g.w.Rel.AddP2C(g.tier1[g.rng.Intn(len(g.tier1))], a)
+			orgID := fmt.Sprintf("ORG-TR-%s-%d", reg, i)
+			g.w.Orgs.AddAS(a, orgID)
+			g.w.Orgs.AddOrg(orgID, fmt.Sprintf("%s Transit %d", reg, i), g.country())
+		}
+	}
+	// Three vantage points on distinct tier-1s, like a real collector.
+	for i := 0; i < 3; i++ {
+		g.w.Peers = append(g.w.Peers, mrt.Peer{
+			BGPID: uint32(i + 1),
+			Addr:  netutil.Addr(0xC6336401 + uint32(i)), // 198.51.100.x
+			AS:    g.tier1[i],
+		})
+	}
+}
+
+// attach gives asn a transit provider in reg and returns the AS path tail
+// (transit, asn).
+func (g *gen) attach(reg whois.Registry, asn uint32) {
+	tr := g.transits[reg][g.rng.Intn(len(g.transits[reg]))]
+	g.w.Rel.AddP2C(tr, asn)
+}
+
+// pathTo builds a valley-free AS path from a vantage point to origin by
+// climbing the origin's real provider chain to a tier-1, then crossing
+// the tier-1 peering mesh to the vantage point if needed. Paths therefore
+// only traverse edges that exist in the relationship graph, as real
+// routing policy would produce.
+func (g *gen) pathTo(origin uint32) mrt.ASPath {
+	chain := []uint32{origin}
+	cur := origin
+	for depth := 0; depth < 6; depth++ {
+		provs := g.w.Rel.Providers(cur)
+		if len(provs) == 0 {
+			break
+		}
+		cur = provs[g.rng.Intn(len(provs))]
+		chain = append(chain, cur)
+	}
+	// Reverse into top-down order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	vantage := g.tier1[g.rng.Intn(len(g.tier1))]
+	if chain[0] != vantage {
+		chain = append([]uint32{vantage}, chain...)
+	}
+	return mrt.NewASPathSequence(chain...)
+}
+
+// announce adds a route for p originated by origin. Most routes reach
+// every vantage point; roughly one in twelve is carried by a single peer
+// only, modelling the collection bias of §7 ("Incomplete BGP Data") that
+// the MinVisibility sensitivity study probes.
+func (g *gen) announce(p netutil.Prefix, origin uint32) {
+	vis := 0 // all peers
+	if g.rng.Intn(12) == 0 {
+		vis = 1
+	}
+	g.w.Routes = append(g.w.Routes, bgp.Route{Prefix: p, Path: g.pathTo(origin), Visibility: vis})
+}
+
+// buildOriginatorPools creates the global lease-originator (hosting)
+// ecosystem, split into normal, serial-hijacker, and ASN-DROP pools.
+func (g *gen) buildOriginatorPools() {
+	s := g.cfg.scale()
+	ab := g.cfg.abuse()
+	totalLeases := 0
+	for _, cell := range g.cfg.table1() {
+		totalLeases += scaleCount(cell.Leased(), s)
+	}
+	poolSize := totalLeases / 5
+	if poolSize < 12 {
+		poolSize = 12
+	}
+	nHijack := int(float64(poolSize)*ab.HijackerOriginatorShare + 0.5)
+	if nHijack < 2 {
+		nHijack = 2
+	}
+	nDrop := nHijack / 2
+	if nDrop < 2 {
+		nDrop = 2
+	}
+
+	g.hostNormal = newWeighted()
+	// The three named top originators get heavy weight (§6.3).
+	for _, t := range TopOriginatorNames {
+		orgID := "ORG-HOST-" + t.Name
+		g.w.Orgs.AddAS(t.ASN, orgID)
+		g.w.Orgs.AddOrg(orgID, t.Name, g.country())
+		g.w.Rel.AddP2C(g.tier1[g.rng.Intn(len(g.tier1))], t.ASN)
+		g.hostNormal.add(t.ASN, 60)
+	}
+	for i := 0; i < poolSize; i++ {
+		a := g.asn()
+		orgID := fmt.Sprintf("ORG-HOST-%d", i)
+		g.w.Orgs.AddAS(a, orgID)
+		g.w.Orgs.AddOrg(orgID, fmt.Sprintf("Hosting Provider %d", i), g.country())
+		g.w.Rel.AddP2C(g.tier1[g.rng.Intn(len(g.tier1))], a)
+		// Zipf-flavoured weights: a few mid-size hosts, a long tail.
+		g.hostNormal.add(a, 1+60/(i+3))
+	}
+	for i := 0; i < nHijack; i++ {
+		a := g.asn()
+		g.hostHijack = append(g.hostHijack, a)
+		g.hijackerSet[a] = true
+		orgID := fmt.Sprintf("ORG-HJ-%d", i)
+		g.w.Orgs.AddAS(a, orgID)
+		g.w.Orgs.AddOrg(orgID, fmt.Sprintf("Bulletproof Routing %d", i), g.country())
+		g.w.Rel.AddP2C(g.tier1[g.rng.Intn(len(g.tier1))], a)
+	}
+	for i := 0; i < nDrop; i++ {
+		a := g.asn()
+		g.hostDrop = append(g.hostDrop, a)
+		g.dropSet[a] = true
+		orgID := fmt.Sprintf("ORG-DROP-%d", i)
+		g.w.Orgs.AddAS(a, orgID)
+		g.w.Orgs.AddOrg(orgID, fmt.Sprintf("Spam Operations %d", i), g.country())
+		g.w.Rel.AddP2C(g.tier1[g.rng.Intn(len(g.tier1))], a)
+	}
+}
+
+// pickLeaseOriginator draws the origin AS for a leased prefix with the
+// paper's abuse mix: 13.3% hijackers, 1.1% DROP-listed, rest normal.
+// Error-diffusion accumulators keep the realised shares tight around the
+// targets even in small worlds.
+func (g *gen) pickLeaseOriginator() uint32 {
+	ab := g.cfg.abuse()
+	g.dropAcc += ab.LeasedDropShare
+	if g.dropAcc >= 1 {
+		g.dropAcc--
+		return g.hostDrop[g.rng.Intn(len(g.hostDrop))]
+	}
+	g.hijAcc += ab.LeasedHijackerShare
+	if g.hijAcc >= 1 {
+		g.hijAcc--
+		return g.hostHijack[g.rng.Intn(len(g.hostHijack))]
+	}
+	return g.hostNormal.pick(g.rng)
+}
+
+// brokerName fabricates the i-th registered broker's published name.
+func brokerName(reg whois.Registry, i int) string {
+	return fmt.Sprintf("%s Address Brokerage %d Ltd", reg, i)
+}
+
+// buildBrokersAndFacilitators creates the registered-broker lists, their
+// WHOIS organisation objects (exact / fuzzy / absent, per §6.2), and the
+// per-registry facilitator maintainer pools used on leased prefixes.
+//
+// Leased prefixes draw maintainers from two disjoint pools: broker
+// handles (counted against the evaluation-positive budget, IPXO-heavy so
+// IPXO tops the facilitator ranking) and non-broker lease handles. That
+// keeps Table 2's positive count and §6.3's facilitator ranking
+// simultaneously on shape.
+func (g *gen) buildBrokersAndFacilitators() {
+	ev := g.cfg.eval()
+	s := g.cfg.scale()
+	list := &brokers.List{}
+
+	brokerW := func(reg whois.Registry) *weightedStr {
+		if g.brokerFac[reg] == nil {
+			g.brokerFac[reg] = &weightedStr{}
+		}
+		return g.brokerFac[reg]
+	}
+	otherW := func(reg whois.Registry) *weightedStr {
+		if g.otherFac[reg] == nil {
+			g.otherFac[reg] = &weightedStr{}
+		}
+		return g.otherFac[reg]
+	}
+	markBroker := func(reg whois.Registry, mnt string) {
+		if g.brokerMnt[reg] == nil {
+			g.brokerMnt[reg] = make(map[string]bool)
+		}
+		g.brokerMnt[reg][mnt] = true
+	}
+
+	addBrokerOrg := func(reg whois.Registry, published, orgName string, withMnt bool) string {
+		g.orgSeq++
+		id := fmt.Sprintf("ORG-BRK-%d", g.orgSeq)
+		mnt := fmt.Sprintf("BRK%d-MNT", g.orgSeq)
+		if reg == whois.ARIN || reg == whois.LACNIC {
+			mnt = id // no maintainer objects: the OrgID is the handle
+		}
+		org := &whois.Org{Registry: reg, ID: id, Name: orgName, Country: g.country()}
+		if withMnt {
+			org.MntRef = []string{mnt}
+			markBroker(reg, mnt)
+		}
+		db := g.w.Whois.DB(reg)
+		db.Orgs = append(db.Orgs, org)
+		list.Brokers = append(list.Brokers, brokers.Broker{Registry: reg, Name: published})
+		return mnt
+	}
+
+	// IPXO: registered RIPE broker; its handle dominates the RIPE broker
+	// pool and (as a facilitator without local broker registration) the
+	// ARIN and APNIC non-broker pools, making it top-3 in all three.
+	ipxoMnt := addBrokerOrg(whois.RIPE, "IPXO, LTD", "IPXO, LTD", true)
+	brokerW(whois.RIPE).add(ipxoMnt, 160)
+	otherW(whois.ARIN).add(ipxoMnt, 30)
+	otherW(whois.APNIC).add(ipxoMnt, 30)
+
+	// RIPE brokers: exact, fuzzy (suffix variation), and absent.
+	for i := 0; i < ev.RIPEBrokersExact-1; i++ {
+		name := brokerName(whois.RIPE, i)
+		mnt := addBrokerOrg(whois.RIPE, name, name, true)
+		brokerW(whois.RIPE).add(mnt, 2+g.rng.Intn(6))
+	}
+	for i := 0; i < ev.RIPEBrokersFuzzy; i++ {
+		// Fictitious-business-name mismatch: the RIR list carries the
+		// short trading name, the registry the longer legal entity, so
+		// only word-containment matching finds it (§6.2's manual
+		// matches).
+		published := fmt.Sprintf("RIPE Fuzzy Broker %d LTD", i)
+		registered := fmt.Sprintf("RIPE Fuzzy Broker %d Trading Group B.V.", i)
+		mnt := addBrokerOrg(whois.RIPE, published, registered, true)
+		brokerW(whois.RIPE).add(mnt, 1+g.rng.Intn(4))
+	}
+	for i := 0; i < ev.RIPEBrokersAbsent; i++ {
+		// On the RIR list but no WHOIS organisation: no org object.
+		list.Brokers = append(list.Brokers, brokers.Broker{
+			Registry: whois.RIPE, Name: fmt.Sprintf("Offshore Broker %d SA", i),
+		})
+	}
+	// ARIN facilitators: two with managed prefixes, rest without.
+	for i := 0; i < ev.ARINBrokers; i++ {
+		name := brokerName(whois.ARIN, i)
+		mnt := addBrokerOrg(whois.ARIN, name, name, i < 2)
+		if i < 2 {
+			brokerW(whois.ARIN).add(mnt, 3)
+		}
+	}
+	// APNIC brokers: present as orgs but without maintainer references
+	// (the paper cannot match them to address blocks).
+	for i := 0; i < ev.APNICBrokers; i++ {
+		name := brokerName(whois.APNIC, i)
+		addBrokerOrg(whois.APNIC, name, name, false)
+	}
+
+	// Non-broker facilitator handles fill the rest of each registry's
+	// lease maintainers: many small handles so the named facilitators
+	// stay on top of the ranking.
+	for _, reg := range whois.Registries {
+		f := otherW(reg)
+		for i := 0; i < 25; i++ {
+			f.add(fmt.Sprintf("%s-LEASE-MNT-%d", reg, i), 3)
+		}
+		f.add("HOLDER-DIRECT-MNT", 8) // holder leasing directly, no facilitator
+	}
+
+	// Active broker-managed lease budgets (evaluation positives).
+	g.brokerBudget[whois.RIPE] = scaleCount(ev.ActiveLeases, s)
+	g.brokerBudget[whois.ARIN] = scaleCount(23, s) // 24 managed minus 1 filtered
+
+	g.w.Brokers = list
+}
+
+// pickFacilitator returns the maintainer handle for a new leased prefix.
+// Broker handles are used while the evaluation-positive budget lasts,
+// then non-broker lease handles take over.
+func (g *gen) pickFacilitator(reg whois.Registry) (mnt string, brokerManaged bool) {
+	if g.brokerBudget[reg] > 0 && g.brokerFac[reg] != nil && g.brokerFac[reg].totalWt > 0 {
+		g.brokerBudget[reg]--
+		return g.brokerFac[reg].pick(g.rng), true
+	}
+	f := g.otherFac[reg]
+	if f == nil || f.totalWt == 0 {
+		return "HOLDER-DIRECT-MNT", false
+	}
+	m := f.pick(g.rng)
+	return m, g.brokerMnt[reg][m]
+}

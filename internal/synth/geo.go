@@ -1,0 +1,83 @@
+package synth
+
+import (
+	"ipleasing/internal/geoip"
+)
+
+// geoProviders are the synthetic geolocation vendors; five, like the
+// five-database disagreement anecdote in the paper's §8.
+var geoProviders = []string{"atlasgeo", "bitlocate", "cartodb", "driftip", "edgegeo"}
+
+// generateGeo builds the geolocation panel: non-leased prefixes geolocate
+// consistently (small vendor noise), while roughly half of the leased
+// prefixes split the vendors between the holder's registration country
+// and the lessee's operating countries — marketplace prefixes spread
+// across continents depending on who you ask.
+func (g *gen) generateGeo() {
+	panel := &geoip.Panel{}
+	for _, name := range geoProviders {
+		panel.DBs = append(panel.DBs, geoip.NewDB(name))
+	}
+
+	ccOfOrigin := func(origin uint32) string {
+		if orgID, ok := g.w.Orgs.OrgOf(origin); ok {
+			if cc := g.w.Orgs.Country(orgID); cc != "" {
+				return cc
+			}
+		}
+		return g.country()
+	}
+	distinct := func(avoid map[string]bool) string {
+		for i := 0; i < 20; i++ {
+			cc := g.country()
+			if !avoid[cc] {
+				return cc
+			}
+		}
+		return "ZZ"
+	}
+
+	for _, ri := range g.nonleased {
+		cc := ccOfOrigin(ri.origin)
+		for i, db := range panel.DBs {
+			entry := cc
+			if i == 0 && g.rng.Intn(20) == 0 {
+				// Vendor noise: one provider occasionally disagrees even
+				// on stable, non-leased space.
+				entry = distinct(map[string]bool{cc: true})
+			}
+			db.Add(ri.prefix, entry)
+		}
+	}
+	for _, ri := range g.leased {
+		lesseeCC := ccOfOrigin(ri.origin)
+		if g.rng.Intn(2) == 0 {
+			// Half the leases geolocate consistently: every vendor has
+			// caught up with the lessee.
+			for _, db := range panel.DBs {
+				db.Add(ri.prefix, lesseeCC)
+			}
+			continue
+		}
+		// The rest split the panel: some vendors track the lessee, some
+		// keep the holder's stale country, and occasionally a third (or
+		// fourth) answer appears — the marketplace "four continents"
+		// case.
+		avoid := map[string]bool{lesseeCC: true}
+		holderCC := distinct(avoid)
+		avoid[holderCC] = true
+		answers := []string{lesseeCC, holderCC}
+		if g.rng.Intn(4) == 0 {
+			third := distinct(avoid)
+			avoid[third] = true
+			answers = append(answers, third)
+		}
+		if g.rng.Intn(10) == 0 {
+			answers = append(answers, distinct(avoid))
+		}
+		for i, db := range panel.DBs {
+			db.Add(ri.prefix, answers[i%len(answers)])
+		}
+	}
+	g.w.Geo = panel
+}

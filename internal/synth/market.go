@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ipleasing/internal/bgp"
+)
+
+// MarketMonth is one month of the longitudinal routing view: the full
+// global table as it stood that month.
+type MarketMonth struct {
+	Time   time.Time
+	Routes []bgp.Route
+}
+
+// defaultMarketMonths is the longitudinal window (§8 extension): six
+// monthly snapshots ending at the world's snapshot time.
+const defaultMarketMonths = 6
+
+// generateMarket builds the longitudinal monthly tables. Non-leased
+// announcements are held stable across the window; each leased prefix
+// gets a backward-simulated lease history — runs of one lessee, parking
+// gaps, earlier lessees — whose final month matches the world's current
+// state.
+func (g *gen) generateMarket() {
+	months := g.cfg.Months
+	if months == 0 {
+		months = defaultMarketMonths
+	}
+	if months < 0 {
+		return // disabled
+	}
+
+	// Per-leased-prefix origin state per month (0 = not announced).
+	states := make([][]uint32, len(g.leased))
+	for i, ri := range g.leased {
+		st := make([]uint32, months)
+		m := months - 1
+		cur := ri.origin
+		first := true
+		for m >= 0 {
+			dur := 1 + g.rng.Intn(6)
+			if first {
+				// The current lease must reach the final month.
+				dur = 1 + g.rng.Intn(4)
+			}
+			for i := 0; i < dur && m >= 0; i++ {
+				st[m] = cur
+				m--
+			}
+			if m < 0 {
+				break
+			}
+			if first && g.rng.Intn(10) < 3 {
+				// Recently leased for the first time: dark before.
+				break
+			}
+			first = false
+			gap := g.rng.Intn(3)
+			m -= gap // parked months stay 0
+			cur = g.hostNormal.pick(g.rng)
+		}
+		states[i] = st
+	}
+
+	for m := 0; m < months; m++ {
+		t := g.w.SnapshotTime.AddDate(0, m-(months-1), 0)
+		routes := make([]bgp.Route, 0, len(g.nonleased)+len(g.leased))
+		for _, ri := range g.nonleased {
+			routes = append(routes, bgp.Route{Prefix: ri.prefix, Path: g.pathTo(ri.origin)})
+		}
+		for i, ri := range g.leased {
+			if origin := states[i][m]; origin != 0 {
+				routes = append(routes, bgp.Route{Prefix: ri.prefix, Path: g.pathTo(origin)})
+			}
+		}
+		g.w.Market = append(g.w.Market, MarketMonth{Time: t, Routes: routes})
+	}
+}
+
+// DirMarket is the longitudinal snapshot directory.
+const DirMarket = "market"
+
+// writeMarket renders one full MRT RIB per month.
+func (w *World) writeMarket(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, m := range w.Market {
+		name := fmt.Sprintf("rib-%d.mrt", m.Time.Unix())
+		if err := bgp.WriteMRTFile(filepath.Join(dir, name), uint32(m.Time.Unix()), w.Peers, m.Routes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

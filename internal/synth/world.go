@@ -1,0 +1,113 @@
+package synth
+
+import (
+	"time"
+
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/brokers"
+	"ipleasing/internal/core"
+	"ipleasing/internal/geoip"
+	"ipleasing/internal/hijack"
+	"ipleasing/internal/mrt"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/rpki"
+	"ipleasing/internal/spamhaus"
+	"ipleasing/internal/whois"
+
+	"ipleasing/internal/as2org"
+	"ipleasing/internal/asrel"
+)
+
+// TruthRecord is the planted ground truth for one leaf prefix: what the
+// methodology is expected to infer, and what is actually true.
+type TruthRecord struct {
+	Registry whois.Registry
+	Prefix   netutil.Prefix
+	// Intended is the category the inference should assign given its
+	// inputs (including the planted error cases: subsidiary false
+	// positives are Intended leased even though ActuallyLeased=false).
+	Intended core.Category
+	// ActuallyLeased is the planted truth used for evaluation.
+	ActuallyLeased bool
+	// BrokerManaged marks prefixes maintained by a registered broker.
+	BrokerManaged bool
+	// Inactive marks leases not announced in BGP (the paper's
+	// unused-classified false negatives).
+	Inactive bool
+	// Legacy marks broker-managed legacy blocks (outside portability).
+	Legacy bool
+}
+
+// TimelinePoint is one sample of the Figure-3 study: the BGP origins and
+// authorised ROA ASNs of the studied prefix at one point in time.
+type TimelinePoint struct {
+	Time    time.Time
+	Origins []uint32 // BGP origins; empty when the prefix is down
+	ROAASNs []uint32 // ASNs in ROAs covering the prefix (0 = AS0)
+}
+
+// Timeline is the Figure-3 scenario: a marketplace prefix's two-year
+// lease history.
+type Timeline struct {
+	Prefix netutil.Prefix
+	Points []TimelinePoint
+}
+
+// World is a fully generated synthetic Internet, in memory.
+type World struct {
+	Cfg Config
+
+	Whois     *whois.Dataset
+	Routes    []bgp.Route // current (April) global RIB
+	Peers     []mrt.Peer  // collector vantage points
+	Rel       *asrel.Graph
+	Orgs      *as2org.Map
+	Drop      *spamhaus.Archive
+	Hijackers *hijack.Set
+	Brokers   *brokers.List
+	RPKI      *rpki.Archive
+	Geo       *geoip.Panel
+
+	Truth      []TruthRecord
+	Exclusions []netutil.Prefix // broker-managed but not leased (manual filter)
+	EvalISPs   []EvalISP        // the five negative-set ISPs as generated
+	Timeline   *Timeline
+	Market     []MarketMonth // longitudinal monthly tables (§8 extension)
+
+	// SnapshotTime is the world's "now" (April 1 2024, like the paper).
+	SnapshotTime time.Time
+}
+
+// TruthByPrefix indexes the ground truth.
+func (w *World) TruthByPrefix() map[netutil.Prefix]*TruthRecord {
+	m := make(map[netutil.Prefix]*TruthRecord, len(w.Truth))
+	for i := range w.Truth {
+		m[w.Truth[i].Prefix] = &w.Truth[i]
+	}
+	return m
+}
+
+// Table builds the bgp.Table view of the world's current routes without
+// going through MRT bytes (tests use this; production flows load MRT).
+// Per-peer visibility matches what the MRT rendering produces: a route
+// contributes one announcement per vantage point carrying it.
+func (w *World) Table() *bgp.Table {
+	var t bgp.Table
+	for _, r := range w.Routes {
+		vis := r.Visibility
+		if vis <= 0 || vis > len(w.Peers) {
+			vis = len(w.Peers)
+		}
+		for _, o := range r.Path.Origins() {
+			for v := 0; v < vis; v++ {
+				t.AddRoute(r.Prefix, o)
+			}
+		}
+	}
+	return &t
+}
+
+// Pipeline wires the in-memory world into an inference pipeline.
+func (w *World) Pipeline() *core.Pipeline {
+	return &core.Pipeline{Whois: w.Whois, Table: w.Table(), Rel: w.Rel, Orgs: w.Orgs}
+}

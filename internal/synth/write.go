@@ -1,0 +1,332 @@
+package synth
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"ipleasing/internal/as2org"
+	"ipleasing/internal/asrel"
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/brokers"
+	"ipleasing/internal/core"
+	"ipleasing/internal/geoip"
+	"ipleasing/internal/hijack"
+	"ipleasing/internal/mrt"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/rpki"
+	"ipleasing/internal/whois"
+)
+
+// Dataset-directory layout: the file names WriteDir produces and loaders
+// consume.
+const (
+	FileASRel          = "asrel.txt"
+	FileAS2Org         = "as2org.txt"
+	FileHijackers      = "hijackers.txt"
+	FileBrokers        = "brokers.txt"
+	FileGroundTruth    = "groundtruth.csv"
+	FileEvalExclusions = "eval-exclusions.txt"
+	FileEvalISPs       = "eval-isps.txt"
+	DirASNDrop         = "asndrop"
+	DirRPKI            = "rpki"
+	DirTimeline        = "timeline"
+	DirGeo             = "geo"
+	FileTimelinePrefix = "timeline/prefix.txt"
+	// Two RIB files emulate merging multiple collectors.
+	FileRIBRouteviews = "rib.routeviews.mrt"
+	FileRIBRIS        = "rib.ris.mrt"
+)
+
+// WriteDir renders the world into dir using every substrate's native
+// on-disk format.
+func (w *World) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// WHOIS dumps.
+	if err := whois.WriteDir(w.Whois, dir); err != nil {
+		return err
+	}
+	// Routing tables, split across two synthetic collectors.
+	ts := uint32(w.SnapshotTime.Unix())
+	half := len(w.Routes) / 2
+	if err := bgp.WriteMRTFile(filepath.Join(dir, FileRIBRouteviews), ts, w.Peers, w.Routes[:half]); err != nil {
+		return err
+	}
+	if err := bgp.WriteMRTFile(filepath.Join(dir, FileRIBRIS), ts, w.Peers, w.Routes[half:]); err != nil {
+		return err
+	}
+	// Relationship and organisation datasets.
+	if err := writeTo(filepath.Join(dir, FileASRel), func(f io.Writer) error {
+		return asrel.Write(f, w.Rel)
+	}); err != nil {
+		return err
+	}
+	if err := writeTo(filepath.Join(dir, FileAS2Org), func(f io.Writer) error {
+		return as2org.Write(f, w.Orgs)
+	}); err != nil {
+		return err
+	}
+	// Abuse lists.
+	if err := w.Drop.WriteDir(filepath.Join(dir, DirASNDrop)); err != nil {
+		return err
+	}
+	if err := writeTo(filepath.Join(dir, FileHijackers), func(f io.Writer) error {
+		return hijack.Write(f, w.Hijackers)
+	}); err != nil {
+		return err
+	}
+	// Broker list.
+	if err := writeTo(filepath.Join(dir, FileBrokers), func(f io.Writer) error {
+		return brokers.Write(f, w.Brokers)
+	}); err != nil {
+		return err
+	}
+	// RPKI archive.
+	if err := w.RPKI.WriteDir(filepath.Join(dir, DirRPKI)); err != nil {
+		return err
+	}
+	// Ground truth and evaluation artefacts.
+	if err := writeTo(filepath.Join(dir, FileGroundTruth), func(f io.Writer) error {
+		return WriteTruth(f, w.Truth)
+	}); err != nil {
+		return err
+	}
+	if err := writeTo(filepath.Join(dir, FileEvalExclusions), func(f io.Writer) error {
+		return writePrefixList(f, w.Exclusions)
+	}); err != nil {
+		return err
+	}
+	if err := writeTo(filepath.Join(dir, FileEvalISPs), func(f io.Writer) error {
+		return writeEvalISPs(f, w.EvalISPs)
+	}); err != nil {
+		return err
+	}
+	// Geolocation panel (§8 extension).
+	if w.Geo != nil {
+		if err := geoip.WriteDir(filepath.Join(dir, DirGeo), w.Geo); err != nil {
+			return err
+		}
+	}
+	// Figure-3 timeline: monthly one-prefix RIBs plus an RPKI archive.
+	if w.Timeline != nil {
+		if err := w.writeTimeline(filepath.Join(dir, DirTimeline)); err != nil {
+			return err
+		}
+	}
+	// Longitudinal monthly tables (§8 extension).
+	if len(w.Market) > 0 {
+		if err := w.writeMarket(filepath.Join(dir, DirMarket)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTo(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := fn(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// WriteTruth renders ground-truth records as CSV.
+func WriteTruth(w io.Writer, recs []TruthRecord) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "registry,prefix,intended,actually_leased,broker_managed,inactive,legacy")
+	for _, r := range recs {
+		fmt.Fprintf(bw, "%s,%s,%s,%t,%t,%t,%t\n",
+			r.Registry, r.Prefix, r.Intended, r.ActuallyLeased, r.BrokerManaged, r.Inactive, r.Legacy)
+	}
+	return bw.Flush()
+}
+
+// ReadTruth parses the CSV written by WriteTruth.
+func ReadTruth(r io.Reader) ([]TruthRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var out []TruthRecord
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "registry,") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) != 7 {
+			return nil, fmt.Errorf("synth: truth line %d: want 7 fields, got %d", lineNum, len(f))
+		}
+		reg, err := whois.ParseRegistry(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("synth: truth line %d: %v", lineNum, err)
+		}
+		pfx, err := netutil.ParsePrefix(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("synth: truth line %d: %v", lineNum, err)
+		}
+		cat, err := parseCategory(f[2])
+		if err != nil {
+			return nil, fmt.Errorf("synth: truth line %d: %v", lineNum, err)
+		}
+		bools := make([]bool, 4)
+		for i, s := range f[3:7] {
+			bools[i], err = strconv.ParseBool(s)
+			if err != nil {
+				return nil, fmt.Errorf("synth: truth line %d: %v", lineNum, err)
+			}
+		}
+		out = append(out, TruthRecord{
+			Registry: reg, Prefix: pfx, Intended: cat,
+			ActuallyLeased: bools[0], BrokerManaged: bools[1], Inactive: bools[2], Legacy: bools[3],
+		})
+	}
+	return out, sc.Err()
+}
+
+func parseCategory(s string) (core.Category, error) {
+	for c := core.Category(0); ; c++ {
+		name := c.String()
+		if name == "invalid" {
+			return 0, fmt.Errorf("unknown category %q", s)
+		}
+		if name == s {
+			return c, nil
+		}
+	}
+}
+
+func writePrefixList(w io.Writer, ps []netutil.Prefix) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# broker-managed prefixes that are not leased (manual curation filter)")
+	for _, p := range ps {
+		fmt.Fprintln(bw, p.String())
+	}
+	return bw.Flush()
+}
+
+// ReadPrefixList parses one prefix per line with '#' comments.
+func ReadPrefixList(r io.Reader) ([]netutil.Prefix, error) {
+	sc := bufio.NewScanner(r)
+	var out []netutil.Prefix
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := netutil.ParsePrefix(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, sc.Err()
+}
+
+func writeEvalISPs(w io.Writer, isps []EvalISP) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# evaluation-negative ISPs: REGISTRY|NAME")
+	for _, isp := range isps {
+		fmt.Fprintf(bw, "%s|%s\n", isp.Registry, isp.Name)
+	}
+	return bw.Flush()
+}
+
+// ReadEvalISPs parses the eval-isps file into (registry, name) pairs.
+func ReadEvalISPs(r io.Reader) ([]EvalISP, error) {
+	sc := bufio.NewScanner(r)
+	var out []EvalISP
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.IndexByte(line, '|')
+		if idx <= 0 {
+			return nil, fmt.Errorf("synth: bad eval-isps line %q", line)
+		}
+		reg, err := whois.ParseRegistry(line[:idx])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EvalISP{Registry: reg, Name: strings.TrimSpace(line[idx+1:])})
+	}
+	return out, sc.Err()
+}
+
+// writeTimeline renders the Figure-3 data three ways, matching what real
+// collector archives offer: one tiny MRT RIB per month, a BGP4MP update
+// stream carrying the lease transitions, one VRP snapshot per month, and
+// the prefix itself.
+func (w *World) writeTimeline(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeTo(filepath.Join(dir, "prefix.txt"), func(f io.Writer) error {
+		_, err := fmt.Fprintln(f, w.Timeline.Prefix)
+		return err
+	}); err != nil {
+		return err
+	}
+	arch := &rpki.Archive{}
+	var events []bgp.UpdateEvent
+	var prevOrigin uint32
+	for _, pt := range w.Timeline.Points {
+		ts := uint32(pt.Time.Unix())
+		var routes []bgp.Route
+		for _, o := range pt.Origins {
+			routes = append(routes, bgp.Route{
+				Prefix: w.Timeline.Prefix,
+				Path:   mrt.NewASPathSequence(w.Peers[0].AS, o),
+			})
+		}
+		name := fmt.Sprintf("rib-%d.mrt", ts)
+		if err := bgp.WriteMRTFile(filepath.Join(dir, name), ts, w.Peers, routes); err != nil {
+			return err
+		}
+		var vrps []rpki.VRP
+		for _, a := range pt.ROAASNs {
+			vrps = append(vrps, rpki.VRP{
+				ASN: a, Prefix: w.Timeline.Prefix, MaxLen: w.Timeline.Prefix.Len, TA: "ripe",
+			})
+		}
+		arch.Add(rpki.Snapshot{Time: pt.Time, VRPs: vrps})
+
+		// Transition → update event.
+		var curOrigin uint32
+		if len(pt.Origins) == 1 {
+			curOrigin = pt.Origins[0]
+		}
+		switch {
+		case curOrigin == prevOrigin:
+			// no event
+		case curOrigin == 0:
+			events = append(events, bgp.UpdateEvent{Timestamp: ts, Update: &mrt.BGPUpdate{
+				Withdrawn: []netutil.Prefix{w.Timeline.Prefix},
+			}})
+		default:
+			events = append(events, bgp.UpdateEvent{Timestamp: ts, Update: &mrt.BGPUpdate{
+				Attrs: []mrt.Attribute{
+					mrt.OriginAttr(mrt.OriginIGP),
+					mrt.ASPathAttr(mrt.NewASPathSequence(w.Peers[0].AS, curOrigin)),
+				},
+				NLRI: []netutil.Prefix{w.Timeline.Prefix},
+			}})
+		}
+		prevOrigin = curOrigin
+	}
+	if err := bgp.WriteUpdatesFile(filepath.Join(dir, "updates.mrt"), w.Peers[0], events); err != nil {
+		return err
+	}
+	return arch.WriteDir(filepath.Join(dir, "rpki"))
+}

@@ -1,0 +1,237 @@
+// Package timeline reconstructs a prefix's lease history from archived
+// BGP snapshots and the RPKI archive, reproducing the paper's Figure 3:
+// alternating lessee origins with AS0 ROAs marking the gaps between
+// leases (§6.5).
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/rpki"
+)
+
+// Point is one sample of the studied prefix's state.
+type Point struct {
+	Time    time.Time
+	Origins []uint32 // BGP origin ASes (empty = withdrawn)
+	ROAASNs []uint32 // ASNs authorised by covering ROAs (0 = AS0)
+}
+
+// Series is the full history of one prefix.
+type Series struct {
+	Prefix netutil.Prefix
+	Points []Point // ascending by time
+}
+
+// Load reads a timeline directory: prefix.txt, rib-<unix>.mrt snapshots,
+// and an rpki/ VRP archive, as written by the synthetic generator (and
+// shaped like a real per-prefix extraction from collector archives).
+func Load(dir string) (*Series, error) {
+	pb, err := os.ReadFile(filepath.Join(dir, "prefix.txt"))
+	if err != nil {
+		return nil, err
+	}
+	prefix, err := netutil.ParsePrefix(strings.TrimSpace(string(pb)))
+	if err != nil {
+		return nil, fmt.Errorf("timeline: prefix.txt: %w", err)
+	}
+	arch, err := rpki.LoadDir(filepath.Join(dir, "rpki"))
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{Prefix: prefix}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "rib-") || !strings.HasSuffix(name, ".mrt") {
+			continue
+		}
+		unix, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "rib-"), ".mrt"), 10, 64)
+		if err != nil {
+			continue
+		}
+		ts := time.Unix(unix, 0).UTC()
+		var tbl bgp.Table
+		if err := tbl.LoadMRTFile(filepath.Join(dir, name)); err != nil {
+			return nil, err
+		}
+		pt := Point{Time: ts, Origins: tbl.Origins(prefix)}
+		if snap := arch.At(ts); snap != nil {
+			pt.ROAASNs = snap.Set().AuthorizedASNs(prefix)
+		}
+		s.Points = append(s.Points, pt)
+	}
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].Time.Before(s.Points[j].Time) })
+	return s, nil
+}
+
+// LoadFromUpdates reconstructs the series from a BGP4MP update stream
+// (timeline/updates.mrt) instead of per-sample RIB snapshots: the stream
+// is replayed into a routing table and the prefix's state is sampled at
+// each RPKI snapshot time. For a clean archive the result matches Load
+// exactly; real collectors offer both forms.
+func LoadFromUpdates(dir string) (*Series, error) {
+	pb, err := os.ReadFile(filepath.Join(dir, "prefix.txt"))
+	if err != nil {
+		return nil, err
+	}
+	prefix, err := netutil.ParsePrefix(strings.TrimSpace(string(pb)))
+	if err != nil {
+		return nil, fmt.Errorf("timeline: prefix.txt: %w", err)
+	}
+	arch, err := rpki.LoadDir(filepath.Join(dir, "rpki"))
+	if err != nil {
+		return nil, err
+	}
+	events, err := bgp.ReadUpdatesFile(filepath.Join(dir, "updates.mrt"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{Prefix: prefix}
+	var tbl bgp.Table
+	next := 0
+	for _, snap := range arch.Snapshots {
+		ts := uint32(snap.Time.Unix())
+		for next < len(events) && events[next].Timestamp <= ts {
+			if err := tbl.ApplyUpdate(events[next].Update); err != nil {
+				return nil, err
+			}
+			next++
+		}
+		pt := Point{
+			Time:    snap.Time,
+			Origins: tbl.Origins(prefix),
+			ROAASNs: snap.Set().AuthorizedASNs(prefix),
+		}
+		s.Points = append(s.Points, pt)
+	}
+	return s, nil
+}
+
+// Period is a maximal run of consecutive points sharing one state.
+type Period struct {
+	From, To time.Time // inclusive sample times
+	ASN      uint32    // the lessee origin, or 0 for an AS0 gap
+}
+
+// LeasePeriods segments the series into leases: maximal runs of points
+// with the same single BGP origin.
+func (s *Series) LeasePeriods() []Period {
+	var out []Period
+	var cur *Period
+	for _, pt := range s.Points {
+		if len(pt.Origins) != 1 {
+			cur = nil
+			continue
+		}
+		o := pt.Origins[0]
+		if cur != nil && cur.ASN == o {
+			cur.To = pt.Time
+			continue
+		}
+		out = append(out, Period{From: pt.Time, To: pt.Time, ASN: o})
+		cur = &out[len(out)-1]
+	}
+	return out
+}
+
+// AS0Gaps segments the series into between-lease gaps: runs where the
+// prefix is withdrawn from BGP and only an AS0 ROA covers it.
+func (s *Series) AS0Gaps() []Period {
+	var out []Period
+	var cur *Period
+	for _, pt := range s.Points {
+		isGap := len(pt.Origins) == 0 && len(pt.ROAASNs) == 1 && pt.ROAASNs[0] == 0
+		if !isGap {
+			cur = nil
+			continue
+		}
+		if cur != nil {
+			cur.To = pt.Time
+			continue
+		}
+		out = append(out, Period{From: pt.Time, To: pt.Time, ASN: 0})
+		cur = &out[len(out)-1]
+	}
+	return out
+}
+
+// ASNs returns every ASN appearing in the series (BGP or RPKI), ascending,
+// AS0 first if present — the rows of Figure 3's y-axis.
+func (s *Series) ASNs() []uint32 {
+	seen := make(map[uint32]bool)
+	for _, pt := range s.Points {
+		for _, o := range pt.Origins {
+			seen[o] = true
+		}
+		for _, a := range pt.ROAASNs {
+			seen[a] = true
+		}
+	}
+	out := make([]uint32, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Render writes an ASCII Figure 3: one row per ASN, one column per
+// sample; 'R' = ROA only, 'B' = BGP only, '#' = both, '.' = neither.
+func (s *Series) Render(w io.Writer) error {
+	asns := s.ASNs()
+	if len(asns) == 0 {
+		_, err := fmt.Fprintln(w, "(empty timeline)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Prefix %s, %d samples %s – %s\n",
+		s.Prefix, len(s.Points),
+		s.Points[0].Time.Format("2006-01"),
+		s.Points[len(s.Points)-1].Time.Format("2006-01")); err != nil {
+		return err
+	}
+	for i := len(asns) - 1; i >= 0; i-- {
+		asn := asns[i]
+		row := make([]byte, len(s.Points))
+		for j, pt := range s.Points {
+			hasB, hasR := false, false
+			for _, o := range pt.Origins {
+				if o == asn {
+					hasB = true
+				}
+			}
+			for _, a := range pt.ROAASNs {
+				if a == asn {
+					hasR = true
+				}
+			}
+			switch {
+			case hasB && hasR:
+				row[j] = '#'
+			case hasB:
+				row[j] = 'B'
+			case hasR:
+				row[j] = 'R'
+			default:
+				row[j] = '.'
+			}
+		}
+		if _, err := fmt.Fprintf(w, "AS%-9d |%s|\n", asn, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "legend: # ROA+BGP, B BGP only, R ROA only (AS0 row marks lease gaps)")
+	return err
+}

@@ -1,0 +1,168 @@
+package timeline
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipleasing/internal/synth"
+)
+
+func loadSeries(t *testing.T) (*synth.World, *Series) {
+	t.Helper()
+	w := synth.Generate(synth.Config{Seed: 41, Scale: 0.005})
+	dir := t.TempDir()
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(filepath.Join(dir, synth.DirTimeline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, s
+}
+
+// TestFigure3RoundTrip loads the on-disk timeline (MRT + VRP CSV bytes)
+// and checks it reproduces the generator's in-memory schedule exactly.
+func TestFigure3RoundTrip(t *testing.T) {
+	w, s := loadSeries(t)
+	if s.Prefix != w.Timeline.Prefix {
+		t.Fatalf("prefix %v != %v", s.Prefix, w.Timeline.Prefix)
+	}
+	if len(s.Points) != len(w.Timeline.Points) {
+		t.Fatalf("points %d != %d", len(s.Points), len(w.Timeline.Points))
+	}
+	for i, pt := range s.Points {
+		want := w.Timeline.Points[i]
+		if !pt.Time.Equal(want.Time) {
+			t.Fatalf("point %d time %v != %v", i, pt.Time, want.Time)
+		}
+		if len(pt.Origins) != len(want.Origins) {
+			t.Fatalf("point %d origins %v != %v", i, pt.Origins, want.Origins)
+		}
+		for j := range pt.Origins {
+			if pt.Origins[j] != want.Origins[j] {
+				t.Fatalf("point %d origin %d: %d != %d", i, j, pt.Origins[j], want.Origins[j])
+			}
+		}
+		if len(pt.ROAASNs) != len(want.ROAASNs) {
+			t.Fatalf("point %d roas %v != %v", i, pt.ROAASNs, want.ROAASNs)
+		}
+	}
+}
+
+func TestLeasePeriodsAndGaps(t *testing.T) {
+	_, s := loadSeries(t)
+	periods := s.LeasePeriods()
+	if len(periods) != 5 {
+		t.Fatalf("lease periods = %d, want 5 (the Figure-3 schedule)", len(periods))
+	}
+	// Distinct consecutive lessees.
+	for i := 1; i < len(periods); i++ {
+		if periods[i].ASN == periods[i-1].ASN {
+			t.Fatalf("adjacent periods share lessee AS%d", periods[i].ASN)
+		}
+		if !periods[i].From.After(periods[i-1].To) {
+			t.Fatalf("periods overlap: %+v then %+v", periods[i-1], periods[i])
+		}
+	}
+	gaps := s.AS0Gaps()
+	if len(gaps) != 4 {
+		t.Fatalf("AS0 gaps = %d, want 4 (between the 5 leases)", len(gaps))
+	}
+	for _, g := range gaps {
+		if g.ASN != 0 {
+			t.Fatal("gap ASN != 0")
+		}
+	}
+}
+
+func TestASNsAndRender(t *testing.T) {
+	_, s := loadSeries(t)
+	asns := s.ASNs()
+	if len(asns) < 6 || asns[0] != 0 {
+		t.Fatalf("ASNs = %v, want AS0 plus the lessees", asns)
+	}
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"AS0", "AS834", "AS1239", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The AS0 row must contain ROA-only marks, the lessee rows '#'.
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if strings.HasPrefix(l, "AS0 ") && !strings.Contains(l, "R") {
+			t.Error("AS0 row has no ROA-only marks")
+		}
+		if strings.HasPrefix(l, "AS834 ") && !strings.Contains(l, "#") {
+			t.Error("AS834 row has no ROA+BGP marks")
+		}
+	}
+}
+
+// TestLoadFromUpdatesMatchesRIBs: replaying the BGP4MP update stream must
+// reconstruct exactly the same series as loading per-sample RIBs.
+func TestLoadFromUpdatesMatchesRIBs(t *testing.T) {
+	w := synth.Generate(synth.Config{Seed: 43, Scale: 0.005})
+	dir := t.TempDir()
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	tdir := filepath.Join(dir, synth.DirTimeline)
+	fromRIBs, err := Load(tdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromUpdates, err := LoadFromUpdates(tdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromUpdates.Prefix != fromRIBs.Prefix || len(fromUpdates.Points) != len(fromRIBs.Points) {
+		t.Fatalf("series shape: %v/%d vs %v/%d",
+			fromUpdates.Prefix, len(fromUpdates.Points), fromRIBs.Prefix, len(fromRIBs.Points))
+	}
+	for i := range fromRIBs.Points {
+		a, b := fromRIBs.Points[i], fromUpdates.Points[i]
+		if !a.Time.Equal(b.Time) || len(a.Origins) != len(b.Origins) || len(a.ROAASNs) != len(b.ROAASNs) {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Origins {
+			if a.Origins[j] != b.Origins[j] {
+				t.Fatalf("point %d origin %d: %d vs %d", i, j, a.Origins[j], b.Origins[j])
+			}
+		}
+	}
+	// Segmentation agrees too.
+	if len(fromUpdates.LeasePeriods()) != len(fromRIBs.LeasePeriods()) ||
+		len(fromUpdates.AS0Gaps()) != len(fromRIBs.AS0Gaps()) {
+		t.Fatal("segmentation differs between loaders")
+	}
+}
+
+func TestLoadFromUpdatesMissing(t *testing.T) {
+	if _, err := LoadFromUpdates(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Series{}).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty render message missing")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

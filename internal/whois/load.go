@@ -1,0 +1,395 @@
+package whois
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"ipleasing/internal/arinwhois"
+	"ipleasing/internal/lacnicwhois"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/rpsl"
+)
+
+// LoadRPSL parses an RPSL-dialect dump (RIPE, APNIC, AFRINIC) into a
+// unified database. Unknown object classes are skipped; inetnum objects
+// with unparseable ranges are an error.
+func LoadRPSL(reg Registry, r io.Reader) (*Database, error) {
+	switch reg {
+	case RIPE, APNIC, AFRINIC:
+	default:
+		return nil, fmt.Errorf("whois: registry %v does not use the RPSL dialect", reg)
+	}
+	db := NewDatabase(reg)
+	rd := rpsl.NewReader(r)
+	for {
+		o, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("whois: %v dump: %w", reg, err)
+		}
+		switch o.Class() {
+		case "inetnum":
+			rng, err := netutil.ParseRange(o.Key())
+			if err != nil {
+				return nil, fmt.Errorf("whois: %v inetnum %q: %w", reg, o.Key(), err)
+			}
+			status, _ := o.Get("status")
+			orgID, _ := o.Get("org")
+			netname, _ := o.Get("netname")
+			country, _ := o.Get("country")
+			db.InetNums = append(db.InetNums, &InetNum{
+				Registry:    reg,
+				Range:       rng,
+				NetName:     netname,
+				Status:      status,
+				Portability: PortabilityOf(reg, status),
+				OrgID:       orgID,
+				MntBy:       o.GetAll("mnt-by"),
+				Country:     country,
+			})
+		case "aut-num":
+			numStr := strings.TrimPrefix(strings.ToUpper(o.Key()), "AS")
+			v, err := strconv.ParseUint(numStr, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("whois: %v aut-num %q: %v", reg, o.Key(), err)
+			}
+			name, _ := o.Get("as-name")
+			orgID, _ := o.Get("org")
+			db.AutNums = append(db.AutNums, &AutNum{
+				Registry: reg, Number: uint32(v), Name: name, OrgID: orgID,
+			})
+		case "organisation":
+			name, _ := o.Get("org-name")
+			country, _ := o.Get("country")
+			mnt := append(o.GetAll("mnt-ref"), o.GetAll("mnt-by")...)
+			db.Orgs = append(db.Orgs, &Org{
+				Registry: reg, ID: o.Key(), Name: name, Country: country, MntRef: mnt,
+			})
+		case "mntner":
+			descr, _ := o.Get("descr")
+			db.Mntners = append(db.Mntners, &Mntner{
+				Registry: reg, Handle: o.Key(), Descr: descr,
+			})
+		}
+	}
+	db.Reindex()
+	return db, nil
+}
+
+// WriteRPSL renders the database in RPSL dump form (orgs, aut-nums,
+// inetnums).
+func WriteRPSL(w io.Writer, db *Database) error {
+	ww := rpsl.NewWriter(w)
+	for _, m := range db.Mntners {
+		o := &rpsl.Object{}
+		o.Add("mntner", m.Handle)
+		if m.Descr != "" {
+			o.Add("descr", m.Descr)
+		}
+		o.Add("auth", "MD5-PW $1$placeholder")
+		o.Add("source", db.Registry.String())
+		if err := ww.Write(o); err != nil {
+			return err
+		}
+	}
+	for _, g := range db.Orgs {
+		o := &rpsl.Object{}
+		o.Add("organisation", g.ID)
+		o.Add("org-name", g.Name)
+		for _, m := range g.MntRef {
+			o.Add("mnt-ref", m)
+		}
+		if g.Country != "" {
+			o.Add("country", g.Country)
+		}
+		o.Add("source", db.Registry.String())
+		if err := ww.Write(o); err != nil {
+			return err
+		}
+	}
+	for _, a := range db.AutNums {
+		o := &rpsl.Object{}
+		o.Add("aut-num", "AS"+strconv.FormatUint(uint64(a.Number), 10))
+		if a.Name != "" {
+			o.Add("as-name", a.Name)
+		}
+		if a.OrgID != "" {
+			o.Add("org", a.OrgID)
+		}
+		o.Add("source", db.Registry.String())
+		if err := ww.Write(o); err != nil {
+			return err
+		}
+	}
+	for _, n := range db.InetNums {
+		o := &rpsl.Object{}
+		o.Add("inetnum", n.Range.String())
+		if n.NetName != "" {
+			o.Add("netname", n.NetName)
+		}
+		if n.OrgID != "" {
+			o.Add("org", n.OrgID)
+		}
+		o.Add("status", n.Status)
+		for _, m := range n.MntBy {
+			o.Add("mnt-by", m)
+		}
+		if n.Country != "" {
+			o.Add("country", n.Country)
+		}
+		o.Add("source", db.Registry.String())
+		if err := ww.Write(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadARIN parses an ARIN bulk-WHOIS dump into a unified database.
+// ARIN has no RPSL maintainers; the managing OrgID doubles as the
+// maintainer handle so broker matching (paper §5.3) works uniformly.
+func LoadARIN(r io.Reader) (*Database, error) {
+	raw, err := arinwhois.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDatabase(ARIN)
+	for _, g := range raw.Orgs {
+		db.Orgs = append(db.Orgs, &Org{
+			Registry: ARIN, ID: g.ID, Name: g.Name, Country: g.Country,
+			MntRef: []string{g.ID},
+		})
+	}
+	for _, a := range raw.ASes {
+		db.AutNums = append(db.AutNums, &AutNum{
+			Registry: ARIN, Number: a.Number, Name: a.Name, OrgID: a.OrgID,
+		})
+	}
+	for _, n := range raw.Nets {
+		var mnt []string
+		if n.OrgID != "" {
+			mnt = []string{n.OrgID}
+		}
+		db.InetNums = append(db.InetNums, &InetNum{
+			Registry:    ARIN,
+			Range:       n.Range,
+			NetName:     n.Name,
+			Status:      n.Type,
+			Portability: PortabilityOf(ARIN, n.Type),
+			OrgID:       n.OrgID,
+			MntBy:       mnt,
+			Country:     n.Country,
+		})
+	}
+	db.Reindex()
+	return db, nil
+}
+
+// WriteARIN renders the database in ARIN bulk-WHOIS form.
+func WriteARIN(w io.Writer, db *Database) error {
+	raw := &arinwhois.Database{}
+	for _, g := range db.Orgs {
+		raw.Orgs = append(raw.Orgs, &arinwhois.Org{ID: g.ID, Name: g.Name, Country: g.Country})
+	}
+	for _, a := range db.AutNums {
+		raw.ASes = append(raw.ASes, &arinwhois.AS{
+			Handle: "AS" + strconv.FormatUint(uint64(a.Number), 10),
+			Number: a.Number, OrgID: a.OrgID, Name: a.Name,
+		})
+	}
+	for i, n := range db.InetNums {
+		// ARIN has no maintainer attribute: the managing handle rides in
+		// OrgID, falling back to the block's maintainer for customer
+		// blocks without a registered organisation.
+		orgID := n.OrgID
+		if orgID == "" && len(n.MntBy) > 0 {
+			orgID = n.MntBy[0]
+		}
+		raw.Nets = append(raw.Nets, &arinwhois.Net{
+			Handle:  arinNetHandle(n.Range, i),
+			OrgID:   orgID,
+			Name:    n.NetName,
+			Range:   n.Range,
+			Type:    n.Status,
+			Country: n.Country,
+		})
+	}
+	return arinwhois.Write(w, raw)
+}
+
+func arinNetHandle(r netutil.Range, i int) string {
+	return "NET-" + strings.ReplaceAll(r.First.String(), ".", "-") + "-" + strconv.Itoa(i)
+}
+
+// LoadLACNIC parses a LACNIC dump into a unified database. LACNIC has no
+// standalone organisation objects; orgs are synthesised from the distinct
+// ownerid/owner pairs found on blocks and aut-nums, and the ownerid doubles
+// as the maintainer handle.
+func LoadLACNIC(r io.Reader) (*Database, error) {
+	raw, err := lacnicwhois.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDatabase(LACNIC)
+	seen := make(map[string]bool)
+	addOrg := func(id, name, country string) {
+		if id == "" || seen[id] {
+			return
+		}
+		seen[id] = true
+		db.Orgs = append(db.Orgs, &Org{
+			Registry: LACNIC, ID: id, Name: name, Country: country,
+			MntRef: []string{id},
+		})
+	}
+	for _, b := range raw.Blocks {
+		addOrg(b.OwnerID, b.Owner, b.Country)
+		db.InetNums = append(db.InetNums, &InetNum{
+			Registry:    LACNIC,
+			Range:       netutil.RangeOf(b.Prefix),
+			NetName:     b.OwnerID,
+			Status:      b.Status,
+			Portability: PortabilityOf(LACNIC, b.Status),
+			OrgID:       b.OwnerID,
+			MntBy:       []string{b.OwnerID},
+			Country:     b.Country,
+		})
+	}
+	for _, a := range raw.ASNs {
+		addOrg(a.OwnerID, a.Owner, "")
+		db.AutNums = append(db.AutNums, &AutNum{
+			Registry: LACNIC, Number: a.Number, Name: a.Owner, OrgID: a.OwnerID,
+		})
+	}
+	db.Reindex()
+	return db, nil
+}
+
+// WriteLACNIC renders the database in LACNIC dump form. Blocks whose range
+// is not a single CIDR prefix are split into their CIDR decomposition, as
+// LACNIC's dialect only carries prefixes.
+func WriteLACNIC(w io.Writer, db *Database) error {
+	raw := &lacnicwhois.Database{}
+	orgName := func(id string) string {
+		if o, ok := db.OrgByID(id); ok {
+			return o.Name
+		}
+		return id
+	}
+	for _, n := range db.InetNums {
+		// LACNIC has no separate maintainer attribute: the managing
+		// handle is the ownerid. Blocks without a holder org (customer
+		// sub-assignments) carry their maintainer handle there.
+		ownerID := n.OrgID
+		if ownerID == "" && len(n.MntBy) > 0 {
+			ownerID = n.MntBy[0]
+		}
+		if ownerID == "" {
+			ownerID = "UNKNOWN-LACNIC"
+		}
+		for _, p := range n.Range.Prefixes() {
+			raw.Blocks = append(raw.Blocks, &lacnicwhois.Block{
+				Prefix:  p,
+				Status:  strings.ToLower(n.Status),
+				Owner:   orgName(ownerID),
+				OwnerID: ownerID,
+				Country: n.Country,
+			})
+		}
+	}
+	for _, a := range db.AutNums {
+		// Every LACNIC object needs an ownerid; ASNs registered without
+		// an organisation get a per-ASN placeholder handle.
+		ownerID := a.OrgID
+		if ownerID == "" {
+			ownerID = fmt.Sprintf("LACNIC-AS-%d", a.Number)
+		}
+		raw.ASNs = append(raw.ASNs, &lacnicwhois.ASN{
+			Number: a.Number, Owner: orgName(ownerID), OwnerID: ownerID,
+		})
+	}
+	return lacnicwhois.Write(w, raw)
+}
+
+// DumpFileName returns the conventional dataset-directory file name for a
+// registry's WHOIS dump ("ripe.db", "arin.db", ...).
+func DumpFileName(reg Registry) string {
+	return strings.ToLower(reg.String()) + ".db"
+}
+
+// LoadFile loads one registry's dump from path using the registry's
+// native dialect.
+func LoadFile(reg Registry, path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch reg {
+	case ARIN:
+		return LoadARIN(f)
+	case LACNIC:
+		return LoadLACNIC(f)
+	default:
+		return LoadRPSL(reg, f)
+	}
+}
+
+// WriteFile writes one registry's dump to path in its native dialect.
+func WriteFile(db *Database, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	switch db.Registry {
+	case ARIN:
+		werr = WriteARIN(f, db)
+	case LACNIC:
+		werr = WriteLACNIC(f, db)
+	default:
+		werr = WriteRPSL(f, db)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// LoadDir loads all five registry dumps from dir (files named per
+// DumpFileName). Missing files yield empty databases.
+func LoadDir(dir string) (*Dataset, error) {
+	ds := NewDataset()
+	for _, reg := range Registries {
+		path := filepath.Join(dir, DumpFileName(reg))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			continue
+		}
+		db, err := LoadFile(reg, path)
+		if err != nil {
+			return nil, fmt.Errorf("whois: loading %s: %w", path, err)
+		}
+		ds.DBs[reg] = db
+	}
+	return ds, nil
+}
+
+// WriteDir writes every registry's dump into dir.
+func WriteDir(ds *Dataset, dir string) error {
+	for _, reg := range Registries {
+		db, ok := ds.DBs[reg]
+		if !ok {
+			continue
+		}
+		if err := WriteFile(db, filepath.Join(dir, DumpFileName(reg))); err != nil {
+			return err
+		}
+	}
+	return nil
+}

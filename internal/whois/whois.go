@@ -1,0 +1,249 @@
+// Package whois provides a unified object model over the five RIR WHOIS
+// bulk databases and the per-registry address-policy rules (paper §2.1)
+// that classify registered address space as portable, non-portable, or
+// legacy.
+//
+// RIPE, APNIC, and AFRINIC publish RPSL dumps; ARIN publishes its bulk
+// WHOIS dialect; LACNIC embeds owners in its block objects. Loaders for
+// each dialect normalise into the same InetNum / AutNum / Org model so the
+// inference core (internal/core) is registry agnostic.
+package whois
+
+import (
+	"fmt"
+	"strings"
+
+	"ipleasing/internal/netutil"
+)
+
+// Registry identifies one of the five Regional Internet Registries.
+type Registry int
+
+// The five RIRs, in the order the paper reports them.
+const (
+	RIPE Registry = iota
+	ARIN
+	APNIC
+	AFRINIC
+	LACNIC
+	numRegistries
+)
+
+// Registries lists all five RIRs in canonical (paper Table 1) order.
+var Registries = []Registry{RIPE, ARIN, APNIC, AFRINIC, LACNIC}
+
+var registryNames = [...]string{"RIPE", "ARIN", "APNIC", "AFRINIC", "LACNIC"}
+
+// String returns the RIR's canonical name.
+func (r Registry) String() string {
+	if r < 0 || int(r) >= len(registryNames) {
+		return fmt.Sprintf("Registry(%d)", int(r))
+	}
+	return registryNames[r]
+}
+
+// ParseRegistry parses a registry name (case insensitive).
+func ParseRegistry(s string) (Registry, error) {
+	up := strings.ToUpper(strings.TrimSpace(s))
+	for i, n := range registryNames {
+		if n == up {
+			return Registry(i), nil
+		}
+	}
+	return 0, fmt.Errorf("whois: unknown registry %q", s)
+}
+
+// Portability classifies registered address space per RIR policy (§2.1).
+type Portability int
+
+const (
+	// PortabilityUnknown marks statuses outside the policy vocabulary.
+	PortabilityUnknown Portability = iota
+	// Portable space is directly distributed by an RIR; its holder can
+	// pick any connectivity provider, so it is never considered leased.
+	Portable
+	// NonPortable space is sub-allocated or assigned by a portable-space
+	// holder; if its user does not use the holder's connectivity it is
+	// leased by the paper's definition.
+	NonPortable
+	// Legacy space predates the RIR system and has no defined
+	// portability; the inference excludes it.
+	Legacy
+)
+
+var portabilityNames = [...]string{"unknown", "portable", "non-portable", "legacy"}
+
+func (p Portability) String() string {
+	if p < 0 || int(p) >= len(portabilityNames) {
+		return fmt.Sprintf("Portability(%d)", int(p))
+	}
+	return portabilityNames[p]
+}
+
+// PortabilityOf maps a registry-specific block status to its portability
+// class, implementing the policy table of paper §2.1.
+func PortabilityOf(reg Registry, status string) Portability {
+	s := strings.ToUpper(strings.TrimSpace(status))
+	if s == "LEGACY" {
+		return Legacy
+	}
+	switch reg {
+	case RIPE, AFRINIC:
+		switch s {
+		case "ALLOCATED PA", "ALLOCATED PI", "ASSIGNED PI",
+			"ALLOCATED UNSPECIFIED", "ASSIGNED ANYCAST":
+			return Portable
+		case "ASSIGNED PA", "SUB-ALLOCATED PA", "LIR-PARTITIONED PA":
+			return NonPortable
+		}
+	case APNIC:
+		switch s {
+		case "ALLOCATED PORTABLE", "ASSIGNED PORTABLE":
+			return Portable
+		case "ALLOCATED NON-PORTABLE", "ASSIGNED NON-PORTABLE":
+			return NonPortable
+		}
+	case ARIN:
+		switch s {
+		case "DIRECT ALLOCATION", "DIRECT ASSIGNMENT":
+			return Portable
+		case "REALLOCATION", "REASSIGNMENT":
+			return NonPortable
+		}
+	case LACNIC:
+		switch s {
+		case "ALLOCATED", "ASSIGNED":
+			return Portable
+		case "REALLOCATED", "REASSIGNED":
+			return NonPortable
+		}
+	}
+	return PortabilityUnknown
+}
+
+// InetNum is a registered address block, normalised across dialects.
+type InetNum struct {
+	Registry    Registry
+	Range       netutil.Range
+	NetName     string
+	Status      string // registry-native status string
+	Portability Portability
+	OrgID       string   // holder organisation handle ("" if unregistered)
+	MntBy       []string // maintainer handles (ARIN/LACNIC: managing handle)
+	Country     string
+}
+
+// Prefixes returns the minimal CIDR decomposition of the block.
+func (n *InetNum) Prefixes() []netutil.Prefix { return n.Range.Prefixes() }
+
+// AutNum is a registered AS number.
+type AutNum struct {
+	Registry Registry
+	Number   uint32
+	Name     string
+	OrgID    string
+}
+
+// Org is a registered organisation.
+type Org struct {
+	Registry Registry
+	ID       string
+	Name     string
+	Country  string
+	MntRef   []string // maintainers associated with the org (mnt-ref/mnt-by)
+}
+
+// Mntner is a maintainer object (RPSL registries only): the
+// authentication handle referenced by mnt-by attributes. ARIN and LACNIC
+// have no maintainer objects; their managing handle is the organisation
+// ID.
+type Mntner struct {
+	Registry Registry
+	Handle   string
+	Descr    string
+}
+
+// Database is one registry's parsed WHOIS content plus lookup indexes.
+type Database struct {
+	Registry Registry
+	InetNums []*InetNum
+	AutNums  []*AutNum
+	Orgs     []*Org
+	Mntners  []*Mntner
+
+	orgByID      map[string]*Org
+	autNumsByOrg map[string][]*AutNum
+}
+
+// NewDatabase returns an empty database for reg.
+func NewDatabase(reg Registry) *Database {
+	return &Database{Registry: reg}
+}
+
+// Reindex (re)builds the lookup indexes. Loaders call it automatically;
+// call it again after mutating the object slices directly.
+func (db *Database) Reindex() {
+	db.orgByID = make(map[string]*Org, len(db.Orgs))
+	for _, o := range db.Orgs {
+		db.orgByID[o.ID] = o
+	}
+	db.autNumsByOrg = make(map[string][]*AutNum, len(db.AutNums))
+	for _, a := range db.AutNums {
+		if a.OrgID != "" {
+			db.autNumsByOrg[a.OrgID] = append(db.autNumsByOrg[a.OrgID], a)
+		}
+	}
+}
+
+// OrgByID returns the organisation with the given handle.
+func (db *Database) OrgByID(id string) (*Org, bool) {
+	o, ok := db.orgByID[id]
+	return o, ok
+}
+
+// ASNsOfOrg returns the AS numbers registered to org id (paper §5.1
+// step 3: "assign AS numbers" to root-node organisations).
+func (db *Database) ASNsOfOrg(id string) []uint32 {
+	ans := db.autNumsByOrg[id]
+	if len(ans) == 0 {
+		return nil
+	}
+	out := make([]uint32, len(ans))
+	for i, a := range ans {
+		out[i] = a.Number
+	}
+	return out
+}
+
+// Dataset bundles the databases of all five registries.
+type Dataset struct {
+	DBs map[Registry]*Database
+}
+
+// NewDataset returns a Dataset with empty databases for every registry.
+func NewDataset() *Dataset {
+	ds := &Dataset{DBs: make(map[Registry]*Database, int(numRegistries))}
+	for _, r := range Registries {
+		ds.DBs[r] = NewDatabase(r)
+	}
+	return ds
+}
+
+// DB returns the database for reg, creating an empty one if absent.
+func (ds *Dataset) DB(reg Registry) *Database {
+	if db, ok := ds.DBs[reg]; ok {
+		return db
+	}
+	db := NewDatabase(reg)
+	ds.DBs[reg] = db
+	return db
+}
+
+// TotalInetNums returns the number of address blocks across registries.
+func (ds *Dataset) TotalInetNums() int {
+	n := 0
+	for _, db := range ds.DBs {
+		n += len(db.InetNums)
+	}
+	return n
+}

@@ -1,0 +1,464 @@
+// Package ipleasing infers leased IPv4 address space from registry and
+// routing data, reproducing "Sublet Your Subnet: Inferring IP Leasing in
+// the Wild" (IMC 2024).
+//
+// The package is a façade over the internal substrates: WHOIS dialect
+// parsers for all five RIRs, an MRT/BGP RIB codec, RPKI/ROA validation,
+// CAIDA-style AS relationship and AS-to-organisation datasets, abuse
+// lists, broker registries, and a deterministic synthetic-internet
+// generator used in place of the paper's bulk data downloads.
+//
+// Typical use:
+//
+//	world := ipleasing.Generate(ipleasing.Config{Seed: 1})
+//	if err := world.WriteDir("dataset"); err != nil { ... }
+//	ds, err := ipleasing.LoadDataset("dataset")
+//	res := ds.Infer(ipleasing.Options{})
+//	fmt.Printf("leased: %d (%.1f%% of routed prefixes)\n",
+//		res.TotalLeased(), 100*res.LeasedShareOfBGP())
+package ipleasing
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ipleasing/internal/abuse"
+	"ipleasing/internal/as2org"
+	"ipleasing/internal/asrel"
+	"ipleasing/internal/baseline"
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/brokers"
+	"ipleasing/internal/core"
+	"ipleasing/internal/ecosystem"
+	"ipleasing/internal/eval"
+	"ipleasing/internal/geoip"
+	"ipleasing/internal/hijack"
+	"ipleasing/internal/legacy"
+	"ipleasing/internal/market"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/report"
+	"ipleasing/internal/rpki"
+	"ipleasing/internal/spamhaus"
+	"ipleasing/internal/synth"
+	"ipleasing/internal/timeline"
+	"ipleasing/internal/whois"
+)
+
+// Re-exported types: the full public API surface of the library.
+type (
+	// Config controls synthetic-world generation (see the paper-shape
+	// defaults in internal/synth).
+	Config = synth.Config
+	// World is a generated synthetic Internet.
+	World = synth.World
+	// TruthRecord is planted ground truth for one leaf prefix.
+	TruthRecord = synth.TruthRecord
+
+	// Registry identifies one of the five RIRs.
+	Registry = whois.Registry
+	// Prefix is an IPv4 CIDR prefix.
+	Prefix = netutil.Prefix
+
+	// Options tunes the inference pipeline (ablations included).
+	Options = core.Options
+	// Result is a full inference run's output.
+	Result = core.Result
+	// Inference is one leaf prefix's classification.
+	Inference = core.Inference
+	// Category is the paper's group classification.
+	Category = core.Category
+
+	// Reference is the curated evaluation dataset (paper §5.3).
+	Reference = eval.Reference
+	// Evaluation is a scored evaluation (paper Table 2).
+	Evaluation = eval.Evaluation
+	// ISPRef names a negative-set ISP.
+	ISPRef = eval.ISPRef
+
+	// AbuseReport is the §6.4 abuse correlation.
+	AbuseReport = abuse.Report
+	// HijackerOverlap is the §6.3 serial-hijacker correlation.
+	HijackerOverlap = ecosystem.HijackerOverlap
+	// OrgCount ranks holders/facilitators.
+	OrgCount = ecosystem.OrgCount
+	// ASNCount ranks originators.
+	ASNCount = ecosystem.ASNCount
+
+	// TimelineSeries is a prefix's lease history (Figure 3).
+	TimelineSeries = timeline.Series
+
+	// GeoPanel is a set of geolocation provider databases (§8 extension).
+	GeoPanel = geoip.Panel
+	// GeoReport contrasts geolocation disagreement over leased vs
+	// non-leased prefixes.
+	GeoReport = geoip.Report
+
+	// MarketSnapshot is one month's routing view (§8 extension).
+	MarketSnapshot = market.Snapshot
+	// MarketReport is the longitudinal lease-churn analysis.
+	MarketReport = market.Report
+	// MarketMonthStats is one month's market activity.
+	MarketMonthStats = market.MonthStats
+
+	// BaselineInference is the Prehn et al. maintainer heuristic's
+	// verdict.
+	BaselineInference = baseline.Inference
+	// BaselineComparison contrasts the two methods (§6.1).
+	BaselineComparison = baseline.Comparison
+
+	// LegacyInference is the legacy-space extension's verdict (§8).
+	LegacyInference = legacy.Inference
+	// LegacyVerdict classifies one legacy block.
+	LegacyVerdict = legacy.Verdict
+	// LegacySummary aggregates legacy verdicts.
+	LegacySummary = legacy.Summary
+)
+
+// Legacy verdict constants.
+const (
+	LegacyUnadvertised   = legacy.Unadvertised
+	LegacyHolderOperated = legacy.HolderOperated
+	LegacyLeased         = legacy.Leased
+	LegacyNoExpectation  = legacy.NoExpectation
+)
+
+// Registry constants.
+const (
+	RIPE    = whois.RIPE
+	ARIN    = whois.ARIN
+	APNIC   = whois.APNIC
+	AFRINIC = whois.AFRINIC
+	LACNIC  = whois.LACNIC
+)
+
+// Registries lists the five RIRs in canonical order.
+var Registries = whois.Registries
+
+// Category constants.
+const (
+	Unused               = core.Unused
+	AggregatedCustomer   = core.AggregatedCustomer
+	ISPCustomer          = core.ISPCustomer
+	LeasedNoRootOrigin   = core.LeasedNoRootOrigin
+	DelegatedCustomer    = core.DelegatedCustomer
+	LeasedWithRootOrigin = core.LeasedWithRootOrigin
+	Orphan               = core.Orphan
+)
+
+// Generate builds a synthetic world with paper-shaped defaults.
+func Generate(cfg Config) *World { return synth.Generate(cfg) }
+
+// Dataset is a fully loaded dataset directory: everything the paper's
+// methodology consumes, parsed from its on-disk formats.
+type Dataset struct {
+	Dir string
+
+	Whois     *whois.Dataset
+	Table     *bgp.Table
+	Rel       *asrel.Graph
+	Orgs      *as2org.Map
+	Drop      *spamhaus.Archive
+	Hijackers *hijack.Set
+	Brokers   *brokers.List
+	RPKI      *rpki.Archive
+
+	Truth      []TruthRecord
+	Exclusions []Prefix
+	EvalISPs   []ISPRef
+	Geo        *GeoPanel // nil when the dataset carries no geo directory
+}
+
+// LoadDataset loads a dataset directory written by World.WriteDir (or
+// assembled by hand from real data in the same formats).
+func LoadDataset(dir string) (*Dataset, error) {
+	ds := &Dataset{Dir: dir}
+	var err error
+	if ds.Whois, err = whois.LoadDir(dir); err != nil {
+		return nil, err
+	}
+	ds.Table = &bgp.Table{}
+	for _, name := range []string{synth.FileRIBRouteviews, synth.FileRIBRIS} {
+		path := filepath.Join(dir, name)
+		if _, serr := os.Stat(path); serr == nil {
+			if err = ds.Table.LoadMRTFile(path); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if ds.Rel, err = loadFile(dir, synth.FileASRel, asrel.Parse); err != nil {
+		return nil, err
+	}
+	if ds.Orgs, err = loadFile(dir, synth.FileAS2Org, as2org.Parse); err != nil {
+		return nil, err
+	}
+	if ds.Hijackers, err = loadFile(dir, synth.FileHijackers, hijack.Parse); err != nil {
+		return nil, err
+	}
+	if ds.Brokers, err = loadFile(dir, synth.FileBrokers, brokers.Parse); err != nil {
+		return nil, err
+	}
+	if ds.Drop, err = spamhaus.LoadDir(filepath.Join(dir, synth.DirASNDrop)); err != nil {
+		return nil, err
+	}
+	if ds.RPKI, err = rpki.LoadDir(filepath.Join(dir, synth.DirRPKI)); err != nil {
+		return nil, err
+	}
+	if ds.Truth, err = loadFile(dir, synth.FileGroundTruth, synth.ReadTruth); err != nil {
+		return nil, err
+	}
+	if ds.Exclusions, err = loadFile(dir, synth.FileEvalExclusions, synth.ReadPrefixList); err != nil {
+		return nil, err
+	}
+	isps, err := loadFile(dir, synth.FileEvalISPs, synth.ReadEvalISPs)
+	if err != nil {
+		return nil, err
+	}
+	for _, isp := range isps {
+		ds.EvalISPs = append(ds.EvalISPs, ISPRef{Registry: isp.Registry, Name: isp.Name})
+	}
+	if geoDir := filepath.Join(dir, synth.DirGeo); dirExists(geoDir) {
+		if ds.Geo, err = geoip.LoadDir(geoDir); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+func dirExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+// AnalyzeGeo measures geolocation-database disagreement over leased
+// versus non-leased announced prefixes (§8 extension). Returns nil when
+// the dataset has no geolocation panel.
+func (d *Dataset) AnalyzeGeo(res *Result) *GeoReport {
+	if d.Geo == nil {
+		return nil
+	}
+	leasedSet := make(map[Prefix]bool)
+	var leased []Prefix
+	for _, inf := range res.LeasedInferences() {
+		leased = append(leased, inf.Prefix)
+		leasedSet[inf.Prefix] = true
+	}
+	var nonLeased []Prefix
+	d.Table.Walk(func(p Prefix, origins []uint32) bool {
+		if !leasedSet[p] {
+			nonLeased = append(nonLeased, p)
+		}
+		return true
+	})
+	return d.Geo.Analyze(leased, nonLeased)
+}
+
+func loadFile[T any](dir, name string, parse func(r io.Reader) (T, error)) (T, error) {
+	var zero T
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		return zero, err
+	}
+	defer f.Close()
+	v, err := parse(f)
+	if err != nil {
+		return zero, fmt.Errorf("ipleasing: %s: %w", name, err)
+	}
+	return v, nil
+}
+
+// Pipeline builds a core pipeline over the dataset.
+func (d *Dataset) Pipeline(opts Options) *core.Pipeline {
+	return &core.Pipeline{Whois: d.Whois, Table: d.Table, Rel: d.Rel, Orgs: d.Orgs, Opts: opts}
+}
+
+// Infer runs the paper's methodology (§5.1–§5.2).
+func (d *Dataset) Infer(opts Options) *Result {
+	return d.Pipeline(opts).Infer()
+}
+
+// Curate builds the evaluation reference dataset (§5.3).
+func (d *Dataset) Curate() *Reference {
+	return eval.Curate(eval.Inputs{
+		Whois:      d.Whois,
+		Table:      d.Table,
+		Brokers:    d.Brokers,
+		Exclusions: d.Exclusions,
+		ISPs:       d.EvalISPs,
+	})
+}
+
+// Evaluate scores a result against the curated reference (Table 2).
+func Evaluate(ref *Reference, res *Result) *Evaluation {
+	return eval.Evaluate(ref, res)
+}
+
+// AnalyzeAbuse runs the §6.4 abuse correlation. ROA membership uses the
+// union of the archive window's snapshots, mirroring the paper's use of a
+// multi-day archive to catch ROAs created after the lease began.
+func (d *Dataset) AnalyzeAbuse(res *Result) *AbuseReport {
+	var vrps *rpki.Set
+	if d.RPKI != nil && len(d.RPKI.Snapshots) > 0 {
+		vrps = d.RPKI.UnionSet()
+	}
+	return abuse.Analyze(res, d.Table, d.Drop, vrps)
+}
+
+// TopHolders ranks IP holders by leased prefixes per registry (Table 3).
+func (d *Dataset) TopHolders(res *Result, n int) map[Registry][]OrgCount {
+	return ecosystem.TopHolders(res, d.Whois, n)
+}
+
+// TopFacilitators ranks lease facilitators per registry (§6.3),
+// resolving maintainer handles to organisation names.
+func (d *Dataset) TopFacilitators(res *Result, n int) map[Registry][]OrgCount {
+	return ecosystem.TopFacilitators(res, d.Whois, n)
+}
+
+// TopOriginators ranks lease originators (§6.3).
+func (d *Dataset) TopOriginators(res *Result, n int) []ASNCount {
+	return ecosystem.TopOriginators(res, d.Orgs, n)
+}
+
+// HijackerAnalysis computes the §6.3 serial-hijacker overlap.
+func (d *Dataset) HijackerAnalysis(res *Result) HijackerOverlap {
+	return ecosystem.OverlapHijackers(res, d.Table, d.Hijackers)
+}
+
+// LoadTimeline loads the dataset's Figure-3 timeline directory.
+func (d *Dataset) LoadTimeline() (*TimelineSeries, error) {
+	return timeline.Load(filepath.Join(d.Dir, synth.DirTimeline))
+}
+
+// LoadMarket loads the dataset's longitudinal monthly routing snapshots
+// (§8 extension).
+func (d *Dataset) LoadMarket() ([]MarketSnapshot, error) {
+	return market.LoadDir(filepath.Join(d.Dir, synth.DirMarket))
+}
+
+// AnalyzeMarket runs the inference over every monthly snapshot and
+// reports lease churn and durations.
+func (d *Dataset) AnalyzeMarket(snaps []MarketSnapshot, opts Options) *MarketReport {
+	return market.Analyze(market.Inputs{
+		Whois: d.Whois, Rel: d.Rel, Orgs: d.Orgs, Opts: opts,
+	}, snaps)
+}
+
+// BaselineInfer runs the Prehn et al. maintainer-difference heuristic.
+func (d *Dataset) BaselineInfer() []BaselineInference {
+	return baseline.Infer(d.Whois, baseline.Options{})
+}
+
+// InferRelationships reconstructs an AS-relationship graph from the
+// dataset's own RIB paths with the Gao degree heuristic — the §7
+// sensitivity study for the methodology's dependence on BGP-derived
+// relationship data. It returns the inferred graph and its relatedness
+// agreement with the dataset's relationship file.
+func (d *Dataset) InferRelationships() (*asrel.Graph, float64, error) {
+	var paths [][]uint32
+	for _, name := range []string{synth.FileRIBRouteviews, synth.FileRIBRIS} {
+		path := filepath.Join(d.Dir, name)
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		ps, err := bgp.ReadPathsFile(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		paths = append(paths, ps...)
+	}
+	g := asrel.InferFromPaths(paths)
+	return g, asrel.Agreement(g, d.Rel), nil
+}
+
+// InferWithRelationships runs the methodology with a substitute
+// relationship graph (e.g. one from InferRelationships).
+func (d *Dataset) InferWithRelationships(g *asrel.Graph, opts Options) *Result {
+	p := d.Pipeline(opts)
+	p.Rel = g
+	return p.Infer()
+}
+
+// InferLegacy runs the legacy-address-space extension (the paper's §8
+// future work): classify every registered legacy block by comparing its
+// BGP origin against the registrant's and maintainer-sharing
+// organisations' ASNs.
+func (d *Dataset) InferLegacy(opts Options) []LegacyInference {
+	p := d.Pipeline(opts)
+	return legacy.Infer(legacy.Inputs{
+		Whois:        d.Whois,
+		Table:        d.Table,
+		Related:      p.Related,
+		MaxPrefixLen: opts.MaxPrefixLen,
+	})
+}
+
+// SummarizeLegacy tallies legacy verdicts.
+func SummarizeLegacy(infs []LegacyInference) LegacySummary { return legacy.Summarize(infs) }
+
+// EvaluateAugmented scores a result together with extension verdicts:
+// prefixes in extraLeased count as inferred leased (e.g. legacy leases
+// the core pipeline cannot see).
+func EvaluateAugmented(ref *Reference, res *Result, extraLeased []Prefix) *Evaluation {
+	return eval.EvaluateAugmented(ref, res, extraLeased)
+}
+
+// WriteReport runs every analysis over the dataset and writes the full
+// reproduction report (all tables, figures, and extensions) as Markdown.
+func (d *Dataset) WriteReport(path string, res *Result) error {
+	ref := d.Curate()
+	ov := d.HijackerAnalysis(res)
+	cmp := CompareBaseline(d.BaselineInfer(), res)
+	leg := SummarizeLegacy(d.InferLegacy(Options{}))
+	data := &report.Data{
+		Result:          res,
+		Whois:           d.Whois,
+		Reference:       ref,
+		Evaluation:      Evaluate(ref, res),
+		TopHolders:      d.TopHolders(res, 3),
+		TopFacilitators: d.TopFacilitators(res, 3),
+		TopOriginators:  d.TopOriginators(res, 5),
+		Hijackers:       &ov,
+		Abuse:           d.AnalyzeAbuse(res),
+		Baseline:        &cmp,
+		Legacy:          &leg,
+		Geo:             d.AnalyzeGeo(res),
+	}
+	if series, err := d.LoadTimeline(); err == nil {
+		data.Timeline = series
+	}
+	if snaps, err := d.LoadMarket(); err == nil {
+		data.Market = d.AnalyzeMarket(snaps, Options{})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := report.Markdown(f, data)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// CompareBaseline contrasts the heuristic with the routing-aware result.
+func CompareBaseline(base []BaselineInference, res *Result) BaselineComparison {
+	return baseline.Compare(base, res)
+}
+
+// WriteInferencesCSV exports inferences in the stable CSV format.
+func WriteInferencesCSV(path string, infs []Inference) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := core.WriteCSV(f, infs)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// SortInferences orders inferences deterministically.
+func SortInferences(infs []Inference) { core.SortInferences(infs) }
