@@ -65,27 +65,32 @@ type Database struct {
 // Parse decodes an ARIN bulk-WHOIS dump. Records of unknown classes are
 // skipped; malformed known records are an error.
 func Parse(r io.Reader) (*Database, error) {
-	objs, err := rpsl.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("arinwhois: %w", err)
-	}
+	rd := rpsl.NewReader(r)
 	db := &Database{}
-	for i, o := range objs {
+	var o rpsl.Object // reused across records; extracted strings are interned
+	for i := 0; ; i++ {
+		err := rd.NextInto(&o)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("arinwhois: %w", err)
+		}
 		switch o.Class() {
 		case "nethandle":
-			n, err := netFromObject(o)
+			n, err := netFromObject(&o)
 			if err != nil {
 				return nil, fmt.Errorf("arinwhois: record %d: %w", i, err)
 			}
 			db.Nets = append(db.Nets, n)
 		case "ashandle":
-			a, err := asFromObject(o)
+			a, err := asFromObject(&o)
 			if err != nil {
 				return nil, fmt.Errorf("arinwhois: record %d: %w", i, err)
 			}
 			db.ASes = append(db.ASes, a)
 		case "orgid":
-			g, err := orgFromObject(o)
+			g, err := orgFromObject(&o)
 			if err != nil {
 				return nil, fmt.Errorf("arinwhois: record %d: %w", i, err)
 			}

@@ -14,11 +14,10 @@ package asrel
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
-	"strconv"
-	"strings"
 )
 
 // Rel is the relationship type between two ASes, from the first AS's
@@ -152,7 +151,9 @@ func (g *Graph) InCustomerCone(provider, asn uint32) bool {
 	return false
 }
 
-// Parse reads the serial-1 format.
+// Parse reads the serial-1 format. The parser works on the scanner's byte
+// view — no per-line string or field-split allocations — since relationship
+// files run to hundreds of thousands of edges.
 func Parse(r io.Reader) (*Graph, error) {
 	g := New()
 	sc := bufio.NewScanner(r)
@@ -160,33 +161,64 @@ func Parse(r io.Reader) (*Graph, error) {
 	lineNum := 0
 	for sc.Scan() {
 		lineNum++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		fields := strings.Split(line, "|")
-		if len(fields) < 3 {
-			return nil, fmt.Errorf("asrel: line %d: want 3 fields, got %d", lineNum, len(fields))
+		aField, rest := cutPipe(line)
+		bField, rest := cutPipe(rest)
+		relField, _ := cutPipe(rest)
+		if relField == nil {
+			return nil, fmt.Errorf("asrel: line %d: want 3 fields", lineNum)
 		}
-		a, err1 := strconv.ParseUint(fields[0], 10, 32)
-		b, err2 := strconv.ParseUint(fields[1], 10, 32)
-		rel, err3 := strconv.ParseInt(fields[2], 10, 8)
-		if err1 != nil || err2 != nil || err3 != nil {
+		a, ok1 := parseASN(aField)
+		b, ok2 := parseASN(bField)
+		if !ok1 || !ok2 {
 			return nil, fmt.Errorf("asrel: line %d: malformed %q", lineNum, line)
 		}
-		switch Rel(rel) {
-		case P2C:
-			g.AddP2C(uint32(a), uint32(b))
-		case P2P:
-			g.AddP2P(uint32(a), uint32(b))
+		switch {
+		case len(relField) == 2 && relField[0] == '-' && relField[1] == '1':
+			g.AddP2C(a, b)
+		case len(relField) == 1 && relField[0] == '0':
+			g.AddP2P(a, b)
 		default:
-			return nil, fmt.Errorf("asrel: line %d: unknown relationship %d", lineNum, rel)
+			return nil, fmt.Errorf("asrel: line %d: unknown relationship %q", lineNum, relField)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return g, nil
+}
+
+// cutPipe splits b at the first '|': (field, rest). rest is nil when no
+// separator remains, distinguishing a missing field from an empty one.
+func cutPipe(b []byte) ([]byte, []byte) {
+	if b == nil {
+		return nil, nil
+	}
+	if i := bytes.IndexByte(b, '|'); i >= 0 {
+		return b[:i], b[i+1:]
+	}
+	return b, nil
+}
+
+// parseASN parses an unsigned decimal AS number without allocating.
+func parseASN(b []byte) (uint32, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+		if v > 1<<32-1 {
+			return 0, false
+		}
+	}
+	return uint32(v), true
 }
 
 // Write renders the graph in serial-1 format, edges sorted for

@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 
 	"ipleasing/internal/mrt"
 	"ipleasing/internal/netutil"
@@ -33,26 +34,117 @@ type Route struct {
 }
 
 // originSet tracks the origins observed for a prefix and how many vantage
-// points reported each.
+// points reported each. After Table.Freeze the sorted origin order and
+// total visibility are cached so queries stop re-sorting per call.
+//
+// Almost every prefix has exactly one origin AS, so that case is stored
+// inline (origin0/count0); the counts map is only allocated when a second
+// distinct origin appears (MOAS).
 type originSet struct {
-	counts map[uint32]int
+	origin0 uint32
+	count0  int
+	counts  map[uint32]int // nil while single-origin
+	// sortedCache and visCache are filled by Table.Freeze; AddRoute
+	// invalidates them. visCache is -1 when stale. one backs the
+	// single-origin sortedCache without a separate allocation.
+	sortedCache []uint32
+	visCache    int
+	one         [1]uint32
+}
+
+func newOriginSet() *originSet { return &originSet{visCache: -1} }
+
+// add records n more sightings of origin.
+func (s *originSet) add(origin uint32, n int) {
+	if s.counts == nil {
+		if s.count0 == 0 || s.origin0 == origin {
+			s.origin0 = origin
+			s.count0 += n
+			return
+		}
+		s.counts = map[uint32]int{s.origin0: s.count0}
+	}
+	s.counts[origin] += n
+}
+
+// forEach visits every (origin, count) pair in unspecified order.
+func (s *originSet) forEach(fn func(origin uint32, n int)) {
+	if s.counts == nil {
+		if s.count0 > 0 {
+			fn(s.origin0, s.count0)
+		}
+		return
+	}
+	for origin, n := range s.counts {
+		fn(origin, n)
+	}
 }
 
 // Table is an aggregated routing-table view. The zero value is empty and
-// ready for use. Not safe for concurrent mutation.
+// ready for use. Not safe for concurrent mutation; concurrent readers are
+// safe once loading is done. Call Freeze after loading to precompute the
+// per-prefix sorted origins and visibility so the origin queries become
+// allocation-free.
 type Table struct {
 	tree prefixtree.Tree[*originSet]
+
+	freezeMu sync.Mutex
+	frozen   bool
+	// routedSpace caches RoutedAddressSpace while frozen (the merge sweep
+	// over every announced range is the other per-Infer table scan).
+	routedSpace uint64
 }
 
 // AddRoute records one announcement of p originated by origin.
 func (t *Table) AddRoute(p netutil.Prefix, origin uint32) {
+	t.addRouteN(p, origin, 1)
+}
+
+func (t *Table) addRouteN(p netutil.Prefix, origin uint32, n int) {
 	p = p.Canonicalize()
-	os, ok := t.tree.Get(p)
-	if !ok {
-		os = &originSet{counts: make(map[uint32]int, 1)}
-		t.tree.Insert(p, os)
+	os, _ := t.tree.GetOrInsertFunc(p, newOriginSet)
+	os.add(origin, n)
+	os.sortedCache, os.visCache = nil, -1
+	t.frozen = false
+}
+
+// Merge adds every route of o (with its vantage-point counts) into t.
+// Counts are summed, so merging collector tables is order-independent.
+func (t *Table) Merge(o *Table) {
+	o.tree.Walk(func(e prefixtree.Entry[*originSet]) bool {
+		e.Value.forEach(func(origin uint32, n int) {
+			t.addRouteN(e.Prefix, origin, n)
+		})
+		return true
+	})
+}
+
+// Freeze precomputes each prefix's sorted origin slice and visibility,
+// turning Origins, CoveringOrigins, OriginsMinVisibility, and Visibility
+// into allocation-free cache reads. Freeze is idempotent and safe to call
+// from multiple goroutines; mutating the table afterwards (AddRoute)
+// invalidates the affected entries, and a later Freeze re-indexes them.
+// Callers must not modify the origin slices returned by a frozen table.
+func (t *Table) Freeze() {
+	t.freezeMu.Lock()
+	defer t.freezeMu.Unlock()
+	if t.frozen {
+		return
 	}
-	os.counts[origin]++
+	t.tree.Walk(func(e prefixtree.Entry[*originSet]) bool {
+		s := e.Value
+		if s.counts == nil && s.count0 > 0 {
+			// Single-origin: point the cache at inline storage.
+			s.one[0] = s.origin0
+			s.sortedCache = s.one[:]
+		} else {
+			s.sortedCache = s.computeSorted()
+		}
+		s.visCache = s.computeVisibility()
+		return true
+	})
+	t.routedSpace = t.computeRoutedAddressSpace()
+	t.frozen = true
 }
 
 // NumPrefixes returns the number of distinct announced prefixes.
@@ -82,24 +174,40 @@ func (t *Table) Visibility(p netutil.Prefix) int {
 	if !ok {
 		return 0
 	}
-	n := 0
-	for _, c := range os.counts {
-		n += c
-	}
-	return n
+	return os.visibility()
 }
 
 // OriginsMinVisibility is Origins, but treats prefixes carried by fewer
 // than min vantage points as unannounced (min <= 1 disables the filter).
 // This implements the §7 vantage-point-bias sensitivity study.
 func (t *Table) OriginsMinVisibility(p netutil.Prefix, min int) []uint32 {
-	if min > 1 && t.Visibility(p) < min {
+	os, ok := t.tree.Get(p)
+	if !ok {
 		return nil
 	}
-	return t.Origins(p)
+	if min > 1 && os.visibility() < min {
+		return nil
+	}
+	return os.sorted()
 }
 
+// sorted returns the origins most-seen first. Frozen sets return the
+// shared cache without allocating; stale sets compute a fresh copy (and
+// deliberately do not store it, so concurrent readers never write).
 func (s *originSet) sorted() []uint32 {
+	if s.sortedCache != nil {
+		return s.sortedCache
+	}
+	return s.computeSorted()
+}
+
+func (s *originSet) computeSorted() []uint32 {
+	if s.counts == nil {
+		if s.count0 == 0 {
+			return nil
+		}
+		return []uint32{s.origin0}
+	}
 	out := make([]uint32, 0, len(s.counts))
 	for a := range s.counts {
 		out = append(out, a)
@@ -112,6 +220,25 @@ func (s *originSet) sorted() []uint32 {
 		return out[i] < out[j]
 	})
 	return out
+}
+
+// visibility returns the total vantage-point count, cached when frozen.
+func (s *originSet) visibility() int {
+	if s.visCache >= 0 {
+		return s.visCache
+	}
+	return s.computeVisibility()
+}
+
+func (s *originSet) computeVisibility() int {
+	if s.counts == nil {
+		return s.count0
+	}
+	n := 0
+	for _, c := range s.counts {
+		n += c
+	}
+	return n
 }
 
 // CoveringOrigins returns the least-specific announced prefix covering p
@@ -154,7 +281,18 @@ func (t *Table) Walk(fn func(p netutil.Prefix, origins []uint32) bool) {
 
 // RoutedAddressSpace returns the number of distinct IPv4 addresses covered
 // by at least one announced prefix (the paper's "routed v4 address space").
+// Frozen tables return the value precomputed by Freeze.
 func (t *Table) RoutedAddressSpace() uint64 {
+	t.freezeMu.Lock()
+	frozen, cached := t.frozen, t.routedSpace
+	t.freezeMu.Unlock()
+	if frozen {
+		return cached
+	}
+	return t.computeRoutedAddressSpace()
+}
+
+func (t *Table) computeRoutedAddressSpace() uint64 {
 	ranges := make([]netutil.Range, 0, t.tree.Len())
 	t.tree.Walk(func(e prefixtree.Entry[*originSet]) bool {
 		ranges = append(ranges, netutil.RangeOf(e.Prefix))
@@ -191,8 +329,9 @@ func (t *Table) RoutedAddressSpace() uint64 {
 // ending in an AS_SET contribute every set member as an origin.
 func (t *Table) LoadMRT(r io.Reader) error {
 	rd := mrt.NewReader(r)
+	add := func(p netutil.Prefix, origin uint32) { t.AddRoute(p, origin) }
 	for {
-		rec, err := rd.Next()
+		rec, err := rd.NextShared()
 		if err == io.EOF {
 			return nil
 		}
@@ -202,18 +341,11 @@ func (t *Table) LoadMRT(r io.Reader) error {
 		if rec.Type != mrt.TypeTableDumpV2 || rec.Subtype != mrt.SubtypeRIBIPv4Unicast {
 			continue
 		}
-		rib, err := mrt.DecodeRIBIPv4(rec.Body)
-		if err != nil {
+		// Origins-only decode: no per-entry attribute or path values are
+		// materialised, and the record body buffer is reused across
+		// records (nothing below retains it).
+		if err := mrt.DecodeRIBIPv4Origins(rec.Body, add); err != nil {
 			return fmt.Errorf("bgp: %w", err)
-		}
-		for _, e := range rib.Entries {
-			path, err := mrt.PathOf(e.Attrs)
-			if err != nil {
-				return fmt.Errorf("bgp: rib %v: %w", rib.Prefix, err)
-			}
-			for _, origin := range path.Origins() {
-				t.AddRoute(rib.Prefix, origin)
-			}
 		}
 	}
 }
@@ -225,7 +357,7 @@ func ReadPaths(r io.Reader) ([][]uint32, error) {
 	seen := make(map[string]bool)
 	var out [][]uint32
 	for {
-		rec, err := rd.Next()
+		rec, err := rd.NextShared()
 		if err == io.EOF {
 			return out, nil
 		}

@@ -267,3 +267,104 @@ func BenchmarkLoadMRT(b *testing.B) {
 		}
 	}
 }
+
+// TestFreezeMatchesUnfrozen checks that freezing changes no query result:
+// origins, covering lookup, visibility, and Walk output must be identical
+// before and after the index step, and AddRoute after Freeze must
+// invalidate the affected entry.
+func TestFreezeMatchesUnfrozen(t *testing.T) {
+	build := func() *Table {
+		var tbl Table
+		tbl.AddRoute(mp("203.0.113.0/24"), 64500)
+		tbl.AddRoute(mp("203.0.113.0/24"), 64500)
+		tbl.AddRoute(mp("203.0.113.0/24"), 64501)
+		tbl.AddRoute(mp("10.0.0.0/8"), 100)
+		tbl.AddRoute(mp("10.2.0.0/16"), 200)
+		return &tbl
+	}
+	cold, hot := build(), build()
+	hot.Freeze()
+	hot.Freeze() // idempotent
+
+	queries := []netutil.Prefix{
+		mp("203.0.113.0/24"), mp("10.0.0.0/8"), mp("10.2.0.0/16"),
+		mp("10.2.3.0/24"), mp("192.0.2.0/24"),
+	}
+	for _, q := range queries {
+		if got, want := hot.Origins(q), cold.Origins(q); !equalU32(got, want) {
+			t.Fatalf("Origins(%v): frozen %v, unfrozen %v", q, got, want)
+		}
+		if got, want := hot.Visibility(q), cold.Visibility(q); got != want {
+			t.Fatalf("Visibility(%v): frozen %d, unfrozen %d", q, got, want)
+		}
+		if got, want := hot.OriginsMinVisibility(q, 2), cold.OriginsMinVisibility(q, 2); !equalU32(got, want) {
+			t.Fatalf("OriginsMinVisibility(%v): frozen %v, unfrozen %v", q, got, want)
+		}
+		cp1, o1, ok1 := hot.CoveringOrigins(q)
+		cp2, o2, ok2 := cold.CoveringOrigins(q)
+		if ok1 != ok2 || cp1 != cp2 || !equalU32(o1, o2) {
+			t.Fatalf("CoveringOrigins(%v): frozen %v %v %v, unfrozen %v %v %v", q, cp1, o1, ok1, cp2, o2, ok2)
+		}
+	}
+
+	// Repeated frozen queries return the shared cached slice (no per-call
+	// sort allocation).
+	p := mp("203.0.113.0/24")
+	a, b := hot.Origins(p), hot.Origins(p)
+	if &a[0] != &b[0] {
+		t.Error("frozen Origins did not return the cached slice")
+	}
+
+	// Mutation invalidates: the new origin must win immediately.
+	hot.AddRoute(p, 64502)
+	hot.AddRoute(p, 64502)
+	hot.AddRoute(p, 64502)
+	if got := hot.Origins(p); len(got) != 3 || got[0] != 64502 {
+		t.Fatalf("post-mutation Origins = %v, want 64502 first", got)
+	}
+	if got := hot.Visibility(p); got != 6 {
+		t.Fatalf("post-mutation Visibility = %d, want 6", got)
+	}
+	hot.Freeze() // re-index after mutation
+	if got := hot.Origins(p); len(got) != 3 || got[0] != 64502 {
+		t.Fatalf("re-frozen Origins = %v", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Table
+	a.AddRoute(mp("203.0.113.0/24"), 64500)
+	a.AddRoute(mp("203.0.113.0/24"), 64500)
+	b.AddRoute(mp("203.0.113.0/24"), 64501)
+	b.AddRoute(mp("203.0.113.0/24"), 64501)
+	b.AddRoute(mp("203.0.113.0/24"), 64501)
+	b.AddRoute(mp("198.51.100.0/24"), 64502)
+	a.Freeze() // Merge must invalidate the frozen entries it touches
+
+	a.Merge(&b)
+	if a.NumPrefixes() != 2 {
+		t.Fatalf("NumPrefixes = %d", a.NumPrefixes())
+	}
+	// 64501 seen 3 times vs 64500 twice: most-seen-first order flips.
+	if got := a.Origins(mp("203.0.113.0/24")); len(got) != 2 || got[0] != 64501 || got[1] != 64500 {
+		t.Fatalf("merged Origins = %v", got)
+	}
+	if got := a.Visibility(mp("203.0.113.0/24")); got != 5 {
+		t.Fatalf("merged Visibility = %d", got)
+	}
+	if got := a.Origins(mp("198.51.100.0/24")); len(got) != 1 || got[0] != 64502 {
+		t.Fatalf("merged new prefix Origins = %v", got)
+	}
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -126,6 +126,12 @@ type Options struct {
 	// unannounced (sensitivity study for the §7 incomplete-BGP-data
 	// limitation). 0 or 1 disables the filter.
 	MinVisibility int
+	// DisableCaches bypasses the per-run root-resolution and
+	// AS-relatedness memos (and skips freezing the routing table), so
+	// every leaf recomputes from the raw substrates. The output must be
+	// identical either way; this exists to verify exactly that and to
+	// measure the caches' effect.
+	DisableCaches bool
 }
 
 func (o Options) maxLen() uint8 {
@@ -142,6 +148,80 @@ type Pipeline struct {
 	Rel   *asrel.Graph
 	Orgs  *as2org.Map
 	Opts  Options
+	// Trees, when set, caches the per-registry allocation trees across
+	// Infer runs. The tree depends only on the WHOIS data and
+	// MaxPrefixLen, so repeated inference over one dataset (benchmark
+	// loops, ablation sweeps, the longitudinal market analysis) skips
+	// re-decomposing and re-inserting every registered block. A cache
+	// must not be shared between Pipelines over different WHOIS data.
+	Trees *TreeCache
+}
+
+// TreeCache memoises allocation trees keyed by registry and the
+// hyper-specific cut-off. Safe for concurrent use; each key is built at
+// most once.
+type TreeCache struct {
+	mu sync.Mutex
+	m  map[treeCacheKey]*cachedTree
+}
+
+// NewTreeCache returns an empty cache.
+func NewTreeCache() *TreeCache { return &TreeCache{} }
+
+type treeCacheKey struct {
+	reg    whois.Registry
+	maxLen uint8
+}
+
+// cachedTree is one registry's allocation tree with its walk order and
+// hierarchy precomputed: entries lists every inserted block in Walk
+// order, and rootOf[i] is the index of entry i's allocation-forest root
+// (-1 for roots themselves).
+type cachedTree struct {
+	once    sync.Once
+	tree    *prefixtree.Tree[treeValue]
+	entries []prefixtree.Entry[treeValue]
+	rootOf  []int32
+}
+
+func (ct *cachedTree) build(p *Pipeline, db *whois.Database) {
+	ct.tree = p.BuildTree(db)
+	ct.entries = ct.tree.Entries()
+	// Walk order emits supernets before their subnets, so a depth-indexed
+	// stack of ancestor indexes resolves each entry's root in one pass —
+	// the same answer tree.RootOf gives, without a per-leaf trie descent.
+	ct.rootOf = make([]int32, len(ct.entries))
+	var stack []int32
+	for i := range ct.entries {
+		d := ct.entries[i].Depth
+		if d == 0 {
+			ct.rootOf[i] = -1
+		} else {
+			ct.rootOf[i] = stack[0]
+		}
+		stack = append(stack[:d], int32(i))
+	}
+}
+
+// tree returns the (possibly cached) allocation tree state for db.
+func (p *Pipeline) allocTree(db *whois.Database) *cachedTree {
+	if p.Trees == nil || p.Opts.DisableCaches {
+		tree := p.BuildTree(db)
+		return &cachedTree{tree: tree, entries: tree.Entries()}
+	}
+	key := treeCacheKey{reg: db.Registry, maxLen: p.Opts.maxLen()}
+	p.Trees.mu.Lock()
+	if p.Trees.m == nil {
+		p.Trees.m = make(map[treeCacheKey]*cachedTree)
+	}
+	ct, ok := p.Trees.m[key]
+	if !ok {
+		ct = &cachedTree{}
+		p.Trees.m[key] = ct
+	}
+	p.Trees.mu.Unlock()
+	ct.once.Do(func() { ct.build(p, db) })
+	return ct
 }
 
 // Related implements the paper's AS-relatedness test: equal ASNs, a direct
@@ -159,9 +239,52 @@ func (p *Pipeline) Related(a, b uint32) bool {
 	return false
 }
 
-func (p *Pipeline) relatedToAny(origin uint32, candidates []uint32) bool {
+// runState holds one region's per-run memoisation: the classification of
+// thousands of leaves under a handful of distinct roots repeats the same
+// root resolutions and AS-pair relatedness probes, so both are cached for
+// the duration of one Infer call. Each region goroutine owns its own
+// runState, keeping the hot path lock-free. A nil runState (the
+// Options.DisableCaches bypass) recomputes everything.
+type runState struct {
+	roots map[netutil.Prefix]*rootInfo
+	rel   map[uint64]bool
+}
+
+func (p *Pipeline) newRunState() *runState {
+	if p.Opts.DisableCaches {
+		return nil
+	}
+	return &runState{
+		roots: make(map[netutil.Prefix]*rootInfo),
+		rel:   make(map[uint64]bool),
+	}
+}
+
+// rootInfo is everything classifyLeaf needs about a covering root block,
+// computed once per distinct root instead of once per leaf.
+type rootInfo struct {
+	asns       []uint32 // RIR-assigned ASNs of the holder org (§5.1 step 3)
+	origins    []uint32 // root BGP origins, exact or covering fallback (step 4)
+	candidates []uint32 // asns ++ origins, the group-4 relatedness pool
+}
+
+// relatedCached is Related behind the per-run AS-pair memo.
+func (p *Pipeline) relatedCached(st *runState, a, b uint32) bool {
+	if st == nil {
+		return p.Related(a, b)
+	}
+	key := uint64(a)<<32 | uint64(b)
+	if v, ok := st.rel[key]; ok {
+		return v
+	}
+	v := p.Related(a, b)
+	st.rel[key] = v
+	return v
+}
+
+func (p *Pipeline) relatedToAny(st *runState, origin uint32, candidates []uint32) bool {
 	for _, c := range candidates {
-		if p.Related(origin, c) {
+		if p.relatedCached(st, origin, c) {
 			return true
 		}
 	}
@@ -198,26 +321,51 @@ type Result struct {
 	RoutedSpace uint64
 }
 
+// each visits every inference in registry order then prefix order —
+// the same order All returns — without materialising the concatenated
+// slice. The pointer is into the region's backing array; callers must
+// not retain it past the callback.
+func (r *Result) each(fn func(inf *Inference) bool) {
+	for _, reg := range whois.Registries {
+		rr, ok := r.Regions[reg]
+		if !ok {
+			continue
+		}
+		for i := range rr.Inferences {
+			if !fn(&rr.Inferences[i]) {
+				return
+			}
+		}
+	}
+}
+
 // All returns every inference across registries, registry order then
 // prefix order.
 func (r *Result) All() []Inference {
-	var out []Inference
-	for _, reg := range whois.Registries {
-		if rr, ok := r.Regions[reg]; ok {
-			out = append(out, rr.Inferences...)
-		}
+	n := 0
+	for _, rr := range r.Regions {
+		n += len(rr.Inferences)
 	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Inference, 0, n)
+	r.each(func(inf *Inference) bool {
+		out = append(out, *inf)
+		return true
+	})
 	return out
 }
 
 // LeasedInferences returns only the leased inferences.
 func (r *Result) LeasedInferences() []Inference {
 	var out []Inference
-	for _, inf := range r.All() {
+	r.each(func(inf *Inference) bool {
 		if inf.Category.Leased() {
-			out = append(out, inf)
+			out = append(out, *inf)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -243,11 +391,12 @@ func (r *Result) LeasedShareOfBGP() float64 {
 // prefixes.
 func (r *Result) LeasedAddressSpace() uint64 {
 	var n uint64
-	for _, inf := range r.All() {
+	r.each(func(inf *Inference) bool {
 		if inf.Category.Leased() {
 			n += inf.Prefix.NumAddrs()
 		}
-	}
+		return true
+	})
 	return n
 }
 
@@ -258,6 +407,12 @@ func (r *Result) LeasedAddressSpace() uint64 {
 func (p *Pipeline) Infer() *Result {
 	res := &Result{Regions: make(map[whois.Registry]*RegionResult)}
 	if p.Table != nil {
+		if !p.Opts.DisableCaches {
+			// Index the routing table once, before the region fan-out,
+			// so the origin queries below are allocation-free cache
+			// reads (Freeze is idempotent).
+			p.Table.Freeze()
+		}
 		res.TotalBGPPrefixes = p.Table.NumPrefixes()
 		res.RoutedSpace = p.Table.RoutedAddressSpace()
 	}
@@ -297,9 +452,7 @@ func (p *Pipeline) BuildTree(db *whois.Database) *prefixtree.Tree[treeValue] {
 			if pfx.Len > maxLen {
 				continue
 			}
-			if _, exists := tree.Get(pfx); !exists {
-				tree.Insert(pfx, treeValue{inet: inet})
-			}
+			tree.InsertIfAbsent(pfx, treeValue{inet: inet})
 		}
 	}
 	return tree
@@ -307,28 +460,80 @@ func (p *Pipeline) BuildTree(db *whois.Database) *prefixtree.Tree[treeValue] {
 
 func (p *Pipeline) inferRegion(db *whois.Database) *RegionResult {
 	rr := &RegionResult{Registry: db.Registry}
-	tree := p.BuildTree(db)
+	ct := p.allocTree(db)
+	st := p.newRunState()
+	rr.Inferences = make([]Inference, 0, len(ct.entries))
 
-	tree.Walk(func(e prefixtree.Entry[treeValue]) bool {
+	for i := range ct.entries {
+		e := &ct.entries[i]
 		if e.HasChildren {
-			return true // intermediate or root with children: not a leaf
+			continue // intermediate or root with children: not a leaf
 		}
 		leaf := e.Value.inet
 		if leaf.Portability != whois.NonPortable {
-			return true // standalone portable block: root-only, skip
+			continue // standalone portable block: root-only, skip
 		}
-		inf := p.classifyLeaf(db, tree, e.Prefix, leaf, e.Depth)
+		var (
+			rootPfx netutil.Prefix
+			root    *whois.InetNum
+		)
+		if e.Depth > 0 {
+			if ct.rootOf != nil {
+				re := &ct.entries[ct.rootOf[i]]
+				rootPfx, root = re.Prefix, re.Value.inet
+			} else {
+				// Cache bypass: resolve the root through the trie, the
+				// pre-cache lookup path.
+				rp, rv, _ := ct.tree.RootOf(e.Prefix)
+				rootPfx, root = rp, rv.inet
+			}
+		}
+		inf := p.classifyLeaf(db, e.Prefix, leaf, rootPfx, root, st)
 		rr.Counts[inf.Category]++
 		if inf.Category != Orphan {
 			rr.TotalLeaves++
 		}
 		rr.Inferences = append(rr.Inferences, inf)
-		return true
-	})
+	}
 	return rr
 }
 
-func (p *Pipeline) classifyLeaf(db *whois.Database, tree *prefixtree.Tree[treeValue], pfx netutil.Prefix, leaf *whois.InetNum, depth int) Inference {
+// resolveRoot computes (or fetches from the per-run cache) the root-level
+// inputs of §5.1 steps 3–4: the holder org's RIR-assigned ASNs, the
+// root's BGP origins (with the covering-prefix fallback unless ablated),
+// and the combined group-4 candidate pool. Every field is a deterministic
+// function of the root prefix under one run's fixed Options, which is
+// what makes caching by root prefix sound.
+func (p *Pipeline) resolveRoot(db *whois.Database, rootPfx netutil.Prefix, root *whois.InetNum, st *runState) *rootInfo {
+	if st != nil {
+		if ri, ok := st.roots[rootPfx]; ok {
+			return ri
+		}
+	}
+	ri := &rootInfo{asns: db.ASNsOfOrg(root.OrgID)}
+	if p.Table != nil {
+		ri.origins = p.Table.OriginsMinVisibility(rootPfx, p.Opts.MinVisibility)
+		if len(ri.origins) == 0 && !p.Opts.RootLookupExactOnly {
+			if cp, origins, ok := p.Table.CoveringOrigins(rootPfx); ok {
+				if p.Opts.MinVisibility <= 1 || p.Table.Visibility(cp) >= p.Opts.MinVisibility {
+					ri.origins = origins
+				}
+			}
+		}
+	}
+	if n := len(ri.asns) + len(ri.origins); n > 0 {
+		ri.candidates = make([]uint32, 0, n)
+		ri.candidates = append(append(ri.candidates, ri.asns...), ri.origins...)
+	}
+	if st != nil {
+		st.roots[rootPfx] = ri
+	}
+	return ri
+}
+
+// classifyLeaf classifies one non-portable leaf against its resolved
+// allocation-forest root (nil root means no covering root block exists).
+func (p *Pipeline) classifyLeaf(db *whois.Database, pfx netutil.Prefix, leaf *whois.InetNum, rootPfx netutil.Prefix, root *whois.InetNum, st *runState) Inference {
 	inf := Inference{
 		Registry:     db.Registry,
 		Prefix:       pfx,
@@ -336,35 +541,28 @@ func (p *Pipeline) classifyLeaf(db *whois.Database, tree *prefixtree.Tree[treeVa
 		NetName:      leaf.NetName,
 		Country:      leaf.Country,
 	}
-	if depth == 0 {
+	if root == nil {
 		// Non-portable block with no covering root allocation.
 		inf.Category = Orphan
 		return inf
 	}
-	rootPfx, rootVal, _ := tree.RootOf(pfx)
-	root := rootVal.inet
 	inf.Root = rootPfx
 	inf.HolderOrg = root.OrgID
 	if inf.Country == "" {
 		inf.Country = root.Country
 	}
 
-	// Step 3: RIR-assigned ASNs of the root organisation.
-	inf.RootASNs = db.ASNsOfOrg(root.OrgID)
+	// Steps 3–4, root side: resolved once per distinct root. The slices
+	// are shared across every leaf under the same root; they are never
+	// mutated downstream.
+	ri := p.resolveRoot(db, rootPfx, root, st)
+	inf.RootASNs = ri.asns
+	inf.RootOrigins = ri.origins
 
-	// Step 4: BGP origins. Leaf: exact match only. Root: exact match,
-	// falling back to the least-specific covering announcement. The
-	// MinVisibility option discounts poorly-seen exact announcements.
+	// Step 4, leaf side: exact match only, discounting poorly-seen
+	// announcements under MinVisibility.
 	if p.Table != nil {
 		inf.LeafOrigins = p.Table.OriginsMinVisibility(pfx, p.Opts.MinVisibility)
-		inf.RootOrigins = p.Table.OriginsMinVisibility(rootPfx, p.Opts.MinVisibility)
-		if len(inf.RootOrigins) == 0 && !p.Opts.RootLookupExactOnly {
-			if cp, origins, ok := p.Table.CoveringOrigins(rootPfx); ok {
-				if p.Opts.MinVisibility <= 1 || p.Table.Visibility(cp) >= p.Opts.MinVisibility {
-					inf.RootOrigins = origins
-				}
-			}
-		}
 	}
 
 	// Step 5: classification (§5.2).
@@ -376,14 +574,13 @@ func (p *Pipeline) classifyLeaf(db *whois.Database, tree *prefixtree.Tree[treeVa
 	case !leafUp && rootUp:
 		inf.Category = AggregatedCustomer
 	case leafUp && !rootUp:
-		if p.anyRelated(inf.LeafOrigins, inf.RootASNs) {
+		if p.anyRelated(st, inf.LeafOrigins, inf.RootASNs) {
 			inf.Category = ISPCustomer
 		} else {
 			inf.Category = LeasedNoRootOrigin
 		}
 	default: // both announced
-		candidates := append(append([]uint32(nil), inf.RootASNs...), inf.RootOrigins...)
-		if p.anyRelated(inf.LeafOrigins, candidates) {
+		if p.anyRelated(st, inf.LeafOrigins, ri.candidates) {
 			inf.Category = DelegatedCustomer
 		} else {
 			inf.Category = LeasedWithRootOrigin
@@ -392,9 +589,9 @@ func (p *Pipeline) classifyLeaf(db *whois.Database, tree *prefixtree.Tree[treeVa
 	return inf
 }
 
-func (p *Pipeline) anyRelated(origins, candidates []uint32) bool {
+func (p *Pipeline) anyRelated(st *runState, origins, candidates []uint32) bool {
 	for _, o := range origins {
-		if p.relatedToAny(o, candidates) {
+		if p.relatedToAny(st, o, candidates) {
 			return true
 		}
 	}

@@ -14,12 +14,14 @@ package geoip
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"ipleasing/internal/netutil"
 	"ipleasing/internal/prefixtree"
@@ -29,6 +31,7 @@ import (
 type DB struct {
 	Name string
 	tree prefixtree.Tree[string]
+	ins  *prefixtree.Inserter[string]
 	n    int
 }
 
@@ -36,8 +39,13 @@ type DB struct {
 func NewDB(name string) *DB { return &DB{Name: name} }
 
 // Add records that p geolocates to the ISO 3166-1 alpha-2 country cc.
+// Geofeed files list prefixes in ascending order, which the sorted
+// inserter turns into linear-time tree construction.
 func (db *DB) Add(p netutil.Prefix, cc string) {
-	if added := db.tree.Insert(p.Canonicalize(), strings.ToUpper(cc)); added {
+	if db.ins == nil {
+		db.ins = db.tree.Inserter()
+	}
+	if added := db.ins.Insert(p.Canonicalize(), strings.ToUpper(cc)); added {
 		db.n++
 	}
 }
@@ -51,7 +59,37 @@ func (db *DB) Country(p netutil.Prefix) (string, bool) {
 	return cc, ok
 }
 
-// Parse reads one provider's database from its geofeed-style CSV.
+// ccIntern interns upper-cased two-letter country codes so the millions
+// of geofeed lines across a provider panel share one string per country.
+var (
+	ccInternMu sync.Mutex
+	ccIntern   = make(map[[2]byte]string)
+)
+
+func internCountry(a, b byte) string {
+	key := [2]byte{a, b}
+	ccInternMu.Lock()
+	cc, ok := ccIntern[key]
+	if !ok {
+		cc = string(key[:])
+		ccIntern[key] = cc
+	}
+	ccInternMu.Unlock()
+	return cc
+}
+
+func upperByte(c byte) byte {
+	if 'a' <= c && c <= 'z' {
+		return c - 'a' + 'A'
+	}
+	return c
+}
+
+// Parse reads one provider's database from its geofeed-style CSV. The
+// parser works on the scanner's byte view directly — no per-line string,
+// field-split, or country-code allocations — because a panel of provider
+// databases over the full routed table is the largest line count in a
+// dataset directory.
 func Parse(name string, r io.Reader) (*DB, error) {
 	db := NewDB(name)
 	sc := bufio.NewScanner(r)
@@ -59,23 +97,27 @@ func Parse(name string, r io.Reader) (*DB, error) {
 	lineNum := 0
 	for sc.Scan() {
 		lineNum++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		fields := strings.Split(line, ",")
-		if len(fields) < 2 {
+		comma := bytes.IndexByte(line, ',')
+		if comma < 0 {
 			return nil, fmt.Errorf("geoip: %s line %d: want prefix,country", name, lineNum)
 		}
-		p, err := netutil.ParsePrefix(strings.TrimSpace(fields[0]))
+		p, err := netutil.ParsePrefixBytes(bytes.TrimSpace(line[:comma]))
 		if err != nil {
 			return nil, fmt.Errorf("geoip: %s line %d: %v", name, lineNum, err)
 		}
-		cc := strings.ToUpper(strings.TrimSpace(fields[1]))
-		if len(cc) != 2 {
-			return nil, fmt.Errorf("geoip: %s line %d: bad country %q", name, lineNum, fields[1])
+		ccField := line[comma+1:]
+		if c2 := bytes.IndexByte(ccField, ','); c2 >= 0 {
+			ccField = ccField[:c2] // optional region/city fields
 		}
-		db.Add(p, cc)
+		ccField = bytes.TrimSpace(ccField)
+		if len(ccField) != 2 {
+			return nil, fmt.Errorf("geoip: %s line %d: bad country %q", name, lineNum, ccField)
+		}
+		db.Add(p, internCountry(upperByte(ccField[0]), upperByte(ccField[1])))
 	}
 	return db, sc.Err()
 }

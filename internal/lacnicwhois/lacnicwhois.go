@@ -50,21 +50,26 @@ type Database struct {
 
 // Parse decodes a LACNIC bulk-WHOIS dump.
 func Parse(r io.Reader) (*Database, error) {
-	objs, err := rpsl.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("lacnicwhois: %w", err)
-	}
+	rd := rpsl.NewReader(r)
 	db := &Database{}
-	for i, o := range objs {
+	var o rpsl.Object // reused across records; extracted strings are interned
+	for i := 0; ; i++ {
+		err := rd.NextInto(&o)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lacnicwhois: %w", err)
+		}
 		switch o.Class() {
 		case "inetnum":
-			b, err := blockFromObject(o)
+			b, err := blockFromObject(&o)
 			if err != nil {
 				return nil, fmt.Errorf("lacnicwhois: record %d: %w", i, err)
 			}
 			db.Blocks = append(db.Blocks, b)
 		case "aut-num":
-			a, err := asnFromObject(o)
+			a, err := asnFromObject(&o)
 			if err != nil {
 				return nil, fmt.Errorf("lacnicwhois: record %d: %w", i, err)
 			}

@@ -21,6 +21,7 @@ import (
 	"ipleasing/internal/bgp"
 	"ipleasing/internal/core"
 	"ipleasing/internal/netutil"
+	"ipleasing/internal/par"
 	"ipleasing/internal/whois"
 )
 
@@ -115,9 +116,17 @@ type Inputs struct {
 	Rel   *asrel.Graph
 	Orgs  *as2org.Map
 	Opts  core.Options
+	// Trees optionally shares an allocation-tree cache with the caller
+	// (the trees depend only on Whois and the cut-off, not on the monthly
+	// routing tables). When nil, Analyze uses one cache across the months.
+	Trees *core.TreeCache
 }
 
-// Analyze runs the core inference per snapshot and derives churn.
+// Analyze runs the core inference per snapshot and derives churn. Each
+// month is an independent full inference over its own routing table (the
+// WHOIS state is shared read-only), so the months run concurrently; the
+// churn derivation then walks the per-month lease maps in time order,
+// keeping the report deterministic.
 func Analyze(in Inputs, snapshots []Snapshot) *Report {
 	rep := &Report{DurationHistogram: make(map[int]int)}
 	type leaseState struct {
@@ -126,14 +135,29 @@ func Analyze(in Inputs, snapshots []Snapshot) *Report {
 	}
 	active := make(map[netutil.Prefix]*leaseState)
 
-	var prev map[netutil.Prefix]uint32
-	for _, snap := range snapshots {
-		p := &core.Pipeline{Whois: in.Whois, Table: snap.Table, Rel: in.Rel, Orgs: in.Orgs, Opts: in.Opts}
+	// Phase 1 (parallel): per-month lessee maps, slotted by index. The
+	// months share one allocation-tree cache: the WHOIS side is fixed over
+	// the window, so the trees are built once, not once per month.
+	trees := in.Trees
+	if trees == nil {
+		trees = core.NewTreeCache()
+	}
+	months := make([]map[netutil.Prefix]uint32, len(snapshots))
+	par.Each(len(snapshots), func(i int) error {
+		p := &core.Pipeline{Whois: in.Whois, Table: snapshots[i].Table, Rel: in.Rel, Orgs: in.Orgs, Opts: in.Opts, Trees: trees}
 		res := p.Infer()
 		cur := make(map[netutil.Prefix]uint32)
 		for _, inf := range res.LeasedInferences() {
 			cur[inf.Prefix] = inf.Originator()
 		}
+		months[i] = cur
+		return nil
+	})
+
+	// Phase 2 (serial, time order): churn and run accounting.
+	var prev map[netutil.Prefix]uint32
+	for i, snap := range snapshots {
+		cur := months[i]
 		ms := MonthStats{Time: snap.Time, Leased: len(cur)}
 		if prev != nil {
 			for pfx, origin := range cur {

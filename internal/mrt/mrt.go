@@ -56,6 +56,12 @@ const maxBody = 64 << 20
 type Reader struct {
 	r   *bufio.Reader
 	off int64
+	// buf, hdr, and rec back NextShared's zero-allocation record reuse
+	// (hdr must be a field: a stack array sliced into an io.Reader call
+	// escapes, costing one heap allocation per record).
+	buf []byte
+	hdr [12]byte
+	rec RawRecord
 }
 
 // NewReader returns a Reader over r.
@@ -89,6 +95,40 @@ func (rd *Reader) Next() (*RawRecord, error) {
 	}
 	rd.off += 12 + int64(rec.Length)
 	return rec, nil
+}
+
+// NextShared is Next, but the returned record and its Body reuse internal
+// buffers: both are only valid until the following NextShared or Next
+// call. Bulk consumers that fully process each record before advancing
+// (RIB table loading) use this to avoid one record and one body
+// allocation per route.
+func (rd *Reader) NextShared() (*RawRecord, error) {
+	hdr := rd.hdr[:]
+	n, err := io.ReadFull(rd.r, hdr)
+	if err == io.EOF && n == 0 {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: header at offset %d", ErrTruncated, rd.off)
+	}
+	rd.rec.Header = Header{
+		Timestamp: binary.BigEndian.Uint32(hdr[0:4]),
+		Type:      binary.BigEndian.Uint16(hdr[4:6]),
+		Subtype:   binary.BigEndian.Uint16(hdr[6:8]),
+		Length:    binary.BigEndian.Uint32(hdr[8:12]),
+	}
+	if rd.rec.Length > maxBody {
+		return nil, fmt.Errorf("mrt: record at offset %d: implausible length %d", rd.off, rd.rec.Length)
+	}
+	if cap(rd.buf) < int(rd.rec.Length) {
+		rd.buf = make([]byte, rd.rec.Length)
+	}
+	rd.rec.Body = rd.buf[:rd.rec.Length]
+	if _, err := io.ReadFull(rd.r, rd.rec.Body); err != nil {
+		return nil, fmt.Errorf("%w: body at offset %d", ErrTruncated, rd.off)
+	}
+	rd.off += 12 + int64(rd.rec.Length)
+	return &rd.rec, nil
 }
 
 // Writer encodes MRT records to a byte stream.

@@ -136,6 +136,113 @@ func DecodeRIBIPv4(body []byte) (*RIB, error) {
 	return r, nil
 }
 
+// DecodeRIBIPv4Origins extracts the prefix and per-entry origin ASes from
+// a RIB_IPV4_UNICAST body, calling fn once per (entry, origin). It is the
+// bulk-loading fast path: it walks the attribute blob and the AS_PATH
+// wire form in place, materialising no Attribute, Segment, or RIB values.
+// The semantics match DecodeRIBIPv4 + PathOf + ASPath.Origins: the origin
+// is the last ASN of a trailing AS_SEQUENCE, or every member of a
+// trailing AS_SET; entries without a non-empty AS_PATH yield nothing.
+func DecodeRIBIPv4Origins(body []byte, fn func(prefix netutil.Prefix, origin uint32)) error {
+	c := &byteCursor{b: body}
+	seq := c.u32("sequence")
+	plen := c.u8("prefix length")
+	if plen > 32 {
+		return fmt.Errorf("mrt: invalid IPv4 prefix length %d", plen)
+	}
+	nBytes := (int(plen) + 7) / 8
+	pb := c.bytes(nBytes, "prefix bytes")
+	var base uint32
+	for i, b := range pb {
+		base |= uint32(b) << (24 - 8*i)
+	}
+	prefix := netutil.Prefix{Base: netutil.Addr(base), Len: plen}.Canonicalize()
+	n := int(c.u16("entry count"))
+	for i := 0; i < n; i++ {
+		c.u16("peer index")
+		c.u32("originated time")
+		alen := int(c.u16("attribute length"))
+		ab := c.bytes(alen, "attributes")
+		if c.err != nil {
+			return c.err
+		}
+		if err := scanOrigins(ab, prefix, fn); err != nil {
+			return fmt.Errorf("mrt: rib seq %d entry %d: %w", seq, i, err)
+		}
+	}
+	return c.err
+}
+
+// scanOrigins finds the AS_PATH attribute in a wire-form attribute blob
+// and emits its origin AS(es), allocation-free.
+func scanOrigins(b []byte, prefix netutil.Prefix, fn func(netutil.Prefix, uint32)) error {
+	pos := 0
+	for pos < len(b) {
+		if pos+2 > len(b) {
+			return fmt.Errorf("%w: header at %d", ErrBadAttribute, pos)
+		}
+		flags, typ := b[pos], b[pos+1]
+		pos += 2
+		var alen int
+		if flags&FlagExtLen != 0 {
+			if pos+2 > len(b) {
+				return fmt.Errorf("%w: extended length at %d", ErrBadAttribute, pos)
+			}
+			alen = int(binary.BigEndian.Uint16(b[pos:]))
+			pos += 2
+		} else {
+			if pos+1 > len(b) {
+				return fmt.Errorf("%w: length at %d", ErrBadAttribute, pos)
+			}
+			alen = int(b[pos])
+			pos++
+		}
+		if pos+alen > len(b) {
+			return fmt.Errorf("%w: value of attr type %d overruns buffer", ErrBadAttribute, typ)
+		}
+		if typ == AttrASPath {
+			return emitPathOrigins(b[pos:pos+alen], prefix, fn)
+		}
+		pos += alen
+	}
+	return nil
+}
+
+// emitPathOrigins walks a 4-byte AS_PATH value to its last segment and
+// emits the origin(s), mirroring ASPath.Origins.
+func emitPathOrigins(v []byte, prefix netutil.Prefix, fn func(netutil.Prefix, uint32)) error {
+	var lastType uint8
+	lastStart, lastCount := -1, 0
+	pos := 0
+	for pos < len(v) {
+		if pos+2 > len(v) {
+			return fmt.Errorf("%w: AS_PATH segment header", ErrBadAttribute)
+		}
+		segType := v[pos]
+		if segType != SegmentASSet && segType != SegmentASSequence {
+			return fmt.Errorf("%w: AS_PATH segment type %d", ErrBadAttribute, segType)
+		}
+		count := int(v[pos+1])
+		pos += 2
+		if pos+count*4 > len(v) {
+			return fmt.Errorf("%w: AS_PATH segment overruns value", ErrBadAttribute)
+		}
+		lastType, lastStart, lastCount = segType, pos, count
+		pos += count * 4
+	}
+	if lastStart < 0 || lastCount == 0 {
+		return nil
+	}
+	if lastType == SegmentASSequence {
+		fn(prefix, binary.BigEndian.Uint32(v[lastStart+(lastCount-1)*4:]))
+		return nil
+	}
+	for i := 0; i < lastCount; i++ {
+		fn(prefix, binary.BigEndian.Uint32(v[lastStart+i*4:]))
+	}
+	return nil
+}
+
 // Encode renders the RIB body.
 func (r *RIB) Encode() []byte {
 	out := make([]byte, 0, 64)

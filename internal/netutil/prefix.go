@@ -130,6 +130,56 @@ func parsePrefixParts(s string) (Addr, uint8, error) {
 	return base, uint8(n), nil
 }
 
+// ParsePrefixBytes is ParsePrefix for a byte slice. It applies the same
+// strictness (octets without leading zeros, no host bits set) but
+// allocates nothing on success, so line-oriented bulk parsers can feed it
+// scanner-owned bytes directly.
+func ParsePrefixBytes(b []byte) (Prefix, error) {
+	var base uint32
+	pos := 0
+	for i := 0; i < 4; i++ {
+		start := pos
+		var v uint32
+		for pos < len(b) && b[pos] >= '0' && b[pos] <= '9' {
+			v = v*10 + uint32(b[pos]-'0')
+			if v > 255 {
+				return Prefix{}, fmt.Errorf("netutil: invalid IPv4 address %q", b)
+			}
+			pos++
+		}
+		if n := pos - start; n == 0 || (n > 1 && b[start] == '0') {
+			return Prefix{}, fmt.Errorf("netutil: invalid IPv4 address %q", b)
+		}
+		base = base<<8 | v
+		if i < 3 {
+			if pos >= len(b) || b[pos] != '.' {
+				return Prefix{}, fmt.Errorf("netutil: invalid IPv4 address %q", b)
+			}
+			pos++
+		}
+	}
+	if pos >= len(b) || b[pos] != '/' {
+		return Prefix{}, fmt.Errorf("netutil: prefix %q missing '/'", b)
+	}
+	pos++
+	start := pos
+	var ln uint32
+	for pos < len(b) && b[pos] >= '0' && b[pos] <= '9' {
+		ln = ln*10 + uint32(b[pos]-'0')
+		if ln > 32 {
+			return Prefix{}, fmt.Errorf("netutil: invalid prefix length in %q", b)
+		}
+		pos++
+	}
+	if pos == start || pos != len(b) {
+		return Prefix{}, fmt.Errorf("netutil: invalid prefix length in %q", b)
+	}
+	if base&maskOf(uint8(ln)) != base {
+		return Prefix{}, fmt.Errorf("netutil: prefix %q has host bits set", b)
+	}
+	return Prefix{Base: Addr(base), Len: uint8(ln)}, nil
+}
+
 // MustParsePrefix is like ParsePrefix but panics on error.
 func MustParsePrefix(s string) Prefix {
 	p, err := ParsePrefix(s)

@@ -1,0 +1,58 @@
+// Package par provides a minimal errgroup-style helper for fanning work
+// out across goroutines, used to parallelise the independent stages of
+// dataset loading and the per-snapshot inference runs of the
+// longitudinal market analysis. It deliberately mirrors the shape of
+// golang.org/x/sync/errgroup without taking the dependency: the module
+// is stdlib-only.
+package par
+
+import "sync"
+
+// Group runs a set of functions concurrently and collects the first
+// error. The zero value is ready for use.
+type Group struct {
+	wg   sync.WaitGroup
+	once sync.Once
+	err  error
+}
+
+// Go runs fn in its own goroutine. The first non-nil error across all
+// functions is retained and returned by Wait; later errors are dropped.
+func (g *Group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(); err != nil {
+			g.once.Do(func() { g.err = err })
+		}
+	}()
+}
+
+// Wait blocks until every function started with Go has returned, then
+// returns the first error (nil if all succeeded).
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}
+
+// Do runs every function concurrently and returns the first error.
+func Do(fns ...func() error) error {
+	var g Group
+	for _, fn := range fns {
+		g.Go(fn)
+	}
+	return g.Wait()
+}
+
+// Each runs fn(i) concurrently for every i in [0, n) and returns the
+// first error. Results are typically written to a pre-sized slice slot
+// per index, which keeps output ordering deterministic regardless of
+// scheduling.
+func Each(n int, fn func(i int) error) error {
+	var g Group
+	for i := 0; i < n; i++ {
+		i := i
+		g.Go(func() error { return fn(i) })
+	}
+	return g.Wait()
+}

@@ -13,6 +13,8 @@
 package prefixtree
 
 import (
+	"math/bits"
+
 	"ipleasing/internal/netutil"
 )
 
@@ -22,6 +24,24 @@ import (
 type Tree[V any] struct {
 	root *node[V]
 	size int
+	// arena is the tail of the current node allocation chunk. Nodes are
+	// never freed individually (Delete only clears the set flag), so
+	// carving them out of chunks turns one heap allocation per node into
+	// one per arenaChunk nodes — the trie is the pipeline's dominant
+	// allocation site (BGP tables, allocation trees, geo databases).
+	arena []node[V]
+}
+
+const arenaChunk = 256
+
+func (t *Tree[V]) newNode(p netutil.Prefix) *node[V] {
+	if len(t.arena) == 0 {
+		t.arena = make([]node[V], arenaChunk)
+	}
+	n := &t.arena[0]
+	t.arena = t.arena[1:]
+	n.prefix = p
+	return n
 }
 
 type node[V any] struct {
@@ -37,11 +57,139 @@ func (t *Tree[V]) Len() int { return t.size }
 // Insert stores value under p, replacing any existing value. It reports
 // whether the prefix was newly inserted (false if it replaced an entry).
 func (t *Tree[V]) Insert(p netutil.Prefix, value V) bool {
+	_, added := t.insert(p, value, true)
+	return added
+}
+
+// InsertIfAbsent stores value under p only if the prefix is not already
+// present, in a single traversal (no Get-then-Insert double walk). It
+// reports whether the prefix was newly inserted.
+func (t *Tree[V]) InsertIfAbsent(p netutil.Prefix, value V) bool {
+	_, added := t.insert(p, value, false)
+	return added
+}
+
+// GetOrInsertFunc returns the value stored under p, inserting make()'s
+// result first if the prefix is absent — one traversal either way. It
+// reports whether the value was newly inserted. make is only called on
+// insertion.
+func (t *Tree[V]) GetOrInsertFunc(p netutil.Prefix, make func() V) (V, bool) {
+	if n := t.lookupNode(p); n != nil && n.set {
+		return n.value, false
+	}
+	n, added := t.insert(p, make(), false)
+	return n.value, added
+}
+
+func (t *Tree[V]) insert(p netutil.Prefix, value V, replace bool) (*node[V], bool) {
 	p = p.Canonicalize()
 	if t.root == nil {
-		t.root = &node[V]{prefix: netutil.Prefix{}} // /0 anchor
+		t.root = t.newNode(netutil.Prefix{}) // /0 anchor
 	}
 	n := t.root
+	for {
+		if n.prefix == p {
+			if n.set && !replace {
+				return n, false
+			}
+			added := !n.set
+			n.value, n.set = value, true
+			if added {
+				t.size++
+			}
+			return n, added
+		}
+		// p is strictly inside n.prefix here.
+		child := &n.hi
+		if p.Bit(n.prefix.Len) == 0 {
+			child = &n.lo
+		}
+		c := *child
+		if c == nil {
+			nn := t.newNode(p)
+			nn.value, nn.set = value, true
+			*child = nn
+			t.size++
+			return nn, true
+		}
+		if c.prefix.ContainsPrefix(p) {
+			n = c
+			continue
+		}
+		if p.ContainsPrefix(c.prefix) {
+			// Splice p above c.
+			nn := t.newNode(p)
+			nn.value, nn.set = value, true
+			if c.prefix.Bit(p.Len) == 0 {
+				nn.lo = c
+			} else {
+				nn.hi = c
+			}
+			*child = nn
+			t.size++
+			return nn, true
+		}
+		// Diverged: create the longest common ancestor branching node.
+		anc := commonAncestor(p, c.prefix)
+		branch := t.newNode(anc)
+		nn := t.newNode(p)
+		nn.value, nn.set = value, true
+		if p.Bit(anc.Len) == 0 {
+			branch.lo = nn
+			branch.hi = c
+		} else {
+			branch.hi = nn
+			branch.lo = c
+		}
+		*child = branch
+		t.size++
+		return nn, true
+	}
+}
+
+// Inserter inserts a stream of prefixes into a tree, exploiting sorted
+// order. It keeps the spine of nodes along the previous insertion path;
+// when prefixes arrive in ascending (base, length) order — the order Walk
+// emits and the dataset writers produce — the next insertion point is
+// found by popping the spine instead of descending from the root, making
+// bulk construction from a sorted file linear in the number of prefixes.
+// Out-of-order prefixes fall back to a root descent, so results are
+// identical to calling Insert for any input order.
+type Inserter[V any] struct {
+	t    *Tree[V]
+	path []*node[V]
+	last netutil.Prefix
+	any  bool
+}
+
+// Inserter returns an Inserter feeding t.
+func (t *Tree[V]) Inserter() *Inserter[V] {
+	return &Inserter[V]{t: t, path: make([]*node[V], 0, 40)}
+}
+
+// Insert stores value under p, replacing any existing value, and reports
+// whether the prefix was newly inserted — Tree.Insert semantics.
+func (it *Inserter[V]) Insert(p netutil.Prefix, value V) bool {
+	t := it.t
+	p = p.Canonicalize()
+	if t.root == nil {
+		t.root = t.newNode(netutil.Prefix{}) // /0 anchor
+	}
+	if !it.any || p.Compare(it.last) <= 0 {
+		it.path = it.path[:0] // out of order: restart from the root
+	}
+	it.last, it.any = p, true
+	if len(it.path) == 0 {
+		it.path = append(it.path, t.root)
+	}
+	// Pop to the deepest spine node still containing p. Any node that
+	// contains a later prefix of a sorted stream also contains every
+	// prefix between them, so ancestors of upcoming prefixes are never
+	// popped and the descent below stays amortized constant.
+	for len(it.path) > 1 && !it.path[len(it.path)-1].prefix.ContainsPrefix(p) {
+		it.path = it.path[:len(it.path)-1]
+	}
+	n := it.path[len(it.path)-1]
 	for {
 		if n.prefix == p {
 			added := !n.set
@@ -58,17 +206,22 @@ func (t *Tree[V]) Insert(p netutil.Prefix, value V) bool {
 		}
 		c := *child
 		if c == nil {
-			*child = &node[V]{prefix: p, value: value, set: true}
+			nn := t.newNode(p)
+			nn.value, nn.set = value, true
+			*child = nn
 			t.size++
+			it.path = append(it.path, nn)
 			return true
 		}
 		if c.prefix.ContainsPrefix(p) {
+			it.path = append(it.path, c)
 			n = c
 			continue
 		}
 		if p.ContainsPrefix(c.prefix) {
 			// Splice p above c.
-			nn := &node[V]{prefix: p, value: value, set: true}
+			nn := t.newNode(p)
+			nn.value, nn.set = value, true
 			if c.prefix.Bit(p.Len) == 0 {
 				nn.lo = c
 			} else {
@@ -76,20 +229,24 @@ func (t *Tree[V]) Insert(p netutil.Prefix, value V) bool {
 			}
 			*child = nn
 			t.size++
+			it.path = append(it.path, nn)
 			return true
 		}
 		// Diverged: create the longest common ancestor branching node.
 		anc := commonAncestor(p, c.prefix)
-		branch := &node[V]{prefix: anc}
+		branch := t.newNode(anc)
+		nn := t.newNode(p)
+		nn.value, nn.set = value, true
 		if p.Bit(anc.Len) == 0 {
-			branch.lo = &node[V]{prefix: p, value: value, set: true}
+			branch.lo = nn
 			branch.hi = c
 		} else {
-			branch.hi = &node[V]{prefix: p, value: value, set: true}
+			branch.hi = nn
 			branch.lo = c
 		}
 		*child = branch
 		t.size++
+		it.path = append(it.path, branch, nn)
 		return true
 	}
 }
@@ -100,12 +257,9 @@ func commonAncestor(a, b netutil.Prefix) netutil.Prefix {
 	if b.Len < maxLen {
 		maxLen = b.Len
 	}
-	diff := uint32(a.Base) ^ uint32(b.Base)
-	var l uint8
-	for l = 0; l < maxLen; l++ {
-		if diff&(1<<(31-l)) != 0 {
-			break
-		}
+	l := uint8(bits.LeadingZeros32(uint32(a.Base) ^ uint32(b.Base)))
+	if l > maxLen {
+		l = maxLen
 	}
 	return netutil.Prefix{Base: a.Base, Len: l}.Canonicalize()
 }

@@ -397,3 +397,118 @@ func BenchmarkTrieVsLinear(b *testing.B) {
 		}
 	})
 }
+
+func TestInsertIfAbsent(t *testing.T) {
+	var tr Tree[string]
+	if !tr.InsertIfAbsent(mp("10.0.0.0/8"), "first") {
+		t.Fatal("InsertIfAbsent of new prefix reported absent-insert failure")
+	}
+	if tr.InsertIfAbsent(mp("10.0.0.0/8"), "second") {
+		t.Fatal("InsertIfAbsent of present prefix reported insert")
+	}
+	if v, ok := tr.Get(mp("10.0.0.0/8")); !ok || v != "first" {
+		t.Fatalf("Get = %q %v, want existing value kept", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// A structural (branch) node left by diverging inserts can later be
+	// claimed by InsertIfAbsent, exactly like Insert.
+	var tr2 Tree[string]
+	tr2.Insert(mp("10.0.0.0/24"), "a")
+	tr2.Insert(mp("10.0.1.0/24"), "b") // creates unset branch 10.0.0.0/23
+	if !tr2.InsertIfAbsent(mp("10.0.0.0/23"), "branch") {
+		t.Fatal("InsertIfAbsent could not claim structural node")
+	}
+	if v, ok := tr2.Get(mp("10.0.0.0/23")); !ok || v != "branch" {
+		t.Fatalf("Get(branch) = %q %v", v, ok)
+	}
+}
+
+// TestInsertIfAbsentMatchesInsert checks the single-traversal primitive
+// against the Get-then-Insert composition it replaces, over random trees.
+func TestInsertIfAbsentMatchesInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b Tree[int]
+	for i := 0; i < 5000; i++ {
+		p := netutil.Prefix{
+			Base: netutil.Addr(rng.Uint32()),
+			Len:  uint8(rng.Intn(25)),
+		}.Canonicalize()
+		gotA := a.InsertIfAbsent(p, i)
+		_, exists := b.Get(p)
+		gotB := false
+		if !exists {
+			gotB = b.Insert(p, i)
+		}
+		if gotA != gotB {
+			t.Fatalf("insert %v: InsertIfAbsent=%v, Get+Insert=%v", p, gotA, gotB)
+		}
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("Len mismatch: %d vs %d", a.Len(), b.Len())
+	}
+	ea, eb := a.Entries(), b.Entries()
+	for i := range ea {
+		if ea[i].Prefix != eb[i].Prefix || ea[i].Value != eb[i].Value {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+// TestInserterMatchesInsert checks that Inserter-built trees are
+// indistinguishable from Insert-built trees for sorted, reverse-sorted,
+// and random insertion orders, including duplicate-prefix replacement.
+func TestInserterMatchesInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base := make([]netutil.Prefix, 0, 600)
+	for i := 0; i < 600; i++ {
+		base = append(base, netutil.Prefix{Base: netutil.Addr(rng.Uint32()), Len: uint8(4 + rng.Intn(25))}.Canonicalize())
+	}
+	base = append(base, base[:50]...) // duplicates exercise replacement
+
+	orders := map[string]func([]netutil.Prefix){
+		"random": func([]netutil.Prefix) {},
+		"sorted": func(ps []netutil.Prefix) {
+			sort.Slice(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) < 0 })
+		},
+		"reverse": func(ps []netutil.Prefix) {
+			sort.Slice(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) > 0 })
+		},
+	}
+	for name, arrange := range orders {
+		ps := append([]netutil.Prefix(nil), base...)
+		arrange(ps)
+
+		want := &Tree[int]{}
+		got := &Tree[int]{}
+		ins := got.Inserter()
+		for i, p := range ps {
+			wa := want.Insert(p, i)
+			ga := ins.Insert(p, i)
+			if wa != ga {
+				t.Fatalf("%s: Insert(%v) added=%v, Inserter added=%v", name, p, wa, ga)
+			}
+		}
+		if want.Len() != got.Len() {
+			t.Fatalf("%s: Len: want %d, got %d", name, want.Len(), got.Len())
+		}
+		we, ge := want.Entries(), got.Entries()
+		if len(we) != len(ge) {
+			t.Fatalf("%s: Entries: want %d, got %d", name, len(we), len(ge))
+		}
+		for i := range we {
+			if we[i].Prefix != ge[i].Prefix || we[i].Value != ge[i].Value || we[i].Depth != ge[i].Depth ||
+				we[i].HasChildren != ge[i].HasChildren {
+				t.Fatalf("%s: entry %d: want %+v, got %+v", name, i, we[i], ge[i])
+			}
+		}
+		for _, p := range base {
+			wp, wv, wok := want.LongestMatch(p)
+			gp, gv, gok := got.LongestMatch(p)
+			if wp != gp || wv != gv || wok != gok {
+				t.Fatalf("%s: LongestMatch(%v) mismatch", name, p)
+			}
+		}
+	}
+}

@@ -10,11 +10,11 @@ package rpki
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"os"
 	"sort"
-	"strconv"
-	"strings"
 
 	"ipleasing/internal/netutil"
 	"ipleasing/internal/prefixtree"
@@ -167,40 +167,66 @@ func WriteCSV(w io.Writer, vrps []VRP) error {
 }
 
 // ReadCSV parses the CSV form written by WriteCSV (header optional).
+// The parser works on the scanner's byte view and interns the trust-anchor
+// column (a handful of distinct registry names across millions of VRPs),
+// so an archive of daily snapshots loads without per-line allocations.
 func ReadCSV(r io.Reader) ([]VRP, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	var out []VRP
+	if st, ok := r.(interface{ Stat() (os.FileInfo, error) }); ok {
+		if fi, err := st.Stat(); err == nil && fi.Size() > 0 {
+			// ~27 bytes per "AS64500,192.0.2.0/24,24,ta" row: one
+			// allocation for the whole snapshot instead of log(n) grows.
+			out = make([]VRP, 0, fi.Size()/24+4)
+		}
+	}
+	tas := make(map[string]string)
 	lineNum := 0
 	for sc.Scan() {
 		lineNum++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		if lineNum == 1 && strings.HasPrefix(strings.ToUpper(line), "ASN,") {
+		if lineNum == 1 && len(line) >= 4 && (line[0] == 'A' || line[0] == 'a') &&
+			(line[1] == 'S' || line[1] == 's') && (line[2] == 'N' || line[2] == 'n') && line[3] == ',' {
 			continue // header
 		}
-		fields := strings.Split(line, ",")
-		if len(fields) < 3 {
-			return nil, fmt.Errorf("rpki: line %d: want at least 3 fields, got %d", lineNum, len(fields))
+		asnField, rest := cutComma(line)
+		pfxField, rest := cutComma(rest)
+		mlField, rest := cutComma(rest)
+		if pfxField == nil || mlField == nil {
+			return nil, fmt.Errorf("rpki: line %d: want at least 3 fields", lineNum)
 		}
-		asnStr := strings.TrimPrefix(strings.ToUpper(strings.TrimSpace(fields[0])), "AS")
-		asn, err := strconv.ParseUint(asnStr, 10, 32)
+		asnField = bytes.TrimSpace(asnField)
+		if len(asnField) >= 2 && (asnField[0] == 'A' || asnField[0] == 'a') && (asnField[1] == 'S' || asnField[1] == 's') {
+			asnField = asnField[2:]
+		}
+		asn, err := parseU32(asnField)
 		if err != nil {
-			return nil, fmt.Errorf("rpki: line %d: bad ASN %q", lineNum, fields[0])
+			return nil, fmt.Errorf("rpki: line %d: bad ASN %q", lineNum, asnField)
 		}
-		p, err := netutil.ParsePrefix(strings.TrimSpace(fields[1]))
+		p, err := netutil.ParsePrefixBytes(bytes.TrimSpace(pfxField))
 		if err != nil {
 			return nil, fmt.Errorf("rpki: line %d: %v", lineNum, err)
 		}
-		ml, err := strconv.ParseUint(strings.TrimSpace(fields[2]), 10, 8)
+		ml, err := parseU32(bytes.TrimSpace(mlField))
 		if err != nil || ml > 32 || uint8(ml) < p.Len {
-			return nil, fmt.Errorf("rpki: line %d: bad max length %q", lineNum, fields[2])
+			return nil, fmt.Errorf("rpki: line %d: bad max length %q", lineNum, mlField)
 		}
-		v := VRP{ASN: uint32(asn), Prefix: p, MaxLen: uint8(ml)}
-		if len(fields) >= 4 {
-			v.TA = strings.TrimSpace(fields[3])
+		v := VRP{ASN: asn, Prefix: p, MaxLen: uint8(ml)}
+		if rest != nil {
+			taField, _ := cutComma(rest)
+			ta := bytes.TrimSpace(taField)
+			if len(ta) > 0 {
+				s, ok := tas[string(ta)]
+				if !ok {
+					s = string(ta)
+					tas[s] = s
+				}
+				v.TA = s
+			}
 		}
 		out = append(out, v)
 	}
@@ -208,6 +234,37 @@ func ReadCSV(r io.Reader) ([]VRP, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// cutComma splits b at the first comma: (field, rest). rest is nil when
+// no comma remains, distinguishing a missing trailing field from an
+// empty one.
+func cutComma(b []byte) ([]byte, []byte) {
+	if b == nil {
+		return nil, nil
+	}
+	if i := bytes.IndexByte(b, ','); i >= 0 {
+		return b[:i], b[i+1:]
+	}
+	return b, nil
+}
+
+// parseU32 parses an unsigned decimal from bytes without allocating.
+func parseU32(b []byte) (uint32, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("rpki: empty number")
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("rpki: bad digit %q", c)
+		}
+		v = v*10 + uint64(c-'0')
+		if v > 1<<32-1 {
+			return 0, fmt.Errorf("rpki: number out of range")
+		}
+	}
+	return uint32(v), nil
 }
 
 // NewSet builds a Set from a VRP slice.

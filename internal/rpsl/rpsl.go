@@ -11,6 +11,7 @@ package rpsl
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -94,46 +95,60 @@ func (o *Object) String() string {
 }
 
 // Reader decodes a stream of RPSL objects.
+//
+// The reader works on the scanner's byte view and interns attribute names
+// and short values: RIR bulk dumps repeat the same handful of names
+// (inetnum, netname, mnt-by, ...) and many values (status codes, country
+// codes, maintainer handles) millions of times, so interning turns the
+// dominant per-line string allocation into a map hit.
 type Reader struct {
 	s       *bufio.Scanner
 	lineNum int
-	pending string // a lookahead line, "" if none
-	hasPend bool
 	err     error
+	strs    map[string]string
 }
 
 // NewReader returns a Reader over r. Lines longer than 1 MiB are an error.
 func NewReader(r io.Reader) *Reader {
 	s := bufio.NewScanner(r)
 	s.Buffer(make([]byte, 64*1024), 1<<20)
-	return &Reader{s: s}
+	return &Reader{s: s, strs: make(map[string]string)}
 }
 
-func (r *Reader) nextLine() (string, bool) {
-	if r.hasPend {
-		r.hasPend = false
-		return r.pending, true
-	}
+func (r *Reader) nextLine() ([]byte, bool) {
 	if r.s.Scan() {
 		r.lineNum++
-		return r.s.Text(), true
+		return r.s.Bytes(), true
 	}
 	r.err = r.s.Err()
-	return "", false
+	return nil, false
 }
 
-func (r *Reader) unread(line string) {
-	r.pending = line
-	r.hasPend = true
+// intern returns b as a string, reusing a previous allocation for values
+// short enough to plausibly repeat (the map lookup on a byte slice does
+// not allocate).
+func (r *Reader) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > 64 {
+		return string(b) // long values never repeat; skip the always-miss lookup
+	}
+	if s, ok := r.strs[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	r.strs[s] = s
+	return s
 }
 
 // stripComment removes a '#' comment. RPSL values do not quote '#', so a
 // bare IndexByte is correct for RIR dump data.
-func stripComment(s string) string {
-	if i := strings.IndexByte(s, '#'); i >= 0 {
-		s = s[:i]
+func stripComment(b []byte) []byte {
+	if i := bytes.IndexByte(b, '#'); i >= 0 {
+		b = b[:i]
 	}
-	return strings.TrimRight(s, " \t")
+	return bytes.TrimRight(b, " \t")
 }
 
 // Next returns the next object in the stream, or io.EOF when exhausted.
@@ -141,71 +156,90 @@ func stripComment(s string) string {
 // between objects are skipped. Malformed attribute lines inside an object
 // produce an error identifying the line number.
 func (r *Reader) Next() (*Object, error) {
+	// A typical RIR dump object carries well under a dozen attributes;
+	// pre-sizing skips the first few append regrowths on every object.
+	obj := &Object{Attributes: make([]Attribute, 0, 8)}
+	if err := r.NextInto(obj); err != nil {
+		return nil, err
+	}
+	return obj, nil
+}
+
+// NextInto decodes the next object into obj, reusing its attribute slice.
+// Streaming consumers that convert each object before advancing use this
+// to avoid the per-object allocations of Next; attribute names and values
+// are interned strings, safe to retain across calls.
+func (r *Reader) NextInto(obj *Object) error {
+	obj.Attributes = obj.Attributes[:0]
 	// Skip blanks and comment lines to the start of an object.
-	var line string
+	var line []byte
 	var ok bool
 	for {
 		line, ok = r.nextLine()
 		if !ok {
 			if r.err != nil {
-				return nil, r.err
+				return r.err
 			}
-			return nil, io.EOF
+			return io.EOF
 		}
-		t := strings.TrimSpace(line)
-		if t == "" || strings.HasPrefix(t, "#") || strings.HasPrefix(t, "%") {
+		t := bytes.TrimSpace(line)
+		if len(t) == 0 || t[0] == '#' || t[0] == '%' {
 			continue
 		}
 		break
 	}
 
-	obj := &Object{}
 	for {
-		if strings.TrimSpace(line) == "" {
+		if len(bytes.TrimSpace(line)) == 0 {
 			break // end of object
 		}
 		switch {
-		case strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%"):
+		case line[0] == '#' || line[0] == '%':
 			// comment line inside an object: skip
 		case line[0] == ' ' || line[0] == '\t' || line[0] == '+':
 			// Continuation of the previous attribute.
 			if len(obj.Attributes) == 0 {
-				return nil, fmt.Errorf("rpsl: line %d: continuation with no attribute", r.lineNum)
+				return fmt.Errorf("rpsl: line %d: continuation with no attribute", r.lineNum)
 			}
-			cont := line[1:]
-			cont = strings.TrimSpace(stripComment(cont))
+			cont := bytes.TrimSpace(stripComment(line[1:]))
 			last := &obj.Attributes[len(obj.Attributes)-1]
-			if cont != "" {
+			if len(cont) != 0 {
 				if last.Value != "" {
-					last.Value += " " + cont
+					last.Value += " " + string(cont)
 				} else {
-					last.Value = cont
+					last.Value = r.intern(cont)
 				}
 			}
 		default:
-			colon := strings.IndexByte(line, ':')
+			colon := bytes.IndexByte(line, ':')
 			if colon <= 0 {
-				return nil, fmt.Errorf("rpsl: line %d: malformed attribute line %q", r.lineNum, line)
+				return fmt.Errorf("rpsl: line %d: malformed attribute line %q", r.lineNum, line)
 			}
-			name := strings.ToLower(strings.TrimSpace(line[:colon]))
-			if strings.ContainsAny(name, " \t") {
-				return nil, fmt.Errorf("rpsl: line %d: malformed attribute name %q", r.lineNum, name)
+			name := bytes.TrimSpace(line[:colon])
+			if bytes.ContainsAny(name, " \t") {
+				return fmt.Errorf("rpsl: line %d: malformed attribute name %q", r.lineNum, name)
 			}
-			value := strings.TrimSpace(stripComment(line[colon+1:]))
-			obj.Attributes = append(obj.Attributes, Attribute{Name: name, Value: value})
+			for _, c := range name {
+				if 'A' <= c && c <= 'Z' {
+					name = bytes.ToLower(name)
+					break
+				}
+			}
+			value := bytes.TrimSpace(stripComment(line[colon+1:]))
+			obj.Attributes = append(obj.Attributes, Attribute{Name: r.intern(name), Value: r.intern(value)})
 		}
 		line, ok = r.nextLine()
 		if !ok {
 			if r.err != nil {
-				return nil, r.err
+				return r.err
 			}
 			break // EOF terminates the last object
 		}
 	}
 	if len(obj.Attributes) == 0 {
-		return nil, io.EOF
+		return io.EOF
 	}
-	return obj, nil
+	return nil
 }
 
 // ReadAll decodes every object in r.

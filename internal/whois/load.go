@@ -11,6 +11,7 @@ import (
 	"ipleasing/internal/arinwhois"
 	"ipleasing/internal/lacnicwhois"
 	"ipleasing/internal/netutil"
+	"ipleasing/internal/par"
 	"ipleasing/internal/rpsl"
 )
 
@@ -25,14 +26,16 @@ func LoadRPSL(reg Registry, r io.Reader) (*Database, error) {
 	}
 	db := NewDatabase(reg)
 	rd := rpsl.NewReader(r)
+	var obj rpsl.Object // reused across records; extracted strings are interned
 	for {
-		o, err := rd.Next()
+		err := rd.NextInto(&obj)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, fmt.Errorf("whois: %v dump: %w", reg, err)
 		}
+		o := &obj
 		switch o.Class() {
 		case "inetnum":
 			rng, err := netutil.ParseRange(o.Key())
@@ -363,19 +366,32 @@ func WriteFile(db *Database, path string) error {
 }
 
 // LoadDir loads all five registry dumps from dir (files named per
-// DumpFileName). Missing files yield empty databases.
+// DumpFileName). Missing files yield empty databases. The five dialect
+// parsers are independent, so the dumps are parsed concurrently; the
+// result is identical to a serial load.
 func LoadDir(dir string) (*Dataset, error) {
-	ds := NewDataset()
-	for _, reg := range Registries {
+	dbs := make([]*Database, len(Registries))
+	err := par.Each(len(Registries), func(i int) error {
+		reg := Registries[i]
 		path := filepath.Join(dir, DumpFileName(reg))
 		if _, err := os.Stat(path); os.IsNotExist(err) {
-			continue
+			return nil
 		}
 		db, err := LoadFile(reg, path)
 		if err != nil {
-			return nil, fmt.Errorf("whois: loading %s: %w", path, err)
+			return fmt.Errorf("whois: loading %s: %w", path, err)
 		}
-		ds.DBs[reg] = db
+		dbs[i] = db
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds := NewDataset()
+	for i, db := range dbs {
+		if db != nil {
+			ds.DBs[Registries[i]] = db
+		}
 	}
 	return ds, nil
 }

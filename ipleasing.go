@@ -23,6 +23,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/debug"
+	"sync"
 
 	"ipleasing/internal/abuse"
 	"ipleasing/internal/as2org"
@@ -38,6 +40,7 @@ import (
 	"ipleasing/internal/legacy"
 	"ipleasing/internal/market"
 	"ipleasing/internal/netutil"
+	"ipleasing/internal/par"
 	"ipleasing/internal/report"
 	"ipleasing/internal/rpki"
 	"ipleasing/internal/spamhaus"
@@ -168,61 +171,114 @@ type Dataset struct {
 	Exclusions []Prefix
 	EvalISPs   []ISPRef
 	Geo        *GeoPanel // nil when the dataset carries no geo directory
+
+	// trees caches the per-registry allocation trees across Infer runs
+	// over this dataset (they depend only on the WHOIS data and the
+	// hyper-specific cut-off). Options.DisableCaches bypasses it.
+	trees *core.TreeCache
 }
 
 // LoadDataset loads a dataset directory written by World.WriteDir (or
-// assembled by hand from real data in the same formats).
+// assembled by hand from real data in the same formats). The inputs are
+// independent files in independent formats, so they are parsed
+// concurrently — five WHOIS dialects (themselves fanned out per registry
+// inside whois.LoadDir), the two MRT RIBs, the relationship/organisation
+// datasets, the abuse feeds, the RPKI archive, and the evaluation files —
+// and the loaded dataset is identical to a serial load. The merged
+// routing table is frozen before return, so the first Infer pays no
+// indexing cost.
 func LoadDataset(dir string) (*Dataset, error) {
+	defer relaxGCForLoad()()
 	ds := &Dataset{Dir: dir}
-	var err error
-	if ds.Whois, err = whois.LoadDir(dir); err != nil {
-		return nil, err
-	}
-	ds.Table = &bgp.Table{}
-	for _, name := range []string{synth.FileRIBRouteviews, synth.FileRIBRIS} {
-		path := filepath.Join(dir, name)
-		if _, serr := os.Stat(path); serr == nil {
-			if err = ds.Table.LoadMRTFile(path); err != nil {
-				return nil, err
+	ribNames := []string{synth.FileRIBRouteviews, synth.FileRIBRIS}
+	ribs := make([]*bgp.Table, len(ribNames))
+	var g par.Group
+	g.Go(func() (err error) {
+		ds.Whois, err = whois.LoadDir(dir)
+		return err
+	})
+	for i, name := range ribNames {
+		i, name := i, name
+		g.Go(func() error {
+			path := filepath.Join(dir, name)
+			if _, serr := os.Stat(path); serr != nil {
+				return nil
 			}
+			tbl := &bgp.Table{}
+			if err := tbl.LoadMRTFile(path); err != nil {
+				return err
+			}
+			ribs[i] = tbl
+			return nil
+		})
+	}
+	g.Go(func() (err error) {
+		ds.Rel, err = loadFile(dir, synth.FileASRel, asrel.Parse)
+		return err
+	})
+	g.Go(func() (err error) {
+		ds.Orgs, err = loadFile(dir, synth.FileAS2Org, as2org.Parse)
+		return err
+	})
+	g.Go(func() (err error) {
+		ds.Hijackers, err = loadFile(dir, synth.FileHijackers, hijack.Parse)
+		return err
+	})
+	g.Go(func() (err error) {
+		ds.Brokers, err = loadFile(dir, synth.FileBrokers, brokers.Parse)
+		return err
+	})
+	g.Go(func() (err error) {
+		ds.Drop, err = spamhaus.LoadDir(filepath.Join(dir, synth.DirASNDrop))
+		return err
+	})
+	g.Go(func() (err error) {
+		ds.RPKI, err = rpki.LoadDir(filepath.Join(dir, synth.DirRPKI))
+		return err
+	})
+	g.Go(func() (err error) {
+		ds.Truth, err = loadFile(dir, synth.FileGroundTruth, synth.ReadTruth)
+		return err
+	})
+	g.Go(func() (err error) {
+		ds.Exclusions, err = loadFile(dir, synth.FileEvalExclusions, synth.ReadPrefixList)
+		return err
+	})
+	g.Go(func() error {
+		isps, err := loadFile(dir, synth.FileEvalISPs, synth.ReadEvalISPs)
+		if err != nil {
+			return err
+		}
+		for _, isp := range isps {
+			ds.EvalISPs = append(ds.EvalISPs, ISPRef{Registry: isp.Registry, Name: isp.Name})
+		}
+		return nil
+	})
+	g.Go(func() (err error) {
+		if geoDir := filepath.Join(dir, synth.DirGeo); dirExists(geoDir) {
+			ds.Geo, err = geoip.LoadDir(geoDir)
+		}
+		return err
+	})
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	// Merge the collector tables in fixed order (vantage-point counts are
+	// summed per prefix and origin, so the merged view matches a serial
+	// load of the same files), then index for allocation-free queries.
+	ds.Table = &bgp.Table{}
+	for _, tbl := range ribs {
+		if tbl == nil {
+			continue
+		}
+		if ds.Table.NumPrefixes() == 0 {
+			ds.Table = tbl // adopt the first collector's table wholesale
+		} else {
+			ds.Table.Merge(tbl)
 		}
 	}
-	if ds.Rel, err = loadFile(dir, synth.FileASRel, asrel.Parse); err != nil {
-		return nil, err
-	}
-	if ds.Orgs, err = loadFile(dir, synth.FileAS2Org, as2org.Parse); err != nil {
-		return nil, err
-	}
-	if ds.Hijackers, err = loadFile(dir, synth.FileHijackers, hijack.Parse); err != nil {
-		return nil, err
-	}
-	if ds.Brokers, err = loadFile(dir, synth.FileBrokers, brokers.Parse); err != nil {
-		return nil, err
-	}
-	if ds.Drop, err = spamhaus.LoadDir(filepath.Join(dir, synth.DirASNDrop)); err != nil {
-		return nil, err
-	}
-	if ds.RPKI, err = rpki.LoadDir(filepath.Join(dir, synth.DirRPKI)); err != nil {
-		return nil, err
-	}
-	if ds.Truth, err = loadFile(dir, synth.FileGroundTruth, synth.ReadTruth); err != nil {
-		return nil, err
-	}
-	if ds.Exclusions, err = loadFile(dir, synth.FileEvalExclusions, synth.ReadPrefixList); err != nil {
-		return nil, err
-	}
-	isps, err := loadFile(dir, synth.FileEvalISPs, synth.ReadEvalISPs)
-	if err != nil {
-		return nil, err
-	}
-	for _, isp := range isps {
-		ds.EvalISPs = append(ds.EvalISPs, ISPRef{Registry: isp.Registry, Name: isp.Name})
-	}
-	if geoDir := filepath.Join(dir, synth.DirGeo); dirExists(geoDir) {
-		if ds.Geo, err = geoip.LoadDir(geoDir); err != nil {
-			return nil, err
-		}
-	}
+	ds.Table.Freeze()
+	ds.trees = core.NewTreeCache()
 	return ds, nil
 }
 
@@ -230,6 +286,43 @@ func dirExists(path string) bool {
 	st, err := os.Stat(path)
 	return err == nil && st.IsDir()
 }
+
+// relaxGCForLoad raises the collector's heap-growth target while a bulk
+// dataset load is in flight and returns a function restoring the previous
+// setting. Loading allocates tens of megabytes of long-lived structures in
+// a burst; under the default target the collector repeatedly re-marks the
+// half-built dataset mid-load. Nested and concurrent loads share one
+// raise/restore pair, and an explicit GOGC at or above the load target
+// (or "off") is left untouched.
+func relaxGCForLoad() func() {
+	const loadGCPercent = 300
+	gcLoadMu.Lock()
+	gcLoadDepth++
+	if gcLoadDepth == 1 {
+		prev := debug.SetGCPercent(loadGCPercent)
+		if prev < 0 || prev >= loadGCPercent {
+			debug.SetGCPercent(prev)
+		} else {
+			gcLoadRestore = prev
+		}
+	}
+	gcLoadMu.Unlock()
+	return func() {
+		gcLoadMu.Lock()
+		gcLoadDepth--
+		if gcLoadDepth == 0 && gcLoadRestore >= 0 {
+			debug.SetGCPercent(gcLoadRestore)
+			gcLoadRestore = -1
+		}
+		gcLoadMu.Unlock()
+	}
+}
+
+var (
+	gcLoadMu      sync.Mutex
+	gcLoadDepth   int
+	gcLoadRestore = -1
+)
 
 // AnalyzeGeo measures geolocation-database disagreement over leased
 // versus non-leased announced prefixes (§8 extension). Returns nil when
@@ -270,7 +363,7 @@ func loadFile[T any](dir, name string, parse func(r io.Reader) (T, error)) (T, e
 
 // Pipeline builds a core pipeline over the dataset.
 func (d *Dataset) Pipeline(opts Options) *core.Pipeline {
-	return &core.Pipeline{Whois: d.Whois, Table: d.Table, Rel: d.Rel, Orgs: d.Orgs, Opts: opts}
+	return &core.Pipeline{Whois: d.Whois, Table: d.Table, Rel: d.Rel, Orgs: d.Orgs, Opts: opts, Trees: d.trees}
 }
 
 // Infer runs the paper's methodology (§5.1–§5.2).
@@ -341,7 +434,7 @@ func (d *Dataset) LoadMarket() ([]MarketSnapshot, error) {
 // reports lease churn and durations.
 func (d *Dataset) AnalyzeMarket(snaps []MarketSnapshot, opts Options) *MarketReport {
 	return market.Analyze(market.Inputs{
-		Whois: d.Whois, Rel: d.Rel, Orgs: d.Orgs, Opts: opts,
+		Whois: d.Whois, Rel: d.Rel, Orgs: d.Orgs, Opts: opts, Trees: d.trees,
 	}, snaps)
 }
 

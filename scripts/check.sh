@@ -1,0 +1,45 @@
+#!/bin/sh
+# Full verification gate: vet, build, race-enabled tests, then a benchmark
+# smoke run whose results land in BENCH_core.json at the repo root.
+# Usage: scripts/check.sh [-quick]   (-quick skips the race tests)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+quick=0
+[ "${1:-}" = "-quick" ] && quick=1
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+if [ "$quick" = "0" ]; then
+	echo "== go test -race ./..."
+	go test -race ./...
+else
+	echo "== go test ./..."
+	go test ./...
+fi
+
+echo "== benchmark smoke (BenchmarkTable1, BenchmarkLoadDataset)"
+bench_out=$(go test -run '^$' -bench 'BenchmarkTable1$|BenchmarkLoadDataset' -benchmem -benchtime 3x .)
+echo "$bench_out"
+
+# Render the benchmark lines as a JSON document for machine consumption.
+echo "$bench_out" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (!first) printf ",\n"
+	first = 0
+	printf "  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, $2, $3, $5, $7
+}
+END { if (!first) printf "\n"; print "}" }
+' > BENCH_core.json
+
+echo "== wrote BENCH_core.json"
+cat BENCH_core.json
