@@ -1,0 +1,122 @@
+package ipleasing
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ipleasing/internal/core"
+	"ipleasing/internal/faultgen"
+)
+
+// inferCSV strict-loads dir, runs the inference, and renders the sorted
+// CSV — the byte-exact fingerprint the equivalence assertions compare.
+func inferCSV(t *testing.T, dir string) []byte {
+	t.Helper()
+	ds, err := LoadDataset(dir)
+	if err != nil {
+		t.Fatalf("strict LoadDataset: %v", err)
+	}
+	res := ds.Infer(Options{})
+	infs := res.All()
+	SortInferences(infs)
+	var buf bytes.Buffer
+	if err := core.WriteCSV(&buf, infs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFaultInjectionMatrix drives the seeded corruptor over generated
+// datasets: the strict loader must fail with a record-locating error, the
+// lenient loader must recover with per-source skip counts matching the
+// injected faults exactly, and once the damage is repaired the strict
+// inference must be byte-identical to the clean baseline.
+func TestFaultInjectionMatrix(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			dir := writeWorld(t, 100+seed)
+			baseline := inferCSV(t, dir)
+
+			fr, err := faultgen.Corrupt(dir, seed)
+			if err != nil {
+				t.Fatalf("Corrupt: %v", err)
+			}
+			if len(fr.Mutations) < 10 {
+				t.Fatalf("only %d mutations applied", len(fr.Mutations))
+			}
+
+			if _, err := LoadDataset(dir); err == nil {
+				t.Fatal("strict load succeeded on corrupted dataset")
+			} else if msg := err.Error(); !strings.Contains(msg, "line ") &&
+				!strings.Contains(msg, "offset ") && !strings.Contains(msg, "record ") {
+				t.Errorf("strict error does not locate the record: %v", err)
+			}
+
+			ds, sum, err := LoadDatasetReport(dir, LenientLoad())
+			if err != nil {
+				t.Fatalf("lenient load of corrupted dataset: %v", err)
+			}
+			if sum.Clean() {
+				t.Error("lenient summary claims clean load of corrupted data")
+			}
+			want := fr.ExpectedSkips()
+			for _, rep := range sum.Reports {
+				if rep.Skipped != want[rep.Source] {
+					t.Errorf("source %s: skipped %d records, want %d (%s)",
+						rep.Source, rep.Skipped, want[rep.Source], rep)
+				}
+			}
+			for _, src := range fr.TruncatedSources() {
+				rep := sum.Report(src)
+				if rep == nil || !rep.Truncated {
+					t.Errorf("source %s not marked truncated", src)
+				}
+			}
+			// Skipped records must carry locating samples.
+			for _, rep := range sum.Reports {
+				if rep.Skipped > 0 && len(rep.ErrorSamples) == 0 {
+					t.Errorf("source %s skipped %d records but sampled no errors",
+						rep.Source, rep.Skipped)
+				}
+			}
+			// The degraded dataset still supports the core inference —
+			// the truncated RIB contributes its partial table.
+			if res := ds.Infer(Options{}); res.TotalBGPPrefixes == 0 {
+				t.Error("lenient inference saw no BGP prefixes despite partial RIB")
+			}
+
+			if err := fr.Restore(); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if got := inferCSV(t, dir); !bytes.Equal(got, baseline) {
+				t.Error("inference after repair differs from the clean baseline")
+			}
+		})
+	}
+}
+
+// TestCorruptDeterministic locks the corruptor's seed contract: the same
+// seed applies the same mutations at the same positions.
+func TestCorruptDeterministic(t *testing.T) {
+	dirA := writeWorld(t, 200)
+	dirB := writeWorld(t, 200)
+	frA, err := faultgen.Corrupt(dirA, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frB, err := faultgen.Corrupt(dirB, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frA.Mutations) != len(frB.Mutations) {
+		t.Fatalf("mutation counts differ: %d vs %d", len(frA.Mutations), len(frB.Mutations))
+	}
+	for i := range frA.Mutations {
+		if frA.Mutations[i] != frB.Mutations[i] {
+			t.Errorf("mutation %d differs: %+v vs %+v", i, frA.Mutations[i], frB.Mutations[i])
+		}
+	}
+}

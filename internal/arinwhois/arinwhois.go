@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ipleasing/internal/diag"
 	"ipleasing/internal/netutil"
 	"ipleasing/internal/rpsl"
 )
@@ -65,7 +66,19 @@ type Database struct {
 // Parse decodes an ARIN bulk-WHOIS dump. Records of unknown classes are
 // skipped; malformed known records are an error.
 func Parse(r io.Reader) (*Database, error) {
+	return ParseWith(r, nil)
+}
+
+// ParseWith is Parse threaded through a load-diagnostics collector. A nil
+// collector (or strict options) keeps Parse's fail-fast behavior; in
+// lenient mode malformed lines and records are skipped and accounted.
+func ParseWith(r io.Reader, c *diag.Collector) (*Database, error) {
 	rd := rpsl.NewReader(r)
+	if !c.Strict() {
+		rd.OnBadLine = func(line int, err error) error {
+			return c.Skip(line, -1, err)
+		}
+	}
 	db := &Database{}
 	var o rpsl.Object // reused across records; extracted strings are interned
 	for i := 0; ; i++ {
@@ -80,22 +93,32 @@ func Parse(r io.Reader) (*Database, error) {
 		case "nethandle":
 			n, err := netFromObject(&o)
 			if err != nil {
-				return nil, fmt.Errorf("arinwhois: record %d: %w", i, err)
+				if err := c.Skip(i, -1, fmt.Errorf("arinwhois: record %d: %w", i, err)); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			db.Nets = append(db.Nets, n)
 		case "ashandle":
 			a, err := asFromObject(&o)
 			if err != nil {
-				return nil, fmt.Errorf("arinwhois: record %d: %w", i, err)
+				if err := c.Skip(i, -1, fmt.Errorf("arinwhois: record %d: %w", i, err)); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			db.ASes = append(db.ASes, a)
 		case "orgid":
 			g, err := orgFromObject(&o)
 			if err != nil {
-				return nil, fmt.Errorf("arinwhois: record %d: %w", i, err)
+				if err := c.Skip(i, -1, fmt.Errorf("arinwhois: record %d: %w", i, err)); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			db.Orgs = append(db.Orgs, g)
 		}
+		c.Parsed()
 	}
 	return db, nil
 }

@@ -19,6 +19,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"ipleasing/internal/diag"
 )
 
 // Map is the AS→organisation mapping.
@@ -86,6 +88,13 @@ func (m *Map) NumASes() int { return len(m.asOrg) }
 
 // Parse reads the CAIDA pipe format.
 func Parse(r io.Reader) (*Map, error) {
+	return ParseWith(r, nil)
+}
+
+// ParseWith is Parse threaded through a load-diagnostics collector. A nil
+// collector (or strict options) keeps Parse's fail-fast behavior; in
+// lenient mode malformed lines are skipped and accounted.
+func ParseWith(r io.Reader, c *diag.Collector) (*Map, error) {
 	m := New()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
@@ -98,11 +107,15 @@ func Parse(r io.Reader) (*Map, error) {
 		}
 		fields := strings.Split(line, "|")
 		if len(fields) < 4 {
-			return nil, fmt.Errorf("as2org: line %d: want >=4 fields, got %d", lineNum, len(fields))
+			if err := c.Skip(lineNum, -1, fmt.Errorf("as2org: line %d: want >=4 fields, got %d", lineNum, len(fields))); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if asn, err := strconv.ParseUint(fields[0], 10, 32); err == nil {
 			// AS line: asn|changed|aut_name|org_id|opaque_id|source
 			m.AddAS(uint32(asn), fields[3])
+			c.Parsed()
 			continue
 		}
 		// Org line: org_id|changed|org_name|country|source
@@ -111,6 +124,7 @@ func Parse(r io.Reader) (*Map, error) {
 			cc = fields[3]
 		}
 		m.AddOrg(fields[0], fields[2], cc)
+		c.Parsed()
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

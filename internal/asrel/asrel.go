@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"ipleasing/internal/diag"
 )
 
 // Rel is the relationship type between two ASes, from the first AS's
@@ -155,6 +157,13 @@ func (g *Graph) InCustomerCone(provider, asn uint32) bool {
 // view — no per-line string or field-split allocations — since relationship
 // files run to hundreds of thousands of edges.
 func Parse(r io.Reader) (*Graph, error) {
+	return ParseWith(r, nil)
+}
+
+// ParseWith is Parse threaded through a load-diagnostics collector. A nil
+// collector (or strict options) keeps Parse's fail-fast behavior; in
+// lenient mode malformed lines are skipped and accounted.
+func ParseWith(r io.Reader, c *diag.Collector) (*Graph, error) {
 	g := New()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
@@ -169,12 +178,18 @@ func Parse(r io.Reader) (*Graph, error) {
 		bField, rest := cutPipe(rest)
 		relField, _ := cutPipe(rest)
 		if relField == nil {
-			return nil, fmt.Errorf("asrel: line %d: want 3 fields", lineNum)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("asrel: line %d: want 3 fields", lineNum)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		a, ok1 := parseASN(aField)
 		b, ok2 := parseASN(bField)
 		if !ok1 || !ok2 {
-			return nil, fmt.Errorf("asrel: line %d: malformed %q", lineNum, line)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("asrel: line %d: malformed %q", lineNum, line)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		switch {
 		case len(relField) == 2 && relField[0] == '-' && relField[1] == '1':
@@ -182,8 +197,12 @@ func Parse(r io.Reader) (*Graph, error) {
 		case len(relField) == 1 && relField[0] == '0':
 			g.AddP2P(a, b)
 		default:
-			return nil, fmt.Errorf("asrel: line %d: unknown relationship %q", lineNum, relField)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("asrel: line %d: unknown relationship %q", lineNum, relField)); err != nil {
+				return nil, err
+			}
+			continue
 		}
+		c.Parsed()
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

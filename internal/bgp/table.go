@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"ipleasing/internal/diag"
 	"ipleasing/internal/mrt"
 	"ipleasing/internal/netutil"
 	"ipleasing/internal/prefixtree"
@@ -328,25 +329,42 @@ func (t *Table) computeRoutedAddressSpace() uint64 {
 // skipped. Entries whose AS_PATH is missing or empty are ignored; paths
 // ending in an AS_SET contribute every set member as an origin.
 func (t *Table) LoadMRT(r io.Reader) error {
+	return t.LoadMRTWith(r, nil)
+}
+
+// LoadMRTWith is LoadMRT threaded through a load-diagnostics collector. A
+// nil collector (or strict options) keeps LoadMRT's fail-fast behavior. In
+// lenient mode a record whose body fails to decode is skipped (MRT records
+// are length-prefixed, so framing survives a bad body), while a
+// reader-level failure — truncation mid-record, implausible length — ends
+// the load keeping the partial table, with the report marked Truncated.
+func (t *Table) LoadMRTWith(r io.Reader, c *diag.Collector) error {
 	rd := mrt.NewReader(r)
 	add := func(p netutil.Prefix, origin uint32) { t.AddRoute(p, origin) }
-	for {
-		rec, err := rd.NextShared()
+	for rec := 1; ; rec++ {
+		off := rd.Offset()
+		raw, err := rd.NextShared()
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
-			return err
+			// Header or body failure: the length-prefixed framing is lost,
+			// so nothing past this point can be decoded.
+			return c.Truncate(off, err)
 		}
-		if rec.Type != mrt.TypeTableDumpV2 || rec.Subtype != mrt.SubtypeRIBIPv4Unicast {
+		if raw.Type != mrt.TypeTableDumpV2 || raw.Subtype != mrt.SubtypeRIBIPv4Unicast {
 			continue
 		}
 		// Origins-only decode: no per-entry attribute or path values are
 		// materialised, and the record body buffer is reused across
 		// records (nothing below retains it).
-		if err := mrt.DecodeRIBIPv4Origins(rec.Body, add); err != nil {
-			return fmt.Errorf("bgp: %w", err)
+		if err := mrt.DecodeRIBIPv4Origins(raw.Body, add); err != nil {
+			if err := c.Skip(rec, off, fmt.Errorf("bgp: %w", err)); err != nil {
+				return err
+			}
+			continue
 		}
+		c.Parsed()
 	}
 }
 
@@ -404,12 +422,19 @@ func ReadPathsFile(path string) ([][]uint32, error) {
 
 // LoadMRTFile merges one MRT file into the table.
 func (t *Table) LoadMRTFile(path string) error {
+	return t.LoadMRTFileWith(path, nil)
+}
+
+// LoadMRTFileWith is LoadMRTFile threaded through a load-diagnostics
+// collector.
+func (t *Table) LoadMRTFileWith(path string, c *diag.Collector) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := t.LoadMRT(f); err != nil {
+	c.SetFile(path)
+	if err := t.LoadMRTWith(f, c); err != nil {
 		return fmt.Errorf("bgp: %s: %w", path, err)
 	}
 	return nil

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"ipleasing/internal/diag"
 	"ipleasing/internal/whois"
 )
 
@@ -27,8 +28,12 @@ type List struct {
 	Brokers []Broker
 }
 
-// ByRegistry returns the brokers registered with reg.
+// ByRegistry returns the brokers registered with reg. A nil list
+// (degraded dataset with no broker source) has none.
 func (l *List) ByRegistry(reg whois.Registry) []Broker {
+	if l == nil {
+		return nil
+	}
 	var out []Broker
 	for _, b := range l.Brokers {
 		if b.Registry == reg {
@@ -38,12 +43,32 @@ func (l *List) ByRegistry(reg whois.Registry) []Broker {
 	return out
 }
 
-// Len returns the number of brokers on the list.
-func (l *List) Len() int { return len(l.Brokers) }
+// All returns every broker on the list (nil for a nil list).
+func (l *List) All() []Broker {
+	if l == nil {
+		return nil
+	}
+	return l.Brokers
+}
+
+// Len returns the number of brokers on the list (0 for a nil list).
+func (l *List) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.Brokers)
+}
 
 // Parse reads a broker list: "REGISTRY|Company Name" lines with '#'
 // comments.
 func Parse(r io.Reader) (*List, error) {
+	return ParseWith(r, nil)
+}
+
+// ParseWith is Parse threaded through a load-diagnostics collector. A nil
+// collector (or strict options) keeps Parse's fail-fast behavior; in
+// lenient mode malformed lines are skipped and accounted.
+func ParseWith(r io.Reader, c *diag.Collector) (*List, error) {
 	sc := bufio.NewScanner(r)
 	l := &List{}
 	lineNum := 0
@@ -55,17 +80,27 @@ func Parse(r io.Reader) (*List, error) {
 		}
 		idx := strings.IndexByte(line, '|')
 		if idx <= 0 {
-			return nil, fmt.Errorf("brokers: line %d: want REGISTRY|NAME, got %q", lineNum, line)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("brokers: line %d: want REGISTRY|NAME, got %q", lineNum, line)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		reg, err := whois.ParseRegistry(line[:idx])
 		if err != nil {
-			return nil, fmt.Errorf("brokers: line %d: %v", lineNum, err)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("brokers: line %d: %v", lineNum, err)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		name := strings.TrimSpace(line[idx+1:])
 		if name == "" {
-			return nil, fmt.Errorf("brokers: line %d: empty broker name", lineNum)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("brokers: line %d: empty broker name", lineNum)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		l.Brokers = append(l.Brokers, Broker{Registry: reg, Name: name})
+		c.Parsed()
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -88,7 +88,7 @@ func Curate(in Inputs) *Reference {
 		handlesByReg[reg] = handles
 		ref.MaintainerHandles += len(handles)
 	}
-	for _, b := range in.Brokers.Brokers {
+	for _, b := range in.Brokers.All() {
 		switch seenBroker[b.Name] {
 		case brokers.ExactMatch:
 			ref.BrokersExact++

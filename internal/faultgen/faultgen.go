@@ -1,0 +1,322 @@
+// Package faultgen deterministically corrupts an on-disk dataset
+// directory — the kinds of damage real feed mirrors exhibit: truncated
+// MRT transfers, garbage lines interleaved in WHOIS dumps, invalid CIDRs
+// in VRP snapshots and geofeeds, duplicated registry objects, CRLF line
+// noise — and records exactly what it broke so tests can assert the
+// lenient loader's accounting against ground truth.
+//
+// Corruption is seeded and reproducible: the same directory and seed
+// yield the same mutations. Originals are kept in memory; Restore puts
+// every mutated file back byte-for-byte.
+package faultgen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ipleasing/internal/synth"
+	"ipleasing/internal/whois"
+)
+
+// Mutation kinds.
+const (
+	KindMRTTruncate = "mrt-truncate" // cut an MRT RIB mid-record
+	KindGarbageLine = "garbage-line" // interleave an unparseable line
+	KindBadCIDR     = "bad-cidr"     // insert a record with an invalid prefix
+	KindDuplicate   = "duplicate"    // duplicate a well-formed object
+	KindCRLFNoise   = "crlf-noise"   // rewrite a text file with CRLF endings
+)
+
+// Mutation is one applied corruption and what a loader must make of it.
+type Mutation struct {
+	File   string // path relative to the dataset directory
+	Source string // logical source name as the load reports name it
+	Kind   string // one of the Kind constants
+	Detail string // human-readable description of the damage
+	// ExpectSkips is the number of records a lenient load must skip —
+	// no more, no fewer — because of this mutation.
+	ExpectSkips int
+	// ExpectTruncated marks mutations that must leave the source's
+	// report flagged Truncated (partial data kept).
+	ExpectTruncated bool
+	// FatalStrict marks mutations that must abort a strict load on
+	// their own. Benign noise (duplicates, CRLF) is not fatal.
+	FatalStrict bool
+}
+
+// Result records an applied corruption run.
+type Result struct {
+	Dir       string
+	Seed      int64
+	Mutations []Mutation
+
+	backups map[string][]byte // relative path → original bytes
+}
+
+// ExpectedSkips sums ExpectSkips per logical source.
+func (r *Result) ExpectedSkips() map[string]int {
+	out := make(map[string]int)
+	for _, m := range r.Mutations {
+		out[m.Source] += m.ExpectSkips
+	}
+	return out
+}
+
+// TruncatedSources returns the sources whose reports must be flagged
+// Truncated.
+func (r *Result) TruncatedSources() []string {
+	var out []string
+	for _, m := range r.Mutations {
+		if m.ExpectTruncated {
+			out = append(out, m.Source)
+		}
+	}
+	return out
+}
+
+// Restore writes every mutated file back to its original content.
+func (r *Result) Restore() error {
+	for rel, data := range r.backups {
+		if err := os.WriteFile(filepath.Join(r.Dir, rel), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Corrupt applies the full mutation matrix to a dataset directory written
+// by synth.World.WriteDir (or any directory in the same layout): one
+// mutation of every kind across every source family. It returns the
+// applied mutations with their expected lenient-load accounting.
+func Corrupt(dir string, seed int64) (*Result, error) {
+	rnd := rand.New(rand.NewSource(seed))
+	r := &Result{Dir: dir, Seed: seed, backups: make(map[string][]byte)}
+
+	// Truncate one MRT RIB mid-record: strict loses the file, lenient
+	// keeps the table decoded before the cut.
+	if err := r.truncateMRT(synth.FileRIBRouteviews, rnd); err != nil {
+		return nil, err
+	}
+
+	// Duplicate the last object of one RPSL registry dump: well-formed,
+	// so both policies must load it without complaint. Applied before the
+	// garbage-line pass so the copied object is guaranteed clean.
+	rpslRegs := []whois.Registry{whois.RIPE, whois.APNIC, whois.AFRINIC}
+	dupReg := rpslRegs[rnd.Intn(len(rpslRegs))]
+	if err := r.duplicateLastObject(whois.DumpFileName(dupReg), Mutation{
+		Source: "whois/" + dupReg.String(),
+		Kind:   KindDuplicate,
+		Detail: "last object duplicated verbatim",
+	}); err != nil {
+		return nil, err
+	}
+
+	// Interleave one garbage line in each of the five WHOIS dumps — all
+	// three dialect families (RPSL, ARIN, LACNIC) see it.
+	for _, reg := range whois.Registries {
+		if err := r.insertLine(whois.DumpFileName(reg), garbageText(rnd), rnd, Mutation{
+			Source:      "whois/" + reg.String(),
+			Kind:        KindGarbageLine,
+			Detail:      "unparseable line inside the registry dump",
+			ExpectSkips: 1,
+			FatalStrict: true,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Invalid CIDR in a VRP snapshot and a geofeed.
+	vrpFile, err := firstFile(dir, synth.DirRPKI, "vrps-", ".csv")
+	if err != nil {
+		return nil, err
+	}
+	if err := r.insertLine(vrpFile, fmt.Sprintf("AS64500,203.0.%d.999/24,24,faultgen", rnd.Intn(256)), rnd, Mutation{
+		Source:      "rpki",
+		Kind:        KindBadCIDR,
+		Detail:      "VRP row with an invalid prefix",
+		ExpectSkips: 1,
+		FatalStrict: true,
+	}); err != nil {
+		return nil, err
+	}
+	geoFile, err := firstFile(dir, synth.DirGeo, "geofeed-", ".csv")
+	if err != nil {
+		return nil, err
+	}
+	if err := r.insertLine(geoFile, fmt.Sprintf("198.51.%d.0/33,ZZ", rnd.Intn(256)), rnd, Mutation{
+		Source:      "geo",
+		Kind:        KindBadCIDR,
+		Detail:      "geofeed row with an invalid prefix",
+		ExpectSkips: 1,
+		FatalStrict: true,
+	}); err != nil {
+		return nil, err
+	}
+
+	// Garbage lines in the line-oriented auxiliary feeds.
+	aux := []struct {
+		file, source, payload string
+	}{
+		{synth.FileASRel, "asrel", garbageText(rnd)},                      // no pipes: field-count error
+		{synth.FileAS2Org, "as2org", "faultgen|" + garbageHex(rnd)},       // two fields: too few
+		{synth.FileHijackers, "hijackers", "AS" + garbageHex(rnd) + "zz"}, // non-numeric ASN
+	}
+	for _, a := range aux {
+		if err := r.insertLine(a.file, a.payload, rnd, Mutation{
+			Source:      a.source,
+			Kind:        KindGarbageLine,
+			Detail:      "unparseable line in " + a.file,
+			ExpectSkips: 1,
+			FatalStrict: true,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	dropFile, err := firstFile(dir, synth.DirASNDrop, "asndrop-", ".json")
+	if err != nil {
+		return nil, err
+	}
+	if err := r.insertLine(dropFile, `{"faultgen":`+garbageHex(rnd), rnd, Mutation{
+		Source:      "drop",
+		Kind:        KindGarbageLine,
+		Detail:      "malformed JSON line in the ASN-DROP feed",
+		ExpectSkips: 1,
+		FatalStrict: true,
+	}); err != nil {
+		return nil, err
+	}
+
+	// CRLF noise over a whole text file: harmless to a correct line
+	// parser, so neither policy may skip or fail anything.
+	if err := r.crlfFile(synth.FileBrokers, Mutation{
+		Source: "brokers",
+		Kind:   KindCRLFNoise,
+		Detail: "entire file rewritten with CRLF line endings",
+	}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// garbageText returns a seed-varied line that no line parser accepts: no
+// colon (RPSL attribute), no pipe (CAIDA formats), not JSON.
+func garbageText(rnd *rand.Rand) string {
+	return fmt.Sprintf("FAULTGEN GARBAGE %08x", rnd.Uint32())
+}
+
+func garbageHex(rnd *rand.Rand) string {
+	return fmt.Sprintf("%08x", rnd.Uint32())
+}
+
+// mutate reads, backs up, transforms, and rewrites one file, recording
+// the mutation.
+func (r *Result) mutate(rel string, m Mutation, fn func([]byte) ([]byte, error)) error {
+	path := filepath.Join(r.Dir, rel)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("faultgen: %s: %w", rel, err)
+	}
+	if _, ok := r.backups[rel]; !ok {
+		r.backups[rel] = append([]byte(nil), data...)
+	}
+	out, err := fn(data)
+	if err != nil {
+		return fmt.Errorf("faultgen: %s: %w", rel, err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	m.File = rel
+	r.Mutations = append(r.Mutations, m)
+	return nil
+}
+
+// truncateMRT cuts 1–7 bytes off the end of an MRT file. Any cut strictly
+// inside the final record leaves a partial header or body, which the
+// reader must report as truncation at that offset.
+func (r *Result) truncateMRT(rel string, rnd *rand.Rand) error {
+	return r.mutate(rel, Mutation{
+		Source:          "bgp/" + rel,
+		Kind:            KindMRTTruncate,
+		Detail:          "final record cut mid-body",
+		ExpectTruncated: true,
+		FatalStrict:     true,
+	}, func(data []byte) ([]byte, error) {
+		cut := 1 + rnd.Intn(7)
+		if len(data) <= cut+12 {
+			return nil, fmt.Errorf("file too small to truncate (%d bytes)", len(data))
+		}
+		return data[:len(data)-cut], nil
+	})
+}
+
+// insertLine inserts payload as its own line at a seeded position (never
+// line 1, so format headers stay first).
+func (r *Result) insertLine(rel, payload string, rnd *rand.Rand, m Mutation) error {
+	return r.mutate(rel, m, func(data []byte) ([]byte, error) {
+		lines := bytes.Split(data, []byte("\n"))
+		// A trailing newline yields a final empty element; keep the
+		// insertion strictly before it so the file stays well-terminated.
+		max := len(lines) - 1
+		if max < 1 {
+			return nil, fmt.Errorf("too few lines to corrupt")
+		}
+		at := 1 + rnd.Intn(max)
+		out := make([][]byte, 0, len(lines)+1)
+		out = append(out, lines[:at]...)
+		out = append(out, []byte(payload))
+		out = append(out, lines[at:]...)
+		return bytes.Join(out, []byte("\n")), nil
+	})
+}
+
+// duplicateLastObject appends a verbatim copy of the file's final
+// blank-line-separated paragraph.
+func (r *Result) duplicateLastObject(rel string, m Mutation) error {
+	return r.mutate(rel, m, func(data []byte) ([]byte, error) {
+		trimmed := bytes.TrimRight(data, "\n")
+		idx := bytes.LastIndex(trimmed, []byte("\n\n"))
+		if idx < 0 {
+			return nil, fmt.Errorf("no object boundary to duplicate at")
+		}
+		obj := trimmed[idx+2:]
+		var out bytes.Buffer
+		out.Write(data)
+		if !bytes.HasSuffix(data, []byte("\n")) {
+			out.WriteByte('\n')
+		}
+		out.WriteByte('\n')
+		out.Write(obj)
+		out.WriteByte('\n')
+		return out.Bytes(), nil
+	})
+}
+
+// crlfFile rewrites every line ending as CRLF.
+func (r *Result) crlfFile(rel string, m Mutation) error {
+	return r.mutate(rel, m, func(data []byte) ([]byte, error) {
+		s := strings.ReplaceAll(string(data), "\r\n", "\n")
+		return []byte(strings.ReplaceAll(s, "\n", "\r\n")), nil
+	})
+}
+
+// firstFile returns the lexically first file under dir/subdir matching
+// prefix/suffix, as a dataset-relative path.
+func firstFile(dir, subdir, prefix, suffix string) (string, error) {
+	entries, err := os.ReadDir(filepath.Join(dir, subdir))
+	if err != nil {
+		return "", fmt.Errorf("faultgen: %s: %w", subdir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		return filepath.Join(subdir, name), nil
+	}
+	return "", fmt.Errorf("faultgen: no %s*%s under %s", prefix, suffix, subdir)
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 
+	"ipleasing/internal/diag"
 	"ipleasing/internal/netutil"
 	"ipleasing/internal/prefixtree"
 )
@@ -91,6 +92,13 @@ func upperByte(c byte) byte {
 // databases over the full routed table is the largest line count in a
 // dataset directory.
 func Parse(name string, r io.Reader) (*DB, error) {
+	return ParseWith(name, r, nil)
+}
+
+// ParseWith is Parse threaded through a load-diagnostics collector. A nil
+// collector (or strict options) keeps Parse's fail-fast behavior; in
+// lenient mode malformed lines are skipped and accounted.
+func ParseWith(name string, r io.Reader, c *diag.Collector) (*DB, error) {
 	db := NewDB(name)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
@@ -103,11 +111,17 @@ func Parse(name string, r io.Reader) (*DB, error) {
 		}
 		comma := bytes.IndexByte(line, ',')
 		if comma < 0 {
-			return nil, fmt.Errorf("geoip: %s line %d: want prefix,country", name, lineNum)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("geoip: %s line %d: want prefix,country", name, lineNum)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		p, err := netutil.ParsePrefixBytes(bytes.TrimSpace(line[:comma]))
 		if err != nil {
-			return nil, fmt.Errorf("geoip: %s line %d: %v", name, lineNum, err)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("geoip: %s line %d: %v", name, lineNum, err)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		ccField := line[comma+1:]
 		if c2 := bytes.IndexByte(ccField, ','); c2 >= 0 {
@@ -115,9 +129,13 @@ func Parse(name string, r io.Reader) (*DB, error) {
 		}
 		ccField = bytes.TrimSpace(ccField)
 		if len(ccField) != 2 {
-			return nil, fmt.Errorf("geoip: %s line %d: bad country %q", name, lineNum, ccField)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("geoip: %s line %d: bad country %q", name, lineNum, ccField)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		db.Add(p, internCountry(upperByte(ccField[0]), upperByte(ccField[1])))
+		c.Parsed()
 	}
 	return db, sc.Err()
 }
@@ -253,10 +271,24 @@ func WriteDir(dir string, panel *Panel) error {
 
 // LoadDir reads every provider database in dir, sorted by provider name.
 func LoadDir(dir string) (*Panel, error) {
+	return LoadDirWith(dir, nil)
+}
+
+// LoadDirWith is LoadDir threaded through a load-diagnostics collector. A
+// nil collector (or strict options) keeps LoadDir's fail-fast behavior. In
+// lenient mode a missing directory yields an empty panel with the report
+// marked Missing, and malformed geofeed lines are skipped and accounted.
+func LoadDirWith(dir string, c *diag.Collector) (*Panel, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
+		if !c.Strict() && os.IsNotExist(err) {
+			c.SetFile(dir)
+			c.MarkMissing()
+			return &Panel{}, nil
+		}
 		return nil, err
 	}
+	c.SetFile(dir)
 	panel := &Panel{}
 	for _, e := range entries {
 		name := e.Name()
@@ -264,17 +296,20 @@ func LoadDir(dir string) (*Panel, error) {
 			continue
 		}
 		provider := strings.TrimSuffix(strings.TrimPrefix(name, "geofeed-"), ".csv")
-		f, err := os.Open(filepath.Join(dir, name))
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
 		}
-		db, perr := Parse(provider, f)
+		c.SetFile(path)
+		db, perr := ParseWith(provider, f, c)
 		f.Close()
 		if perr != nil {
 			return nil, perr
 		}
 		panel.DBs = append(panel.DBs, db)
 	}
+	c.SetFile(dir)
 	sort.Slice(panel.DBs, func(i, j int) bool { return panel.DBs[i].Name < panel.DBs[j].Name })
 	return panel, nil
 }

@@ -14,6 +14,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"ipleasing/internal/diag"
 )
 
 // Set is a set of serial-hijacker ASNs.
@@ -30,14 +32,23 @@ func New(asns []uint32) *Set {
 	return s
 }
 
-// Contains reports whether asn is a listed serial hijacker.
-func (s *Set) Contains(asn uint32) bool { return s.asns[asn] }
+// Contains reports whether asn is a listed serial hijacker. A nil set
+// (degraded dataset with no hijacker source) contains nothing.
+func (s *Set) Contains(asn uint32) bool { return s != nil && s.asns[asn] }
 
-// Len returns the number of listed ASNs.
-func (s *Set) Len() int { return len(s.asns) }
+// Len returns the number of listed ASNs (0 for a nil set).
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.asns)
+}
 
-// ASNs returns the listed ASNs in ascending order.
+// ASNs returns the listed ASNs in ascending order (nil for a nil set).
 func (s *Set) ASNs() []uint32 {
+	if s == nil {
+		return nil
+	}
 	out := make([]uint32, 0, len(s.asns))
 	for a := range s.asns {
 		out = append(out, a)
@@ -48,6 +59,13 @@ func (s *Set) ASNs() []uint32 {
 
 // Parse reads an ASN-per-line list.
 func Parse(r io.Reader) (*Set, error) {
+	return ParseWith(r, nil)
+}
+
+// ParseWith is Parse threaded through a load-diagnostics collector. A nil
+// collector (or strict options) keeps Parse's fail-fast behavior; in
+// lenient mode malformed lines are skipped and accounted.
+func ParseWith(r io.Reader, c *diag.Collector) (*Set, error) {
 	sc := bufio.NewScanner(r)
 	var asns []uint32
 	lineNum := 0
@@ -60,9 +78,13 @@ func Parse(r io.Reader) (*Set, error) {
 		line = strings.TrimPrefix(strings.ToUpper(line), "AS")
 		v, err := strconv.ParseUint(line, 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("hijack: line %d: bad ASN %q", lineNum, sc.Text())
+			if err := c.Skip(lineNum, -1, fmt.Errorf("hijack: line %d: bad ASN %q", lineNum, sc.Text())); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		asns = append(asns, uint32(v))
+		c.Parsed()
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ipleasing/internal/diag"
 	"ipleasing/internal/netutil"
 	"ipleasing/internal/rpsl"
 )
@@ -50,7 +51,19 @@ type Database struct {
 
 // Parse decodes a LACNIC bulk-WHOIS dump.
 func Parse(r io.Reader) (*Database, error) {
+	return ParseWith(r, nil)
+}
+
+// ParseWith is Parse threaded through a load-diagnostics collector. A nil
+// collector (or strict options) keeps Parse's fail-fast behavior; in
+// lenient mode malformed lines and records are skipped and accounted.
+func ParseWith(r io.Reader, c *diag.Collector) (*Database, error) {
 	rd := rpsl.NewReader(r)
+	if !c.Strict() {
+		rd.OnBadLine = func(line int, err error) error {
+			return c.Skip(line, -1, err)
+		}
+	}
 	db := &Database{}
 	var o rpsl.Object // reused across records; extracted strings are interned
 	for i := 0; ; i++ {
@@ -65,16 +78,23 @@ func Parse(r io.Reader) (*Database, error) {
 		case "inetnum":
 			b, err := blockFromObject(&o)
 			if err != nil {
-				return nil, fmt.Errorf("lacnicwhois: record %d: %w", i, err)
+				if err := c.Skip(i, -1, fmt.Errorf("lacnicwhois: record %d: %w", i, err)); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			db.Blocks = append(db.Blocks, b)
 		case "aut-num":
 			a, err := asnFromObject(&o)
 			if err != nil {
-				return nil, fmt.Errorf("lacnicwhois: record %d: %w", i, err)
+				if err := c.Skip(i, -1, fmt.Errorf("lacnicwhois: record %d: %w", i, err)); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			db.ASNs = append(db.ASNs, a)
 		}
+		c.Parsed()
 	}
 	return db, nil
 }

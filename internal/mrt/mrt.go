@@ -69,6 +69,11 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
 }
 
+// Offset returns the byte offset of the next record in the stream, i.e.
+// the number of bytes consumed by records fully read so far. Lenient
+// loaders use it to locate truncation and decode failures.
+func (rd *Reader) Offset() int64 { return rd.off }
+
 // Next returns the next record, or io.EOF at a clean end of stream.
 // A stream ending inside a record yields ErrTruncated.
 func (rd *Reader) Next() (*RawRecord, error) {

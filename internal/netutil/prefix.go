@@ -46,7 +46,8 @@ func ParseAddr(s string) (Addr, error) {
 }
 
 // MustParseAddr is like ParseAddr but panics on error. For tests and
-// compile-time-constant-like initialisation only.
+// compile-time-constant-like initialisation of known-good literals only;
+// code parsing external input must use ParseAddr and handle the error.
 func MustParseAddr(s string) Addr {
 	a, err := ParseAddr(s)
 	if err != nil {
@@ -180,7 +181,10 @@ func ParsePrefixBytes(b []byte) (Prefix, error) {
 	return Prefix{Base: Addr(base), Len: uint8(ln)}, nil
 }
 
-// MustParsePrefix is like ParsePrefix but panics on error.
+// MustParsePrefix is like ParsePrefix but panics on error. For tests and
+// compile-time-constant-like initialisation of known-good literals only;
+// code parsing external input must use ParsePrefix (or ParsePrefixBytes)
+// and handle the error.
 func MustParsePrefix(s string) Prefix {
 	p, err := ParsePrefix(s)
 	if err != nil {
@@ -263,14 +267,27 @@ func (p Prefix) Bit(i uint8) int {
 	return int(p.Base >> (31 - i) & 1)
 }
 
-// Halves splits p into its two children. Panics if p is a /32.
-func (p Prefix) Halves() (lo, hi Prefix) {
+// SplitHalves splits p into its two children. A /32 has none: ok is
+// false and both halves are zero. This is the total form of Halves for
+// code paths where the length is not statically known.
+func (p Prefix) SplitHalves() (lo, hi Prefix, ok bool) {
 	if p.Len >= 32 {
-		panic("netutil: cannot split a /32")
+		return Prefix{}, Prefix{}, false
 	}
 	l := p.Len + 1
 	lo = Prefix{Base: p.Base, Len: l}
 	hi = Prefix{Base: p.Base | Addr(1<<(32-l)), Len: l}
+	return lo, hi, true
+}
+
+// Halves splits p into its two children. Panics if p is a /32; call it
+// only where the length is statically known to be shorter, and use
+// SplitHalves everywhere else.
+func (p Prefix) Halves() (lo, hi Prefix) {
+	lo, hi, ok := p.SplitHalves()
+	if !ok {
+		panic("netutil: cannot split a /32")
+	}
 	return lo, hi
 }
 

@@ -182,6 +182,21 @@ func TestParentHalvesBit(t *testing.T) {
 	MustParsePrefix("1.2.3.4/32").Halves()
 }
 
+func TestSplitHalvesGuard(t *testing.T) {
+	if _, _, ok := MustParsePrefix("1.2.3.4/32").SplitHalves(); ok {
+		t.Fatal("SplitHalves of /32 reported ok")
+	}
+	lo, hi, ok := MustParsePrefix("192.0.2.6/31").SplitHalves()
+	if !ok || lo != MustParsePrefix("192.0.2.6/32") || hi != MustParsePrefix("192.0.2.7/32") {
+		t.Fatalf("SplitHalves(/31) = %v %v %v", lo, hi, ok)
+	}
+	// The panicking form and the total form must agree below /32.
+	plo, phi := MustParsePrefix("192.0.2.6/31").Halves()
+	if plo != lo || phi != hi {
+		t.Fatalf("Halves disagrees with SplitHalves: %v %v", plo, phi)
+	}
+}
+
 func TestHalvesReassembleQuick(t *testing.T) {
 	f := func(v uint32, l uint8) bool {
 		p := Prefix{Base: Addr(v), Len: l % 32}.Canonicalize() // never /32

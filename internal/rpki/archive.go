@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"ipleasing/internal/diag"
 )
 
 // Snapshot is the VRP state at one point in time.
@@ -183,10 +185,25 @@ func (a *Archive) WriteDir(dir string) error {
 
 // LoadDir reads every snapshot file in dir into an archive.
 func LoadDir(dir string) (*Archive, error) {
+	return LoadDirWith(dir, nil)
+}
+
+// LoadDirWith is LoadDir threaded through a load-diagnostics collector. A
+// nil collector (or strict options) keeps LoadDir's fail-fast behavior. In
+// lenient mode a missing directory yields an empty archive with the report
+// marked Missing, and malformed VRP lines inside snapshots are skipped and
+// accounted.
+func LoadDirWith(dir string, c *diag.Collector) (*Archive, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
+		if !c.Strict() && os.IsNotExist(err) {
+			c.SetFile(dir)
+			c.MarkMissing()
+			return &Archive{}, nil
+		}
 		return nil, err
 	}
+	c.SetFile(dir)
 	a := &Archive{}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
@@ -196,16 +213,19 @@ func LoadDir(dir string) (*Archive, error) {
 		if err != nil {
 			continue // foreign file; skip
 		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
 		}
-		vrps, perr := ReadCSV(f)
+		c.SetFile(path)
+		vrps, perr := ReadCSVWith(f, c)
 		f.Close()
 		if perr != nil {
 			return nil, fmt.Errorf("rpki: %s: %w", e.Name(), perr)
 		}
 		a.Add(Snapshot{Time: ts, VRPs: vrps})
 	}
+	c.SetFile(dir)
 	return a, nil
 }

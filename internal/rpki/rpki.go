@@ -16,6 +16,7 @@ import (
 	"os"
 	"sort"
 
+	"ipleasing/internal/diag"
 	"ipleasing/internal/netutil"
 	"ipleasing/internal/prefixtree"
 )
@@ -171,6 +172,13 @@ func WriteCSV(w io.Writer, vrps []VRP) error {
 // column (a handful of distinct registry names across millions of VRPs),
 // so an archive of daily snapshots loads without per-line allocations.
 func ReadCSV(r io.Reader) ([]VRP, error) {
+	return ReadCSVWith(r, nil)
+}
+
+// ReadCSVWith is ReadCSV threaded through a load-diagnostics collector. A
+// nil collector (or strict options) keeps ReadCSV's fail-fast behavior; in
+// lenient mode malformed lines are skipped and accounted.
+func ReadCSVWith(r io.Reader, c *diag.Collector) ([]VRP, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	var out []VRP
@@ -197,7 +205,10 @@ func ReadCSV(r io.Reader) ([]VRP, error) {
 		pfxField, rest := cutComma(rest)
 		mlField, rest := cutComma(rest)
 		if pfxField == nil || mlField == nil {
-			return nil, fmt.Errorf("rpki: line %d: want at least 3 fields", lineNum)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("rpki: line %d: want at least 3 fields", lineNum)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		asnField = bytes.TrimSpace(asnField)
 		if len(asnField) >= 2 && (asnField[0] == 'A' || asnField[0] == 'a') && (asnField[1] == 'S' || asnField[1] == 's') {
@@ -205,15 +216,24 @@ func ReadCSV(r io.Reader) ([]VRP, error) {
 		}
 		asn, err := parseU32(asnField)
 		if err != nil {
-			return nil, fmt.Errorf("rpki: line %d: bad ASN %q", lineNum, asnField)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("rpki: line %d: bad ASN %q", lineNum, asnField)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		p, err := netutil.ParsePrefixBytes(bytes.TrimSpace(pfxField))
 		if err != nil {
-			return nil, fmt.Errorf("rpki: line %d: %v", lineNum, err)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("rpki: line %d: %v", lineNum, err)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		ml, err := parseU32(bytes.TrimSpace(mlField))
 		if err != nil || ml > 32 || uint8(ml) < p.Len {
-			return nil, fmt.Errorf("rpki: line %d: bad max length %q", lineNum, mlField)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("rpki: line %d: bad max length %q", lineNum, mlField)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		v := VRP{ASN: asn, Prefix: p, MaxLen: uint8(ml)}
 		if rest != nil {
@@ -229,6 +249,7 @@ func ReadCSV(r io.Reader) ([]VRP, error) {
 			}
 		}
 		out = append(out, v)
+		c.Parsed()
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

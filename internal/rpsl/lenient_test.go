@@ -1,0 +1,87 @@
+package rpsl
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+const messyDump = `inetnum:        192.0.2.0 - 192.0.2.255
+netname:        GOOD-ONE
+this line has no colon
+status:         ASSIGNED PA
+
+   continuation with no attribute
+@@@@ garbage
+~~~~ more garbage
+
+inetnum:        198.51.100.0 - 198.51.100.255
+netname:        GOOD-TWO
+`
+
+func TestOnBadLineSkips(t *testing.T) {
+	var bad []int
+	rd := NewReader(strings.NewReader(messyDump))
+	rd.OnBadLine = func(line int, err error) error {
+		bad = append(bad, line)
+		return nil
+	}
+	var keys []string
+	for {
+		o, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		keys = append(keys, o.Key())
+	}
+	if len(keys) != 2 || keys[0] != "192.0.2.0 - 192.0.2.255" || keys[1] != "198.51.100.0 - 198.51.100.255" {
+		t.Fatalf("keys = %v", keys)
+	}
+	// Line 3 (no colon), 6 (dangling continuation), 7, 8 (garbage).
+	if len(bad) != 4 {
+		t.Fatalf("bad lines = %v", bad)
+	}
+	if bad[0] != 3 || bad[1] != 6 || bad[2] != 7 || bad[3] != 8 {
+		t.Fatalf("bad lines = %v", bad)
+	}
+}
+
+func TestOnBadLineAllSkippedObjectDoesNotEOF(t *testing.T) {
+	// An object whose every line is garbage must not terminate the stream:
+	// the reader has to scan on to the following object.
+	dump := "@@@@\n!!!!\n\ninetnum: 192.0.2.0 - 192.0.2.255\n"
+	rd := NewReader(strings.NewReader(dump))
+	rd.OnBadLine = func(int, error) error { return nil }
+	o, err := rd.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if o.Key() != "192.0.2.0 - 192.0.2.255" {
+		t.Fatalf("key = %q", o.Key())
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestOnBadLineAbort(t *testing.T) {
+	sentinel := errors.New("too much")
+	rd := NewReader(strings.NewReader(messyDump))
+	rd.OnBadLine = func(int, error) error { return sentinel }
+	_, err := rd.Next()
+	if err != sentinel {
+		t.Fatalf("want sentinel, got %v", err)
+	}
+}
+
+func TestStrictStillFailsFast(t *testing.T) {
+	rd := NewReader(strings.NewReader(messyDump))
+	_, err := rd.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("strict err = %v", err)
+	}
+}

@@ -106,6 +106,15 @@ type Reader struct {
 	lineNum int
 	err     error
 	strs    map[string]string
+
+	// OnBadLine, when non-nil, is consulted for each malformed attribute
+	// line with its 1-based line number and the parse error, instead of
+	// aborting the parse. Returning nil skips the line and continues the
+	// current object; returning an error aborts with that error. A nil
+	// OnBadLine keeps the strict contract: the first malformed line fails
+	// NextInto. Scanner-level errors (oversized lines, read failures)
+	// always abort regardless of OnBadLine.
+	OnBadLine func(lineNum int, err error) error
 }
 
 // NewReader returns a Reader over r. Lines longer than 1 MiB are an error.
@@ -170,74 +179,96 @@ func (r *Reader) Next() (*Object, error) {
 // to avoid the per-object allocations of Next; attribute names and values
 // are interned strings, safe to retain across calls.
 func (r *Reader) NextInto(obj *Object) error {
-	obj.Attributes = obj.Attributes[:0]
-	// Skip blanks and comment lines to the start of an object.
-	var line []byte
-	var ok bool
 	for {
-		line, ok = r.nextLine()
-		if !ok {
-			if r.err != nil {
-				return r.err
+		obj.Attributes = obj.Attributes[:0]
+		// Skip blanks and comment lines to the start of an object.
+		var line []byte
+		var ok bool
+		for {
+			line, ok = r.nextLine()
+			if !ok {
+				if r.err != nil {
+					return r.err
+				}
+				return io.EOF
 			}
+			t := bytes.TrimSpace(line)
+			if len(t) == 0 || t[0] == '#' || t[0] == '%' {
+				continue
+			}
+			break
+		}
+
+		atEOF := false
+		for {
+			if len(bytes.TrimSpace(line)) == 0 {
+				break // end of object
+			}
+			if err := r.attrLine(obj, line); err != nil {
+				if r.OnBadLine == nil {
+					return err
+				}
+				if err := r.OnBadLine(r.lineNum, err); err != nil {
+					return err
+				}
+				// Bad line skipped; the rest of the object still parses.
+			}
+			line, ok = r.nextLine()
+			if !ok {
+				if r.err != nil {
+					return r.err
+				}
+				atEOF = true
+				break // EOF terminates the last object
+			}
+		}
+		if len(obj.Attributes) > 0 {
+			return nil
+		}
+		if atEOF {
 			return io.EOF
 		}
-		t := bytes.TrimSpace(line)
-		if len(t) == 0 || t[0] == '#' || t[0] == '%' {
-			continue
-		}
-		break
+		// Every line of this object was skipped (lenient recovery): scan
+		// on for the next object rather than reporting a premature EOF.
 	}
+}
 
-	for {
-		if len(bytes.TrimSpace(line)) == 0 {
-			break // end of object
+// attrLine parses one non-blank line of the current object into obj.
+func (r *Reader) attrLine(obj *Object, line []byte) error {
+	switch {
+	case line[0] == '#' || line[0] == '%':
+		// comment line inside an object: skip
+	case line[0] == ' ' || line[0] == '\t' || line[0] == '+':
+		// Continuation of the previous attribute.
+		if len(obj.Attributes) == 0 {
+			return fmt.Errorf("rpsl: line %d: continuation with no attribute", r.lineNum)
 		}
-		switch {
-		case line[0] == '#' || line[0] == '%':
-			// comment line inside an object: skip
-		case line[0] == ' ' || line[0] == '\t' || line[0] == '+':
-			// Continuation of the previous attribute.
-			if len(obj.Attributes) == 0 {
-				return fmt.Errorf("rpsl: line %d: continuation with no attribute", r.lineNum)
+		cont := bytes.TrimSpace(stripComment(line[1:]))
+		last := &obj.Attributes[len(obj.Attributes)-1]
+		if len(cont) != 0 {
+			if last.Value != "" {
+				last.Value += " " + string(cont)
+			} else {
+				last.Value = r.intern(cont)
 			}
-			cont := bytes.TrimSpace(stripComment(line[1:]))
-			last := &obj.Attributes[len(obj.Attributes)-1]
-			if len(cont) != 0 {
-				if last.Value != "" {
-					last.Value += " " + string(cont)
-				} else {
-					last.Value = r.intern(cont)
-				}
-			}
-		default:
-			colon := bytes.IndexByte(line, ':')
-			if colon <= 0 {
-				return fmt.Errorf("rpsl: line %d: malformed attribute line %q", r.lineNum, line)
-			}
-			name := bytes.TrimSpace(line[:colon])
-			if bytes.ContainsAny(name, " \t") {
-				return fmt.Errorf("rpsl: line %d: malformed attribute name %q", r.lineNum, name)
-			}
-			for _, c := range name {
-				if 'A' <= c && c <= 'Z' {
-					name = bytes.ToLower(name)
-					break
-				}
-			}
-			value := bytes.TrimSpace(stripComment(line[colon+1:]))
-			obj.Attributes = append(obj.Attributes, Attribute{Name: r.intern(name), Value: r.intern(value)})
 		}
-		line, ok = r.nextLine()
-		if !ok {
-			if r.err != nil {
-				return r.err
-			}
-			break // EOF terminates the last object
+	default:
+		colon := bytes.IndexByte(line, ':')
+		if colon <= 0 {
+			return fmt.Errorf("rpsl: line %d: malformed attribute line %q", r.lineNum, line)
 		}
-	}
-	if len(obj.Attributes) == 0 {
-		return io.EOF
+		name := bytes.TrimSpace(line[:colon])
+		if bytes.ContainsAny(name, " \t") {
+			return fmt.Errorf("rpsl: line %d: malformed attribute name %q", r.lineNum, name)
+		}
+		for _, c := range name {
+			if 'A' <= c && c <= 'Z' {
+				name = bytes.ToLower(name)
+				break
+			}
+		}
+		value := bytes.TrimSpace(stripComment(line[colon+1:]))
+		obj.Attributes = append(obj.Attributes, Attribute{Name: r.intern(name), Value: r.intern(value)})
 	}
 	return nil
 }

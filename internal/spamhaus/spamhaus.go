@@ -20,6 +20,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"ipleasing/internal/diag"
 )
 
 // Entry is one blocklisted AS.
@@ -69,6 +71,13 @@ type metaLine struct {
 
 // Parse reads a JSONL ASN-DROP feed.
 func Parse(r io.Reader) (*List, error) {
+	return ParseWith(r, nil)
+}
+
+// ParseWith is Parse threaded through a load-diagnostics collector. A nil
+// collector (or strict options) keeps Parse's fail-fast behavior; in
+// lenient mode malformed lines are skipped and accounted.
+func ParseWith(r io.Reader, c *diag.Collector) (*List, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	var entries []Entry
@@ -85,12 +94,19 @@ func Parse(r io.Reader) (*List, error) {
 		}
 		var e Entry
 		if err := json.Unmarshal([]byte(line), &e); err != nil {
-			return nil, fmt.Errorf("spamhaus: line %d: %w", lineNum, err)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("spamhaus: line %d: %w", lineNum, err)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if e.ASN == 0 {
-			return nil, fmt.Errorf("spamhaus: line %d: missing asn", lineNum)
+			if err := c.Skip(lineNum, -1, fmt.Errorf("spamhaus: line %d: missing asn", lineNum)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		entries = append(entries, e)
+		c.Parsed()
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -141,8 +157,12 @@ func (a *Archive) Add(year int, month time.Month, l *List) {
 }
 
 // ListedEver reports whether asn appears in any monthly snapshot — the
-// paper's membership test over its observation window.
+// paper's membership test over its observation window. A nil archive
+// (degraded dataset with no DROP source) lists nothing.
 func (a *Archive) ListedEver(asn uint32) bool {
+	if a == nil {
+		return false
+	}
 	for _, m := range a.Months {
 		if m.List.Contains(asn) {
 			return true
@@ -151,8 +171,12 @@ func (a *Archive) ListedEver(asn uint32) bool {
 	return false
 }
 
-// Union returns the ASNs listed in at least one month.
+// Union returns the ASNs listed in at least one month. Nil for a nil
+// archive.
 func (a *Archive) Union() []uint32 {
+	if a == nil {
+		return nil
+	}
 	seen := make(map[uint32]bool)
 	for _, m := range a.Months {
 		for asn := range m.List.byASN {
@@ -195,10 +219,24 @@ func (a *Archive) WriteDir(dir string) error {
 
 // LoadDir reads every monthly file in dir.
 func LoadDir(dir string) (*Archive, error) {
+	return LoadDirWith(dir, nil)
+}
+
+// LoadDirWith is LoadDir threaded through a load-diagnostics collector. A
+// nil collector (or strict options) keeps LoadDir's fail-fast behavior. In
+// lenient mode a missing directory yields an empty archive with the report
+// marked Missing, and malformed feed lines are skipped and accounted.
+func LoadDirWith(dir string, c *diag.Collector) (*Archive, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
+		if !c.Strict() && os.IsNotExist(err) {
+			c.SetFile(dir)
+			c.MarkMissing()
+			return &Archive{}, nil
+		}
 		return nil, err
 	}
+	c.SetFile(dir)
 	a := &Archive{}
 	for _, e := range entries {
 		name := e.Name()
@@ -213,16 +251,19 @@ func LoadDir(dir string) (*Archive, error) {
 		if _, err := fmt.Sscanf(stamp, "%4d%2d", &year, &monthNum); err != nil || monthNum < 1 || monthNum > 12 {
 			continue
 		}
-		f, err := os.Open(filepath.Join(dir, name))
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
 		}
-		l, perr := Parse(f)
+		c.SetFile(path)
+		l, perr := ParseWith(f, c)
 		f.Close()
 		if perr != nil {
 			return nil, fmt.Errorf("spamhaus: %s: %w", name, perr)
 		}
 		a.Add(year, time.Month(monthNum), l)
 	}
+	c.SetFile(dir)
 	return a, nil
 }

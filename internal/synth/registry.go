@@ -300,7 +300,12 @@ func (g *gen) plantMany(reg whois.Registry, pool *[]*rootCtx, announced bool, n 
 // the holder but announces only the covering /17 aggregate in BGP.
 func (g *gen) newAggregatedRootPair(reg whois.Registry, h holderInfo) (*rootCtx, *rootCtx) {
 	agg := g.allocBlock(reg, rootPrefixLen-1) // /17
-	lo, hi := agg.Halves()                    // two /18s
+	lo, hi, ok := agg.SplitHalves()           // two /18s
+	if !ok {
+		// Unreachable while rootPrefixLen-1 < 32; registering the
+		// aggregate unsplit keeps the generator total regardless.
+		lo, hi = agg, agg
+	}
 	db := g.w.Whois.DB(reg)
 	for _, p := range []netutil.Prefix{lo, hi} {
 		db.InetNums = append(db.InetNums, &whois.InetNum{

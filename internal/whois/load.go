@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"ipleasing/internal/arinwhois"
+	"ipleasing/internal/diag"
 	"ipleasing/internal/lacnicwhois"
 	"ipleasing/internal/netutil"
 	"ipleasing/internal/par"
@@ -19,6 +20,13 @@ import (
 // unified database. Unknown object classes are skipped; inetnum objects
 // with unparseable ranges are an error.
 func LoadRPSL(reg Registry, r io.Reader) (*Database, error) {
+	return LoadRPSLWith(reg, r, nil)
+}
+
+// LoadRPSLWith is LoadRPSL threaded through a load-diagnostics collector.
+// A nil collector (or strict options) keeps LoadRPSL's fail-fast behavior;
+// in lenient mode malformed lines and records are skipped and accounted.
+func LoadRPSLWith(reg Registry, r io.Reader, c *diag.Collector) (*Database, error) {
 	switch reg {
 	case RIPE, APNIC, AFRINIC:
 	default:
@@ -26,8 +34,13 @@ func LoadRPSL(reg Registry, r io.Reader) (*Database, error) {
 	}
 	db := NewDatabase(reg)
 	rd := rpsl.NewReader(r)
+	if !c.Strict() {
+		rd.OnBadLine = func(line int, err error) error {
+			return c.Skip(line, -1, err)
+		}
+	}
 	var obj rpsl.Object // reused across records; extracted strings are interned
-	for {
+	for rec := 1; ; rec++ {
 		err := rd.NextInto(&obj)
 		if err == io.EOF {
 			break
@@ -40,7 +53,10 @@ func LoadRPSL(reg Registry, r io.Reader) (*Database, error) {
 		case "inetnum":
 			rng, err := netutil.ParseRange(o.Key())
 			if err != nil {
-				return nil, fmt.Errorf("whois: %v inetnum %q: %w", reg, o.Key(), err)
+				if err := c.Skip(rec, -1, fmt.Errorf("whois: %v inetnum %q: %w", reg, o.Key(), err)); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			status, _ := o.Get("status")
 			orgID, _ := o.Get("org")
@@ -60,7 +76,10 @@ func LoadRPSL(reg Registry, r io.Reader) (*Database, error) {
 			numStr := strings.TrimPrefix(strings.ToUpper(o.Key()), "AS")
 			v, err := strconv.ParseUint(numStr, 10, 32)
 			if err != nil {
-				return nil, fmt.Errorf("whois: %v aut-num %q: %v", reg, o.Key(), err)
+				if err := c.Skip(rec, -1, fmt.Errorf("whois: %v aut-num %q: %v", reg, o.Key(), err)); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			name, _ := o.Get("as-name")
 			orgID, _ := o.Get("org")
@@ -80,6 +99,7 @@ func LoadRPSL(reg Registry, r io.Reader) (*Database, error) {
 				Registry: reg, Handle: o.Key(), Descr: descr,
 			})
 		}
+		c.Parsed()
 	}
 	db.Reindex()
 	return db, nil
@@ -158,7 +178,12 @@ func WriteRPSL(w io.Writer, db *Database) error {
 // ARIN has no RPSL maintainers; the managing OrgID doubles as the
 // maintainer handle so broker matching (paper §5.3) works uniformly.
 func LoadARIN(r io.Reader) (*Database, error) {
-	raw, err := arinwhois.Parse(r)
+	return LoadARINWith(r, nil)
+}
+
+// LoadARINWith is LoadARIN threaded through a load-diagnostics collector.
+func LoadARINWith(r io.Reader, c *diag.Collector) (*Database, error) {
+	raw, err := arinwhois.ParseWith(r, c)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +260,13 @@ func arinNetHandle(r netutil.Range, i int) string {
 // ownerid/owner pairs found on blocks and aut-nums, and the ownerid doubles
 // as the maintainer handle.
 func LoadLACNIC(r io.Reader) (*Database, error) {
-	raw, err := lacnicwhois.Parse(r)
+	return LoadLACNICWith(r, nil)
+}
+
+// LoadLACNICWith is LoadLACNIC threaded through a load-diagnostics
+// collector.
+func LoadLACNICWith(r io.Reader, c *diag.Collector) (*Database, error) {
+	raw, err := lacnicwhois.ParseWith(r, c)
 	if err != nil {
 		return nil, err
 	}
@@ -329,18 +360,24 @@ func DumpFileName(reg Registry) string {
 // LoadFile loads one registry's dump from path using the registry's
 // native dialect.
 func LoadFile(reg Registry, path string) (*Database, error) {
+	return LoadFileWith(reg, path, nil)
+}
+
+// LoadFileWith is LoadFile threaded through a load-diagnostics collector.
+func LoadFileWith(reg Registry, path string, c *diag.Collector) (*Database, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	c.SetFile(path)
 	switch reg {
 	case ARIN:
-		return LoadARIN(f)
+		return LoadARINWith(f, c)
 	case LACNIC:
-		return LoadLACNIC(f)
+		return LoadLACNICWith(f, c)
 	default:
-		return LoadRPSL(reg, f)
+		return LoadRPSLWith(reg, f, c)
 	}
 }
 
@@ -370,22 +407,44 @@ func WriteFile(db *Database, path string) error {
 // parsers are independent, so the dumps are parsed concurrently; the
 // result is identical to a serial load.
 func LoadDir(dir string) (*Dataset, error) {
+	ds, _, err := LoadDirWith(dir, diag.Strict())
+	return ds, err
+}
+
+// LoadDirWith is LoadDir with an explicit ingestion policy. It returns one
+// LoadReport per registry in Registries order (sources "whois/RIPE",
+// "whois/ARIN", ...). A registry whose dump file is absent yields an empty
+// database and a Missing report in both modes — LoadDir has always
+// tolerated absent registries; the report now says so out loud. In lenient
+// mode malformed lines and records inside a present dump are skipped and
+// accounted instead of failing the whole load.
+func LoadDirWith(dir string, opts diag.LoadOptions) (*Dataset, []*diag.LoadReport, error) {
 	dbs := make([]*Database, len(Registries))
+	cols := make([]*diag.Collector, len(Registries))
+	for i, reg := range Registries {
+		cols[i] = diag.NewCollector("whois/"+reg.String(), opts)
+	}
 	err := par.Each(len(Registries), func(i int) error {
 		reg := Registries[i]
 		path := filepath.Join(dir, DumpFileName(reg))
 		if _, err := os.Stat(path); os.IsNotExist(err) {
+			cols[i].SetFile(path)
+			cols[i].MarkMissing()
 			return nil
 		}
-		db, err := LoadFile(reg, path)
+		db, err := LoadFileWith(reg, path, cols[i])
 		if err != nil {
 			return fmt.Errorf("whois: loading %s: %w", path, err)
 		}
 		dbs[i] = db
 		return nil
 	})
+	reports := make([]*diag.LoadReport, len(Registries))
+	for i, c := range cols {
+		reports[i] = c.Report()
+	}
 	if err != nil {
-		return nil, err
+		return nil, reports, err
 	}
 	ds := NewDataset()
 	for i, db := range dbs {
@@ -393,7 +452,7 @@ func LoadDir(dir string) (*Dataset, error) {
 			ds.DBs[Registries[i]] = db
 		}
 	}
-	return ds, nil
+	return ds, reports, nil
 }
 
 // WriteDir writes every registry's dump into dir.

@@ -1,0 +1,143 @@
+package whois
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipleasing/internal/diag"
+	"ipleasing/internal/netutil"
+)
+
+// registryStatus returns a status string the registry's own dialect
+// round-trips.
+func registryStatus(reg Registry) string {
+	switch reg {
+	case ARIN:
+		return "Direct Allocation"
+	case LACNIC:
+		return "allocated"
+	default:
+		return "ALLOCATED PA"
+	}
+}
+
+// writeDumpDir writes a minimal five-registry dump directory: one org,
+// one aut-num, and one inetnum per registry.
+func writeDumpDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	ds := NewDataset()
+	for i, reg := range Registries {
+		db := ds.DB(reg)
+		orgID := "ORG-" + reg.String()
+		db.Orgs = append(db.Orgs, &Org{
+			Registry: reg, ID: orgID, Name: "Example " + reg.String(),
+			Country: "US", MntRef: []string{orgID},
+		})
+		db.AutNums = append(db.AutNums, &AutNum{
+			Registry: reg, Number: uint32(64500 + i), Name: "EXAMPLE-" + reg.String(), OrgID: orgID,
+		})
+		first := netutil.MustParseAddr("192.0.2.0") + netutil.Addr(i*256)
+		db.InetNums = append(db.InetNums, &InetNum{
+			Registry: reg,
+			Range:    netutil.Range{First: first, Last: first + 255},
+			NetName:  "NET-" + reg.String(),
+			Status:   registryStatus(reg),
+			OrgID:    orgID,
+			MntBy:    []string{orgID},
+			Country:  "US",
+		})
+		db.Reindex()
+	}
+	if err := WriteDir(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestLoadDirAbsentAndCorrupt drives LoadDirWith over a directory with one
+// registry dump deleted and another corrupted: strict must fail with an
+// error locating the damage, lenient must load what it can and account for
+// exactly what it lost.
+func TestLoadDirAbsentAndCorrupt(t *testing.T) {
+	dir := writeDumpDir(t)
+
+	// Sanity: the pristine directory strict-loads every registry.
+	ds, reports, err := LoadDirWith(dir, diag.Strict())
+	if err != nil {
+		t.Fatalf("strict load of pristine dir: %v", err)
+	}
+	if len(reports) != len(Registries) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(Registries))
+	}
+	for _, reg := range Registries {
+		if got := len(ds.DB(reg).InetNums); got != 1 {
+			t.Fatalf("%v: %d inetnums loaded, want 1", reg, got)
+		}
+	}
+
+	// Damage: APNIC's dump vanishes, RIPE's gains an unparseable line.
+	if err := os.Remove(filepath.Join(dir, DumpFileName(APNIC))); err != nil {
+		t.Fatal(err)
+	}
+	ripePath := filepath.Join(dir, DumpFileName(RIPE))
+	f, err := os.OpenFile(ripePath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("THIS LINE IS NOT RPSL\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict: the corrupt dump is fatal and the error locates it.
+	_, reports, err = LoadDirWith(dir, diag.Strict())
+	if err == nil {
+		t.Fatal("strict load of corrupt dir succeeded")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "ripe.db") {
+		t.Errorf("strict error does not name the corrupt file: %v", err)
+	} else if !strings.Contains(msg, "line ") && !strings.Contains(msg, "record ") {
+		t.Errorf("strict error does not locate the damage: %v", err)
+	}
+	if len(reports) != len(Registries) {
+		t.Fatalf("strict failure returned %d reports, want %d", len(reports), len(Registries))
+	}
+
+	// Lenient: everything loadable loads; the loss is accounted exactly.
+	ds, reports, err = LoadDirWith(dir, diag.Lenient())
+	if err != nil {
+		t.Fatalf("lenient load: %v", err)
+	}
+	for _, rep := range reports {
+		switch rep.Source {
+		case "whois/" + APNIC.String():
+			if !rep.Missing {
+				t.Errorf("%s: not marked missing: %s", rep.Source, rep)
+			}
+		case "whois/" + RIPE.String():
+			if rep.Skipped != 1 {
+				t.Errorf("%s: skipped %d records, want 1: %s", rep.Source, rep.Skipped, rep)
+			}
+			if len(rep.ErrorSamples) == 0 {
+				t.Errorf("%s: skipped a record but sampled no error", rep.Source)
+			}
+		default:
+			if rep.Missing || rep.Skipped != 0 {
+				t.Errorf("%s: unexpected degradation: %s", rep.Source, rep)
+			}
+		}
+	}
+	// The good records around the damage survive.
+	if got := len(ds.DB(RIPE).InetNums); got != 1 {
+		t.Errorf("lenient RIPE load kept %d inetnums, want 1", got)
+	}
+	apnic := ds.DB(APNIC)
+	if n := len(apnic.InetNums) + len(apnic.AutNums) + len(apnic.Orgs); n != 0 {
+		t.Errorf("absent APNIC dump yielded %d objects, want 0", n)
+	}
+}

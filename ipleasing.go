@@ -19,8 +19,6 @@
 package ipleasing
 
 import (
-	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"runtime/debug"
@@ -40,7 +38,6 @@ import (
 	"ipleasing/internal/legacy"
 	"ipleasing/internal/market"
 	"ipleasing/internal/netutil"
-	"ipleasing/internal/par"
 	"ipleasing/internal/report"
 	"ipleasing/internal/rpki"
 	"ipleasing/internal/spamhaus"
@@ -172,6 +169,11 @@ type Dataset struct {
 	EvalISPs   []ISPRef
 	Geo        *GeoPanel // nil when the dataset carries no geo directory
 
+	// Load is the per-source accounting of the load that produced this
+	// dataset: which sources were missing, what was skipped, and which
+	// analyses a degraded dataset cannot run.
+	Load *LoadSummary
+
 	// trees caches the per-registry allocation trees across Infer runs
 	// over this dataset (they depend only on the WHOIS data and the
 	// hyper-specific cut-off). Options.DisableCaches bypasses it.
@@ -187,99 +189,13 @@ type Dataset struct {
 // and the loaded dataset is identical to a serial load. The merged
 // routing table is frozen before return, so the first Infer pays no
 // indexing cost.
+//
+// LoadDataset is strict: the first malformed record aborts the load with
+// the parser's original error. For skip-and-account ingestion of messy
+// inputs, with per-source diagnostics, see LoadDatasetReport.
 func LoadDataset(dir string) (*Dataset, error) {
-	defer relaxGCForLoad()()
-	ds := &Dataset{Dir: dir}
-	ribNames := []string{synth.FileRIBRouteviews, synth.FileRIBRIS}
-	ribs := make([]*bgp.Table, len(ribNames))
-	var g par.Group
-	g.Go(func() (err error) {
-		ds.Whois, err = whois.LoadDir(dir)
-		return err
-	})
-	for i, name := range ribNames {
-		i, name := i, name
-		g.Go(func() error {
-			path := filepath.Join(dir, name)
-			if _, serr := os.Stat(path); serr != nil {
-				return nil
-			}
-			tbl := &bgp.Table{}
-			if err := tbl.LoadMRTFile(path); err != nil {
-				return err
-			}
-			ribs[i] = tbl
-			return nil
-		})
-	}
-	g.Go(func() (err error) {
-		ds.Rel, err = loadFile(dir, synth.FileASRel, asrel.Parse)
-		return err
-	})
-	g.Go(func() (err error) {
-		ds.Orgs, err = loadFile(dir, synth.FileAS2Org, as2org.Parse)
-		return err
-	})
-	g.Go(func() (err error) {
-		ds.Hijackers, err = loadFile(dir, synth.FileHijackers, hijack.Parse)
-		return err
-	})
-	g.Go(func() (err error) {
-		ds.Brokers, err = loadFile(dir, synth.FileBrokers, brokers.Parse)
-		return err
-	})
-	g.Go(func() (err error) {
-		ds.Drop, err = spamhaus.LoadDir(filepath.Join(dir, synth.DirASNDrop))
-		return err
-	})
-	g.Go(func() (err error) {
-		ds.RPKI, err = rpki.LoadDir(filepath.Join(dir, synth.DirRPKI))
-		return err
-	})
-	g.Go(func() (err error) {
-		ds.Truth, err = loadFile(dir, synth.FileGroundTruth, synth.ReadTruth)
-		return err
-	})
-	g.Go(func() (err error) {
-		ds.Exclusions, err = loadFile(dir, synth.FileEvalExclusions, synth.ReadPrefixList)
-		return err
-	})
-	g.Go(func() error {
-		isps, err := loadFile(dir, synth.FileEvalISPs, synth.ReadEvalISPs)
-		if err != nil {
-			return err
-		}
-		for _, isp := range isps {
-			ds.EvalISPs = append(ds.EvalISPs, ISPRef{Registry: isp.Registry, Name: isp.Name})
-		}
-		return nil
-	})
-	g.Go(func() (err error) {
-		if geoDir := filepath.Join(dir, synth.DirGeo); dirExists(geoDir) {
-			ds.Geo, err = geoip.LoadDir(geoDir)
-		}
-		return err
-	})
-	if err := g.Wait(); err != nil {
-		return nil, err
-	}
-	// Merge the collector tables in fixed order (vantage-point counts are
-	// summed per prefix and origin, so the merged view matches a serial
-	// load of the same files), then index for allocation-free queries.
-	ds.Table = &bgp.Table{}
-	for _, tbl := range ribs {
-		if tbl == nil {
-			continue
-		}
-		if ds.Table.NumPrefixes() == 0 {
-			ds.Table = tbl // adopt the first collector's table wholesale
-		} else {
-			ds.Table.Merge(tbl)
-		}
-	}
-	ds.Table.Freeze()
-	ds.trees = core.NewTreeCache()
-	return ds, nil
+	ds, _, err := loadDataset(dir, StrictLoad())
+	return ds, err
 }
 
 func dirExists(path string) bool {
@@ -345,20 +261,6 @@ func (d *Dataset) AnalyzeGeo(res *Result) *GeoReport {
 		return true
 	})
 	return d.Geo.Analyze(leased, nonLeased)
-}
-
-func loadFile[T any](dir, name string, parse func(r io.Reader) (T, error)) (T, error) {
-	var zero T
-	f, err := os.Open(filepath.Join(dir, name))
-	if err != nil {
-		return zero, err
-	}
-	defer f.Close()
-	v, err := parse(f)
-	if err != nil {
-		return zero, fmt.Errorf("ipleasing: %s: %w", name, err)
-	}
-	return v, nil
 }
 
 // Pipeline builds a core pipeline over the dataset.
@@ -517,6 +419,9 @@ func (d *Dataset) WriteReport(path string, res *Result) error {
 		Baseline:        &cmp,
 		Legacy:          &leg,
 		Geo:             d.AnalyzeGeo(res),
+	}
+	if d.Load != nil {
+		data.SkippedAnalyses = d.Load.SkippedAnalyses
 	}
 	if series, err := d.LoadTimeline(); err == nil {
 		data.Timeline = series

@@ -1,0 +1,405 @@
+// Dataset loading: the strict fail-fast entry point the package has
+// always had, plus the lenient skip-and-account variant with per-source
+// load reports and graceful degradation over missing optional sources.
+package ipleasing
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ipleasing/internal/as2org"
+	"ipleasing/internal/asrel"
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/brokers"
+	"ipleasing/internal/core"
+	"ipleasing/internal/diag"
+	"ipleasing/internal/geoip"
+	"ipleasing/internal/hijack"
+	"ipleasing/internal/par"
+	"ipleasing/internal/rpki"
+	"ipleasing/internal/spamhaus"
+	"ipleasing/internal/synth"
+	"ipleasing/internal/whois"
+)
+
+// Load-diagnostics types, re-exported from the internal substrate.
+type (
+	// LoadOptions selects strict (fail-fast) or lenient (skip-and-account)
+	// ingestion. See StrictLoad and LenientLoad.
+	LoadOptions = diag.LoadOptions
+	// LoadReport is one source's ingestion accounting.
+	LoadReport = diag.LoadReport
+	// LoadError locates one malformed record in an input source.
+	LoadError = diag.LoadError
+)
+
+// StrictLoad returns the historical fail-fast load policy: the first
+// malformed record aborts the load with a record-locating error.
+func StrictLoad() LoadOptions { return diag.Strict() }
+
+// LenientLoad returns the skip-and-account policy: malformed records are
+// dropped and counted per source, missing optional sources degrade the
+// dataset instead of failing it, and a per-source circuit breaker
+// (ErrLoadErrorRate) still rejects sources that are mostly garbage.
+func LenientLoad() LoadOptions { return diag.Lenient() }
+
+// ErrLoadErrorRate is wrapped by lenient-load errors when a single
+// source's malformed-record rate exceeds LoadOptions.MaxErrorRate.
+var ErrLoadErrorRate = diag.ErrErrorRate
+
+// loadSources is the fixed report order: the five WHOIS registries first
+// (in whois.Registries order), then the two RIBs, then every auxiliary
+// source.
+const (
+	sourceASRel      = "asrel"
+	sourceAS2Org     = "as2org"
+	sourceHijackers  = "hijackers"
+	sourceBrokers    = "brokers"
+	sourceDrop       = "drop"
+	sourceRPKI       = "rpki"
+	sourceTruth      = "truth"
+	sourceExclusions = "exclusions"
+	sourceEvalISPs   = "eval-isps"
+	sourceGeo        = "geo"
+)
+
+// LoadSummary aggregates a dataset load: one LoadReport per source in a
+// fixed order, plus the analyses that a degraded dataset can no longer
+// support.
+type LoadSummary struct {
+	// Strict records which policy produced the summary.
+	Strict bool
+	// Reports holds one report per source: whois/<RIR> for the five
+	// registries, bgp/<file> for the two RIBs, then asrel, as2org,
+	// hijackers, brokers, drop, rpki, truth, exclusions, eval-isps, geo.
+	Reports []*LoadReport
+	// SkippedAnalyses names the analyses the loaded dataset cannot run
+	// because their sources are missing (e.g. "abuse-correlation" without
+	// an ASN-DROP archive). Empty for a complete dataset.
+	SkippedAnalyses []string
+}
+
+// Report returns the report for a logical source name ("whois/RIPE",
+// "rpki", ...), or nil if the summary has none.
+func (s *LoadSummary) Report(source string) *LoadReport {
+	if s == nil {
+		return nil
+	}
+	for _, r := range s.Reports {
+		if r != nil && r.Source == source {
+			return r
+		}
+	}
+	return nil
+}
+
+// Clean reports whether every source loaded completely: nothing missing,
+// nothing skipped, nothing truncated.
+func (s *LoadSummary) Clean() bool {
+	if s == nil {
+		return true
+	}
+	for _, r := range s.Reports {
+		if r != nil && !r.Clean() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a one-line summary of the load.
+func (s *LoadSummary) String() string {
+	mode := "lenient"
+	if s.Strict {
+		mode = "strict"
+	}
+	var missing, skipped, truncated int
+	for _, r := range s.Reports {
+		if r == nil {
+			continue
+		}
+		if r.Missing {
+			missing++
+		}
+		if r.Truncated {
+			truncated++
+		}
+		skipped += r.Skipped
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s load: %d sources", mode, len(s.Reports))
+	if missing > 0 {
+		fmt.Fprintf(&b, ", %d missing", missing)
+	}
+	if truncated > 0 {
+		fmt.Fprintf(&b, ", %d truncated", truncated)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(&b, ", %d records skipped", skipped)
+	}
+	if missing == 0 && truncated == 0 && skipped == 0 {
+		b.WriteString(", clean")
+	}
+	return b.String()
+}
+
+// missing reports whether a source's file or directory was absent.
+func (s *LoadSummary) missing(source string) bool {
+	r := s.Report(source)
+	return r == nil || r.Missing
+}
+
+// LoadDatasetReport loads a dataset directory under an explicit ingestion
+// policy and returns the per-source accounting alongside the dataset.
+//
+// With StrictLoad options it behaves exactly like LoadDataset. With
+// LenientLoad options, malformed records are skipped and counted instead
+// of aborting, a truncated MRT RIB keeps its partial table, and the
+// optional sources — RPKI archive, geolocation panel, ASN-DROP archive,
+// hijacker list, broker list, and the evaluation files — may be absent
+// entirely: the corresponding reports are marked Missing and the analyses
+// they feed are listed in the summary's SkippedAnalyses. The required
+// core of the methodology (WHOIS registry dumps, AS relationships, AS-to-
+// organisation mapping) must load in either mode.
+//
+// On error the partial summary is still returned so callers can see how
+// far the load got and which source failed.
+func LoadDatasetReport(dir string, opts LoadOptions) (*Dataset, *LoadSummary, error) {
+	return loadDataset(dir, opts)
+}
+
+// loadDataset is the single loader behind LoadDataset (strict) and
+// LoadDatasetReport (either policy). Structure mirrors the historical
+// loader: every independent source parses concurrently, then the RIB
+// tables merge in fixed order.
+func loadDataset(dir string, opts LoadOptions) (*Dataset, *LoadSummary, error) {
+	defer relaxGCForLoad()()
+	ds := &Dataset{Dir: dir}
+	lenient := !opts.Strict
+
+	ribNames := []string{synth.FileRIBRouteviews, synth.FileRIBRIS}
+	ribs := make([]*bgp.Table, len(ribNames))
+	ribCols := make([]*diag.Collector, len(ribNames))
+	for i, name := range ribNames {
+		ribCols[i] = diag.NewCollector("bgp/"+name, opts)
+	}
+	relC := diag.NewCollector(sourceASRel, opts)
+	orgC := diag.NewCollector(sourceAS2Org, opts)
+	hjC := diag.NewCollector(sourceHijackers, opts)
+	brC := diag.NewCollector(sourceBrokers, opts)
+	dropC := diag.NewCollector(sourceDrop, opts)
+	rpkiC := diag.NewCollector(sourceRPKI, opts)
+	truthC := diag.NewCollector(sourceTruth, opts)
+	exclC := diag.NewCollector(sourceExclusions, opts)
+	ispC := diag.NewCollector(sourceEvalISPs, opts)
+	geoC := diag.NewCollector(sourceGeo, opts)
+
+	var whoisReports []*diag.LoadReport
+	var g par.Group
+	g.Go(func() (err error) {
+		ds.Whois, whoisReports, err = whois.LoadDirWith(dir, opts)
+		return err
+	})
+	for i, name := range ribNames {
+		i, name := i, name
+		g.Go(func() error {
+			path := filepath.Join(dir, name)
+			if _, serr := os.Stat(path); serr != nil {
+				// RIBs have always been optional vantage points; record
+				// the absence instead of skipping it silently.
+				ribCols[i].SetFile(path)
+				ribCols[i].MarkMissing()
+				return nil
+			}
+			tbl := &bgp.Table{}
+			if err := tbl.LoadMRTFileWith(path, ribCols[i]); err != nil {
+				return err
+			}
+			ribs[i] = tbl
+			return nil
+		})
+	}
+	g.Go(func() (err error) {
+		// AS relationships and the org mapping are the inference's core
+		// relatedness signal: required in both policies.
+		ds.Rel, err = loadFileWith(dir, synth.FileASRel, relC, false, asrel.ParseWith)
+		return err
+	})
+	g.Go(func() (err error) {
+		ds.Orgs, err = loadFileWith(dir, synth.FileAS2Org, orgC, false, as2org.ParseWith)
+		return err
+	})
+	g.Go(func() (err error) {
+		ds.Hijackers, err = loadFileWith(dir, synth.FileHijackers, hjC, true, hijack.ParseWith)
+		return err
+	})
+	g.Go(func() (err error) {
+		ds.Brokers, err = loadFileWith(dir, synth.FileBrokers, brC, true, brokers.ParseWith)
+		return err
+	})
+	g.Go(func() (err error) {
+		ds.Drop, err = spamhaus.LoadDirWith(filepath.Join(dir, synth.DirASNDrop), dropC)
+		return err
+	})
+	g.Go(func() (err error) {
+		ds.RPKI, err = rpki.LoadDirWith(filepath.Join(dir, synth.DirRPKI), rpkiC)
+		return err
+	})
+	g.Go(func() (err error) {
+		ds.Truth, err = loadEvalFile(dir, synth.FileGroundTruth, truthC, lenient, synth.ReadTruth)
+		truthC.AddParsed(len(ds.Truth))
+		return err
+	})
+	g.Go(func() (err error) {
+		ds.Exclusions, err = loadEvalFile(dir, synth.FileEvalExclusions, exclC, lenient, synth.ReadPrefixList)
+		exclC.AddParsed(len(ds.Exclusions))
+		return err
+	})
+	g.Go(func() error {
+		isps, err := loadEvalFile(dir, synth.FileEvalISPs, ispC, lenient, synth.ReadEvalISPs)
+		if err != nil {
+			return err
+		}
+		for _, isp := range isps {
+			ds.EvalISPs = append(ds.EvalISPs, ISPRef{Registry: isp.Registry, Name: isp.Name})
+		}
+		ispC.AddParsed(len(isps))
+		return nil
+	})
+	g.Go(func() (err error) {
+		geoDir := filepath.Join(dir, synth.DirGeo)
+		if !dirExists(geoDir) {
+			// A dataset without a geo directory has always been valid;
+			// Geo stays nil and AnalyzeGeo returns nil.
+			geoC.SetFile(geoDir)
+			geoC.MarkMissing()
+			return nil
+		}
+		ds.Geo, err = geoip.LoadDirWith(geoDir, geoC)
+		return err
+	})
+	err := g.Wait()
+
+	sum := &LoadSummary{Strict: opts.Strict}
+	sum.Reports = append(sum.Reports, whoisReports...)
+	for _, c := range ribCols {
+		sum.Reports = append(sum.Reports, c.Report())
+	}
+	for _, c := range []*diag.Collector{relC, orgC, hjC, brC, dropC, rpkiC, truthC, exclC, ispC, geoC} {
+		sum.Reports = append(sum.Reports, c.Report())
+	}
+	if err != nil {
+		return nil, sum, err
+	}
+
+	// Merge the collector tables in fixed order (vantage-point counts are
+	// summed per prefix and origin, so the merged view matches a serial
+	// load of the same files), then index for allocation-free queries.
+	ds.Table = &bgp.Table{}
+	for _, tbl := range ribs {
+		if tbl == nil {
+			continue
+		}
+		if ds.Table.NumPrefixes() == 0 {
+			ds.Table = tbl // adopt the first collector's table wholesale
+		} else {
+			ds.Table.Merge(tbl)
+		}
+	}
+	ds.Table.Freeze()
+	ds.trees = core.NewTreeCache()
+	sum.SkippedAnalyses = skippedAnalyses(sum, dir)
+	ds.Load = sum
+	return ds, sum, nil
+}
+
+// skippedAnalyses maps missing sources to the downstream analyses they
+// feed — the degradation matrix a lenient load reports instead of failing.
+func skippedAnalyses(sum *LoadSummary, dir string) []string {
+	var out []string
+	if sum.missing(sourceDrop) {
+		out = append(out, "abuse-correlation") // §6.4 needs the ASN-DROP archive
+	}
+	if sum.missing(sourceRPKI) {
+		out = append(out, "roa-validation") // §6.4 ROA column needs VRPs
+	}
+	if sum.missing(sourceHijackers) {
+		out = append(out, "hijacker-overlap") // §6.3 needs the hijacker list
+	}
+	if sum.missing(sourceBrokers) || sum.missing(sourceTruth) ||
+		sum.missing(sourceExclusions) || sum.missing(sourceEvalISPs) {
+		out = append(out, "evaluation") // §5.3 reference needs brokers + eval files
+	}
+	if sum.missing(sourceGeo) {
+		out = append(out, "geolocation") // §8 extension needs the provider panel
+	}
+	if !dirExists(filepath.Join(dir, synth.DirTimeline)) {
+		out = append(out, "timeline") // Figure 3 needs the snapshot directory
+	}
+	if !dirExists(filepath.Join(dir, synth.DirMarket)) {
+		out = append(out, "market-dynamics") // §8 extension needs monthly RIBs
+	}
+	return out
+}
+
+// loadFileWith opens and parses one dataset file through a collector. A
+// missing optional file in lenient mode degrades to the zero value with
+// the report marked Missing; in strict mode (or for required files) the
+// open error propagates as before.
+func loadFileWith[T any](dir, name string, c *diag.Collector, optional bool,
+	parse func(io.Reader, *diag.Collector) (T, error)) (T, error) {
+	var zero T
+	path := filepath.Join(dir, name)
+	f, err := os.Open(path)
+	if err != nil {
+		if optional && !c.Strict() && os.IsNotExist(err) {
+			c.SetFile(path)
+			c.MarkMissing()
+			return zero, nil
+		}
+		return zero, err
+	}
+	defer f.Close()
+	c.SetFile(path)
+	v, err := parse(f, c)
+	if err != nil {
+		return zero, fmt.Errorf("ipleasing: %s: %w", name, err)
+	}
+	return v, nil
+}
+
+// loadEvalFile loads one of the all-or-nothing evaluation files (ground
+// truth, exclusions, eval ISPs). These parsers are not record-skipping, so
+// in lenient mode a malformed file counts as a single skipped record and
+// the source drops out; a missing file is marked Missing. Strict mode
+// keeps the historical errors.
+func loadEvalFile[T any](dir, name string, c *diag.Collector, lenient bool,
+	parse func(io.Reader) ([]T, error)) ([]T, error) {
+	path := filepath.Join(dir, name)
+	f, err := os.Open(path)
+	if err != nil {
+		if lenient && os.IsNotExist(err) {
+			c.SetFile(path)
+			c.MarkMissing()
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	c.SetFile(path)
+	v, err := parse(f)
+	if err != nil {
+		err = fmt.Errorf("ipleasing: %s: %w", name, err)
+		if lenient {
+			if serr := c.Skip(0, -1, err); serr != nil {
+				return nil, serr
+			}
+			return nil, nil
+		}
+		return nil, err
+	}
+	return v, nil
+}

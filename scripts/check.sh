@@ -23,6 +23,12 @@ else
 	go test ./...
 fi
 
+echo "== fault-injection smoke (3 seeds: lenient recovers, strict fails)"
+go test -run 'TestFaultInjectionMatrix|TestCorruptDeterministic' .
+
+echo "== fuzz seed corpora (go test -run Fuzz)"
+go test -run 'Fuzz' ./internal/mrt ./internal/arinwhois ./internal/lacnicwhois
+
 echo "== benchmark smoke (BenchmarkTable1, BenchmarkLoadDataset)"
 bench_out=$(go test -run '^$' -bench 'BenchmarkTable1$|BenchmarkLoadDataset' -benchmem -benchtime 3x .)
 echo "$bench_out"
