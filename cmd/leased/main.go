@@ -1,0 +1,163 @@
+// Command leased is the long-running lease-lookup daemon: it loads a
+// dataset directory, runs the inference once, and serves prefix/ASN
+// lease queries, the Table-1 summary, and the load report from an
+// immutable in-memory snapshot.
+//
+// Robustness model (see internal/serve): queries read the current
+// snapshot through an atomic pointer; a reload builds the next snapshot
+// off-thread with retry and exponential backoff and swaps it in only on
+// success. A failed reload — corrupt mirror, tripped ingestion circuit
+// breaker — leaves the previous snapshot serving and degrades /readyz;
+// after repeated failures the reload breaker opens and only an operator
+// SIGHUP retries. Requests are bounded by a per-request timeout and a
+// concurrency limiter that sheds with 429 + Retry-After; handler panics
+// become 500s, never process exits.
+//
+// Signals:
+//
+//	SIGHUP          forced reload (runs even with the breaker open)
+//	SIGTERM/SIGINT  graceful shutdown, draining in-flight requests
+//
+// Usage:
+//
+//	leased -data dataset [-addr 127.0.0.1:8402] [-strict]
+//	       [-reload 24h] [-drain 10s] [-max-inflight 128] [-timeout 5s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ipleasing"
+	"ipleasing/internal/serve"
+)
+
+// config carries the parsed flags.
+type config struct {
+	data        string
+	addr        string
+	strict      bool
+	reload      time.Duration
+	drain       time.Duration
+	maxInFlight int
+	timeout     time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.data, "data", "dataset", "dataset directory")
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8402", "listen address")
+	flag.BoolVar(&cfg.strict, "strict", false, "strict ingestion: any malformed record fails a (re)load")
+	flag.DurationVar(&cfg.reload, "reload", 0, "timer-driven reload period (0 disables; SIGHUP always reloads)")
+	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain budget")
+	flag.IntVar(&cfg.maxInFlight, "max-inflight", serve.DefaultMaxInFlight, "concurrent requests before shedding with 429")
+	flag.DurationVar(&cfg.timeout, "timeout", serve.DefaultRequestTimeout, "per-request handling budget")
+	flag.Parse()
+	if err := run(context.Background(), cfg, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "leased:", err)
+		os.Exit(1)
+	}
+}
+
+// builder is the daemon's snapshot build step: one dataset load under
+// the configured ingestion policy plus one inference run.
+func builder(cfg config) func(context.Context) (*serve.Snapshot, error) {
+	opts := ipleasing.LenientLoad()
+	if cfg.strict {
+		opts = ipleasing.StrictLoad()
+	}
+	return func(context.Context) (*serve.Snapshot, error) {
+		_, sum, res, err := ipleasing.LoadAndInfer(cfg.data, opts, ipleasing.Options{})
+		if err != nil {
+			return nil, err
+		}
+		snap := serve.NewSnapshot(res, sum.Reports, sum.SkippedAnalyses)
+		snap.Dir = cfg.data
+		snap.Strict = cfg.strict
+		return snap, nil
+	}
+}
+
+// run is the daemon body. It refuses to start without a first good
+// snapshot, then serves until SIGTERM/SIGINT (draining in-flight
+// requests) or a listener error. The ready callback, when non-nil, is
+// invoked with the bound address once the listener is open (tests bind
+// :0 and need the chosen port).
+func run(ctx context.Context, cfg config, logw io.Writer, ready func(addr string)) error {
+	logger := log.New(logw, "leased: ", log.LstdFlags)
+	s := serve.New(serve.Config{
+		Build:          builder(cfg),
+		ReloadEvery:    cfg.reload,
+		MaxInFlight:    cfg.maxInFlight,
+		RequestTimeout: cfg.timeout,
+		Log:            logger,
+	})
+	// The first load is synchronous and fatal on failure: a daemon with
+	// nothing to serve should crash-loop visibly, not sit unready.
+	if err := s.Reload(ctx, true); err != nil {
+		return fmt.Errorf("initial load of %s: %w", cfg.data, err)
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s (dataset %s, %d inferences)",
+		ln.Addr(), cfg.data, s.Snapshot().NumInferences())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go s.ReloadLoop(ctx)
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigs)
+
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	shutdown := func(why string) error {
+		logger.Printf("%s: draining in-flight requests (budget %s)", why, cfg.drain)
+		dctx, dcancel := context.WithTimeout(context.Background(), cfg.drain)
+		defer dcancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		logger.Printf("drained, exiting")
+		return nil
+	}
+
+	for {
+		select {
+		case err := <-errc:
+			return fmt.Errorf("serve: %w", err)
+		case <-ctx.Done():
+			return shutdown("context cancelled")
+		case sig := <-sigs:
+			if sig == syscall.SIGHUP {
+				// Forced reload off the signal loop; the breaker does not
+				// block an explicit operator request.
+				go func() {
+					if err := s.Reload(ctx, true); err != nil {
+						logger.Printf("SIGHUP reload failed: %v", err)
+					}
+				}()
+				continue
+			}
+			return shutdown(sig.String())
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ipleasing"
+)
+
+func dataset(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := ipleasing.Generate(ipleasing.Config{Seed: 11, Scale: 0.005}).WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// logBuffer is a goroutine-safe log sink: run's logger writes from the
+// daemon goroutine while assertions read from the test goroutine.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startDaemon runs the daemon against dir on an ephemeral port and
+// returns its base URL and a channel carrying run's exit error.
+func startDaemon(t *testing.T, dir string, cfg config) (string, *logBuffer, chan error) {
+	t.Helper()
+	cfg.data = dir
+	cfg.addr = "127.0.0.1:0"
+	if cfg.drain == 0 {
+		cfg.drain = 5 * time.Second
+	}
+	logs := &logBuffer{}
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(context.Background(), cfg, logs, func(addr string) { ready <- addr })
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, logs, errc
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	panic("unreachable")
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// reloadCycles pulls the completed reload-cycle count out of /statusz.
+func reloadCycles(t *testing.T, base string) int {
+	t.Helper()
+	_, body := getBody(t, base+"/statusz")
+	var st struct {
+		Reload struct {
+			Cycles int `json:"cycles"`
+		} `json:"reload"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("statusz JSON: %v\n%s", err, body)
+	}
+	return st.Reload.Cycles
+}
+
+// TestDaemonLifecycle boots the daemon, exercises every endpoint, forces
+// a SIGHUP reload, and shuts down gracefully with SIGTERM.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := dataset(t)
+	base, logs, errc := startDaemon(t, dir, config{})
+
+	if code, body := getBody(t, base+"/healthz"); code != 200 || !strings.Contains(body, `"status": "ok"`) {
+		t.Errorf("/healthz: code %d body %s", code, body)
+	}
+	if code, body := getBody(t, base+"/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Errorf("/readyz: code %d body %s", code, body)
+	}
+	if code, body := getBody(t, base+"/table1"); code != 200 || !strings.Contains(body, "Table 1") {
+		t.Errorf("/table1: code %d body %s", code, body)
+	}
+	if code, body := getBody(t, base+"/loadreport"); code != 200 || !strings.Contains(body, "whois/") {
+		t.Errorf("/loadreport: code %d body %s", code, body)
+	}
+	if code, body := getBody(t, base+"/lookup?ip=203.0.113.99"); code != 200 || !strings.Contains(body, "query") {
+		t.Errorf("/lookup: code %d body %s", code, body)
+	}
+	if n := reloadCycles(t, base); n != 1 {
+		t.Errorf("reload cycles after boot = %d, want 1", n)
+	}
+
+	// SIGHUP: a forced reload lands a second cycle.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for reloadCycles(t, base) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("SIGHUP reload never completed; logs:\n%s", logs.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code, _ := getBody(t, base+"/readyz"); code != 200 {
+		t.Errorf("/readyz after SIGHUP reload: code %d", code)
+	}
+
+	// SIGTERM: graceful exit, nil error, drain logged.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run exited with %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+	if !strings.Contains(logs.String(), "draining") || !strings.Contains(logs.String(), "drained") {
+		t.Errorf("drain not logged:\n%s", logs.String())
+	}
+
+	// The listener is down: new requests fail.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("request succeeded after shutdown")
+	}
+}
+
+// TestInitialLoadFailureIsFatal: a daemon with nothing to serve must
+// refuse to start, not sit unready.
+func TestInitialLoadFailureIsFatal(t *testing.T) {
+	err := run(context.Background(), config{
+		data: filepath.Join(t.TempDir(), "nope"),
+		addr: "127.0.0.1:0",
+	}, io.Discard, nil)
+	if err == nil || !strings.Contains(err.Error(), "initial load") {
+		t.Fatalf("run over missing dataset = %v, want initial-load error", err)
+	}
+}
+
+// TestStrictFlagRejectsCorruptDataset: with -strict, a dataset that the
+// lenient policy would repair fails the initial load.
+func TestStrictFlagRejectsCorruptDataset(t *testing.T) {
+	dir := dataset(t)
+	// A garbage line anywhere in a registry dump is fatal to strict
+	// ingestion and invisible to lenient ingestion's availability.
+	path := filepath.Join(dir, "ripe.db")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, []byte("\nGARBAGE NOT RPSL\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(context.Background(), config{data: dir, addr: "127.0.0.1:0", strict: true}, io.Discard, nil)
+	if err == nil {
+		t.Fatal("strict daemon started over corrupt dataset")
+	}
+	// The same dataset under the default lenient policy serves fine.
+	base, _, errc := startDaemon(t, dir, config{})
+	code, body := getBody(t, base+"/loadreport")
+	if code != 200 || !strings.Contains(body, `"skipped": 1`) {
+		t.Errorf("lenient /loadreport: code %d body %s", code, body)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run exited with %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+}
+
+func TestBuilderUsage(t *testing.T) {
+	// builder wires the config's dataset dir; a wrong dir errors.
+	b := builder(config{data: "does-not-exist", strict: false})
+	if _, err := b(context.Background()); err == nil {
+		t.Fatal("builder over missing dir succeeded")
+	}
+}

@@ -4,43 +4,75 @@
 // originator. Pair it with monthly datasets for a §8-style longitudinal
 // watch.
 //
+// Ingestion is lenient by default: truncated or garbage rows inside an
+// export are skipped and accounted (printed per file) instead of
+// aborting the diff halfway, matching the library's skip-and-account
+// policy for messy feed mirrors. A file that is missing, has a wrong
+// header, or is mostly garbage (the diag circuit breaker) still fails
+// loudly — diffing the wrong file would be worse than no diff.
+//
 // Usage:
 //
-//	leasewatch old.csv new.csv
+//	leasewatch [-strict] old.csv new.csv
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"ipleasing/internal/core"
+	"ipleasing/internal/diag"
 	"ipleasing/internal/netutil"
 )
 
 func main() {
+	strict := flag.Bool("strict", false, "abort on the first malformed row instead of skipping")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: leasewatch old.csv new.csv")
+		fmt.Fprintln(os.Stderr, "usage: leasewatch [-strict] old.csv new.csv")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+	opts := diag.Lenient()
+	if *strict {
+		opts = diag.Strict()
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "leasewatch:", err)
 		os.Exit(1)
 	}
 }
 
-// leaseView maps leased prefixes to their primary originator.
-func leaseView(path string) (map[netutil.Prefix]uint32, error) {
+// leaseView maps leased prefixes to their primary originator, returning
+// the file's load accounting alongside.
+func leaseView(path string, opts diag.LoadOptions) (map[netutil.Prefix]uint32, *diag.LoadReport, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	infs, err := core.ReadCSV(f)
+	br := bufio.NewReader(f)
+	// The header is the diff's type check: a file that does not open with
+	// the export header is not a leaseinfer export, and skipping our way
+	// through it row by row would silently diff garbage.
+	header, err := br.ReadString('\n')
+	if err != nil && err != io.EOF {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if strings.TrimSpace(strings.TrimPrefix(header, "\uFEFF")) != core.CSVHeader {
+		return nil, nil, fmt.Errorf("%s: malformed header %q (not a leaseinfer export)",
+			path, strings.TrimSpace(header))
+	}
+	c := diag.NewCollector(path, opts)
+	c.SetFile(path)
+	// Replay a canonical header line (ReadCSVWith skips it) so the
+	// parser's line numbers match the file's, header included.
+	infs, err := core.ReadCSVWith(io.MultiReader(strings.NewReader(core.CSVHeader+"\n"), br), c)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	out := make(map[netutil.Prefix]uint32)
 	for _, inf := range infs {
@@ -48,15 +80,15 @@ func leaseView(path string) (map[netutil.Prefix]uint32, error) {
 			out[inf.Prefix] = inf.Originator()
 		}
 	}
-	return out, nil
+	return out, c.Report(), nil
 }
 
-func run(oldPath, newPath string, w io.Writer) error {
-	oldLeases, err := leaseView(oldPath)
+func run(oldPath, newPath string, opts diag.LoadOptions, w io.Writer) error {
+	oldLeases, oldRep, err := leaseView(oldPath, opts)
 	if err != nil {
 		return err
 	}
-	newLeases, err := leaseView(newPath)
+	newLeases, newRep, err := leaseView(newPath, opts)
 	if err != nil {
 		return err
 	}
@@ -82,6 +114,12 @@ func run(oldPath, newPath string, w io.Writer) error {
 		netutil.SortPrefixes(s)
 	}
 
+	for _, rep := range []*diag.LoadReport{oldRep, newRep} {
+		if rep.Skipped > 0 {
+			fmt.Fprintf(w, "warning: %s: skipped %d malformed row(s) of %d\n",
+				rep.Source, rep.Skipped, rep.Parsed+rep.Skipped)
+		}
+	}
 	fmt.Fprintf(w, "leases: %d -> %d\n", len(oldLeases), len(newLeases))
 	fmt.Fprintf(w, "  stable:    %d\n", len(stable))
 	fmt.Fprintf(w, "  started:   %d\n", len(started))

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ipleasing/internal/core"
+	"ipleasing/internal/diag"
 	"ipleasing/internal/netutil"
 	"ipleasing/internal/whois"
 )
@@ -54,7 +55,7 @@ func TestDiff(t *testing.T) {
 	})
 
 	var buf bytes.Buffer
-	if err := run(oldPath, newPath, &buf); err != nil {
+	if err := run(oldPath, newPath, diag.Lenient(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -78,18 +79,117 @@ func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	good := filepath.Join(dir, "good.csv")
 	writeCSV(t, good, nil)
-	var buf bytes.Buffer
-	if err := run(filepath.Join(dir, "missing.csv"), good, &buf); err == nil {
-		t.Fatal("missing old accepted")
+	for _, opts := range []diag.LoadOptions{diag.Lenient(), diag.Strict()} {
+		var buf bytes.Buffer
+		// Missing files fail in both policies: there is nothing to diff.
+		if err := run(filepath.Join(dir, "missing.csv"), good, opts, &buf); err == nil {
+			t.Fatal("missing old accepted")
+		}
+		if err := run(good, filepath.Join(dir, "missing.csv"), opts, &buf); err == nil {
+			t.Fatal("missing new accepted")
+		}
+		// A wrong header means a wrong file, not a noisy one: fail, do
+		// not skip-and-diff garbage.
+		bad := filepath.Join(dir, "bad.csv")
+		if err := os.WriteFile(bad, []byte("not,a,valid,row\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(bad, good, opts, &buf); err == nil {
+			t.Fatal("malformed header accepted")
+		} else if !strings.Contains(err.Error(), "malformed header") {
+			t.Fatalf("header error = %v", err)
+		}
+		// Empty file: not even a header.
+		empty := filepath.Join(dir, "empty.csv")
+		if err := os.WriteFile(empty, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(empty, good, opts, &buf); err == nil {
+			t.Fatal("empty file accepted")
+		}
 	}
-	if err := run(good, filepath.Join(dir, "missing.csv"), &buf); err == nil {
-		t.Fatal("missing new accepted")
-	}
-	bad := filepath.Join(dir, "bad.csv")
-	if err := os.WriteFile(bad, []byte("not,a,valid,row\n"), 0o644); err != nil {
+}
+
+// corruptExport writes a valid two-lease export with a truncated row and
+// a garbage row spliced into the middle.
+func corruptExport(t *testing.T, path string) {
+	t.Helper()
+	writeCSV(t, path, []core.Inference{
+		inf("10.0.0.0/24", core.LeasedNoRootOrigin, 100),
+		inf("10.0.2.0/24", core.LeasedWithRootOrigin, 300),
+	})
+	data, err := os.ReadFile(path)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bad, good, &buf); err == nil {
-		t.Fatal("malformed CSV accepted")
+	lines := strings.SplitAfter(string(data), "\n")
+	// Header, row, short row, garbage, row.
+	mangled := lines[0] + lines[1] + "RIPE,10.0.1.0/24,leased-3\n" + "total garbage here\n" + lines[2]
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLenientSkipsMalformedRows: truncated and garbage rows inside an
+// export are skipped with per-file accounting instead of aborting the
+// diff; strict mode keeps the historical fail-fast behavior.
+func TestLenientSkipsMalformedRows(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.csv")
+	newPath := filepath.Join(dir, "new.csv")
+	corruptExport(t, oldPath)
+	writeCSV(t, newPath, []core.Inference{
+		inf("10.0.0.0/24", core.LeasedNoRootOrigin, 100),
+	})
+
+	var buf bytes.Buffer
+	if err := run(oldPath, newPath, diag.Lenient(), &buf); err != nil {
+		t.Fatalf("lenient diff over corrupt export: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"skipped 2 malformed row(s)",
+		"leases: 2 -> 1",
+		"ended:     1",
+		"10.0.2.0/24",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Strict mode aborts on the first malformed row, locating it.
+	var sbuf bytes.Buffer
+	err := run(oldPath, newPath, diag.Strict(), &sbuf)
+	if err == nil {
+		t.Fatal("strict diff accepted corrupt export")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("strict error does not locate the row: %v", err)
+	}
+}
+
+// TestLenientBreakerStillAborts: a file that is mostly garbage trips the
+// diag circuit breaker even in lenient mode.
+func TestLenientBreakerStillAborts(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.csv")
+	writeCSV(t, good, []core.Inference{inf("10.0.0.0/24", core.LeasedNoRootOrigin, 100)})
+	junk := filepath.Join(dir, "junk.csv")
+	var b strings.Builder
+	b.WriteString(core.CSVHeader + "\n")
+	for i := 0; i < 64; i++ {
+		b.WriteString("garbage,row,number\n")
+	}
+	if err := os.WriteFile(junk, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run(junk, good, diag.Lenient(), &buf)
+	if err == nil {
+		t.Fatal("mostly-garbage export accepted")
+	}
+	if !strings.Contains(err.Error(), "malformed") {
+		t.Errorf("breaker error = %v", err)
 	}
 }

@@ -7,12 +7,18 @@ import (
 	"strconv"
 	"strings"
 
+	"ipleasing/internal/diag"
 	"ipleasing/internal/netutil"
 	"ipleasing/internal/whois"
 )
 
-// csvHeader is the column layout of the inference CSV export.
-const csvHeader = "registry,prefix,category,group,leased,root,holder_org,root_asns,root_origins,leaf_origins,facilitators,netname,country"
+// CSVHeader is the column layout of the inference CSV export, exposed so
+// tools consuming exports (leasewatch) can validate a file's header
+// before diffing it.
+const CSVHeader = "registry,prefix,category,group,leased,root,holder_org,root_asns,root_origins,leaf_origins,facilitators,netname,country"
+
+// csvHeader keeps the historical internal name.
+const csvHeader = CSVHeader
 
 func joinASNs(asns []uint32) string {
 	if len(asns) == 0 {
@@ -75,8 +81,20 @@ func parseCategory(s string) (Category, error) {
 	return 0, fmt.Errorf("core: unknown category %q", s)
 }
 
-// ReadCSV parses the export written by WriteCSV.
+// ReadCSV parses the export written by WriteCSV, failing on the first
+// malformed row (the historical strict contract).
 func ReadCSV(r io.Reader) ([]Inference, error) {
+	return ReadCSVWith(r, nil)
+}
+
+// ReadCSVWith parses the export written by WriteCSV under the policy of
+// the given collector: with a nil or strict collector the first
+// malformed row aborts the read with a line-locating error; with a
+// lenient collector malformed rows (truncated lines, garbage, bad
+// fields) are skipped and accounted, subject to the collector's
+// error-rate circuit breaker. Header lines, blank lines, and #-comments
+// are ignored in either mode, as they always were.
+func ReadCSVWith(r io.Reader, c *diag.Collector) ([]Inference, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	var out []Inference
@@ -87,44 +105,58 @@ func ReadCSV(r io.Reader) ([]Inference, error) {
 		if line == "" || line == csvHeader || strings.HasPrefix(line, "#") {
 			continue
 		}
-		f := strings.Split(line, ",")
-		if len(f) != 13 {
-			return nil, fmt.Errorf("core: line %d: want 13 fields, got %d", lineNum, len(f))
-		}
-		reg, err := whois.ParseRegistry(f[0])
+		inf, err := parseCSVLine(line, lineNum)
 		if err != nil {
-			return nil, fmt.Errorf("core: line %d: %v", lineNum, err)
-		}
-		pfx, err := netutil.ParsePrefix(f[1])
-		if err != nil {
-			return nil, fmt.Errorf("core: line %d: %v", lineNum, err)
-		}
-		cat, err := parseCategory(f[2])
-		if err != nil {
-			return nil, fmt.Errorf("core: line %d: %v", lineNum, err)
-		}
-		inf := Inference{Registry: reg, Prefix: pfx, Category: cat, HolderOrg: f[6], NetName: f[11], Country: f[12]}
-		if f[5] != "" {
-			if inf.Root, err = netutil.ParsePrefix(f[5]); err != nil {
-				return nil, fmt.Errorf("core: line %d: %v", lineNum, err)
+			if serr := c.Skip(lineNum, -1, err); serr != nil {
+				return nil, serr
 			}
+			continue
 		}
-		if inf.RootASNs, err = splitASNs(f[7]); err != nil {
-			return nil, fmt.Errorf("core: line %d: %v", lineNum, err)
-		}
-		if inf.RootOrigins, err = splitASNs(f[8]); err != nil {
-			return nil, fmt.Errorf("core: line %d: %v", lineNum, err)
-		}
-		if inf.LeafOrigins, err = splitASNs(f[9]); err != nil {
-			return nil, fmt.Errorf("core: line %d: %v", lineNum, err)
-		}
-		if f[10] != "" {
-			inf.Facilitators = strings.Split(f[10], ";")
-		}
+		c.Parsed()
 		out = append(out, inf)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// parseCSVLine decodes one non-header export row.
+func parseCSVLine(line string, lineNum int) (Inference, error) {
+	var zero Inference
+	f := strings.Split(line, ",")
+	if len(f) != 13 {
+		return zero, fmt.Errorf("core: line %d: want 13 fields, got %d", lineNum, len(f))
+	}
+	reg, err := whois.ParseRegistry(f[0])
+	if err != nil {
+		return zero, fmt.Errorf("core: line %d: %v", lineNum, err)
+	}
+	pfx, err := netutil.ParsePrefix(f[1])
+	if err != nil {
+		return zero, fmt.Errorf("core: line %d: %v", lineNum, err)
+	}
+	cat, err := parseCategory(f[2])
+	if err != nil {
+		return zero, fmt.Errorf("core: line %d: %v", lineNum, err)
+	}
+	inf := Inference{Registry: reg, Prefix: pfx, Category: cat, HolderOrg: f[6], NetName: f[11], Country: f[12]}
+	if f[5] != "" {
+		if inf.Root, err = netutil.ParsePrefix(f[5]); err != nil {
+			return zero, fmt.Errorf("core: line %d: %v", lineNum, err)
+		}
+	}
+	if inf.RootASNs, err = splitASNs(f[7]); err != nil {
+		return zero, fmt.Errorf("core: line %d: %v", lineNum, err)
+	}
+	if inf.RootOrigins, err = splitASNs(f[8]); err != nil {
+		return zero, fmt.Errorf("core: line %d: %v", lineNum, err)
+	}
+	if inf.LeafOrigins, err = splitASNs(f[9]); err != nil {
+		return zero, fmt.Errorf("core: line %d: %v", lineNum, err)
+	}
+	if f[10] != "" {
+		inf.Facilitators = strings.Split(f[10], ";")
+	}
+	return inf, nil
 }

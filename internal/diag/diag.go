@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // LoadError locates one malformed record in an input source.
@@ -152,9 +153,17 @@ func (r *LoadReport) String() string {
 // source's LoadReport. A nil *Collector is valid and behaves as strict
 // mode with no accounting, so pre-existing strict entry points can call
 // the instrumented parsers with nil and keep byte-identical behavior.
-// A Collector is not safe for concurrent use; give each source goroutine
-// its own.
+//
+// A Collector is safe for concurrent use: parsers may account records
+// from multiple goroutines, and Report may be called while parsing is
+// still in flight — it returns a consistent point-in-time copy. This
+// matters for a serving daemon whose hot reload builds parsers in
+// parallel with live traffic reading the previous load's reports. The
+// one thing the mutex cannot give is cross-record ordering: under
+// concurrent Skip calls the circuit breaker trips on whichever call
+// pushes the rate over the limit first.
 type Collector struct {
+	mu   sync.Mutex
 	opts LoadOptions
 	rep  LoadReport
 }
@@ -178,28 +187,36 @@ func (c *Collector) Strict() bool { return c == nil || c.opts.Strict }
 // attributed to it.
 func (c *Collector) SetFile(file string) {
 	if c != nil {
+		c.mu.Lock()
 		c.rep.File = file
+		c.mu.Unlock()
 	}
 }
 
 // Parsed counts one successfully loaded record.
 func (c *Collector) Parsed() {
 	if c != nil {
+		c.mu.Lock()
 		c.rep.Parsed++
+		c.mu.Unlock()
 	}
 }
 
 // AddParsed counts n successfully loaded records.
 func (c *Collector) AddParsed(n int) {
 	if c != nil {
+		c.mu.Lock()
 		c.rep.Parsed += n
+		c.mu.Unlock()
 	}
 }
 
 // MarkMissing flags the source as absent.
 func (c *Collector) MarkMissing() {
 	if c != nil {
+		c.mu.Lock()
 		c.rep.Missing = true
+		c.mu.Unlock()
 	}
 }
 
@@ -213,6 +230,7 @@ func (c *Collector) Skip(record int, offset int64, err error) error {
 	if c == nil || c.opts.Strict {
 		return err
 	}
+	c.mu.Lock()
 	le := &LoadError{
 		Source: c.rep.Source,
 		File:   c.rep.File,
@@ -224,14 +242,19 @@ func (c *Collector) Skip(record int, offset int64, err error) error {
 	if len(c.rep.ErrorSamples) < c.opts.MaxErrorSamples {
 		c.rep.ErrorSamples = append(c.rep.ErrorSamples, le)
 	}
+	total := c.rep.Parsed + c.rep.Skipped
+	skipped := c.rep.Skipped
+	tripped := c.opts.MaxErrorRate > 0 && total >= breakerMinRecords &&
+		float64(skipped) > c.opts.MaxErrorRate*float64(total)
+	c.mu.Unlock()
+	// The callback runs unlocked so an observer may call back into the
+	// collector (e.g. Report for a progress line) without deadlocking.
 	if c.opts.OnError != nil {
 		c.opts.OnError(le)
 	}
-	total := c.rep.Parsed + c.rep.Skipped
-	if c.opts.MaxErrorRate > 0 && total >= breakerMinRecords &&
-		float64(c.rep.Skipped) > c.opts.MaxErrorRate*float64(total) {
+	if tripped {
 		return fmt.Errorf("%w: %s: %d of %d records malformed (last: %v)",
-			ErrErrorRate, c.rep.Source, c.rep.Skipped, total, err)
+			ErrErrorRate, c.rep.Source, skipped, total, err)
 	}
 	return nil
 }
@@ -244,6 +267,7 @@ func (c *Collector) Truncate(offset int64, err error) error {
 	if c == nil || c.opts.Strict {
 		return err
 	}
+	c.mu.Lock()
 	c.rep.Truncated = true
 	le := &LoadError{
 		Source: c.rep.Source,
@@ -254,16 +278,23 @@ func (c *Collector) Truncate(offset int64, err error) error {
 	if len(c.rep.ErrorSamples) < c.opts.MaxErrorSamples {
 		c.rep.ErrorSamples = append(c.rep.ErrorSamples, le)
 	}
+	c.mu.Unlock()
 	if c.opts.OnError != nil {
 		c.opts.OnError(le)
 	}
 	return nil
 }
 
-// Report returns the accumulated report. The nil collector returns nil.
+// Report returns a point-in-time copy of the accumulated report. It is
+// safe to call while other goroutines are still accounting records; the
+// copy never changes afterwards. The nil collector returns nil.
 func (c *Collector) Report() *LoadReport {
 	if c == nil {
 		return nil
 	}
-	return &c.rep
+	c.mu.Lock()
+	rep := c.rep
+	rep.ErrorSamples = append([]*LoadError(nil), c.rep.ErrorSamples...)
+	c.mu.Unlock()
+	return &rep
 }

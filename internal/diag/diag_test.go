@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -158,5 +159,69 @@ func TestReportString(t *testing.T) {
 	}
 	if s := (&LoadReport{Source: "bgp", Parsed: 5, Truncated: true}).String(); !strings.Contains(s, "truncated") {
 		t.Errorf("String = %q", s)
+	}
+}
+
+// TestCollectorConcurrent hammers one collector from many goroutines —
+// the serving daemon's reload path parses sources in parallel while
+// status endpoints read reports — and checks that the accounting is
+// exact and that mid-flight Report copies are internally consistent.
+// Run under -race (scripts/check.sh gates on it).
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector("concurrent", LoadOptions{MaxErrorRate: -1})
+	const (
+		workers   = 8
+		perWorker = 500
+	)
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	// Reader goroutine: snapshots must never observe more samples than
+	// skips, regardless of interleaving.
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rep := c.Report()
+			if len(rep.ErrorSamples) > rep.Skipped {
+				t.Errorf("inconsistent snapshot: %d samples > %d skips",
+					len(rep.ErrorSamples), rep.Skipped)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			c.SetFile("shard")
+			for i := 0; i < perWorker; i++ {
+				c.Parsed()
+				if i%10 == 0 {
+					if err := c.Skip(i, -1, errors.New("bad record")); err != nil {
+						t.Errorf("Skip = %v", err)
+						return
+					}
+				}
+			}
+			c.AddParsed(perWorker)
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	rep := c.Report()
+	if want := workers * perWorker * 2; rep.Parsed != want {
+		t.Errorf("Parsed = %d, want %d", rep.Parsed, want)
+	}
+	if want := workers * perWorker / 10; rep.Skipped != want {
+		t.Errorf("Skipped = %d, want %d", rep.Skipped, want)
+	}
+	if len(rep.ErrorSamples) != DefaultMaxErrorSamples {
+		t.Errorf("samples = %d, want cap %d", len(rep.ErrorSamples), DefaultMaxErrorSamples)
 	}
 }

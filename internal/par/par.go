@@ -6,7 +6,27 @@
 // is stdlib-only.
 package par
 
-import "sync"
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// PanicError is returned by Wait when a function started with Go
+// panicked. A panic in one loader goroutine must not kill a long-running
+// process (a serving daemon reloading its dataset off-thread), so the
+// panic is converted into an error at the group boundary instead of
+// unwinding past it. The recovered value and the panicking goroutine's
+// stack are preserved for diagnosis.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // stack of the panicking goroutine, as debug.Stack renders it
+}
+
+// Error renders the panic value; the stack is available on the field.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: goroutine panicked: %v", e.Value)
+}
 
 // Group runs a set of functions concurrently and collects the first
 // error. The zero value is ready for use.
@@ -18,10 +38,18 @@ type Group struct {
 
 // Go runs fn in its own goroutine. The first non-nil error across all
 // functions is retained and returned by Wait; later errors are dropped.
+// A panic inside fn is recovered and reported through Wait as a
+// *PanicError rather than crashing the process.
 func (g *Group) Go(fn func() error) {
 	g.wg.Add(1)
 	go func() {
 		defer g.wg.Done()
+		defer func() {
+			if v := recover(); v != nil {
+				pe := &PanicError{Value: v, Stack: debug.Stack()}
+				g.once.Do(func() { g.err = pe })
+			}
+		}()
 		if err := fn(); err != nil {
 			g.once.Do(func() { g.err = err })
 		}

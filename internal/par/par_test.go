@@ -1,0 +1,110 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupFirstError(t *testing.T) {
+	want := errors.New("boom")
+	var g Group
+	g.Go(func() error { return nil })
+	g.Go(func() error { return want })
+	if err := g.Wait(); err != want {
+		t.Fatalf("Wait = %v, want %v", err, want)
+	}
+}
+
+// TestGroupRecoversPanic is the regression test for the process-killing
+// loader panic: a panic inside a Group goroutine must surface as a
+// *PanicError from Wait, with the panicking stack attached, while every
+// other function still runs to completion.
+func TestGroupRecoversPanic(t *testing.T) {
+	var ran atomic.Int32
+	var g Group
+	g.Go(func() error {
+		panic("loader exploded")
+	})
+	for i := 0; i < 4; i++ {
+		g.Go(func() error {
+			ran.Add(1)
+			return nil
+		})
+	}
+	err := g.Wait()
+	if err == nil {
+		t.Fatal("Wait returned nil after a goroutine panicked")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Wait error %T is not a *PanicError: %v", err, err)
+	}
+	if pe.Value != "loader exploded" {
+		t.Errorf("PanicError.Value = %v, want %q", pe.Value, "loader exploded")
+	}
+	if !strings.Contains(err.Error(), "loader exploded") {
+		t.Errorf("Error() does not carry the panic value: %q", err.Error())
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "par") {
+		t.Errorf("PanicError.Stack missing or implausible:\n%s", pe.Stack)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Errorf("sibling goroutines ran %d times, want 4", got)
+	}
+}
+
+func TestGroupPanicNilValue(t *testing.T) {
+	// panic(nil) is recovered by Go as a *runtime.PanicNilError, so even
+	// this degenerate case must not slip through as success.
+	var g Group
+	g.Go(func() error { panic(nil) })
+	if err := g.Wait(); err == nil {
+		t.Fatal("Wait returned nil after panic(nil)")
+	}
+}
+
+func TestDoAndEach(t *testing.T) {
+	if err := Do(func() error { return nil }, func() error { return nil }); err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	out := make([]int, 8)
+	if err := Each(len(out), func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatalf("Each = %v", err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	wantErr := fmt.Errorf("slot 3")
+	if err := Each(8, func(i int) error {
+		if i == 3 {
+			return wantErr
+		}
+		return nil
+	}); err != wantErr {
+		t.Fatalf("Each error = %v, want %v", err, wantErr)
+	}
+}
+
+func TestEachRecoversPanic(t *testing.T) {
+	err := Each(4, func(i int) error {
+		if i == 2 {
+			panic(i)
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Each after panic = %v, want *PanicError", err)
+	}
+	if pe.Value != 2 {
+		t.Errorf("PanicError.Value = %v, want 2", pe.Value)
+	}
+}

@@ -1,0 +1,625 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipleasing/internal/netutil"
+)
+
+// Errors returned by Reload.
+var (
+	// ErrBreakerOpen means the reload circuit breaker has opened after
+	// too many consecutive failed reload cycles; unforced reloads are
+	// refused until a forced reload succeeds.
+	ErrBreakerOpen = errors.New("serve: reload circuit breaker open")
+	// ErrReloadInFlight means another reload cycle is already running.
+	ErrReloadInFlight = errors.New("serve: reload already in flight")
+	// ErrNoSnapshot means no snapshot has ever been loaded.
+	ErrNoSnapshot = errors.New("serve: no snapshot loaded")
+)
+
+// Defaults for the zero Config fields.
+const (
+	DefaultMaxInFlight    = 128
+	DefaultRequestTimeout = 5 * time.Second
+	DefaultRetryAfter     = 1 * time.Second
+	DefaultReloadAttempts = 3
+	DefaultReloadBackoff  = 100 * time.Millisecond
+	DefaultBreakerAfter   = 3
+	// historyCap bounds the reload history kept for /statusz.
+	historyCap = 32
+)
+
+// Config wires a Server. Build is the only required field.
+type Config struct {
+	// Build constructs the next snapshot: load the dataset, run the
+	// inference, index it. It runs outside the request path (the caller's
+	// reload goroutine); a panic inside it is recovered and treated as a
+	// build error, never a process kill.
+	Build func(ctx context.Context) (*Snapshot, error)
+
+	// ReloadEvery is the timer-driven reload period for ReloadLoop.
+	// Zero disables timed reloads (signal-driven only).
+	ReloadEvery time.Duration
+	// ReloadAttempts is how many times one reload cycle tries Build
+	// before giving up, with exponential backoff between attempts.
+	ReloadAttempts int
+	// ReloadBackoff is the backoff before the second attempt; it doubles
+	// per subsequent attempt.
+	ReloadBackoff time.Duration
+	// BreakerAfter opens the reload circuit breaker after this many
+	// consecutive failed reload cycles. While open, unforced (timer)
+	// reloads are refused without touching the dataset; a forced reload
+	// (SIGHUP) still runs and closes the breaker on success.
+	BreakerAfter int
+
+	// MaxInFlight caps concurrently served requests; excess load is shed
+	// with 429 + Retry-After instead of queueing unboundedly.
+	MaxInFlight int
+	// RequestTimeout bounds one request's handling time; requests over
+	// it are answered 503.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint attached to shed responses.
+	RetryAfter time.Duration
+
+	// Log receives reload and lifecycle lines; nil discards them.
+	Log *log.Logger
+
+	// Test hooks: clock and interruptible sleep. Nil means real time.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ReloadAttempts <= 0 {
+		out.ReloadAttempts = DefaultReloadAttempts
+	}
+	if out.ReloadBackoff <= 0 {
+		out.ReloadBackoff = DefaultReloadBackoff
+	}
+	if out.BreakerAfter <= 0 {
+		out.BreakerAfter = DefaultBreakerAfter
+	}
+	if out.MaxInFlight <= 0 {
+		out.MaxInFlight = DefaultMaxInFlight
+	}
+	if out.RequestTimeout <= 0 {
+		out.RequestTimeout = DefaultRequestTimeout
+	}
+	if out.RetryAfter <= 0 {
+		out.RetryAfter = DefaultRetryAfter
+	}
+	if out.Log == nil {
+		out.Log = log.New(discard{}, "", 0)
+	}
+	if out.now == nil {
+		out.now = time.Now
+	}
+	if out.sleep == nil {
+		out.sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	return out
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// ReloadEvent records one reload cycle for /statusz.
+type ReloadEvent struct {
+	At         time.Time `json:"at"`
+	OK         bool      `json:"ok"`
+	Forced     bool      `json:"forced"`
+	Attempts   int       `json:"attempts"`
+	DurationMS int64     `json:"duration_ms"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// endpointStats counts one endpoint's traffic with lock-free atomics so
+// the hot path never contends with /statusz readers.
+type endpointStats struct {
+	requests atomic.Int64 // accepted or shed, every arrival
+	errors   atomic.Int64 // responses with status >= 500
+	shed     atomic.Int64 // rejected by the concurrency limiter
+}
+
+// Server is the resilient lease-lookup HTTP service. Create one with
+// New, prime it with Reload, then serve Handler.
+type Server struct {
+	cfg     Config
+	started time.Time
+	snap    atomic.Pointer[Snapshot]
+	sem     chan struct{}
+	mux     *http.ServeMux
+	stats   map[string]*endpointStats
+
+	reloadMu sync.Mutex // serialises reload cycles; TryLock guards re-entry
+
+	mu          sync.Mutex // guards the reload bookkeeping below
+	history     []ReloadEvent
+	reloads     int // completed reload cycles, success or failure
+	consecFails int
+	breakerOpen bool
+}
+
+// New builds a Server around a snapshot builder. No snapshot is loaded
+// yet: either call Reload before serving (a daemon that refuses to start
+// empty) or serve immediately and let /readyz report unready until the
+// first reload lands.
+func New(cfg Config) *Server {
+	c := cfg.withDefaults()
+	s := &Server{
+		cfg:     c,
+		started: c.now(),
+		sem:     make(chan struct{}, c.MaxInFlight),
+		mux:     http.NewServeMux(),
+		stats:   make(map[string]*endpointStats),
+	}
+	s.route("lookup", "/lookup", true, s.handleLookup)
+	s.route("table1", "/table1", true, s.handleTable1)
+	s.route("loadreport", "/loadreport", true, s.handleLoadReport)
+	s.route("healthz", "/healthz", false, s.handleHealthz)
+	s.route("readyz", "/readyz", false, s.handleReadyz)
+	s.route("statusz", "/statusz", false, s.handleStatusz)
+	return s
+}
+
+// Handler returns the fully wired HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Snapshot returns the currently served snapshot, nil before the first
+// successful reload.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// route registers one endpoint behind the hardening middleware.
+// Health and status endpoints skip the concurrency limiter (limited =
+// false): they must answer precisely when the service is overloaded,
+// and they never touch more than in-memory counters.
+func (s *Server) route(name, pattern string, limited bool, h http.HandlerFunc) {
+	st := &endpointStats{}
+	s.stats[name] = st
+	inner := http.Handler(h)
+	if limited {
+		inner = http.TimeoutHandler(inner, s.cfg.RequestTimeout, "request timed out\n")
+	}
+	s.mux.Handle(pattern, s.harden(st, limited, inner))
+}
+
+// statusRecorder captures the response status for error accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status, r.wrote = code, true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if !r.wrote {
+		r.status, r.wrote = http.StatusOK, true
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// harden wraps a handler with the request-hardening middleware: arrival
+// counting, load shedding, panic-to-500 recovery, and 5xx accounting.
+func (s *Server) harden(st *endpointStats, limited bool, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st.requests.Add(1)
+		if limited {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				st.shed.Add(1)
+				w.Header().Set("Retry-After",
+					strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+				http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+				return
+			}
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				st.errors.Add(1)
+				s.cfg.Log.Printf("panic serving %s: %v", r.URL.Path, v)
+				if !rec.wrote {
+					http.Error(rec, "internal error", http.StatusInternalServerError)
+				}
+				return
+			}
+			if rec.wrote && rec.status >= 500 {
+				st.errors.Add(1)
+			}
+		}()
+		h.ServeHTTP(rec, r)
+	})
+}
+
+// build runs the configured builder with panic containment: a snapshot
+// build that panics (a rotten feed tripping a parser bug) is a failed
+// reload, not a dead daemon.
+func (s *Server) build(ctx context.Context) (snap *Snapshot, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			snap, err = nil, fmt.Errorf("serve: snapshot build panicked: %v", v)
+		}
+	}()
+	return s.cfg.Build(ctx)
+}
+
+// Reload runs one reload cycle: build the next snapshot off the request
+// path, retrying with exponential backoff, and atomically swap it in on
+// success. On failure the previous snapshot keeps serving untouched and
+// the failure is recorded for /readyz and /statusz; after BreakerAfter
+// consecutive failed cycles the breaker opens and unforced reloads are
+// refused with ErrBreakerOpen until a forced reload succeeds. Only one
+// cycle runs at a time; a concurrent call returns ErrReloadInFlight.
+func (s *Server) Reload(ctx context.Context, forced bool) error {
+	if !s.reloadMu.TryLock() {
+		return ErrReloadInFlight
+	}
+	defer s.reloadMu.Unlock()
+
+	s.mu.Lock()
+	open := s.breakerOpen
+	s.mu.Unlock()
+	if open && !forced {
+		return ErrBreakerOpen
+	}
+
+	start := s.cfg.now()
+	var err error
+	attempts := 0
+	for attempt := 0; attempt < s.cfg.ReloadAttempts; attempt++ {
+		if attempt > 0 {
+			if serr := s.cfg.sleep(ctx, s.cfg.ReloadBackoff<<(attempt-1)); serr != nil {
+				err = serr
+				break
+			}
+		}
+		attempts++
+		var snap *Snapshot
+		snap, err = s.build(ctx)
+		if err == nil && snap == nil {
+			err = errors.New("serve: builder returned nil snapshot")
+		}
+		if err == nil {
+			if snap.BuiltAt.IsZero() {
+				snap.BuiltAt = s.cfg.now()
+			}
+			s.snap.Store(snap)
+			s.finishReload(ReloadEvent{
+				At: start, OK: true, Forced: forced, Attempts: attempts,
+				DurationMS: s.cfg.now().Sub(start).Milliseconds(),
+			})
+			s.cfg.Log.Printf("reload ok: snapshot of %d inferences (attempt %d)",
+				snap.NumInferences(), attempts)
+			return nil
+		}
+		s.cfg.Log.Printf("reload attempt %d failed: %v", attempts, err)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	s.finishReload(ReloadEvent{
+		At: start, OK: false, Forced: forced, Attempts: attempts,
+		DurationMS: s.cfg.now().Sub(start).Milliseconds(),
+		Error:      err.Error(),
+	})
+	return err
+}
+
+// finishReload records a completed cycle and drives the breaker.
+func (s *Server) finishReload(ev ReloadEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reloads++
+	if ev.OK {
+		s.consecFails = 0
+		s.breakerOpen = false
+	} else {
+		s.consecFails++
+		if s.consecFails >= s.cfg.BreakerAfter && !s.breakerOpen {
+			s.breakerOpen = true
+			s.cfg.Log.Printf("reload breaker opened after %d consecutive failures", s.consecFails)
+		}
+	}
+	s.history = append(s.history, ev)
+	if len(s.history) > historyCap {
+		s.history = s.history[len(s.history)-historyCap:]
+	}
+}
+
+// ReloadLoop reloads on a timer until the context is cancelled. Timer
+// reloads are unforced: once the breaker opens they are skipped until an
+// operator forces a reload (SIGHUP in cmd/leased). No-op when
+// ReloadEvery is zero.
+func (s *Server) ReloadLoop(ctx context.Context) {
+	if s.cfg.ReloadEvery <= 0 {
+		return
+	}
+	t := time.NewTicker(s.cfg.ReloadEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			switch err := s.Reload(ctx, false); err {
+			case nil, ErrReloadInFlight:
+			case ErrBreakerOpen:
+				s.cfg.Log.Printf("timed reload skipped: %v", err)
+			default:
+			}
+		}
+	}
+}
+
+// writeJSON renders one response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// lookupResponse is the /lookup JSON shape.
+type lookupResponse struct {
+	Query           string           `json:"query"`
+	SnapshotBuiltAt time.Time        `json:"snapshot_built_at"`
+	Found           bool             `json:"found"`
+	Inference       *InferenceView   `json:"inference,omitempty"`
+	Inferences      []*InferenceView `json:"inferences,omitempty"`
+}
+
+// handleLookup answers prefix, address, and ASN queries:
+//
+//	/lookup?prefix=198.51.100.0/24  exact leaf-prefix classification
+//	/lookup?ip=198.51.100.7         longest-prefix-match classification
+//	/lookup?asn=64500               every leaf originated by the ASN
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	if snap == nil {
+		http.Error(w, ErrNoSnapshot.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	q := r.URL.Query()
+	resp := lookupResponse{SnapshotBuiltAt: snap.BuiltAt}
+	switch {
+	case q.Get("prefix") != "":
+		arg := q.Get("prefix")
+		p, err := netutil.ParsePrefix(arg)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp.Query = "prefix=" + arg
+		if inf := snap.LookupPrefix(p); inf != nil {
+			resp.Found, resp.Inference = true, View(inf)
+		}
+	case q.Get("ip") != "":
+		arg := q.Get("ip")
+		a, err := netutil.ParseAddr(arg)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp.Query = "ip=" + arg
+		if inf := snap.LookupAddr(a); inf != nil {
+			resp.Found, resp.Inference = true, View(inf)
+		}
+	case q.Get("asn") != "":
+		arg := q.Get("asn")
+		asn, err := strconv.ParseUint(strings.TrimPrefix(arg, "AS"), 10, 32)
+		if err != nil {
+			http.Error(w, "invalid asn: "+arg, http.StatusBadRequest)
+			return
+		}
+		resp.Query = "asn=" + arg
+		for _, inf := range snap.LookupASN(uint32(asn)) {
+			resp.Inferences = append(resp.Inferences, View(inf))
+		}
+		resp.Found = len(resp.Inferences) > 0
+	default:
+		http.Error(w, "missing query: one of prefix=, ip=, asn=", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTable1 serves the snapshot's pre-rendered Table-1 summary.
+func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	if snap == nil {
+		http.Error(w, ErrNoSnapshot.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+	w.Write(snap.Table1()) //nolint:errcheck
+}
+
+// loadReportResponse is the /loadreport JSON shape.
+type loadReportResponse struct {
+	BuiltAt         time.Time        `json:"built_at"`
+	Dir             string           `json:"dir,omitempty"`
+	Strict          bool             `json:"strict"`
+	Reports         []LoadReportView `json:"reports"`
+	SkippedAnalyses []string         `json:"skipped_analyses,omitempty"`
+}
+
+// handleLoadReport serves the snapshot's per-source load accounting.
+func (s *Server) handleLoadReport(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	if snap == nil {
+		http.Error(w, ErrNoSnapshot.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, http.StatusOK, loadReportResponse{
+		BuiltAt:         snap.BuiltAt,
+		Dir:             snap.Dir,
+		Strict:          snap.Strict,
+		Reports:         snap.ReportViews(),
+		SkippedAnalyses: snap.SkippedAnalyses,
+	})
+}
+
+// handleHealthz is liveness: the process is up and the handler chain
+// works. It reports ok even while degraded — liveness restarts must not
+// be triggered by a rotten upstream feed — but carries the degradation
+// flag so probes can log it.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	fails := s.consecFails
+	open := s.breakerOpen
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":               "ok",
+		"uptime_seconds":       s.cfg.now().Sub(s.started).Seconds(),
+		"have_snapshot":        s.snap.Load() != nil,
+		"degraded":             fails > 0 || open,
+		"consecutive_failures": fails,
+		"reload_breaker_open":  open,
+	})
+}
+
+// handleReadyz is readiness: 200 only with a snapshot loaded and the
+// reload pipeline healthy. A daemon serving a stale snapshot after
+// failed reloads answers 503 "degraded" — still serving, but signalling
+// that traffic should prefer healthier replicas — and one with no
+// snapshot at all answers 503 "unready".
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	s.mu.Lock()
+	fails := s.consecFails
+	open := s.breakerOpen
+	s.mu.Unlock()
+	body := map[string]any{
+		"consecutive_failures": fails,
+		"reload_breaker_open":  open,
+	}
+	switch {
+	case snap == nil:
+		body["status"] = "unready"
+		body["reason"] = "no snapshot loaded"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case fails > 0 || open:
+		body["status"] = "degraded"
+		body["reason"] = fmt.Sprintf("serving stale snapshot built %s; %d consecutive reload failures",
+			snap.BuiltAt.Format(time.RFC3339), fails)
+		body["snapshot_age_seconds"] = s.cfg.now().Sub(snap.BuiltAt).Seconds()
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		body["status"] = "ready"
+		body["snapshot_age_seconds"] = s.cfg.now().Sub(snap.BuiltAt).Seconds()
+		writeJSON(w, http.StatusOK, body)
+	}
+}
+
+// statuszResponse is the /statusz JSON shape.
+type statuszResponse struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Snapshot      *statuszSnapshot         `json:"snapshot,omitempty"`
+	Reload        statuszReload            `json:"reload"`
+	Endpoints     map[string]statuszCounts `json:"endpoints"`
+}
+
+type statuszSnapshot struct {
+	BuiltAt         time.Time `json:"built_at"`
+	AgeSeconds      float64   `json:"age_seconds"`
+	Dir             string    `json:"dir,omitempty"`
+	Strict          bool      `json:"strict"`
+	Inferences      int       `json:"inferences"`
+	Leased          int       `json:"leased"`
+	RoutedPrefixes  int       `json:"routed_prefixes"`
+	LeasedShare     float64   `json:"leased_share_of_bgp"`
+	SkippedAnalyses []string  `json:"skipped_analyses,omitempty"`
+}
+
+type statuszReload struct {
+	Cycles              int           `json:"cycles"`
+	ConsecutiveFailures int           `json:"consecutive_failures"`
+	BreakerOpen         bool          `json:"breaker_open"`
+	History             []ReloadEvent `json:"history"`
+}
+
+type statuszCounts struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Shed     int64 `json:"shed"`
+}
+
+// handleStatusz serves the self-observation page: snapshot age and
+// shape, reload history and breaker state, per-endpoint counters.
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	now := s.cfg.now()
+	resp := statuszResponse{
+		UptimeSeconds: now.Sub(s.started).Seconds(),
+		Endpoints:     make(map[string]statuszCounts, len(s.stats)),
+	}
+	if snap := s.snap.Load(); snap != nil {
+		resp.Snapshot = &statuszSnapshot{
+			BuiltAt:         snap.BuiltAt,
+			AgeSeconds:      now.Sub(snap.BuiltAt).Seconds(),
+			Dir:             snap.Dir,
+			Strict:          snap.Strict,
+			Inferences:      snap.NumInferences(),
+			Leased:          snap.Result.TotalLeased(),
+			RoutedPrefixes:  snap.Result.TotalBGPPrefixes,
+			LeasedShare:     snap.Result.LeasedShareOfBGP(),
+			SkippedAnalyses: snap.SkippedAnalyses,
+		}
+	}
+	s.mu.Lock()
+	resp.Reload = statuszReload{
+		Cycles:              s.reloads,
+		ConsecutiveFailures: s.consecFails,
+		BreakerOpen:         s.breakerOpen,
+		History:             append([]ReloadEvent(nil), s.history...),
+	}
+	s.mu.Unlock()
+	names := make([]string, 0, len(s.stats))
+	for name := range s.stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := s.stats[name]
+		resp.Endpoints[name] = statuszCounts{
+			Requests: st.requests.Load(),
+			Errors:   st.errors.Load(),
+			Shed:     st.shed.Load(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

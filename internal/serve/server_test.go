@@ -1,0 +1,438 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ipleasing/internal/core"
+	"ipleasing/internal/diag"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/whois"
+)
+
+func mp(s string) netutil.Prefix { return netutil.MustParsePrefix(s) }
+
+// testSnapshot builds a tiny hand-rolled snapshot: two classified leaves
+// in one registry, one of them leased.
+func testSnapshot() *Snapshot {
+	infs := []core.Inference{
+		{
+			Registry: whois.RIPE, Prefix: mp("10.0.0.0/24"),
+			Category: core.LeasedNoRootOrigin, Root: mp("10.0.0.0/16"),
+			HolderOrg: "HOLDCO", LeafOrigins: []uint32{64500},
+		},
+		{
+			Registry: whois.RIPE, Prefix: mp("10.0.1.0/24"),
+			Category: core.ISPCustomer, Root: mp("10.0.0.0/16"),
+			HolderOrg: "HOLDCO", LeafOrigins: []uint32{64501},
+		},
+	}
+	rr := &core.RegionResult{Registry: whois.RIPE, Inferences: infs}
+	for _, inf := range infs {
+		rr.Counts[inf.Category]++
+		rr.TotalLeaves++
+	}
+	res := &core.Result{
+		Regions:          map[whois.Registry]*core.RegionResult{whois.RIPE: rr},
+		TotalBGPPrefixes: 10,
+	}
+	return NewSnapshot(res, []*diag.LoadReport{{Source: "whois/RIPE", Parsed: 2}}, nil)
+}
+
+// newTestServer builds a primed server over testSnapshot.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Build == nil {
+		cfg.Build = func(context.Context) (*Snapshot, error) { return testSnapshot(), nil }
+	}
+	s := New(cfg)
+	if err := s.Reload(context.Background(), true); err != nil {
+		t.Fatalf("initial Reload: %v", err)
+	}
+	return s
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestLookupQueries(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body, _ := get(t, ts, "/lookup?prefix=10.0.0.0/24")
+	if code != 200 || !strings.Contains(body, `"leased": true`) ||
+		!strings.Contains(body, "HOLDCO") {
+		t.Errorf("prefix lookup: code %d body %s", code, body)
+	}
+
+	// Longest-prefix match from a bare address inside the leased leaf.
+	code, body, _ = get(t, ts, "/lookup?ip=10.0.0.77")
+	if code != 200 || !strings.Contains(body, `"prefix": "10.0.0.0/24"`) {
+		t.Errorf("ip lookup: code %d body %s", code, body)
+	}
+
+	// ASN lookup, with and without the AS prefix.
+	for _, q := range []string{"/lookup?asn=64501", "/lookup?asn=AS64501"} {
+		code, body, _ = get(t, ts, q)
+		if code != 200 || !strings.Contains(body, "10.0.1.0/24") {
+			t.Errorf("%s: code %d body %s", q, code, body)
+		}
+	}
+
+	// Misses are 200 found=false, not errors.
+	code, body, _ = get(t, ts, "/lookup?prefix=192.0.2.0/24")
+	if code != 200 || !strings.Contains(body, `"found": false`) {
+		t.Errorf("miss: code %d body %s", code, body)
+	}
+
+	// Malformed queries are 400s.
+	for _, q := range []string{"/lookup", "/lookup?prefix=banana", "/lookup?ip=999.1.1.1", "/lookup?asn=banana"} {
+		if code, _, _ := get(t, ts, q); code != 400 {
+			t.Errorf("%s: code %d, want 400", q, code)
+		}
+	}
+}
+
+func TestTable1AndLoadReport(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body, hdr := get(t, ts, "/table1")
+	if code != 200 || !strings.Contains(body, "Table 1") || !strings.Contains(body, "Leased prefixes") {
+		t.Errorf("/table1: code %d body %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "markdown") {
+		t.Errorf("/table1 content-type = %q", ct)
+	}
+
+	code, body, _ = get(t, ts, "/loadreport")
+	if code != 200 || !strings.Contains(body, "whois/RIPE") {
+		t.Errorf("/loadreport: code %d body %s", code, body)
+	}
+}
+
+func TestUnprimedServerIsUnready(t *testing.T) {
+	s := New(Config{Build: func(context.Context) (*Snapshot, error) { return testSnapshot(), nil }})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, body, _ := get(t, ts, "/lookup?prefix=10.0.0.0/24"); code != 503 ||
+		!strings.Contains(body, "no snapshot") {
+		t.Errorf("lookup before reload: code %d body %s", code, body)
+	}
+	if code, body, _ := get(t, ts, "/readyz"); code != 503 || !strings.Contains(body, "unready") {
+		t.Errorf("/readyz before reload: code %d body %s", code, body)
+	}
+	// Liveness is still ok: an unprimed process must not be restarted.
+	if code, _, _ := get(t, ts, "/healthz"); code != 200 {
+		t.Errorf("/healthz before reload: code %d, want 200", code)
+	}
+
+	if err := s.Reload(context.Background(), true); err != nil {
+		t.Fatal(err)
+	}
+	if code, body, _ := get(t, ts, "/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Errorf("/readyz after reload: code %d body %s", code, body)
+	}
+}
+
+// TestPanicRecovery drives a panicking handler through the middleware:
+// the response is a 500, the panic is counted, and the process survives
+// to answer the next request.
+func TestPanicRecovery(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.route("boom", "/boom", true, func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _, _ := get(t, ts, "/boom"); code != 500 {
+		t.Errorf("/boom: code %d, want 500", code)
+	}
+	if code, _, _ := get(t, ts, "/healthz"); code != 200 {
+		t.Errorf("/healthz after panic: code %d, want 200", code)
+	}
+	_, body, _ := get(t, ts, "/statusz")
+	var st statuszResponse
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("statusz JSON: %v\n%s", err, body)
+	}
+	if st.Endpoints["boom"].Errors != 1 || st.Endpoints["boom"].Requests != 1 {
+		t.Errorf("boom counters = %+v", st.Endpoints["boom"])
+	}
+}
+
+// TestLoadShedding fills the concurrency limiter and checks that excess
+// load is shed with 429 + Retry-After instead of queueing.
+func TestLoadShedding(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 1, RetryAfter: 2 * time.Second})
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	s.route("slow", "/slow", true, func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		w.WriteHeader(200)
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		code, _, _ := get(t, ts, "/slow")
+		done <- code
+	}()
+	<-entered
+
+	code, _, hdr := get(t, ts, "/lookup?prefix=10.0.0.0/24")
+	if code != 429 {
+		t.Errorf("second request: code %d, want 429", code)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+	// Health endpoints bypass the limiter: they must answer while shed.
+	if code, _, _ := get(t, ts, "/healthz"); code != 200 {
+		t.Errorf("/healthz while saturated: code %d", code)
+	}
+	close(release)
+	if code := <-done; code != 200 {
+		t.Errorf("in-flight request: code %d, want 200", code)
+	}
+
+	_, body, _ := get(t, ts, "/statusz")
+	var st statuszResponse
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Endpoints["lookup"].Shed != 1 {
+		t.Errorf("lookup shed = %d, want 1", st.Endpoints["lookup"].Shed)
+	}
+}
+
+// TestRequestTimeout bounds a slow handler: the client gets a 503 within
+// the configured budget and the overrun is counted as an error.
+func TestRequestTimeout(t *testing.T) {
+	s := newTestServer(t, Config{RequestTimeout: 50 * time.Millisecond})
+	s.route("stall", "/stall", true, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+		w.WriteHeader(200)
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	code, body, _ := get(t, ts, "/stall")
+	if code != 503 || !strings.Contains(body, "timed out") {
+		t.Errorf("/stall: code %d body %q", code, body)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("timeout took %v, budget was 50ms", d)
+	}
+	_, sbody, _ := get(t, ts, "/statusz")
+	var st statuszResponse
+	if err := json.Unmarshal([]byte(sbody), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Endpoints["stall"].Errors != 1 {
+		t.Errorf("stall errors = %d, want 1", st.Endpoints["stall"].Errors)
+	}
+}
+
+// TestReloadRetryAndBreaker walks the full failure ladder: per-cycle
+// retries with exponential backoff, consecutive-failure accounting, the
+// breaker opening and refusing unforced reloads, and a forced success
+// closing it again.
+func TestReloadRetryAndBreaker(t *testing.T) {
+	var builds atomic.Int32
+	failing := atomic.Bool{}
+	failing.Store(true)
+	var slept []time.Duration
+	var sleepMu sync.Mutex
+
+	cfg := Config{
+		Build: func(context.Context) (*Snapshot, error) {
+			builds.Add(1)
+			if failing.Load() {
+				return nil, errors.New("rotten feed")
+			}
+			return testSnapshot(), nil
+		},
+		ReloadAttempts: 3,
+		ReloadBackoff:  10 * time.Millisecond,
+		BreakerAfter:   2,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			sleepMu.Lock()
+			slept = append(slept, d)
+			sleepMu.Unlock()
+			return nil
+		},
+	}
+	s := New(cfg)
+	ctx := context.Background()
+
+	// Cycle 1: three attempts, backoff 10ms then 20ms, then failure.
+	if err := s.Reload(ctx, false); err == nil || !strings.Contains(err.Error(), "rotten feed") {
+		t.Fatalf("cycle 1 = %v", err)
+	}
+	if got := builds.Load(); got != 3 {
+		t.Errorf("cycle 1 builds = %d, want 3", got)
+	}
+	sleepMu.Lock()
+	wantSleeps := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != 2 || slept[0] != wantSleeps[0] || slept[1] != wantSleeps[1] {
+		t.Errorf("backoffs = %v, want %v", slept, wantSleeps)
+	}
+	sleepMu.Unlock()
+
+	// Cycle 2 fails too: breaker opens.
+	if err := s.Reload(ctx, false); err == nil {
+		t.Fatal("cycle 2 succeeded unexpectedly")
+	}
+	s.mu.Lock()
+	open := s.breakerOpen
+	s.mu.Unlock()
+	if !open {
+		t.Fatal("breaker not open after 2 failed cycles")
+	}
+
+	// Unforced reloads are now refused without touching the builder.
+	before := builds.Load()
+	if err := s.Reload(ctx, false); err != ErrBreakerOpen {
+		t.Fatalf("reload with open breaker = %v, want ErrBreakerOpen", err)
+	}
+	if builds.Load() != before {
+		t.Error("builder ran despite open breaker")
+	}
+
+	// A forced reload runs, succeeds, closes the breaker.
+	failing.Store(false)
+	if err := s.Reload(ctx, true); err != nil {
+		t.Fatalf("forced reload = %v", err)
+	}
+	if s.Snapshot() == nil {
+		t.Fatal("no snapshot after forced reload")
+	}
+	s.mu.Lock()
+	open, fails := s.breakerOpen, s.consecFails
+	s.mu.Unlock()
+	if open || fails != 0 {
+		t.Errorf("after forced success: open=%v fails=%d", open, fails)
+	}
+
+	// And unforced reloads work again.
+	if err := s.Reload(ctx, false); err != nil {
+		t.Errorf("post-recovery reload = %v", err)
+	}
+}
+
+// TestBuilderPanicIsReloadError: a panicking snapshot build is a failed
+// reload, not a dead process, and the old snapshot keeps serving.
+func TestBuilderPanicIsReloadError(t *testing.T) {
+	panicking := atomic.Bool{}
+	s := newTestServer(t, Config{Build: func(context.Context) (*Snapshot, error) {
+		if panicking.Load() {
+			panic("parser bug on rotten input")
+		}
+		return testSnapshot(), nil
+	}, ReloadAttempts: 1})
+	old := s.Snapshot()
+
+	panicking.Store(true)
+	err := s.Reload(context.Background(), false)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("Reload = %v, want build-panicked error", err)
+	}
+	if s.Snapshot() != old {
+		t.Error("snapshot changed after failed reload")
+	}
+}
+
+// TestReloadInFlight: a second concurrent reload cycle is refused
+// instead of queueing behind the first.
+func TestReloadInFlight(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s := New(Config{Build: func(context.Context) (*Snapshot, error) {
+		close(started)
+		<-release
+		return testSnapshot(), nil
+	}})
+	done := make(chan error, 1)
+	go func() { done <- s.Reload(context.Background(), true) }()
+	<-started
+	if err := s.Reload(context.Background(), true); err != ErrReloadInFlight {
+		t.Errorf("concurrent Reload = %v, want ErrReloadInFlight", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Errorf("first Reload = %v", err)
+	}
+}
+
+// TestGracefulShutdownDrains serves a request that is mid-flight when
+// Shutdown begins and checks that it completes with a full response
+// before the server exits — the SIGTERM drain contract of cmd/leased.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s := newTestServer(t, Config{})
+	entered := make(chan struct{})
+	s.route("drain", "/drain", true, func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		time.Sleep(300 * time.Millisecond)
+		fmt.Fprint(w, "drained fine")
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type result struct {
+		code int
+		body string
+	}
+	done := make(chan result, 1)
+	go func() {
+		code, body, _ := get(t, ts, "/drain")
+		done <- result{code, body}
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- ts.Config.Shutdown(context.Background()) }()
+
+	res := <-done
+	if res.code != 200 || res.body != "drained fine" {
+		t.Errorf("in-flight request during shutdown: code %d body %q", res.code, res.body)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("Shutdown = %v", err)
+	}
+	// After drain, new connections are refused.
+	if _, err := http.Get(ts.URL + "/healthz"); err == nil {
+		t.Error("request after shutdown succeeded")
+	}
+}

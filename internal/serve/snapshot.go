@@ -1,0 +1,183 @@
+// Package serve implements the resilient lease-lookup service: an
+// immutable in-memory snapshot of one dataset load plus inference run,
+// and an HTTP server that answers prefix/ASN lease queries from it.
+//
+// The architecture is snapshot-swap: queries always read a fully built,
+// never-mutated *Snapshot through an atomic pointer, and a hot reload
+// builds the next snapshot off-thread — with retry, exponential backoff,
+// and a circuit breaker — then swaps it in atomically. A failed reload
+// (corrupt feed mirror, tripped ingestion breaker, panicking parser)
+// leaves the last good snapshot serving and surfaces the degradation
+// through /readyz and /statusz instead of through dropped queries. This
+// is the operational shape the paper's §6.5 longitudinal study implies:
+// a long-lived attribution service fed by monthly registry and RIB
+// refreshes, where any individual refresh may be rotten.
+package serve
+
+import (
+	"bytes"
+	"time"
+
+	"ipleasing/internal/core"
+	"ipleasing/internal/diag"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/report"
+)
+
+// Snapshot is one immutable serving state: the inference result of a
+// single dataset load, indexed for allocation-free query answering, with
+// the load's diagnostics attached. Snapshots are never mutated after
+// NewSnapshot returns, so any number of request goroutines may read one
+// concurrently while the next snapshot is being built.
+type Snapshot struct {
+	// BuiltAt is when the snapshot finished building. The Server stamps
+	// it at swap time if the builder left it zero.
+	BuiltAt time.Time
+	// Dir is the dataset directory the snapshot was loaded from.
+	Dir string
+	// Strict records the ingestion policy of the load.
+	Strict bool
+	// Result is the full inference output backing every lookup.
+	Result *core.Result
+	// Reports is the per-source load accounting of the build.
+	Reports []*diag.LoadReport
+	// SkippedAnalyses names analyses the load's dataset cannot support.
+	SkippedAnalyses []string
+
+	table1   []byte
+	infs     []core.Inference
+	byPrefix map[netutil.Prefix]*core.Inference
+	byASN    map[uint32][]*core.Inference
+}
+
+// NewSnapshot indexes an inference result for serving. The result and
+// reports must not be mutated afterwards; the snapshot takes ownership.
+func NewSnapshot(res *core.Result, reports []*diag.LoadReport, skippedAnalyses []string) *Snapshot {
+	s := &Snapshot{
+		Result:          res,
+		Reports:         reports,
+		SkippedAnalyses: skippedAnalyses,
+	}
+	s.infs = res.All()
+	s.byPrefix = make(map[netutil.Prefix]*core.Inference, len(s.infs))
+	s.byASN = make(map[uint32][]*core.Inference)
+	for i := range s.infs {
+		inf := &s.infs[i]
+		s.byPrefix[inf.Prefix] = inf
+		for _, asn := range inf.LeafOrigins {
+			s.byASN[asn] = append(s.byASN[asn], inf)
+		}
+	}
+	var buf bytes.Buffer
+	report.Table1(&buf, res)
+	s.table1 = buf.Bytes()
+	return s
+}
+
+// Table1 returns the pre-rendered Markdown Table 1 for this snapshot —
+// the same bytes report.Markdown embeds in the full report.
+func (s *Snapshot) Table1() []byte { return s.table1 }
+
+// LookupPrefix returns the classification of an exact leaf prefix, or
+// nil if the snapshot has none.
+func (s *Snapshot) LookupPrefix(p netutil.Prefix) *core.Inference {
+	return s.byPrefix[p]
+}
+
+// LookupAddr returns the longest-prefix-match classification covering a
+// single address, or nil if no classified leaf covers it. Leaf prefixes
+// are bounded below /8, so the walk is at most 25 map probes.
+func (s *Snapshot) LookupAddr(a netutil.Addr) *core.Inference {
+	for l := uint8(32); ; l-- {
+		p := netutil.Prefix{Base: a, Len: l}.Canonicalize()
+		if inf, ok := s.byPrefix[p]; ok {
+			return inf
+		}
+		if l == 0 {
+			return nil
+		}
+	}
+}
+
+// LookupASN returns every classified leaf prefix originated by the ASN,
+// in the result's registry-then-prefix order.
+func (s *Snapshot) LookupASN(asn uint32) []*core.Inference {
+	return s.byASN[asn]
+}
+
+// NumInferences returns the number of classified leaves in the snapshot.
+func (s *Snapshot) NumInferences() int { return len(s.infs) }
+
+// InferenceView is the JSON shape of one classification, stable across
+// snapshots so clients can diff responses between reloads.
+type InferenceView struct {
+	Registry     string   `json:"registry"`
+	Prefix       string   `json:"prefix"`
+	Category     string   `json:"category"`
+	Group        int      `json:"group"`
+	Leased       bool     `json:"leased"`
+	Root         string   `json:"root,omitempty"`
+	HolderOrg    string   `json:"holder_org,omitempty"`
+	RootASNs     []uint32 `json:"root_asns,omitempty"`
+	RootOrigins  []uint32 `json:"root_origins,omitempty"`
+	LeafOrigins  []uint32 `json:"leaf_origins,omitempty"`
+	Facilitators []string `json:"facilitators,omitempty"`
+	NetName      string   `json:"netname,omitempty"`
+	Country      string   `json:"country,omitempty"`
+}
+
+// View renders one inference in the stable JSON shape.
+func View(inf *core.Inference) *InferenceView {
+	if inf == nil {
+		return nil
+	}
+	v := &InferenceView{
+		Registry:     inf.Registry.String(),
+		Category:     inf.Category.String(),
+		Group:        inf.Category.Group(),
+		Leased:       inf.Category.Leased(),
+		Prefix:       inf.Prefix.String(),
+		HolderOrg:    inf.HolderOrg,
+		RootASNs:     inf.RootASNs,
+		RootOrigins:  inf.RootOrigins,
+		LeafOrigins:  inf.LeafOrigins,
+		Facilitators: inf.Facilitators,
+		NetName:      inf.NetName,
+		Country:      inf.Country,
+	}
+	if inf.Category != core.Orphan {
+		v.Root = inf.Root.String()
+	}
+	return v
+}
+
+// LoadReportView is the JSON shape of one source's load accounting.
+type LoadReportView struct {
+	Source    string  `json:"source"`
+	File      string  `json:"file,omitempty"`
+	Parsed    int     `json:"parsed"`
+	Skipped   int     `json:"skipped"`
+	Missing   bool    `json:"missing"`
+	Truncated bool    `json:"truncated"`
+	ErrorRate float64 `json:"error_rate"`
+}
+
+// ReportViews renders the snapshot's per-source accounting.
+func (s *Snapshot) ReportViews() []LoadReportView {
+	out := make([]LoadReportView, 0, len(s.Reports))
+	for _, r := range s.Reports {
+		if r == nil {
+			continue
+		}
+		out = append(out, LoadReportView{
+			Source:    r.Source,
+			File:      r.File,
+			Parsed:    r.Parsed,
+			Skipped:   r.Skipped,
+			Missing:   r.Missing,
+			Truncated: r.Truncated,
+			ErrorRate: r.ErrorRate(),
+		})
+	}
+	return out
+}

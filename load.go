@@ -171,6 +171,22 @@ func LoadDatasetReport(dir string, opts LoadOptions) (*Dataset, *LoadSummary, er
 	return loadDataset(dir, opts)
 }
 
+// LoadAndInfer loads a dataset directory under the given ingestion
+// policy and runs the inference once: the snapshot-build step of a
+// long-running lookup service's reload cycle (see internal/serve and
+// cmd/leased). The returned triple is immutable from the caller's point
+// of view — a daemon can atomically swap it in as the serving snapshot
+// while the previous one keeps answering queries. On load failure the
+// partial summary is still returned so the failure can be surfaced in
+// health endpoints.
+func LoadAndInfer(dir string, opts LoadOptions, inferOpts Options) (*Dataset, *LoadSummary, *Result, error) {
+	ds, sum, err := loadDataset(dir, opts)
+	if err != nil {
+		return nil, sum, nil, err
+	}
+	return ds, sum, ds.Infer(inferOpts), nil
+}
+
 // loadDataset is the single loader behind LoadDataset (strict) and
 // LoadDatasetReport (either policy). Structure mirrors the historical
 // loader: every independent source parses concurrently, then the RIB

@@ -23,6 +23,13 @@ else
 	go test ./...
 fi
 
+# The serving stack and its concurrency substrate are race-gated even in
+# -quick mode: snapshot swaps, the reload breaker, the request limiter,
+# and the load-diagnostics collector are all about cross-goroutine
+# correctness, so running them without the race detector proves little.
+echo "== go test -race ./internal/serve ./internal/par ./internal/diag"
+go test -race ./internal/serve ./internal/par ./internal/diag
+
 echo "== fault-injection smoke (3 seeds: lenient recovers, strict fails)"
 go test -run 'TestFaultInjectionMatrix|TestCorruptDeterministic' .
 
