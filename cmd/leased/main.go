@@ -13,6 +13,11 @@
 // concurrency limiter that sheds with 429 + Retry-After; handler panics
 // become 500s, never process exits.
 //
+// Observability: structured logs (key=value or JSON via -log-format) on
+// stderr, Prometheus metrics on /metrics, and — when -pprof is set —
+// the Go profiler on /debug/pprof/*. See the README's Observability
+// section for the metric catalog.
+//
 // Signals:
 //
 //	SIGHUP          forced reload (runs even with the breaker open)
@@ -22,6 +27,7 @@
 //
 //	leased -data dataset [-addr 127.0.0.1:8402] [-strict]
 //	       [-reload 24h] [-drain 10s] [-max-inflight 128] [-timeout 5s]
+//	       [-log-format text|json] [-log-level info] [-pprof]
 package main
 
 import (
@@ -29,16 +35,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ipleasing"
 	"ipleasing/internal/serve"
+	"ipleasing/internal/telemetry"
 )
 
 // config carries the parsed flags.
@@ -50,6 +58,9 @@ type config struct {
 	drain       time.Duration
 	maxInFlight int
 	timeout     time.Duration
+	logFormat   string
+	logLevel    string
+	pprof       bool
 }
 
 func main() {
@@ -61,11 +72,32 @@ func main() {
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain budget")
 	flag.IntVar(&cfg.maxInFlight, "max-inflight", serve.DefaultMaxInFlight, "concurrent requests before shedding with 429")
 	flag.DurationVar(&cfg.timeout, "timeout", serve.DefaultRequestTimeout, "per-request handling budget")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log record format: text (key=value) or json")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn, error")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "expose the Go profiler on /debug/pprof/*")
 	flag.Parse()
 	if err := run(context.Background(), cfg, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "leased:", err)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the daemon logger from the flag values.
+func newLogger(cfg config, w io.Writer) (*telemetry.Logger, error) {
+	level, err := telemetry.ParseLogLevel(cfg.logLevel)
+	if err != nil {
+		return nil, err
+	}
+	var format string
+	switch strings.ToLower(cfg.logFormat) {
+	case "", "text":
+		format = telemetry.FormatText
+	case "json":
+		format = telemetry.FormatJSON
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", cfg.logFormat)
+	}
+	return telemetry.NewLogger(w, telemetry.LoggerOptions{Level: level, Format: format}), nil
 }
 
 // builder is the daemon's snapshot build step: one dataset load under
@@ -75,7 +107,7 @@ func builder(cfg config) func(context.Context) (*serve.Snapshot, error) {
 	if cfg.strict {
 		opts = ipleasing.StrictLoad()
 	}
-	return func(context.Context) (*serve.Snapshot, error) {
+	return func(ctx context.Context) (*serve.Snapshot, error) {
 		_, sum, res, err := ipleasing.LoadAndInfer(cfg.data, opts, ipleasing.Options{})
 		if err != nil {
 			return nil, err
@@ -87,19 +119,40 @@ func builder(cfg config) func(context.Context) (*serve.Snapshot, error) {
 	}
 }
 
+// handler wires the service handler, optionally mounting the profiler.
+// pprof is flag-gated and wired explicitly — importing net/http/pprof
+// for its DefaultServeMux side effect would expose the profiler
+// unconditionally.
+func handler(cfg config, s *serve.Server) http.Handler {
+	if !cfg.pprof {
+		return s.Handler()
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // run is the daemon body. It refuses to start without a first good
 // snapshot, then serves until SIGTERM/SIGINT (draining in-flight
 // requests) or a listener error. The ready callback, when non-nil, is
 // invoked with the bound address once the listener is open (tests bind
 // :0 and need the chosen port).
 func run(ctx context.Context, cfg config, logw io.Writer, ready func(addr string)) error {
-	logger := log.New(logw, "leased: ", log.LstdFlags)
+	logger, err := newLogger(cfg, logw)
+	if err != nil {
+		return err
+	}
 	s := serve.New(serve.Config{
 		Build:          builder(cfg),
 		ReloadEvery:    cfg.reload,
 		MaxInFlight:    cfg.maxInFlight,
 		RequestTimeout: cfg.timeout,
-		Log:            logger,
+		Logger:         logger,
 	})
 	// The first load is synchronous and fatal on failure: a daemon with
 	// nothing to serve should crash-loop visibly, not sit unready.
@@ -111,8 +164,9 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready func(addr string
 	if err != nil {
 		return err
 	}
-	logger.Printf("listening on %s (dataset %s, %d inferences)",
-		ln.Addr(), cfg.data, s.Snapshot().NumInferences())
+	logger.Info("listening",
+		"addr", ln.Addr(), "dataset", cfg.data,
+		"inferences", s.Snapshot().NumInferences(), "pprof", cfg.pprof)
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -125,18 +179,18 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready func(addr string
 	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGTERM, syscall.SIGINT)
 	defer signal.Stop(sigs)
 
-	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: handler(cfg, s), ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
 	shutdown := func(why string) error {
-		logger.Printf("%s: draining in-flight requests (budget %s)", why, cfg.drain)
+		logger.Info("draining in-flight requests", "reason", why, "budget", cfg.drain)
 		dctx, dcancel := context.WithTimeout(context.Background(), cfg.drain)
 		defer dcancel()
 		if err := srv.Shutdown(dctx); err != nil {
 			return fmt.Errorf("drain: %w", err)
 		}
-		logger.Printf("drained, exiting")
+		logger.Info("drained, exiting")
 		return nil
 	}
 
@@ -152,7 +206,7 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready func(addr string
 				// block an explicit operator request.
 				go func() {
 					if err := s.Reload(ctx, true); err != nil {
-						logger.Printf("SIGHUP reload failed: %v", err)
+						logger.Error("SIGHUP reload failed", "err", err)
 					}
 				}()
 				continue

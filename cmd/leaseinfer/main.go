@@ -2,25 +2,33 @@
 // §5.1–§5.2) over a dataset directory and writes the per-prefix
 // classifications as CSV.
 //
+// With -trace, the run is recorded as a span tree — load (per source),
+// infer (per registry), sort, write — and dumped as indented JSON for
+// stage-level performance triage.
+//
 // Usage:
 //
 //	leaseinfer -data dataset [-out leases.csv] [-leased-only]
 //	           [-exact-roots] [-no-siblings] [-maxlen 24]
+//	           [-trace trace.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"ipleasing"
+	"ipleasing/internal/telemetry"
 )
 
 // config carries the parsed flags.
 type config struct {
 	data       string
 	out        string
+	trace      string
 	leasedOnly bool
 	opts       ipleasing.Options
 }
@@ -32,6 +40,7 @@ func main() {
 	flag.StringVar(&cfg.data, "data", "dataset", "dataset directory")
 	flag.StringVar(&cfg.out, "out", "inferences.csv", "output CSV path")
 	flag.BoolVar(&cfg.leasedOnly, "leased-only", false, "export only leased prefixes")
+	flag.StringVar(&cfg.trace, "trace", "", "write the run's span tree as JSON to this path")
 	flag.BoolVar(&exactRoots, "exact-roots", false, "ablation: disable covering-prefix root lookup")
 	flag.BoolVar(&noSiblings, "no-siblings", false, "ablation: disable as2org sibling expansion")
 	flag.UintVar(&maxLen, "maxlen", 24, "drop blocks more specific than this")
@@ -48,21 +57,63 @@ func main() {
 }
 
 func run(cfg config, w io.Writer) error {
-	ds, err := ipleasing.LoadDataset(cfg.data)
+	ctx := context.Background()
+	var tr *telemetry.Trace
+	if cfg.trace != "" {
+		tr = telemetry.NewTrace("leaseinfer")
+		ctx = tr.Context(ctx)
+	}
+
+	lctx, loadSpan := telemetry.StartSpan(ctx, "load")
+	ds, err := ipleasing.LoadDatasetContext(lctx, cfg.data)
+	loadSpan.End()
 	if err != nil {
 		return err
 	}
-	res := ds.Infer(cfg.opts)
+
+	ictx, inferSpan := telemetry.StartSpan(ctx, "infer")
+	res := ds.InferContext(ictx, cfg.opts)
+	inferSpan.AddRecords(int64(len(res.All())))
+	inferSpan.End()
+
 	infs := res.All()
 	if cfg.leasedOnly {
 		infs = res.LeasedInferences()
 	}
+	_, sortSpan := telemetry.StartSpan(ctx, "sort")
 	ipleasing.SortInferences(infs)
-	if err := ipleasing.WriteInferencesCSV(cfg.out, infs); err != nil {
+	sortSpan.AddRecords(int64(len(infs)))
+	sortSpan.End()
+
+	_, writeSpan := telemetry.StartSpan(ctx, "write")
+	err = ipleasing.WriteInferencesCSV(cfg.out, infs)
+	writeSpan.AddRecords(int64(len(infs)))
+	writeSpan.End()
+	if err != nil {
 		return err
+	}
+
+	if tr != nil {
+		tr.End()
+		if err := writeTrace(cfg.trace, tr); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(w, "classified %d leaves; %d leased (%.1f%% of %d routed prefixes); wrote %s\n",
 		len(res.All()), res.TotalLeased(), 100*res.LeasedShareOfBGP(),
 		res.TotalBGPPrefixes, cfg.out)
 	return nil
+}
+
+// writeTrace dumps the span tree as indented JSON.
+func writeTrace(path string, tr *telemetry.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tr.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"ipleasing"
+	"ipleasing/internal/telemetry"
 )
 
 func dataset(t *testing.T) string {
@@ -67,6 +69,67 @@ func TestRunLeasedOnlySmaller(t *testing.T) {
 		if !strings.Contains(line, ",true,") {
 			t.Fatalf("non-leased row in leased-only export: %q", line)
 		}
+	}
+}
+
+// TestRunTrace checks the -trace dump: the four pipeline stages appear
+// as top-level spans and their durations account for the run — they sum
+// to no more than the root's wall clock, and cover most of it (the work
+// outside the spans is flag parsing and a printf).
+func TestRunTrace(t *testing.T) {
+	dir := dataset(t)
+	out := filepath.Join(t.TempDir(), "out.csv")
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if err := run(config{data: dir, out: out, trace: tracePath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root telemetry.SpanNode
+	if err := json.Unmarshal(data, &root); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if root.Name != "leaseinfer" {
+		t.Fatalf("root span = %q, want leaseinfer", root.Name)
+	}
+
+	stages := map[string]*telemetry.SpanNode{}
+	var stageMS float64
+	for _, c := range root.Children {
+		stages[c.Name] = c
+		stageMS += c.DurationMS
+	}
+	for _, want := range []string{"load", "infer", "sort", "write"} {
+		if stages[want] == nil {
+			t.Fatalf("trace missing stage span %q (have %v)", want, root.Children)
+		}
+		if stages[want].Unfinished {
+			t.Fatalf("stage span %q unfinished", want)
+		}
+	}
+	// The stages run sequentially, so their durations sum to the root's
+	// within tolerance: never above it (plus float slack), and covering
+	// the bulk of the run. The lower bound is generous to keep slow CI
+	// machines from flaking.
+	if stageMS > root.DurationMS+1 {
+		t.Errorf("stage durations sum to %.2fms, exceeding root %.2fms", stageMS, root.DurationMS)
+	}
+	if root.DurationMS > 1 && stageMS < 0.5*root.DurationMS {
+		t.Errorf("stage durations sum to %.2fms, under half of root %.2fms", stageMS, root.DurationMS)
+	}
+	// Nested load spans made it into the dump.
+	var sawWhois bool
+	for _, c := range stages["load"].Children {
+		if strings.HasPrefix(c.Name, "load.") || strings.HasPrefix(c.Name, "whois.") {
+			sawWhois = true
+		}
+	}
+	if !sawWhois {
+		t.Error("load stage has no nested per-source spans")
 	}
 }
 

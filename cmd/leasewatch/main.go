@@ -13,11 +13,12 @@
 //
 // Usage:
 //
-//	leasewatch [-strict] old.csv new.csv
+//	leasewatch [-strict] [-trace trace.json] old.csv new.csv
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,23 +28,60 @@ import (
 	"ipleasing/internal/core"
 	"ipleasing/internal/diag"
 	"ipleasing/internal/netutil"
+	"ipleasing/internal/telemetry"
 )
 
 func main() {
 	strict := flag.Bool("strict", false, "abort on the first malformed row instead of skipping")
+	tracePath := flag.String("trace", "", "write the run's span tree as JSON to this path")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: leasewatch [-strict] old.csv new.csv")
+		fmt.Fprintln(os.Stderr, "usage: leasewatch [-strict] [-trace trace.json] old.csv new.csv")
 		os.Exit(2)
 	}
 	opts := diag.Lenient()
 	if *strict {
 		opts = diag.Strict()
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), opts, os.Stdout); err != nil {
+	ctx := context.Background()
+	var tr *telemetry.Trace
+	if *tracePath != "" {
+		tr = telemetry.NewTrace("leasewatch")
+		ctx = tr.Context(ctx)
+	}
+	err := run(ctx, flag.Arg(0), flag.Arg(1), opts, os.Stdout)
+	if tr != nil {
+		tr.End()
+		if werr := writeTrace(*tracePath, tr); err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "leasewatch:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace dumps the span tree as indented JSON.
+func writeTrace(path string, tr *telemetry.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tr.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// finishViewSpan stamps a load span with the view's parse accounting.
+func finishViewSpan(sp *telemetry.Span, rep *diag.LoadReport) {
+	if rep != nil {
+		sp.AddRecords(int64(rep.Parsed))
+		sp.AddBytes(rep.Bytes)
+	}
+	sp.End()
 }
 
 // leaseView maps leased prefixes to their primary originator, returning
@@ -70,7 +108,7 @@ func leaseView(path string, opts diag.LoadOptions) (map[netutil.Prefix]uint32, *
 	c.SetFile(path)
 	// Replay a canonical header line (ReadCSVWith skips it) so the
 	// parser's line numbers match the file's, header included.
-	infs, err := core.ReadCSVWith(io.MultiReader(strings.NewReader(core.CSVHeader+"\n"), br), c)
+	infs, err := core.ReadCSVWith(diag.CountReader(io.MultiReader(strings.NewReader(core.CSVHeader+"\n"), br), c), c)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -83,16 +121,22 @@ func leaseView(path string, opts diag.LoadOptions) (map[netutil.Prefix]uint32, *
 	return out, c.Report(), nil
 }
 
-func run(oldPath, newPath string, opts diag.LoadOptions, w io.Writer) error {
+func run(ctx context.Context, oldPath, newPath string, opts diag.LoadOptions, w io.Writer) error {
+	_, oldSpan := telemetry.StartSpan(ctx, "load.old")
 	oldLeases, oldRep, err := leaseView(oldPath, opts)
+	finishViewSpan(oldSpan, oldRep)
 	if err != nil {
 		return err
 	}
+	_, newSpan := telemetry.StartSpan(ctx, "load.new")
 	newLeases, newRep, err := leaseView(newPath, opts)
+	finishViewSpan(newSpan, newRep)
 	if err != nil {
 		return err
 	}
 
+	_, diffSpan := telemetry.StartSpan(ctx, "diff")
+	defer diffSpan.End()
 	var started, ended, releases, stable []netutil.Prefix
 	for p, origin := range newLeases {
 		prev, was := oldLeases[p]

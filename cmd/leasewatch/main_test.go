@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"ipleasing/internal/core"
 	"ipleasing/internal/diag"
 	"ipleasing/internal/netutil"
+	"ipleasing/internal/telemetry"
 	"ipleasing/internal/whois"
 )
 
@@ -37,6 +39,45 @@ func inf(prefix string, cat core.Category, origin uint32) core.Inference {
 	return i
 }
 
+// TestTracedDiff: a traced run records one span per file load plus the
+// diff itself, with record counts matching the parsed rows.
+func TestTracedDiff(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.csv")
+	newPath := filepath.Join(dir, "new.csv")
+	writeCSV(t, oldPath, []core.Inference{inf("10.0.0.0/24", core.LeasedNoRootOrigin, 100)})
+	writeCSV(t, newPath, []core.Inference{
+		inf("10.0.0.0/24", core.LeasedNoRootOrigin, 100),
+		inf("10.0.1.0/24", core.LeasedNoRootOrigin, 200),
+	})
+
+	tr := telemetry.NewTrace("leasewatch")
+	var buf bytes.Buffer
+	if err := run(tr.Context(context.Background()), oldPath, newPath, diag.Lenient(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	tr.End()
+
+	spans := map[string]*telemetry.SpanNode{}
+	for _, c := range tr.Tree().Children {
+		spans[c.Name] = c
+	}
+	for _, want := range []string{"load.old", "load.new", "diff"} {
+		if spans[want] == nil {
+			t.Fatalf("trace missing span %q", want)
+		}
+	}
+	if got := spans["load.old"].Records; got != 1 {
+		t.Errorf("load.old records = %d, want 1", got)
+	}
+	if got := spans["load.new"].Records; got != 2 {
+		t.Errorf("load.new records = %d, want 2", got)
+	}
+	if spans["load.new"].Bytes == 0 {
+		t.Error("load.new bytes not recorded")
+	}
+}
+
 func TestDiff(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := filepath.Join(dir, "old.csv")
@@ -55,7 +96,7 @@ func TestDiff(t *testing.T) {
 	})
 
 	var buf bytes.Buffer
-	if err := run(oldPath, newPath, diag.Lenient(), &buf); err != nil {
+	if err := run(context.Background(), oldPath, newPath, diag.Lenient(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -82,10 +123,10 @@ func TestRunErrors(t *testing.T) {
 	for _, opts := range []diag.LoadOptions{diag.Lenient(), diag.Strict()} {
 		var buf bytes.Buffer
 		// Missing files fail in both policies: there is nothing to diff.
-		if err := run(filepath.Join(dir, "missing.csv"), good, opts, &buf); err == nil {
+		if err := run(context.Background(), filepath.Join(dir, "missing.csv"), good, opts, &buf); err == nil {
 			t.Fatal("missing old accepted")
 		}
-		if err := run(good, filepath.Join(dir, "missing.csv"), opts, &buf); err == nil {
+		if err := run(context.Background(), good, filepath.Join(dir, "missing.csv"), opts, &buf); err == nil {
 			t.Fatal("missing new accepted")
 		}
 		// A wrong header means a wrong file, not a noisy one: fail, do
@@ -94,7 +135,7 @@ func TestRunErrors(t *testing.T) {
 		if err := os.WriteFile(bad, []byte("not,a,valid,row\n"), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := run(bad, good, opts, &buf); err == nil {
+		if err := run(context.Background(), bad, good, opts, &buf); err == nil {
 			t.Fatal("malformed header accepted")
 		} else if !strings.Contains(err.Error(), "malformed header") {
 			t.Fatalf("header error = %v", err)
@@ -104,7 +145,7 @@ func TestRunErrors(t *testing.T) {
 		if err := os.WriteFile(empty, nil, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := run(empty, good, opts, &buf); err == nil {
+		if err := run(context.Background(), empty, good, opts, &buf); err == nil {
 			t.Fatal("empty file accepted")
 		}
 	}
@@ -143,7 +184,7 @@ func TestLenientSkipsMalformedRows(t *testing.T) {
 	})
 
 	var buf bytes.Buffer
-	if err := run(oldPath, newPath, diag.Lenient(), &buf); err != nil {
+	if err := run(context.Background(), oldPath, newPath, diag.Lenient(), &buf); err != nil {
 		t.Fatalf("lenient diff over corrupt export: %v", err)
 	}
 	out := buf.String()
@@ -160,7 +201,7 @@ func TestLenientSkipsMalformedRows(t *testing.T) {
 
 	// Strict mode aborts on the first malformed row, locating it.
 	var sbuf bytes.Buffer
-	err := run(oldPath, newPath, diag.Strict(), &sbuf)
+	err := run(context.Background(), oldPath, newPath, diag.Strict(), &sbuf)
 	if err == nil {
 		t.Fatal("strict diff accepted corrupt export")
 	}
@@ -185,7 +226,7 @@ func TestLenientBreakerStillAborts(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	err := run(junk, good, diag.Lenient(), &buf)
+	err := run(context.Background(), junk, good, diag.Lenient(), &buf)
 	if err == nil {
 		t.Fatal("mostly-garbage export accepted")
 	}

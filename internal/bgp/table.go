@@ -434,7 +434,7 @@ func (t *Table) LoadMRTFileWith(path string, c *diag.Collector) error {
 	}
 	defer f.Close()
 	c.SetFile(path)
-	if err := t.LoadMRTWith(f, c); err != nil {
+	if err := t.LoadMRTWith(diag.CountReader(f, c), c); err != nil {
 		return fmt.Errorf("bgp: %s: %w", path, err)
 	}
 	return nil

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -17,6 +18,7 @@ import (
 	"ipleasing/internal/bgp"
 	"ipleasing/internal/netutil"
 	"ipleasing/internal/prefixtree"
+	"ipleasing/internal/telemetry"
 	"ipleasing/internal/whois"
 )
 
@@ -405,6 +407,13 @@ func (r *Result) LeasedAddressSpace() uint64 {
 // table, relationship graph, and org map), and each produces an
 // independent RegionResult.
 func (p *Pipeline) Infer() *Result {
+	return p.InferContext(context.Background())
+}
+
+// InferContext is Infer under a context. When the context carries a
+// telemetry trace, each registry's classification runs inside an
+// "infer.<RIR>" span annotated with the number of leaves it classified.
+func (p *Pipeline) InferContext(ctx context.Context) *Result {
 	res := &Result{Regions: make(map[whois.Registry]*RegionResult)}
 	if p.Table != nil {
 		if !p.Opts.DisableCaches {
@@ -428,7 +437,10 @@ func (p *Pipeline) Infer() *Result {
 		wg.Add(1)
 		go func(reg whois.Registry, db *whois.Database) {
 			defer wg.Done()
+			_, sp := telemetry.StartSpan(ctx, "infer."+reg.String())
 			rr := p.inferRegion(db)
+			sp.AddRecords(int64(len(rr.Inferences)))
+			sp.End()
 			mu.Lock()
 			res.Regions[reg] = rr
 			mu.Unlock()

@@ -94,6 +94,27 @@ func Strict() LoadOptions { return LoadOptions{Strict: true} }
 // Lenient returns the default skip-and-account options.
 func Lenient() LoadOptions { return LoadOptions{} }
 
+// maxErrorRate resolves the effective breaker threshold: the documented
+// default for the zero value, the configured value otherwise (negative
+// disables the breaker). Resolving at use time — not only in
+// NewCollector — means a zero-value Collector gets the same policy as a
+// constructed one instead of a silently disabled breaker.
+func (o *LoadOptions) maxErrorRate() float64 {
+	if o.MaxErrorRate == 0 {
+		return DefaultMaxErrorRate
+	}
+	return o.MaxErrorRate
+}
+
+// maxErrorSamples resolves the effective sample cap, defaulting the zero
+// value.
+func (o *LoadOptions) maxErrorSamples() int {
+	if o.MaxErrorSamples == 0 {
+		return DefaultMaxErrorSamples
+	}
+	return o.MaxErrorSamples
+}
+
 // LoadReport is one source's ingestion accounting.
 type LoadReport struct {
 	Source string // logical source name
@@ -102,6 +123,9 @@ type LoadReport struct {
 	Parsed int
 	// Skipped counts malformed records dropped in lenient mode.
 	Skipped int
+	// Bytes counts input bytes consumed from the source, where the
+	// parser (or a CountReader wrapper) accounts them; 0 when unknown.
+	Bytes int64
 	// Missing marks a source whose file or directory was absent.
 	Missing bool
 	// Truncated marks a stream that ended mid-record; everything decoded
@@ -168,14 +192,10 @@ type Collector struct {
 	rep  LoadReport
 }
 
-// NewCollector returns a collector for the named source.
+// NewCollector returns a collector for the named source. Zero option
+// fields resolve to the documented defaults at use time, so a zero-value
+// Collector (not built here) behaves identically.
 func NewCollector(source string, opts LoadOptions) *Collector {
-	if opts.MaxErrorRate == 0 {
-		opts.MaxErrorRate = DefaultMaxErrorRate
-	}
-	if opts.MaxErrorSamples == 0 {
-		opts.MaxErrorSamples = DefaultMaxErrorSamples
-	}
 	return &Collector{opts: opts, rep: LoadReport{Source: source}}
 }
 
@@ -239,13 +259,16 @@ func (c *Collector) Skip(record int, offset int64, err error) error {
 		Err:    err,
 	}
 	c.rep.Skipped++
-	if len(c.rep.ErrorSamples) < c.opts.MaxErrorSamples {
+	if len(c.rep.ErrorSamples) < c.opts.maxErrorSamples() {
 		c.rep.ErrorSamples = append(c.rep.ErrorSamples, le)
 	}
 	total := c.rep.Parsed + c.rep.Skipped
 	skipped := c.rep.Skipped
-	tripped := c.opts.MaxErrorRate > 0 && total >= breakerMinRecords &&
-		float64(skipped) > c.opts.MaxErrorRate*float64(total)
+	// total >= breakerMinRecords (and Skipped just incremented) keeps the
+	// rate division well-defined; limit <= 0 disables the breaker.
+	limit := c.opts.maxErrorRate()
+	tripped := limit > 0 && total >= breakerMinRecords &&
+		float64(skipped)/float64(total) > limit
 	c.mu.Unlock()
 	// The callback runs unlocked so an observer may call back into the
 	// collector (e.g. Report for a progress line) without deadlocking.
@@ -275,7 +298,7 @@ func (c *Collector) Truncate(offset int64, err error) error {
 		Offset: offset,
 		Err:    err,
 	}
-	if len(c.rep.ErrorSamples) < c.opts.MaxErrorSamples {
+	if len(c.rep.ErrorSamples) < c.opts.maxErrorSamples() {
 		c.rep.ErrorSamples = append(c.rep.ErrorSamples, le)
 	}
 	c.mu.Unlock()
@@ -283,6 +306,15 @@ func (c *Collector) Truncate(offset int64, err error) error {
 		c.opts.OnError(le)
 	}
 	return nil
+}
+
+// AddBytes counts n input bytes consumed from the source.
+func (c *Collector) AddBytes(n int64) {
+	if c != nil && n > 0 {
+		c.mu.Lock()
+		c.rep.Bytes += n
+		c.mu.Unlock()
+	}
 }
 
 // Report returns a point-in-time copy of the accumulated report. It is

@@ -1,0 +1,85 @@
+// Metrics bridge: load-diagnostics accounting rendered onto the
+// telemetry registry, so lenient-mode data loss is scrapeable from
+// /metrics instead of living only in /loadreport JSON.
+package diag
+
+import (
+	"io"
+
+	"ipleasing/internal/telemetry"
+)
+
+// CountReader wraps r so every byte read is accounted on the collector
+// (LoadReport.Bytes). A nil collector returns r unchanged. Reads reach
+// the collector at the wrapping reader's buffer granularity — parsers
+// layer bufio on top, so the mutex is taken once per buffer fill, not
+// per record.
+func CountReader(r io.Reader, c *Collector) io.Reader {
+	if c == nil {
+		return r
+	}
+	return &countingReader{r: r, c: c}
+}
+
+type countingReader struct {
+	r io.Reader
+	c *Collector
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.AddBytes(int64(n))
+	return n, err
+}
+
+// ObserveReports renders per-source load accounting onto reg:
+//
+//	ingest_parsed_records_total{source=...}   counter
+//	ingest_skipped_records_total{source=...}  counter
+//	ingest_truncated_total{source=...}        counter
+//	ingest_bytes_total{source=...}            counter
+//	ingest_source_missing{source=...}         gauge (0/1, last load)
+//	ingest_source_error_rate{source=...}      gauge (last load)
+//
+// Counters accumulate across calls — a reloading daemon calls this once
+// per completed load, so the totals are "since process start" in the
+// Prometheus sense — while the gauges describe the most recent load.
+// Children are created even for zero counts so every configured source
+// is visible to a scrape from the first load on. Nil reports (from nil
+// collectors) are skipped.
+func ObserveReports(reg *telemetry.Registry, reports []*LoadReport) {
+	if reg == nil {
+		return
+	}
+	parsed := reg.CounterVec("ingest_parsed_records_total",
+		"Records parsed successfully, by source.", "source")
+	skipped := reg.CounterVec("ingest_skipped_records_total",
+		"Malformed records skipped in lenient mode, by source.", "source")
+	truncated := reg.CounterVec("ingest_truncated_total",
+		"Loads that ended mid-record and kept partial data, by source.", "source")
+	bytes := reg.CounterVec("ingest_bytes_total",
+		"Input bytes consumed, by source.", "source")
+	missing := reg.GaugeVec("ingest_source_missing",
+		"Whether the source was absent in the most recent load (0/1).", "source")
+	errRate := reg.GaugeVec("ingest_source_error_rate",
+		"Skipped/(parsed+skipped) of the most recent load, by source.", "source")
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		parsed.With(r.Source).Add(uint64(r.Parsed))
+		skipped.With(r.Source).Add(uint64(r.Skipped))
+		bytes.With(r.Source).Add(uint64(r.Bytes))
+		if r.Truncated {
+			truncated.With(r.Source).Inc()
+		} else {
+			truncated.With(r.Source).Add(0)
+		}
+		m := 0.0
+		if r.Missing {
+			m = 1
+		}
+		missing.With(r.Source).Set(m)
+		errRate.With(r.Source).Set(r.ErrorRate())
+	}
+}

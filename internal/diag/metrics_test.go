@@ -1,0 +1,116 @@
+package diag
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ipleasing/internal/telemetry"
+)
+
+// TestZeroValueCollectorBreaker: a zero-value Collector — not built via
+// NewCollector — still gets the documented default breaker policy
+// instead of a silently disabled one.
+func TestZeroValueCollectorBreaker(t *testing.T) {
+	c := &Collector{}
+	bad := errors.New("bad record")
+	var tripped error
+	for i := 1; i <= breakerMinRecords+1; i++ {
+		if err := c.Skip(i, -1, bad); err != nil {
+			tripped = err
+			break
+		}
+	}
+	if tripped == nil {
+		t.Fatal("all-garbage source never tripped the default breaker")
+	}
+	if !errors.Is(tripped, ErrErrorRate) {
+		t.Errorf("breaker error = %v, want ErrErrorRate", tripped)
+	}
+	if n := len(c.Report().ErrorSamples); n != DefaultMaxErrorSamples {
+		t.Errorf("samples = %d, want default cap %d", n, DefaultMaxErrorSamples)
+	}
+}
+
+func TestAddBytes(t *testing.T) {
+	c := NewCollector("whois/RIPE", Lenient())
+	c.AddBytes(100)
+	c.AddBytes(0)
+	c.AddBytes(-5) // defensive: short reads report n>=0, but guard anyway
+	c.AddBytes(28)
+	if got := c.Report().Bytes; got != 128 {
+		t.Errorf("Bytes = %d, want 128", got)
+	}
+	var nilC *Collector
+	nilC.AddBytes(10) // must not panic
+}
+
+func TestCountReader(t *testing.T) {
+	c := NewCollector("rpki", Lenient())
+	src := strings.NewReader("0123456789")
+	r := CountReader(src, c)
+	var sink bytes.Buffer
+	if _, err := sink.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Report().Bytes; got != 10 {
+		t.Errorf("counted bytes = %d, want 10", got)
+	}
+	// Nil collector: no wrapper at all.
+	plain := strings.NewReader("x")
+	if CountReader(plain, nil) != plain {
+		t.Error("CountReader(nil collector) wrapped the reader")
+	}
+}
+
+func TestObserveReports(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reports := []*LoadReport{
+		{Source: "whois/RIPE", Parsed: 1200, Skipped: 3, Bytes: 4096},
+		{Source: "bgp/rib", Parsed: 500, Truncated: true, Bytes: 2048},
+		{Source: "rpki", Missing: true},
+		nil, // from a nil collector; must be skipped
+	}
+	ObserveReports(reg, reports)
+	// Second load accumulates counters but overwrites gauges.
+	ObserveReports(reg, []*LoadReport{
+		{Source: "whois/RIPE", Parsed: 100, Skipped: 1, Bytes: 100},
+		{Source: "rpki", Parsed: 10},
+	})
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := telemetry.LintExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`ingest_parsed_records_total{source="whois/RIPE"} 1300`,
+		`ingest_skipped_records_total{source="whois/RIPE"} 4`,
+		`ingest_bytes_total{source="whois/RIPE"} 4196`,
+		`ingest_truncated_total{source="bgp/rib"} 1`,
+		// Clean sources still expose zero-valued children.
+		`ingest_skipped_records_total{source="bgp/rib"} 0`,
+		`ingest_truncated_total{source="whois/RIPE"} 0`,
+		// Gauges reflect the latest load only: rpki was missing in the
+		// first load but present in the second.
+		`ingest_source_missing{source="rpki"} 0`,
+		`ingest_source_missing{source="whois/RIPE"} 0`,
+		`ingest_source_missing{source="bgp/rib"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Error-rate gauge of the most recent whois load: 1/101.
+	wantRate := fmt.Sprintf(`ingest_source_error_rate{source="whois/RIPE"} %g`, 1.0/101)
+	if !strings.Contains(out, wantRate) {
+		t.Errorf("exposition missing %q in:\n%s", wantRate, out)
+	}
+	// Nil registry is a no-op.
+	ObserveReports(nil, reports)
+}

@@ -219,7 +219,7 @@ func LoadDirWith(dir string, c *diag.Collector) (*Archive, error) {
 			return nil, err
 		}
 		c.SetFile(path)
-		vrps, perr := ReadCSVWith(f, c)
+		vrps, perr := ReadCSVWith(diag.CountReader(f, c), c)
 		f.Close()
 		if perr != nil {
 			return nil, fmt.Errorf("rpki: %s: %w", e.Name(), perr)

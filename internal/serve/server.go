@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"sort"
 	"strconv"
@@ -14,7 +13,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ipleasing/internal/diag"
 	"ipleasing/internal/netutil"
+	"ipleasing/internal/telemetry"
 )
 
 // Errors returned by Reload.
@@ -73,8 +74,14 @@ type Config struct {
 	// RetryAfter is the hint attached to shed responses.
 	RetryAfter time.Duration
 
-	// Log receives reload and lifecycle lines; nil discards them.
-	Log *log.Logger
+	// Logger receives reload and lifecycle records; the nil logger
+	// discards them.
+	Logger *telemetry.Logger
+	// Metrics is the registry behind /metrics and every server
+	// instrument. Nil gets a fresh per-server registry, so tests and
+	// embedded servers never share counters or leak scrape-time gauge
+	// closures into global state.
+	Metrics *telemetry.Registry
 
 	// Test hooks: clock and interruptible sleep. Nil means real time.
 	now   func() time.Time
@@ -101,8 +108,8 @@ func (c *Config) withDefaults() Config {
 	if out.RetryAfter <= 0 {
 		out.RetryAfter = DefaultRetryAfter
 	}
-	if out.Log == nil {
-		out.Log = log.New(discard{}, "", 0)
+	if out.Metrics == nil {
+		out.Metrics = telemetry.NewRegistry()
 	}
 	if out.now == nil {
 		out.now = time.Now
@@ -122,10 +129,6 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-type discard struct{}
-
-func (discard) Write(p []byte) (int, error) { return len(p), nil }
-
 // ReloadEvent records one reload cycle for /statusz.
 type ReloadEvent struct {
 	At         time.Time `json:"at"`
@@ -136,12 +139,29 @@ type ReloadEvent struct {
 	Error      string    `json:"error,omitempty"`
 }
 
-// endpointStats counts one endpoint's traffic with lock-free atomics so
-// the hot path never contends with /statusz readers.
+// endpointStats holds one endpoint's registry instruments, hoisted out
+// of the per-request path so the hot path is a bare atomic add, never a
+// label-map probe. The counters are the single source of truth: /statusz
+// reads the same children /metrics scrapes.
 type endpointStats struct {
-	requests atomic.Int64 // accepted or shed, every arrival
-	errors   atomic.Int64 // responses with status >= 500
-	shed     atomic.Int64 // rejected by the concurrency limiter
+	requests *telemetry.Counter   // accepted or shed, every arrival
+	errors   *telemetry.Counter   // responses with status >= 500
+	shed     *telemetry.Counter   // rejected by the concurrency limiter
+	latency  *telemetry.Histogram // handling latency, shed excluded
+}
+
+// serveMetrics holds the server-level instruments on the registry.
+type serveMetrics struct {
+	requests *telemetry.CounterVec
+	errors   *telemetry.CounterVec
+	shed     *telemetry.CounterVec
+	latency  *telemetry.HistogramVec
+
+	reloadCycles   *telemetry.Counter
+	reloadFailures *telemetry.Counter
+	reloadDuration *telemetry.Histogram
+	consecFails    *telemetry.Gauge
+	breakerGauge   *telemetry.Gauge
 }
 
 // Server is the resilient lease-lookup HTTP service. Create one with
@@ -153,6 +173,7 @@ type Server struct {
 	sem     chan struct{}
 	mux     *http.ServeMux
 	stats   map[string]*endpointStats
+	m       serveMetrics
 
 	reloadMu sync.Mutex // serialises reload cycles; TryLock guards re-entry
 
@@ -176,13 +197,73 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		stats:   make(map[string]*endpointStats),
 	}
+	s.initMetrics()
 	s.route("lookup", "/lookup", true, s.handleLookup)
 	s.route("table1", "/table1", true, s.handleTable1)
 	s.route("loadreport", "/loadreport", true, s.handleLoadReport)
 	s.route("healthz", "/healthz", false, s.handleHealthz)
 	s.route("readyz", "/readyz", false, s.handleReadyz)
 	s.route("statusz", "/statusz", false, s.handleStatusz)
+	// /metrics skips the limiter for the same reason the health probes
+	// do: a scrape during overload is exactly when the numbers matter.
+	s.route("metrics", "/metrics", false, c.Metrics.Handler().ServeHTTP)
 	return s
+}
+
+// initMetrics registers the server's instruments on the configured
+// registry. Snapshot-shape gauges use SetGaugeFunc so a registry shared
+// across server generations always reads the newest server's state.
+func (s *Server) initMetrics() {
+	r := s.cfg.Metrics
+	s.m = serveMetrics{
+		requests: r.CounterVec("http_requests_total",
+			"HTTP requests received (accepted or shed), by endpoint.", "endpoint"),
+		errors: r.CounterVec("http_request_errors_total",
+			"HTTP responses with status >= 500, by endpoint.", "endpoint"),
+		shed: r.CounterVec("http_requests_shed_total",
+			"Requests rejected by the concurrency limiter with 429, by endpoint.", "endpoint"),
+		latency: r.HistogramVec("http_request_duration_seconds",
+			"Request handling latency in seconds (shed requests excluded), by endpoint.",
+			nil, "endpoint"),
+		reloadCycles: r.Counter("reload_cycles_total",
+			"Completed snapshot reload cycles, success or failure."),
+		reloadFailures: r.Counter("reload_failures_total",
+			"Snapshot reload cycles that failed every attempt."),
+		reloadDuration: r.Histogram("reload_duration_seconds",
+			"Snapshot reload cycle duration in seconds.", nil),
+		consecFails: r.Gauge("reload_consecutive_failures",
+			"Consecutive failed reload cycles; resets on success."),
+		breakerGauge: r.Gauge("reload_breaker_open",
+			"Whether the reload circuit breaker is open (0/1)."),
+	}
+	r.SetGaugeFunc("snapshot_age_seconds",
+		"Age of the served snapshot in seconds; 0 before the first load.",
+		func() float64 {
+			if snap := s.snap.Load(); snap != nil {
+				return s.cfg.now().Sub(snap.BuiltAt).Seconds()
+			}
+			return 0
+		})
+	r.SetGaugeFunc("snapshot_built_timestamp_seconds",
+		"Unix time the served snapshot was built; 0 before the first load.",
+		func() float64 {
+			if snap := s.snap.Load(); snap != nil {
+				return float64(snap.BuiltAt.UnixNano()) / 1e9
+			}
+			return 0
+		})
+	r.SetGaugeFunc("snapshot_inferences",
+		"Classified leaf prefixes in the served snapshot.",
+		func() float64 {
+			if snap := s.snap.Load(); snap != nil {
+				return float64(snap.NumInferences())
+			}
+			return 0
+		})
+	r.SetGaugeFunc("http_in_flight_requests",
+		"Limiter slots currently held by in-flight requests.",
+		func() float64 { return float64(len(s.sem)) })
+	r.RegisterRuntimeMetrics()
 }
 
 // Handler returns the fully wired HTTP handler.
@@ -197,7 +278,12 @@ func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 // false): they must answer precisely when the service is overloaded,
 // and they never touch more than in-memory counters.
 func (s *Server) route(name, pattern string, limited bool, h http.HandlerFunc) {
-	st := &endpointStats{}
+	st := &endpointStats{
+		requests: s.m.requests.With(name),
+		errors:   s.m.errors.With(name),
+		shed:     s.m.shed.With(name),
+		latency:  s.m.latency.With(name),
+	}
 	s.stats[name] = st
 	inner := http.Handler(h)
 	if limited {
@@ -228,37 +314,40 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 }
 
 // harden wraps a handler with the request-hardening middleware: arrival
-// counting, load shedding, panic-to-500 recovery, and 5xx accounting.
+// counting, load shedding, latency observation, panic-to-500 recovery,
+// and 5xx accounting.
 func (s *Server) harden(st *endpointStats, limited bool, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		st.requests.Add(1)
+		st.requests.Inc()
 		if limited {
 			select {
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()
 			default:
-				st.shed.Add(1)
+				st.shed.Inc()
 				w.Header().Set("Retry-After",
 					strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 				http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
 				return
 			}
 		}
+		start := s.cfg.now()
 		rec := &statusRecorder{ResponseWriter: w}
 		defer func() {
+			st.latency.Observe(s.cfg.now().Sub(start).Seconds())
 			if v := recover(); v != nil {
 				if v == http.ErrAbortHandler {
 					panic(v)
 				}
-				st.errors.Add(1)
-				s.cfg.Log.Printf("panic serving %s: %v", r.URL.Path, v)
+				st.errors.Inc()
+				s.cfg.Logger.Error("panic serving request", "path", r.URL.Path, "panic", v)
 				if !rec.wrote {
 					http.Error(rec, "internal error", http.StatusInternalServerError)
 				}
 				return
 			}
 			if rec.wrote && rec.status >= 500 {
-				st.errors.Add(1)
+				st.errors.Inc()
 			}
 		}()
 		h.ServeHTTP(rec, r)
@@ -318,15 +407,18 @@ func (s *Server) Reload(ctx context.Context, forced bool) error {
 				snap.BuiltAt = s.cfg.now()
 			}
 			s.snap.Store(snap)
+			// Roll the load's per-source accounting onto the ingest_*
+			// counter families so data loss is scrapeable per reload.
+			diag.ObserveReports(s.cfg.Metrics, snap.Reports)
 			s.finishReload(ReloadEvent{
 				At: start, OK: true, Forced: forced, Attempts: attempts,
 				DurationMS: s.cfg.now().Sub(start).Milliseconds(),
 			})
-			s.cfg.Log.Printf("reload ok: snapshot of %d inferences (attempt %d)",
-				snap.NumInferences(), attempts)
+			s.cfg.Logger.Info("reload ok",
+				"inferences", snap.NumInferences(), "attempt", attempts, "forced", forced)
 			return nil
 		}
-		s.cfg.Log.Printf("reload attempt %d failed: %v", attempts, err)
+		s.cfg.Logger.Warn("reload attempt failed", "attempt", attempts, "err", err)
 		if ctx.Err() != nil {
 			break
 		}
@@ -344,15 +436,24 @@ func (s *Server) finishReload(ev ReloadEvent) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.reloads++
+	s.m.reloadCycles.Inc()
+	s.m.reloadDuration.Observe(float64(ev.DurationMS) / 1e3)
 	if ev.OK {
 		s.consecFails = 0
 		s.breakerOpen = false
 	} else {
+		s.m.reloadFailures.Inc()
 		s.consecFails++
 		if s.consecFails >= s.cfg.BreakerAfter && !s.breakerOpen {
 			s.breakerOpen = true
-			s.cfg.Log.Printf("reload breaker opened after %d consecutive failures", s.consecFails)
+			s.cfg.Logger.Error("reload breaker opened", "consecutive_failures", s.consecFails)
 		}
+	}
+	s.m.consecFails.Set(float64(s.consecFails))
+	if s.breakerOpen {
+		s.m.breakerGauge.Set(1)
+	} else {
+		s.m.breakerGauge.Set(0)
 	}
 	s.history = append(s.history, ev)
 	if len(s.history) > historyCap {
@@ -378,7 +479,7 @@ func (s *Server) ReloadLoop(ctx context.Context) {
 			switch err := s.Reload(ctx, false); err {
 			case nil, ErrReloadInFlight:
 			case ErrBreakerOpen:
-				s.cfg.Log.Printf("timed reload skipped: %v", err)
+				s.cfg.Logger.Warn("timed reload skipped", "err", err)
 			default:
 			}
 		}
@@ -614,11 +715,13 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		// Read the same registry children /metrics scrapes, so the two
+		// views can never disagree.
 		st := s.stats[name]
 		resp.Endpoints[name] = statuszCounts{
-			Requests: st.requests.Load(),
-			Errors:   st.errors.Load(),
-			Shed:     st.shed.Load(),
+			Requests: int64(st.requests.Value()),
+			Errors:   int64(st.errors.Value()),
+			Shed:     int64(st.shed.Value()),
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -157,6 +157,7 @@ type LoadReportView struct {
 	File      string  `json:"file,omitempty"`
 	Parsed    int     `json:"parsed"`
 	Skipped   int     `json:"skipped"`
+	Bytes     int64   `json:"bytes,omitempty"`
 	Missing   bool    `json:"missing"`
 	Truncated bool    `json:"truncated"`
 	ErrorRate float64 `json:"error_rate"`
@@ -174,6 +175,7 @@ func (s *Snapshot) ReportViews() []LoadReportView {
 			File:      r.File,
 			Parsed:    r.Parsed,
 			Skipped:   r.Skipped,
+			Bytes:     r.Bytes,
 			Missing:   r.Missing,
 			Truncated: r.Truncated,
 			ErrorRate: r.ErrorRate(),

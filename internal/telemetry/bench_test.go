@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// The registry hot path is the instrumentation budget for every
+// per-record parse loop and every served request: scripts/check.sh runs
+// these and records BENCH_telemetry.json so later PRs can see when
+// instrumentation cost creeps. The acceptance bar is <= 50 ns/op for a
+// counter increment.
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterVecWith(b *testing.B) {
+	// The un-hoisted path: label lookup plus increment per event.
+	r := NewRegistry()
+	v := r.CounterVec("bench_labeled_total", "", "source")
+	v.With("whois/RIPE")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("whois/RIPE").Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00042)
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("bench_scrape_total", "", "source")
+	hv := r.HistogramVec("bench_scrape_seconds", "", nil, "endpoint")
+	for _, s := range []string{"a", "b", "c", "d", "e"} {
+		v.With(s).Add(100)
+		hv.With(s).Observe(0.1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition parses a Prometheus text-exposition document and
+// verifies its structural invariants: sample-line syntax, label
+// escaping, TYPE declarations preceding samples, and per-histogram
+// consistency (cumulative non-decreasing _bucket series ending in a
+// +Inf bucket that equals _count). It exists so the scrape surface can
+// be conformance-tested without vendoring a Prometheus client, and
+// returns the first violation found, nil for a clean document.
+func LintExposition(data []byte) error {
+	types := make(map[string]string)
+	// histogram child accounting, keyed by family + label signature
+	type histState struct {
+		lastLE    float64
+		lastCum   uint64
+		sawInf    bool
+		infVal    uint64
+		count     uint64
+		sawCount  bool
+		le        []float64
+		family    string
+		signature string
+	}
+	hists := make(map[string]*histState)
+
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam, suffix := histFamily(name, types)
+		if fam == "" {
+			if _, ok := types[name]; !ok {
+				return fmt.Errorf("line %d: sample %s precedes its TYPE line", lineNo, name)
+			}
+			continue
+		}
+		sig := labelSignature(labels, true)
+		key := fam + "\xff" + sig
+		st := hists[key]
+		if st == nil {
+			st = &histState{family: fam, signature: sig, lastLE: math.Inf(-1)}
+			hists[key] = st
+		}
+		switch suffix {
+		case "_bucket":
+			leStr, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			cum, err := strconv.ParseUint(strings.TrimSuffix(value, ".0"), 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: non-integral bucket count %q", lineNo, value)
+			}
+			if leStr == "+Inf" {
+				st.sawInf = true
+				st.infVal = cum
+			} else {
+				le, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q", lineNo, leStr)
+				}
+				if le <= st.lastLE {
+					return fmt.Errorf("line %d: le %q out of order for %s", lineNo, leStr, fam)
+				}
+				st.le = append(st.le, le)
+				st.lastLE = le
+			}
+			if cum < st.lastCum {
+				return fmt.Errorf("line %d: bucket counts not cumulative for %s%s", lineNo, fam, sig)
+			}
+			st.lastCum = cum
+		case "_count":
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: non-integral count %q", lineNo, value)
+			}
+			st.count, st.sawCount = n, true
+		case "_sum":
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("line %d: bad sum %q", lineNo, value)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := hists[k]
+		if !st.sawInf {
+			return fmt.Errorf("histogram %s%s: no +Inf bucket", st.family, st.signature)
+		}
+		if !st.sawCount {
+			return fmt.Errorf("histogram %s%s: no _count sample", st.family, st.signature)
+		}
+		if st.infVal != st.count {
+			return fmt.Errorf("histogram %s%s: +Inf bucket %d != count %d",
+				st.family, st.signature, st.infVal, st.count)
+		}
+	}
+	return nil
+}
+
+// histFamily maps a sample name to its declared histogram family and
+// suffix, or "" when the sample does not belong to a histogram.
+func histFamily(name string, types map[string]string) (fam, suffix string) {
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, sfx)
+		if base != name && types[base] == "histogram" {
+			return base, sfx
+		}
+	}
+	return "", ""
+}
+
+// labelSignature renders a canonical signature of a label set,
+// optionally dropping le (to group one histogram child's series).
+func labelSignature(labels map[string]string, dropLE bool) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if dropLE && k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// parseSampleLine splits `name{labels} value` into its parts, undoing
+// label-value escaping.
+func parseSampleLine(line string) (name string, labels map[string]string, value string, err error) {
+	labels = make(map[string]string)
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		rest = rest[brace+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if rest == "" {
+				return "", nil, "", fmt.Errorf("unterminated label set")
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, "", fmt.Errorf("label without '='")
+			}
+			lname := strings.TrimSpace(rest[:eq])
+			if !validLabel(lname) && lname != "le" {
+				return "", nil, "", fmt.Errorf("invalid label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, "", fmt.Errorf("unquoted label value for %q", lname)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					return "", nil, "", fmt.Errorf("unterminated label value for %q", lname)
+				}
+				c := rest[0]
+				if c == '\\' {
+					if len(rest) < 2 {
+						return "", nil, "", fmt.Errorf("dangling escape in label %q", lname)
+					}
+					switch rest[1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, "", fmt.Errorf("bad escape \\%c in label %q", rest[1], lname)
+					}
+					rest = rest[2:]
+					continue
+				}
+				if c == '"' {
+					rest = rest[1:]
+					break
+				}
+				val.WriteByte(c)
+				rest = rest[1:]
+			}
+			labels[lname] = val.String()
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, "", fmt.Errorf("sample without value: %q", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !validName(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return "", nil, "", fmt.Errorf("malformed sample %q", line)
+	}
+	value = fields[0]
+	if value != "+Inf" && value != "-Inf" && value != "NaN" {
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return "", nil, "", fmt.Errorf("bad sample value %q", value)
+		}
+	}
+	return name, labels, value, nil
+}

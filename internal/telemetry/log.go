@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LogLevel orders log severities.
+type LogLevel int8
+
+// Log levels, in increasing severity.
+const (
+	LevelDebug LogLevel = iota - 1
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l LogLevel) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLogLevel maps a level name to its LogLevel.
+func ParseLogLevel(s string) (LogLevel, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "", "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("telemetry: unknown log level %q", s)
+}
+
+// LogFormats accepted by NewLogger.
+const (
+	FormatText = "text" // key=value lines
+	FormatJSON = "json" // one JSON object per line
+)
+
+// LoggerOptions configures a Logger. The zero value is level info, text
+// format, real time.
+type LoggerOptions struct {
+	Level  LogLevel
+	Format string // FormatText (default) or FormatJSON
+
+	now func() time.Time // test hook
+}
+
+// Logger is a leveled structured logger emitting key=value text or
+// one-object-per-line JSON. It replaces the scattered fmt.Fprintf
+// diagnostics across the pipeline with a single machine-parseable
+// stream. A nil *Logger discards everything, so optional logging needs
+// no guards. Loggers are safe for concurrent use; each record is one
+// atomic Write to the sink.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	level LogLevel
+	json  bool
+	now   func() time.Time
+	base  []attr // bound context from With
+}
+
+type attr struct {
+	key string
+	val any
+}
+
+// NewLogger returns a logger writing to w. An unknown format falls back
+// to text.
+func NewLogger(w io.Writer, opts LoggerOptions) *Logger {
+	now := opts.now
+	if now == nil {
+		now = time.Now
+	}
+	return &Logger{
+		mu:    &sync.Mutex{},
+		w:     w,
+		level: opts.Level,
+		json:  opts.Format == FormatJSON,
+		now:   now,
+	}
+}
+
+// Enabled reports whether records at level would be emitted.
+func (l *Logger) Enabled(level LogLevel) bool {
+	return l != nil && level >= l.level
+}
+
+// With returns a logger that attaches the given key/value pairs to every
+// record. Arguments alternate string keys and values, like the record
+// methods.
+func (l *Logger) With(kvs ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	out := *l
+	out.base = append(append([]attr(nil), l.base...), pairs(kvs)...)
+	return &out
+}
+
+// Debug emits a debug record.
+func (l *Logger) Debug(msg string, kvs ...any) { l.log(LevelDebug, msg, kvs) }
+
+// Info emits an info record.
+func (l *Logger) Info(msg string, kvs ...any) { l.log(LevelInfo, msg, kvs) }
+
+// Warn emits a warning record.
+func (l *Logger) Warn(msg string, kvs ...any) { l.log(LevelWarn, msg, kvs) }
+
+// Error emits an error record.
+func (l *Logger) Error(msg string, kvs ...any) { l.log(LevelError, msg, kvs) }
+
+// pairs folds a variadic key/value list into attrs. A trailing key
+// without a value gets the literal "(MISSING)"; non-string keys are
+// stringified — malformed call sites degrade loudly instead of panicking
+// in a logging path.
+func pairs(kvs []any) []attr {
+	var out []attr
+	for i := 0; i < len(kvs); i += 2 {
+		key, ok := kvs[i].(string)
+		if !ok {
+			key = fmt.Sprint(kvs[i])
+		}
+		var val any = "(MISSING)"
+		if i+1 < len(kvs) {
+			val = kvs[i+1]
+		}
+		out = append(out, attr{key, val})
+	}
+	return out
+}
+
+func (l *Logger) log(level LogLevel, msg string, kvs []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	attrs := append(append([]attr(nil), l.base...), pairs(kvs)...)
+	ts := l.now().UTC()
+	var b strings.Builder
+	if l.json {
+		writeJSONRecord(&b, ts, level, msg, attrs)
+	} else {
+		writeTextRecord(&b, ts, level, msg, attrs)
+	}
+	l.mu.Lock()
+	io.WriteString(l.w, b.String()) //nolint:errcheck // logging sink
+	l.mu.Unlock()
+}
+
+const logTimeFormat = "2006-01-02T15:04:05.000Z07:00"
+
+func writeTextRecord(b *strings.Builder, ts time.Time, level LogLevel, msg string, attrs []attr) {
+	b.WriteString("time=")
+	b.WriteString(ts.Format(logTimeFormat))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(textValue(msg))
+	for _, a := range attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.key)
+		b.WriteByte('=')
+		b.WriteString(textValue(stringify(a.val)))
+	}
+	b.WriteByte('\n')
+}
+
+// textValue quotes a value when it would break key=value tokenisation.
+func textValue(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func stringify(v any) string {
+	switch t := v.(type) {
+	case string:
+		return t
+	case error:
+		return t.Error()
+	case fmt.Stringer:
+		return t.String()
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func writeJSONRecord(b *strings.Builder, ts time.Time, level LogLevel, msg string, attrs []attr) {
+	b.WriteString(`{"time":`)
+	writeJSONString(b, ts.Format(logTimeFormat))
+	b.WriteString(`,"level":`)
+	writeJSONString(b, level.String())
+	b.WriteString(`,"msg":`)
+	writeJSONString(b, msg)
+	for _, a := range attrs {
+		b.WriteByte(',')
+		writeJSONString(b, a.key)
+		b.WriteByte(':')
+		switch t := a.val.(type) {
+		case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64, float32, float64, bool:
+			fmt.Fprintf(b, "%v", t)
+		default:
+			writeJSONString(b, stringify(a.val))
+		}
+	}
+	b.WriteString("}\n")
+}
+
+func writeJSONString(b *strings.Builder, s string) {
+	enc, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		b.WriteString(`""`)
+		return
+	}
+	b.Write(enc)
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testTime() time.Time {
+	return time.Date(2026, 8, 6, 12, 30, 45, 123e6, time.UTC)
+}
+
+func newTestLogger(buf *bytes.Buffer, opts LoggerOptions) *Logger {
+	opts.now = testTime
+	return NewLogger(buf, opts)
+}
+
+func TestTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := newTestLogger(&buf, LoggerOptions{})
+	l.Info("reload ok", "inferences", 123, "attempt", 1, "dir", "data set")
+	want := `time=2026-08-06T12:30:45.123Z level=info msg="reload ok" inferences=123 attempt=1 dir="data set"` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("text record:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := newTestLogger(&buf, LoggerOptions{Format: FormatJSON})
+	l.Warn("skip", "source", "whois/RIPE", "rate", 0.25, "ok", true, "err", errors.New("bad \"row\""))
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("record not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["level"] != "warn" || rec["msg"] != "skip" || rec["source"] != "whois/RIPE" {
+		t.Errorf("record = %v", rec)
+	}
+	if rec["rate"] != 0.25 || rec["ok"] != true {
+		t.Errorf("native types not preserved: %v", rec)
+	}
+	if rec["err"] != `bad "row"` {
+		t.Errorf("error value = %q", rec["err"])
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := newTestLogger(&buf, LoggerOptions{Level: LevelWarn})
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("also")
+	out := buf.String()
+	if strings.Contains(out, "nope") || !strings.Contains(out, "yes") || !strings.Contains(out, "also") {
+		t.Errorf("filtered output:\n%s", out)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Error("Enabled thresholds wrong")
+	}
+}
+
+func TestWithBindsContext(t *testing.T) {
+	var buf bytes.Buffer
+	l := newTestLogger(&buf, LoggerOptions{}).With("component", "serve")
+	l.Info("hello", "x", 1)
+	if !strings.Contains(buf.String(), "component=serve") || !strings.Contains(buf.String(), "x=1") {
+		t.Errorf("bound attrs missing: %s", buf.String())
+	}
+}
+
+func TestNilLoggerIsInert(t *testing.T) {
+	var l *Logger
+	l.Info("nothing", "k", "v")
+	l.With("a", 1).Error("still nothing")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger claims enabled")
+	}
+}
+
+func TestMalformedPairsDegrade(t *testing.T) {
+	var buf bytes.Buffer
+	l := newTestLogger(&buf, LoggerOptions{})
+	l.Info("odd", "key-without-value")
+	if !strings.Contains(buf.String(), `key-without-value=(MISSING)`) {
+		t.Errorf("dangling key not marked: %s", buf.String())
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for s, want := range map[string]LogLevel{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "ERROR": LevelError,
+	} {
+		got, err := ParseLogLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("banana"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+// TestConcurrentLogging: records from racing goroutines never interleave
+// mid-line.
+func TestConcurrentLogging(t *testing.T) {
+	var buf lockedBuffer
+	l := NewLogger(&buf, LoggerOptions{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Info("tick", "worker", j)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "time=") || !strings.Contains(line, "msg=tick") {
+			t.Fatalf("torn log line: %q", line)
+		}
+	}
+}
+
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,254 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one run's span tree: a root span covering the whole run and
+// nested child spans covering its stages (whois parse, RIB load,
+// classification, ...). Spans are cheap — a timestamp pair, two atomic
+// counters, and a slice append under a small mutex — and safe to start
+// and end from concurrent goroutines, which the parallel dataset loader
+// does. Code that is not being traced pays one context lookup: StartSpan
+// on a context without a trace returns a nil *Span whose methods are
+// no-ops, mirroring the nil *diag.Collector convention.
+type Trace struct {
+	root *Span
+	now  func() time.Time // test hook; time.Now outside tests
+}
+
+// NewTrace starts a trace whose root span is named name.
+func NewTrace(name string) *Trace {
+	t := &Trace{now: time.Now}
+	t.root = &Span{tr: t, name: name, start: t.now()}
+	return t
+}
+
+// Root returns the trace's root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// End ends the root span (child spans still running keep their own
+// clocks; see Span.End).
+func (t *Trace) End() { t.root.End() }
+
+// spanKey is the context key carrying the current span.
+type spanKey struct{}
+
+// Context returns ctx carrying the trace's root span, the ambient parent
+// for StartSpan calls below it.
+func (t *Trace) Context(ctx context.Context) context.Context {
+	return context.WithValue(ctx, spanKey{}, t.root)
+}
+
+// ContextWith returns ctx carrying an explicit parent span.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom returns the span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a child span of the span carried by ctx and returns a
+// derived context carrying the child. When ctx carries no span (the run
+// is not being traced) it returns ctx unchanged and a nil span whose
+// methods are no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.StartChild(name)
+	return context.WithValue(ctx, spanKey{}, child), child
+}
+
+// Span is one timed stage. All methods are safe on a nil receiver and
+// for concurrent use.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    map[string]string
+	children []*Span
+
+	records atomic.Int64
+	bytes   atomic.Int64
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// StartChild starts and returns a child span.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{tr: s.tr, name: name, start: s.tr.now()}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// End stamps the span's end time. Ending twice keeps the first stamp.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tr.now()
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = now
+	}
+	s.mu.Unlock()
+}
+
+// AddRecords adds to the span's processed-record count.
+func (s *Span) AddRecords(n int64) {
+	if s != nil {
+		s.records.Add(n)
+	}
+}
+
+// AddBytes adds to the span's processed-byte count.
+func (s *Span) AddBytes(n int64) {
+	if s != nil {
+		s.bytes.Add(n)
+	}
+}
+
+// SetAttr attaches one string attribute to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Duration returns the span's length so far: end minus start, or
+// now minus start for a still-running span.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		end = s.tr.now()
+	}
+	return end.Sub(s.start)
+}
+
+// SpanNode is the JSON shape of one span in a trace dump. DurationMS of
+// a parent is wall-clock, not the sum of children: parallel children
+// overlap, and sequential pipelines leave (small) untraced gaps, so
+// SelfMS makes the gap explicit instead of hiding it.
+type SpanNode struct {
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	SelfMS     float64           `json:"self_ms"`
+	Records    int64             `json:"records,omitempty"`
+	Bytes      int64             `json:"bytes,omitempty"`
+	Unfinished bool              `json:"unfinished,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*SpanNode       `json:"children,omitempty"`
+}
+
+// node snapshots the span subtree. Children are ordered by start time,
+// then name, then insertion order — deterministic for a quiescent trace
+// even when the children were appended from racing goroutines.
+func (s *Span) node() *SpanNode {
+	s.mu.Lock()
+	end := s.end
+	attrs := make(map[string]string, len(s.attrs))
+	for k, v := range s.attrs {
+		attrs[k] = v
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
+	n := &SpanNode{
+		Name:    s.name,
+		Start:   s.start,
+		Records: s.records.Load(),
+		Bytes:   s.bytes.Load(),
+	}
+	if len(attrs) > 0 {
+		n.Attrs = attrs
+	}
+	if end.IsZero() {
+		n.Unfinished = true
+		end = s.tr.now()
+	}
+	n.DurationMS = durationMS(end.Sub(s.start))
+
+	type ordered struct {
+		idx  int
+		span *Span
+	}
+	ord := make([]ordered, len(children))
+	for i, c := range children {
+		ord[i] = ordered{i, c}
+	}
+	sort.SliceStable(ord, func(i, j int) bool {
+		a, b := ord[i].span, ord[j].span
+		if !a.start.Equal(b.start) {
+			return a.start.Before(b.start)
+		}
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return ord[i].idx < ord[j].idx
+	})
+	var childMS float64
+	for _, o := range ord {
+		cn := o.span.node()
+		childMS += cn.DurationMS
+		n.Children = append(n.Children, cn)
+	}
+	n.SelfMS = n.DurationMS - childMS
+	if n.SelfMS < 0 {
+		n.SelfMS = 0 // parallel children can sum past wall-clock
+	}
+	return n
+}
+
+func durationMS(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+// Tree snapshots the whole trace as a SpanNode tree.
+func (t *Trace) Tree() *SpanNode { return t.root.node() }
+
+// WriteJSON renders the trace tree as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Tree())
+}

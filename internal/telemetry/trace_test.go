@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps a trace's clock deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newFakeTrace(name string) (*Trace, *fakeClock) {
+	clk := newFakeClock()
+	tr := NewTrace(name)
+	tr.now = clk.now
+	tr.root.start = clk.now()
+	return tr, clk
+}
+
+func TestSpanNestingAndDurations(t *testing.T) {
+	tr, clk := newFakeTrace("run")
+	ctx := tr.Context(context.Background())
+
+	ctx1, load := StartSpan(ctx, "load")
+	clk.advance(10 * time.Millisecond)
+	_, whoisSpan := StartSpan(ctx1, "whois.parse")
+	whoisSpan.AddRecords(1200)
+	whoisSpan.AddBytes(4096)
+	clk.advance(30 * time.Millisecond)
+	whoisSpan.End()
+	load.End()
+
+	_, infer := StartSpan(ctx, "infer")
+	clk.advance(20 * time.Millisecond)
+	infer.SetAttr("registries", "5")
+	infer.End()
+	tr.End()
+
+	root := tr.Tree()
+	if root.Name != "run" || root.DurationMS != 60 {
+		t.Fatalf("root = %s %vms, want run 60ms", root.Name, root.DurationMS)
+	}
+	if len(root.Children) != 2 || root.Children[0].Name != "load" || root.Children[1].Name != "infer" {
+		t.Fatalf("children = %+v", root.Children)
+	}
+	load1 := root.Children[0]
+	if load1.DurationMS != 40 || len(load1.Children) != 1 {
+		t.Fatalf("load = %vms with %d children", load1.DurationMS, len(load1.Children))
+	}
+	w := load1.Children[0]
+	if w.Name != "whois.parse" || w.DurationMS != 30 || w.Records != 1200 || w.Bytes != 4096 {
+		t.Fatalf("whois span = %+v", w)
+	}
+	if load1.SelfMS != 10 {
+		t.Errorf("load self = %vms, want 10", load1.SelfMS)
+	}
+	if inf := root.Children[1]; inf.DurationMS != 20 || inf.Attrs["registries"] != "5" {
+		t.Errorf("infer span = %+v", inf)
+	}
+	// Sequential stage durations sum to the root's wall clock.
+	if got := load1.DurationMS + root.Children[1].DurationMS; got != root.DurationMS {
+		t.Errorf("stage sum %v != root %v", got, root.DurationMS)
+	}
+}
+
+// TestChildOrderingDeterminism: children appended out of order (as the
+// parallel loader does) dump sorted by start time, then name, then
+// insertion — byte-identical across repeated dumps.
+func TestChildOrderingDeterminism(t *testing.T) {
+	tr, clk := newFakeTrace("run")
+	root := tr.Root()
+
+	b := root.StartChild("b")
+	a := root.StartChild("a") // same start time: name breaks the tie
+	clk.advance(5 * time.Millisecond)
+	later := root.StartChild("later")
+	a.End()
+	b.End()
+	later.End()
+	tr.End()
+
+	tree := tr.Tree()
+	var names []string
+	for _, c := range tree.Children {
+		names = append(names, c.Name)
+	}
+	want := []string{"a", "b", "later"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("child order = %v, want %v", names, want)
+		}
+	}
+	var d1, d2 bytes.Buffer
+	if err := tr.WriteJSON(&d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(&d2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1.Bytes(), d2.Bytes()) {
+		t.Error("repeated dumps differ")
+	}
+}
+
+func TestUntracedContextIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "anything")
+	if sp != nil {
+		t.Fatal("StartSpan on untraced context returned a live span")
+	}
+	if ctx2 != ctx {
+		t.Error("untraced StartSpan changed the context")
+	}
+	// Every nil-span method is a no-op, not a panic.
+	sp.AddRecords(1)
+	sp.AddBytes(1)
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sp.Duration() != 0 || sp.Name() != "" {
+		t.Error("nil span not inert")
+	}
+	if sp.StartChild("child") != nil {
+		t.Error("nil span produced a child")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr, _ := newFakeTrace("run")
+	ctx := tr.Context(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := StartSpan(ctx, "worker")
+			sp.AddRecords(10)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	tr.End()
+	tree := tr.Tree()
+	if len(tree.Children) != 16 {
+		t.Fatalf("children = %d, want 16", len(tree.Children))
+	}
+	var total int64
+	for _, c := range tree.Children {
+		total += c.Records
+	}
+	if total != 160 {
+		t.Errorf("records = %d, want 160", total)
+	}
+}
+
+func TestUnfinishedSpanMarked(t *testing.T) {
+	tr, clk := newFakeTrace("run")
+	running := tr.Root().StartChild("stuck")
+	clk.advance(7 * time.Millisecond)
+	tr.End()
+	tree := tr.Tree()
+	if !tree.Children[0].Unfinished {
+		t.Error("running child not marked unfinished")
+	}
+	if tree.Children[0].DurationMS != 7 {
+		t.Errorf("running child duration = %v, want 7 (clock at dump)", tree.Children[0].DurationMS)
+	}
+	running.End()
+	if tr.Tree().Children[0].Unfinished {
+		t.Error("ended child still marked unfinished")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	tr, clk := newFakeTrace("leaseinfer")
+	ctx := tr.Context(context.Background())
+	_, sp := StartSpan(ctx, "load")
+	clk.advance(time.Millisecond)
+	sp.End()
+	tr.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var node SpanNode
+	if err := json.Unmarshal(buf.Bytes(), &node); err != nil {
+		t.Fatalf("dump not valid JSON: %v\n%s", err, buf.String())
+	}
+	if node.Name != "leaseinfer" || len(node.Children) != 1 || node.Children[0].Name != "load" {
+		t.Errorf("round-tripped tree = %+v", node)
+	}
+}

@@ -1,6 +1,7 @@
 package whois
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"ipleasing/internal/netutil"
 	"ipleasing/internal/par"
 	"ipleasing/internal/rpsl"
+	"ipleasing/internal/telemetry"
 )
 
 // LoadRPSL parses an RPSL-dialect dump (RIPE, APNIC, AFRINIC) into a
@@ -371,13 +373,14 @@ func LoadFileWith(reg Registry, path string, c *diag.Collector) (*Database, erro
 	}
 	defer f.Close()
 	c.SetFile(path)
+	r := diag.CountReader(f, c)
 	switch reg {
 	case ARIN:
-		return LoadARINWith(f, c)
+		return LoadARINWith(r, c)
 	case LACNIC:
-		return LoadLACNICWith(f, c)
+		return LoadLACNICWith(r, c)
 	default:
-		return LoadRPSLWith(reg, f, c)
+		return LoadRPSLWith(reg, r, c)
 	}
 }
 
@@ -419,6 +422,14 @@ func LoadDir(dir string) (*Dataset, error) {
 // mode malformed lines and records inside a present dump are skipped and
 // accounted instead of failing the whole load.
 func LoadDirWith(dir string, opts diag.LoadOptions) (*Dataset, []*diag.LoadReport, error) {
+	return LoadDirContext(context.Background(), dir, opts)
+}
+
+// LoadDirContext is LoadDirWith under a context. When the context
+// carries a telemetry trace, each registry's parse runs inside a
+// "whois.parse.<RIR>" span annotated with the records and bytes the
+// parse consumed.
+func LoadDirContext(ctx context.Context, dir string, opts diag.LoadOptions) (*Dataset, []*diag.LoadReport, error) {
 	dbs := make([]*Database, len(Registries))
 	cols := make([]*diag.Collector, len(Registries))
 	for i, reg := range Registries {
@@ -426,6 +437,14 @@ func LoadDirWith(dir string, opts diag.LoadOptions) (*Dataset, []*diag.LoadRepor
 	}
 	err := par.Each(len(Registries), func(i int) error {
 		reg := Registries[i]
+		_, sp := telemetry.StartSpan(ctx, "whois.parse."+reg.String())
+		defer func() {
+			if rep := cols[i].Report(); rep != nil {
+				sp.AddRecords(int64(rep.Parsed))
+				sp.AddBytes(rep.Bytes)
+			}
+			sp.End()
+		}()
 		path := filepath.Join(dir, DumpFileName(reg))
 		if _, err := os.Stat(path); os.IsNotExist(err) {
 			cols[i].SetFile(path)

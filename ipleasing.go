@@ -19,6 +19,7 @@
 package ipleasing
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"runtime/debug"
@@ -194,7 +195,15 @@ type Dataset struct {
 // the parser's original error. For skip-and-account ingestion of messy
 // inputs, with per-source diagnostics, see LoadDatasetReport.
 func LoadDataset(dir string) (*Dataset, error) {
-	ds, _, err := loadDataset(dir, StrictLoad())
+	ds, _, err := loadDataset(context.Background(), dir, StrictLoad())
+	return ds, err
+}
+
+// LoadDatasetContext is LoadDataset under a context. When the context
+// carries a telemetry trace, the per-source load stages are recorded as
+// spans (see LoadDatasetReportContext).
+func LoadDatasetContext(ctx context.Context, dir string) (*Dataset, error) {
+	ds, _, err := loadDataset(ctx, dir, StrictLoad())
 	return ds, err
 }
 
@@ -271,6 +280,13 @@ func (d *Dataset) Pipeline(opts Options) *core.Pipeline {
 // Infer runs the paper's methodology (§5.1–§5.2).
 func (d *Dataset) Infer(opts Options) *Result {
 	return d.Pipeline(opts).Infer()
+}
+
+// InferContext is Infer under a context: when the context carries a
+// telemetry trace, each registry's classification is recorded as an
+// "infer.<RIR>" span.
+func (d *Dataset) InferContext(ctx context.Context, opts Options) *Result {
+	return d.Pipeline(opts).InferContext(ctx)
 }
 
 // Curate builds the evaluation reference dataset (§5.3).

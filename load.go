@@ -4,6 +4,7 @@
 package ipleasing
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"ipleasing/internal/rpki"
 	"ipleasing/internal/spamhaus"
 	"ipleasing/internal/synth"
+	"ipleasing/internal/telemetry"
 	"ipleasing/internal/whois"
 )
 
@@ -168,7 +170,16 @@ func (s *LoadSummary) missing(source string) bool {
 // On error the partial summary is still returned so callers can see how
 // far the load got and which source failed.
 func LoadDatasetReport(dir string, opts LoadOptions) (*Dataset, *LoadSummary, error) {
-	return loadDataset(dir, opts)
+	return loadDataset(context.Background(), dir, opts)
+}
+
+// LoadDatasetReportContext is LoadDatasetReport under a context. When
+// the context carries a telemetry trace (telemetry.NewTrace +
+// Trace.Context), every source's parse runs inside a "load.<source>"
+// span annotated with the records and bytes it consumed — the per-stage
+// timing breakdown leaseinfer -trace dumps.
+func LoadDatasetReportContext(ctx context.Context, dir string, opts LoadOptions) (*Dataset, *LoadSummary, error) {
+	return loadDataset(ctx, dir, opts)
 }
 
 // LoadAndInfer loads a dataset directory under the given ingestion
@@ -180,18 +191,26 @@ func LoadDatasetReport(dir string, opts LoadOptions) (*Dataset, *LoadSummary, er
 // partial summary is still returned so the failure can be surfaced in
 // health endpoints.
 func LoadAndInfer(dir string, opts LoadOptions, inferOpts Options) (*Dataset, *LoadSummary, *Result, error) {
-	ds, sum, err := loadDataset(dir, opts)
+	return LoadAndInferContext(context.Background(), dir, opts, inferOpts)
+}
+
+// LoadAndInferContext is LoadAndInfer under a context, tracing the load
+// and inference stages when the context carries a telemetry trace.
+func LoadAndInferContext(ctx context.Context, dir string, opts LoadOptions, inferOpts Options) (*Dataset, *LoadSummary, *Result, error) {
+	ds, sum, err := loadDataset(ctx, dir, opts)
 	if err != nil {
 		return nil, sum, nil, err
 	}
-	return ds, sum, ds.Infer(inferOpts), nil
+	return ds, sum, ds.InferContext(ctx, inferOpts), nil
 }
 
 // loadDataset is the single loader behind LoadDataset (strict) and
 // LoadDatasetReport (either policy). Structure mirrors the historical
 // loader: every independent source parses concurrently, then the RIB
-// tables merge in fixed order.
-func loadDataset(dir string, opts LoadOptions) (*Dataset, *LoadSummary, error) {
+// tables merge in fixed order. Each source runs inside a "load.<source>"
+// span when ctx carries a telemetry trace; spans of an untraced context
+// are nil and free.
+func loadDataset(ctx context.Context, dir string, opts LoadOptions) (*Dataset, *LoadSummary, error) {
 	defer relaxGCForLoad()()
 	ds := &Dataset{Dir: dir}
 	lenient := !opts.Strict
@@ -213,15 +232,36 @@ func loadDataset(dir string, opts LoadOptions) (*Dataset, *LoadSummary, error) {
 	ispC := diag.NewCollector(sourceEvalISPs, opts)
 	geoC := diag.NewCollector(sourceGeo, opts)
 
+	// traced wraps one source's load in a "load.<source>" span; the
+	// span's records/bytes come from the collectors once the load ends.
+	traced := func(name string, cols []*diag.Collector, fn func(context.Context) error) func() error {
+		return func() error {
+			sctx, sp := telemetry.StartSpan(ctx, "load."+name)
+			defer func() { finishLoadSpan(sp, cols) }()
+			return fn(sctx)
+		}
+	}
+
 	var whoisReports []*diag.LoadReport
 	var g par.Group
-	g.Go(func() (err error) {
-		ds.Whois, whoisReports, err = whois.LoadDirWith(dir, opts)
+	g.Go(func() error {
+		sctx, sp := telemetry.StartSpan(ctx, "load.whois")
+		defer func() {
+			for _, rep := range whoisReports {
+				if rep != nil {
+					sp.AddRecords(int64(rep.Parsed))
+					sp.AddBytes(rep.Bytes)
+				}
+			}
+			sp.End()
+		}()
+		var err error
+		ds.Whois, whoisReports, err = whois.LoadDirContext(sctx, dir, opts)
 		return err
 	})
 	for i, name := range ribNames {
 		i, name := i, name
-		g.Go(func() error {
+		g.Go(traced("bgp/"+name, ribCols[i:i+1], func(context.Context) error {
 			path := filepath.Join(dir, name)
 			if _, serr := os.Stat(path); serr != nil {
 				// RIBs have always been optional vantage points; record
@@ -236,45 +276,45 @@ func loadDataset(dir string, opts LoadOptions) (*Dataset, *LoadSummary, error) {
 			}
 			ribs[i] = tbl
 			return nil
-		})
+		}))
 	}
-	g.Go(func() (err error) {
+	g.Go(traced(sourceASRel, []*diag.Collector{relC}, func(context.Context) (err error) {
 		// AS relationships and the org mapping are the inference's core
 		// relatedness signal: required in both policies.
 		ds.Rel, err = loadFileWith(dir, synth.FileASRel, relC, false, asrel.ParseWith)
 		return err
-	})
-	g.Go(func() (err error) {
+	}))
+	g.Go(traced(sourceAS2Org, []*diag.Collector{orgC}, func(context.Context) (err error) {
 		ds.Orgs, err = loadFileWith(dir, synth.FileAS2Org, orgC, false, as2org.ParseWith)
 		return err
-	})
-	g.Go(func() (err error) {
+	}))
+	g.Go(traced(sourceHijackers, []*diag.Collector{hjC}, func(context.Context) (err error) {
 		ds.Hijackers, err = loadFileWith(dir, synth.FileHijackers, hjC, true, hijack.ParseWith)
 		return err
-	})
-	g.Go(func() (err error) {
+	}))
+	g.Go(traced(sourceBrokers, []*diag.Collector{brC}, func(context.Context) (err error) {
 		ds.Brokers, err = loadFileWith(dir, synth.FileBrokers, brC, true, brokers.ParseWith)
 		return err
-	})
-	g.Go(func() (err error) {
+	}))
+	g.Go(traced(sourceDrop, []*diag.Collector{dropC}, func(context.Context) (err error) {
 		ds.Drop, err = spamhaus.LoadDirWith(filepath.Join(dir, synth.DirASNDrop), dropC)
 		return err
-	})
-	g.Go(func() (err error) {
+	}))
+	g.Go(traced(sourceRPKI, []*diag.Collector{rpkiC}, func(context.Context) (err error) {
 		ds.RPKI, err = rpki.LoadDirWith(filepath.Join(dir, synth.DirRPKI), rpkiC)
 		return err
-	})
-	g.Go(func() (err error) {
+	}))
+	g.Go(traced(sourceTruth, []*diag.Collector{truthC}, func(context.Context) (err error) {
 		ds.Truth, err = loadEvalFile(dir, synth.FileGroundTruth, truthC, lenient, synth.ReadTruth)
 		truthC.AddParsed(len(ds.Truth))
 		return err
-	})
-	g.Go(func() (err error) {
+	}))
+	g.Go(traced(sourceExclusions, []*diag.Collector{exclC}, func(context.Context) (err error) {
 		ds.Exclusions, err = loadEvalFile(dir, synth.FileEvalExclusions, exclC, lenient, synth.ReadPrefixList)
 		exclC.AddParsed(len(ds.Exclusions))
 		return err
-	})
-	g.Go(func() error {
+	}))
+	g.Go(traced(sourceEvalISPs, []*diag.Collector{ispC}, func(context.Context) error {
 		isps, err := loadEvalFile(dir, synth.FileEvalISPs, ispC, lenient, synth.ReadEvalISPs)
 		if err != nil {
 			return err
@@ -284,8 +324,8 @@ func loadDataset(dir string, opts LoadOptions) (*Dataset, *LoadSummary, error) {
 		}
 		ispC.AddParsed(len(isps))
 		return nil
-	})
-	g.Go(func() (err error) {
+	}))
+	g.Go(traced(sourceGeo, []*diag.Collector{geoC}, func(context.Context) (err error) {
 		geoDir := filepath.Join(dir, synth.DirGeo)
 		if !dirExists(geoDir) {
 			// A dataset without a geo directory has always been valid;
@@ -296,7 +336,7 @@ func loadDataset(dir string, opts LoadOptions) (*Dataset, *LoadSummary, error) {
 		}
 		ds.Geo, err = geoip.LoadDirWith(geoDir, geoC)
 		return err
-	})
+	}))
 	err := g.Wait()
 
 	sum := &LoadSummary{Strict: opts.Strict}
@@ -314,6 +354,7 @@ func loadDataset(dir string, opts LoadOptions) (*Dataset, *LoadSummary, error) {
 	// Merge the collector tables in fixed order (vantage-point counts are
 	// summed per prefix and origin, so the merged view matches a serial
 	// load of the same files), then index for allocation-free queries.
+	_, mergeSpan := telemetry.StartSpan(ctx, "load.merge")
 	ds.Table = &bgp.Table{}
 	for _, tbl := range ribs {
 		if tbl == nil {
@@ -326,10 +367,27 @@ func loadDataset(dir string, opts LoadOptions) (*Dataset, *LoadSummary, error) {
 		}
 	}
 	ds.Table.Freeze()
+	mergeSpan.AddRecords(int64(ds.Table.NumPrefixes()))
+	mergeSpan.End()
 	ds.trees = core.NewTreeCache()
 	sum.SkippedAnalyses = skippedAnalyses(sum, dir)
 	ds.Load = sum
 	return ds, sum, nil
+}
+
+// finishLoadSpan stamps a load span with its collectors' record and byte
+// counts and ends it. Nil spans (untraced loads) are free.
+func finishLoadSpan(sp *telemetry.Span, cols []*diag.Collector) {
+	if sp == nil {
+		return
+	}
+	for _, c := range cols {
+		if rep := c.Report(); rep != nil {
+			sp.AddRecords(int64(rep.Parsed))
+			sp.AddBytes(rep.Bytes)
+		}
+	}
+	sp.End()
 }
 
 // skippedAnalyses maps missing sources to the downstream analyses they

@@ -25,10 +25,11 @@ fi
 
 # The serving stack and its concurrency substrate are race-gated even in
 # -quick mode: snapshot swaps, the reload breaker, the request limiter,
-# and the load-diagnostics collector are all about cross-goroutine
-# correctness, so running them without the race detector proves little.
-echo "== go test -race ./internal/serve ./internal/par ./internal/diag"
-go test -race ./internal/serve ./internal/par ./internal/diag
+# the load-diagnostics collector, and the telemetry registry are all
+# about cross-goroutine correctness, so running them without the race
+# detector proves little.
+echo "== go test -race ./internal/serve ./internal/par ./internal/diag ./internal/telemetry"
+go test -race ./internal/serve ./internal/par ./internal/diag ./internal/telemetry
 
 echo "== fault-injection smoke (3 seeds: lenient recovers, strict fails)"
 go test -run 'TestFaultInjectionMatrix|TestCorruptDeterministic' .
@@ -56,3 +57,80 @@ END { if (!first) printf "\n"; print "}" }
 
 echo "== wrote BENCH_core.json"
 cat BENCH_core.json
+
+echo "== telemetry: /metrics scrape smoke"
+# Boot the daemon on an ephemeral port against a small synthetic dataset,
+# scrape /metrics, and fail if any required family is missing. This is the
+# end-to-end proof that instrumentation is actually wired: registry ->
+# server routes -> diag bridge -> exposition.
+scrape_dir=$(mktemp -d)
+leased_pid=""
+trap '[ -n "$leased_pid" ] && kill "$leased_pid" 2>/dev/null; rm -rf "$scrape_dir"' EXIT
+go run ./cmd/synthgen -out "$scrape_dir/ds" -scale 0.005 -seed 11 >/dev/null
+go build -o "$scrape_dir/leased" ./cmd/leased
+"$scrape_dir/leased" -addr 127.0.0.1:0 -data "$scrape_dir/ds" >"$scrape_dir/log" 2>&1 &
+leased_pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's/.* msg=listening addr=\([^ ]*\).*/\1/p' "$scrape_dir/log")
+	[ -n "$addr" ] && break
+	kill -0 "$leased_pid" 2>/dev/null || { cat "$scrape_dir/log"; echo "leased died before listening"; exit 1; }
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$addr" ] || { cat "$scrape_dir/log"; echo "leased never reported a listen address"; exit 1; }
+
+curl -fsS "http://$addr/lookup?prefix=1.0.0.0/24" >/dev/null || true  # one real request so latency buckets exist
+metrics=$(curl -fsS "http://$addr/metrics")
+for family in \
+	http_requests_total \
+	http_request_duration_seconds_bucket \
+	reload_cycles_total \
+	reload_breaker_open \
+	snapshot_age_seconds \
+	ingest_parsed_records_total \
+	ingest_skipped_records_total \
+	go_goroutines \
+	process_start_time_seconds
+do
+	if ! printf '%s\n' "$metrics" | grep -q "^$family"; then
+		printf '%s\n' "$metrics" | head -40
+		echo "FAIL: /metrics missing family $family"
+		exit 1
+	fi
+done
+kill "$leased_pid" 2>/dev/null
+wait "$leased_pid" 2>/dev/null || true
+echo "ok: all required metric families present at http://$addr/metrics"
+
+echo "== telemetry: primitive overhead benchmarks"
+tel_out=$(go test -run '^$' -bench 'BenchmarkCounterInc$|BenchmarkHistogramObserve$|BenchmarkCounterVecWith$|BenchmarkWritePrometheus$' -benchmem ./internal/telemetry)
+echo "$tel_out"
+
+echo "$tel_out" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (!first) printf ",\n"
+	first = 0
+	printf "  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, $2, $3, $5, $7
+}
+END { if (!first) printf "\n"; print "}" }
+' > BENCH_telemetry.json
+
+# Counter.Inc is the hottest instrumentation call (every request, every
+# parsed record). Budget: 50ns/op — far above its real cost, so only a
+# genuine regression (a lock on the hot path, say) trips it.
+counter_ns=$(echo "$tel_out" | awk '$1 ~ /^BenchmarkCounterInc(-[0-9]+)?$/ { print $3; exit }')
+[ -n "$counter_ns" ] || { echo "FAIL: BenchmarkCounterInc missing from bench output"; exit 1; }
+awk -v ns="$counter_ns" 'BEGIN { exit !(ns + 0 <= 50) }' || {
+	echo "FAIL: BenchmarkCounterInc ${counter_ns}ns/op exceeds 50ns/op budget"
+	exit 1
+}
+
+echo "== wrote BENCH_telemetry.json"
+cat BENCH_telemetry.json
