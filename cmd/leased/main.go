@@ -1,7 +1,11 @@
 // Command leased is the long-running lease-lookup daemon: it loads a
 // dataset directory, runs the inference once, and serves prefix/ASN
 // lease queries, the Table-1 summary, and the load report from an
-// immutable in-memory snapshot.
+// immutable in-memory snapshot. Single lookups go to /lookup
+// (?prefix=, ?ip=, ?asn=); bulk address classification goes to
+// POST /lookup/batch with {"ips": [...]} (up to serve.MaxBatchIPs
+// addresses per call), answered from one snapshot generation via the
+// allocation-free LPM index.
 //
 // Robustness model (see internal/serve): queries read the current
 // snapshot through an atomic pointer; a reload builds the next snapshot

@@ -121,6 +121,20 @@ func TestDaemonLifecycle(t *testing.T) {
 	if code, body := getBody(t, base+"/lookup?ip=203.0.113.99"); code != 200 || !strings.Contains(body, "query") {
 		t.Errorf("/lookup: code %d body %s", code, body)
 	}
+	resp, err := http.Post(base+"/lookup/batch", "application/json",
+		strings.NewReader(`{"ips": ["203.0.113.99", "not-an-ip"]}`))
+	if err != nil {
+		t.Fatalf("POST /lookup/batch: %v", err)
+	}
+	batchBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || !strings.Contains(string(batchBody), `"results"`) ||
+		!strings.Contains(string(batchBody), `"error"`) {
+		t.Errorf("/lookup/batch: code %d body %s", resp.StatusCode, batchBody)
+	}
 	if n := reloadCycles(t, base); n != 1 {
 		t.Errorf("reload cycles after boot = %d, want 1", n)
 	}

@@ -10,13 +10,16 @@ package core
 
 import (
 	"context"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"ipleasing/internal/as2org"
 	"ipleasing/internal/asrel"
 	"ipleasing/internal/bgp"
 	"ipleasing/internal/netutil"
+	"ipleasing/internal/par"
 	"ipleasing/internal/prefixtree"
 	"ipleasing/internal/telemetry"
 	"ipleasing/internal/whois"
@@ -177,13 +180,21 @@ type treeCacheKey struct {
 
 // cachedTree is one registry's allocation tree with its walk order and
 // hierarchy precomputed: entries lists every inserted block in Walk
-// order, and rootOf[i] is the index of entry i's allocation-forest root
-// (-1 for roots themselves).
+// order, rootOf[i] is the index of entry i's allocation-forest root
+// (-1 for roots themselves), and segs partitions the entries into
+// per-root shards with preassigned output slots.
 type cachedTree struct {
 	once    sync.Once
 	tree    *prefixtree.Tree[treeValue]
 	entries []prefixtree.Entry[treeValue]
 	rootOf  []int32
+	// segs and totalOut are the shard plan for inferRegion: one segment
+	// per allocation-forest root, with the exact output offset of each
+	// segment's first inference, so concurrent shards write disjoint
+	// slices of one pre-sized result and the merged order is identical
+	// to a serial walk at any GOMAXPROCS.
+	segs     []segment
+	totalOut int
 }
 
 func (ct *cachedTree) build(p *Pipeline, db *whois.Database) {
@@ -203,13 +214,64 @@ func (ct *cachedTree) build(p *Pipeline, db *whois.Database) {
 		}
 		stack = append(stack[:d], int32(i))
 	}
+	ct.segs, ct.totalOut = buildSegments(ct.entries)
+}
+
+// segment is one intra-registry inference shard: the contiguous run of
+// Walk-order entries under a single allocation-forest root (a Depth-0
+// entry and everything inside it). Each leaf's classification depends
+// only on its own root and the shared read-only substrates, so segments
+// are independent units of work. out is the index in the region's
+// output slice where the segment's first inference lands.
+type segment struct {
+	lo, hi int32 // entry index range [lo, hi)
+	out    int32 // output slot of the segment's first inference
+}
+
+// classifiable reports whether an entry produces an Inference: a leaf
+// of the allocation forest registered as non-portable. This predicate
+// is what makes per-segment output counts computable up front.
+func classifiable(e *prefixtree.Entry[treeValue]) bool {
+	return !e.HasChildren && e.Value.inet.Portability == whois.NonPortable
+}
+
+// buildSegments cuts the Walk-order entries at every Depth-0 boundary
+// and prefix-sums the classified-leaf counts into output offsets.
+func buildSegments(entries []prefixtree.Entry[treeValue]) ([]segment, int) {
+	nroots := 0
+	for i := range entries {
+		if entries[i].Depth == 0 {
+			nroots++
+		}
+	}
+	segs := make([]segment, 0, nroots)
+	out := 0
+	for i := 0; i < len(entries); {
+		j := i + 1
+		for j < len(entries) && entries[j].Depth > 0 {
+			j++
+		}
+		segs = append(segs, segment{lo: int32(i), hi: int32(j), out: int32(out)})
+		for k := i; k < j; k++ {
+			if classifiable(&entries[k]) {
+				out++
+			}
+		}
+		i = j
+	}
+	return segs, out
 }
 
 // tree returns the (possibly cached) allocation tree state for db.
 func (p *Pipeline) allocTree(db *whois.Database) *cachedTree {
 	if p.Trees == nil || p.Opts.DisableCaches {
 		tree := p.BuildTree(db)
-		return &cachedTree{tree: tree, entries: tree.Entries()}
+		ct := &cachedTree{tree: tree, entries: tree.Entries()}
+		// The shard plan is rebuilt too: the cache bypass changes how
+		// roots are resolved (trie descent instead of rootOf), never
+		// how work is partitioned or ordered.
+		ct.segs, ct.totalOut = buildSegments(ct.entries)
+		return ct
 	}
 	key := treeCacheKey{reg: db.Registry, maxLen: p.Opts.maxLen()}
 	p.Trees.mu.Lock()
@@ -412,7 +474,8 @@ func (p *Pipeline) Infer() *Result {
 
 // InferContext is Infer under a context. When the context carries a
 // telemetry trace, each registry's classification runs inside an
-// "infer.<RIR>" span annotated with the number of leaves it classified.
+// "infer.<RIR>" span annotated with the number of leaves it classified
+// and the number of shards it fanned out to.
 func (p *Pipeline) InferContext(ctx context.Context) *Result {
 	res := &Result{Regions: make(map[whois.Registry]*RegionResult)}
 	if p.Table != nil {
@@ -425,28 +488,39 @@ func (p *Pipeline) InferContext(ctx context.Context) *Result {
 		res.TotalBGPPrefixes = p.Table.NumPrefixes()
 		res.RoutedSpace = p.Table.RoutedAddressSpace()
 	}
-	var (
-		wg sync.WaitGroup
-		mu sync.Mutex
-	)
-	for _, reg := range whois.Registries {
-		db, ok := p.Whois.DBs[reg]
-		if !ok {
-			continue
-		}
-		wg.Add(1)
-		go func(reg whois.Registry, db *whois.Database) {
-			defer wg.Done()
-			_, sp := telemetry.StartSpan(ctx, "infer."+reg.String())
-			rr := p.inferRegion(db)
-			sp.AddRecords(int64(len(rr.Inferences)))
-			sp.End()
-			mu.Lock()
-			res.Regions[reg] = rr
-			mu.Unlock()
-		}(reg, db)
+	// Fan out one goroutine per present registry, each writing its
+	// pre-assigned slot — no lock, no map writes from worker goroutines,
+	// and the merge below is a deterministic in-order walk.
+	type regionWork struct {
+		reg whois.Registry
+		db  *whois.Database
 	}
-	wg.Wait()
+	var work []regionWork
+	for _, reg := range whois.Registries {
+		if db, ok := p.Whois.DBs[reg]; ok {
+			work = append(work, regionWork{reg: reg, db: db})
+		}
+	}
+	slots := make([]*RegionResult, len(work))
+	err := par.Each(len(work), func(i int) error {
+		w := work[i]
+		_, sp := telemetry.StartSpan(ctx, "infer."+w.reg.String())
+		rr, shards := p.inferRegion(w.db)
+		sp.AddRecords(int64(len(rr.Inferences)))
+		sp.SetAttr("shards", strconv.Itoa(shards))
+		sp.End()
+		slots[i] = rr
+		return nil
+	})
+	if err != nil {
+		// The workers return no errors, so this can only be a recovered
+		// classification panic; re-panic to preserve the pre-par
+		// behaviour (callers like serve contain it at their boundary).
+		panic(err)
+	}
+	for i, w := range work {
+		res.Regions[w.reg] = slots[i]
+	}
 	return res
 }
 
@@ -470,44 +544,90 @@ func (p *Pipeline) BuildTree(db *whois.Database) *prefixtree.Tree[treeValue] {
 	return tree
 }
 
-func (p *Pipeline) inferRegion(db *whois.Database) *RegionResult {
+// shardCount picks the intra-registry fan-out width: one shard per
+// available CPU, never more than there are root segments to steal. At
+// GOMAXPROCS 1 this is 1 and inference degrades to the serial walk.
+func shardCount(nsegs int) int {
+	n := runtime.GOMAXPROCS(0)
+	if n > nsegs {
+		n = nsegs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// inferRegion classifies one registry's leaves, sharded across
+// allocation-forest roots. Shards are scheduled dynamically (registry
+// sizes are wildly skewed, and so are root sizes within a registry):
+// each worker steals the next root segment and writes its inferences
+// into that segment's preassigned slots of the shared output slice, so
+// the merged result is bit-for-bit the serial walk order regardless of
+// worker count or scheduling. Each worker owns a private runState —
+// root resolutions and AS-relatedness probes repeat across the leaves
+// of one root, so worker-local memos keep nearly all hits while the
+// hot path stays lock-free. Returns the region result and the number
+// of shards used.
+func (p *Pipeline) inferRegion(db *whois.Database) (*RegionResult, int) {
 	rr := &RegionResult{Registry: db.Registry}
 	ct := p.allocTree(db)
-	st := p.newRunState()
-	rr.Inferences = make([]Inference, 0, len(ct.entries))
-
-	for i := range ct.entries {
-		e := &ct.entries[i]
-		if e.HasChildren {
-			continue // intermediate or root with children: not a leaf
-		}
-		leaf := e.Value.inet
-		if leaf.Portability != whois.NonPortable {
-			continue // standalone portable block: root-only, skip
-		}
-		var (
-			rootPfx netutil.Prefix
-			root    *whois.InetNum
-		)
-		if e.Depth > 0 {
-			if ct.rootOf != nil {
-				re := &ct.entries[ct.rootOf[i]]
-				rootPfx, root = re.Prefix, re.Value.inet
-			} else {
-				// Cache bypass: resolve the root through the trie, the
-				// pre-cache lookup path.
-				rp, rv, _ := ct.tree.RootOf(e.Prefix)
-				rootPfx, root = rp, rv.inet
-			}
-		}
-		inf := p.classifyLeaf(db, e.Prefix, leaf, rootPfx, root, st)
-		rr.Counts[inf.Category]++
-		if inf.Category != Orphan {
-			rr.TotalLeaves++
-		}
-		rr.Inferences = append(rr.Inferences, inf)
+	workers := shardCount(len(ct.segs))
+	out := make([]Inference, ct.totalOut)
+	states := make([]*runState, workers)
+	counts := make([][numCategories]int, workers)
+	leaves := make([]int, workers)
+	for w := range states {
+		states[w] = p.newRunState()
 	}
-	return rr
+	err := par.Workers(len(ct.segs), workers, func(w, si int) error {
+		seg := ct.segs[si]
+		o := int(seg.out)
+		for i := int(seg.lo); i < int(seg.hi); i++ {
+			e := &ct.entries[i]
+			if e.HasChildren {
+				continue // intermediate or root with children: not a leaf
+			}
+			leaf := e.Value.inet
+			if leaf.Portability != whois.NonPortable {
+				continue // standalone portable block: root-only, skip
+			}
+			var (
+				rootPfx netutil.Prefix
+				root    *whois.InetNum
+			)
+			if e.Depth > 0 {
+				if ct.rootOf != nil {
+					re := &ct.entries[ct.rootOf[i]]
+					rootPfx, root = re.Prefix, re.Value.inet
+				} else {
+					// Cache bypass: resolve the root through the trie,
+					// the pre-cache lookup path.
+					rp, rv, _ := ct.tree.RootOf(e.Prefix)
+					rootPfx, root = rp, rv.inet
+				}
+			}
+			inf := p.classifyLeaf(db, e.Prefix, leaf, rootPfx, root, states[w])
+			counts[w][inf.Category]++
+			if inf.Category != Orphan {
+				leaves[w]++
+			}
+			out[o] = inf
+			o++
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err) // recovered classification panic; see InferContext
+	}
+	for w := 0; w < workers; w++ {
+		for c := range counts[w] {
+			rr.Counts[c] += counts[w][c]
+		}
+		rr.TotalLeaves += leaves[w]
+	}
+	rr.Inferences = out
+	return rr, workers
 }
 
 // resolveRoot computes (or fetches from the per-run cache) the root-level

@@ -1,0 +1,255 @@
+package netutil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// lpmNaive is the reference oracle: longest match by linear scan,
+// duplicates resolved to the highest input index like BuildLPM.
+func lpmNaive(ps []Prefix, a Addr) (int32, bool) {
+	best, bestLen, ok := int32(-1), -1, false
+	for i, p := range ps {
+		p = p.Canonicalize()
+		if p.Contains(a) && int(p.Len) >= bestLen {
+			best, bestLen, ok = int32(i), int(p.Len), true
+		}
+	}
+	return best, ok
+}
+
+func lpmNaiveExact(ps []Prefix, q Prefix) (int32, bool) {
+	q = q.Canonicalize()
+	best, ok := int32(-1), false
+	for i, p := range ps {
+		if p.Canonicalize() == q {
+			best, ok = int32(i), true
+		}
+	}
+	return best, ok
+}
+
+func TestLPMEmpty(t *testing.T) {
+	for _, idx := range []*LPM{BuildLPM(nil), {}} {
+		if _, ok := idx.Lookup(MustParseAddr("10.0.0.1")); ok {
+			t.Fatal("empty index matched an address")
+		}
+		if _, ok := idx.LookupExact(MustParsePrefix("10.0.0.0/8")); ok {
+			t.Fatal("empty index matched a prefix exactly")
+		}
+	}
+}
+
+func TestLPMBasic(t *testing.T) {
+	ps := []Prefix{
+		MustParsePrefix("10.0.0.0/8"),
+		MustParsePrefix("10.1.0.0/16"),
+		MustParsePrefix("10.1.2.0/24"),
+		MustParsePrefix("10.1.2.128/25"),
+		MustParsePrefix("192.168.0.0/16"),
+		MustParsePrefix("0.0.0.0/0"),
+		MustParsePrefix("255.255.255.255/32"),
+	}
+	idx := BuildLPM(ps)
+	cases := []struct {
+		addr string
+		want int32
+	}{
+		{"10.1.2.200", 3}, // deepest /25
+		{"10.1.2.100", 2}, // /24 but not /25
+		{"10.1.3.1", 1},   // /16 but not /24
+		{"10.2.0.1", 0},   // /8 only
+		{"192.168.9.9", 4},
+		{"11.0.0.1", 5},        // falls through to the default route
+		{"0.0.0.0", 5},         // lowest address
+		{"255.255.255.255", 6}, // highest address, host route
+		{"255.255.255.254", 5}, // one below the host route
+	}
+	for _, c := range cases {
+		got, ok := idx.Lookup(MustParseAddr(c.addr))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %d,%v, want %d", c.addr, got, ok, c.want)
+		}
+	}
+	for i, p := range ps {
+		got, ok := idx.LookupExact(p)
+		if !ok || got != int32(i) {
+			t.Errorf("LookupExact(%s) = %d,%v, want %d", p, got, ok, i)
+		}
+	}
+	if _, ok := idx.LookupExact(MustParsePrefix("10.1.0.0/17")); ok {
+		t.Error("LookupExact matched a never-inserted prefix")
+	}
+	if _, ok := idx.LookupExact(MustParsePrefix("10.1.2.0/25")); ok {
+		t.Error("LookupExact matched the uninserted sibling half")
+	}
+}
+
+func TestLPMNoDefaultRoute(t *testing.T) {
+	idx := BuildLPM([]Prefix{MustParsePrefix("10.0.0.0/8")})
+	if _, ok := idx.Lookup(MustParseAddr("11.0.0.1")); ok {
+		t.Fatal("matched outside the only prefix")
+	}
+	if _, ok := idx.Lookup(MustParseAddr("0.0.0.0")); ok {
+		t.Fatal("matched 0.0.0.0 with no cover")
+	}
+	if _, ok := idx.Lookup(MustParseAddr("255.255.255.255")); ok {
+		t.Fatal("matched 255.255.255.255 with no cover")
+	}
+}
+
+func TestLPMDuplicateLastWins(t *testing.T) {
+	ps := []Prefix{
+		MustParsePrefix("10.0.0.0/8"),
+		MustParsePrefix("10.0.0.0/8"),
+		{Base: MustParseAddr("10.9.9.9"), Len: 8}, // canonicalizes to the same /8
+	}
+	idx := BuildLPM(ps)
+	got, ok := idx.Lookup(MustParseAddr("10.1.1.1"))
+	if !ok || got != 2 {
+		t.Fatalf("duplicate lookup = %d,%v, want 2 (highest index)", got, ok)
+	}
+}
+
+// TestLPMShortPrefixes exercises the stride-8 root table's "best" path:
+// prefixes shorter than 8 bits never live in a /8 subtree.
+func TestLPMShortPrefixes(t *testing.T) {
+	ps := []Prefix{
+		MustParsePrefix("0.0.0.0/0"),
+		MustParsePrefix("0.0.0.0/1"),   // 0..127
+		MustParsePrefix("128.0.0.0/2"), // 128..191
+		MustParsePrefix("64.0.0.0/8"),
+		MustParsePrefix("64.1.0.0/16"),
+	}
+	idx := BuildLPM(ps)
+	cases := []struct {
+		addr string
+		want int32
+	}{
+		{"1.2.3.4", 1},
+		{"130.0.0.1", 2},
+		{"200.0.0.1", 0},
+		{"64.0.0.1", 3},
+		{"64.1.2.3", 4},
+	}
+	for _, c := range cases {
+		got, ok := idx.Lookup(MustParseAddr(c.addr))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %d,%v, want %d", c.addr, got, ok, c.want)
+		}
+	}
+}
+
+// TestLPMAdjacentBoundaries pins behaviour at the one-bit boundaries
+// between adjacent leaves, where an off-by-one in mask compare or
+// branch-bit extraction would misclassify.
+func TestLPMAdjacentBoundaries(t *testing.T) {
+	ps := []Prefix{
+		MustParsePrefix("10.0.0.0/24"),
+		MustParsePrefix("10.0.1.0/24"),
+	}
+	idx := BuildLPM(ps)
+	cases := []struct {
+		addr string
+		want int32
+		ok   bool
+	}{
+		{"10.0.0.255", 0, true},
+		{"10.0.1.0", 1, true},
+		{"10.0.1.255", 1, true},
+		{"10.0.2.0", -1, false},
+		{"9.255.255.255", -1, false},
+	}
+	for _, c := range cases {
+		got, ok := idx.Lookup(MustParseAddr(c.addr))
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Lookup(%s) = %d,%v, want %d,%v", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// randomPrefixSet produces a clustered prefix population: a few /8
+// covers, mid-length allocations inside them, and deep leaves inside
+// those — the shape of a registry's allocation forest.
+func randomPrefixSet(rng *rand.Rand, n int) []Prefix {
+	ps := make([]Prefix, 0, n)
+	for len(ps) < n {
+		switch rng.Intn(4) {
+		case 0:
+			ps = append(ps, Prefix{Base: Addr(rng.Uint32()), Len: uint8(rng.Intn(9))}.Canonicalize())
+		case 1:
+			ps = append(ps, Prefix{Base: Addr(rng.Uint32()), Len: uint8(8 + rng.Intn(17))}.Canonicalize())
+		default:
+			ps = append(ps, Prefix{Base: Addr(rng.Uint32()), Len: uint8(24 + rng.Intn(9))}.Canonicalize())
+		}
+	}
+	return ps
+}
+
+// TestLPMCrossCheck drives the flat index against the linear-scan
+// oracle over random clustered prefix sets: exact hits on every
+// inserted prefix, longest-match on random addresses, and on addresses
+// biased to sit inside inserted prefixes (so matches dominate misses).
+func TestLPMCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		ps := randomPrefixSet(rng, 50+rng.Intn(200))
+		idx := BuildLPM(ps)
+		for i, p := range ps {
+			want, _ := lpmNaiveExact(ps, p)
+			got, ok := idx.LookupExact(p)
+			if !ok || got != want {
+				t.Fatalf("trial %d: LookupExact(%s) = %d,%v, want %d (input %d)", trial, p, got, ok, want, i)
+			}
+		}
+		for q := 0; q < 500; q++ {
+			var a Addr
+			if q%2 == 0 {
+				p := ps[rng.Intn(len(ps))]
+				a = Addr(uint32(p.Base) | (rng.Uint32() &^ maskOf(p.Len)))
+			} else {
+				a = Addr(rng.Uint32())
+			}
+			want, wantOK := lpmNaive(ps, a)
+			got, ok := idx.Lookup(a)
+			if ok != wantOK || got != want {
+				t.Fatalf("trial %d: Lookup(%s) = %d,%v, want %d,%v", trial, a, got, ok, want, wantOK)
+			}
+		}
+	}
+}
+
+// FuzzLPMLookup cross-checks a fuzzer-chosen lookup against the oracle
+// on a prefix set derived from the same input bytes.
+func FuzzLPMLookup(f *testing.F) {
+	f.Add(uint32(0x0a000001), int64(1))
+	f.Add(uint32(0), int64(7))
+	f.Add(uint32(0xffffffff), int64(99))
+	f.Fuzz(func(t *testing.T, addr uint32, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		ps := randomPrefixSet(rng, 1+rng.Intn(64))
+		idx := BuildLPM(ps)
+		a := Addr(addr)
+		want, wantOK := lpmNaive(ps, a)
+		got, ok := idx.Lookup(a)
+		if ok != wantOK || got != want {
+			t.Fatalf("Lookup(%s) = %d,%v, want %d,%v over %v", a, got, ok, want, wantOK, ps)
+		}
+	})
+}
+
+func BenchmarkLPMLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ps := randomPrefixSet(rng, 4096)
+	idx := BuildLPM(ps)
+	addrs := make([]Addr, 1024)
+	for i := range addrs {
+		p := ps[rng.Intn(len(ps))]
+		addrs[i] = Addr(uint32(p.Base) | (rng.Uint32() &^ maskOf(p.Len)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Lookup(addrs[i%len(addrs)])
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // PanicError is returned by Wait when a function started with Go
@@ -83,4 +84,68 @@ func Each(n int, fn func(i int) error) error {
 		g.Go(func() error { return fn(i) })
 	}
 	return g.Wait()
+}
+
+// Workers runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines that pull the next index from a shared atomic counter —
+// dynamic (work-stealing) scheduling, for workloads whose items have
+// wildly skewed costs: a worker that drew a cheap item immediately
+// steals the next one instead of idling behind a slow peer, so
+// wall-clock tracks total work, not the slowest static partition.
+//
+// worker identifies the calling goroutine (0 <= worker < effective
+// worker count), letting fn write into per-worker scratch state (memo
+// tables, count accumulators) without locks.
+//
+// With workers <= 1 (or n <= 1) the items run inline on the calling
+// goroutine with worker 0 — no goroutines, no atomics — so callers can
+// pass a GOMAXPROCS-derived width and degrade to a serial loop for
+// free. A worker whose fn returns an error (or panics) stops pulling
+// further indexes, but other workers drain the remaining items; the
+// first error is returned after all workers finish, Group semantics.
+func Workers(n, workers int, fn func(worker, i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n <= 0 {
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			if err := runInline(0, i, fn); err != nil {
+				// The sole worker stops pulling, and there are no
+				// peers to drain the remaining items.
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var g Group
+	for w := 0; w < workers; w++ {
+		w := w
+		g.Go(func() error {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return nil
+				}
+				if err := fn(w, i); err != nil {
+					return err
+				}
+			}
+		})
+	}
+	return g.Wait()
+}
+
+// runInline is one fn call with the same panic containment Go applies,
+// so the serial degradation of Workers reports panics identically.
+func runInline(worker, i int, fn func(worker, i int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(worker, i)
 }

@@ -3,6 +3,7 @@ package par
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -90,6 +91,109 @@ func TestDoAndEach(t *testing.T) {
 		return nil
 	}); err != wantErr {
 		t.Fatalf("Each error = %v, want %v", err, wantErr)
+	}
+}
+
+func TestWorkersCoversAllItems(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		n := 37
+		var hits [37]atomic.Int32
+		maxWorker := atomic.Int32{}
+		if err := Workers(n, workers, func(w, i int) error {
+			hits[i].Add(1)
+			if int32(w) > maxWorker.Load() {
+				maxWorker.Store(int32(w))
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times, want 1", workers, i, got)
+			}
+		}
+		// Worker ids stay below the effective worker count.
+		limit := workers
+		if limit > n {
+			limit = n
+		}
+		if limit < 1 {
+			limit = 1
+		}
+		if got := int(maxWorker.Load()); got >= limit {
+			t.Fatalf("workers=%d: worker id %d >= effective count %d", workers, got, limit)
+		}
+	}
+}
+
+// TestWorkersSkew checks the dynamic-scheduling property the helper
+// exists for: with one slow item and many cheap ones, the cheap items
+// must not all queue behind the slow one. We verify structurally — every
+// item runs exactly once even when one worker is pinned.
+func TestWorkersSkew(t *testing.T) {
+	const n = 64
+	slow := make(chan struct{})
+	var done atomic.Int32
+	finished := make(chan error, 1)
+	go func() {
+		finished <- Workers(n, 4, func(w, i int) error {
+			if i == 0 {
+				<-slow // pin one worker on the first item
+			}
+			done.Add(1)
+			return nil
+		})
+	}()
+	// All other items complete while item 0 is pinned.
+	for done.Load() < n-1 {
+		runtime.Gosched()
+	}
+	close(slow)
+	if err := <-finished; err != nil {
+		t.Fatal(err)
+	}
+	if got := done.Load(); got != n {
+		t.Fatalf("completed %d items, want %d", got, n)
+	}
+}
+
+func TestWorkersError(t *testing.T) {
+	wantErr := errors.New("item 5")
+	for _, workers := range []int{1, 4} {
+		err := Workers(16, workers, func(w, i int) error {
+			if i == 5 {
+				return wantErr
+			}
+			return nil
+		})
+		if err != wantErr {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, wantErr)
+		}
+	}
+}
+
+func TestWorkersRecoversPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Workers(8, workers, func(w, i int) error {
+			if i == 3 {
+				panic("shard exploded")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "shard exploded" {
+			t.Errorf("workers=%d: PanicError.Value = %v", workers, pe.Value)
+		}
+	}
+}
+
+func TestWorkersEmpty(t *testing.T) {
+	if err := Workers(0, 4, func(w, i int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -199,6 +199,7 @@ func New(cfg Config) *Server {
 	}
 	s.initMetrics()
 	s.route("lookup", "/lookup", true, s.handleLookup)
+	s.route("lookup_batch", "/lookup/batch", true, s.handleLookupBatch)
 	s.route("table1", "/table1", true, s.handleTable1)
 	s.route("loadreport", "/loadreport", true, s.handleLoadReport)
 	s.route("healthz", "/healthz", false, s.handleHealthz)
@@ -555,6 +556,81 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "missing query: one of prefix=, ip=, asn=", http.StatusBadRequest)
 		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// MaxBatchIPs caps one /lookup/batch request. At the LPM's per-address
+// cost the cap keeps worst-case handling well under the request
+// timeout while still letting clients sweep whole /18s per call.
+const MaxBatchIPs = 10000
+
+// batchLookupRequest is the /lookup/batch request body.
+type batchLookupRequest struct {
+	IPs []string `json:"ips"`
+}
+
+// batchLookupItem is one per-address result. Exactly one of Error or
+// (Found, Inference) is meaningful: a malformed address reports its
+// parse error in place instead of failing the whole batch.
+type batchLookupItem struct {
+	IP        string         `json:"ip"`
+	Found     bool           `json:"found"`
+	Inference *InferenceView `json:"inference,omitempty"`
+	Error     string         `json:"error,omitempty"`
+}
+
+// batchLookupResponse is the /lookup/batch response body.
+type batchLookupResponse struct {
+	SnapshotBuiltAt time.Time         `json:"snapshot_built_at"`
+	Results         []batchLookupItem `json:"results"`
+}
+
+// handleLookupBatch answers POST /lookup/batch: a JSON array of
+// addresses classified in one round trip against one snapshot. Every
+// address in the batch reads the same snapshot pointer, so a reload
+// landing mid-request can never split the batch across generations.
+func (s *Server) handleLookupBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := s.snap.Load()
+	if snap == nil {
+		http.Error(w, ErrNoSnapshot.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	var req batchLookupRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "invalid body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.IPs) == 0 {
+		http.Error(w, "empty batch: body must carry {\"ips\": [...]}", http.StatusBadRequest)
+		return
+	}
+	if len(req.IPs) > MaxBatchIPs {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.IPs), MaxBatchIPs),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	resp := batchLookupResponse{
+		SnapshotBuiltAt: snap.BuiltAt,
+		Results:         make([]batchLookupItem, len(req.IPs)),
+	}
+	for i, raw := range req.IPs {
+		item := &resp.Results[i]
+		item.IP = raw
+		a, err := netutil.ParseAddr(raw)
+		if err != nil {
+			item.Error = err.Error()
+			continue
+		}
+		if inf := snap.LookupAddr(a); inf != nil {
+			item.Found, item.Inference = true, View(inf)
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

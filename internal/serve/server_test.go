@@ -115,6 +115,91 @@ func TestLookupQueries(t *testing.T) {
 	}
 }
 
+func postJSON(t *testing.T, ts *httptest.Server, path, body string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestLookupBatch(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Mixed batch: hit, miss, malformed — one response, per-item status.
+	code, body := postJSON(t, ts, "/lookup/batch",
+		`{"ips": ["10.0.0.77", "192.0.2.1", "banana"]}`)
+	if code != 200 {
+		t.Fatalf("batch: code %d body %s", code, body)
+	}
+	var resp struct {
+		Results []struct {
+			IP        string         `json:"ip"`
+			Found     bool           `json:"found"`
+			Inference *InferenceView `json:"inference"`
+			Error     string         `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("batch response: %v\n%s", err, body)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(resp.Results))
+	}
+	if r := resp.Results[0]; !r.Found || r.Inference == nil || r.Inference.Prefix != "10.0.0.0/24" {
+		t.Errorf("batch[0] = %+v, want hit on 10.0.0.0/24", r)
+	}
+	if r := resp.Results[1]; r.Found || r.Inference != nil || r.Error != "" {
+		t.Errorf("batch[1] = %+v, want clean miss", r)
+	}
+	if r := resp.Results[2]; r.Found || r.Error == "" {
+		t.Errorf("batch[2] = %+v, want per-item parse error", r)
+	}
+
+	// Non-POST is 405 with Allow.
+	code, _, hdr := get(t, ts, "/lookup/batch")
+	if code != http.StatusMethodNotAllowed || hdr.Get("Allow") != http.MethodPost {
+		t.Errorf("GET batch: code %d Allow %q, want 405 POST", code, hdr.Get("Allow"))
+	}
+
+	// Malformed body and empty batch are 400s.
+	for _, b := range []string{`{`, `{"ips": []}`, `{}`} {
+		if code, body := postJSON(t, ts, "/lookup/batch", b); code != 400 {
+			t.Errorf("body %q: code %d body %s, want 400", b, code, body)
+		}
+	}
+
+	// Over-limit batches are refused outright, not truncated.
+	ips := make([]string, MaxBatchIPs+1)
+	for i := range ips {
+		ips[i] = "10.0.0.1"
+	}
+	big, err := json.Marshal(map[string][]string{"ips": ips})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := postJSON(t, ts, "/lookup/batch", string(big)); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversize batch: code %d body %s, want 413", code, body)
+	}
+}
+
+func TestLookupBatchNoSnapshot(t *testing.T) {
+	s := New(Config{Build: func(context.Context) (*Snapshot, error) { return testSnapshot(), nil }})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code, body := postJSON(t, ts, "/lookup/batch", `{"ips": ["10.0.0.1"]}`); code != 503 {
+		t.Errorf("no snapshot: code %d body %s, want 503", code, body)
+	}
+}
+
 func TestTable1AndLoadReport(t *testing.T) {
 	s := newTestServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())

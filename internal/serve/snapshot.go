@@ -44,10 +44,10 @@ type Snapshot struct {
 	// SkippedAnalyses names analyses the load's dataset cannot support.
 	SkippedAnalyses []string
 
-	table1   []byte
-	infs     []core.Inference
-	byPrefix map[netutil.Prefix]*core.Inference
-	byASN    map[uint32][]*core.Inference
+	table1 []byte
+	infs   []core.Inference
+	lpm    *netutil.LPM
+	byASN  map[uint32][]*core.Inference
 }
 
 // NewSnapshot indexes an inference result for serving. The result and
@@ -59,15 +59,22 @@ func NewSnapshot(res *core.Result, reports []*diag.LoadReport, skippedAnalyses [
 		SkippedAnalyses: skippedAnalyses,
 	}
 	s.infs = res.All()
-	s.byPrefix = make(map[netutil.Prefix]*core.Inference, len(s.infs))
+	ps := make([]netutil.Prefix, len(s.infs))
 	s.byASN = make(map[uint32][]*core.Inference)
 	for i := range s.infs {
 		inf := &s.infs[i]
-		s.byPrefix[inf.Prefix] = inf
+		ps[i] = inf.Prefix
 		for _, asn := range inf.LeafOrigins {
 			s.byASN[asn] = append(s.byASN[asn], inf)
 		}
 	}
+	// Index every leaf prefix in a flat LPM trie: address lookups become
+	// one short pointer-free descent instead of up to 25 map probes, and
+	// they allocate nothing, so batch endpoints and utilization sweeps
+	// can hit the snapshot at line rate. BuildLPM resolves duplicate
+	// prefixes to the highest index, matching the last-write-wins
+	// population order of the map this replaces.
+	s.lpm = netutil.BuildLPM(ps)
 	var buf bytes.Buffer
 	report.Table1(&buf, res)
 	s.table1 = buf.Bytes()
@@ -81,22 +88,38 @@ func (s *Snapshot) Table1() []byte { return s.table1 }
 // LookupPrefix returns the classification of an exact leaf prefix, or
 // nil if the snapshot has none.
 func (s *Snapshot) LookupPrefix(p netutil.Prefix) *core.Inference {
-	return s.byPrefix[p]
+	if i, ok := s.lpm.LookupExact(p); ok {
+		return &s.infs[i]
+	}
+	return nil
 }
 
 // LookupAddr returns the longest-prefix-match classification covering a
-// single address, or nil if no classified leaf covers it. Leaf prefixes
-// are bounded below /8, so the walk is at most 25 map probes.
+// single address, or nil if no classified leaf covers it. The lookup is
+// a short descent over the snapshot's flat LPM index: O(tree depth),
+// zero allocation, safe under arbitrary concurrency.
 func (s *Snapshot) LookupAddr(a netutil.Addr) *core.Inference {
-	for l := uint8(32); ; l-- {
-		p := netutil.Prefix{Base: a, Len: l}.Canonicalize()
-		if inf, ok := s.byPrefix[p]; ok {
-			return inf
-		}
-		if l == 0 {
-			return nil
-		}
+	if i, ok := s.lpm.Lookup(a); ok {
+		return &s.infs[i]
 	}
+	return nil
+}
+
+// LookupAddrs classifies a batch of addresses, appending one result per
+// address (nil where nothing matches) to dst and returning it. Only dst
+// may grow: the per-address work is the same allocation-free descent as
+// LookupAddr, so callers that reuse dst across batches amortize to zero
+// allocation.
+func (s *Snapshot) LookupAddrs(dst []*core.Inference, addrs []netutil.Addr) []*core.Inference {
+	if cap(dst)-len(dst) < len(addrs) {
+		grown := make([]*core.Inference, len(dst), len(dst)+len(addrs))
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, a := range addrs {
+		dst = append(dst, s.LookupAddr(a))
+	}
+	return dst
 }
 
 // LookupASN returns every classified leaf prefix originated by the ASN,

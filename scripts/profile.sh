@@ -1,0 +1,27 @@
+#!/bin/sh
+# Capture CPU and allocation profiles of the sharded intra-registry
+# inference hot path (BenchmarkInferRegion) into profiles/, plus the
+# test binary pprof needs to symbolize them. The top of the CPU profile
+# is printed so a perf session starts with the answer to "where does the
+# time go" already on screen.
+# Usage: scripts/profile.sh [benchtime]   (default 500x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime=${1:-500x}
+mkdir -p profiles
+
+echo "== profiling BenchmarkInferRegion (benchtime $benchtime)"
+go test -run '^$' -bench 'BenchmarkInferRegion$' -benchtime "$benchtime" \
+	-cpuprofile profiles/inferregion.cpu.pprof \
+	-memprofile profiles/inferregion.mem.pprof \
+	-o profiles/core.test \
+	./internal/core
+
+echo "== wrote profiles/inferregion.cpu.pprof, profiles/inferregion.mem.pprof"
+echo "   inspect: go tool pprof profiles/core.test profiles/inferregion.cpu.pprof"
+echo "   allocs:  go tool pprof -sample_index=alloc_objects profiles/core.test profiles/inferregion.mem.pprof"
+
+echo "== hottest functions (CPU)"
+go tool pprof -top -nodecount 15 profiles/core.test profiles/inferregion.cpu.pprof
