@@ -22,14 +22,23 @@
 // the Go profiler on /debug/pprof/*. See the README's Observability
 // section for the metric catalog.
 //
+// Incremental reloads: by default, timer-driven reloads take the delta
+// path — the refreshed dataset is diffed against the previous
+// generation and only the allocation-forest roots the churn touched are
+// re-classified, with the serving indexes patched in place (mode=delta
+// in logs and metrics). The result is byte-identical to a full rebuild.
+// SIGHUP stays a forced full rebuild: the operator escape hatch that
+// also recompacts the patched indexes. -delta=false pins every reload
+// to the full path.
+//
 // Signals:
 //
-//	SIGHUP          forced reload (runs even with the breaker open)
+//	SIGHUP          forced full reload (runs even with the breaker open)
 //	SIGTERM/SIGINT  graceful shutdown, draining in-flight requests
 //
 // Usage:
 //
-//	leased -data dataset [-addr 127.0.0.1:8402] [-strict]
+//	leased -data dataset [-addr 127.0.0.1:8402] [-strict] [-delta=true]
 //	       [-reload 24h] [-drain 10s] [-max-inflight 128] [-timeout 5s]
 //	       [-log-format text|json] [-log-level info] [-pprof]
 package main
@@ -45,6 +54,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -58,6 +68,7 @@ type config struct {
 	data        string
 	addr        string
 	strict      bool
+	delta       bool
 	reload      time.Duration
 	drain       time.Duration
 	maxInFlight int
@@ -72,6 +83,7 @@ func main() {
 	flag.StringVar(&cfg.data, "data", "dataset", "dataset directory")
 	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8402", "listen address")
 	flag.BoolVar(&cfg.strict, "strict", false, "strict ingestion: any malformed record fails a (re)load")
+	flag.BoolVar(&cfg.delta, "delta", true, "incremental reloads: diff against the previous generation and re-classify only the churn (SIGHUP still forces a full rebuild)")
 	flag.DurationVar(&cfg.reload, "reload", 0, "timer-driven reload period (0 disables; SIGHUP always reloads)")
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain budget")
 	flag.IntVar(&cfg.maxInFlight, "max-inflight", serve.DefaultMaxInFlight, "concurrent requests before shedding with 429")
@@ -104,23 +116,90 @@ func newLogger(cfg config, w io.Writer) (*telemetry.Logger, error) {
 	return telemetry.NewLogger(w, telemetry.LoggerOptions{Level: level, Format: format}), nil
 }
 
-// builder is the daemon's snapshot build step: one dataset load under
-// the configured ingestion policy plus one inference run.
-func builder(cfg config) func(context.Context) (*serve.Snapshot, error) {
+// snapshotBuilder is the daemon's snapshot build step: one dataset load
+// under the configured ingestion policy plus one inference run. It
+// retains the previous load's Generation so unforced reloads can take
+// the incremental path: diff the refreshed dataset against it,
+// re-classify only the dirty allocation-forest roots, and patch the
+// previous snapshot's serving indexes instead of rebuilding them.
+// Holding the baseline costs one extra dataset generation of memory —
+// the price of diffing — which -delta=false avoids.
+type snapshotBuilder struct {
+	cfg  config
+	opts ipleasing.LoadOptions
+
+	mu   sync.Mutex
+	prev *ipleasing.Generation
+}
+
+func newSnapshotBuilder(cfg config) *snapshotBuilder {
 	opts := ipleasing.LenientLoad()
 	if cfg.strict {
 		opts = ipleasing.StrictLoad()
 	}
-	return func(ctx context.Context) (*serve.Snapshot, error) {
-		_, sum, res, err := ipleasing.LoadAndInfer(cfg.data, opts, ipleasing.Options{})
-		if err != nil {
-			return nil, err
-		}
-		snap := serve.NewSnapshot(res, sum.Reports, sum.SkippedAnalyses)
-		snap.Dir = cfg.data
-		snap.Strict = cfg.strict
-		return snap, nil
+	return &snapshotBuilder{cfg: cfg, opts: opts}
+}
+
+func (b *snapshotBuilder) setPrev(g *ipleasing.Generation) {
+	b.mu.Lock()
+	b.prev = g
+	b.mu.Unlock()
+}
+
+func (b *snapshotBuilder) getPrev() *ipleasing.Generation {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.prev
+}
+
+// buildFull is the full rebuild: load, infer everything, index from
+// scratch. The resulting generation becomes the next delta baseline.
+func (b *snapshotBuilder) buildFull(ctx context.Context) (*serve.Snapshot, error) {
+	ds, sum, res, err := ipleasing.LoadAndInferContext(ctx, b.cfg.data, b.opts, ipleasing.Options{})
+	if err != nil {
+		return nil, err
 	}
+	if b.cfg.delta {
+		b.setPrev(&ipleasing.Generation{Dataset: ds, Summary: sum, Result: res})
+	}
+	snap := serve.NewSnapshot(res, sum.Reports, sum.SkippedAnalyses)
+	snap.Dir = b.cfg.data
+	snap.Strict = b.cfg.strict
+	return snap, nil
+}
+
+// buildDelta is the incremental rebuild serve.Config.BuildDelta wires
+// to unforced reloads: load the refreshed dataset, InferDelta against
+// the retained generation, and patch prevSnap's indexes through the
+// resulting plan. Falls back transparently (first generation, churn
+// above threshold) with the snapshot's DeltaInfo reporting which mode
+// actually ran. On error the baseline is left untouched, so the next
+// attempt diffs against the same good generation.
+func (b *snapshotBuilder) buildDelta(ctx context.Context, prevSnap *serve.Snapshot) (*serve.Snapshot, error) {
+	gen, rep, err := ipleasing.LoadAndInferDelta(ctx, b.cfg.data, b.opts, ipleasing.Options{},
+		b.getPrev(), ipleasing.DeltaChurnFallback)
+	if err != nil {
+		return nil, err
+	}
+	b.setPrev(gen)
+	var snap *serve.Snapshot
+	if rep.Mode == serve.ModeDelta {
+		snap = serve.PatchSnapshot(prevSnap, gen.Result, rep.Plan,
+			gen.Summary.Reports, gen.Summary.SkippedAnalyses)
+	} else {
+		snap = serve.NewSnapshot(gen.Result, gen.Summary.Reports, gen.Summary.SkippedAnalyses)
+		snap.Delta = &serve.DeltaInfo{Mode: serve.ModeFull}
+	}
+	if rep.Stats != nil {
+		snap.Delta.DirtyShards = rep.Stats.DirtySegments
+		snap.Delta.TotalShards = rep.Stats.TotalSegments
+	}
+	if rep.Changes != nil {
+		snap.Delta.ChangedKeys = rep.Changes.ChangedKeys()
+	}
+	snap.Dir = b.cfg.data
+	snap.Strict = b.cfg.strict
+	return snap, nil
 }
 
 // handler wires the service handler, optionally mounting the profiler.
@@ -151,13 +230,18 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready func(addr string
 	if err != nil {
 		return err
 	}
-	s := serve.New(serve.Config{
-		Build:          builder(cfg),
+	b := newSnapshotBuilder(cfg)
+	scfg := serve.Config{
+		Build:          b.buildFull,
 		ReloadEvery:    cfg.reload,
 		MaxInFlight:    cfg.maxInFlight,
 		RequestTimeout: cfg.timeout,
 		Logger:         logger,
-	})
+	}
+	if cfg.delta {
+		scfg.BuildDelta = b.buildDelta
+	}
+	s := serve.New(scfg)
 	// The first load is synchronous and fatal on failure: a daemon with
 	// nothing to serve should crash-loop visibly, not sit unready.
 	if err := s.Reload(ctx, true); err != nil {

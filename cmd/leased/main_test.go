@@ -226,9 +226,17 @@ func TestStrictFlagRejectsCorruptDataset(t *testing.T) {
 }
 
 func TestBuilderUsage(t *testing.T) {
-	// builder wires the config's dataset dir; a wrong dir errors.
-	b := builder(config{data: "does-not-exist", strict: false})
-	if _, err := b(context.Background()); err == nil {
-		t.Fatal("builder over missing dir succeeded")
+	// The builder wires the config's dataset dir; a wrong dir errors on
+	// both the full and the delta path, and a failed delta build leaves
+	// no baseline generation behind.
+	b := newSnapshotBuilder(config{data: "does-not-exist", strict: false, delta: true})
+	if _, err := b.buildFull(context.Background()); err == nil {
+		t.Fatal("full build over missing dir succeeded")
+	}
+	if _, err := b.buildDelta(context.Background(), nil); err == nil {
+		t.Fatal("delta build over missing dir succeeded")
+	}
+	if b.getPrev() != nil {
+		t.Fatal("failed builds left a baseline generation")
 	}
 }

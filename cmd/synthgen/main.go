@@ -4,9 +4,20 @@
 // Figure-3 timeline — everything the inference pipeline consumes, in the
 // native on-disk formats.
 //
+// With -mutate, synthgen additionally emits a churned successor epoch
+// of the same world: after writing the base dataset to -out, it
+// perturbs a -churn fraction of each mutable entity class (allocations
+// added/removed/transferred, RIB origin flips, ROA rotations,
+// organisation churn) and writes the result to -mutate-out (default
+// "<out>.next"). One run yields two dataset directories exactly one
+// reload apart — the input shape the incremental delta path consumes.
+// Both epochs must come from one run: generation consumes randomness in
+// map order, so two -seed invocations do not produce identical worlds.
+//
 // Usage:
 //
 //	synthgen -out dataset [-scale 0.02] [-seed 1]
+//	synthgen -out dataset -mutate [-mutate-out dataset.next] [-churn 0.01] [-mutate-seed 1]
 package main
 
 import (
@@ -21,6 +32,10 @@ func main() {
 	out := flag.String("out", "dataset", "output directory")
 	scale := flag.Float64("scale", 0.02, "fraction of paper-scale counts")
 	seed := flag.Int64("seed", 1, "generator seed")
+	mutate := flag.Bool("mutate", false, "also emit a churned successor epoch of the generated world to -mutate-out")
+	mutateOut := flag.String("mutate-out", "", "successor epoch directory (default \"<out>.next\"; with -mutate)")
+	mutateSeed := flag.Int64("mutate-seed", 1, "mutation stream seed (with -mutate)")
+	churn := flag.Float64("churn", 0.01, "fraction of each mutable entity class touched (with -mutate): leaf/root allocations, routes, ROAs, organisations; AS-to-org reassignments run at a tenth of this rate")
 	flag.Parse()
 
 	w := ipleasing.Generate(ipleasing.Config{Seed: *seed, Scale: *scale})
@@ -36,4 +51,19 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d registered leaves (%d actually leased), %d routed prefixes, %d truth records\n",
 		*out, len(w.Truth), leased, len(w.Routes), len(w.Truth))
+	if !*mutate {
+		return
+	}
+	nextDir := *mutateOut
+	if nextDir == "" {
+		nextDir = *out + ".next"
+	}
+	st := ipleasing.Mutate(w, ipleasing.MutateConfig{Seed: *mutateSeed, Churn: *churn})
+	if err := w.WriteDir(nextDir); err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: successor epoch at churn %g (%d mutations: %d leaves removed, %d split, %d moved, %d roots transferred, %d orgs renamed, %d origin flips, %d ROA rotations, %d ASNs reassigned)\n",
+		nextDir, *churn, st.Total(), st.LeavesRemoved, st.LeavesSplit, st.LeavesMoved,
+		st.RootsTransferred, st.OrgsRenamed, st.OriginFlips, st.ROARotations, st.ASNsReassigned)
 }

@@ -1,0 +1,30 @@
+package as2org
+
+// DiffMaps returns the ASNs whose organisation assignment differs
+// between the two maps: mapped in only one, or mapped to different org
+// ids. A nil map compares as empty.
+//
+// Org display names and countries are ignored: Siblings — the only query
+// the inference core issues — depends solely on the ASN→org assignment,
+// so the incremental-reload planner treats name/country edits as free.
+func DiffMaps(a, b *Map) map[uint32]bool {
+	out := make(map[uint32]bool)
+	var aas, bas map[uint32]string
+	if a != nil {
+		aas = a.asOrg
+	}
+	if b != nil {
+		bas = b.asOrg
+	}
+	for asn, org := range aas {
+		if org2, ok := bas[asn]; !ok || org2 != org {
+			out[asn] = true
+		}
+	}
+	for asn := range bas {
+		if _, ok := aas[asn]; !ok {
+			out[asn] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package asrel
+
+// DiffGraphs returns the ASNs incident to any relationship edge that is
+// present in only one of the two graphs or carries a different type in
+// each. A nil graph compares as empty.
+//
+// The endpoint set is exactly what the incremental-reload planner needs:
+// Related(a, b) can change between two graphs only if a or b is an
+// endpoint of a changed edge, so any prior classification that never
+// touched a changed ASN is still valid.
+func DiffGraphs(a, b *Graph) map[uint32]bool {
+	out := make(map[uint32]bool)
+	mark := func(k uint64) {
+		out[uint32(k>>32)] = true
+		out[uint32(k)] = true
+	}
+	var arels, brels map[uint64]Rel
+	if a != nil {
+		arels = a.rels
+	}
+	if b != nil {
+		brels = b.rels
+	}
+	for k, r := range arels {
+		if r2, ok := brels[k]; !ok || r2 != r {
+			mark(k)
+		}
+	}
+	for k := range brels {
+		if _, ok := arels[k]; !ok {
+			mark(k)
+		}
+	}
+	return out
+}

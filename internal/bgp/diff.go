@@ -1,0 +1,92 @@
+package bgp
+
+import (
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/prefixtree"
+)
+
+// size returns the number of distinct origins in the set. The counts map
+// is only allocated once a second distinct origin appears, so a nil map
+// means zero or one origin.
+func (s *originSet) size() int {
+	if s.counts != nil {
+		return len(s.counts)
+	}
+	if s.count0 > 0 {
+		return 1
+	}
+	return 0
+}
+
+// equalOriginSets reports whether two origin sets carry the same
+// origin→vantage-point-count multiset. Counts matter: they decide both
+// the sorted origin order and visibility filtering, so a count-only
+// change is a behavioural change.
+func equalOriginSets(x, y *originSet) bool {
+	if x.size() != y.size() {
+		return false
+	}
+	if x.counts == nil {
+		// Equal sizes and no map on x means y has no map either
+		// (a counts map always holds at least two origins).
+		return x.count0 == 0 || (x.origin0 == y.origin0 && x.count0 == y.count0)
+	}
+	for origin, n := range x.counts {
+		if y.counts[origin] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffPrefixes returns every prefix whose origin multiset differs between
+// the two tables: present in only one, or present in both with different
+// origins or vantage-point counts. The result is in canonical prefix
+// order. A nil table compares as empty.
+//
+// This is the BGP side of the incremental-reload diff: any prefix listed
+// here may change an exact-match or covering-origin query, so the delta
+// planner must re-classify every allocation-forest root whose range it
+// intersects. The trees are iterated in lockstep — tree iteration order
+// is the same supernet-before-subnet order Prefix.Compare defines, which
+// makes the merge linear — so the only allocations are the two iterator
+// stacks and the result.
+func DiffPrefixes(a, b *Table) []netutil.Prefix {
+	var ai, bi prefixtree.Iter[*originSet]
+	if a != nil {
+		ai = a.tree.Iter()
+	}
+	if b != nil {
+		bi = b.tree.Iter()
+	}
+	var out []netutil.Prefix
+	ap, as, aok := ai.Next()
+	bp, bs, bok := bi.Next()
+	for aok || bok {
+		switch {
+		case !bok:
+			out = append(out, ap)
+			ap, as, aok = ai.Next()
+		case !aok:
+			out = append(out, bp)
+			bp, bs, bok = bi.Next()
+		default:
+			c := ap.Compare(bp)
+			switch {
+			case c < 0:
+				out = append(out, ap)
+				ap, as, aok = ai.Next()
+			case c > 0:
+				out = append(out, bp)
+				bp, bs, bok = bi.Next()
+			default:
+				if !equalOriginSets(as, bs) {
+					out = append(out, ap)
+				}
+				ap, as, aok = ai.Next()
+				bp, bs, bok = bi.Next()
+			}
+		}
+	}
+	return out
+}

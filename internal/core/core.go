@@ -383,6 +383,12 @@ type Result struct {
 	TotalBGPPrefixes int
 	// RoutedSpace is the number of routed IPv4 addresses.
 	RoutedSpace uint64
+
+	// flat, when non-nil, holds every inference contiguously in All
+	// order (registry order then prefix order). ApplyDelta materialises
+	// regions into this arena so Flat can serve the concatenation
+	// without the extra full-result copy All pays on every reload.
+	flat []Inference
 }
 
 // each visits every inference in registry order then prefix order —
@@ -419,6 +425,18 @@ func (r *Result) All() []Inference {
 		return true
 	})
 	return out
+}
+
+// Flat returns every inference in All order. Unlike All, the returned
+// slice may alias the Result's internal storage and must be treated as
+// read-only; use it where the concatenation is long-lived and never
+// mutated (the serving snapshot). Falls back to a fresh All copy when
+// no arena was materialised (the full inference path).
+func (r *Result) Flat() []Inference {
+	if r.flat != nil {
+		return r.flat
+	}
+	return r.All()
 }
 
 // LeasedInferences returns only the leased inferences.
@@ -581,40 +599,7 @@ func (p *Pipeline) inferRegion(db *whois.Database) (*RegionResult, int) {
 		states[w] = p.newRunState()
 	}
 	err := par.Workers(len(ct.segs), workers, func(w, si int) error {
-		seg := ct.segs[si]
-		o := int(seg.out)
-		for i := int(seg.lo); i < int(seg.hi); i++ {
-			e := &ct.entries[i]
-			if e.HasChildren {
-				continue // intermediate or root with children: not a leaf
-			}
-			leaf := e.Value.inet
-			if leaf.Portability != whois.NonPortable {
-				continue // standalone portable block: root-only, skip
-			}
-			var (
-				rootPfx netutil.Prefix
-				root    *whois.InetNum
-			)
-			if e.Depth > 0 {
-				if ct.rootOf != nil {
-					re := &ct.entries[ct.rootOf[i]]
-					rootPfx, root = re.Prefix, re.Value.inet
-				} else {
-					// Cache bypass: resolve the root through the trie,
-					// the pre-cache lookup path.
-					rp, rv, _ := ct.tree.RootOf(e.Prefix)
-					rootPfx, root = rp, rv.inet
-				}
-			}
-			inf := p.classifyLeaf(db, e.Prefix, leaf, rootPfx, root, states[w])
-			counts[w][inf.Category]++
-			if inf.Category != Orphan {
-				leaves[w]++
-			}
-			out[o] = inf
-			o++
-		}
+		p.classifySegment(db, ct, ct.segs[si], out, states[w], &counts[w], &leaves[w])
 		return nil
 	})
 	if err != nil {
@@ -628,6 +613,47 @@ func (p *Pipeline) inferRegion(db *whois.Database) (*RegionResult, int) {
 	}
 	rr.Inferences = out
 	return rr, workers
+}
+
+// classifySegment classifies one shard — the entries of a single
+// allocation-forest root — writing inferences into the segment's
+// preassigned slots of out and tallying into the caller's count cells.
+// It is the shared re-inference unit of the full path (inferRegion) and
+// the incremental delta path (ApplyDelta).
+func (p *Pipeline) classifySegment(db *whois.Database, ct *cachedTree, seg segment, out []Inference, st *runState, counts *[numCategories]int, leaves *int) {
+	o := int(seg.out)
+	for i := int(seg.lo); i < int(seg.hi); i++ {
+		e := &ct.entries[i]
+		if e.HasChildren {
+			continue // intermediate or root with children: not a leaf
+		}
+		leaf := e.Value.inet
+		if leaf.Portability != whois.NonPortable {
+			continue // standalone portable block: root-only, skip
+		}
+		var (
+			rootPfx netutil.Prefix
+			root    *whois.InetNum
+		)
+		if e.Depth > 0 {
+			if ct.rootOf != nil {
+				re := &ct.entries[ct.rootOf[i]]
+				rootPfx, root = re.Prefix, re.Value.inet
+			} else {
+				// Cache bypass: resolve the root through the trie,
+				// the pre-cache lookup path.
+				rp, rv, _ := ct.tree.RootOf(e.Prefix)
+				rootPfx, root = rp, rv.inet
+			}
+		}
+		inf := p.classifyLeaf(db, e.Prefix, leaf, rootPfx, root, st)
+		counts[inf.Category]++
+		if inf.Category != Orphan {
+			*leaves++
+		}
+		out[o] = inf
+		o++
+	}
 }
 
 // resolveRoot computes (or fetches from the per-run cache) the root-level

@@ -1,0 +1,228 @@
+package delta
+
+import (
+	"testing"
+
+	"ipleasing/internal/as2org"
+	"ipleasing/internal/asrel"
+	"ipleasing/internal/bgp"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/rpki"
+	"ipleasing/internal/whois"
+)
+
+func mustPrefix(t *testing.T, s string) netutil.Prefix {
+	t.Helper()
+	return netutil.MustParsePrefix(s)
+}
+
+func inet(reg whois.Registry, p netutil.Prefix, org, name string) *whois.InetNum {
+	return &whois.InetNum{
+		Registry: reg, Range: netutil.Range{First: p.First(), Last: p.Last()},
+		NetName: name, Status: "ALLOCATED PA", Portability: whois.NonPortable, OrgID: org,
+	}
+}
+
+func dataset(inets []*whois.InetNum, auts []*whois.AutNum, orgs []*whois.Org) *whois.Dataset {
+	ds := whois.NewDataset()
+	for _, in := range inets {
+		db := ds.DBs[in.Registry]
+		db.InetNums = append(db.InetNums, in)
+	}
+	for _, a := range auts {
+		ds.DBs[a.Registry].AutNums = append(ds.DBs[a.Registry].AutNums, a)
+	}
+	for _, o := range orgs {
+		ds.DBs[o.Registry].Orgs = append(ds.DBs[o.Registry].Orgs, o)
+	}
+	for _, db := range ds.DBs {
+		db.Reindex()
+	}
+	return ds
+}
+
+func TestDiffEmptyOnIdenticalContent(t *testing.T) {
+	p := mustPrefix(t, "10.0.0.0/24")
+	mk := func() Inputs {
+		tbl := &bgp.Table{}
+		tbl.AddRoute(p, 65001)
+		tbl.AddRoute(p, 65001)
+		rel := asrel.New()
+		rel.AddP2C(65000, 65001)
+		orgs := as2org.New()
+		orgs.AddOrg("ORG-A", "A", "ZZ")
+		orgs.AddAS(65001, "ORG-A")
+		return Inputs{
+			Whois: dataset(
+				[]*whois.InetNum{inet(whois.RIPE, p, "ORG-A", "NET-A")},
+				[]*whois.AutNum{{Registry: whois.RIPE, Number: 65001, Name: "AS-A", OrgID: "ORG-A"}},
+				[]*whois.Org{{Registry: whois.RIPE, ID: "ORG-A", Name: "A", Country: "ZZ"}},
+			),
+			Table: tbl, Rel: rel, Orgs: orgs,
+		}
+	}
+	ch := Diff(mk(), mk())
+	if !ch.Empty() {
+		t.Fatalf("identical content diffed as changed: %v", ch.ChangedKeys())
+	}
+	if ch.TotalChangedKeys() != 0 {
+		t.Fatalf("changed keys on identical content: %v", ch.ChangedKeys())
+	}
+}
+
+func TestDiffWhoisInetNum(t *testing.T) {
+	pa, pb := mustPrefix(t, "10.0.0.0/24"), mustPrefix(t, "10.0.1.0/24")
+	prev := Inputs{Whois: dataset([]*whois.InetNum{
+		inet(whois.RIPE, pa, "ORG-A", "NET-A"),
+		inet(whois.RIPE, pb, "ORG-B", "NET-B"),
+	}, nil, nil)}
+	// NET-B renamed, NET-A unchanged, a new allocation appears.
+	pc := mustPrefix(t, "10.0.2.0/24")
+	next := Inputs{Whois: dataset([]*whois.InetNum{
+		inet(whois.RIPE, pa, "ORG-A", "NET-A"),
+		inet(whois.RIPE, pb, "ORG-B", "NET-B2"),
+		inet(whois.RIPE, pc, "ORG-C", "NET-C"),
+	}, nil, nil)}
+	ch := Diff(prev, next)
+	rc := ch.Whois[whois.RIPE]
+	if rc == nil || len(rc.Ranges) != 2 {
+		t.Fatalf("want 2 changed ranges (modified + added), got %+v", rc)
+	}
+	got := map[netutil.Addr]bool{}
+	for _, r := range rc.Ranges {
+		got[r.First] = true
+	}
+	if !got[pb.First()] || !got[pc.First()] {
+		t.Fatalf("changed ranges %v missing %v or %v", rc.Ranges, pb, pc)
+	}
+	if got[pa.First()] {
+		t.Fatal("unchanged allocation reported as changed")
+	}
+}
+
+func TestDiffWhoisOrgsAndAutNums(t *testing.T) {
+	auts := func(org string) []*whois.AutNum {
+		return []*whois.AutNum{{Registry: whois.ARIN, Number: 65001, Name: "AS-A", OrgID: org}}
+	}
+	orgs := []*whois.Org{
+		{Registry: whois.ARIN, ID: "ORG-A", Name: "A"},
+		{Registry: whois.ARIN, ID: "ORG-B", Name: "B"},
+	}
+	prev := Inputs{Whois: dataset(nil, auts("ORG-A"), orgs)}
+	next := Inputs{Whois: dataset(nil, auts("ORG-B"), orgs)}
+	ch := Diff(prev, next)
+	rc := ch.Whois[whois.ARIN]
+	if rc == nil || len(rc.Ranges) != 0 {
+		t.Fatalf("AutNum move must not flag ranges: %+v", rc)
+	}
+	// The ASN moved from ORG-A to ORG-B: both holders' root sets may
+	// answer differently, so both must be marked.
+	if !rc.Orgs["ORG-A"] || !rc.Orgs["ORG-B"] {
+		t.Fatalf("AutNum transfer must mark both orgs, got %v", rc.Orgs)
+	}
+}
+
+func TestDiffBGP(t *testing.T) {
+	pa, pb, pc := mustPrefix(t, "10.0.0.0/24"), mustPrefix(t, "10.0.1.0/24"), mustPrefix(t, "10.0.2.0/24")
+	mk := func(flip bool) *bgp.Table {
+		tbl := &bgp.Table{}
+		tbl.AddRoute(pa, 65001)
+		if flip {
+			tbl.AddRoute(pb, 65099) // origin change
+		} else {
+			tbl.AddRoute(pb, 65002)
+		}
+		tbl.AddRoute(pc, 65003)
+		tbl.AddRoute(pc, 65003) // same visibility both sides
+		return tbl
+	}
+	got := bgp.DiffPrefixes(mk(false), mk(true))
+	if len(got) != 1 || got[0] != pb {
+		t.Fatalf("DiffPrefixes = %v, want [%v]", got, pb)
+	}
+	// Visibility counts are part of origin identity: they order the
+	// sorted origin sets and drive vantage-point visibility.
+	one, two := &bgp.Table{}, &bgp.Table{}
+	one.AddRoute(pa, 65001)
+	two.AddRoute(pa, 65001)
+	two.AddRoute(pa, 65001)
+	if got := bgp.DiffPrefixes(one, two); len(got) != 1 {
+		t.Fatalf("visibility change not detected: %v", got)
+	}
+	// Added and removed prefixes appear.
+	if got := bgp.DiffPrefixes(one, &bgp.Table{}); len(got) != 1 || got[0] != pa {
+		t.Fatalf("removed prefix not detected: %v", got)
+	}
+}
+
+func TestDiffRelAndOrgs(t *testing.T) {
+	ga := asrel.New()
+	ga.AddP2C(1, 2)
+	ga.AddP2P(3, 4)
+	gb := asrel.New()
+	gb.AddP2C(1, 2)
+	gb.AddP2C(3, 4) // peer became customer
+	gb.AddP2P(5, 6) // new edge
+	changed := asrel.DiffGraphs(ga, gb)
+	for _, asn := range []uint32{3, 4, 5, 6} {
+		if !changed[asn] {
+			t.Fatalf("ASN %d missing from graph diff %v", asn, changed)
+		}
+	}
+	if changed[1] || changed[2] {
+		t.Fatalf("unchanged edge endpoints flagged: %v", changed)
+	}
+
+	ma := as2org.New()
+	ma.AddOrg("O1", "one", "ZZ")
+	ma.AddOrg("O2", "two", "ZZ")
+	ma.AddAS(10, "O1")
+	ma.AddAS(11, "O2")
+	mb := as2org.New()
+	mb.AddOrg("O1", "one", "ZZ")
+	mb.AddOrg("O2", "two renamed", "ZZ") // name-only: invisible to Siblings
+	mb.AddAS(10, "O2")                   // reassigned
+	mb.AddAS(11, "O2")
+	changed = as2org.DiffMaps(ma, mb)
+	if !changed[10] || changed[11] {
+		t.Fatalf("as2org diff = %v, want {10}", changed)
+	}
+}
+
+func TestDiffRPKICounts(t *testing.T) {
+	p := mustPrefix(t, "10.0.0.0/24")
+	mk := func(asn uint32) *rpki.Archive {
+		a := &rpki.Archive{}
+		a.Add(rpki.Snapshot{VRPs: []rpki.VRP{{ASN: asn, Prefix: p, MaxLen: 24, TA: "ripe"}}})
+		return a
+	}
+	ch := Diff(Inputs{RPKI: mk(65001)}, Inputs{RPKI: mk(65002)})
+	if ch.RPKIAdded != 1 || ch.RPKIRemoved != 1 {
+		t.Fatalf("ROA rotation counts = %d/%d, want 1/1", ch.RPKIAdded, ch.RPKIRemoved)
+	}
+	// RPKI churn is telemetry only: it must not make the diff non-empty.
+	if !ch.Empty() {
+		t.Fatal("RPKI-only churn made the diff non-empty")
+	}
+	if ch.ChangedKeys()["rpki"] != 2 {
+		t.Fatalf("rpki changed-key count = %v", ch.ChangedKeys())
+	}
+}
+
+func TestDiffDuplicateMultiset(t *testing.T) {
+	p := mustPrefix(t, "10.0.0.0/24")
+	// Two identical objects on one side, one on the other: a count
+	// change must be detected exactly once.
+	prev := Inputs{Whois: dataset([]*whois.InetNum{
+		inet(whois.RIPE, p, "ORG-A", "NET-A"),
+		inet(whois.RIPE, p, "ORG-A", "NET-A"),
+	}, nil, nil)}
+	next := Inputs{Whois: dataset([]*whois.InetNum{
+		inet(whois.RIPE, p, "ORG-A", "NET-A"),
+	}, nil, nil)}
+	ch := Diff(prev, next)
+	rc := ch.Whois[whois.RIPE]
+	if rc == nil || len(rc.Ranges) != 1 {
+		t.Fatalf("duplicate-count change: %+v", rc)
+	}
+}

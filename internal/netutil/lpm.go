@@ -26,6 +26,11 @@ import (
 type LPM struct {
 	nodes []lpmNode
 	root8 [256]lpmRootEntry
+	// dups records that some prefix was inserted more than once, i.e. a
+	// node's value was overwritten. The shadowed value is unrecoverable
+	// from the structure, so a duplicate-bearing index refuses to Patch
+	// (the caller rebuilds instead).
+	dups bool
 }
 
 // lpmNode is one flattened trie node. mask/base duplicate the prefix as
@@ -99,6 +104,9 @@ func (t *LPM) insert(p Prefix, val int32) {
 	for {
 		nd := t.nodes[n]
 		if nd.base == uint32(p.Base) && nd.len == p.Len {
+			if t.nodes[n].val >= 0 {
+				t.dups = true
+			}
 			t.nodes[n].val = val
 			return
 		}
@@ -193,6 +201,57 @@ func (t *LPM) buildRoot8() {
 // Len returns the number of node slots in the index (structural nodes
 // included); 0 for an empty index.
 func (t *LPM) Len() int { return len(t.nodes) }
+
+// Patch derives the index for a new input slice ps from this one without
+// re-sorting and re-inserting the whole set, for incremental reloads
+// where only a small fraction of values changed. remap translates each
+// old value to its new input index (-1: deleted or re-computed), and
+// dirty lists the new input indices to (re)insert — exactly the
+// PatchPlan contract of the inference delta.
+//
+// The patched index answers every lookup identically to BuildLPM(ps),
+// with one exception it refuses to paper over: when either generation
+// contains duplicate prefixes, the last-insert-wins resolution cannot be
+// reproduced from the surviving structure (the shadowed value is gone),
+// so Patch returns nil and the caller must rebuild. t is unmodified
+// either way.
+//
+// Cost: one pass over the node array plus an insert per dirty prefix —
+// deleted values leave their nodes in place as structural entries, so
+// repeated patching grows the array by at most len(dirty) nodes per
+// round until a full rebuild compacts it.
+func (t *LPM) Patch(remap []int32, ps []Prefix, dirty []int32) *LPM {
+	if t.dups || t.nodes == nil {
+		return nil
+	}
+	nt := &LPM{nodes: append([]lpmNode(nil), t.nodes...)}
+	for i := range nt.nodes {
+		if v := nt.nodes[i].val; v >= 0 {
+			if int(v) >= len(remap) {
+				return nil
+			}
+			nv := remap[v]
+			if int(nv) >= len(ps) {
+				return nil // remapped value dangles past the new input
+			}
+			nt.nodes[i].val = nv
+		}
+	}
+	for _, idx := range dirty {
+		if idx < 0 || int(idx) >= len(ps) {
+			return nil
+		}
+		nt.insert(ps[idx].Canonicalize(), idx)
+		if nt.dups {
+			// The insert overwrote a surviving value: the new
+			// generation has duplicate prefixes, which only a full
+			// sorted build resolves correctly.
+			return nil
+		}
+	}
+	nt.buildRoot8()
+	return nt
+}
 
 // Lookup returns the input index of the longest inserted prefix
 // containing a. It performs no allocation and touches only the flat

@@ -253,3 +253,134 @@ func BenchmarkLPMLookup(b *testing.B) {
 		idx.Lookup(addrs[i%len(addrs)])
 	}
 }
+
+// randomUniquePrefixSet is randomPrefixSet with duplicates dropped —
+// the precondition under which Patch is defined.
+func randomUniquePrefixSet(rng *rand.Rand, n int) []Prefix {
+	seen := make(map[Prefix]bool, n)
+	ps := make([]Prefix, 0, n)
+	for len(ps) < n {
+		p := randomPrefixSet(rng, 1)[0]
+		if !seen[p] {
+			seen[p] = true
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// TestLPMPatchCrossCheck derives a churned successor prefix set from a
+// random base — deletions, re-classified survivors, additions — and
+// checks that patching the base index answers every lookup exactly like
+// a from-scratch build over the successor set.
+func TestLPMPatchCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		prev := randomUniquePrefixSet(rng, 50+rng.Intn(150))
+		idx := BuildLPM(prev)
+		seen := make(map[Prefix]bool, len(prev))
+
+		var next []Prefix
+		remap := make([]int32, len(prev))
+		var dirty []int32
+		for i, p := range prev {
+			switch rng.Intn(10) {
+			case 0: // deleted
+				remap[i] = -1
+			case 1, 2: // re-classified: same prefix, recomputed value
+				remap[i] = -1
+				next = append(next, p)
+				dirty = append(dirty, int32(len(next)-1))
+				seen[p] = true
+			default: // survives untouched
+				remap[i] = int32(len(next))
+				next = append(next, p)
+				seen[p] = true
+			}
+		}
+		for add := 5 + rng.Intn(20); add > 0; {
+			p := randomPrefixSet(rng, 1)[0]
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			next = append(next, p)
+			dirty = append(dirty, int32(len(next)-1))
+			add--
+		}
+
+		patched := idx.Patch(remap, next, dirty)
+		if patched == nil {
+			t.Fatalf("trial %d: Patch refused a duplicate-free plan", trial)
+		}
+		want := BuildLPM(next)
+		for i, p := range next {
+			g, gok := patched.LookupExact(p)
+			w, wok := want.LookupExact(p)
+			if g != w || gok != wok {
+				t.Fatalf("trial %d: LookupExact(%s) = %d,%v, want %d,%v (input %d)", trial, p, g, gok, w, wok, i)
+			}
+		}
+		for q := 0; q < 500; q++ {
+			var a Addr
+			if q%2 == 0 && len(next) > 0 {
+				p := next[rng.Intn(len(next))]
+				a = Addr(uint32(p.Base) | (rng.Uint32() &^ maskOf(p.Len)))
+			} else {
+				a = Addr(rng.Uint32())
+			}
+			g, gok := patched.Lookup(a)
+			w, wok := want.Lookup(a)
+			if g != w || gok != wok {
+				t.Fatalf("trial %d: Lookup(%s) = %d,%v, want %d,%v", trial, a, g, gok, w, wok)
+			}
+		}
+		// The base index must be untouched by the patch.
+		for i, p := range prev {
+			if g, ok := idx.LookupExact(p); !ok || int(g) >= len(prev) {
+				t.Fatalf("trial %d: base index mutated at %s (input %d)", trial, p, i)
+			}
+		}
+	}
+}
+
+// TestLPMPatchRefusals pins every case where Patch must return nil and
+// force a rebuild: duplicate-bearing base, a dirty insert colliding
+// with a surviving value, and out-of-range plan entries.
+func TestLPMPatchRefusals(t *testing.T) {
+	dup := MustParsePrefix("10.0.0.0/8")
+	withDups := BuildLPM([]Prefix{dup, dup})
+	if got := withDups.Patch([]int32{0, 1}, []Prefix{dup, dup}, nil); got != nil {
+		t.Fatal("Patch over a duplicate-bearing base succeeded")
+	}
+
+	ps := []Prefix{MustParsePrefix("10.0.0.0/8"), MustParsePrefix("10.1.0.0/16")}
+	idx := BuildLPM(ps)
+	// Dirty insert of a prefix whose base value survives the remap:
+	// the new generation has duplicates, which patching cannot resolve.
+	collide := []Prefix{ps[0], ps[1], ps[0]}
+	if got := idx.Patch([]int32{0, 1}, collide, []int32{2}); got != nil {
+		t.Fatal("Patch resolved a duplicate-prefix collision")
+	}
+	if got := idx.Patch([]int32{0, 5}, ps, nil); got != nil {
+		t.Fatal("Patch accepted an out-of-range remap value")
+	}
+	if got := idx.Patch([]int32{0, 1}, ps, []int32{9}); got != nil {
+		t.Fatal("Patch accepted an out-of-range dirty index")
+	}
+	var zero LPM
+	if got := zero.Patch(nil, nil, nil); got != nil {
+		t.Fatal("Patch over the zero index succeeded")
+	}
+	// A clean patch deleting one value still answers correctly.
+	patched := idx.Patch([]int32{0, -1}, ps[:1], nil)
+	if patched == nil {
+		t.Fatal("clean deletion patch refused")
+	}
+	if v, ok := patched.Lookup(MustParseAddr("10.1.2.3")); !ok || v != 0 {
+		t.Fatalf("after deleting /16, Lookup = %d,%v, want 0,true", v, ok)
+	}
+	if _, ok := patched.LookupExact(ps[1]); ok {
+		t.Fatal("deleted prefix still matches exactly")
+	}
+}

@@ -422,6 +422,47 @@ func hasSetDescendant[V any](n *node[V]) bool {
 	return false
 }
 
+// Iter is an explicit-stack iterator over a tree's inserted prefixes in
+// Walk order. It exists for merge co-scans over two trees (the BGP
+// table diff), where the callback-based Walk would force at least one
+// side to be materialised into an entry slice first. The zero value is
+// an exhausted iterator; it does not compute the Entry hierarchy
+// metadata (Depth, HasChildren).
+type Iter[V any] struct {
+	stack []*node[V]
+}
+
+// Iter returns an iterator positioned before the first inserted prefix.
+// The tree must not be mutated while the iterator is in use.
+func (t *Tree[V]) Iter() Iter[V] {
+	it := Iter[V]{}
+	if t.root != nil {
+		it.stack = append(make([]*node[V], 0, 40), t.root)
+	}
+	return it
+}
+
+// Next returns the next inserted prefix and its value, or ok == false
+// when the iterator is exhausted.
+func (it *Iter[V]) Next() (p netutil.Prefix, v V, ok bool) {
+	for len(it.stack) > 0 {
+		n := it.stack[len(it.stack)-1]
+		it.stack = it.stack[:len(it.stack)-1]
+		// Children are pushed hi before lo so the lo subtree pops first —
+		// the same pre-order (node, lo, hi) Walk uses.
+		if n.hi != nil {
+			it.stack = append(it.stack, n.hi)
+		}
+		if n.lo != nil {
+			it.stack = append(it.stack, n.lo)
+		}
+		if n.set {
+			return n.prefix, n.value, true
+		}
+	}
+	return p, v, false
+}
+
 // Entries returns all inserted entries in Walk order.
 func (t *Tree[V]) Entries() []Entry[V] {
 	out := make([]Entry[V], 0, t.size)

@@ -512,3 +512,53 @@ func TestInserterMatchesInsert(t *testing.T) {
 		}
 	}
 }
+
+func TestIterMatchesWalk(t *testing.T) {
+	// Empty and zero-value iterators are exhausted immediately.
+	var empty Tree[int]
+	it := empty.Iter()
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("empty tree iterator yielded an entry")
+	}
+	var zero Iter[int]
+	if _, _, ok := zero.Next(); ok {
+		t.Fatal("zero-value iterator yielded an entry")
+	}
+
+	// A randomized tree (with deletions, so structural unset nodes exist)
+	// must iterate in exactly Walk order with Walk's values.
+	rng := rand.New(rand.NewSource(7))
+	var tr Tree[int]
+	var inserted []netutil.Prefix
+	for i := 0; i < 500; i++ {
+		p := netutil.Prefix{Base: netutil.Addr(rng.Uint32()), Len: uint8(rng.Intn(33))}.Canonicalize()
+		tr.Insert(p, i)
+		inserted = append(inserted, p)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Delete(inserted[rng.Intn(len(inserted))])
+	}
+
+	type pv struct {
+		p netutil.Prefix
+		v int
+	}
+	var want []pv
+	tr.Walk(func(e Entry[int]) bool {
+		want = append(want, pv{e.Prefix, e.Value})
+		return true
+	})
+	iter := tr.Iter()
+	for k, w := range want {
+		p, v, ok := iter.Next()
+		if !ok {
+			t.Fatalf("iterator exhausted at %d, want %d entries", k, len(want))
+		}
+		if p != w.p || v != w.v {
+			t.Fatalf("entry %d: iter (%v, %d) != walk (%v, %d)", k, p, v, w.p, w.v)
+		}
+	}
+	if p, _, ok := iter.Next(); ok {
+		t.Fatalf("iterator yielded %v past the %d Walk entries", p, len(want))
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"bytes"
+	"sort"
+
+	"ipleasing/internal/core"
+	"ipleasing/internal/diag"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/report"
+)
+
+// Reload modes, as reported in ReloadEvent.Mode, the mode label of the
+// reload metrics, and DeltaInfo.Mode.
+const (
+	ModeFull  = "full"
+	ModeDelta = "delta"
+)
+
+// DeltaInfo describes how a snapshot was produced by the incremental
+// reload path. Attached to Snapshot.Delta; a nil Delta means a full
+// build.
+type DeltaInfo struct {
+	// Mode is ModeDelta when the inference delta was applied, ModeFull
+	// when the delta path fell back to a full rebuild (high churn,
+	// options change, first load).
+	Mode string
+	// DirtyShards and TotalShards count allocation-forest root segments
+	// re-classified vs total (core.DeltaStats).
+	DirtyShards int
+	TotalShards int
+	// ChangedKeys is the per-source changed-key count from the dataset
+	// diff (delta.Changes.ChangedKeys).
+	ChangedKeys map[string]int
+	// PatchOps is the number of LPM index operations the patch
+	// performed: value deletions plus dirty-prefix inserts/updates.
+	PatchOps int
+	// LPMRebuilt records that the flat LPM index was rebuilt from
+	// scratch instead of patched (duplicate prefixes, or an inconsistent
+	// plan).
+	LPMRebuilt bool
+}
+
+// PatchSnapshot indexes an incrementally-updated inference result by
+// patching the previous snapshot's serving indexes through the
+// PatchPlan instead of rebuilding them: surviving LPM values and
+// ASN-index entries are remapped in place, deleted ones dropped, and
+// only the re-classified flat slots are re-inserted. The result must be
+// the one ApplyDelta produced from prev.Result with plan.
+//
+// The returned snapshot answers every query byte-identically to
+// NewSnapshot(res, ...); Delta carries the patch statistics (Mode,
+// PatchOps, LPMRebuilt) for the caller to augment. Falls back to a full
+// index build — never fails — when the plan is inconsistent with the
+// result or the LPM refuses to patch.
+func PatchSnapshot(prev *Snapshot, res *core.Result, plan *core.PatchPlan, reports []*diag.LoadReport, skippedAnalyses []string) *Snapshot {
+	if prev == nil || plan == nil {
+		s := NewSnapshot(res, reports, skippedAnalyses)
+		s.Delta = &DeltaInfo{Mode: ModeDelta, LPMRebuilt: true}
+		return s
+	}
+	s := &Snapshot{
+		Result:          res,
+		Reports:         reports,
+		SkippedAnalyses: skippedAnalyses,
+		Delta:           &DeltaInfo{Mode: ModeDelta},
+	}
+	s.infs = res.Flat()
+	if len(s.infs) != plan.NextLen || len(prev.infs) != plan.PrevLen {
+		s := NewSnapshot(res, reports, skippedAnalyses)
+		s.Delta = &DeltaInfo{Mode: ModeDelta, LPMRebuilt: true}
+		return s
+	}
+	ps := make([]netutil.Prefix, len(s.infs))
+	for i := range s.infs {
+		ps[i] = s.infs[i].Prefix
+	}
+	deleted := 0
+	for _, v := range plan.Remap {
+		if v < 0 {
+			deleted++
+		}
+	}
+	s.Delta.PatchOps = deleted + len(plan.DirtyNext)
+	s.lpm = prev.lpm.Patch(plan.Remap, ps, plan.DirtyNext)
+	if s.lpm == nil {
+		s.lpm = netutil.BuildLPM(ps)
+		s.Delta.LPMRebuilt = true
+	}
+
+	// ASN index: translate surviving entries through the remap (it is
+	// monotonic over non-negative values, so list order is preserved),
+	// append the re-classified slots, and re-sort only the lists they
+	// touched.
+	s.byASN = make(map[uint32][]int32, len(prev.byASN))
+	for asn, list := range prev.byASN {
+		nl := make([]int32, 0, len(list))
+		for _, j := range list {
+			if nj := plan.Remap[j]; nj >= 0 {
+				nl = append(nl, nj)
+			}
+		}
+		if len(nl) > 0 {
+			s.byASN[asn] = nl
+		}
+	}
+	touched := make(map[uint32]bool)
+	for _, ni := range plan.DirtyNext {
+		for _, asn := range s.infs[ni].LeafOrigins {
+			s.byASN[asn] = append(s.byASN[asn], ni)
+			touched[asn] = true
+		}
+	}
+	for asn := range touched {
+		l := s.byASN[asn]
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	}
+
+	// Table 1 aggregates every region's counts; re-render it from the
+	// spliced result (cheap relative to classification).
+	var buf bytes.Buffer
+	report.Table1(&buf, res)
+	s.table1 = buf.Bytes()
+	return s
+}

@@ -50,6 +50,16 @@ type Config struct {
 	// build error, never a process kill.
 	Build func(ctx context.Context) (*Snapshot, error)
 
+	// BuildDelta, when set, is the incremental builder used for unforced
+	// reloads once a snapshot is being served: it receives the live
+	// snapshot and may diff the fresh dataset against the previous
+	// generation, re-infer only what changed, and patch the serving
+	// indexes (PatchSnapshot). It must either return a snapshot
+	// equivalent to what Build would produce or fail; a failure counts
+	// as a normal reload failure (retries, then the breaker). Forced
+	// reloads — the operator escape hatch — always use Build.
+	BuildDelta func(ctx context.Context, prev *Snapshot) (*Snapshot, error)
+
 	// ReloadEvery is the timer-driven reload period for ReloadLoop.
 	// Zero disables timed reloads (signal-driven only).
 	ReloadEvery time.Duration
@@ -136,7 +146,11 @@ type ReloadEvent struct {
 	Forced     bool      `json:"forced"`
 	Attempts   int       `json:"attempts"`
 	DurationMS int64     `json:"duration_ms"`
-	Error      string    `json:"error,omitempty"`
+	// Mode is ModeFull or ModeDelta: which build path the cycle ran (for
+	// successful delta cycles, what the builder actually did — a
+	// churn-threshold fallback reports ModeFull).
+	Mode  string `json:"mode,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // endpointStats holds one endpoint's registry instruments, hoisted out
@@ -160,8 +174,13 @@ type serveMetrics struct {
 	reloadCycles   *telemetry.Counter
 	reloadFailures *telemetry.Counter
 	reloadDuration *telemetry.Histogram
+	reloadByMode   *telemetry.CounterVec
 	consecFails    *telemetry.Gauge
 	breakerGauge   *telemetry.Gauge
+
+	dirtyShards *telemetry.Gauge
+	changedKeys *telemetry.CounterVec
+	lpmPatchOps *telemetry.Counter
 }
 
 // Server is the resilient lease-lookup HTTP service. Create one with
@@ -232,10 +251,18 @@ func (s *Server) initMetrics() {
 			"Snapshot reload cycles that failed every attempt."),
 		reloadDuration: r.Histogram("reload_duration_seconds",
 			"Snapshot reload cycle duration in seconds.", nil),
+		reloadByMode: r.CounterVec("reload_cycles_by_mode_total",
+			"Completed snapshot reload cycles by build path (full|delta).", "mode"),
 		consecFails: r.Gauge("reload_consecutive_failures",
 			"Consecutive failed reload cycles; resets on success."),
 		breakerGauge: r.Gauge("reload_breaker_open",
 			"Whether the reload circuit breaker is open (0/1)."),
+		dirtyShards: r.Gauge("reload_dirty_shards",
+			"Allocation-forest root segments re-classified by the last delta reload."),
+		changedKeys: r.CounterVec("reload_changed_keys_total",
+			"Changed keys seen by delta reload dataset diffs, by source.", "source"),
+		lpmPatchOps: r.Counter("lpm_patch_ops_total",
+			"LPM index patch operations (value deletions plus dirty inserts) across delta reloads."),
 	}
 	r.SetGaugeFunc("snapshot_age_seconds",
 		"Age of the served snapshot in seconds; 0 before the first load.",
@@ -358,13 +385,13 @@ func (s *Server) harden(st *endpointStats, limited bool, h http.Handler) http.Ha
 // build runs the configured builder with panic containment: a snapshot
 // build that panics (a rotten feed tripping a parser bug) is a failed
 // reload, not a dead daemon.
-func (s *Server) build(ctx context.Context) (snap *Snapshot, err error) {
+func (s *Server) build(ctx context.Context, builder func(context.Context) (*Snapshot, error)) (snap *Snapshot, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			snap, err = nil, fmt.Errorf("serve: snapshot build panicked: %v", v)
 		}
 	}()
-	return s.cfg.Build(ctx)
+	return builder(ctx)
 }
 
 // Reload runs one reload cycle: build the next snapshot off the request
@@ -387,6 +414,23 @@ func (s *Server) Reload(ctx context.Context, forced bool) error {
 		return ErrBreakerOpen
 	}
 
+	// Unforced reloads take the incremental path once a snapshot exists;
+	// forced reloads (the operator escape hatch) always rebuild from
+	// scratch.
+	mode := ModeFull
+	builder := s.cfg.Build
+	if !forced && s.cfg.BuildDelta != nil {
+		if prev := s.snap.Load(); prev != nil {
+			mode = ModeDelta
+			builder = func(ctx context.Context) (*Snapshot, error) {
+				return s.cfg.BuildDelta(ctx, prev)
+			}
+		}
+	}
+	ctx, span := telemetry.StartSpan(ctx, "reload")
+	span.SetAttr("mode", mode)
+	defer span.End()
+
 	start := s.cfg.now()
 	var err error
 	attempts := 0
@@ -399,7 +443,7 @@ func (s *Server) Reload(ctx context.Context, forced bool) error {
 		}
 		attempts++
 		var snap *Snapshot
-		snap, err = s.build(ctx)
+		snap, err = s.build(ctx, builder)
 		if err == nil && snap == nil {
 			err = errors.New("serve: builder returned nil snapshot")
 		}
@@ -407,19 +451,28 @@ func (s *Server) Reload(ctx context.Context, forced bool) error {
 			if snap.BuiltAt.IsZero() {
 				snap.BuiltAt = s.cfg.now()
 			}
+			// A delta builder may itself have fallen back to a full
+			// rebuild (churn threshold); report what actually ran.
+			if snap.Delta != nil && snap.Delta.Mode != "" {
+				mode = snap.Delta.Mode
+				span.SetAttr("mode", mode)
+			}
 			s.snap.Store(snap)
 			// Roll the load's per-source accounting onto the ingest_*
 			// counter families so data loss is scrapeable per reload.
 			diag.ObserveReports(s.cfg.Metrics, snap.Reports)
+			s.observeDelta(snap)
 			s.finishReload(ReloadEvent{
 				At: start, OK: true, Forced: forced, Attempts: attempts,
 				DurationMS: s.cfg.now().Sub(start).Milliseconds(),
+				Mode:       mode,
 			})
 			s.cfg.Logger.Info("reload ok",
-				"inferences", snap.NumInferences(), "attempt", attempts, "forced", forced)
+				"inferences", snap.NumInferences(), "attempt", attempts,
+				"forced", forced, "mode", mode)
 			return nil
 		}
-		s.cfg.Logger.Warn("reload attempt failed", "attempt", attempts, "err", err)
+		s.cfg.Logger.Warn("reload attempt failed", "attempt", attempts, "mode", mode, "err", err)
 		if ctx.Err() != nil {
 			break
 		}
@@ -427,9 +480,28 @@ func (s *Server) Reload(ctx context.Context, forced bool) error {
 	s.finishReload(ReloadEvent{
 		At: start, OK: false, Forced: forced, Attempts: attempts,
 		DurationMS: s.cfg.now().Sub(start).Milliseconds(),
+		Mode:       mode,
 		Error:      err.Error(),
 	})
 	return err
+}
+
+// observeDelta rolls a delta-built snapshot's patch statistics onto the
+// delta metric families.
+func (s *Server) observeDelta(snap *Snapshot) {
+	d := snap.Delta
+	if d == nil {
+		return
+	}
+	s.m.dirtyShards.Set(float64(d.DirtyShards))
+	for src, n := range d.ChangedKeys {
+		if n > 0 {
+			s.m.changedKeys.With(src).Add(uint64(n))
+		}
+	}
+	if d.PatchOps > 0 {
+		s.m.lpmPatchOps.Add(uint64(d.PatchOps))
+	}
 }
 
 // finishReload records a completed cycle and drives the breaker.
@@ -438,6 +510,9 @@ func (s *Server) finishReload(ev ReloadEvent) {
 	defer s.mu.Unlock()
 	s.reloads++
 	s.m.reloadCycles.Inc()
+	if ev.Mode != "" {
+		s.m.reloadByMode.With(ev.Mode).Inc()
+	}
 	s.m.reloadDuration.Observe(float64(ev.DurationMS) / 1e3)
 	if ev.OK {
 		s.consecFails = 0
@@ -460,6 +535,18 @@ func (s *Server) finishReload(ev ReloadEvent) {
 	if len(s.history) > historyCap {
 		s.history = s.history[len(s.history)-historyCap:]
 	}
+}
+
+// LastReload returns a copy of the most recent reload event, or nil
+// before the first reload completes.
+func (s *Server) LastReload() *ReloadEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.history) == 0 {
+		return nil
+	}
+	ev := s.history[len(s.history)-1]
+	return &ev
 }
 
 // ReloadLoop reloads on a timer until the context is cancelled. Timer

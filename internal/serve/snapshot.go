@@ -43,11 +43,18 @@ type Snapshot struct {
 	Reports []*diag.LoadReport
 	// SkippedAnalyses names analyses the load's dataset cannot support.
 	SkippedAnalyses []string
+	// Delta, when non-nil, describes how the snapshot was produced by
+	// the incremental reload path (see PatchSnapshot); nil means a full
+	// build.
+	Delta *DeltaInfo
 
 	table1 []byte
 	infs   []core.Inference
 	lpm    *netutil.LPM
-	byASN  map[uint32][]*core.Inference
+	// byASN holds flat indices into infs rather than pointers, so the
+	// delta path can translate an old generation's lists through a
+	// PatchPlan remap without chasing pointers into a retired array.
+	byASN map[uint32][]int32
 }
 
 // NewSnapshot indexes an inference result for serving. The result and
@@ -58,14 +65,14 @@ func NewSnapshot(res *core.Result, reports []*diag.LoadReport, skippedAnalyses [
 		Reports:         reports,
 		SkippedAnalyses: skippedAnalyses,
 	}
-	s.infs = res.All()
+	s.infs = res.Flat()
 	ps := make([]netutil.Prefix, len(s.infs))
-	s.byASN = make(map[uint32][]*core.Inference)
+	s.byASN = make(map[uint32][]int32)
 	for i := range s.infs {
 		inf := &s.infs[i]
 		ps[i] = inf.Prefix
 		for _, asn := range inf.LeafOrigins {
-			s.byASN[asn] = append(s.byASN[asn], inf)
+			s.byASN[asn] = append(s.byASN[asn], int32(i))
 		}
 	}
 	// Index every leaf prefix in a flat LPM trie: address lookups become
@@ -125,7 +132,15 @@ func (s *Snapshot) LookupAddrs(dst []*core.Inference, addrs []netutil.Addr) []*c
 // LookupASN returns every classified leaf prefix originated by the ASN,
 // in the result's registry-then-prefix order.
 func (s *Snapshot) LookupASN(asn uint32) []*core.Inference {
-	return s.byASN[asn]
+	idx := s.byASN[asn]
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]*core.Inference, len(idx))
+	for i, j := range idx {
+		out[i] = &s.infs[j]
+	}
+	return out
 }
 
 // NumInferences returns the number of classified leaves in the snapshot.

@@ -1,0 +1,225 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/whois"
+)
+
+// MutateConfig controls the synthesis of a churned successor epoch from
+// a generated world, for exercising and benchmarking the incremental
+// reload path against realistic month-over-month churn.
+type MutateConfig struct {
+	// Seed drives the mutation stream; the same (world, config) pair
+	// always yields the same successor epoch.
+	Seed int64
+	// Churn is the fraction of each mutable entity class touched:
+	// non-portable leaf allocations (removed, split into two new
+	// allocations, or transferred to another holder), portable root
+	// allocations (transferred), organisation objects (renamed), RIB
+	// routes (origin flipped), and ROAs in the latest RPKI snapshot
+	// (rotated to another origin). AS-to-organisation reassignments are
+	// applied at a tenth of the rate, because each one dirties every
+	// allocation its ASN touches.
+	Churn float64
+}
+
+// MutateStats counts the mutations one Mutate call applied.
+type MutateStats struct {
+	LeavesRemoved    int
+	LeavesSplit      int
+	LeavesMoved      int
+	RootsTransferred int
+	OrgsRenamed      int
+	OriginFlips      int
+	ROARotations     int
+	ASNsReassigned   int
+}
+
+// Total sums all mutation counts.
+func (s *MutateStats) Total() int {
+	return s.LeavesRemoved + s.LeavesSplit + s.LeavesMoved + s.RootsTransferred +
+		s.OrgsRenamed + s.OriginFlips + s.ROARotations + s.ASNsReassigned
+}
+
+// Mutate perturbs a generated world in place into a plausible successor
+// epoch: the same Internet one registry-and-RIB refresh later. Every
+// mutation class draws from entities the world already has (transfers
+// go to existing holders, origin flips to ASNs that already originate
+// routes), so the successor stays internally consistent and loads
+// cleanly. Deterministic for a fixed (world, config) pair.
+func Mutate(w *World, mc MutateConfig) *MutateStats {
+	rng := rand.New(rand.NewSource(mc.Seed))
+	st := &MutateStats{}
+	if mc.Churn <= 0 {
+		return st
+	}
+	origins := originPool(w)
+	for _, reg := range whois.Registries {
+		db := w.Whois.DBs[reg]
+		if db == nil {
+			continue
+		}
+		mutateRegistry(db, rng, mc.Churn, st)
+		db.Reindex()
+	}
+	mutateRoutes(w, rng, mc.Churn, origins, st)
+	mutateROAs(w, rng, mc.Churn, origins, st)
+	mutateAS2Org(w, rng, mc.Churn/10, st)
+	return st
+}
+
+// originPool collects the distinct origin ASNs of the world's routes,
+// sorted for deterministic picking.
+func originPool(w *World) []uint32 {
+	seen := make(map[uint32]bool)
+	for _, r := range w.Routes {
+		for _, o := range r.Path.Origins() {
+			seen[o] = true
+		}
+	}
+	out := make([]uint32, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// pickOther returns a pool element different from cur, or cur when the
+// pool has no alternative.
+func pickOther[T comparable](rng *rand.Rand, pool []T, cur T) T {
+	if len(pool) < 2 {
+		return cur
+	}
+	for tries := 0; tries < 8; tries++ {
+		if v := pool[rng.Intn(len(pool))]; v != cur {
+			return v
+		}
+	}
+	return cur
+}
+
+// mutateRegistry churns one registry's WHOIS objects: leaf allocations
+// are removed, split into two sub-allocations, or moved to another
+// holder; root allocations are transferred; organisations are renamed.
+func mutateRegistry(db *whois.Database, rng *rand.Rand, churn float64, st *MutateStats) {
+	orgIDs := make([]string, 0, len(db.Orgs))
+	for _, o := range db.Orgs {
+		orgIDs = append(orgIDs, o.ID)
+	}
+	next := make([]*whois.InetNum, 0, len(db.InetNums))
+	for _, in := range db.InetNums {
+		if rng.Float64() >= churn {
+			next = append(next, in)
+			continue
+		}
+		if in.Portability == whois.Portable {
+			// Root allocation: transfer to another registered holder
+			// (the paper's §2 ownership-transfer case, as opposed to a
+			// lease).
+			if to := pickOther(rng, orgIDs, in.OrgID); to != in.OrgID {
+				in.OrgID = to
+				st.RootsTransferred++
+			}
+			next = append(next, in)
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0: // deallocated
+			st.LeavesRemoved++
+		case 1: // split into two new sub-allocations
+			if in.Range.Last > in.Range.First {
+				mid := in.Range.First + (in.Range.Last-in.Range.First)/2
+				a, b := *in, *in
+				a.Range = netutil.Range{First: in.Range.First, Last: mid}
+				a.NetName = in.NetName + "-A"
+				b.Range = netutil.Range{First: mid + 1, Last: in.Range.Last}
+				b.NetName = in.NetName + "-B"
+				next = append(next, &a, &b)
+				st.LeavesSplit++
+			} else {
+				next = append(next, in)
+			}
+		default: // re-assigned to another customer organisation
+			if to := pickOther(rng, orgIDs, in.OrgID); to != in.OrgID {
+				in.OrgID = to
+				st.LeavesMoved++
+			}
+			next = append(next, in)
+		}
+	}
+	db.InetNums = next
+	for _, o := range db.Orgs {
+		if rng.Float64() < churn {
+			o.Name = o.Name + " Ltd"
+			st.OrgsRenamed++
+		}
+	}
+}
+
+// mutateRoutes flips the origin of a churn fraction of routes to
+// another ASN that already originates routes somewhere.
+func mutateRoutes(w *World, rng *rand.Rand, churn float64, origins []uint32, st *MutateStats) {
+	for i := range w.Routes {
+		if rng.Float64() >= churn {
+			continue
+		}
+		path := w.Routes[i].Path
+		if len(path) == 0 {
+			continue
+		}
+		last := &path[len(path)-1]
+		if len(last.ASNs) == 0 {
+			continue
+		}
+		cur := last.ASNs[len(last.ASNs)-1]
+		if to := pickOther(rng, origins, cur); to != cur {
+			// Copy-on-write: generated paths share backing arrays.
+			asns := append([]uint32(nil), last.ASNs...)
+			asns[len(asns)-1] = to
+			last.ASNs = asns
+			st.OriginFlips++
+		}
+	}
+}
+
+// mutateROAs rotates a churn fraction of the latest snapshot's VRPs to
+// another origin ASN.
+func mutateROAs(w *World, rng *rand.Rand, churn float64, origins []uint32, st *MutateStats) {
+	if w.RPKI == nil || len(w.RPKI.Snapshots) == 0 {
+		return
+	}
+	snap := &w.RPKI.Snapshots[len(w.RPKI.Snapshots)-1]
+	for i := range snap.VRPs {
+		if rng.Float64() >= churn {
+			continue
+		}
+		if to := pickOther(rng, origins, snap.VRPs[i].ASN); to != snap.VRPs[i].ASN {
+			snap.VRPs[i].ASN = to
+			st.ROARotations++
+		}
+	}
+}
+
+// mutateAS2Org reassigns a fraction of mapped ASNs to the organisation
+// of another mapped ASN.
+func mutateAS2Org(w *World, rng *rand.Rand, rate float64, st *MutateStats) {
+	if w.Orgs == nil || rate <= 0 {
+		return
+	}
+	asns := w.Orgs.ASNs()
+	for _, asn := range asns {
+		if rng.Float64() >= rate {
+			continue
+		}
+		cur, _ := w.Orgs.OrgOf(asn)
+		donor := asns[rng.Intn(len(asns))]
+		if org, ok := w.Orgs.OrgOf(donor); ok && org != cur {
+			w.Orgs.AddAS(asn, org)
+			st.ASNsReassigned++
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package synth
+
+import (
+	"testing"
+
+	"ipleasing/internal/whois"
+)
+
+func TestMutateDeterministic(t *testing.T) {
+	// Two identically seeded mutation runs over identically generated
+	// worlds must apply identical mutation streams: the stats must
+	// match, and so must the per-registry object counts and every
+	// route origin.
+	mc := MutateConfig{Seed: 3, Churn: 0.05}
+	w1 := Generate(Config{Seed: 9, Scale: 0.004})
+	w2 := Generate(Config{Seed: 9, Scale: 0.004})
+	st1 := Mutate(w1, mc)
+	st2 := Mutate(w2, mc)
+	if *st1 != *st2 {
+		t.Fatalf("mutation stats diverged:\n%+v\n%+v", st1, st2)
+	}
+	if st1.Total() == 0 {
+		t.Fatal("5% churn applied no mutations")
+	}
+	for _, reg := range whois.Registries {
+		n1, n2 := len(w1.Whois.DBs[reg].InetNums), len(w2.Whois.DBs[reg].InetNums)
+		if n1 != n2 {
+			t.Errorf("%v: InetNum count %d != %d", reg, n1, n2)
+		}
+	}
+	if len(w1.Routes) != len(w2.Routes) {
+		t.Fatalf("route count %d != %d", len(w1.Routes), len(w2.Routes))
+	}
+	for i := range w1.Routes {
+		o1, o2 := w1.Routes[i].Path.Origins(), w2.Routes[i].Path.Origins()
+		if len(o1) != len(o2) {
+			t.Fatalf("route %d origin count diverged", i)
+		}
+		for j := range o1 {
+			if o1[j] != o2[j] {
+				t.Fatalf("route %d origin diverged: %d != %d", i, o1[j], o2[j])
+			}
+		}
+	}
+}
+
+func TestMutateZeroChurnIsNoop(t *testing.T) {
+	w := Generate(Config{Seed: 9, Scale: 0.004})
+	before := len(w.Routes)
+	var counts [5]int
+	for i, reg := range whois.Registries {
+		counts[i] = len(w.Whois.DBs[reg].InetNums)
+	}
+	st := Mutate(w, MutateConfig{Seed: 1, Churn: 0})
+	if st.Total() != 0 {
+		t.Fatalf("zero churn mutated: %+v", st)
+	}
+	if len(w.Routes) != before {
+		t.Fatal("zero churn changed routes")
+	}
+	for i, reg := range whois.Registries {
+		if len(w.Whois.DBs[reg].InetNums) != counts[i] {
+			t.Fatalf("%v: zero churn changed InetNums", reg)
+		}
+	}
+}
+
+func TestMutateTouchesEveryClass(t *testing.T) {
+	// At a heavy churn rate every mutation class must fire at least
+	// once on a reasonably sized world — a regression guard against a
+	// class silently dropping out of the stream.
+	w := Generate(Config{Seed: 4, Scale: 0.01})
+	st := Mutate(w, MutateConfig{Seed: 2, Churn: 0.5})
+	if st.LeavesRemoved == 0 || st.LeavesSplit == 0 || st.LeavesMoved == 0 {
+		t.Errorf("leaf churn incomplete: %+v", st)
+	}
+	if st.RootsTransferred == 0 || st.OrgsRenamed == 0 {
+		t.Errorf("holder churn incomplete: %+v", st)
+	}
+	if st.OriginFlips == 0 || st.ROARotations == 0 || st.ASNsReassigned == 0 {
+		t.Errorf("routing/ROA churn incomplete: %+v", st)
+	}
+}

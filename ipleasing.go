@@ -56,6 +56,10 @@ type (
 	World = synth.World
 	// TruthRecord is planted ground truth for one leaf prefix.
 	TruthRecord = synth.TruthRecord
+	// MutateConfig controls the synthesis of a churned successor epoch.
+	MutateConfig = synth.MutateConfig
+	// MutateStats counts the mutations one Mutate call applied.
+	MutateStats = synth.MutateStats
 
 	// Registry identifies one of the five RIRs.
 	Registry = whois.Registry
@@ -150,6 +154,11 @@ const (
 
 // Generate builds a synthetic world with paper-shaped defaults.
 func Generate(cfg Config) *World { return synth.Generate(cfg) }
+
+// Mutate perturbs a generated world in place into a plausible successor
+// epoch — the same Internet one registry-and-RIB refresh later — for
+// exercising the incremental reload path (see InferDelta).
+func Mutate(w *World, cfg MutateConfig) *MutateStats { return synth.Mutate(w, cfg) }
 
 // Dataset is a fully loaded dataset directory: everything the paper's
 // methodology consumes, parsed from its on-disk formats.

@@ -34,6 +34,13 @@ go test -race ./internal/serve ./internal/par ./internal/diag ./internal/telemet
 echo "== fault-injection smoke (3 seeds: lenient recovers, strict fails)"
 go test -run 'TestFaultInjectionMatrix|TestCorruptDeterministic' .
 
+# The incremental-reload equivalence matrix is race-gated even in -quick
+# mode: the delta path splices shared segment slices across the worker
+# pool and patches serving indexes concurrently consumed by lookups, so
+# byte-equivalence without the race detector proves half the claim.
+echo "== delta equivalence matrix + reload breaker (race-gated)"
+go test -race -run 'TestDeltaEquivalence|TestDeltaZeroChurnAliases|TestDeltaReloadBreaker' .
+
 echo "== fuzz seed corpora (go test -run Fuzz)"
 go test -run 'Fuzz' ./internal/mrt ./internal/arinwhois ./internal/lacnicwhois
 
@@ -101,21 +108,37 @@ bench_json() {
 	'
 }
 
-echo "== benchmark smoke (BenchmarkTable1, BenchmarkLoadDataset, BenchmarkInferRegion)"
+echo "== benchmark smoke (BenchmarkTable1, BenchmarkLoadDataset, BenchmarkInferRegion, reload pair)"
 # Time-based windows, not tiny fixed counts: BenchmarkTable1 allocates
 # ~2.6MB/op, and a 3-iteration run finishes before GC pressure builds,
 # understating the sustained cost by ~40%. A 1s window reports the
 # steady state the committed baselines must be comparable against.
-bench_out=$(go test -run '^$' -bench 'BenchmarkTable1$|BenchmarkLoadDataset' -benchmem -benchtime 1s -count 3 .)
+bench_out=$(go test -run '^$' -bench 'BenchmarkTable1$|BenchmarkLoadDataset$|BenchmarkFullReload$|BenchmarkDeltaReload$' -benchmem -benchtime 1s -count 3 .)
 echo "$bench_out"
 infer_out=$(go test -run '^$' -bench 'BenchmarkInferRegion$' -benchmem -benchtime 1s -count 3 ./internal/core)
 echo "$infer_out"
 core_out=$(printf '%s\n%s' "$bench_out" "$infer_out" | bench_min)
 
 echo "== core bench regression gate (vs committed BENCH_core.json)"
-for b in BenchmarkTable1 BenchmarkLoadDataset BenchmarkInferRegion; do
+for b in BenchmarkTable1 BenchmarkLoadDataset BenchmarkInferRegion BenchmarkFullReload BenchmarkDeltaReload; do
 	bench_gate BENCH_core.json "$b" "$(bench_val "$core_out" "$b" 3)" "$(bench_val "$core_out" "$b" 7)"
 done
+
+# Hard gate on the point of the delta path: an incremental reload at 1%
+# churn must beat the full parse+infer+index reload by at least 5x ns/op
+# (the ISSUE's acceptance bar). Unlike the drift gate above this is
+# absolute — no baseline file can relax it.
+full_ns=$(bench_val "$core_out" BenchmarkFullReload 3)
+delta_ns=$(bench_val "$core_out" BenchmarkDeltaReload 3)
+[ -n "$full_ns" ] && [ -n "$delta_ns" ] || {
+	echo "FAIL: reload benchmark pair missing from bench output"
+	exit 1
+}
+awk -v d="$delta_ns" -v f="$full_ns" 'BEGIN { exit !(d * 5 <= f) }' || {
+	echo "FAIL: delta reload not 5x faster than full reload: ${delta_ns} ns/op vs ${full_ns} ns/op"
+	exit 1
+}
+echo "  ok: delta reload ${delta_ns} ns/op vs full reload ${full_ns} ns/op (>=5x)"
 
 printf '%s\n' "$core_out" | bench_json > BENCH_core.json
 echo "== wrote BENCH_core.json"
@@ -185,6 +208,7 @@ for family in \
 	http_requests_total \
 	http_request_duration_seconds_bucket \
 	reload_cycles_total \
+	reload_cycles_by_mode_total \
 	reload_breaker_open \
 	snapshot_age_seconds \
 	ingest_parsed_records_total \

@@ -1,27 +1,46 @@
 #!/bin/sh
-# Capture CPU and allocation profiles of the sharded intra-registry
-# inference hot path (BenchmarkInferRegion) into profiles/, plus the
-# test binary pprof needs to symbolize them. The top of the CPU profile
-# is printed so a perf session starts with the answer to "where does the
-# time go" already on screen.
-# Usage: scripts/profile.sh [benchtime]   (default 500x)
+# Capture CPU and allocation profiles of one benchmark into profiles/,
+# plus the test binary pprof needs to symbolize them. The top of the CPU
+# profile is printed so a perf session starts with the answer to "where
+# does the time go" already on screen.
+#
+# The benchmark's package is located automatically, so any benchmark
+# works the same way: the sharded inference hot path (the default), the
+# incremental reload path (scripts/profile.sh BenchmarkDeltaReload), the
+# parsers (BenchmarkLoadDataset), ...
+#
+# Usage: scripts/profile.sh [benchmark] [benchtime]
+#   benchmark  defaults to BenchmarkInferRegion
+#   benchtime  defaults to 500x (use lower counts for whole-reload
+#              benchmarks, e.g. scripts/profile.sh BenchmarkDeltaReload 20x)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-benchtime=${1:-500x}
+bench=${1:-BenchmarkInferRegion}
+benchtime=${2:-500x}
+
+# Find the package defining the benchmark (root-package benchmarks live
+# in bench_test.go at the repo root).
+pkg=$(grep -rl --include='*_test.go' "func ${bench}(" . | head -n1 | xargs -r dirname)
+if [ -z "${pkg}" ]; then
+	echo "profile.sh: no benchmark named ${bench} found" >&2
+	exit 1
+fi
+
+slug=$(echo "${bench}" | sed 's/^Benchmark//' | tr '[:upper:]' '[:lower:]')
 mkdir -p profiles
 
-echo "== profiling BenchmarkInferRegion (benchtime $benchtime)"
-go test -run '^$' -bench 'BenchmarkInferRegion$' -benchtime "$benchtime" \
-	-cpuprofile profiles/inferregion.cpu.pprof \
-	-memprofile profiles/inferregion.mem.pprof \
-	-o profiles/core.test \
-	./internal/core
+echo "== profiling ${bench} in ${pkg} (benchtime $benchtime)"
+go test -run '^$' -bench "${bench}\$" -benchtime "$benchtime" \
+	-cpuprofile "profiles/${slug}.cpu.pprof" \
+	-memprofile "profiles/${slug}.mem.pprof" \
+	-o profiles/bench.test \
+	"${pkg}"
 
-echo "== wrote profiles/inferregion.cpu.pprof, profiles/inferregion.mem.pprof"
-echo "   inspect: go tool pprof profiles/core.test profiles/inferregion.cpu.pprof"
-echo "   allocs:  go tool pprof -sample_index=alloc_objects profiles/core.test profiles/inferregion.mem.pprof"
+echo "== wrote profiles/${slug}.cpu.pprof, profiles/${slug}.mem.pprof"
+echo "   inspect: go tool pprof profiles/bench.test profiles/${slug}.cpu.pprof"
+echo "   allocs:  go tool pprof -sample_index=alloc_objects profiles/bench.test profiles/${slug}.mem.pprof"
 
 echo "== hottest functions (CPU)"
-go tool pprof -top -nodecount 15 profiles/core.test profiles/inferregion.cpu.pprof
+go tool pprof -top -nodecount 15 profiles/bench.test "profiles/${slug}.cpu.pprof"
