@@ -31,9 +31,24 @@
 // also recompacts the patched indexes. -delta=false pins every reload
 // to the full path.
 //
+// Persistence and replication (see internal/snapstore): with
+// -snapshot-dir, every serving snapshot is also encoded into a
+// checksummed binary generation file and atomically published to that
+// directory, and a restart cold-starts from the newest valid generation
+// in O(bytes) — no dataset parse, no inference — falling back
+// generation by generation past anything corrupt, then to a full load.
+// The current generation is always exposed on /snapshot/current. With
+// -snapshot-url, the daemon is a stateless replica: it serves
+// snapshots fetched from another daemon's /snapshot/current (polling
+// with -poll, conditional GETs, lag surfaced on /statusz and
+// replica_generation_lag) and needs no dataset at all; adding
+// -snapshot-dir caches fetched generations so the replica can cold
+// start with its publisher down.
+//
 // Signals:
 //
-//	SIGHUP          forced full reload (runs even with the breaker open)
+//	SIGHUP          forced full reload (runs even with the breaker open;
+//	                on a replica, a forced full fetch)
 //	SIGTERM/SIGINT  graceful shutdown, draining in-flight requests
 //
 // Usage:
@@ -41,6 +56,8 @@
 //	leased -data dataset [-addr 127.0.0.1:8402] [-strict] [-delta=true]
 //	       [-reload 24h] [-drain 10s] [-max-inflight 128] [-timeout 5s]
 //	       [-log-format text|json] [-log-level info] [-pprof]
+//	       [-snapshot-dir dir] [-snapshot-keep 4]
+//	       [-snapshot-url http://publisher:8402/snapshot/current] [-poll 15s]
 package main
 
 import (
@@ -76,6 +93,11 @@ type config struct {
 	logFormat   string
 	logLevel    string
 	pprof       bool
+
+	snapshotDir  string
+	snapshotKeep int
+	snapshotURL  string
+	poll         time.Duration
 }
 
 func main() {
@@ -91,6 +113,10 @@ func main() {
 	flag.StringVar(&cfg.logFormat, "log-format", "text", "log record format: text (key=value) or json")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose the Go profiler on /debug/pprof/*")
+	flag.StringVar(&cfg.snapshotDir, "snapshot-dir", "", "persist every serving snapshot to this directory and cold-start from the newest valid generation")
+	flag.IntVar(&cfg.snapshotKeep, "snapshot-keep", 4, "snapshot generations retained in -snapshot-dir (negative keeps all)")
+	flag.StringVar(&cfg.snapshotURL, "snapshot-url", "", "replica mode: serve snapshots fetched from this publisher endpoint (e.g. http://host:8402/snapshot/current) instead of loading -data")
+	flag.DurationVar(&cfg.poll, "poll", 15*time.Second, "replica poll period for new publisher generations")
 	flag.Parse()
 	if err := run(context.Background(), cfg, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "leased:", err)
@@ -230,18 +256,39 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready func(addr string
 	if err != nil {
 		return err
 	}
+	reg := telemetry.NewRegistry()
+	snaps, err := newSnapshots(cfg, logger, reg)
+	if err != nil {
+		return err
+	}
 	b := newSnapshotBuilder(cfg)
 	scfg := serve.Config{
-		Build:          b.buildFull,
+		Build:          snaps.wrapBuild(b.buildFull),
 		ReloadEvery:    cfg.reload,
 		MaxInFlight:    cfg.maxInFlight,
 		RequestTimeout: cfg.timeout,
 		Logger:         logger,
+		Metrics:        reg,
 	}
 	if cfg.delta {
 		scfg.BuildDelta = b.buildDelta
 	}
+	if snaps.replica() {
+		// Replica: the builder fetches encoded snapshots instead of
+		// loading -data; the poll loop below replaces the reload timer,
+		// and the delta path is moot (nothing is inferred here).
+		scfg.Build = snaps.buildFromFetch
+		scfg.BuildDelta = nil
+		scfg.ReloadEvery = 0
+	}
+	if snaps != nil {
+		scfg.OnSwap = snaps.onSwap
+		scfg.Replication = snaps.replicationStatus
+	}
 	s := serve.New(scfg)
+	if snaps != nil {
+		s.Route("snapshot", "/snapshot/current", false, snaps.pub.ServeHTTP)
+	}
 	// The first load is synchronous and fatal on failure: a daemon with
 	// nothing to serve should crash-loop visibly, not sit unready.
 	if err := s.Reload(ctx, true); err != nil {
@@ -254,14 +301,19 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready func(addr string
 	}
 	logger.Info("listening",
 		"addr", ln.Addr(), "dataset", cfg.data,
-		"inferences", s.Snapshot().NumInferences(), "pprof", cfg.pprof)
+		"inferences", s.Snapshot().NumInferences(), "pprof", cfg.pprof,
+		"snapshot_dir", cfg.snapshotDir, "snapshot_url", cfg.snapshotURL)
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	go s.ReloadLoop(ctx)
+	if snaps.replica() {
+		go snaps.pollLoop(ctx, s)
+	} else {
+		go s.ReloadLoop(ctx)
+	}
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGTERM, syscall.SIGINT)
@@ -291,7 +343,10 @@ func run(ctx context.Context, cfg config, logw io.Writer, ready func(addr string
 		case sig := <-sigs:
 			if sig == syscall.SIGHUP {
 				// Forced reload off the signal loop; the breaker does not
-				// block an explicit operator request.
+				// block an explicit operator request. On a replica this is
+				// a forced fetch: the conditional-GET state is dropped so
+				// the publisher's current generation transfers in full.
+				snaps.forceRefresh()
 				go func() {
 					if err := s.Reload(ctx, true); err != nil {
 						logger.Error("SIGHUP reload failed", "err", err)

@@ -1,0 +1,326 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipleasing/internal/serve"
+	"ipleasing/internal/snapstore"
+	"ipleasing/internal/telemetry"
+)
+
+// snapshots is the daemon's persistence and replication layer, built on
+// internal/snapstore. One struct covers both roles:
+//
+//   - Publisher (-snapshot-dir, no -snapshot-url): every successful
+//     reload is encoded once, durably published to the store, and
+//     exposed on /snapshot/current; cold start decodes the newest valid
+//     on-disk generation instead of re-running inference.
+//   - Replica (-snapshot-url): the reload builder fetches encoded
+//     snapshots from an upstream publisher instead of loading a
+//     dataset; a poll loop probes for new generations and drives
+//     reloads through the serve.Server machinery, so fetch failures
+//     degrade exactly like dataset failures (serve last-good, flip
+//     /readyz, open the breaker). With -snapshot-dir too, fetched
+//     generations are cached on disk and a cold start with the
+//     publisher down serves the cache.
+type snapshots struct {
+	cfg     config
+	log     *telemetry.Logger
+	metrics *snapstore.Metrics
+
+	store   *snapstore.Store     // nil without -snapshot-dir
+	pub     *snapstore.Publisher // /snapshot/current state, always set
+	fetcher *snapstore.Fetcher   // nil without -snapshot-url
+
+	// nextGen numbers generations this daemon publishes; seeded from
+	// the store's newest on-disk generation so restarts stay monotonic.
+	nextGen atomic.Uint64
+
+	// cold holds the snapshot recovered from disk before the server
+	// starts; the first Build consumes it.
+	mu   sync.Mutex
+	cold *serve.Snapshot
+
+	// Replication state for /statusz, /readyz, and the lag gauge.
+	servingGen  atomic.Uint64
+	upstreamGen atomic.Uint64
+	lastContact atomic.Int64 // unixnano, 0 = never
+	lastErr     atomic.Pointer[string]
+}
+
+// newSnapshots prepares the snapshot layer: opens the store, recovers
+// the newest valid on-disk generation (if any), and seeds the
+// generation counter. Returns nil when neither -snapshot-dir nor
+// -snapshot-url is set.
+func newSnapshots(cfg config, log *telemetry.Logger, reg *telemetry.Registry) (*snapshots, error) {
+	if cfg.snapshotDir == "" && cfg.snapshotURL == "" {
+		return nil, nil
+	}
+	d := &snapshots{
+		cfg:     cfg,
+		log:     log,
+		metrics: snapstore.NewMetrics(reg),
+		pub:     snapstore.NewPublisher(),
+	}
+	if cfg.snapshotDir != "" {
+		st, err := snapstore.Open(cfg.snapshotDir, snapstore.StoreOptions{
+			Keep:    cfg.snapshotKeep,
+			Logger:  log,
+			Metrics: d.metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.store = st
+		if gen, ok := st.NewestGeneration(); ok {
+			d.nextGen.Store(gen)
+		}
+		snap, gen, data, err := st.LoadCurrentEncoded()
+		switch {
+		case err == nil:
+			d.cold = snap
+			d.servingGen.Store(gen)
+			d.pub.Set(data)
+			log.Info("cold start from snapshot store",
+				"dir", cfg.snapshotDir, "generation", gen, "inferences", snap.NumInferences())
+		case errors.Is(err, snapstore.ErrNoSnapshot):
+			log.Info("snapshot store empty, first load will run inference", "dir", cfg.snapshotDir)
+		default:
+			return nil, err
+		}
+	}
+	if cfg.snapshotURL != "" {
+		d.fetcher = snapstore.NewFetcher(cfg.snapshotURL, snapstore.FetcherOptions{
+			Logger:  log,
+			Metrics: d.metrics,
+		})
+	}
+	return d, nil
+}
+
+// replica reports whether the daemon serves fetched snapshots instead
+// of loading a dataset.
+func (d *snapshots) replica() bool { return d != nil && d.fetcher != nil }
+
+// takeCold consumes the snapshot recovered from disk, once.
+func (d *snapshots) takeCold() *serve.Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	snap := d.cold
+	d.cold = nil
+	return snap
+}
+
+// wrapBuild layers cold-start recovery over the dataset build: the
+// first reload serves the decoded on-disk generation — O(bytes), no
+// dataset parse, no inference — and every later reload builds fresh.
+func (d *snapshots) wrapBuild(build func(ctx context.Context) (*serve.Snapshot, error)) func(ctx context.Context) (*serve.Snapshot, error) {
+	if d == nil {
+		return build
+	}
+	return func(ctx context.Context) (*serve.Snapshot, error) {
+		if snap := d.takeCold(); snap != nil {
+			return snap, nil
+		}
+		return build(ctx)
+	}
+}
+
+// buildFromFetch is the replica's serve.Config.Build: pull the current
+// encoded snapshot from the upstream publisher, decode (which
+// re-validates every checksum), persist it to the local cache when one
+// is configured, and republish it on this daemon's own
+// /snapshot/current so replicas chain. A fetch or decode failure is
+// returned to the serve retry/backoff/breaker machinery; the cached
+// cold snapshot (if any) answers only when the very first fetch fails —
+// a replica that has never reached its publisher still starts from its
+// cache.
+func (d *snapshots) buildFromFetch(ctx context.Context) (*serve.Snapshot, error) {
+	data, gen, err := d.fetcher.Fetch(ctx)
+	if err != nil {
+		d.noteError(err)
+		if !errors.Is(err, snapstore.ErrUnchanged) {
+			if snap := d.takeCold(); snap != nil {
+				d.log.Warn("publisher unreachable, serving cached snapshot",
+					"url", d.cfg.snapshotURL, "generation", d.servingGen.Load(), "err", err)
+				return snap, nil
+			}
+			return nil, err
+		}
+		// A 304 can only race a forced reload that lost to a concurrent
+		// etag update; re-fetch unconditionally rather than fail it.
+		d.fetcher.Invalidate()
+		if data, gen, err = d.fetcher.Fetch(ctx); err != nil {
+			d.noteError(err)
+			return nil, err
+		}
+	}
+	snap, fileGen, err := snapstore.Decode(data)
+	if err != nil {
+		d.noteError(err)
+		return nil, err
+	}
+	if fileGen != gen {
+		err := fmt.Errorf("fetched snapshot header says generation %d, transport said %d", fileGen, gen)
+		d.noteError(err)
+		return nil, err
+	}
+	d.noteContact(gen)
+	d.servingGen.Store(gen)
+	d.mu.Lock()
+	d.cold = nil // a live fetch supersedes any cached cold snapshot
+	d.mu.Unlock()
+	if d.store != nil {
+		if err := d.store.PublishEncoded(data); err != nil {
+			d.log.Warn("caching fetched snapshot failed", "generation", gen, "err", err)
+		}
+	}
+	d.pub.Set(data)
+	d.observeLag()
+	return snap, nil
+}
+
+// onSwap is the publisher's serve.Config.OnSwap hook: encode the newly
+// serving snapshot once and publish the same bytes to disk and to
+// /snapshot/current. Runs on the reload goroutine after the swap; a
+// failure here degrades persistence, never the reload.
+func (d *snapshots) onSwap(snap *serve.Snapshot) {
+	if d == nil || d.replica() {
+		return // the replica path publishes in buildFromFetch, from the fetched bytes
+	}
+	if snap.Delta != nil && snap.Delta.Mode == serve.ModeSnapshot {
+		return // decoded from the store at cold start; already durable and published
+	}
+	gen := d.nextGen.Add(1)
+	data := snapstore.Encode(snap, gen)
+	d.servingGen.Store(gen)
+	if d.store != nil {
+		if err := d.store.PublishEncoded(data); err != nil {
+			d.log.Error("snapshot persistence failed", "generation", gen, "err", err)
+			return
+		}
+	}
+	d.pub.Set(data)
+}
+
+func (d *snapshots) noteContact(upstreamGen uint64) {
+	d.upstreamGen.Store(upstreamGen)
+	d.lastContact.Store(time.Now().UnixNano())
+	d.lastErr.Store(nil)
+}
+
+func (d *snapshots) noteError(err error) {
+	if errors.Is(err, snapstore.ErrUnchanged) {
+		return
+	}
+	msg := err.Error()
+	d.lastErr.Store(&msg)
+}
+
+// observeLag refreshes the replica_generation_lag gauge.
+func (d *snapshots) observeLag() {
+	up, cur := d.upstreamGen.Load(), d.servingGen.Load()
+	if up > cur {
+		d.metrics.ObserveLag(float64(up - cur))
+	} else {
+		d.metrics.ObserveLag(0)
+	}
+}
+
+// replicationStatus is the serve.Config.Replication hook.
+func (d *snapshots) replicationStatus() *serve.ReplicationStatus {
+	source := d.cfg.snapshotURL
+	if source == "" {
+		source = d.cfg.snapshotDir
+	}
+	rs := &serve.ReplicationStatus{
+		Source:              source,
+		ServingGeneration:   d.servingGen.Load(),
+		PublisherGeneration: d.upstreamGen.Load(),
+	}
+	if rs.PublisherGeneration > rs.ServingGeneration {
+		rs.Lag = rs.PublisherGeneration - rs.ServingGeneration
+	}
+	if ns := d.lastContact.Load(); ns != 0 {
+		rs.LastContact = time.Unix(0, ns)
+	}
+	if msg := d.lastErr.Load(); msg != nil {
+		rs.LastError = *msg
+	}
+	return rs
+}
+
+// pollLoop is the replica's reload driver, replacing the timer reload
+// loop: each tick probes the publisher (HEAD, no body) and only drives
+// a reload when there is a new generation to fetch — or when the probe
+// itself fails, so repeated publisher outages flow into the serve
+// breaker and /readyz degradation instead of passing silently. When the
+// breaker is open but a probe shows the publisher back with a new
+// generation, the reload is forced: the half-open recovery path that
+// lets a replica heal without an operator SIGHUP.
+func (d *snapshots) pollLoop(ctx context.Context, s *serve.Server) {
+	t := time.NewTicker(d.cfg.poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			d.pollTick(ctx, s)
+		}
+	}
+}
+
+func (d *snapshots) pollTick(ctx context.Context, s *serve.Server) {
+	upstreamGen, err := d.fetcher.Probe(ctx)
+	consecFails, breakerOpen := s.Degraded()
+	if err != nil {
+		d.noteError(err)
+		d.log.Warn("publisher probe failed", "url", d.cfg.snapshotURL, "err", err)
+		if !breakerOpen {
+			// Drive a reload so the failure is accounted: retries, then
+			// consecutive-failure tracking, then the breaker.
+			if rerr := s.Reload(ctx, false); rerr != nil {
+				d.log.Warn("replica reload failed", "err", rerr)
+			}
+		}
+		return
+	}
+	d.noteContact(upstreamGen)
+	d.observeLag()
+	if upstreamGen == d.servingGen.Load() {
+		if consecFails > 0 || breakerOpen {
+			// The publisher is back but hasn't minted a new generation
+			// (say, it restarted from its own store). Without a reload the
+			// failure counters never clear and /readyz reports degraded
+			// forever, so force one refetch of the current generation —
+			// buildFromFetch drops the conditional-GET state on the 304 and
+			// transfers the body, and the successful swap resets the
+			// breaker.
+			if err := s.Reload(ctx, true); err != nil {
+				d.log.Warn("replica recovery reload failed", "err", err)
+			}
+		}
+		return // up to date: the probe was the whole poll
+	}
+	// Forced iff the breaker is open: a healthy publisher with a new
+	// generation is the recovery signal that half-opens it.
+	if err := s.Reload(ctx, breakerOpen); err != nil {
+		d.log.Warn("replica reload failed", "generation", upstreamGen, "err", err)
+	}
+	d.observeLag()
+}
+
+// forceRefresh implements SIGHUP for replicas: drop the conditional-GET
+// state so the next fetch transfers the body even if the generation is
+// unchanged.
+func (d *snapshots) forceRefresh() {
+	if d.replica() {
+		d.fetcher.Invalidate()
+	}
+}

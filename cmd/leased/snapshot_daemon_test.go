@@ -1,0 +1,322 @@
+package main
+
+// End-to-end persistence and replication: a publisher daemon writing
+// binary generations to -snapshot-dir, a cold start that serves them
+// without the dataset, and a stateless replica chained off
+// /snapshot/current that keeps serving through a publisher outage.
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemonCtx is startDaemon under a caller-owned context, so a test
+// can stop one daemon (publisher) while another (replica) keeps
+// running — signals would hit both, they share the process.
+func startDaemonCtx(t *testing.T, ctx context.Context, dir string, cfg config) (string, *logBuffer, chan error) {
+	t.Helper()
+	cfg.data = dir
+	if cfg.addr == "" {
+		cfg.addr = "127.0.0.1:0"
+	}
+	if cfg.drain == 0 {
+		cfg.drain = 5 * time.Second
+	}
+	logs := &logBuffer{}
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, cfg, logs, func(addr string) { ready <- addr })
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, logs, errc
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	panic("unreachable")
+}
+
+func stopDaemon(t *testing.T, cancel context.CancelFunc, errc chan error) {
+	t.Helper()
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit on context cancel")
+	}
+}
+
+// snapshotCurrentGen reads the generation header off /snapshot/current.
+func snapshotCurrentGen(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/snapshot/current")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/snapshot/current: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("ETag") == "" {
+		t.Error("/snapshot/current served without an ETag")
+	}
+	return resp.Header.Get("X-Snapshot-Generation")
+}
+
+// TestDaemonPersistsAndColdStarts: run one gets a dataset and leaves a
+// durable generation behind; run two has no dataset at all and must
+// serve identically from the store, without publishing a new
+// generation of the same bytes.
+func TestDaemonPersistsAndColdStarts(t *testing.T) {
+	dir := dataset(t)
+	snapDir := filepath.Join(t.TempDir(), "snaps")
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	base, _, errc1 := startDaemonCtx(t, ctx1, dir, config{snapshotDir: snapDir})
+	_, table1 := getBody(t, base+"/table1")
+	_, lookup := getBody(t, base+"/lookup?ip=203.0.113.99")
+	if gen := snapshotCurrentGen(t, base); gen != "1" {
+		t.Errorf("published generation = %q, want 1", gen)
+	}
+	_, metrics := getBody(t, base+"/metrics")
+	if !strings.Contains(metrics, `snapshot_publish_total{outcome="ok"} 1`) {
+		t.Errorf("/metrics missing publish counter:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "snapshot_bytes ") || strings.Contains(metrics, "snapshot_bytes 0") {
+		t.Errorf("/metrics snapshot_bytes missing or zero")
+	}
+	stopDaemon(t, cancel1, errc1)
+
+	// The dataset is gone. A cold start must not need it.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	base2, logs2, errc2 := startDaemonCtx(t, ctx2, dir, config{snapshotDir: snapDir})
+	defer stopDaemon(t, cancel2, errc2)
+
+	if !strings.Contains(logs2.String(), "cold start from snapshot store") {
+		t.Errorf("cold start not logged:\n%s", logs2.String())
+	}
+	if _, got := getBody(t, base2+"/table1"); got != table1 {
+		t.Error("cold-started /table1 diverged from the run that wrote the snapshot")
+	}
+	if _, got := getBody(t, base2+"/lookup?ip=203.0.113.99"); got != lookup {
+		t.Error("cold-started /lookup diverged from the run that wrote the snapshot")
+	}
+	// The restored generation is re-served, not re-published: still 1,
+	// still exactly one file in the store.
+	if gen := snapshotCurrentGen(t, base2); gen != "1" {
+		t.Errorf("generation after cold start = %q, want 1", gen)
+	}
+	_, metrics2 := getBody(t, base2+"/metrics")
+	if !strings.Contains(metrics2, `snapshot_load_total{outcome="ok"} 1`) {
+		t.Errorf("/metrics missing load counter after cold start:\n%s", metrics2)
+	}
+	if strings.Contains(metrics2, `snapshot_publish_total{outcome="ok"}`) {
+		t.Errorf("cold start republished an unchanged generation:\n%s", metrics2)
+	}
+	ents, err := os.ReadDir(snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gens []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".snap") {
+			gens = append(gens, e.Name())
+		}
+	}
+	if len(gens) != 1 {
+		t.Errorf("store holds %v, want exactly the one generation", gens)
+	}
+}
+
+// TestReplicaServesAndSurvivesPublisherOutage: a replica with no
+// dataset serves the publisher's snapshot byte-for-byte, re-exposes it
+// for chaining, then keeps serving — degraded, not down — when the
+// publisher disappears.
+func TestReplicaServesAndSurvivesPublisherOutage(t *testing.T) {
+	dir := dataset(t)
+
+	ctxP, cancelP := context.WithCancel(context.Background())
+	pubBase, _, errcP := startDaemonCtx(t, ctxP, dir, config{
+		snapshotDir: filepath.Join(t.TempDir(), "snaps"),
+	})
+
+	ctxR, cancelR := context.WithCancel(context.Background())
+	repBase, logsR, errcR := startDaemonCtx(t, ctxR,
+		filepath.Join(t.TempDir(), "no-dataset-here"), config{
+			snapshotURL: pubBase + "/snapshot/current",
+			poll:        50 * time.Millisecond,
+		})
+	defer stopDaemon(t, cancelR, errcR)
+
+	// Byte-identical service across every query surface.
+	for _, p := range []string{"/table1", "/loadreport", "/lookup?ip=203.0.113.99", "/lookup?prefix=10.0.0.0/24"} {
+		_, want := getBody(t, pubBase+p)
+		_, got := getBody(t, repBase+p)
+		if got != want {
+			t.Errorf("replica %s diverged:\n got: %s\nwant: %s", p, got, want)
+		}
+	}
+	// The replica chains: its own /snapshot/current serves the same
+	// generation it fetched.
+	if gen := snapshotCurrentGen(t, repBase); gen != "1" {
+		t.Errorf("replica re-published generation %q, want 1", gen)
+	}
+	_, statusz := getBody(t, repBase+"/statusz")
+	if !strings.Contains(statusz, `"source": "`+pubBase+`/snapshot/current"`) ||
+		!strings.Contains(statusz, `"serving_generation": 1`) ||
+		!strings.Contains(statusz, `"generation_lag": 0`) {
+		t.Errorf("/statusz replication section wrong:\n%s", statusz)
+	}
+	_, metricsR := getBody(t, repBase+"/metrics")
+	if !strings.Contains(metricsR, `replica_fetch_total{outcome="ok"} 1`) {
+		t.Errorf("replica /metrics missing fetch counter:\n%s", metricsR)
+	}
+	if !strings.Contains(metricsR, "replica_generation_lag 0") {
+		t.Errorf("replica /metrics missing lag gauge:\n%s", metricsR)
+	}
+
+	// Publisher goes away. The replica's polls fail, readiness degrades,
+	// but queries keep answering from the last good generation.
+	_, wantTable1 := getBody(t, repBase+"/table1")
+	stopDaemon(t, cancelP, errcP)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := getBody(t, repBase+"/readyz")
+		if code == http.StatusServiceUnavailable && strings.Contains(body, "degraded") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never degraded after publisher outage; readyz %d %s\nlogs:\n%s",
+				code, body, logsR.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if code, got := getBody(t, repBase+"/table1"); code != 200 || got != wantTable1 {
+		t.Errorf("degraded replica stopped serving: code %d", code)
+	}
+	_, statusz = getBody(t, repBase+"/statusz")
+	if !strings.Contains(statusz, `"last_error"`) {
+		t.Errorf("/statusz missing last_error during outage:\n%s", statusz)
+	}
+	if code, _ := getBody(t, repBase+"/healthz"); code != 200 {
+		t.Errorf("degraded replica failed liveness: %d", code)
+	}
+	_, metricsR = getBody(t, repBase+"/metrics")
+	if !strings.Contains(metricsR, `replica_fetch_total{outcome=`) {
+		t.Errorf("replica /metrics lost fetch counters during outage:\n%s", metricsR)
+	}
+}
+
+// TestReplicaRecoversWhenPublisherReturnsSameGeneration: a publisher
+// that comes back serving the generation the replica already has (it
+// cold-started from its own store, minting nothing new) must still
+// clear the replica's breaker — recovery cannot wait for a generation
+// that may never come.
+func TestReplicaRecoversWhenPublisherReturnsSameGeneration(t *testing.T) {
+	dir := dataset(t)
+	snaps := filepath.Join(t.TempDir(), "snaps")
+
+	ctxP, cancelP := context.WithCancel(context.Background())
+	pubBase, _, errcP := startDaemonCtx(t, ctxP, dir, config{snapshotDir: snaps})
+	pubAddr := strings.TrimPrefix(pubBase, "http://")
+
+	ctxR, cancelR := context.WithCancel(context.Background())
+	repBase, logsR, errcR := startDaemonCtx(t, ctxR,
+		filepath.Join(t.TempDir(), "none"), config{
+			snapshotURL: pubBase + "/snapshot/current",
+			poll:        50 * time.Millisecond,
+		})
+	defer stopDaemon(t, cancelR, errcR)
+	_, wantTable1 := getBody(t, repBase+"/table1")
+
+	// Outage: poll failures trip the replica's breaker.
+	stopDaemon(t, cancelP, errcP)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code, body := getBody(t, repBase+"/readyz"); code == http.StatusServiceUnavailable &&
+			strings.Contains(body, `"reload_breaker_open": true`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica breaker never opened; logs:\n%s", logsR.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// The publisher returns on the same address, cold-starting from its
+	// store: same generation, nothing new to fetch.
+	ctxP2, cancelP2 := context.WithCancel(context.Background())
+	_, _, errcP2 := startDaemonCtx(t, ctxP2, dir, config{snapshotDir: snaps, addr: pubAddr})
+	defer stopDaemon(t, cancelP2, errcP2)
+
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		if code, _ := getBody(t, repBase+"/readyz"); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, body := getBody(t, repBase+"/readyz")
+			t.Fatalf("replica never recovered after publisher returned at the same generation; readyz: %s\nlogs:\n%s",
+				body, logsR.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if code, got := getBody(t, repBase+"/table1"); code != 200 || got != wantTable1 {
+		t.Errorf("recovered replica serves different bytes: code %d", code)
+	}
+}
+
+// TestReplicaColdCacheServesWithPublisherDown: a replica that also has
+// -snapshot-dir can start with its publisher unreachable, serving the
+// cached generation, and reports the fetch failure.
+func TestReplicaColdCacheServesWithPublisherDown(t *testing.T) {
+	dir := dataset(t)
+	cache := filepath.Join(t.TempDir(), "cache")
+
+	// Seed the cache: a replica run against a live publisher.
+	ctxP, cancelP := context.WithCancel(context.Background())
+	pubBase, _, errcP := startDaemonCtx(t, ctxP, dir, config{
+		snapshotDir: filepath.Join(t.TempDir(), "snaps"),
+	})
+	_, wantTable1 := getBody(t, pubBase+"/table1")
+	ctxR, cancelR := context.WithCancel(context.Background())
+	_, _, errcR := startDaemonCtx(t, ctxR,
+		filepath.Join(t.TempDir(), "none"), config{
+			snapshotURL: pubBase + "/snapshot/current",
+			snapshotDir: cache,
+			poll:        time.Hour,
+		})
+	stopDaemon(t, cancelR, errcR)
+	stopDaemon(t, cancelP, errcP)
+
+	// Publisher down, cache warm: the replica must still come up.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	repBase, logs2, errc2 := startDaemonCtx(t, ctx2,
+		filepath.Join(t.TempDir(), "none"), config{
+			snapshotURL: pubBase + "/snapshot/current", // dead address
+			snapshotDir: cache,
+			poll:        time.Hour,
+		})
+	defer stopDaemon(t, cancel2, errc2)
+	if _, got := getBody(t, repBase+"/table1"); got != wantTable1 {
+		t.Error("cache-started replica serves different bytes than the publisher did")
+	}
+	if !strings.Contains(logs2.String(), "serving cached snapshot") {
+		t.Errorf("cache fallback not logged:\n%s", logs2.String())
+	}
+}

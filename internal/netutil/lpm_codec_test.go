@@ -1,0 +1,105 @@
+package netutil
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// TestLPMCodecRoundTrip: for random prefix sets, a decoded index must
+// answer every lookup — longest-match and exact — identically to the
+// index it was encoded from.
+func TestLPMCodecRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ps := randomPrefixSet(rng, 200+rng.Intn(400))
+		orig := BuildLPM(ps)
+		dec, err := DecodeLPM(orig.AppendBinary(nil), len(ps))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if dec.Len() != orig.Len() {
+			t.Fatalf("seed %d: decoded %d nodes, want %d", seed, dec.Len(), orig.Len())
+		}
+		for trial := 0; trial < 3000; trial++ {
+			a := Addr(rng.Uint32())
+			gi, gok := dec.Lookup(a)
+			wi, wok := orig.Lookup(a)
+			if gi != wi || gok != wok {
+				t.Fatalf("seed %d: Lookup(%v) = %d,%v; want %d,%v", seed, a, gi, gok, wi, wok)
+			}
+		}
+		for _, p := range ps {
+			gi, gok := dec.LookupExact(p)
+			wi, wok := orig.LookupExact(p)
+			if gi != wi || gok != wok {
+				t.Fatalf("seed %d: LookupExact(%v) = %d,%v; want %d,%v", seed, p, gi, gok, wi, wok)
+			}
+		}
+	}
+}
+
+func TestLPMCodecEmpty(t *testing.T) {
+	dec, err := DecodeLPM(BuildLPM(nil).AppendBinary(nil), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dec.Lookup(MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("empty decoded index matched an address")
+	}
+}
+
+// TestLPMCodecRejects: every structural invariant violation must be an
+// error, never a partially-trusted index.
+func TestLPMCodecRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ps := randomPrefixSet(rng, 64)
+	good := BuildLPM(ps).AppendBinary(nil)
+
+	node := func(i int) int { return 5 + i*lpmWireNodeSize }
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+		trunc  int // if > 0, cut to this many bytes instead
+	}{
+		{name: "empty", trunc: 1},
+		{name: "short-header", trunc: 4},
+		{name: "cut-mid-node", trunc: len(good) - 7},
+		{name: "dups-flag", mutate: func(b []byte) { b[0] = 7 }},
+		{name: "count-overclaims", mutate: func(b []byte) {
+			binary.LittleEndian.PutUint32(b[1:5], 1<<30)
+		}},
+		{name: "prefix-len-33", mutate: func(b []byte) { b[node(1)+16] = 33 }},
+		{name: "host-bits", mutate: func(b []byte) {
+			// Give node 1 a /8 with low bits set.
+			binary.LittleEndian.PutUint32(b[node(1):], 0x0a0000ff)
+			b[node(1)+16] = 8
+		}},
+		{name: "val-past-arena", mutate: func(b []byte) {
+			binary.LittleEndian.PutUint32(b[node(1)+4:], uint32(len(ps)))
+		}},
+		{name: "val-below-minus-one", mutate: func(b []byte) {
+			binary.LittleEndian.PutUint32(b[node(1)+4:], 0xfffffffe) // int32(-2)
+		}},
+		{name: "kid-out-of-range", mutate: func(b []byte) {
+			binary.LittleEndian.PutUint32(b[node(1)+8:], 1<<20)
+		}},
+		{name: "kid-self-loop", mutate: func(b []byte) {
+			binary.LittleEndian.PutUint32(b[node(1)+8:], 1)
+		}},
+		{name: "no-root-anchor", mutate: func(b []byte) { b[node(0)+16] = 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := append([]byte(nil), good...)
+			if tc.trunc > 0 {
+				mut = mut[:tc.trunc]
+			} else {
+				tc.mutate(mut)
+			}
+			if _, err := DecodeLPM(mut, len(ps)); err == nil {
+				t.Fatal("damaged LPM encoding accepted")
+			}
+		})
+	}
+}

@@ -219,6 +219,48 @@ func TestLPMCrossCheck(t *testing.T) {
 	}
 }
 
+// TestLPMLookupAddrsMatchesSingle checks the batched walk against the
+// single-address Lookup over random address mixes, including batches
+// larger than any internal chunking and the nil-index edge.
+func TestLPMLookupAddrsMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		ps := randomPrefixSet(rng, 50+rng.Intn(200))
+		idx := BuildLPM(ps)
+		addrs := make([]Addr, 1+rng.Intn(2000))
+		for i := range addrs {
+			if i%2 == 0 {
+				p := ps[rng.Intn(len(ps))]
+				addrs[i] = Addr(uint32(p.Base) | (rng.Uint32() &^ maskOf(p.Len)))
+			} else {
+				addrs[i] = Addr(rng.Uint32())
+			}
+		}
+		got := idx.LookupAddrs(nil, addrs)
+		if len(got) != len(addrs) {
+			t.Fatalf("trial %d: batch returned %d results for %d addrs", trial, len(got), len(addrs))
+		}
+		for i, a := range addrs {
+			want, ok := idx.Lookup(a)
+			if !ok {
+				want = -1
+			}
+			if got[i] != want {
+				t.Fatalf("trial %d: batch[%d] = %d for %s, single Lookup gives %d", trial, i, got[i], a, want)
+			}
+		}
+		// Appending to a prefilled dst must preserve the prefix.
+		pre := idx.LookupAddrs([]int32{42}, addrs[:3])
+		if pre[0] != 42 || len(pre) != 4 {
+			t.Fatalf("trial %d: prefilled dst mangled: %v", trial, pre[:1])
+		}
+	}
+	var empty LPM
+	if out := empty.LookupAddrs(nil, []Addr{0, 1}); len(out) != 2 || out[0] != -1 || out[1] != -1 {
+		t.Fatalf("empty LPM batch = %v, want [-1 -1]", out)
+	}
+}
+
 // FuzzLPMLookup cross-checks a fuzzer-chosen lookup against the oracle
 // on a prefix set derived from the same input bytes.
 func FuzzLPMLookup(f *testing.F) {

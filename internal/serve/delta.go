@@ -15,6 +15,10 @@ import (
 const (
 	ModeFull  = "full"
 	ModeDelta = "delta"
+	// ModeSnapshot marks a reload served from a decoded on-disk or
+	// fetched binary snapshot (internal/snapstore): no dataset was
+	// parsed and nothing was re-inferred.
+	ModeSnapshot = "snapshot"
 )
 
 // DeltaInfo describes how a snapshot was produced by the incremental

@@ -60,6 +60,21 @@ type Config struct {
 	// reloads — the operator escape hatch — always use Build.
 	BuildDelta func(ctx context.Context, prev *Snapshot) (*Snapshot, error)
 
+	// OnSwap, when set, observes every successfully swapped-in snapshot
+	// after it becomes the serving snapshot. It runs synchronously on
+	// the reload goroutine — keep it bounded (the daemon uses it to
+	// persist and publish the new generation). A panic inside it is
+	// contained and logged; it can never fail the reload that already
+	// succeeded.
+	OnSwap func(snap *Snapshot)
+
+	// Replication, when set, reports the daemon's snapshot replication
+	// state. /statusz embeds it and /readyz attaches the generation lag,
+	// so a replica serving stale generations is observable without new
+	// endpoints. Called per status request; must be cheap and
+	// goroutine-safe.
+	Replication func() *ReplicationStatus
+
 	// ReloadEvery is the timer-driven reload period for ReloadLoop.
 	// Zero disables timed reloads (signal-driven only).
 	ReloadEvery time.Duration
@@ -301,6 +316,20 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // successful reload.
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
+// Route registers an additional endpoint behind the same hardening
+// middleware (arrival counting, optional load shedding + request
+// timeout, latency observation, panic-to-500) and per-endpoint metric
+// children as the built-in routes. The daemon uses it to mount the
+// snapshot publish endpoint without the serving layer importing the
+// snapshot store. Must be called before the handler serves traffic;
+// name must be unique among the server's endpoints.
+func (s *Server) Route(name, pattern string, limited bool, h http.HandlerFunc) {
+	if _, dup := s.stats[name]; dup {
+		panic(fmt.Sprintf("serve: duplicate route name %q", name))
+	}
+	s.route(name, pattern, limited, h)
+}
+
 // route registers one endpoint behind the hardening middleware.
 // Health and status endpoints skip the concurrency limiter (limited =
 // false): they must answer precisely when the service is overloaded,
@@ -461,6 +490,7 @@ func (s *Server) Reload(ctx context.Context, forced bool) error {
 			// Roll the load's per-source accounting onto the ingest_*
 			// counter families so data loss is scrapeable per reload.
 			diag.ObserveReports(s.cfg.Metrics, snap.Reports)
+			s.notifySwap(snap)
 			s.observeDelta(snap)
 			s.finishReload(ReloadEvent{
 				At: start, OK: true, Forced: forced, Attempts: attempts,
@@ -484,6 +514,21 @@ func (s *Server) Reload(ctx context.Context, forced bool) error {
 		Error:      err.Error(),
 	})
 	return err
+}
+
+// notifySwap runs the OnSwap observer with panic containment: the swap
+// already happened, so an observer bug degrades to a logged error, never
+// a failed reload or a dead daemon.
+func (s *Server) notifySwap(snap *Snapshot) {
+	if s.cfg.OnSwap == nil {
+		return
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			s.cfg.Logger.Error("snapshot swap observer panicked", "panic", v)
+		}
+	}()
+	s.cfg.OnSwap(snap)
 }
 
 // observeDelta rolls a delta-built snapshot's patch statistics onto the
@@ -792,6 +837,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		"consecutive_failures": fails,
 		"reload_breaker_open":  open,
 	}
+	if s.cfg.Replication != nil {
+		if rs := s.cfg.Replication(); rs != nil {
+			body["replication_generation_lag"] = rs.Lag
+			body["replication_serving_generation"] = rs.ServingGeneration
+		}
+	}
 	switch {
 	case snap == nil:
 		body["status"] = "unready"
@@ -810,11 +861,43 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// ReplicationStatus is a replica daemon's view of its snapshot source,
+// reported through the Config.Replication hook.
+type ReplicationStatus struct {
+	// Source is the publisher endpoint or store directory snapshots come
+	// from.
+	Source string `json:"source"`
+	// ServingGeneration is the snapshot generation currently serving.
+	ServingGeneration uint64 `json:"serving_generation"`
+	// PublisherGeneration is the newest generation the publisher
+	// reported; 0 until the first successful probe or fetch.
+	PublisherGeneration uint64 `json:"publisher_generation"`
+	// Lag is PublisherGeneration - ServingGeneration, clamped at 0: how
+	// many generations behind the publisher this replica serves.
+	Lag uint64 `json:"generation_lag"`
+	// LastContact is when the publisher last answered a probe or fetch.
+	LastContact time.Time `json:"last_contact,omitempty"`
+	// LastError is the most recent fetch/probe failure, cleared by the
+	// next success.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Degraded reports the reload pipeline's failure state: consecutive
+// failed reload cycles and whether the reload breaker is open. The
+// replica poll loop reads it to decide when a recovered publisher
+// warrants a forced (breaker-bypassing) reload.
+func (s *Server) Degraded() (consecutiveFailures int, breakerOpen bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.consecFails, s.breakerOpen
+}
+
 // statuszResponse is the /statusz JSON shape.
 type statuszResponse struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Snapshot      *statuszSnapshot         `json:"snapshot,omitempty"`
 	Reload        statuszReload            `json:"reload"`
+	Replication   *ReplicationStatus       `json:"replication,omitempty"`
 	Endpoints     map[string]statuszCounts `json:"endpoints"`
 }
 
@@ -863,6 +946,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			LeasedShare:     snap.Result.LeasedShareOfBGP(),
 			SkippedAnalyses: snap.SkippedAnalyses,
 		}
+	}
+	if s.cfg.Replication != nil {
+		resp.Replication = s.cfg.Replication()
 	}
 	s.mu.Lock()
 	resp.Reload = statuszReload{

@@ -16,6 +16,8 @@ package serve
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"time"
 
 	"ipleasing/internal/core"
@@ -92,6 +94,78 @@ func NewSnapshot(res *core.Result, reports []*diag.LoadReport, skippedAnalyses [
 // the same bytes report.Markdown embeds in the full report.
 func (s *Snapshot) Table1() []byte { return s.table1 }
 
+// FlatInferences exposes the snapshot's flat inference arena — every
+// classification, contiguous, in All order — for the snapshot codec
+// (internal/snapstore). Read-only: the arena is shared with every
+// concurrent lookup.
+func (s *Snapshot) FlatInferences() []core.Inference { return s.infs }
+
+// LPM exposes the snapshot's flat longest-prefix-match index for the
+// snapshot codec. Read-only.
+func (s *Snapshot) LPM() *netutil.LPM { return s.lpm }
+
+// ByASN exposes the snapshot's ASN index — flat arena indexes per
+// originating ASN — for the snapshot codec. Read-only: neither the map
+// nor its lists may be mutated.
+func (s *Snapshot) ByASN() map[uint32][]int32 { return s.byASN }
+
+// Restored carries decoded snapshot sections into Restore. Every field
+// is required except Delta.
+type Restored struct {
+	BuiltAt         time.Time
+	Dir             string
+	Strict          bool
+	Result          *core.Result // must carry the flat arena (core.ResultFromFlat)
+	LPM             *netutil.LPM
+	ByASN           map[uint32][]int32
+	Table1          []byte
+	Reports         []*diag.LoadReport
+	SkippedAnalyses []string
+	// Delta annotates how the snapshot reached this process; the snapshot
+	// store sets Mode to ModeSnapshot so reload accounting distinguishes
+	// decoded generations from full and delta builds.
+	Delta *DeltaInfo
+}
+
+// Restore assembles a servable Snapshot from already-decoded sections
+// without re-running any build step: no BuildLPM, no report.Table1, no
+// classification. This is the contract that makes snapshot cold starts
+// O(bytes) instead of O(world) — the decoded sections ARE the serving
+// indexes. The parts must have been produced from one consistent
+// snapshot (the snapshot codec's checksums guarantee that); Restore
+// still refuses structurally impossible combinations rather than serve
+// from them.
+func Restore(parts Restored) (*Snapshot, error) {
+	if parts.Result == nil || parts.LPM == nil {
+		return nil, errors.New("serve: restore needs a result and an LPM index")
+	}
+	infs := parts.Result.Flat()
+	for asn, list := range parts.ByASN {
+		for _, j := range list {
+			if j < 0 || int(j) >= len(infs) {
+				return nil, fmt.Errorf("serve: restore: ASN %d index %d outside arena of %d", asn, j, len(infs))
+			}
+		}
+	}
+	s := &Snapshot{
+		BuiltAt:         parts.BuiltAt,
+		Dir:             parts.Dir,
+		Strict:          parts.Strict,
+		Result:          parts.Result,
+		Reports:         parts.Reports,
+		SkippedAnalyses: parts.SkippedAnalyses,
+		Delta:           parts.Delta,
+		table1:          parts.Table1,
+		infs:            infs,
+		lpm:             parts.LPM,
+		byASN:           parts.ByASN,
+	}
+	if s.byASN == nil {
+		s.byASN = make(map[uint32][]int32)
+	}
+	return s, nil
+}
+
 // LookupPrefix returns the classification of an exact leaf prefix, or
 // nil if the snapshot has none.
 func (s *Snapshot) LookupPrefix(p netutil.Prefix) *core.Inference {
@@ -123,8 +197,23 @@ func (s *Snapshot) LookupAddrs(dst []*core.Inference, addrs []netutil.Addr) []*c
 		copy(grown, dst)
 		dst = grown
 	}
-	for _, a := range addrs {
-		dst = append(dst, s.LookupAddr(a))
+	// Chunk through a stack buffer so the LPM descent runs batched (node
+	// array hoisted out of the per-address loop) while this path stays
+	// allocation-free at any batch size.
+	var buf [512]int32
+	for len(addrs) > 0 {
+		chunk := addrs
+		if len(chunk) > len(buf) {
+			chunk = chunk[:len(buf)]
+		}
+		for _, i := range s.lpm.LookupAddrs(buf[:0], chunk) {
+			if i >= 0 {
+				dst = append(dst, &s.infs[i])
+			} else {
+				dst = append(dst, nil)
+			}
+		}
+		addrs = addrs[len(chunk):]
 	}
 	return dst
 }

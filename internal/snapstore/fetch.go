@@ -1,0 +1,264 @@
+package snapstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipleasing/internal/telemetry"
+)
+
+// generationHeader carries the decimal generation number on publisher
+// responses, so a replica can measure lag from a HEAD probe without
+// parsing the ETag.
+const generationHeader = "X-Snapshot-Generation"
+
+// ErrUnchanged reports a conditional fetch answered 304: the publisher
+// still serves the generation the fetcher already has.
+var ErrUnchanged = errors.New("snapstore: snapshot unchanged")
+
+// ErrNotPublished reports a publisher that has not published any
+// generation yet (HTTP 503).
+var ErrNotPublished = errors.New("snapstore: publisher has no snapshot yet")
+
+// genETag renders the strong ETag for a generation. The ETag is derived
+// from the generation alone: the store's monotonic numbering guarantees
+// one generation is one immutable byte string.
+func genETag(gen uint64) string { return fmt.Sprintf("%q", fmt.Sprintf("gen-%016x", gen)) }
+
+type publication struct {
+	gen  uint64
+	etag string
+	data []byte
+}
+
+// Publisher serves the most recently published encoded snapshot over
+// HTTP for replica daemons: GET returns the bytes, HEAD just the
+// generation headers, and If-None-Match answers 304 so an up-to-date
+// replica costs one header exchange. Set and ServeHTTP are safe under
+// arbitrary concurrency — the current publication swaps atomically.
+type Publisher struct {
+	cur atomic.Pointer[publication]
+}
+
+// NewPublisher returns a publisher with nothing published; requests
+// answer 503 until the first Set.
+func NewPublisher() *Publisher { return &Publisher{} }
+
+// Set publishes an encoded snapshot, validating it first — a publisher
+// must never hand replicas bytes it could not load itself.
+func (p *Publisher) Set(data []byte) error {
+	gen, err := ReadGeneration(data)
+	if err != nil {
+		return err
+	}
+	p.cur.Store(&publication{gen: gen, etag: genETag(gen), data: data})
+	return nil
+}
+
+// Generation returns the currently published generation, or false when
+// nothing is published yet.
+func (p *Publisher) Generation() (uint64, bool) {
+	cur := p.cur.Load()
+	if cur == nil {
+		return 0, false
+	}
+	return cur.gen, true
+}
+
+// ServeHTTP answers GET and HEAD for the current snapshot.
+func (p *Publisher) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	cur := p.cur.Load()
+	if cur == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	h := w.Header()
+	h.Set("ETag", cur.etag)
+	h.Set(generationHeader, strconv.FormatUint(cur.gen, 10))
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", strconv.Itoa(len(cur.data)))
+	if r.Header.Get("If-None-Match") == cur.etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(cur.data)
+}
+
+// FetcherOptions configures NewFetcher. The zero value uses a 30-second
+// request timeout and observes nothing.
+type FetcherOptions struct {
+	// Timeout bounds each HTTP request. 0 means 30 seconds.
+	Timeout time.Duration
+	// MaxBytes bounds an accepted snapshot body; a response claiming or
+	// delivering more is rejected rather than buffered. 0 means 1 GiB.
+	MaxBytes int64
+	Logger   *telemetry.Logger
+	Metrics  *Metrics
+	// Client overrides the HTTP client (tests). Timeout is ignored when
+	// set.
+	Client *http.Client
+}
+
+// Fetcher pulls encoded snapshots from a Publisher URL for replica
+// serving. It remembers the last generation it delivered and fetches
+// conditionally, so steady state is one 304 per poll. Fetcher methods
+// validate every downloaded body's checksums before returning it — a
+// truncated or corrupted transfer surfaces as an error, never as bytes.
+//
+// Fetcher performs single attempts; retry, backoff, and the circuit
+// breaker around repeated failures belong to the serve.Server reload
+// machinery driving it, so replica fetch failures share the exact
+// degradation behavior (serve last-good, flip /readyz, open breaker) as
+// publisher-side dataset failures.
+type Fetcher struct {
+	url      string
+	client   *http.Client
+	maxBytes int64
+	log      *telemetry.Logger
+	metrics  *Metrics
+
+	mu   sync.Mutex
+	etag string // of the last delivered snapshot; "" forces a full fetch
+}
+
+// NewFetcher returns a fetcher for a publisher's snapshot endpoint
+// (e.g. http://host:8080/snapshot/current).
+func NewFetcher(url string, opts FetcherOptions) *Fetcher {
+	client := opts.Client
+	if client == nil {
+		timeout := opts.Timeout
+		if timeout == 0 {
+			timeout = 30 * time.Second
+		}
+		client = &http.Client{Timeout: timeout}
+	}
+	maxBytes := opts.MaxBytes
+	if maxBytes == 0 {
+		maxBytes = 1 << 30
+	}
+	return &Fetcher{url: url, client: client, maxBytes: maxBytes, log: opts.Logger, metrics: opts.Metrics}
+}
+
+// URL returns the publisher endpoint this fetcher polls.
+func (f *Fetcher) URL() string { return f.url }
+
+// Invalidate forgets the last delivered generation, so the next Fetch
+// is unconditional. The replica wires SIGHUP to it: an operator-forced
+// refresh must transfer the body even if the publisher claims nothing
+// changed.
+func (f *Fetcher) Invalidate() {
+	f.mu.Lock()
+	f.etag = ""
+	f.mu.Unlock()
+}
+
+func (f *Fetcher) loadETag() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.etag
+}
+
+func (f *Fetcher) storeETag(etag string) {
+	f.mu.Lock()
+	f.etag = etag
+	f.mu.Unlock()
+}
+
+// Probe asks the publisher (HEAD) which generation it currently serves,
+// without transferring the body. Used by the replica poll loop to skip
+// no-op reloads and to measure replication lag.
+func (f *Fetcher) Probe(ctx context.Context) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, f.url, nil)
+	if err != nil {
+		return 0, fmt.Errorf("snapstore: probe %s: %w", f.url, err)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("snapstore: probe %s: %w", f.url, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return 0, ErrNotPublished
+	case resp.StatusCode != http.StatusOK:
+		return 0, fmt.Errorf("snapstore: probe %s: status %d", f.url, resp.StatusCode)
+	}
+	gen, err := strconv.ParseUint(resp.Header.Get(generationHeader), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("snapstore: probe %s: bad %s header: %w", f.url, generationHeader, err)
+	}
+	return gen, nil
+}
+
+// Fetch downloads the current snapshot, conditionally on the last
+// generation this fetcher delivered. Returns ErrUnchanged on 304. A
+// successful return has already passed the whole-file checksum
+// (ReadGeneration); the caller still runs the full Decode, whose
+// per-section validation is what makes a malicious or truncated body
+// unservable.
+func (f *Fetcher) Fetch(ctx context.Context) ([]byte, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.url, nil)
+	if err != nil {
+		f.metrics.observeFetch("error")
+		return nil, 0, fmt.Errorf("snapstore: fetch %s: %w", f.url, err)
+	}
+	if etag := f.loadETag(); etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.metrics.observeFetch("error")
+		return nil, 0, fmt.Errorf("snapstore: fetch %s: %w", f.url, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusNotModified:
+		f.metrics.observeFetch("unchanged")
+		return nil, 0, ErrUnchanged
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		f.metrics.observeFetch("error")
+		return nil, 0, ErrNotPublished
+	case resp.StatusCode != http.StatusOK:
+		f.metrics.observeFetch("error")
+		return nil, 0, fmt.Errorf("snapstore: fetch %s: status %d", f.url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, f.maxBytes+1))
+	if err != nil {
+		f.metrics.observeFetch("error")
+		return nil, 0, fmt.Errorf("snapstore: fetch %s: read body: %w", f.url, err)
+	}
+	if int64(len(data)) > f.maxBytes {
+		f.metrics.observeFetch("error")
+		return nil, 0, fmt.Errorf("snapstore: fetch %s: body exceeds %d byte cap", f.url, f.maxBytes)
+	}
+	gen, err := ReadGeneration(data)
+	if err != nil {
+		f.metrics.observeFetch("corrupt")
+		f.log.Warn("fetched snapshot rejected", "url", f.url, "bytes", len(data), "err", err)
+		return nil, 0, fmt.Errorf("snapstore: fetch %s: %w", f.url, err)
+	}
+	f.storeETag(genETag(gen))
+	f.metrics.observeFetch("ok")
+	f.metrics.observeBytes(len(data))
+	f.log.Info("snapshot fetched", "url", f.url, "generation", gen, "bytes", len(data))
+	return data, gen, nil
+}

@@ -1,0 +1,130 @@
+package snapstore
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestPublisherServesCurrentSnapshot(t *testing.T) {
+	snap := testSnapshot(t)
+	pub := NewPublisher()
+	srv := httptest.NewServer(pub)
+	defer srv.Close()
+
+	// Nothing published yet: 503.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unpublished GET status = %d, want 503", resp.StatusCode)
+	}
+	if _, ok := pub.Generation(); ok {
+		t.Fatal("Generation reported before any Set")
+	}
+
+	if err := pub.Set([]byte("garbage")); err == nil {
+		t.Fatal("publisher accepted garbage bytes")
+	}
+	data := Encode(snap, 12)
+	if err := pub.Set(data); err != nil {
+		t.Fatal(err)
+	}
+	if gen, ok := pub.Generation(); !ok || gen != 12 {
+		t.Fatalf("Generation = %d, %v; want 12, true", gen, ok)
+	}
+
+	f := NewFetcher(srv.URL, FetcherOptions{})
+	ctx := context.Background()
+
+	if gen, err := f.Probe(ctx); err != nil || gen != 12 {
+		t.Fatalf("Probe = %d, %v; want 12, nil", gen, err)
+	}
+	body, gen, err := f.Fetch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 12 || string(body) != string(data) {
+		t.Fatalf("fetched gen %d, %d bytes; want 12, %d bytes identical", gen, len(body), len(data))
+	}
+
+	// Steady state: conditional fetch answers unchanged.
+	if _, _, err := f.Fetch(ctx); !errors.Is(err, ErrUnchanged) {
+		t.Fatalf("second fetch: %v, want ErrUnchanged", err)
+	}
+
+	// New generation flows through.
+	if err := pub.Set(Encode(snap, 13)); err != nil {
+		t.Fatal(err)
+	}
+	if _, gen, err := f.Fetch(ctx); err != nil || gen != 13 {
+		t.Fatalf("fetch after publish = %d, %v; want 13, nil", gen, err)
+	}
+
+	// Invalidate forces a full transfer of an unchanged generation.
+	f.Invalidate()
+	if body, gen, err := f.Fetch(ctx); err != nil || gen != 13 || len(body) == 0 {
+		t.Fatalf("forced fetch = %d bytes, gen %d, %v", len(body), gen, err)
+	}
+}
+
+func TestFetcherRejectsCorruptBody(t *testing.T) {
+	snap := testSnapshot(t)
+	data := Encode(snap, 5)
+	damaged := append([]byte(nil), data...)
+	damaged[len(damaged)/3] ^= 0x08
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(damaged)
+	}))
+	defer srv.Close()
+
+	f := NewFetcher(srv.URL, FetcherOptions{})
+	if _, _, err := f.Fetch(context.Background()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt body fetch: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFetcherBoundsBodySize(t *testing.T) {
+	snap := testSnapshot(t)
+	data := Encode(snap, 5)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(data)
+	}))
+	defer srv.Close()
+
+	f := NewFetcher(srv.URL, FetcherOptions{MaxBytes: 128})
+	if _, _, err := f.Fetch(context.Background()); err == nil {
+		t.Fatal("oversized body accepted")
+	}
+}
+
+func TestFetcherReportsUnreachablePublisher(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close() // connection refused from here on
+
+	f := NewFetcher(url, FetcherOptions{})
+	if _, _, err := f.Fetch(context.Background()); err == nil {
+		t.Fatal("fetch from dead publisher succeeded")
+	}
+	if _, err := f.Probe(context.Background()); err == nil {
+		t.Fatal("probe of dead publisher succeeded")
+	}
+}
+
+func TestFetcherNotPublished(t *testing.T) {
+	pub := NewPublisher()
+	srv := httptest.NewServer(pub)
+	defer srv.Close()
+	f := NewFetcher(srv.URL, FetcherOptions{})
+	if _, _, err := f.Fetch(context.Background()); !errors.Is(err, ErrNotPublished) {
+		t.Fatalf("fetch before publish: %v, want ErrNotPublished", err)
+	}
+	if _, err := f.Probe(context.Background()); !errors.Is(err, ErrNotPublished) {
+		t.Fatalf("probe before publish: %v, want ErrNotPublished", err)
+	}
+}

@@ -1,0 +1,760 @@
+// Package snapstore persists serving snapshots: a versioned,
+// checksummed binary format that encodes a *serve.Snapshot's flat
+// serving indexes directly (no re-inference on load), a crash-safe
+// on-disk store with atomic generation publication, and an HTTP
+// publisher/fetcher pair for stateless replica serving.
+//
+// The format is paranoid by construction. Every section carries its own
+// CRC-32C and the file carries a whole-file CRC-32C, so a torn write, a
+// flipped bit, or a truncated download is detected before a single
+// decoded value is trusted; counts are bounds-checked against remaining
+// bytes so a corrupt length can never become an allocation bomb; and
+// decode either returns a fully servable snapshot or a typed
+// *CorruptError — never a partial one.
+package snapstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+
+	"ipleasing/internal/core"
+	"ipleasing/internal/diag"
+	"ipleasing/internal/netutil"
+	"ipleasing/internal/serve"
+	"ipleasing/internal/whois"
+)
+
+// FormatVersion is the current snapshot format version. A decoder only
+// accepts files with exactly this version: the format is a serving-index
+// dump, not an archival interchange format, so publisher and replica
+// upgrade together and there is no cross-version migration path. Bump it
+// on ANY layout change — a version mismatch is a clean typed rejection,
+// a silent layout drift is a corruption bug.
+const FormatVersion = 1
+
+// magic identifies a snapshot file. 8 bytes, never changes; the version
+// field after it is what evolves.
+const magic = "IPLSNAP1"
+
+// Section IDs. The section table makes sections self-describing, so a
+// future version can append new sections without disturbing this
+// decoder's view of the old ones — but removing or reshaping one
+// requires a FormatVersion bump.
+const (
+	secMeta    = 1 // build metadata: BuiltAt, Dir, Strict, totals, skipped analyses
+	secArena   = 2 // flat inference arena, registry-major All order
+	secLPM     = 3 // flat LPM node array (netutil.LPM wire form)
+	secByASN   = 4 // ASN -> arena index lists
+	secTable1  = 5 // pre-rendered Markdown Table 1, verbatim bytes
+	secReports = 6 // per-source load accounting
+)
+
+// headerSize is magic(8) + version(4) + generation(8) + section count(4).
+const headerSize = 8 + 4 + 8 + 4
+
+// sectionEntrySize is one section-table entry: id(4) + offset(8) +
+// length(8) + CRC-32C(4).
+const sectionEntrySize = 4 + 8 + 8 + 4
+
+// maxSections bounds the section-table count a decoder will honour;
+// far above any plausible format evolution, low enough that a corrupt
+// count cannot drive a huge table allocation.
+const maxSections = 64
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Sentinel errors. Every decode failure satisfies
+// errors.Is(err, ErrCorrupt); the more specific sentinels narrow the
+// cause for callers that care (the store's recovery scan treats them
+// all the same — skip the generation).
+var (
+	// ErrCorrupt is the umbrella: the bytes are not a loadable snapshot.
+	ErrCorrupt = errors.New("snapstore: corrupt snapshot")
+	// ErrBadMagic marks a file that is not a snapshot at all.
+	ErrBadMagic = errors.New("snapstore: bad magic")
+	// ErrBadVersion marks a snapshot written by a different format
+	// version.
+	ErrBadVersion = errors.New("snapstore: unsupported format version")
+	// ErrChecksum marks a CRC mismatch (whole-file or per-section).
+	ErrChecksum = errors.New("snapstore: checksum mismatch")
+	// ErrTruncated marks a file shorter than its own structure claims.
+	ErrTruncated = errors.New("snapstore: truncated snapshot")
+)
+
+// CorruptError reports why a snapshot was rejected. It unwraps to both
+// ErrCorrupt and the specific sentinel (when one applies), so
+// errors.Is works against either.
+type CorruptError struct {
+	Section string // section being decoded, or "header"/"file"
+	Reason  string
+	Err     error // specific sentinel or underlying decode error, may be nil
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("snapstore: %s: %s: %v", e.Section, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("snapstore: %s: %s", e.Section, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrCorrupt, e.Err}
+	}
+	return []error{ErrCorrupt}
+}
+
+func corrupt(section, reason string, err error) *CorruptError {
+	return &CorruptError{Section: section, Reason: reason, Err: err}
+}
+
+// ---- encoding ----
+
+// appendUvarint, appendU32, appendU64, appendStr are the little-endian
+// building blocks shared by every section encoder.
+
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendStrs(dst []byte, ss []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = appendStr(dst, s)
+	}
+	return dst
+}
+
+func appendU32s(dst []byte, vs []uint32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	return dst
+}
+
+func encodeMeta(snap *serve.Snapshot) []byte {
+	res := snap.Result
+	b := make([]byte, 0, 64+len(snap.Dir))
+	var builtAt int64
+	if !snap.BuiltAt.IsZero() {
+		builtAt = snap.BuiltAt.UnixNano()
+	}
+	b = appendU64(b, uint64(builtAt))
+	b = appendUvarint(b, uint64(res.TotalBGPPrefixes))
+	b = appendU64(b, res.RoutedSpace)
+	b = appendUvarint(b, uint64(snap.NumInferences()))
+	if snap.Strict {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendStr(b, snap.Dir)
+	b = appendStrs(b, snap.SkippedAnalyses)
+	return b
+}
+
+func encodeArena(infs []core.Inference) []byte {
+	b := make([]byte, 0, 64*len(infs)+16)
+	b = appendUvarint(b, uint64(len(infs)))
+	for i := range infs {
+		inf := &infs[i]
+		b = append(b, byte(inf.Registry), byte(inf.Category))
+		b = appendU32(b, uint32(inf.Prefix.Base))
+		b = append(b, inf.Prefix.Len)
+		b = appendU32(b, uint32(inf.Root.Base))
+		b = append(b, inf.Root.Len)
+		b = appendStr(b, inf.HolderOrg)
+		b = appendStr(b, inf.NetName)
+		b = appendStr(b, inf.Country)
+		b = appendU32s(b, inf.RootASNs)
+		b = appendU32s(b, inf.RootOrigins)
+		b = appendU32s(b, inf.LeafOrigins)
+		b = appendStrs(b, inf.Facilitators)
+	}
+	return b
+}
+
+func encodeByASN(byASN map[uint32][]int32) []byte {
+	asns := make([]uint32, 0, len(byASN))
+	for asn := range byASN {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	b := make([]byte, 0, 8*len(asns)+16)
+	b = appendUvarint(b, uint64(len(asns)))
+	for _, asn := range asns {
+		list := byASN[asn]
+		b = appendUvarint(b, uint64(asn))
+		b = appendUvarint(b, uint64(len(list)))
+		for _, idx := range list {
+			b = appendUvarint(b, uint64(uint32(idx)))
+		}
+	}
+	return b
+}
+
+func encodeReports(reports []*diag.LoadReport) []byte {
+	b := make([]byte, 0, 64*len(reports)+16)
+	n := 0
+	for _, r := range reports {
+		if r != nil {
+			n++
+		}
+	}
+	b = appendUvarint(b, uint64(n))
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		b = appendStr(b, r.Source)
+		b = appendStr(b, r.File)
+		b = appendUvarint(b, uint64(r.Parsed))
+		b = appendUvarint(b, uint64(r.Skipped))
+		b = appendU64(b, uint64(r.Bytes))
+		var flags byte
+		if r.Missing {
+			flags |= 1
+		}
+		if r.Truncated {
+			flags |= 2
+		}
+		b = append(b, flags)
+	}
+	return b
+}
+
+// Encode serializes a serving snapshot into the versioned binary form.
+// The encoding reads only the snapshot's immutable serving indexes —
+// the flat arena, the LPM node array, the ASN index, the pre-rendered
+// Table 1, and the load accounting — so a decoded snapshot answers
+// every query byte-identically without re-running inference or any
+// index build. gen is the generation number stamped into the header.
+func Encode(snap *serve.Snapshot, gen uint64) []byte {
+	sections := []struct {
+		id      uint32
+		payload []byte
+	}{
+		{secMeta, encodeMeta(snap)},
+		{secArena, encodeArena(snap.FlatInferences())},
+		{secLPM, snap.LPM().AppendBinary(nil)},
+		{secByASN, encodeByASN(snap.ByASN())},
+		{secTable1, snap.Table1()},
+		{secReports, encodeReports(snap.Reports)},
+	}
+
+	total := headerSize + len(sections)*sectionEntrySize
+	off := total
+	for _, s := range sections {
+		total += len(s.payload)
+	}
+	total += 4 // whole-file CRC
+
+	b := make([]byte, 0, total)
+	b = append(b, magic...)
+	b = appendU32(b, FormatVersion)
+	b = appendU64(b, gen)
+	b = appendU32(b, uint32(len(sections)))
+	for _, s := range sections {
+		b = appendU32(b, s.id)
+		b = appendU64(b, uint64(off))
+		b = appendU64(b, uint64(len(s.payload)))
+		b = appendU32(b, crc32.Checksum(s.payload, castagnoli))
+		off += len(s.payload)
+	}
+	for _, s := range sections {
+		b = append(b, s.payload...)
+	}
+	b = appendU32(b, crc32.Checksum(b, castagnoli))
+	return b
+}
+
+// ---- decoding ----
+
+// reader is a bounds-checked little-endian cursor over one section's
+// payload. The first failure sticks; every later read returns zero
+// values, so decode loops stay linear and the single error carries the
+// first (root-cause) rejection.
+type reader struct {
+	data []byte
+	off  int
+	sec  string
+	err  *CorruptError
+}
+
+func (r *reader) fail(reason string, err error) {
+	if r.err == nil {
+		r.err = corrupt(r.sec, reason, err)
+	}
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.off }
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.remaining() < n {
+		r.fail(fmt.Sprintf("need %d bytes, have %d", n, r.remaining()), ErrTruncated)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad varint", ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads an element count and rejects it unless the remaining
+// bytes could plausibly hold that many elements of at least elemMin
+// bytes each — the allocation-bomb guard.
+func (r *reader) count(what string, elemMin int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	if v > uint64(r.remaining()/elemMin) {
+		r.fail(fmt.Sprintf("%s count %d exceeds remaining payload", what, v), ErrTruncated)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) str(intern map[string]string) string {
+	n := r.count("string length", 1)
+	b := r.take(n)
+	if b == nil || len(b) == 0 {
+		return ""
+	}
+	if intern != nil {
+		if s, ok := intern[string(b)]; ok {
+			return s
+		}
+		s := string(b)
+		intern[s] = s
+		return s
+	}
+	return string(b)
+}
+
+func (r *reader) u32list() []uint32 {
+	n := r.count("u32 list", 1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		v := r.uvarint()
+		if v > 0xFFFFFFFF {
+			r.fail(fmt.Sprintf("u32 list element %d overflows", v), nil)
+			return nil
+		}
+		out[i] = uint32(v)
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+func (r *reader) strlist(intern map[string]string) []string {
+	n := r.count("string list", 1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.str(intern)
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// done rejects trailing garbage: a valid section is consumed exactly.
+func (r *reader) done() {
+	if r.err == nil && r.remaining() != 0 {
+		r.fail(fmt.Sprintf("%d trailing bytes", r.remaining()), nil)
+	}
+}
+
+type decodedMeta struct {
+	builtAt         time.Time
+	dir             string
+	strict          bool
+	totalBGP        int
+	routedSpace     uint64
+	arenaLen        int
+	skippedAnalyses []string
+}
+
+func decodeMeta(payload []byte) (decodedMeta, *CorruptError) {
+	r := &reader{data: payload, sec: "meta"}
+	var m decodedMeta
+	builtAt := int64(r.u64())
+	m.totalBGP = int(r.uvarint())
+	m.routedSpace = r.u64()
+	m.arenaLen = int(r.uvarint())
+	m.strict = r.u8() == 1
+	m.dir = r.str(nil)
+	m.skippedAnalyses = r.strlist(nil)
+	r.done()
+	if r.err != nil {
+		return decodedMeta{}, r.err
+	}
+	if builtAt != 0 {
+		m.builtAt = time.Unix(0, builtAt)
+	}
+	return m, nil
+}
+
+func decodeArena(payload []byte) ([]core.Inference, *CorruptError) {
+	r := &reader{data: payload, sec: "arena"}
+	// One inference is at least reg+cat+prefix+root+3 empty strings+4
+	// empty lists = 19 bytes on the wire.
+	n := r.count("inference", 19)
+	if r.err != nil {
+		return nil, r.err
+	}
+	intern := make(map[string]string)
+	infs := make([]core.Inference, n)
+	for i := range infs {
+		inf := &infs[i]
+		inf.Registry = whois.Registry(r.u8())
+		inf.Category = core.Category(r.u8())
+		inf.Prefix = netutil.Prefix{Base: netutil.Addr(r.u32()), Len: r.u8()}
+		inf.Root = netutil.Prefix{Base: netutil.Addr(r.u32()), Len: r.u8()}
+		inf.HolderOrg = r.str(intern)
+		inf.NetName = r.str(intern)
+		inf.Country = r.str(intern)
+		inf.RootASNs = r.u32list()
+		inf.RootOrigins = r.u32list()
+		inf.LeafOrigins = r.u32list()
+		inf.Facilitators = r.strlist(intern)
+		if r.err != nil {
+			return nil, r.err
+		}
+		if !inf.Prefix.Canonical() || !inf.Root.Canonical() {
+			r.fail(fmt.Sprintf("inference %d has a non-canonical prefix", i), nil)
+			return nil, r.err
+		}
+	}
+	r.done()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return infs, nil
+}
+
+func decodeByASN(payload []byte, arenaLen int) (map[uint32][]int32, *CorruptError) {
+	r := &reader{data: payload, sec: "byasn"}
+	n := r.count("ASN entry", 3)
+	if r.err != nil {
+		return nil, r.err
+	}
+	byASN := make(map[uint32][]int32, n)
+	for i := 0; i < n; i++ {
+		asn := r.uvarint()
+		if asn > 0xFFFFFFFF {
+			r.fail("ASN overflows u32", nil)
+			return nil, r.err
+		}
+		ln := r.count("index list", 1)
+		if r.err != nil {
+			return nil, r.err
+		}
+		list := make([]int32, ln)
+		for j := range list {
+			idx := r.uvarint()
+			if idx >= uint64(arenaLen) {
+				r.fail(fmt.Sprintf("ASN %d index %d outside arena of %d", asn, idx, arenaLen), nil)
+				return nil, r.err
+			}
+			list[j] = int32(idx)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if _, dup := byASN[uint32(asn)]; dup {
+			r.fail(fmt.Sprintf("duplicate ASN %d", asn), nil)
+			return nil, r.err
+		}
+		byASN[uint32(asn)] = list
+	}
+	r.done()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return byASN, nil
+}
+
+func decodeReports(payload []byte) ([]*diag.LoadReport, *CorruptError) {
+	r := &reader{data: payload, sec: "reports"}
+	n := r.count("report", 13)
+	if r.err != nil {
+		return nil, r.err
+	}
+	var reports []*diag.LoadReport
+	for i := 0; i < n; i++ {
+		rep := &diag.LoadReport{
+			Source:  r.str(nil),
+			File:    r.str(nil),
+			Parsed:  int(r.uvarint()),
+			Skipped: int(r.uvarint()),
+			Bytes:   int64(r.u64()),
+		}
+		flags := r.u8()
+		rep.Missing = flags&1 != 0
+		rep.Truncated = flags&2 != 0
+		if r.err != nil {
+			return nil, r.err
+		}
+		reports = append(reports, rep)
+	}
+	r.done()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return reports, nil
+}
+
+// header validates the fixed header and whole-file checksum, returning
+// the generation and the section table region. Shared by Decode and
+// ReadGeneration so both reject non-snapshots identically.
+func header(data []byte) (gen uint64, nsect int, err *CorruptError) {
+	if len(data) < headerSize+4 {
+		return 0, 0, corrupt("header", fmt.Sprintf("file of %d bytes is shorter than any snapshot", len(data)), ErrTruncated)
+	}
+	if string(data[:8]) != magic {
+		return 0, 0, corrupt("header", "not a snapshot file", ErrBadMagic)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != FormatVersion {
+		return 0, 0, corrupt("header", fmt.Sprintf("format version %d, want %d", v, FormatVersion), ErrBadVersion)
+	}
+	gen = binary.LittleEndian.Uint64(data[12:20])
+	n := binary.LittleEndian.Uint32(data[20:24])
+	if n == 0 || n > maxSections {
+		return 0, 0, corrupt("header", fmt.Sprintf("implausible section count %d", n), nil)
+	}
+	return gen, int(n), nil
+}
+
+// Decode validates and decodes a snapshot file, returning a fully
+// servable snapshot and its generation. The returned snapshot carries
+// Delta.Mode == serve.ModeSnapshot so reload accounting distinguishes
+// restored generations from full and delta builds.
+//
+// Decode never returns a partial snapshot: any magic, version,
+// checksum, bounds, or structural failure yields (nil, 0, err) with
+// errors.Is(err, ErrCorrupt) true.
+func Decode(data []byte) (*serve.Snapshot, uint64, error) {
+	gen, nsect, cerr := header(data)
+	if cerr != nil {
+		return nil, 0, cerr
+	}
+	body := len(data) - 4
+	fileCRC := binary.LittleEndian.Uint32(data[body:])
+	if crc32.Checksum(data[:body], castagnoli) != fileCRC {
+		return nil, 0, corrupt("file", "whole-file CRC mismatch", ErrChecksum)
+	}
+
+	tableEnd := headerSize + nsect*sectionEntrySize
+	if tableEnd > body {
+		return nil, 0, corrupt("header", "section table extends past file", ErrTruncated)
+	}
+	payloads := make(map[uint32][]byte, nsect)
+	for i := 0; i < nsect; i++ {
+		e := data[headerSize+i*sectionEntrySize:]
+		id := binary.LittleEndian.Uint32(e[0:4])
+		off := binary.LittleEndian.Uint64(e[4:12])
+		ln := binary.LittleEndian.Uint64(e[12:20])
+		crc := binary.LittleEndian.Uint32(e[20:24])
+		if off < uint64(tableEnd) || off > uint64(body) || ln > uint64(body)-off {
+			return nil, 0, corrupt("header", fmt.Sprintf("section %d extends past file", id), ErrTruncated)
+		}
+		if _, dup := payloads[id]; dup {
+			return nil, 0, corrupt("header", fmt.Sprintf("duplicate section %d", id), nil)
+		}
+		payload := data[off : off+ln]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return nil, 0, corrupt(sectionName(id), "section CRC mismatch", ErrChecksum)
+		}
+		payloads[id] = payload
+	}
+	for _, id := range []uint32{secMeta, secArena, secLPM, secByASN, secTable1, secReports} {
+		if _, ok := payloads[id]; !ok {
+			return nil, 0, corrupt(sectionName(id), "section missing", nil)
+		}
+	}
+
+	meta, cerr := decodeMeta(payloads[secMeta])
+	if cerr != nil {
+		return nil, 0, cerr
+	}
+	infs, cerr := decodeArena(payloads[secArena])
+	if cerr != nil {
+		return nil, 0, cerr
+	}
+	if len(infs) != meta.arenaLen {
+		return nil, 0, corrupt("arena", fmt.Sprintf("arena holds %d inferences, meta says %d", len(infs), meta.arenaLen), nil)
+	}
+	lpm, err := netutil.DecodeLPM(payloads[secLPM], len(infs))
+	if err != nil {
+		return nil, 0, corrupt("lpm", "index rejected", err)
+	}
+	byASN, cerr := decodeByASN(payloads[secByASN], len(infs))
+	if cerr != nil {
+		return nil, 0, cerr
+	}
+	reports, cerr := decodeReports(payloads[secReports])
+	if cerr != nil {
+		return nil, 0, cerr
+	}
+
+	res, err := core.ResultFromFlat(infs, meta.totalBGP, meta.routedSpace)
+	if err != nil {
+		return nil, 0, corrupt("arena", "result rejected", err)
+	}
+	snap, err := serve.Restore(serve.Restored{
+		BuiltAt:         meta.builtAt,
+		Dir:             meta.dir,
+		Strict:          meta.strict,
+		Result:          res,
+		LPM:             lpm,
+		ByASN:           byASN,
+		Table1:          payloads[secTable1],
+		Reports:         reports,
+		SkippedAnalyses: meta.skippedAnalyses,
+		Delta:           &serve.DeltaInfo{Mode: serve.ModeSnapshot},
+	})
+	if err != nil {
+		return nil, 0, corrupt("snapshot", "restore rejected", err)
+	}
+	return snap, gen, nil
+}
+
+// ReadGeneration extracts the generation number from an encoded
+// snapshot after validating the header and whole-file checksum — the
+// cheap integrity check a store or fetcher runs before committing to a
+// full decode.
+func ReadGeneration(data []byte) (uint64, error) {
+	gen, _, cerr := header(data)
+	if cerr != nil {
+		return 0, cerr
+	}
+	body := len(data) - 4
+	if crc32.Checksum(data[:body], castagnoli) != binary.LittleEndian.Uint32(data[body:]) {
+		return 0, corrupt("file", "whole-file CRC mismatch", ErrChecksum)
+	}
+	return gen, nil
+}
+
+// SectionRange locates one section's payload inside an encoded
+// snapshot. This is the fault-injection surface: corruption tests use
+// it to flip bits inside every individual section and assert each one
+// is rejected.
+type SectionRange struct {
+	Name string
+	Off  int
+	Len  int
+}
+
+// SectionRanges parses an intact snapshot's section table and returns
+// every section's payload range within the file.
+func SectionRanges(data []byte) ([]SectionRange, error) {
+	_, nsect, cerr := header(data)
+	if cerr != nil {
+		return nil, cerr
+	}
+	body := len(data) - 4
+	tableEnd := headerSize + nsect*sectionEntrySize
+	if tableEnd > body {
+		return nil, corrupt("header", "section table extends past file", ErrTruncated)
+	}
+	out := make([]SectionRange, 0, nsect)
+	for i := 0; i < nsect; i++ {
+		e := data[headerSize+i*sectionEntrySize:]
+		id := binary.LittleEndian.Uint32(e[0:4])
+		off := binary.LittleEndian.Uint64(e[4:12])
+		ln := binary.LittleEndian.Uint64(e[12:20])
+		if off < uint64(tableEnd) || off > uint64(body) || ln > uint64(body)-off {
+			return nil, corrupt("header", fmt.Sprintf("section %d extends past file", id), ErrTruncated)
+		}
+		out = append(out, SectionRange{Name: sectionName(id), Off: int(off), Len: int(ln)})
+	}
+	return out, nil
+}
+
+func sectionName(id uint32) string {
+	switch id {
+	case secMeta:
+		return "meta"
+	case secArena:
+		return "arena"
+	case secLPM:
+		return "lpm"
+	case secByASN:
+		return "byasn"
+	case secTable1:
+		return "table1"
+	case secReports:
+		return "reports"
+	}
+	return fmt.Sprintf("section-%d", id)
+}

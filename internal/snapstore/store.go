@@ -1,0 +1,324 @@
+package snapstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ipleasing/internal/serve"
+	"ipleasing/internal/telemetry"
+)
+
+// manifestName is the pointer file naming the current generation. It is
+// a hint, not the source of truth: recovery scans every generation file
+// and validates contents, so a torn or stale manifest costs at most a
+// few extra decode attempts, never a wrong snapshot.
+const manifestName = "MANIFEST"
+
+// ErrNoSnapshot reports a store directory holding no loadable
+// generation — empty, or every candidate rejected as corrupt.
+var ErrNoSnapshot = errors.New("snapstore: no loadable snapshot generation")
+
+// Metrics holds the persistence and replication instruments. A nil
+// *Metrics discards every observation, so wiring telemetry is optional
+// everywhere in this package.
+type Metrics struct {
+	publish *telemetry.CounterVec
+	load    *telemetry.CounterVec
+	fetch   *telemetry.CounterVec
+	bytes   *telemetry.Gauge
+	lag     *telemetry.Gauge
+}
+
+// NewMetrics registers the snapshot instrument families on a registry:
+// snapshot_publish_total{outcome}, snapshot_load_total{outcome},
+// replica_fetch_total{outcome}, snapshot_bytes, and
+// replica_generation_lag.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		publish: r.CounterVec("snapshot_publish_total",
+			"Snapshot store publish attempts by outcome.", "outcome"),
+		load: r.CounterVec("snapshot_load_total",
+			"Snapshot store load attempts by outcome.", "outcome"),
+		fetch: r.CounterVec("replica_fetch_total",
+			"Replica snapshot fetch attempts by outcome.", "outcome"),
+		bytes: r.Gauge("snapshot_bytes",
+			"Size in bytes of the most recently published or loaded snapshot."),
+		lag: r.Gauge("replica_generation_lag",
+			"Publisher generation minus the replica's serving generation."),
+	}
+}
+
+func (m *Metrics) observePublish(outcome string) {
+	if m != nil {
+		m.publish.With(outcome).Inc()
+	}
+}
+
+func (m *Metrics) observeLoad(outcome string) {
+	if m != nil {
+		m.load.With(outcome).Inc()
+	}
+}
+
+func (m *Metrics) observeFetch(outcome string) {
+	if m != nil {
+		m.fetch.With(outcome).Inc()
+	}
+}
+
+func (m *Metrics) observeBytes(n int) {
+	if m != nil {
+		m.bytes.Set(float64(n))
+	}
+}
+
+// ObserveLag sets the replica_generation_lag gauge; the replica poll
+// loop (cmd/leased) refreshes it on every probe and fetch.
+func (m *Metrics) ObserveLag(lag float64) {
+	if m != nil {
+		m.lag.Set(lag)
+	}
+}
+
+// StoreOptions configures Open. The zero value keeps 4 generations and
+// observes nothing.
+type StoreOptions struct {
+	// Keep bounds retained generations; older ones are pruned after each
+	// publish. 0 means 4; negative keeps everything.
+	Keep    int
+	Logger  *telemetry.Logger
+	Metrics *Metrics
+}
+
+// Store is a crash-safe on-disk snapshot store: one directory holding
+// generation files gen-<hex>.snap plus a MANIFEST pointer. Publication
+// is write-temp / fsync / rename / fsync-dir, so a generation either
+// exists completely or not at all; a crash at any instant leaves the
+// previous generations untouched and recovery scans newest-first past
+// anything torn.
+type Store struct {
+	dir     string
+	keep    int
+	log     *telemetry.Logger
+	metrics *Metrics
+}
+
+// Open prepares a snapshot store rooted at dir, creating the directory
+// if needed.
+func Open(dir string, opts StoreOptions) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapstore: open %s: %w", dir, err)
+	}
+	keep := opts.Keep
+	if keep == 0 {
+		keep = 4
+	}
+	return &Store{dir: dir, keep: keep, log: opts.Logger, metrics: opts.Metrics}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+func genFileName(gen uint64) string { return fmt.Sprintf("gen-%016x.snap", gen) }
+
+// parseGenName extracts the generation from a gen-<hex>.snap filename.
+func parseGenName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "gen-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "gen-"), ".snap")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// Publish encodes a serving snapshot as generation gen and durably
+// publishes it.
+func (st *Store) Publish(snap *serve.Snapshot, gen uint64) error {
+	return st.PublishEncoded(Encode(snap, gen))
+}
+
+// PublishEncoded durably publishes an already-encoded snapshot under
+// the generation stamped in its header: validate, write to a temp file,
+// fsync, rename into place, fsync the directory, then repoint MANIFEST
+// the same way and prune old generations. A crash between any two steps
+// leaves the store loadable — at worst the new generation exists
+// without a manifest pointing at it, which recovery's scan finds
+// anyway.
+func (st *Store) PublishEncoded(data []byte) error {
+	gen, err := ReadGeneration(data)
+	if err != nil {
+		st.metrics.observePublish("error")
+		return fmt.Errorf("snapstore: refusing to publish: %w", err)
+	}
+	name := genFileName(gen)
+	if err := st.writeAtomic(name, data); err != nil {
+		st.metrics.observePublish("error")
+		st.log.Error("snapshot publish failed", "generation", gen, "err", err)
+		return err
+	}
+	// The generation file is durable; a manifest failure from here on
+	// degrades recovery to the scan path but must not fail the publish.
+	if err := st.writeAtomic(manifestName, []byte(name+"\n")); err != nil {
+		st.log.Warn("snapshot manifest update failed", "generation", gen, "err", err)
+	}
+	st.prune(gen)
+	st.metrics.observePublish("ok")
+	st.metrics.observeBytes(len(data))
+	st.log.Info("snapshot published", "generation", gen, "bytes", len(data), "file", name)
+	return nil
+}
+
+// writeAtomic writes name under the store directory via a unique temp
+// file, fsync, and atomic rename, then fsyncs the directory so the
+// rename itself is durable.
+func (st *Store) writeAtomic(name string, data []byte) error {
+	f, err := os.CreateTemp(st.dir, ".tmp-"+name+"-*")
+	if err != nil {
+		return fmt.Errorf("snapstore: create temp for %s: %w", name, err)
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op after a successful rename
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("snapstore: write %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("snapstore: fsync %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("snapstore: close %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(st.dir, name)); err != nil {
+		return fmt.Errorf("snapstore: rename %s: %w", name, err)
+	}
+	return st.syncDir()
+}
+
+func (st *Store) syncDir() error {
+	d, err := os.Open(st.dir)
+	if err != nil {
+		return fmt.Errorf("snapstore: open dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("snapstore: fsync dir: %w", err)
+	}
+	return nil
+}
+
+// generations lists generation files present on disk, newest first,
+// ordered by the generation encoded in the filename. Stray temp files
+// and unparseable names are ignored. The name is not trusted for
+// anything beyond ordering — loading decodes and verifies contents.
+func (st *Store) generations() ([]uint64, error) {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapstore: read dir: %w", err)
+	}
+	var gens []uint64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if gen, ok := parseGenName(e.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	return gens, nil
+}
+
+// Generations lists on-disk generation numbers, newest first.
+func (st *Store) Generations() ([]uint64, error) { return st.generations() }
+
+// NewestGeneration returns the highest generation number present on
+// disk (loadable or not — callers use it to seed a monotonic counter),
+// and whether any generation file exists.
+func (st *Store) NewestGeneration() (uint64, bool) {
+	gens, err := st.generations()
+	if err != nil || len(gens) == 0 {
+		return 0, false
+	}
+	return gens[0], true
+}
+
+// prune removes generations beyond the retention bound, never the one
+// just published. Prune failures are logged, not returned: losing an
+// old generation to a full disk must not fail a successful publish.
+func (st *Store) prune(current uint64) {
+	if st.keep < 0 {
+		return
+	}
+	gens, err := st.generations()
+	if err != nil {
+		st.log.Warn("snapshot prune skipped", "err", err)
+		return
+	}
+	kept := 0
+	for _, gen := range gens {
+		if gen == current || kept < st.keep {
+			kept++
+			continue
+		}
+		if err := os.Remove(filepath.Join(st.dir, genFileName(gen))); err != nil {
+			st.log.Warn("snapshot prune failed", "generation", gen, "err", err)
+		} else {
+			st.log.Info("snapshot pruned", "generation", gen)
+		}
+	}
+}
+
+// LoadCurrent loads the newest valid generation: every generation file
+// is tried newest-first, and any torn, truncated, bit-flipped, or
+// wrong-version candidate is rejected by its checksums and skipped —
+// falling back generation by generation until one validates. Returns
+// ErrNoSnapshot when nothing on disk is loadable (the caller falls back
+// to a full dataset load).
+func (st *Store) LoadCurrent() (*serve.Snapshot, uint64, error) {
+	snap, gen, _, err := st.LoadCurrentEncoded()
+	return snap, gen, err
+}
+
+// LoadCurrentEncoded is LoadCurrent returning also the raw encoded
+// bytes of the loaded generation, so a publisher cold-starting from its
+// own store can serve /snapshot/current without re-encoding.
+func (st *Store) LoadCurrentEncoded() (*serve.Snapshot, uint64, []byte, error) {
+	gens, err := st.generations()
+	if err != nil {
+		st.metrics.observeLoad("error")
+		return nil, 0, nil, err
+	}
+	for _, gen := range gens {
+		name := genFileName(gen)
+		data, err := os.ReadFile(filepath.Join(st.dir, name))
+		if err != nil {
+			st.metrics.observeLoad("error")
+			st.log.Warn("snapshot unreadable, trying older generation", "file", name, "err", err)
+			continue
+		}
+		snap, fileGen, err := Decode(data)
+		if err != nil {
+			st.metrics.observeLoad("corrupt")
+			st.log.Warn("snapshot rejected, trying older generation", "file", name, "err", err)
+			continue
+		}
+		st.metrics.observeLoad("ok")
+		st.metrics.observeBytes(len(data))
+		st.log.Info("snapshot loaded", "generation", fileGen, "bytes", len(data), "file", name)
+		return snap, fileGen, data, nil
+	}
+	st.metrics.observeLoad("missing")
+	return nil, 0, nil, fmt.Errorf("%w in %s (%d candidates)", ErrNoSnapshot, st.dir, len(gens))
+}

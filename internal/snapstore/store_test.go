@@ -1,0 +1,140 @@
+package snapstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ipleasing/internal/telemetry"
+)
+
+func openTestStore(t *testing.T, opts StoreOptions) *Store {
+	t.Helper()
+	st, err := Open(filepath.Join(t.TempDir(), "snapshots"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStorePublishLoadRoundTrip(t *testing.T) {
+	snap := testSnapshot(t)
+	st := openTestStore(t, StoreOptions{})
+
+	if _, _, err := st.LoadCurrent(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty store: %v, want ErrNoSnapshot", err)
+	}
+	if err := st.Publish(snap, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Publish(snap, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	got, gen, err := st.LoadCurrent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("loaded generation %d, want 2", gen)
+	}
+	assertServesIdentical(t, "store round trip", got, snap)
+
+	if newest, ok := st.NewestGeneration(); !ok || newest != 2 {
+		t.Fatalf("NewestGeneration = %d, %v; want 2, true", newest, ok)
+	}
+	manifest, err := os.ReadFile(filepath.Join(st.Dir(), "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(manifest) != "gen-0000000000000002.snap\n" {
+		t.Fatalf("MANIFEST = %q", manifest)
+	}
+	// No temp litter after successful publishes.
+	ents, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if _, ok := parseGenName(e.Name()); !ok && e.Name() != "MANIFEST" {
+			t.Fatalf("unexpected file %q in store", e.Name())
+		}
+	}
+}
+
+func TestStoreRetention(t *testing.T) {
+	snap := testSnapshot(t)
+	st := openTestStore(t, StoreOptions{Keep: 2})
+	for gen := uint64(1); gen <= 5; gen++ {
+		if err := st.Publish(snap, gen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0] != 5 || gens[1] != 4 {
+		t.Fatalf("retained generations = %v, want [5 4]", gens)
+	}
+}
+
+func TestStoreAllGenerationsCorrupt(t *testing.T) {
+	snap := testSnapshot(t)
+	st := openTestStore(t, StoreOptions{})
+	for gen := uint64(1); gen <= 3; gen++ {
+		data := Encode(snap, gen)
+		data[len(data)/2] ^= 0x40
+		path := filepath.Join(st.Dir(), genFileName(gen))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := st.LoadCurrent(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("all-corrupt store: %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestStoreRefusesToPublishCorruptBytes(t *testing.T) {
+	st := openTestStore(t, StoreOptions{})
+	if err := st.PublishEncoded([]byte("definitely not a snapshot")); err == nil {
+		t.Fatal("garbage accepted for publication")
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 0 {
+		t.Fatalf("refused publish left generations: %v", gens)
+	}
+}
+
+func TestStoreMetricsOutcomes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	snap := testSnapshot(t)
+	st, err := Open(filepath.Join(t.TempDir(), "s"), StoreOptions{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Publish(snap, 1); err != nil {
+		t.Fatal(err)
+	}
+	st.PublishEncoded([]byte("junk")) // counted as error
+	if _, _, err := st.LoadCurrent(); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.publish.With("ok").Value(); v != 1 {
+		t.Errorf("snapshot_publish_total{outcome=ok} = %d, want 1", v)
+	}
+	if v := m.publish.With("error").Value(); v != 1 {
+		t.Errorf("snapshot_publish_total{outcome=error} = %d, want 1", v)
+	}
+	if v := m.load.With("ok").Value(); v != 1 {
+		t.Errorf("snapshot_load_total{outcome=ok} = %d, want 1", v)
+	}
+	if m.bytes.Value() == 0 {
+		t.Error("snapshot_bytes gauge is zero after publish and load")
+	}
+}

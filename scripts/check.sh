@@ -28,8 +28,17 @@ fi
 # the load-diagnostics collector, and the telemetry registry are all
 # about cross-goroutine correctness, so running them without the race
 # detector proves little.
-echo "== go test -race ./internal/serve ./internal/par ./internal/diag ./internal/telemetry"
-go test -race ./internal/serve ./internal/par ./internal/diag ./internal/telemetry
+echo "== go test -race ./internal/serve ./internal/par ./internal/diag ./internal/telemetry ./internal/snapstore"
+go test -race ./internal/serve ./internal/par ./internal/diag ./internal/telemetry ./internal/snapstore
+
+# The snapshot persistence layer is race-gated for the same reason, and
+# its durability claims are re-proven here end to end: the SIGKILL
+# matrix (kill a publisher mid-write at seeded offsets, then cold-start)
+# lives in ./internal/snapstore above; the fault-injection matrix
+# (per-section bit flips, truncation, garbage, manifest rot) and the
+# serve-identical decode gate run at the repo root.
+echo "== snapshot fault matrix + codec equivalence (race-gated)"
+go test -race -run 'TestSnapshotFaultMatrix|TestStoreFallsBackThroughFaultMatrix|TestStoreSurvivesManifestRot|TestSnapshotCodecServesIdenticalBytes|TestColdStartRunsZeroInference' .
 
 echo "== fault-injection smoke (3 seeds: lenient recovers, strict fails)"
 go test -run 'TestFaultInjectionMatrix|TestCorruptDeterministic' .
@@ -44,10 +53,15 @@ go test -race -run 'TestDeltaEquivalence|TestDeltaZeroChurnAliases|TestDeltaRelo
 echo "== fuzz seed corpora (go test -run Fuzz)"
 go test -run 'Fuzz' ./internal/mrt ./internal/arinwhois ./internal/lacnicwhois
 
-# bench_val OUT NAME FIELD pulls one column of a named benchmark line
-# ($3 = ns/op, $7 = allocs/op with -benchmem).
+# bench_val OUT NAME UNIT pulls the value reported under a unit column
+# (ns/op, B/op, allocs/op) of a named benchmark line. Matching on the
+# unit token, not the column position, keeps the helpers correct for
+# benchmarks that add columns (SetBytes inserts MB/s before B/op).
 bench_val() {
-	printf '%s\n' "$1" | awk -v n="$2" -v f="$3" '$1 ~ ("^" n "(-[0-9]+)?$") { print $f; exit }'
+	printf '%s\n' "$1" | awk -v n="$2" -v u="$3" '
+		$1 ~ ("^" n "(-[0-9]+)?$") {
+			for (i = 2; i <= NF; i++) if ($i == u) { print $(i-1); exit }
+		}'
 }
 
 # bench_gate FILE NAME NEW_NS NEW_ALLOCS fails the run when the fresh
@@ -99,10 +113,16 @@ bench_json() {
 	/^Benchmark/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)
+		ns = ""; bytes = ""; allocs = ""
+		for (i = 2; i <= NF; i++) {
+			if ($i == "ns/op") ns = $(i-1)
+			else if ($i == "B/op") bytes = $(i-1)
+			else if ($i == "allocs/op") allocs = $(i-1)
+		}
 		if (!first) printf ",\n"
 		first = 0
 		printf "  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-			name, $2, $3, $5, $7
+			name, $2, ns, bytes, allocs
 	}
 	END { if (!first) printf "\n"; print "}" }
 	'
@@ -121,15 +141,15 @@ core_out=$(printf '%s\n%s' "$bench_out" "$infer_out" | bench_min)
 
 echo "== core bench regression gate (vs committed BENCH_core.json)"
 for b in BenchmarkTable1 BenchmarkLoadDataset BenchmarkInferRegion BenchmarkFullReload BenchmarkDeltaReload; do
-	bench_gate BENCH_core.json "$b" "$(bench_val "$core_out" "$b" 3)" "$(bench_val "$core_out" "$b" 7)"
+	bench_gate BENCH_core.json "$b" "$(bench_val "$core_out" "$b" ns/op)" "$(bench_val "$core_out" "$b" allocs/op)"
 done
 
 # Hard gate on the point of the delta path: an incremental reload at 1%
 # churn must beat the full parse+infer+index reload by at least 5x ns/op
 # (the ISSUE's acceptance bar). Unlike the drift gate above this is
 # absolute — no baseline file can relax it.
-full_ns=$(bench_val "$core_out" BenchmarkFullReload 3)
-delta_ns=$(bench_val "$core_out" BenchmarkDeltaReload 3)
+full_ns=$(bench_val "$core_out" BenchmarkFullReload ns/op)
+delta_ns=$(bench_val "$core_out" BenchmarkDeltaReload ns/op)
 [ -n "$full_ns" ] && [ -n "$delta_ns" ] || {
 	echo "FAIL: reload benchmark pair missing from bench output"
 	exit 1
@@ -143,6 +163,31 @@ echo "  ok: delta reload ${delta_ns} ns/op vs full reload ${full_ns} ns/op (>=5x
 printf '%s\n' "$core_out" | bench_json > BENCH_core.json
 echo "== wrote BENCH_core.json"
 cat BENCH_core.json
+
+echo "== snapshot persistence benchmarks (encode / decode / cold start)"
+snap_out=$(go test -run '^$' -bench 'BenchmarkSnapshotEncode$|BenchmarkSnapshotDecode$|BenchmarkSnapshotColdStart$' -benchmem -benchtime 1s -count 3 . | bench_min)
+echo "$snap_out"
+
+echo "== snapshot bench regression gate (vs committed BENCH_snapshot.json)"
+for b in BenchmarkSnapshotEncode BenchmarkSnapshotDecode BenchmarkSnapshotColdStart; do
+	bench_gate BENCH_snapshot.json "$b" "$(bench_val "$snap_out" "$b" ns/op)" "$(bench_val "$snap_out" "$b" allocs/op)"
+done
+
+# Hard gate on the point of persistence: a cold start from the snapshot
+# store (scan + read + decode + validate) must beat the full
+# parse+infer+index reload it replaces by at least 5x ns/op. Absolute,
+# like the delta gate above — no baseline file can relax it.
+cold_ns=$(bench_val "$snap_out" BenchmarkSnapshotColdStart ns/op)
+[ -n "$cold_ns" ] || { echo "FAIL: BenchmarkSnapshotColdStart missing from bench output"; exit 1; }
+awk -v c="$cold_ns" -v f="$full_ns" 'BEGIN { exit !(c * 5 <= f) }' || {
+	echo "FAIL: snapshot cold start not 5x faster than full reload: ${cold_ns} ns/op vs ${full_ns} ns/op"
+	exit 1
+}
+echo "  ok: snapshot cold start ${cold_ns} ns/op vs full reload ${full_ns} ns/op (>=5x)"
+
+printf '%s\n' "$snap_out" | bench_json > BENCH_snapshot.json
+echo "== wrote BENCH_snapshot.json"
+cat BENCH_snapshot.json
 
 # Shard-scaling display run: same benchmark at 1, 4, and 8 workers.
 # Display-only — the JSON keys strip the -cpu suffix, so recording these
@@ -163,7 +208,7 @@ serve_out=$(printf '%s\n%s' "$addr_out" "$batch_out" | bench_min)
 
 # The single-address lookup is the daemon's hottest path; it must stay
 # allocation-free no matter what the 25% drift gate would tolerate.
-lookup_allocs=$(bench_val "$serve_out" BenchmarkLookupAddr 7)
+lookup_allocs=$(bench_val "$serve_out" BenchmarkLookupAddr allocs/op)
 [ "$lookup_allocs" = "0" ] || {
 	echo "FAIL: BenchmarkLookupAddr allocates ($lookup_allocs allocs/op, want 0)"
 	exit 1
@@ -171,7 +216,7 @@ lookup_allocs=$(bench_val "$serve_out" BenchmarkLookupAddr 7)
 
 echo "== serve bench regression gate (vs committed BENCH_serve.json)"
 for b in BenchmarkLookupAddr BenchmarkLookupAddrMapWalk BenchmarkLookupBatch; do
-	bench_gate BENCH_serve.json "$b" "$(bench_val "$serve_out" "$b" 3)" "$(bench_val "$serve_out" "$b" 7)"
+	bench_gate BENCH_serve.json "$b" "$(bench_val "$serve_out" "$b" ns/op)" "$(bench_val "$serve_out" "$b" allocs/op)"
 done
 
 printf '%s\n' "$serve_out" | bench_json > BENCH_serve.json
@@ -185,10 +230,11 @@ echo "== telemetry: /metrics scrape smoke"
 # server routes -> diag bridge -> exposition.
 scrape_dir=$(mktemp -d)
 leased_pid=""
-trap '[ -n "$leased_pid" ] && kill "$leased_pid" 2>/dev/null; rm -rf "$scrape_dir"' EXIT
+replica_pid=""
+trap '[ -n "$leased_pid" ] && kill "$leased_pid" 2>/dev/null; [ -n "$replica_pid" ] && kill "$replica_pid" 2>/dev/null; rm -rf "$scrape_dir"' EXIT
 go run ./cmd/synthgen -out "$scrape_dir/ds" -scale 0.005 -seed 11 >/dev/null
 go build -o "$scrape_dir/leased" ./cmd/leased
-"$scrape_dir/leased" -addr 127.0.0.1:0 -data "$scrape_dir/ds" >"$scrape_dir/log" 2>&1 &
+"$scrape_dir/leased" -addr 127.0.0.1:0 -data "$scrape_dir/ds" -snapshot-dir "$scrape_dir/snaps" >"$scrape_dir/log" 2>&1 &
 leased_pid=$!
 
 addr=""
@@ -213,6 +259,8 @@ for family in \
 	snapshot_age_seconds \
 	ingest_parsed_records_total \
 	ingest_skipped_records_total \
+	snapshot_publish_total \
+	snapshot_bytes \
 	go_goroutines \
 	process_start_time_seconds
 do
@@ -222,9 +270,49 @@ do
 		exit 1
 	fi
 done
+echo "ok: all required metric families present at http://$addr/metrics"
+
+echo "== replication: replica chained off the publisher's /snapshot/current"
+# A second daemon with no dataset at all, serving the publisher's
+# snapshot. Proves the whole chain live: encode -> publish -> HTTP fetch
+# -> paranoid decode -> serve, with the replica metric families scraped.
+"$scrape_dir/leased" -addr 127.0.0.1:0 -data /nonexistent \
+	-snapshot-url "http://$addr/snapshot/current" -poll 250ms >"$scrape_dir/replica.log" 2>&1 &
+replica_pid=$!
+raddr=""
+i=0
+while [ $i -lt 100 ]; do
+	raddr=$(sed -n 's/.* msg=listening addr=\([^ ]*\).*/\1/p' "$scrape_dir/replica.log")
+	[ -n "$raddr" ] && break
+	kill -0 "$replica_pid" 2>/dev/null || { cat "$scrape_dir/replica.log"; echo "replica died before listening"; exit 1; }
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$raddr" ] || { cat "$scrape_dir/replica.log"; echo "replica never reported a listen address"; exit 1; }
+
+curl -fsS "http://$addr/table1" > "$scrape_dir/table1.pub"
+curl -fsS "http://$raddr/table1" > "$scrape_dir/table1.rep"
+cmp -s "$scrape_dir/table1.pub" "$scrape_dir/table1.rep" || {
+	echo "FAIL: replica /table1 differs from publisher"
+	exit 1
+}
+curl -fsS -o /dev/null "http://$raddr/snapshot/current" || {
+	echo "FAIL: replica does not re-expose /snapshot/current"
+	exit 1
+}
+rmetrics=$(curl -fsS "http://$raddr/metrics")
+for family in replica_fetch_total replica_generation_lag; do
+	if ! printf '%s\n' "$rmetrics" | grep -q "^$family"; then
+		echo "FAIL: replica /metrics missing family $family"
+		exit 1
+	fi
+done
+kill "$replica_pid" 2>/dev/null
+wait "$replica_pid" 2>/dev/null || true
+replica_pid=""
 kill "$leased_pid" 2>/dev/null
 wait "$leased_pid" 2>/dev/null || true
-echo "ok: all required metric families present at http://$addr/metrics"
+echo "ok: replica serves the publisher's bytes with replication metrics live at http://$raddr/metrics"
 
 echo "== telemetry: primitive overhead benchmarks"
 tel_out=$(go test -run '^$' -bench 'BenchmarkCounterInc$|BenchmarkHistogramObserve$|BenchmarkCounterVecWith$|BenchmarkWritePrometheus$' -benchmem ./internal/telemetry)
@@ -235,7 +323,7 @@ printf '%s\n' "$tel_out" | bench_json > BENCH_telemetry.json
 # Counter.Inc is the hottest instrumentation call (every request, every
 # parsed record). Budget: 50ns/op — far above its real cost, so only a
 # genuine regression (a lock on the hot path, say) trips it.
-counter_ns=$(bench_val "$tel_out" BenchmarkCounterInc 3)
+counter_ns=$(bench_val "$tel_out" BenchmarkCounterInc ns/op)
 [ -n "$counter_ns" ] || { echo "FAIL: BenchmarkCounterInc missing from bench output"; exit 1; }
 awk -v ns="$counter_ns" 'BEGIN { exit !(ns + 0 <= 50) }' || {
 	echo "FAIL: BenchmarkCounterInc ${counter_ns}ns/op exceeds 50ns/op budget"

@@ -1,0 +1,158 @@
+package ipleasing
+
+// Snapshot-store fault injection: the faultgen damage matrix (tail
+// truncation, per-section bit flips, checksum flips, garbage and empty
+// files, manifest rot) applied to a live store, asserting the paranoid
+// loading contract — a damaged generation is never served, recovery
+// falls back generation by generation, and a wrecked manifest changes
+// nothing.
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ipleasing/internal/faultgen"
+	"ipleasing/internal/serve"
+	"ipleasing/internal/snapstore"
+)
+
+// storeFixture builds one serving snapshot and an open store.
+func storeFixture(t *testing.T) (*serve.Snapshot, *snapstore.Store) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := Generate(Config{Seed: 33, Scale: 0.004}).WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	_, sum, res, err := LoadAndInfer(dir, LenientLoad(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := serve.NewSnapshot(res, sum.Reports, sum.SkippedAnalyses)
+	snap.Dir = dir
+	st, err := snapstore.Open(filepath.Join(t.TempDir(), "snaps"), snapstore.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, st
+}
+
+// snapshotFaults builds the faultgen damage matrix for one encoded
+// snapshot, feeding it the decoder's own section table.
+func snapshotFaults(t *testing.T, data []byte) []faultgen.SnapshotFault {
+	t.Helper()
+	ranges, err := snapstore.SectionRanges(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := make([]faultgen.SnapshotSection, len(ranges))
+	for i, r := range ranges {
+		secs[i] = faultgen.SnapshotSection{Name: r.Name, Off: r.Off, Len: r.Len}
+	}
+	return faultgen.SnapshotFaults(data, secs)
+}
+
+// TestSnapshotFaultMatrixNeverServesDamage encodes one generation,
+// applies every fault in the matrix, and requires the decoder to
+// reject each one with a typed corruption error.
+func TestSnapshotFaultMatrixNeverServesDamage(t *testing.T) {
+	snap, _ := storeFixture(t)
+	intact := snapstore.Encode(snap, 1)
+	faults := snapshotFaults(t, intact)
+	if len(faults) < 9 {
+		t.Fatalf("fault matrix has %d entries; expected header, footer, truncation, garbage, empty, and one per section", len(faults))
+	}
+	rnd := rand.New(rand.NewSource(5))
+	for _, f := range faults {
+		t.Run(f.Name, func(t *testing.T) {
+			for round := 0; round < 8; round++ {
+				damaged := f.Apply(rnd, intact)
+				if _, _, err := snapstore.Decode(damaged); err == nil {
+					t.Fatalf("round %d: damaged snapshot decoded cleanly", round)
+				} else if !errors.Is(err, snapstore.ErrCorrupt) {
+					t.Fatalf("round %d: error %v does not wrap ErrCorrupt", round, err)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreFallsBackThroughFaultMatrix stacks a damaged generation on
+// top of an intact one for every fault kind and requires LoadCurrent to
+// serve the intact generation every time.
+func TestStoreFallsBackThroughFaultMatrix(t *testing.T) {
+	snap, _ := storeFixture(t)
+	intact := snapstore.Encode(snap, 1)
+	faults := snapshotFaults(t, intact)
+	rnd := rand.New(rand.NewSource(6))
+	for _, f := range faults {
+		t.Run(f.Name, func(t *testing.T) {
+			st, err := snapstore.Open(filepath.Join(t.TempDir(), "snaps"), snapstore.StoreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.PublishEncoded(intact); err != nil {
+				t.Fatal(err)
+			}
+			// Newer generations exist but rotted on disk after publication.
+			for gen := uint64(2); gen <= 3; gen++ {
+				damaged := f.Apply(rnd, snapstore.Encode(snap, gen))
+				name := filepath.Join(st.Dir(), genName(gen))
+				if err := os.WriteFile(name, damaged, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, gen, err := st.LoadCurrent()
+			if err != nil {
+				t.Fatalf("LoadCurrent: %v", err)
+			}
+			if gen != 1 {
+				t.Fatalf("served generation %d, want fallback to 1", gen)
+			}
+			if got.NumInferences() != snap.NumInferences() {
+				t.Fatalf("fallback serves %d inferences, want %d", got.NumInferences(), snap.NumInferences())
+			}
+		})
+	}
+}
+
+// TestStoreSurvivesManifestRot: stale and garbage manifests are hints
+// the scan overrides.
+func TestStoreSurvivesManifestRot(t *testing.T) {
+	snap, st := storeFixture(t)
+	if err := st.Publish(snap, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, damage := range []struct {
+		name  string
+		apply func(dir string) error
+	}{
+		{"stale", faultgen.CorruptManifestStale},
+		{"garbage", faultgen.CorruptManifestGarbage},
+		{"missing", func(dir string) error { return os.Remove(filepath.Join(dir, "MANIFEST")) }},
+	} {
+		t.Run(damage.name, func(t *testing.T) {
+			if err := damage.apply(st.Dir()); err != nil {
+				t.Fatal(err)
+			}
+			_, gen, err := st.LoadCurrent()
+			if err != nil {
+				t.Fatalf("LoadCurrent with %s manifest: %v", damage.name, err)
+			}
+			if gen != 7 {
+				t.Fatalf("served generation %d, want 7", gen)
+			}
+		})
+	}
+}
+
+func genName(gen uint64) string {
+	const hexdigits = "0123456789abcdef"
+	name := []byte("gen-0000000000000000.snap")
+	for i := 0; i < 16; i++ {
+		name[4+15-i] = hexdigits[(gen>>(4*i))&0xf]
+	}
+	return string(name)
+}
