@@ -9,13 +9,16 @@
 //
 // Robustness model (see internal/serve): queries read the current
 // snapshot through an atomic pointer; a reload builds the next snapshot
-// off-thread with retry and exponential backoff and swaps it in only on
-// success. A failed reload — corrupt mirror, tripped ingestion circuit
-// breaker — leaves the previous snapshot serving and degrades /readyz;
-// after repeated failures the reload breaker opens and only an operator
-// SIGHUP retries. Requests are bounded by a per-request timeout and a
-// concurrency limiter that sheds with 429 + Retry-After; handler panics
-// become 500s, never process exits.
+// off-thread with retry and jittered exponential backoff and swaps it
+// in only on success. A failed reload — corrupt mirror, tripped
+// ingestion circuit breaker — leaves the previous snapshot serving and
+// degrades /readyz; after repeated failures the reload breaker opens
+// and only an operator SIGHUP retries. Requests are bounded by a
+// per-request timeout and a concurrency limiter that sheds with 429 +
+// Retry-After; handler panics become 500s, never process exits. The
+// HTTP server itself is bounded on every connection-pinning dimension
+// (header read, body read, response write, idle keep-alive, header
+// size), so a slow or stuck peer cannot pin connections indefinitely.
 //
 // Observability: structured logs (key=value or JSON via -log-format) on
 // stderr, Prometheus metrics on /metrics, and — when -pprof is set —
@@ -43,7 +46,9 @@
 // with -poll, conditional GETs, lag surfaced on /statusz and
 // replica_generation_lag) and needs no dataset at all; adding
 // -snapshot-dir caches fetched generations so the replica can cold
-// start with its publisher down.
+// start with its publisher down. A publisher answering 429/503 with
+// Retry-After is honored: the replica suppresses polls for the hinted
+// duration, capped at one poll interval.
 //
 // Signals:
 //
@@ -58,303 +63,42 @@
 //	       [-log-format text|json] [-log-level info] [-pprof]
 //	       [-snapshot-dir dir] [-snapshot-keep 4]
 //	       [-snapshot-url http://publisher:8402/snapshot/current] [-poll 15s]
+//
+// The daemon body lives in internal/daemon, shared with the fleet chaos
+// harness (cmd/leasestorm); this command is the flag surface around it.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
-	"os/signal"
-	"strings"
-	"sync"
-	"syscall"
 	"time"
 
-	"ipleasing"
+	"ipleasing/internal/daemon"
 	"ipleasing/internal/serve"
-	"ipleasing/internal/telemetry"
 )
 
-// config carries the parsed flags.
-type config struct {
-	data        string
-	addr        string
-	strict      bool
-	delta       bool
-	reload      time.Duration
-	drain       time.Duration
-	maxInFlight int
-	timeout     time.Duration
-	logFormat   string
-	logLevel    string
-	pprof       bool
-
-	snapshotDir  string
-	snapshotKeep int
-	snapshotURL  string
-	poll         time.Duration
-}
-
 func main() {
-	var cfg config
-	flag.StringVar(&cfg.data, "data", "dataset", "dataset directory")
-	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8402", "listen address")
-	flag.BoolVar(&cfg.strict, "strict", false, "strict ingestion: any malformed record fails a (re)load")
-	flag.BoolVar(&cfg.delta, "delta", true, "incremental reloads: diff against the previous generation and re-classify only the churn (SIGHUP still forces a full rebuild)")
-	flag.DurationVar(&cfg.reload, "reload", 0, "timer-driven reload period (0 disables; SIGHUP always reloads)")
-	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain budget")
-	flag.IntVar(&cfg.maxInFlight, "max-inflight", serve.DefaultMaxInFlight, "concurrent requests before shedding with 429")
-	flag.DurationVar(&cfg.timeout, "timeout", serve.DefaultRequestTimeout, "per-request handling budget")
-	flag.StringVar(&cfg.logFormat, "log-format", "text", "log record format: text (key=value) or json")
-	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn, error")
-	flag.BoolVar(&cfg.pprof, "pprof", false, "expose the Go profiler on /debug/pprof/*")
-	flag.StringVar(&cfg.snapshotDir, "snapshot-dir", "", "persist every serving snapshot to this directory and cold-start from the newest valid generation")
-	flag.IntVar(&cfg.snapshotKeep, "snapshot-keep", 4, "snapshot generations retained in -snapshot-dir (negative keeps all)")
-	flag.StringVar(&cfg.snapshotURL, "snapshot-url", "", "replica mode: serve snapshots fetched from this publisher endpoint (e.g. http://host:8402/snapshot/current) instead of loading -data")
-	flag.DurationVar(&cfg.poll, "poll", 15*time.Second, "replica poll period for new publisher generations")
+	var cfg daemon.Config
+	flag.StringVar(&cfg.Data, "data", "dataset", "dataset directory")
+	flag.StringVar(&cfg.Addr, "addr", "127.0.0.1:8402", "listen address")
+	flag.BoolVar(&cfg.Strict, "strict", false, "strict ingestion: any malformed record fails a (re)load")
+	flag.BoolVar(&cfg.Delta, "delta", true, "incremental reloads: diff against the previous generation and re-classify only the churn (SIGHUP still forces a full rebuild)")
+	flag.DurationVar(&cfg.Reload, "reload", 0, "timer-driven reload period (0 disables; SIGHUP always reloads)")
+	flag.DurationVar(&cfg.Drain, "drain", 10*time.Second, "graceful-shutdown drain budget")
+	flag.IntVar(&cfg.MaxInFlight, "max-inflight", serve.DefaultMaxInFlight, "concurrent requests before shedding with 429")
+	flag.DurationVar(&cfg.Timeout, "timeout", serve.DefaultRequestTimeout, "per-request handling budget")
+	flag.StringVar(&cfg.LogFormat, "log-format", "text", "log record format: text (key=value) or json")
+	flag.StringVar(&cfg.LogLevel, "log-level", "info", "minimum log level: debug, info, warn, error")
+	flag.BoolVar(&cfg.Pprof, "pprof", false, "expose the Go profiler on /debug/pprof/*")
+	flag.StringVar(&cfg.SnapshotDir, "snapshot-dir", "", "persist every serving snapshot to this directory and cold-start from the newest valid generation")
+	flag.IntVar(&cfg.SnapshotKeep, "snapshot-keep", 4, "snapshot generations retained in -snapshot-dir (negative keeps all)")
+	flag.StringVar(&cfg.SnapshotURL, "snapshot-url", "", "replica mode: serve snapshots fetched from this publisher endpoint (e.g. http://host:8402/snapshot/current) instead of loading -data")
+	flag.DurationVar(&cfg.Poll, "poll", 15*time.Second, "replica poll period for new publisher generations")
 	flag.Parse()
-	if err := run(context.Background(), cfg, os.Stderr, nil); err != nil {
+	if err := daemon.Run(context.Background(), cfg, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "leased:", err)
 		os.Exit(1)
-	}
-}
-
-// newLogger builds the daemon logger from the flag values.
-func newLogger(cfg config, w io.Writer) (*telemetry.Logger, error) {
-	level, err := telemetry.ParseLogLevel(cfg.logLevel)
-	if err != nil {
-		return nil, err
-	}
-	var format string
-	switch strings.ToLower(cfg.logFormat) {
-	case "", "text":
-		format = telemetry.FormatText
-	case "json":
-		format = telemetry.FormatJSON
-	default:
-		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", cfg.logFormat)
-	}
-	return telemetry.NewLogger(w, telemetry.LoggerOptions{Level: level, Format: format}), nil
-}
-
-// snapshotBuilder is the daemon's snapshot build step: one dataset load
-// under the configured ingestion policy plus one inference run. It
-// retains the previous load's Generation so unforced reloads can take
-// the incremental path: diff the refreshed dataset against it,
-// re-classify only the dirty allocation-forest roots, and patch the
-// previous snapshot's serving indexes instead of rebuilding them.
-// Holding the baseline costs one extra dataset generation of memory —
-// the price of diffing — which -delta=false avoids.
-type snapshotBuilder struct {
-	cfg  config
-	opts ipleasing.LoadOptions
-
-	mu   sync.Mutex
-	prev *ipleasing.Generation
-}
-
-func newSnapshotBuilder(cfg config) *snapshotBuilder {
-	opts := ipleasing.LenientLoad()
-	if cfg.strict {
-		opts = ipleasing.StrictLoad()
-	}
-	return &snapshotBuilder{cfg: cfg, opts: opts}
-}
-
-func (b *snapshotBuilder) setPrev(g *ipleasing.Generation) {
-	b.mu.Lock()
-	b.prev = g
-	b.mu.Unlock()
-}
-
-func (b *snapshotBuilder) getPrev() *ipleasing.Generation {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.prev
-}
-
-// buildFull is the full rebuild: load, infer everything, index from
-// scratch. The resulting generation becomes the next delta baseline.
-func (b *snapshotBuilder) buildFull(ctx context.Context) (*serve.Snapshot, error) {
-	ds, sum, res, err := ipleasing.LoadAndInferContext(ctx, b.cfg.data, b.opts, ipleasing.Options{})
-	if err != nil {
-		return nil, err
-	}
-	if b.cfg.delta {
-		b.setPrev(&ipleasing.Generation{Dataset: ds, Summary: sum, Result: res})
-	}
-	snap := serve.NewSnapshot(res, sum.Reports, sum.SkippedAnalyses)
-	snap.Dir = b.cfg.data
-	snap.Strict = b.cfg.strict
-	return snap, nil
-}
-
-// buildDelta is the incremental rebuild serve.Config.BuildDelta wires
-// to unforced reloads: load the refreshed dataset, InferDelta against
-// the retained generation, and patch prevSnap's indexes through the
-// resulting plan. Falls back transparently (first generation, churn
-// above threshold) with the snapshot's DeltaInfo reporting which mode
-// actually ran. On error the baseline is left untouched, so the next
-// attempt diffs against the same good generation.
-func (b *snapshotBuilder) buildDelta(ctx context.Context, prevSnap *serve.Snapshot) (*serve.Snapshot, error) {
-	gen, rep, err := ipleasing.LoadAndInferDelta(ctx, b.cfg.data, b.opts, ipleasing.Options{},
-		b.getPrev(), ipleasing.DeltaChurnFallback)
-	if err != nil {
-		return nil, err
-	}
-	b.setPrev(gen)
-	var snap *serve.Snapshot
-	if rep.Mode == serve.ModeDelta {
-		snap = serve.PatchSnapshot(prevSnap, gen.Result, rep.Plan,
-			gen.Summary.Reports, gen.Summary.SkippedAnalyses)
-	} else {
-		snap = serve.NewSnapshot(gen.Result, gen.Summary.Reports, gen.Summary.SkippedAnalyses)
-		snap.Delta = &serve.DeltaInfo{Mode: serve.ModeFull}
-	}
-	if rep.Stats != nil {
-		snap.Delta.DirtyShards = rep.Stats.DirtySegments
-		snap.Delta.TotalShards = rep.Stats.TotalSegments
-	}
-	if rep.Changes != nil {
-		snap.Delta.ChangedKeys = rep.Changes.ChangedKeys()
-	}
-	snap.Dir = b.cfg.data
-	snap.Strict = b.cfg.strict
-	return snap, nil
-}
-
-// handler wires the service handler, optionally mounting the profiler.
-// pprof is flag-gated and wired explicitly — importing net/http/pprof
-// for its DefaultServeMux side effect would expose the profiler
-// unconditionally.
-func handler(cfg config, s *serve.Server) http.Handler {
-	if !cfg.pprof {
-		return s.Handler()
-	}
-	mux := http.NewServeMux()
-	mux.Handle("/", s.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
-}
-
-// run is the daemon body. It refuses to start without a first good
-// snapshot, then serves until SIGTERM/SIGINT (draining in-flight
-// requests) or a listener error. The ready callback, when non-nil, is
-// invoked with the bound address once the listener is open (tests bind
-// :0 and need the chosen port).
-func run(ctx context.Context, cfg config, logw io.Writer, ready func(addr string)) error {
-	logger, err := newLogger(cfg, logw)
-	if err != nil {
-		return err
-	}
-	reg := telemetry.NewRegistry()
-	snaps, err := newSnapshots(cfg, logger, reg)
-	if err != nil {
-		return err
-	}
-	b := newSnapshotBuilder(cfg)
-	scfg := serve.Config{
-		Build:          snaps.wrapBuild(b.buildFull),
-		ReloadEvery:    cfg.reload,
-		MaxInFlight:    cfg.maxInFlight,
-		RequestTimeout: cfg.timeout,
-		Logger:         logger,
-		Metrics:        reg,
-	}
-	if cfg.delta {
-		scfg.BuildDelta = b.buildDelta
-	}
-	if snaps.replica() {
-		// Replica: the builder fetches encoded snapshots instead of
-		// loading -data; the poll loop below replaces the reload timer,
-		// and the delta path is moot (nothing is inferred here).
-		scfg.Build = snaps.buildFromFetch
-		scfg.BuildDelta = nil
-		scfg.ReloadEvery = 0
-	}
-	if snaps != nil {
-		scfg.OnSwap = snaps.onSwap
-		scfg.Replication = snaps.replicationStatus
-	}
-	s := serve.New(scfg)
-	if snaps != nil {
-		s.Route("snapshot", "/snapshot/current", false, snaps.pub.ServeHTTP)
-	}
-	// The first load is synchronous and fatal on failure: a daemon with
-	// nothing to serve should crash-loop visibly, not sit unready.
-	if err := s.Reload(ctx, true); err != nil {
-		return fmt.Errorf("initial load of %s: %w", cfg.data, err)
-	}
-
-	ln, err := net.Listen("tcp", cfg.addr)
-	if err != nil {
-		return err
-	}
-	logger.Info("listening",
-		"addr", ln.Addr(), "dataset", cfg.data,
-		"inferences", s.Snapshot().NumInferences(), "pprof", cfg.pprof,
-		"snapshot_dir", cfg.snapshotDir, "snapshot_url", cfg.snapshotURL)
-	if ready != nil {
-		ready(ln.Addr().String())
-	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	if snaps.replica() {
-		go snaps.pollLoop(ctx, s)
-	} else {
-		go s.ReloadLoop(ctx)
-	}
-
-	sigs := make(chan os.Signal, 2)
-	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGTERM, syscall.SIGINT)
-	defer signal.Stop(sigs)
-
-	srv := &http.Server{Handler: handler(cfg, s), ReadHeaderTimeout: 5 * time.Second}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-
-	shutdown := func(why string) error {
-		logger.Info("draining in-flight requests", "reason", why, "budget", cfg.drain)
-		dctx, dcancel := context.WithTimeout(context.Background(), cfg.drain)
-		defer dcancel()
-		if err := srv.Shutdown(dctx); err != nil {
-			return fmt.Errorf("drain: %w", err)
-		}
-		logger.Info("drained, exiting")
-		return nil
-	}
-
-	for {
-		select {
-		case err := <-errc:
-			return fmt.Errorf("serve: %w", err)
-		case <-ctx.Done():
-			return shutdown("context cancelled")
-		case sig := <-sigs:
-			if sig == syscall.SIGHUP {
-				// Forced reload off the signal loop; the breaker does not
-				// block an explicit operator request. On a replica this is
-				// a forced fetch: the conditional-GET state is dropped so
-				// the publisher's current generation transfers in full.
-				snaps.forceRefresh()
-				go func() {
-					if err := s.Reload(ctx, true); err != nil {
-						logger.Error("SIGHUP reload failed", "err", err)
-					}
-				}()
-				continue
-			}
-			return shutdown(sig.String())
-		}
 	}
 }

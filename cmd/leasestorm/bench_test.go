@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ipleasing"
+)
+
+// benchFleet boots a publisher + 1 replica through a passive proxy and
+// returns the replica base URL — the fleet-level serving path
+// (client → replica HTTP stack → LPM index) that BENCH_fleet.json
+// baselines.
+func benchFleet(b *testing.B) string {
+	b.Helper()
+	dir := b.TempDir()
+	data := filepath.Join(dir, "ds")
+	if err := ipleasing.Generate(ipleasing.Config{Seed: 11, Scale: 0.005}).WriteDir(data); err != nil {
+		b.Fatal(err)
+	}
+	cfg := StormConfig{
+		Data:          data,
+		WorkDir:       dir,
+		Replicas:      1,
+		Seed:          1,
+		Reload:        0, // frozen generation: measure serving, not reloads
+		Poll:          time.Hour,
+		FleetLogLevel: "error",
+		LogW:          io.Discard,
+	}
+	f, err := startFleet(context.Background(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(f.Stop)
+	return f.replicaURLs[0]
+}
+
+func benchGet(b *testing.B, client *http.Client, url string) {
+	b.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+}
+
+// BenchmarkFleetLookup measures single-lookup round-trip time against a
+// live replica — the fleet's hottest client-visible path.
+func BenchmarkFleetLookup(b *testing.B) {
+	replica := benchFleet(b)
+	client := &http.Client{Timeout: 5 * time.Second}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, client, fmt.Sprintf("%s/lookup?ip=10.0.%d.%d", replica, i%8, i%256))
+	}
+}
+
+// BenchmarkFleetTable1 measures the summary-table round trip: the
+// heaviest read endpoint in the mix.
+func BenchmarkFleetTable1(b *testing.B) {
+	replica := benchFleet(b)
+	client := &http.Client{Timeout: 5 * time.Second}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, client, replica+"/table1")
+	}
+}

@@ -1,0 +1,111 @@
+// Command leasestorm is the fleet chaos harness: it boots a real
+// publisher + N replica leased fleet in-process (the same daemon wiring
+// as cmd/leased), routes the replicas' snapshot polling through a
+// seeded fault-injection proxy (internal/chaos), drives a mixed
+// /lookup + /lookup/batch + /table1 workload against the replicas for
+// the whole run (internal/loadgen), and checks four invariants from the
+// fleet's own public endpoints (/statusz, /metrics, /snapshot/current):
+//
+//  1. identity       — replicas at the same snapshot generation serve
+//     byte-identical lookup and table responses
+//  2. error_budget   — client-visible errors outside fault windows stay
+//     within the declared budget
+//  3. lag            — externally computed generation lag (publisher
+//     generation minus replica serving generation)
+//     stays bounded while the replication path is
+//     healthy
+//  4. reconvergence  — after the last fault heals, every replica is
+//     back within the lag bound inside the SLO
+//
+// The same -seed always produces the same fault schedule (and its
+// fingerprint in the report), so a failing storm is replayable. The
+// -sabotage flag boots a deliberately broken fleet — the run MUST then
+// fail, proving the checker detects violations rather than rubber-
+// stamping whatever the fleet does.
+//
+// Output is a machine-readable JSON run report on stdout (or -o). Exit
+// status: 0 pass, 1 invariant violations, 2 harness failure.
+//
+// Usage:
+//
+//	leasestorm [-data dataset] [-replicas 2] [-seed 1] [-duration 8s]
+//	           [-qps 100] [-concurrency 4] [-reload 500ms] [-poll 250ms]
+//	           [-error-budget 0.01] [-max-lag 0] [-heal-slo 0]
+//	           [-sabotage stale-replica] [-workdir dir] [-o report.json]
+//	           [-fleet-logs]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		cfg       StormConfig
+		out       = flag.String("o", "", "write the JSON run report here instead of stdout")
+		fleetLogs = flag.Bool("fleet-logs", false, "pass fleet daemon logs through to stderr")
+	)
+	flag.StringVar(&cfg.Data, "data", "", "dataset directory (empty: generate a synthetic one)")
+	flag.StringVar(&cfg.WorkDir, "workdir", "", "scratch directory (empty: temp dir, removed afterwards)")
+	flag.IntVar(&cfg.Replicas, "replicas", 2, "replica count")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "chaos schedule + workload seed")
+	flag.DurationVar(&cfg.Duration, "duration", 8*time.Second, "storm length")
+	flag.Float64Var(&cfg.QPS, "qps", 100, "aggregate workload rate")
+	flag.IntVar(&cfg.Concurrency, "concurrency", 4, "workload workers")
+	flag.DurationVar(&cfg.Reload, "reload", 500*time.Millisecond, "publisher reload period (generation advance rate)")
+	flag.DurationVar(&cfg.Poll, "poll", 250*time.Millisecond, "replica poll period")
+	flag.Float64Var(&cfg.ErrorBudget, "error-budget", 0.01, "client error rate allowed outside fault windows")
+	var maxLag uint64
+	flag.Uint64Var(&maxLag, "max-lag", 0, "generation-lag bound while healthy (0: derived from poll/reload)")
+	flag.DurationVar(&cfg.HealSLO, "heal-slo", 0, "post-heal reconvergence deadline (0: duration/4)")
+	flag.StringVar(&cfg.Sabotage, "sabotage", "", "boot a deliberately broken fleet; the run must FAIL (modes: stale-replica)")
+	flag.Parse()
+	cfg.MaxLag = maxLag
+	if *fleetLogs {
+		cfg.LogW = os.Stderr
+	}
+
+	if cfg.Sabotage != "" && cfg.Sabotage != SabotageStaleReplica {
+		fmt.Fprintf(os.Stderr, "leasestorm: unknown sabotage mode %q\n", cfg.Sabotage)
+		os.Exit(2)
+	}
+
+	rep, err := RunStorm(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leasestorm:", err)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leasestorm:", err)
+			os.Exit(2)
+		}
+		defer fh.Close()
+		w = fh
+	}
+	if err := rep.Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, "leasestorm:", err)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"leasestorm: seed=%d schedule=%s faults=%d requests=%d errors=%d samples=%d identity_checks=%d violations=%d pass=%v\n",
+		rep.Seed, rep.ScheduleFingerprint, len(rep.Schedule.Faults),
+		rep.Load.Requests, rep.Load.Errors, rep.Samples, rep.IdentityChecks,
+		len(rep.Violations), rep.Pass)
+	for _, v := range rep.Violations {
+		fmt.Fprintf(os.Stderr, "leasestorm: VIOLATION [%s] at=%v replica=%s: %s\n",
+			v.Invariant, v.At, v.Replica, v.Detail)
+	}
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}

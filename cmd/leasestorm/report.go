@@ -1,0 +1,42 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+
+	"ipleasing/internal/chaos"
+	"ipleasing/internal/loadgen"
+)
+
+// RunReport is the machine-readable outcome of one storm: the seed and
+// schedule that reproduce it, what the proxy actually did, what the
+// load generator measured, and the invariant verdicts. check.sh and the
+// determinism tests consume it; humans get the same JSON.
+type RunReport struct {
+	Seed     int64  `json:"seed"`
+	Replicas int    `json:"replicas"`
+	Sabotage string `json:"sabotage,omitempty"`
+
+	DurationMS          int64          `json:"duration_ms"`
+	ScheduleFingerprint string         `json:"schedule_fingerprint"`
+	Schedule            chaos.Schedule `json:"schedule"`
+	FaultEvents         []chaos.Event  `json:"fault_events,omitempty"`
+
+	Load *loadgen.Report `json:"load"`
+
+	Samples        int     `json:"samples"`
+	IdentityChecks int     `json:"identity_checks"`
+	MaxLag         uint64  `json:"max_lag"`
+	ErrorBudget    float64 `json:"error_budget"`
+	HealSLOMS      int64   `json:"heal_slo_ms"`
+
+	Violations []Violation `json:"violations"`
+	Pass       bool        `json:"pass"`
+}
+
+// Write renders the report as indented JSON.
+func (r *RunReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

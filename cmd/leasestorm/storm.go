@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ipleasing"
+	"ipleasing/internal/chaos"
+	"ipleasing/internal/loadgen"
+)
+
+// Sabotage modes: deliberately broken fleets that a working invariant
+// checker MUST flag. A chaos harness whose checker cannot fail is
+// theater; the negative run is part of the acceptance gate.
+const (
+	// SabotageStaleReplica pins replica 0 to its boot generation (its
+	// poll period is stretched past the run length). It keeps serving
+	// — and keeps self-reporting lag 0, because it never hears how far
+	// the publisher advanced — so only the externally computed lag
+	// catches it.
+	SabotageStaleReplica = "stale-replica"
+)
+
+// StormConfig parameterizes one chaos run.
+type StormConfig struct {
+	Data    string // dataset dir; empty generates a synthetic one in WorkDir
+	WorkDir string // scratch dir for snapshots and generated data
+
+	Replicas int
+	Seed     int64
+	Duration time.Duration
+
+	QPS         float64
+	Concurrency int
+
+	Reload time.Duration // publisher reload period (generation advance rate)
+	Poll   time.Duration // replica poll period
+
+	ErrorBudget float64       // client error rate allowed outside fault windows
+	MaxLag      uint64        // generation-lag bound while healthy; 0 = derived
+	HealSLO     time.Duration // reconvergence deadline after the last fault
+	SampleEvery time.Duration // checker cadence
+
+	Sabotage      string
+	FleetLogLevel string
+	LogW          io.Writer // fleet daemon logs; nil discards
+}
+
+func (c StormConfig) withDefaults() StormConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Duration <= 0 {
+		c.Duration = 8 * time.Second
+	}
+	if c.QPS <= 0 {
+		c.QPS = 100
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4
+	}
+	if c.Reload <= 0 {
+		c.Reload = 500 * time.Millisecond
+	}
+	if c.Poll <= 0 {
+		c.Poll = 250 * time.Millisecond
+	}
+	if c.ErrorBudget <= 0 {
+		c.ErrorBudget = 0.01
+	}
+	if c.MaxLag == 0 {
+		// Steady state, a replica is at most one poll behind; each poll
+		// spans Poll/Reload publisher generations. Double it for timing
+		// slop rather than tuning a knife edge.
+		c.MaxLag = 2*uint64(c.Poll/c.Reload) + 3
+	}
+	if c.HealSLO <= 0 {
+		// The generated schedule reserves the last quarter of the run
+		// as a fault-free heal tail; demand reconvergence inside it.
+		c.HealSLO = c.Duration / 4
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 150 * time.Millisecond
+	}
+	if c.FleetLogLevel == "" {
+		c.FleetLogLevel = "warn"
+	}
+	if c.LogW == nil {
+		c.LogW = io.Discard
+	}
+	return c
+}
+
+// RunStorm executes one full chaos run: boot fleet, arm the fault
+// script, drive load, sample invariants, heal, judge. The returned
+// report carries the verdicts; err is reserved for harness failures
+// (fleet would not boot), not invariant violations.
+func RunStorm(ctx context.Context, cfg StormConfig) (*RunReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.WorkDir == "" {
+		dir, err := os.MkdirTemp("", "leasestorm-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.WorkDir = dir
+	}
+	if cfg.Data == "" {
+		cfg.Data = filepath.Join(cfg.WorkDir, "dataset")
+		if _, err := os.Stat(cfg.Data); os.IsNotExist(err) {
+			if err := ipleasing.Generate(ipleasing.Config{Seed: 11, Scale: 0.005}).WriteDir(cfg.Data); err != nil {
+				return nil, fmt.Errorf("generate dataset: %w", err)
+			}
+		}
+	}
+
+	sched := chaos.Generate(cfg.Seed, chaos.GenerateOptions{Length: cfg.Duration})
+
+	f, err := startFleet(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Stop()
+
+	gen, err := loadgen.New(loadgen.Config{
+		Targets:     f.replicaURLs,
+		QPS:         cfg.QPS,
+		Concurrency: cfg.Concurrency,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Storm clock starts when the fault script is armed; every offset in
+	// the report — schedule windows, violations, samples — is relative
+	// to this instant.
+	start := time.Now()
+	f.proxy.Arm(sched)
+	chk := newChecker(cfg, sched, f, start)
+
+	// The checker outlives the load phase: reconvergence must be
+	// observable through the heal SLO deadline plus one sample.
+	checkFor := cfg.Duration
+	if d := sched.LastFaultEnd() + cfg.HealSLO + 2*cfg.SampleEvery; d > checkFor {
+		checkFor = d
+	}
+	checkCtx, cancelCheck := context.WithDeadline(ctx, start.Add(checkFor))
+	defer cancelCheck()
+	checkDone := make(chan struct{})
+	go func() { defer close(checkDone); chk.Run(checkCtx) }()
+
+	loadCtx, cancelLoad := context.WithDeadline(ctx, start.Add(cfg.Duration))
+	defer cancelLoad()
+	loadRep := gen.Run(loadCtx)
+
+	<-checkDone
+	violations := chk.Finalize(loadRep)
+
+	chk.mu.Lock()
+	samples, identities := len(chk.samples), chk.identities
+	chk.mu.Unlock()
+	rep := &RunReport{
+		Seed:                cfg.Seed,
+		Replicas:            cfg.Replicas,
+		Sabotage:            cfg.Sabotage,
+		DurationMS:          time.Since(start).Milliseconds(),
+		ScheduleFingerprint: sched.Fingerprint(),
+		Schedule:            sched,
+		FaultEvents:         f.proxy.Events(),
+		Load:                loadRep,
+		Samples:             samples,
+		IdentityChecks:      identities,
+		MaxLag:              cfg.MaxLag,
+		ErrorBudget:         cfg.ErrorBudget,
+		HealSLOMS:           cfg.HealSLO.Milliseconds(),
+		Violations:          violations,
+		Pass:                len(violations) == 0,
+	}
+	return rep, nil
+}

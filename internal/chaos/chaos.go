@@ -1,0 +1,213 @@
+// Package chaos is a deterministic fault-injection proxy for fleet
+// testing. A seeded Schedule scripts which fault is active when —
+// added latency, connection resets, mid-body truncation, byte
+// corruption, stalls, flapping 5xx windows, full partitions — and a
+// Proxy sits between a replica and its snapshot publisher executing
+// that script on the wire. The same seed always yields the same
+// schedule (same fault kinds, same windows, same parameters), so a
+// chaos run is reproducible end to end: the harness asserts identical
+// Fingerprint values and identical invariant verdicts across runs.
+//
+// Determinism contract: the *schedule* is a pure function of the seed.
+// Byte-level fault effects (exactly which read chunk a reset lands on)
+// depend on kernel buffering and are not part of the contract; the
+// invariant checker's verdicts are, because the service must converge
+// to the same externally observable state regardless of where inside a
+// window each cut fell.
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// FaultKind names one entry in the fault vocabulary.
+type FaultKind string
+
+const (
+	// FaultLatency delays request-direction chunks by Latency ± Jitter.
+	FaultLatency FaultKind = "latency"
+	// FaultReset hard-closes (RST) connections touched inside the window.
+	FaultReset FaultKind = "reset"
+	// FaultTruncate forwards part of a response chunk, then hard-closes:
+	// the client sees a mid-body cut (unexpected EOF).
+	FaultTruncate FaultKind = "truncate"
+	// FaultCorrupt flips bytes in response bodies (after the HTTP header
+	// terminator), leaving lengths intact: the payload checksum is the
+	// only thing that can catch it.
+	FaultCorrupt FaultKind = "corrupt"
+	// FaultStall holds request chunks until the window ends — the
+	// connection stays open but nothing moves.
+	FaultStall FaultKind = "stall"
+	// Fault5xx answers requests with a synthesized 503 + Retry-After
+	// instead of proxying — a flapping, load-shedding publisher.
+	Fault5xx FaultKind = "flap5xx"
+	// FaultPartition refuses/clamps every connection — the publisher is
+	// unreachable.
+	FaultPartition FaultKind = "partition"
+)
+
+// Kinds is the full fault vocabulary in a stable order.
+var Kinds = []FaultKind{
+	FaultLatency, FaultReset, FaultTruncate, FaultCorrupt,
+	FaultStall, Fault5xx, FaultPartition,
+}
+
+// Fault is one scheduled fault window, [Start, End) offsets from the
+// run's start.
+type Fault struct {
+	Kind  FaultKind     `json:"kind"`
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+
+	// Latency/Jitter parameterize FaultLatency; RetryAfter parameterizes
+	// Fault5xx (seconds advertised to the client).
+	Latency    time.Duration `json:"latency,omitempty"`
+	Jitter     time.Duration `json:"jitter,omitempty"`
+	RetryAfter int           `json:"retry_after,omitempty"`
+}
+
+func (f Fault) activeAt(elapsed time.Duration) bool {
+	return elapsed >= f.Start && elapsed < f.End
+}
+
+// Schedule is a seeded fault script: the proxy executes it, the
+// invariant checker reads it to know which observations fall inside
+// fault windows.
+type Schedule struct {
+	Seed   int64         `json:"seed"`
+	Length time.Duration `json:"length"`
+	Faults []Fault       `json:"faults"`
+}
+
+// Active returns the fault of the given kind covering elapsed, if any.
+func (s Schedule) Active(kind FaultKind, elapsed time.Duration) (Fault, bool) {
+	for _, f := range s.Faults {
+		if f.Kind == kind && f.activeAt(elapsed) {
+			return f, true
+		}
+	}
+	return Fault{}, false
+}
+
+// ActiveAt returns every fault covering elapsed.
+func (s Schedule) ActiveAt(elapsed time.Duration) []Fault {
+	var out []Fault
+	for _, f := range s.Faults {
+		if f.activeAt(elapsed) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// HealthyAt reports whether no fault window covers elapsed — the
+// invariant checker's definition of "outside fault windows".
+func (s Schedule) HealthyAt(elapsed time.Duration) bool {
+	return len(s.ActiveAt(elapsed)) == 0
+}
+
+// LastFaultEnd returns the end of the latest fault window: the heal
+// point after which the reconvergence SLO clock starts.
+func (s Schedule) LastFaultEnd() time.Duration {
+	var last time.Duration
+	for _, f := range s.Faults {
+		if f.End > last {
+			last = f.End
+		}
+	}
+	return last
+}
+
+// Fingerprint returns a stable hash of the schedule. Two runs with the
+// same seed must produce the same fingerprint; the harness records it
+// in the run report and the determinism test compares it across runs.
+func (s Schedule) Fingerprint() string {
+	// JSON of the canonical struct is stable: fields are emitted in
+	// declaration order and Faults keep their scheduled order.
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Schedule contains only scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("chaos: fingerprint: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// GenerateOptions bound the random schedule Generate draws.
+type GenerateOptions struct {
+	// Length is the run length the schedule covers. Required.
+	Length time.Duration
+	// HealTail is the fault-free suffix reserved for reconvergence
+	// measurement; 0 means a quarter of Length.
+	HealTail time.Duration
+	// MinWindow/MaxWindow bound each fault window; zero means
+	// Length/20 and Length/6.
+	MinWindow, MaxWindow time.Duration
+	// Kinds restricts the vocabulary; nil means all Kinds.
+	Kinds []FaultKind
+}
+
+// Generate draws a deterministic schedule from the seed: sequential,
+// non-overlapping fault windows with gaps, covering Length minus a
+// fault-free heal tail. The same (seed, opts) always returns an
+// identical schedule.
+func Generate(seed int64, opts GenerateOptions) Schedule {
+	if opts.Length <= 0 {
+		opts.Length = 10 * time.Second
+	}
+	if opts.HealTail <= 0 {
+		opts.HealTail = opts.Length / 4
+	}
+	if opts.MinWindow <= 0 {
+		opts.MinWindow = opts.Length / 20
+	}
+	if opts.MaxWindow <= opts.MinWindow {
+		opts.MaxWindow = opts.Length / 6
+		if opts.MaxWindow <= opts.MinWindow {
+			opts.MaxWindow = opts.MinWindow * 2
+		}
+	}
+	kinds := opts.Kinds
+	if len(kinds) == 0 {
+		kinds = Kinds
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed, Length: opts.Length}
+	faultBudget := opts.Length - opts.HealTail
+	at := time.Duration(rng.Int63n(int64(opts.MinWindow) + 1))
+	for at < faultBudget {
+		w := opts.MinWindow +
+			time.Duration(rng.Int63n(int64(opts.MaxWindow-opts.MinWindow)+1))
+		if at+w > faultBudget {
+			w = faultBudget - at
+		}
+		if w < opts.MinWindow/2 {
+			break
+		}
+		f := Fault{
+			Kind:  kinds[rng.Intn(len(kinds))],
+			Start: at,
+			End:   at + w,
+		}
+		switch f.Kind {
+		case FaultLatency:
+			f.Latency = 10*time.Millisecond +
+				time.Duration(rng.Int63n(int64(90*time.Millisecond)))
+			f.Jitter = time.Duration(rng.Int63n(int64(f.Latency)/2 + 1))
+		case Fault5xx:
+			f.RetryAfter = 1 + rng.Intn(3)
+		}
+		s.Faults = append(s.Faults, f)
+		// Gap before the next window.
+		at = f.End + opts.MinWindow/2 +
+			time.Duration(rng.Int63n(int64(opts.MinWindow)+1))
+	}
+	sort.Slice(s.Faults, func(i, j int) bool { return s.Faults[i].Start < s.Faults[j].Start })
+	return s
+}

@@ -1,0 +1,245 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	opts := GenerateOptions{Length: 10 * time.Second}
+	a := Generate(42, opts)
+	b := Generate(42, opts)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same seed, different schedules:\n%+v\n%+v", a, b)
+	}
+	if len(a.Faults) == 0 {
+		t.Fatal("seed 42 generated an empty schedule")
+	}
+	c := Generate(7, opts)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatalf("seeds 42 and 7 generated identical schedules: %+v", a)
+	}
+}
+
+func TestGenerateReservesHealTail(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		s := Generate(seed, GenerateOptions{Length: 10 * time.Second})
+		if end := s.LastFaultEnd(); end > 7500*time.Millisecond {
+			t.Errorf("seed %d: last fault ends at %v, inside the heal tail", seed, end)
+		}
+		for _, f := range s.Faults {
+			if f.End <= f.Start {
+				t.Errorf("seed %d: empty window %+v", seed, f)
+			}
+		}
+		// Windows are non-overlapping and ordered.
+		for i := 1; i < len(s.Faults); i++ {
+			if s.Faults[i].Start < s.Faults[i-1].End {
+				t.Errorf("seed %d: overlapping windows %+v / %+v",
+					seed, s.Faults[i-1], s.Faults[i])
+			}
+		}
+	}
+}
+
+func TestScheduleQueries(t *testing.T) {
+	s := Schedule{Length: 10 * time.Second, Faults: []Fault{
+		{Kind: FaultReset, Start: time.Second, End: 2 * time.Second},
+		{Kind: FaultLatency, Start: 3 * time.Second, End: 4 * time.Second},
+	}}
+	if !s.HealthyAt(500 * time.Millisecond) {
+		t.Error("healthy gap reported unhealthy")
+	}
+	if s.HealthyAt(1500 * time.Millisecond) {
+		t.Error("reset window reported healthy")
+	}
+	if _, on := s.Active(FaultReset, 1500*time.Millisecond); !on {
+		t.Error("reset not active inside its window")
+	}
+	if _, on := s.Active(FaultReset, 2*time.Second); on {
+		t.Error("window end is exclusive")
+	}
+	if got := s.LastFaultEnd(); got != 4*time.Second {
+		t.Errorf("LastFaultEnd = %v, want 4s", got)
+	}
+}
+
+// upstream returns a backend serving a fixed body plus a proxy in front
+// of it executing sched.
+func upstream(t *testing.T, body string, sched Schedule) (*Proxy, func()) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	p, err := NewProxy(strings.TrimPrefix(srv.URL, "http://"), sched, Options{})
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	return p, func() { p.Close(); srv.Close() }
+}
+
+// freshGet performs a GET over a brand-new connection (no keep-alive
+// reuse across calls), returning body bytes and error.
+func freshGet(p *Proxy) (*http.Response, []byte, error) {
+	client := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   5 * time.Second,
+	}
+	resp, err := client.Get("http://" + p.Addr() + "/")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp, b, err
+}
+
+func always(kind FaultKind, f Fault) Schedule {
+	f.Kind = kind
+	f.Start = 0
+	f.End = time.Hour
+	return Schedule{Length: time.Hour, Faults: []Fault{f}}
+}
+
+func TestProxyPassthrough(t *testing.T) {
+	p, done := upstream(t, "hello fleet", Schedule{Length: time.Hour})
+	defer done()
+	resp, body, err := freshGet(p)
+	if err != nil || resp.StatusCode != 200 || string(body) != "hello fleet" {
+		t.Fatalf("passthrough: resp=%v body=%q err=%v", resp, body, err)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	p, done := upstream(t, "x", always(FaultLatency, Fault{Latency: 150 * time.Millisecond}))
+	defer done()
+	start := time.Now()
+	if _, _, err := freshGet(p); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 150*time.Millisecond {
+		t.Errorf("latency fault: RTT %v < 150ms", d)
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	p, done := upstream(t, "x", always(FaultReset, Fault{}))
+	defer done()
+	if _, _, err := freshGet(p); err == nil {
+		t.Fatal("request through reset window succeeded")
+	}
+	if evs := p.Events(); len(evs) == 0 || evs[0].Kind != FaultReset {
+		t.Errorf("events = %+v, want a reset", evs)
+	}
+}
+
+func TestProxyFlap5xx(t *testing.T) {
+	p, done := upstream(t, "x", always(Fault5xx, Fault{RetryAfter: 2}))
+	defer done()
+	resp, _, err := freshGet(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("code = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want 2", got)
+	}
+}
+
+func TestProxyTruncate(t *testing.T) {
+	body := strings.Repeat("snapshotbytes", 1000)
+	p, done := upstream(t, body, always(FaultTruncate, Fault{}))
+	defer done()
+	_, got, err := freshGet(p)
+	if err == nil && len(got) == len(body) {
+		t.Fatal("full body arrived through truncate window")
+	}
+	// The cut must be detectable: either the read errors (unexpected
+	// EOF against Content-Length) or fewer bytes than promised arrive.
+	if err == nil && len(got) >= len(body) {
+		t.Fatalf("read %d bytes with nil error, want mid-body failure", len(got))
+	}
+}
+
+func TestProxyCorrupt(t *testing.T) {
+	body := strings.Repeat("snapshotbytes", 1000)
+	p, done := upstream(t, body, always(FaultCorrupt, Fault{}))
+	defer done()
+	resp, got, err := freshGet(p)
+	if err != nil {
+		t.Fatalf("corrupt window must deliver a well-formed response, got %v", err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("code = %d, want 200 (headers untouched)", resp.StatusCode)
+	}
+	if len(got) != len(body) {
+		t.Fatalf("length changed: %d, want %d", len(got), len(body))
+	}
+	if bytes.Equal(got, []byte(body)) {
+		t.Fatal("body arrived unmodified through corrupt window")
+	}
+}
+
+func TestProxyPartition(t *testing.T) {
+	p, done := upstream(t, "x", always(FaultPartition, Fault{}))
+	defer done()
+	if _, _, err := freshGet(p); err == nil {
+		t.Fatal("request through partition succeeded")
+	}
+}
+
+func TestProxyStallHoldsThenHeals(t *testing.T) {
+	p, done := upstream(t, "x", Schedule{Length: time.Hour, Faults: []Fault{
+		{Kind: FaultStall, Start: 0, End: 400 * time.Millisecond},
+	}})
+	defer done()
+	start := time.Now()
+	resp, body, err := freshGet(p)
+	if err != nil || resp.StatusCode != 200 || string(body) != "x" {
+		t.Fatalf("stalled request: resp=%v body=%q err=%v", resp, body, err)
+	}
+	if d := time.Since(start); d < 300*time.Millisecond {
+		t.Errorf("stall released after %v, want ~400ms hold", d)
+	}
+}
+
+func TestProxyHeals(t *testing.T) {
+	p, done := upstream(t, "x", Schedule{Length: time.Hour, Faults: []Fault{
+		{Kind: FaultReset, Start: 0, End: 300 * time.Millisecond},
+	}})
+	defer done()
+	if _, _, err := freshGet(p); err == nil {
+		t.Fatal("request inside reset window succeeded")
+	}
+	time.Sleep(350 * time.Millisecond)
+	resp, body, err := freshGet(p)
+	if err != nil || resp.StatusCode != 200 || string(body) != "x" {
+		t.Fatalf("post-heal request: resp=%v body=%q err=%v", resp, body, err)
+	}
+}
+
+func TestProxyDeadUpstream(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := ln.Addr().String()
+	ln.Close()
+	p, err := NewProxy(target, Schedule{Length: time.Hour}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, _, err := freshGet(p); err == nil {
+		t.Fatal("request to dead upstream succeeded")
+	}
+}

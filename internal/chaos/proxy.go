@@ -1,0 +1,322 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event records one applied fault, for the run report.
+type Event struct {
+	At     time.Duration `json:"at"` // elapsed since proxy start
+	Kind   FaultKind     `json:"kind"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// Options configure a Proxy beyond its schedule.
+type Options struct {
+	// Listen is the address to listen on; empty means 127.0.0.1:0.
+	Listen string
+	// Now is a clock hook for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Proxy is a TCP proxy that executes a fault Schedule on traffic
+// between its listener and a fixed upstream. Fault windows are
+// evaluated against the proxy's own clock: at accept time for
+// partitions, and on every forwarded chunk for everything else — so a
+// keep-alive connection that lives across windows still feels each
+// fault while it is active.
+type Proxy struct {
+	target string
+	now    func() time.Time
+	ln     net.Listener
+
+	mu     sync.Mutex
+	sched  Schedule
+	start  time.Time
+	events []Event
+	conns  int64
+	closed bool
+}
+
+// NewProxy starts a proxy in front of target (host:port), executing
+// sched from the moment of this call.
+func NewProxy(target string, sched Schedule, opts Options) (*Proxy, error) {
+	listen := opts.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	p := &Proxy{target: target, sched: sched, now: now, ln: ln, start: now()}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Schedule returns the fault script the proxy executes.
+func (p *Proxy) Schedule() Schedule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sched
+}
+
+// Arm replaces the schedule and restarts its clock. The harness boots
+// the fleet through a passive proxy (empty schedule) so replica priming
+// can't trip over a fault window, then arms the script when the storm
+// begins — elapsed offsets in the schedule are measured from that
+// moment.
+func (p *Proxy) Arm(sched Schedule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sched = sched
+	p.start = p.now()
+}
+
+// Close stops accepting and tears the listener down. In-flight pipes
+// wind down as their connections close.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	return p.ln.Close()
+}
+
+// Events returns a copy of the applied-fault log.
+func (p *Proxy) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+func (p *Proxy) elapsed() time.Duration {
+	p.mu.Lock()
+	start := p.start
+	p.mu.Unlock()
+	return p.now().Sub(start)
+}
+
+// activeFault answers "is this fault kind on right now?" against the
+// armed schedule and its clock.
+func (p *Proxy) activeFault(kind FaultKind) (Fault, bool) {
+	p.mu.Lock()
+	sched, start := p.sched, p.start
+	p.mu.Unlock()
+	return sched.Active(kind, p.now().Sub(start))
+}
+
+func (p *Proxy) note(kind FaultKind, detail string) {
+	at := p.elapsed()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.events = append(p.events, Event{At: at, Kind: kind, Detail: detail})
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		p.conns++
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			conn.Close()
+			return
+		}
+		go p.handle(conn)
+	}
+}
+
+// hardClose closes with SetLinger(0) so the peer sees a RST, not a
+// graceful FIN — a reset fault must look like a reset, and a truncation
+// must not be mistakable for a complete response.
+func hardClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+// connState is shared by both pipe directions of one proxied
+// connection.
+type connState struct {
+	client, upstream net.Conn
+	closeOnce        sync.Once
+	// seenHeaderEnd flips once the response stream has passed the HTTP
+	// header terminator; corruption only touches bytes after it so the
+	// client reads a well-formed response whose *payload* is wrong —
+	// the case only a checksum can catch.
+	mu            sync.Mutex
+	seenHeaderEnd bool
+}
+
+func (st *connState) closeBoth(hard bool) {
+	st.closeOnce.Do(func() {
+		if hard {
+			hardClose(st.client)
+			hardClose(st.upstream)
+			return
+		}
+		st.client.Close()
+		st.upstream.Close()
+	})
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	if _, on := p.activeFault(FaultPartition); on {
+		p.note(FaultPartition, "refused connection")
+		hardClose(client)
+		return
+	}
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		hardClose(client)
+		return
+	}
+	st := &connState{client: client, upstream: upstream}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.pipe(st, client, upstream, true) }()
+	go func() { defer wg.Done(); p.pipe(st, upstream, client, false) }()
+	wg.Wait()
+	st.closeBoth(false)
+}
+
+// pipe forwards src→dst chunk by chunk, re-checking the schedule on
+// every chunk. request=true is the client→upstream direction.
+func (p *Proxy) pipe(st *connState, src, dst net.Conn, request bool) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			if !p.forward(st, dst, buf[:n], request) {
+				return
+			}
+		}
+		if rerr != nil {
+			if rerr != io.EOF {
+				st.closeBoth(false)
+				return
+			}
+			// Half-close: let the other direction drain.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}
+
+// forward applies active faults to one chunk and writes it on. Returns
+// false when the connection was killed by a fault or a write error.
+func (p *Proxy) forward(st *connState, dst net.Conn, chunk []byte, request bool) bool {
+	if _, on := p.activeFault(FaultPartition); on {
+		p.note(FaultPartition, "cut mid-connection")
+		st.closeBoth(true)
+		return false
+	}
+	if _, on := p.activeFault(FaultReset); on {
+		p.note(FaultReset, "reset mid-connection")
+		st.closeBoth(true)
+		return false
+	}
+
+	if request {
+		// A new request on a keep-alive connection means the next
+		// response starts with fresh headers.
+		st.resetHeaders()
+		if f, on := p.activeFault(FaultStall); on {
+			// Hold the chunk until the window ends; the connection
+			// stays open but silent.
+			p.note(FaultStall, "holding request")
+			if d := f.End - p.elapsed(); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if f, on := p.activeFault(Fault5xx); on {
+			p.note(Fault5xx, "synthesized 503")
+			fmt.Fprintf(st.client,
+				"HTTP/1.1 503 Service Unavailable\r\nRetry-After: %d\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+				f.RetryAfter)
+			st.closeBoth(false)
+			return false
+		}
+		if f, on := p.activeFault(FaultLatency); on {
+			d := f.Latency
+			if f.Jitter > 0 {
+				// Jitter derived from the chunk, not a shared RNG:
+				// per-chunk spread without cross-connection lock traffic.
+				d += time.Duration(int64(len(chunk)*7919) % int64(f.Jitter))
+			}
+			time.Sleep(d)
+		}
+	} else {
+		past := st.pastHeaders(chunk)
+		if _, on := p.activeFault(FaultTruncate); on && past > 0 && past < len(chunk) {
+			// Forward the headers plus part of the body, then RST: the
+			// client sees Content-Length promised and the stream die
+			// mid-body — an unexpected EOF, never a clean short read.
+			cut := past + (len(chunk)-past)/2
+			if cut <= past {
+				cut = past + 1
+			}
+			p.note(FaultTruncate, fmt.Sprintf("cut response after %d/%d bytes", cut, len(chunk)))
+			dst.Write(chunk[:cut])
+			st.closeBoth(true)
+			return false
+		}
+		if _, on := p.activeFault(FaultCorrupt); on && past < len(chunk) {
+			// Flip one bit per chunk in the body region: the response
+			// stays well-formed and full-length, only the payload lies.
+			i := past + (len(chunk)-past)/2
+			chunk[i] ^= 0x80
+			p.note(FaultCorrupt, fmt.Sprintf("flipped byte %d of %d", i, len(chunk)))
+		}
+	}
+
+	if _, err := dst.Write(chunk); err != nil {
+		st.closeBoth(false)
+		return false
+	}
+	return true
+}
+
+// pastHeaders returns the index of the first body byte inside chunk,
+// len(chunk) if the chunk is all headers, or 0..n once headers have
+// already been passed on an earlier chunk. It tracks the HTTP header
+// terminator across chunks so body-only faults never chew on headers.
+func (st *connState) resetHeaders() {
+	st.mu.Lock()
+	st.seenHeaderEnd = false
+	st.mu.Unlock()
+}
+
+func (st *connState) pastHeaders(chunk []byte) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.seenHeaderEnd {
+		return 0
+	}
+	if i := strings.Index(string(chunk), "\r\n\r\n"); i >= 0 {
+		st.seenHeaderEnd = true
+		return i + 4
+	}
+	return len(chunk)
+}

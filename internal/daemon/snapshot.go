@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"context"
@@ -16,26 +16,26 @@ import (
 // snapshots is the daemon's persistence and replication layer, built on
 // internal/snapstore. One struct covers both roles:
 //
-//   - Publisher (-snapshot-dir, no -snapshot-url): every successful
+//   - Publisher (SnapshotDir, no SnapshotURL): every successful
 //     reload is encoded once, durably published to the store, and
 //     exposed on /snapshot/current; cold start decodes the newest valid
 //     on-disk generation instead of re-running inference.
-//   - Replica (-snapshot-url): the reload builder fetches encoded
+//   - Replica (SnapshotURL): the reload builder fetches encoded
 //     snapshots from an upstream publisher instead of loading a
 //     dataset; a poll loop probes for new generations and drives
 //     reloads through the serve.Server machinery, so fetch failures
 //     degrade exactly like dataset failures (serve last-good, flip
-//     /readyz, open the breaker). With -snapshot-dir too, fetched
+//     /readyz, open the breaker). With SnapshotDir too, fetched
 //     generations are cached on disk and a cold start with the
 //     publisher down serves the cache.
 type snapshots struct {
-	cfg     config
+	cfg     Config
 	log     *telemetry.Logger
 	metrics *snapstore.Metrics
 
-	store   *snapstore.Store     // nil without -snapshot-dir
+	store   *snapstore.Store     // nil without SnapshotDir
 	pub     *snapstore.Publisher // /snapshot/current state, always set
-	fetcher *snapstore.Fetcher   // nil without -snapshot-url
+	fetcher *snapstore.Fetcher   // nil without SnapshotURL
 
 	// nextGen numbers generations this daemon publishes; seeded from
 	// the store's newest on-disk generation so restarts stay monotonic.
@@ -51,14 +51,20 @@ type snapshots struct {
 	upstreamGen atomic.Uint64
 	lastContact atomic.Int64 // unixnano, 0 = never
 	lastErr     atomic.Pointer[string]
+
+	// backoffUntil is the unixnano deadline a publisher Retry-After hint
+	// set: poll ticks before it are skipped. The fetcher caps hints at
+	// the poll interval, so a lying publisher can delay at most one
+	// tick.
+	backoffUntil atomic.Int64
 }
 
 // newSnapshots prepares the snapshot layer: opens the store, recovers
 // the newest valid on-disk generation (if any), and seeds the
-// generation counter. Returns nil when neither -snapshot-dir nor
-// -snapshot-url is set.
-func newSnapshots(cfg config, log *telemetry.Logger, reg *telemetry.Registry) (*snapshots, error) {
-	if cfg.snapshotDir == "" && cfg.snapshotURL == "" {
+// generation counter. Returns nil when neither SnapshotDir nor
+// SnapshotURL is set.
+func newSnapshots(cfg Config, log *telemetry.Logger, reg *telemetry.Registry) (*snapshots, error) {
+	if cfg.SnapshotDir == "" && cfg.SnapshotURL == "" {
 		return nil, nil
 	}
 	d := &snapshots{
@@ -67,9 +73,9 @@ func newSnapshots(cfg config, log *telemetry.Logger, reg *telemetry.Registry) (*
 		metrics: snapstore.NewMetrics(reg),
 		pub:     snapstore.NewPublisher(),
 	}
-	if cfg.snapshotDir != "" {
-		st, err := snapstore.Open(cfg.snapshotDir, snapstore.StoreOptions{
-			Keep:    cfg.snapshotKeep,
+	if cfg.SnapshotDir != "" {
+		st, err := snapstore.Open(cfg.SnapshotDir, snapstore.StoreOptions{
+			Keep:    cfg.SnapshotKeep,
 			Logger:  log,
 			Metrics: d.metrics,
 		})
@@ -87,17 +93,20 @@ func newSnapshots(cfg config, log *telemetry.Logger, reg *telemetry.Registry) (*
 			d.servingGen.Store(gen)
 			d.pub.Set(data)
 			log.Info("cold start from snapshot store",
-				"dir", cfg.snapshotDir, "generation", gen, "inferences", snap.NumInferences())
+				"dir", cfg.SnapshotDir, "generation", gen, "inferences", snap.NumInferences())
 		case errors.Is(err, snapstore.ErrNoSnapshot):
-			log.Info("snapshot store empty, first load will run inference", "dir", cfg.snapshotDir)
+			log.Info("snapshot store empty, first load will run inference", "dir", cfg.SnapshotDir)
 		default:
 			return nil, err
 		}
 	}
-	if cfg.snapshotURL != "" {
-		d.fetcher = snapstore.NewFetcher(cfg.snapshotURL, snapstore.FetcherOptions{
+	if cfg.SnapshotURL != "" {
+		d.fetcher = snapstore.NewFetcher(cfg.SnapshotURL, snapstore.FetcherOptions{
 			Logger:  log,
 			Metrics: d.metrics,
+			// Honored Retry-After hints never exceed one poll interval: a
+			// publisher asking for an hour must not stall replication.
+			RetryAfterCap: cfg.Poll,
 		})
 	}
 	return d, nil
@@ -147,7 +156,7 @@ func (d *snapshots) buildFromFetch(ctx context.Context) (*serve.Snapshot, error)
 		if !errors.Is(err, snapstore.ErrUnchanged) {
 			if snap := d.takeCold(); snap != nil {
 				d.log.Warn("publisher unreachable, serving cached snapshot",
-					"url", d.cfg.snapshotURL, "generation", d.servingGen.Load(), "err", err)
+					"url", d.cfg.SnapshotURL, "generation", d.servingGen.Load(), "err", err)
 				return snap, nil
 			}
 			return nil, err
@@ -220,6 +229,14 @@ func (d *snapshots) noteError(err error) {
 	}
 	msg := err.Error()
 	d.lastErr.Store(&msg)
+	// A Retry-After hint on the failure (publisher answering 429/503
+	// with an explicit back-off) suppresses poll ticks until it
+	// expires; the fetcher already capped it at the poll interval.
+	var ra *snapstore.RetryAfterError
+	if errors.As(err, &ra) && ra.After > 0 {
+		d.backoffUntil.Store(time.Now().Add(ra.After).UnixNano())
+		d.log.Warn("publisher asked to back off", "retry_after", ra.After, "err", err)
+	}
 }
 
 // observeLag refreshes the replica_generation_lag gauge.
@@ -234,9 +251,9 @@ func (d *snapshots) observeLag() {
 
 // replicationStatus is the serve.Config.Replication hook.
 func (d *snapshots) replicationStatus() *serve.ReplicationStatus {
-	source := d.cfg.snapshotURL
+	source := d.cfg.SnapshotURL
 	if source == "" {
-		source = d.cfg.snapshotDir
+		source = d.cfg.SnapshotDir
 	}
 	rs := &serve.ReplicationStatus{
 		Source:              source,
@@ -264,13 +281,16 @@ func (d *snapshots) replicationStatus() *serve.ReplicationStatus {
 // generation, the reload is forced: the half-open recovery path that
 // lets a replica heal without an operator SIGHUP.
 func (d *snapshots) pollLoop(ctx context.Context, s *serve.Server) {
-	t := time.NewTicker(d.cfg.poll)
+	t := time.NewTicker(d.cfg.Poll)
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
+			if until := d.backoffUntil.Load(); until != 0 && time.Now().UnixNano() < until {
+				continue // the publisher asked for room; honor it
+			}
 			d.pollTick(ctx, s)
 		}
 	}
@@ -281,7 +301,7 @@ func (d *snapshots) pollTick(ctx context.Context, s *serve.Server) {
 	consecFails, breakerOpen := s.Degraded()
 	if err != nil {
 		d.noteError(err)
-		d.log.Warn("publisher probe failed", "url", d.cfg.snapshotURL, "err", err)
+		d.log.Warn("publisher probe failed", "url", d.cfg.SnapshotURL, "err", err)
 		if !breakerOpen {
 			// Drive a reload so the failure is accounted: retries, then
 			// consecutive-failure tracking, then the breaker.

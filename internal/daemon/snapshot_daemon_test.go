@@ -1,4 +1,4 @@
-package main
+package daemon
 
 // End-to-end persistence and replication: a publisher daemon writing
 // binary generations to -snapshot-dir, a cold start that serves them
@@ -18,20 +18,20 @@ import (
 // startDaemonCtx is startDaemon under a caller-owned context, so a test
 // can stop one daemon (publisher) while another (replica) keeps
 // running — signals would hit both, they share the process.
-func startDaemonCtx(t *testing.T, ctx context.Context, dir string, cfg config) (string, *logBuffer, chan error) {
+func startDaemonCtx(t *testing.T, ctx context.Context, dir string, cfg Config) (string, *logBuffer, chan error) {
 	t.Helper()
-	cfg.data = dir
-	if cfg.addr == "" {
-		cfg.addr = "127.0.0.1:0"
+	cfg.Data = dir
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
 	}
-	if cfg.drain == 0 {
-		cfg.drain = 5 * time.Second
+	if cfg.Drain == 0 {
+		cfg.Drain = 5 * time.Second
 	}
 	logs := &logBuffer{}
 	ready := make(chan string, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, cfg, logs, func(addr string) { ready <- addr })
+		errc <- Run(ctx, cfg, logs, func(addr string) { ready <- addr })
 	}()
 	select {
 	case addr := <-ready:
@@ -83,7 +83,7 @@ func TestDaemonPersistsAndColdStarts(t *testing.T) {
 	snapDir := filepath.Join(t.TempDir(), "snaps")
 
 	ctx1, cancel1 := context.WithCancel(context.Background())
-	base, _, errc1 := startDaemonCtx(t, ctx1, dir, config{snapshotDir: snapDir})
+	base, _, errc1 := startDaemonCtx(t, ctx1, dir, Config{SnapshotDir: snapDir})
 	_, table1 := getBody(t, base+"/table1")
 	_, lookup := getBody(t, base+"/lookup?ip=203.0.113.99")
 	if gen := snapshotCurrentGen(t, base); gen != "1" {
@@ -103,7 +103,7 @@ func TestDaemonPersistsAndColdStarts(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx2, cancel2 := context.WithCancel(context.Background())
-	base2, logs2, errc2 := startDaemonCtx(t, ctx2, dir, config{snapshotDir: snapDir})
+	base2, logs2, errc2 := startDaemonCtx(t, ctx2, dir, Config{SnapshotDir: snapDir})
 	defer stopDaemon(t, cancel2, errc2)
 
 	if !strings.Contains(logs2.String(), "cold start from snapshot store") {
@@ -150,15 +150,15 @@ func TestReplicaServesAndSurvivesPublisherOutage(t *testing.T) {
 	dir := dataset(t)
 
 	ctxP, cancelP := context.WithCancel(context.Background())
-	pubBase, _, errcP := startDaemonCtx(t, ctxP, dir, config{
-		snapshotDir: filepath.Join(t.TempDir(), "snaps"),
+	pubBase, _, errcP := startDaemonCtx(t, ctxP, dir, Config{
+		SnapshotDir: filepath.Join(t.TempDir(), "snaps"),
 	})
 
 	ctxR, cancelR := context.WithCancel(context.Background())
 	repBase, logsR, errcR := startDaemonCtx(t, ctxR,
-		filepath.Join(t.TempDir(), "no-dataset-here"), config{
-			snapshotURL: pubBase + "/snapshot/current",
-			poll:        50 * time.Millisecond,
+		filepath.Join(t.TempDir(), "no-dataset-here"), Config{
+			SnapshotURL: pubBase + "/snapshot/current",
+			Poll:        50 * time.Millisecond,
 		})
 	defer stopDaemon(t, cancelR, errcR)
 
@@ -232,14 +232,14 @@ func TestReplicaRecoversWhenPublisherReturnsSameGeneration(t *testing.T) {
 	snaps := filepath.Join(t.TempDir(), "snaps")
 
 	ctxP, cancelP := context.WithCancel(context.Background())
-	pubBase, _, errcP := startDaemonCtx(t, ctxP, dir, config{snapshotDir: snaps})
+	pubBase, _, errcP := startDaemonCtx(t, ctxP, dir, Config{SnapshotDir: snaps})
 	pubAddr := strings.TrimPrefix(pubBase, "http://")
 
 	ctxR, cancelR := context.WithCancel(context.Background())
 	repBase, logsR, errcR := startDaemonCtx(t, ctxR,
-		filepath.Join(t.TempDir(), "none"), config{
-			snapshotURL: pubBase + "/snapshot/current",
-			poll:        50 * time.Millisecond,
+		filepath.Join(t.TempDir(), "none"), Config{
+			SnapshotURL: pubBase + "/snapshot/current",
+			Poll:        50 * time.Millisecond,
 		})
 	defer stopDaemon(t, cancelR, errcR)
 	_, wantTable1 := getBody(t, repBase+"/table1")
@@ -261,7 +261,7 @@ func TestReplicaRecoversWhenPublisherReturnsSameGeneration(t *testing.T) {
 	// The publisher returns on the same address, cold-starting from its
 	// store: same generation, nothing new to fetch.
 	ctxP2, cancelP2 := context.WithCancel(context.Background())
-	_, _, errcP2 := startDaemonCtx(t, ctxP2, dir, config{snapshotDir: snaps, addr: pubAddr})
+	_, _, errcP2 := startDaemonCtx(t, ctxP2, dir, Config{SnapshotDir: snaps, Addr: pubAddr})
 	defer stopDaemon(t, cancelP2, errcP2)
 
 	deadline = time.Now().Add(30 * time.Second)
@@ -290,16 +290,16 @@ func TestReplicaColdCacheServesWithPublisherDown(t *testing.T) {
 
 	// Seed the cache: a replica run against a live publisher.
 	ctxP, cancelP := context.WithCancel(context.Background())
-	pubBase, _, errcP := startDaemonCtx(t, ctxP, dir, config{
-		snapshotDir: filepath.Join(t.TempDir(), "snaps"),
+	pubBase, _, errcP := startDaemonCtx(t, ctxP, dir, Config{
+		SnapshotDir: filepath.Join(t.TempDir(), "snaps"),
 	})
 	_, wantTable1 := getBody(t, pubBase+"/table1")
 	ctxR, cancelR := context.WithCancel(context.Background())
 	_, _, errcR := startDaemonCtx(t, ctxR,
-		filepath.Join(t.TempDir(), "none"), config{
-			snapshotURL: pubBase + "/snapshot/current",
-			snapshotDir: cache,
-			poll:        time.Hour,
+		filepath.Join(t.TempDir(), "none"), Config{
+			SnapshotURL: pubBase + "/snapshot/current",
+			SnapshotDir: cache,
+			Poll:        time.Hour,
 		})
 	stopDaemon(t, cancelR, errcR)
 	stopDaemon(t, cancelP, errcP)
@@ -307,10 +307,10 @@ func TestReplicaColdCacheServesWithPublisherDown(t *testing.T) {
 	// Publisher down, cache warm: the replica must still come up.
 	ctx2, cancel2 := context.WithCancel(context.Background())
 	repBase, logs2, errc2 := startDaemonCtx(t, ctx2,
-		filepath.Join(t.TempDir(), "none"), config{
-			snapshotURL: pubBase + "/snapshot/current", // dead address
-			snapshotDir: cache,
-			poll:        time.Hour,
+		filepath.Join(t.TempDir(), "none"), Config{
+			SnapshotURL: pubBase + "/snapshot/current", // dead address
+			SnapshotDir: cache,
+			Poll:        time.Hour,
 		})
 	defer stopDaemon(t, cancel2, errc2)
 	if _, got := getBody(t, repBase+"/table1"); got != wantTable1 {

@@ -1,0 +1,374 @@
+// Package loadgen is a closed-loop workload generator for the lease
+// lookup fleet: a pool of workers drives a seeded mix of /lookup,
+// /lookup/batch, and /table1 traffic at a configurable aggregate rate
+// against one or more targets, recording per-op latency samples and
+// timestamped error events. The chaos harness runs it for the whole
+// storm and hands its report to the invariant checker, which needs the
+// error timestamps to decide whether each failure fell inside or
+// outside a scheduled fault window.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op kinds in the default traffic mix.
+const (
+	OpLookup = "lookup"
+	OpBatch  = "batch"
+	OpTable1 = "table1"
+)
+
+// Op weights one operation kind in the mix.
+type Op struct {
+	Kind   string
+	Weight int
+}
+
+// DefaultMix mirrors the expected production shape: mostly single
+// lookups, some batches, an occasional table scrape.
+var DefaultMix = []Op{
+	{Kind: OpLookup, Weight: 8},
+	{Kind: OpBatch, Weight: 3},
+	{Kind: OpTable1, Weight: 1},
+}
+
+// Config parameterizes a Generator.
+type Config struct {
+	// Targets are the base URLs load is spread across (round-robin per
+	// worker). Required.
+	Targets []string
+	// QPS is the aggregate request rate across all workers; 0 means
+	// unthrottled closed-loop (each worker fires as fast as responses
+	// return).
+	QPS float64
+	// Concurrency is the worker count; 0 means 4.
+	Concurrency int
+	// Seed drives op selection and query choice; the same seed yields
+	// the same per-worker op sequence.
+	Seed int64
+	// Mix is the op mix; nil means DefaultMix.
+	Mix []Op
+	// IPs is the pool single lookups and batches draw from; nil means a
+	// generated 10.0.0.0/16 spread.
+	IPs []string
+	// Client is the HTTP client; nil gets a 5s-timeout client.
+	Client *http.Client
+	// MaxErrorEvents caps the retained error log; 0 means 1024.
+	MaxErrorEvents int
+}
+
+// ErrorEvent is one failed request, timestamped for fault-window
+// correlation.
+type ErrorEvent struct {
+	At     time.Time `json:"at"`
+	Target string    `json:"target"`
+	Op     string    `json:"op"`
+	Status int       `json:"status,omitempty"`
+	Err    string    `json:"err,omitempty"`
+}
+
+// OpStats aggregates one op kind across the run.
+type OpStats struct {
+	Count  int64         `json:"count"`
+	Errors int64         `json:"errors"`
+	P50    time.Duration `json:"p50_ns"`
+	P90    time.Duration `json:"p90_ns"`
+	P99    time.Duration `json:"p99_ns"`
+	Max    time.Duration `json:"max_ns"`
+}
+
+// Report is the run summary the harness embeds in its output.
+type Report struct {
+	Started     time.Time           `json:"started"`
+	Ended       time.Time           `json:"ended"`
+	Requests    int64               `json:"requests"`
+	Errors      int64               `json:"errors"`
+	ByOp        map[string]*OpStats `json:"by_op"`
+	ErrorEvents []ErrorEvent        `json:"error_events,omitempty"`
+	// ErrorEventsDropped counts events past the MaxErrorEvents cap, so
+	// a truncated log is never mistaken for a short one.
+	ErrorEventsDropped int64 `json:"error_events_dropped,omitempty"`
+}
+
+// ErrorRate returns errors/requests, 0 for an empty run.
+func (r *Report) ErrorRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Requests)
+}
+
+// opRecorder accumulates latency samples for one op kind. Samples are
+// capped; past the cap we keep counting but stop sampling (good enough
+// for smoke-length runs, which stay under the cap anyway).
+type opRecorder struct {
+	mu      sync.Mutex
+	count   int64
+	errors  int64
+	samples []time.Duration
+}
+
+const maxSamples = 1 << 17
+
+func (o *opRecorder) observe(d time.Duration, ok bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.count++
+	if !ok {
+		o.errors++
+	}
+	if len(o.samples) < maxSamples {
+		o.samples = append(o.samples, d)
+	}
+}
+
+func (o *opRecorder) stats() *OpStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st := &OpStats{Count: o.count, Errors: o.errors}
+	if len(o.samples) == 0 {
+		return st
+	}
+	s := make([]time.Duration, len(o.samples))
+	copy(s, o.samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(s)-1))
+		return s[i]
+	}
+	st.P50, st.P90, st.P99, st.Max = q(0.50), q(0.90), q(0.99), s[len(s)-1]
+	return st
+}
+
+// Generator drives the workload. One Generator is good for one Run.
+type Generator struct {
+	cfg    Config
+	client *http.Client
+	mix    []Op
+	ips    []string
+
+	requests atomic.Int64
+	errors   atomic.Int64
+
+	mu        sync.Mutex
+	byOp      map[string]*opRecorder
+	events    []ErrorEvent
+	dropped   int64
+	maxEvents int
+}
+
+// New validates cfg and returns a ready Generator.
+func New(cfg Config) (*Generator, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no targets")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = DefaultMix
+	}
+	total := 0
+	for _, op := range mix {
+		if op.Weight < 0 {
+			return nil, fmt.Errorf("loadgen: negative weight for %s", op.Kind)
+		}
+		total += op.Weight
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("loadgen: zero-weight mix")
+	}
+	ips := cfg.IPs
+	if len(ips) == 0 {
+		for i := 0; i < 256; i++ {
+			ips = append(ips, fmt.Sprintf("10.0.%d.%d", i%8, i))
+		}
+	}
+	maxEvents := cfg.MaxErrorEvents
+	if maxEvents <= 0 {
+		maxEvents = 1024
+	}
+	return &Generator{
+		cfg: cfg, client: client, mix: mix, ips: ips,
+		byOp:      map[string]*opRecorder{},
+		maxEvents: maxEvents,
+	}, nil
+}
+
+func (g *Generator) recorder(kind string) *opRecorder {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := g.byOp[kind]
+	if r == nil {
+		r = &opRecorder{}
+		g.byOp[kind] = r
+	}
+	return r
+}
+
+func (g *Generator) noteError(ev ErrorEvent) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.events) >= g.maxEvents {
+		g.dropped++
+		return
+	}
+	g.events = append(g.events, ev)
+}
+
+// Run drives load until ctx is done, then returns the report. Workers
+// are closed-loop: each waits for its response (or error) before the
+// next request; with QPS set, a shared pacing tick bounds the
+// aggregate rate from above.
+func (g *Generator) Run(ctx context.Context) *Report {
+	started := time.Now()
+	var pace <-chan time.Time
+	var ticker *time.Ticker
+	if g.cfg.QPS > 0 {
+		ticker = time.NewTicker(time.Duration(float64(time.Second) / g.cfg.QPS))
+		defer ticker.Stop()
+		pace = ticker.C
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < g.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// Per-worker RNG: op and query selection is deterministic
+			// given (Seed, worker), independent of scheduling order.
+			rng := rand.New(rand.NewSource(g.cfg.Seed + int64(worker)*7919))
+			for i := 0; ; i++ {
+				if pace != nil {
+					select {
+					case <-ctx.Done():
+						return
+					case <-pace:
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				target := g.cfg.Targets[(worker+i)%len(g.cfg.Targets)]
+				g.do(ctx, rng, target)
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep := &Report{
+		Started:  started,
+		Ended:    time.Now(),
+		Requests: g.requests.Load(),
+		Errors:   g.errors.Load(),
+		ByOp:     map[string]*OpStats{},
+	}
+	g.mu.Lock()
+	for kind, rec := range g.byOp {
+		rep.ByOp[kind] = rec.stats()
+	}
+	rep.ErrorEvents = append(rep.ErrorEvents, g.events...)
+	rep.ErrorEventsDropped = g.dropped
+	g.mu.Unlock()
+	return rep
+}
+
+func (g *Generator) pickOp(rng *rand.Rand) string {
+	total := 0
+	for _, op := range g.mix {
+		total += op.Weight
+	}
+	n := rng.Intn(total)
+	for _, op := range g.mix {
+		if n < op.Weight {
+			return op.Kind
+		}
+		n -= op.Weight
+	}
+	return g.mix[0].Kind
+}
+
+func (g *Generator) do(ctx context.Context, rng *rand.Rand, target string) {
+	kind := g.pickOp(rng)
+	var (
+		resp *http.Response
+		err  error
+	)
+	start := time.Now()
+	switch kind {
+	case OpLookup:
+		ip := g.ips[rng.Intn(len(g.ips))]
+		resp, err = g.get(ctx, target+"/lookup?ip="+ip)
+	case OpBatch:
+		var buf bytes.Buffer
+		buf.WriteString(`{"ips": [`)
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(&buf, "%q", g.ips[rng.Intn(len(g.ips))])
+		}
+		buf.WriteString(`]}`)
+		resp, err = g.post(ctx, target+"/lookup/batch", &buf)
+	default: // OpTable1
+		resp, err = g.get(ctx, target+"/table1")
+	}
+	elapsed := time.Since(start)
+
+	// A request cut by the run winding down is shutdown, not a service
+	// error: don't let the harness's own stop skew the error budget.
+	if err != nil && ctx.Err() != nil {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return
+	}
+
+	ok := err == nil && resp.StatusCode == http.StatusOK
+	if resp != nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	g.requests.Add(1)
+	if !ok {
+		g.errors.Add(1)
+		ev := ErrorEvent{At: start, Target: target, Op: kind}
+		if err != nil {
+			ev.Err = err.Error()
+		} else {
+			ev.Status = resp.StatusCode
+		}
+		g.noteError(ev)
+	}
+	g.recorder(kind).observe(elapsed, ok)
+}
+
+func (g *Generator) get(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return g.client.Do(req)
+}
+
+func (g *Generator) post(ctx context.Context, url string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return g.client.Do(req)
+}

@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// backend serves 200s on the three fleet endpoints and counts hits.
+func backend(lookups, batches, tables *atomic.Int64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lookup", func(w http.ResponseWriter, r *http.Request) {
+		lookups.Add(1)
+		w.Write([]byte(`{"found": false}`))
+	})
+	mux.HandleFunc("/lookup/batch", func(w http.ResponseWriter, r *http.Request) {
+		batches.Add(1)
+		w.Write([]byte(`{"results": []}`))
+	})
+	mux.HandleFunc("/table1", func(w http.ResponseWriter, r *http.Request) {
+		tables.Add(1)
+		w.Write([]byte("| Table 1 |"))
+	})
+	return mux
+}
+
+func TestGeneratorDrivesMixedTraffic(t *testing.T) {
+	var lookups, batches, tables atomic.Int64
+	srv := httptest.NewServer(backend(&lookups, &batches, &tables))
+	defer srv.Close()
+
+	g, err := New(Config{Targets: []string{srv.URL}, Concurrency: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	rep := g.Run(ctx)
+
+	if rep.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d against a healthy backend: %+v", rep.Errors, rep.ErrorEvents)
+	}
+	if lookups.Load() == 0 || batches.Load() == 0 || tables.Load() == 0 {
+		t.Errorf("mix not exercised: lookup=%d batch=%d table1=%d",
+			lookups.Load(), batches.Load(), tables.Load())
+	}
+	// Default mix is lookup-heavy.
+	if lookups.Load() <= tables.Load() {
+		t.Errorf("mix weights ignored: lookup=%d <= table1=%d", lookups.Load(), tables.Load())
+	}
+	for kind, st := range rep.ByOp {
+		if st.Count > 0 && (st.P50 <= 0 || st.Max < st.P50 || st.P99 < st.P50) {
+			t.Errorf("%s: implausible quantiles %+v", kind, st)
+		}
+	}
+}
+
+func TestGeneratorPacesQPS(t *testing.T) {
+	var lookups, batches, tables atomic.Int64
+	srv := httptest.NewServer(backend(&lookups, &batches, &tables))
+	defer srv.Close()
+
+	g, err := New(Config{Targets: []string{srv.URL}, Concurrency: 4, QPS: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	rep := g.Run(ctx)
+	// 50 QPS for 1s: allow wide slack for CI jitter, but unthrottled
+	// closed-loop against a local server would be thousands.
+	if rep.Requests > 80 {
+		t.Errorf("QPS=50 for 1s issued %d requests", rep.Requests)
+	}
+	if rep.Requests < 10 {
+		t.Errorf("pacing starved the workers: %d requests", rep.Requests)
+	}
+}
+
+func TestGeneratorRecordsTimestampedErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/lookup") {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	before := time.Now()
+	g, err := New(Config{Targets: []string{srv.URL}, Concurrency: 2, Seed: 3, MaxErrorEvents: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	rep := g.Run(ctx)
+
+	if rep.Errors == 0 {
+		t.Fatal("no errors recorded against a 500ing backend")
+	}
+	if rep.ErrorRate() <= 0 {
+		t.Errorf("ErrorRate = %v, want > 0", rep.ErrorRate())
+	}
+	if len(rep.ErrorEvents) == 0 {
+		t.Fatal("no error events retained")
+	}
+	if len(rep.ErrorEvents) > 16 {
+		t.Errorf("event cap not applied: %d events", len(rep.ErrorEvents))
+	}
+	if rep.Errors > 16 && rep.ErrorEventsDropped == 0 {
+		t.Errorf("%d errors with cap 16 but no drops counted", rep.Errors)
+	}
+	for _, ev := range rep.ErrorEvents {
+		if ev.At.Before(before) || ev.At.After(time.Now()) {
+			t.Errorf("event timestamp %v outside run window", ev.At)
+		}
+		if ev.Status != http.StatusInternalServerError {
+			t.Errorf("event status = %d, want 500", ev.Status)
+		}
+		if ev.Op != OpLookup && ev.Op != OpBatch {
+			t.Errorf("500s were only served under /lookup*, event op = %q", ev.Op)
+		}
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("no targets accepted")
+	}
+	if _, err := New(Config{Targets: []string{"http://x"}, Mix: []Op{{Kind: OpLookup, Weight: 0}}}); err == nil {
+		t.Error("zero-weight mix accepted")
+	}
+	if _, err := New(Config{Targets: []string{"http://x"}, Mix: []Op{{Kind: OpLookup, Weight: -1}}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
@@ -108,9 +109,16 @@ type Config struct {
 	// closures into global state.
 	Metrics *telemetry.Registry
 
-	// Test hooks: clock and interruptible sleep. Nil means real time.
-	now   func() time.Time
-	sleep func(ctx context.Context, d time.Duration) error
+	// JitterSeed seeds the RNG behind the full-jitter retry backoff.
+	// Zero draws from the clock; a fixed seed makes retry timing
+	// reproducible (tests, chaos-harness runs).
+	JitterSeed int64
+
+	// Test hooks: clock, interruptible sleep, and backoff jitter. Nil
+	// means real time / full jitter.
+	now    func() time.Time
+	sleep  func(ctx context.Context, d time.Duration) error
+	jitter func(max time.Duration) time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -149,6 +157,25 @@ func (c *Config) withDefaults() Config {
 			case <-t.C:
 				return nil
 			}
+		}
+	}
+	if out.jitter == nil {
+		seed := out.JitterSeed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var mu sync.Mutex
+		// Full jitter (uniform over [0, max]): a fleet of replicas that
+		// failed together spreads its retries over the whole backoff
+		// window instead of hammering a recovering publisher in lockstep.
+		out.jitter = func(max time.Duration) time.Duration {
+			if max <= 0 {
+				return 0
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			return time.Duration(rng.Int63n(int64(max) + 1))
 		}
 	}
 	return out
@@ -465,7 +492,19 @@ func (s *Server) Reload(ctx context.Context, forced bool) error {
 	attempts := 0
 	for attempt := 0; attempt < s.cfg.ReloadAttempts; attempt++ {
 		if attempt > 0 {
-			if serr := s.cfg.sleep(ctx, s.cfg.ReloadBackoff<<(attempt-1)); serr != nil {
+			// Full-jittered exponential backoff, stretched to any
+			// Retry-After hint the previous attempt's error carried
+			// (e.g. a 429/503 from a replica's publisher): jitter
+			// de-synchronizes the fleet, the hint keeps us from
+			// returning before the publisher said it would be ready.
+			d := s.cfg.jitter(s.cfg.ReloadBackoff << (attempt - 1))
+			var hinted interface{ RetryAfter() time.Duration }
+			if errors.As(err, &hinted) {
+				if hint := hinted.RetryAfter(); d < hint {
+					d = hint
+				}
+			}
+			if serr := s.cfg.sleep(ctx, d); serr != nil {
 				err = serr
 				break
 			}

@@ -378,6 +378,9 @@ func TestReloadRetryAndBreaker(t *testing.T) {
 			sleepMu.Unlock()
 			return nil
 		},
+		// Identity jitter keeps the exact-backoff assertions below
+		// deterministic; jitter behavior has its own tests.
+		jitter: func(max time.Duration) time.Duration { return max },
 	}
 	s := New(cfg)
 	ctx := context.Background()
@@ -519,5 +522,100 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	// After drain, new connections are refused.
 	if _, err := http.Get(ts.URL + "/healthz"); err == nil {
 		t.Error("request after shutdown succeeded")
+	}
+}
+
+// TestBackoffFullJitter pins the de-synchronization contract: with a
+// fixed seed the jittered backoffs are reproducible, every draw lands in
+// [0, base<<(attempt-1)], and two different seeds produce different
+// retry timing (the whole point — replicas that failed together must
+// not retry together).
+func TestBackoffFullJitter(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		var slept []time.Duration
+		var mu sync.Mutex
+		cfg := Config{
+			Build: func(context.Context) (*Snapshot, error) {
+				return nil, errors.New("down")
+			},
+			ReloadAttempts: 4,
+			ReloadBackoff:  10 * time.Millisecond,
+			JitterSeed:     seed,
+			sleep: func(ctx context.Context, d time.Duration) error {
+				mu.Lock()
+				slept = append(slept, d)
+				mu.Unlock()
+				return nil
+			},
+		}
+		s := New(cfg)
+		if err := s.Reload(context.Background(), false); err == nil {
+			t.Fatal("reload against a failing builder succeeded")
+		}
+		return slept
+	}
+
+	a := run(42)
+	b := run(42)
+	if len(a) != 3 {
+		t.Fatalf("sleeps = %v, want 3 entries", a)
+	}
+	for i, d := range a {
+		max := 10 * time.Millisecond << i
+		if d < 0 || d > max {
+			t.Errorf("sleep %d = %v outside [0, %v]", i, d, max)
+		}
+		if d != b[i] {
+			t.Errorf("seed 42 not reproducible: run1[%d]=%v run2[%d]=%v", i, d, i, b[i])
+		}
+	}
+	c := run(7)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("seeds 42 and 7 produced identical backoffs %v", a)
+	}
+}
+
+type hintedErr struct{ after time.Duration }
+
+func (e *hintedErr) Error() string             { return "publisher busy" }
+func (e *hintedErr) RetryAfter() time.Duration { return e.after }
+
+// TestBackoffStretchesToRetryAfterHint: when a failed attempt's error
+// carries a Retry-After hint (a 429/503 publisher), the next backoff is
+// at least that hint — jitter may only push the retry later, never
+// earlier than the publisher asked.
+func TestBackoffStretchesToRetryAfterHint(t *testing.T) {
+	var slept []time.Duration
+	var mu sync.Mutex
+	cfg := Config{
+		Build: func(context.Context) (*Snapshot, error) {
+			return nil, &hintedErr{after: 250 * time.Millisecond}
+		},
+		ReloadAttempts: 3,
+		ReloadBackoff:  time.Millisecond, // far below the hint
+		sleep: func(ctx context.Context, d time.Duration) error {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+			return nil
+		},
+	}
+	s := New(cfg)
+	if err := s.Reload(context.Background(), false); err == nil {
+		t.Fatal("reload against a failing builder succeeded")
+	}
+	if len(slept) != 2 {
+		t.Fatalf("sleeps = %v, want 2 entries", slept)
+	}
+	for i, d := range slept {
+		if d < 250*time.Millisecond {
+			t.Errorf("sleep %d = %v, want >= 250ms (Retry-After hint)", i, d)
+		}
 	}
 }

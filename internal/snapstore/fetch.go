@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,67 @@ var ErrUnchanged = errors.New("snapstore: snapshot unchanged")
 // ErrNotPublished reports a publisher that has not published any
 // generation yet (HTTP 503).
 var ErrNotPublished = errors.New("snapstore: publisher has no snapshot yet")
+
+// RetryAfterError wraps a fetch or probe failure whose response carried
+// a Retry-After header (a 429 from an overloaded publisher's limiter,
+// or a 503 while it warms up). After is the honored back-off, already
+// capped at FetcherOptions.RetryAfterCap — the poll loop suppresses
+// ticks for that long instead of hammering a server that explicitly
+// asked for room, and the serve reload machinery stretches its retry
+// backoff to at least After.
+type RetryAfterError struct {
+	Err   error
+	After time.Duration
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.Err, e.After)
+}
+
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// RetryAfter reports the honored back-off hint. It implements the
+// interface internal/serve uses to stretch reload-retry backoff without
+// either package importing the other.
+func (e *RetryAfterError) RetryAfter() time.Duration { return e.After }
+
+// parseRetryAfter parses both Retry-After header forms — delta-seconds
+// ("120") and HTTP-date ("Fri, 31 Dec 1999 23:59:59 GMT") — into a
+// positive duration from now. Returns false for an absent, unparseable,
+// zero, or already-elapsed header: a hint that doesn't push the next
+// attempt into the future carries no information.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// wrapRetryAfter layers a RetryAfterError over err when the response
+// carries a parseable Retry-After header, capping the honored hint at
+// cap (0 = uncapped).
+func wrapRetryAfter(err error, resp *http.Response, cap time.Duration, now time.Time) error {
+	after, ok := parseRetryAfter(resp.Header.Get("Retry-After"), now)
+	if !ok {
+		return err
+	}
+	if cap > 0 && after > cap {
+		after = cap
+	}
+	return &RetryAfterError{Err: err, After: after}
+}
 
 // genETag renders the strong ETag for a generation. The ETag is derived
 // from the generation alone: the store's monotonic numbering guarantees
@@ -81,6 +143,9 @@ func (p *Publisher) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	cur := p.cur.Load()
 	if cur == nil {
+		// A warming publisher tells replicas how soon to come back, so
+		// fleet cold starts don't synchronize into a poll stampede.
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
 		return
 	}
@@ -107,8 +172,13 @@ type FetcherOptions struct {
 	// MaxBytes bounds an accepted snapshot body; a response claiming or
 	// delivering more is rejected rather than buffered. 0 means 1 GiB.
 	MaxBytes int64
-	Logger   *telemetry.Logger
-	Metrics  *Metrics
+	// RetryAfterCap bounds an honored Retry-After hint from the
+	// publisher, so a lying or misconfigured server cannot stall
+	// replication arbitrarily. Replica daemons set it to the poll
+	// interval. 0 means 30 seconds.
+	RetryAfterCap time.Duration
+	Logger        *telemetry.Logger
+	Metrics       *Metrics
 	// Client overrides the HTTP client (tests). Timeout is ignored when
 	// set.
 	Client *http.Client
@@ -129,8 +199,10 @@ type Fetcher struct {
 	url      string
 	client   *http.Client
 	maxBytes int64
+	retryCap time.Duration
 	log      *telemetry.Logger
 	metrics  *Metrics
+	now      func() time.Time // test hook for Retry-After date parsing
 
 	mu   sync.Mutex
 	etag string // of the last delivered snapshot; "" forces a full fetch
@@ -151,7 +223,14 @@ func NewFetcher(url string, opts FetcherOptions) *Fetcher {
 	if maxBytes == 0 {
 		maxBytes = 1 << 30
 	}
-	return &Fetcher{url: url, client: client, maxBytes: maxBytes, log: opts.Logger, metrics: opts.Metrics}
+	retryCap := opts.RetryAfterCap
+	if retryCap == 0 {
+		retryCap = 30 * time.Second
+	}
+	return &Fetcher{
+		url: url, client: client, maxBytes: maxBytes, retryCap: retryCap,
+		log: opts.Logger, metrics: opts.Metrics, now: time.Now,
+	}
 }
 
 // URL returns the publisher endpoint this fetcher polls.
@@ -195,7 +274,11 @@ func (f *Fetcher) Probe(ctx context.Context) (uint64, error) {
 	resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusServiceUnavailable:
-		return 0, ErrNotPublished
+		return 0, wrapRetryAfter(ErrNotPublished, resp, f.retryCap, f.now())
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return 0, wrapRetryAfter(
+			fmt.Errorf("snapstore: probe %s: status %d", f.url, resp.StatusCode),
+			resp, f.retryCap, f.now())
 	case resp.StatusCode != http.StatusOK:
 		return 0, fmt.Errorf("snapstore: probe %s: status %d", f.url, resp.StatusCode)
 	}
@@ -236,7 +319,12 @@ func (f *Fetcher) Fetch(ctx context.Context) ([]byte, uint64, error) {
 		return nil, 0, ErrUnchanged
 	case resp.StatusCode == http.StatusServiceUnavailable:
 		f.metrics.observeFetch("error")
-		return nil, 0, ErrNotPublished
+		return nil, 0, wrapRetryAfter(ErrNotPublished, resp, f.retryCap, f.now())
+	case resp.StatusCode == http.StatusTooManyRequests:
+		f.metrics.observeFetch("error")
+		return nil, 0, wrapRetryAfter(
+			fmt.Errorf("snapstore: fetch %s: status %d", f.url, resp.StatusCode),
+			resp, f.retryCap, f.now())
 	case resp.StatusCode != http.StatusOK:
 		f.metrics.observeFetch("error")
 		return nil, 0, fmt.Errorf("snapstore: fetch %s: status %d", f.url, resp.StatusCode)

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 func TestPublisherServesCurrentSnapshot(t *testing.T) {
@@ -126,5 +127,103 @@ func TestFetcherNotPublished(t *testing.T) {
 	}
 	if _, err := f.Probe(context.Background()); !errors.Is(err, ErrNotPublished) {
 		t.Fatalf("probe before publish: %v, want ErrNotPublished", err)
+	}
+}
+
+func TestParseRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+		ok   bool
+	}{
+		{"empty", "", 0, false},
+		{"seconds", "7", 7 * time.Second, true},
+		{"zero seconds", "0", 0, false},
+		{"negative seconds", "-3", 0, false},
+		{"garbage", "soon", 0, false},
+		{"http date future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{"http date past", now.Add(-time.Minute).Format(http.TimeFormat), 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := parseRetryAfter(tc.v, now)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("%s: parseRetryAfter(%q) = (%v, %v), want (%v, %v)",
+				tc.name, tc.v, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// retryAfterServer answers every request with the given status and
+// Retry-After header value.
+func retryAfterServer(status int, header string) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if header != "" {
+			w.Header().Set("Retry-After", header)
+		}
+		w.WriteHeader(status)
+	}))
+}
+
+func TestFetcherHonorsRetryAfterSeconds(t *testing.T) {
+	srv := retryAfterServer(http.StatusServiceUnavailable, "7")
+	defer srv.Close()
+	f := NewFetcher(srv.URL, FetcherOptions{RetryAfterCap: time.Minute})
+
+	_, _, err := f.Fetch(context.Background())
+	if !errors.Is(err, ErrNotPublished) {
+		t.Fatalf("fetch: %v, want ErrNotPublished underneath", err)
+	}
+	var ra *RetryAfterError
+	if !errors.As(err, &ra) {
+		t.Fatalf("fetch error %v does not carry RetryAfterError", err)
+	}
+	if ra.After != 7*time.Second {
+		t.Fatalf("After = %v, want 7s", ra.After)
+	}
+	if _, err := f.Probe(context.Background()); !errors.As(err, &ra) || ra.After != 7*time.Second {
+		t.Fatalf("probe error %v: want RetryAfterError with 7s", err)
+	}
+}
+
+func TestFetcherHonorsRetryAfterHTTPDate(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	srv := retryAfterServer(http.StatusTooManyRequests, now.Add(9*time.Second).Format(http.TimeFormat))
+	defer srv.Close()
+	f := NewFetcher(srv.URL, FetcherOptions{RetryAfterCap: time.Minute})
+	f.now = func() time.Time { return now }
+
+	var ra *RetryAfterError
+	if _, _, err := f.Fetch(context.Background()); !errors.As(err, &ra) {
+		t.Fatalf("fetch error %v does not carry RetryAfterError", err)
+	} else if ra.After != 9*time.Second {
+		t.Fatalf("After = %v, want 9s", ra.After)
+	}
+}
+
+func TestFetcherCapsRetryAfter(t *testing.T) {
+	srv := retryAfterServer(http.StatusServiceUnavailable, "3600")
+	defer srv.Close()
+	f := NewFetcher(srv.URL, FetcherOptions{RetryAfterCap: 15 * time.Second})
+
+	var ra *RetryAfterError
+	if _, _, err := f.Fetch(context.Background()); !errors.As(err, &ra) {
+		t.Fatalf("fetch error does not carry RetryAfterError")
+	} else if ra.After != 15*time.Second {
+		t.Fatalf("After = %v, want capped 15s", ra.After)
+	}
+}
+
+func TestFetcherNoRetryAfterHeaderNoWrap(t *testing.T) {
+	srv := retryAfterServer(http.StatusServiceUnavailable, "")
+	defer srv.Close()
+	f := NewFetcher(srv.URL, FetcherOptions{})
+
+	var ra *RetryAfterError
+	if _, _, err := f.Fetch(context.Background()); errors.As(err, &ra) {
+		t.Fatalf("bare 503 wrapped in RetryAfterError: %v", err)
+	} else if !errors.Is(err, ErrNotPublished) {
+		t.Fatalf("fetch: %v, want ErrNotPublished", err)
 	}
 }
