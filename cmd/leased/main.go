@@ -22,8 +22,15 @@
 //
 // Observability: structured logs (key=value or JSON via -log-format) on
 // stderr, Prometheus metrics on /metrics, and — when -pprof is set —
-// the Go profiler on /debug/pprof/*. See the README's Observability
-// section for the metric catalog.
+// the Go profiler on /debug/pprof/*. Request tracing is always on:
+// -trace-sample head-samples requests (default 1%), error and slow-tail
+// requests are kept regardless, every reload cycle is traced, and
+// finished traces are served as JSON from /debug/traces. Sampled
+// responses carry X-Trace-Id; incoming W3C traceparent headers are
+// honored, and snapshot fetches propagate them so a replica's
+// fetch/decode/swap joins the publisher's reload trace. See the
+// README's Observability section for the metric catalog and trace
+// query parameters.
 //
 // Incremental reloads: by default, timer-driven reloads take the delta
 // path — the refreshed dataset is diffed against the previous
@@ -63,6 +70,7 @@
 //	       [-log-format text|json] [-log-level info] [-pprof]
 //	       [-snapshot-dir dir] [-snapshot-keep 4]
 //	       [-snapshot-url http://publisher:8402/snapshot/current] [-poll 15s]
+//	       [-trace-sample 0.01] [-trace-buffer 256] [-trace-seed 0]
 //
 // The daemon body lives in internal/daemon, shared with the fleet chaos
 // harness (cmd/leasestorm); this command is the flag surface around it.
@@ -96,6 +104,9 @@ func main() {
 	flag.IntVar(&cfg.SnapshotKeep, "snapshot-keep", 4, "snapshot generations retained in -snapshot-dir (negative keeps all)")
 	flag.StringVar(&cfg.SnapshotURL, "snapshot-url", "", "replica mode: serve snapshots fetched from this publisher endpoint (e.g. http://host:8402/snapshot/current) instead of loading -data")
 	flag.DurationVar(&cfg.Poll, "poll", 15*time.Second, "replica poll period for new publisher generations")
+	flag.Float64Var(&cfg.TraceSample, "trace-sample", 0, "request-trace head-sampling rate in [0,1] (0 means the default 1%; negative disables tracing)")
+	flag.IntVar(&cfg.TraceBuffer, "trace-buffer", 0, "finished traces retained per collector ring (0 means the default 256)")
+	flag.Int64Var(&cfg.TraceSeed, "trace-seed", 0, "seed for trace IDs and the head sampler (0 draws from the clock)")
 	flag.Parse()
 	if err := daemon.Run(context.Background(), cfg, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "leased:", err)

@@ -66,6 +66,13 @@ func startFleet(parent context.Context, cfg StormConfig) (*fleet, error) {
 		SnapshotDir: filepath.Join(cfg.WorkDir, "pub"),
 		LogLevel:    cfg.FleetLogLevel,
 		JitterSeed:  cfg.Seed + 1,
+		// Seeded tracing on every member: the trace assembler joins each
+		// member's /debug/traces by trace ID after the run. 5% head
+		// sampling keeps organic request traces flowing; reload
+		// lifecycles and error tails are retained regardless.
+		TraceSample: 0.05,
+		TraceBuffer: 512,
+		TraceSeed:   cfg.Seed + 2,
 	}
 	pubURL, pubErrc, err := startMember(ctx, pubCfg, cfg.LogW)
 	if err != nil {
@@ -103,6 +110,9 @@ func startFleet(parent context.Context, cfg StormConfig) (*fleet, error) {
 			SnapshotDir: filepath.Join(cfg.WorkDir, fmt.Sprintf("r%d", i)),
 			LogLevel:    cfg.FleetLogLevel,
 			JitterSeed:  cfg.Seed + 100 + int64(i),
+			TraceSample: 0.05,
+			TraceBuffer: 512,
+			TraceSeed:   cfg.Seed + 200 + int64(i),
 		}
 		url, errc, err := startMember(ctx, repCfg, cfg.LogW)
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 
 	"ipleasing/internal/chaos"
 	"ipleasing/internal/loadgen"
+	"ipleasing/internal/serve"
 )
 
 // Invariant names, stable strings for the run report.
@@ -111,53 +112,35 @@ func (c *checker) Run(ctx context.Context) {
 	}
 }
 
-// statuszState is what the checker scrapes per replica: the serving
-// generation counter (replication section) and the serving snapshot's
-// build stamp. The two are NOT updated atomically — the counter moves
-// before the snapshot swap lands — so the identity invariant keys on
-// built_at, which /statusz reads from the snapshot actually serving,
-// while the lag invariant (which tolerates off-by-a-generation timing
-// anyway) uses the counter.
-type statuszState struct {
-	gen     uint64
-	builtAt string
-}
-
-func (c *checker) statusz(ctx context.Context, baseURL string) (statuszState, error) {
+// statuszGen scrapes one replica's serving generation from /statusz
+// (replication section). The lag invariant tolerates off-by-a-
+// generation timing, so the counter — which moves just before the
+// snapshot swap lands — is fine here; the identity invariant does NOT
+// tolerate it and keys on the X-Snapshot-Generation response header
+// instead, which is stamped from the same atomic snapshot-pointer read
+// that answers the body.
+func (c *checker) statuszGen(ctx context.Context, baseURL string) (uint64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/statusz", nil)
 	if err != nil {
-		return statuszState{}, err
+		return 0, err
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return statuszState{}, err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	var body struct {
-		Snapshot *struct {
-			BuiltAt string `json:"built_at"`
-		} `json:"snapshot"`
 		Replication *struct {
 			ServingGeneration uint64 `json:"serving_generation"`
 		} `json:"replication"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return statuszState{}, err
+		return 0, err
 	}
 	if body.Replication == nil {
-		return statuszState{}, fmt.Errorf("no replication section")
+		return 0, fmt.Errorf("no replication section")
 	}
-	st := statuszState{gen: body.Replication.ServingGeneration}
-	if body.Snapshot != nil {
-		st.builtAt = body.Snapshot.BuiltAt
-	}
-	return st, nil
-}
-
-// statuszGen scrapes one replica's serving generation from /statusz.
-func (c *checker) statuszGen(ctx context.Context, baseURL string) (uint64, error) {
-	st, err := c.statusz(ctx, baseURL)
-	return st.gen, err
+	return body.Replication.ServingGeneration, nil
 }
 
 // healthyForLag reports whether the lag bound applies at elapsed: no
@@ -215,41 +198,37 @@ func (c *checker) sampleLag() {
 	c.mu.Unlock()
 }
 
-// sampleIdentity checks invariant 1 on one probe: replicas serving the
-// same snapshot (keyed by the snapshot's own build stamp, scraped from
-// /statusz before and after the probe) must answer byte-identically. A
-// replica whose snapshot swapped mid-probe is discarded from this round
-// — the comparison is only meaningful for a stable (snapshot, body)
-// pair.
+// sampleIdentity checks invariant 1 on one probe: replicas answering
+// from the same snapshot generation must answer byte-identically. Each
+// data response carries the generation of the snapshot that produced
+// its body in X-Snapshot-Generation, stamped from the same atomic
+// snapshot-pointer read — so a single round trip per replica yields a
+// consistent (generation, body) pair, where the statusz sandwich this
+// replaces took three round trips and still had to discard any replica
+// whose snapshot swapped mid-probe.
 func (c *checker) sampleIdentity(probe string) {
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	elapsed := time.Since(c.start)
 	type obs struct {
 		url  string
-		gen  uint64
 		hash string
 	}
-	bySnap := map[string][]obs{}
+	byGen := map[string][]obs{}
 	for _, url := range c.fleet.replicaURLs {
-		s1, err := c.statusz(ctx, url)
-		if err != nil || s1.builtAt == "" {
-			continue
-		}
-		body, status, err := c.get(ctx, url+probe)
+		body, status, hdr, err := c.get(ctx, url+probe)
 		if err != nil || status != http.StatusOK {
 			continue // the error-budget invariant owns failed requests
 		}
-		s2, err := c.statusz(ctx, url)
-		if err != nil || s2.builtAt != s1.builtAt {
-			continue // snapshot swapped mid-probe
+		gen := hdr.Get(serve.GenerationHeader)
+		if gen == "" {
+			continue // pre-generation snapshot (no store configured)
 		}
 		sum := sha256.Sum256(body)
-		bySnap[s1.builtAt] = append(bySnap[s1.builtAt],
-			obs{url: url, gen: s1.gen, hash: hex.EncodeToString(sum[:8])})
+		byGen[gen] = append(byGen[gen], obs{url: url, hash: hex.EncodeToString(sum[:8])})
 	}
 	compared := false
-	for builtAt, group := range bySnap {
+	for gen, group := range byGen {
 		if len(group) < 2 {
 			continue
 		}
@@ -257,8 +236,8 @@ func (c *checker) sampleIdentity(probe string) {
 		for _, o := range group[1:] {
 			if o.hash != group[0].hash {
 				c.violate(Violation{Invariant: InvIdentity, At: elapsed, Replica: o.url,
-					Detail: fmt.Sprintf("snapshot built %s (generation ~%d), probe %s: body %s != %s (from %s)",
-						builtAt, o.gen, probe, o.hash, group[0].hash, group[0].url)})
+					Detail: fmt.Sprintf("generation %s, probe %s: body %s != %s (from %s)",
+						gen, probe, o.hash, group[0].hash, group[0].url)})
 			}
 		}
 	}
@@ -269,18 +248,18 @@ func (c *checker) sampleIdentity(probe string) {
 	}
 }
 
-func (c *checker) get(ctx context.Context, url string) ([]byte, int, error) {
+func (c *checker) get(ctx context.Context, url string) ([]byte, int, http.Header, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
-	return body, resp.StatusCode, err
+	return body, resp.StatusCode, resp.Header, err
 }
 
 // Finalize computes the post-hoc invariants — error budget (2) and

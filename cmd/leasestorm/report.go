@@ -24,6 +24,11 @@ type RunReport struct {
 
 	Load *loadgen.Report `json:"load"`
 
+	// Traces are the cross-process traces assembled from every member's
+	// /debug/traces after the run: generation lifecycles joined across
+	// publisher and replicas, error tails, and their fault attribution.
+	Traces *TraceSummary `json:"traces,omitempty"`
+
 	Samples        int     `json:"samples"`
 	IdentityChecks int     `json:"identity_checks"`
 	MaxLag         uint64  `json:"max_lag"`

@@ -131,6 +131,10 @@ func RunStorm(ctx context.Context, cfg StormConfig) (*RunReport, error) {
 		QPS:         cfg.QPS,
 		Concurrency: cfg.Concurrency,
 		Seed:        cfg.Seed,
+		// Every 8th request carries a forced sampled traceparent so the
+		// report's latency outliers and error events have trace IDs that
+		// join against the fleet's /debug/traces.
+		TraceEvery: 8,
 	})
 	if err != nil {
 		return nil, err
@@ -161,6 +165,10 @@ func RunStorm(ctx context.Context, cfg StormConfig) (*RunReport, error) {
 	<-checkDone
 	violations := chk.Finalize(loadRep)
 
+	// Assemble cross-process traces after the checker finishes: by now
+	// every member has retained its reload lifecycle and error tails.
+	traces := collectTraces(ctx, cfg, f, start, sched)
+
 	chk.mu.Lock()
 	samples, identities := len(chk.samples), chk.identities
 	chk.mu.Unlock()
@@ -173,6 +181,7 @@ func RunStorm(ctx context.Context, cfg StormConfig) (*RunReport, error) {
 		Schedule:            sched,
 		FaultEvents:         f.proxy.Events(),
 		Load:                loadRep,
+		Traces:              traces,
 		Samples:             samples,
 		IdentityChecks:      identities,
 		MaxLag:              cfg.MaxLag,

@@ -67,6 +67,26 @@ func TestStormDeterministicVerdicts(t *testing.T) {
 		if rep.Samples == 0 || rep.IdentityChecks == 0 {
 			t.Errorf("checker idle: samples=%d identity_checks=%d", rep.Samples, rep.IdentityChecks)
 		}
+		// The tracing acceptance criteria: the run must assemble at least
+		// one cross-process generation-lifecycle trace (publisher reload
+		// joined to a replica fetch/decode/swap by one trace ID) and at
+		// least one error-tail trace.
+		if rep.Traces == nil {
+			t.Fatal("run report has no trace summary")
+		}
+		if rep.Traces.LifecycleCount == 0 {
+			t.Errorf("no cross-process lifecycle traces assembled (scraped %d records)",
+				rep.Traces.ScrapedRecords)
+		}
+		if rep.Traces.ErrorTraceCount == 0 {
+			t.Error("no error-tail traces assembled")
+		}
+		if rep.Traces.CrossProcessCount == 0 {
+			t.Error("no trace crossed a process boundary")
+		}
+		if rep.Load.Outliers == nil {
+			t.Error("load report has no traced latency outliers")
+		}
 	}
 }
 

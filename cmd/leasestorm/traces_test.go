@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"ipleasing/internal/chaos"
+	"ipleasing/internal/telemetry"
+)
+
+// TestAssembleClassification exercises the joiner's classification and
+// fault attribution on hand-built records, without booting a fleet.
+func TestAssembleClassification(t *testing.T) {
+	start := time.Unix(1700000000, 0)
+	sched := chaos.Schedule{Faults: []chaos.Fault{
+		{Kind: chaos.FaultLatency, Start: 1 * time.Second, End: 2 * time.Second},
+	}}
+	rec := func(member, kind string, status int, at time.Duration, durMS float64) MemberRecord {
+		return MemberRecord{Member: member, TraceRecord: telemetry.TraceRecord{
+			TraceID: "f0f0", Kind: kind, Status: status,
+			Start: start.Add(at), DurationMS: durMS,
+		}}
+	}
+
+	// Publisher reload + replica reload sharing the ID: lifecycle, and
+	// the replica's fetch window overlaps the latency fault.
+	lt := assemble("f0f0", []MemberRecord{
+		rec("replica0", telemetry.KindReload, 200, 1500*time.Millisecond, 40),
+		rec("publisher", telemetry.KindReload, 200, 500*time.Millisecond, 30),
+	}, start, sched)
+	if lt.Class != ClassLifecycle {
+		t.Errorf("class = %s, want %s", lt.Class, ClassLifecycle)
+	}
+	if len(lt.Members) != 2 || lt.Members[0] != "publisher" || lt.Members[1] != "replica0" {
+		t.Errorf("members = %v", lt.Members)
+	}
+	// Records must come back start-ordered regardless of scrape order.
+	if lt.Records[0].Member != "publisher" {
+		t.Errorf("records not start-ordered: %s first", lt.Records[0].Member)
+	}
+	if len(lt.Faults) != 1 {
+		t.Errorf("faults = %v, want the latency window attributed", lt.Faults)
+	}
+
+	// A 400 on one member: error class, no fault overlap.
+	et := assemble("f0f0", []MemberRecord{
+		rec("replica1", telemetry.KindError, 400, 3*time.Second, 1),
+	}, start, sched)
+	if et.Class != ClassError || len(et.Faults) != 0 {
+		t.Errorf("error trace = %s faults %v", et.Class, et.Faults)
+	}
+
+	// A replica-only reload (publisher evicted its half): not lifecycle.
+	rt := assemble("f0f0", []MemberRecord{
+		rec("replica0", telemetry.KindReload, 200, 3*time.Second, 5),
+	}, start, sched)
+	if rt.Class != ClassRequest {
+		t.Errorf("replica-only reload class = %s, want %s", rt.Class, ClassRequest)
+	}
+}

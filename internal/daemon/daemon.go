@@ -84,7 +84,24 @@ type Config struct {
 	// serve.Config.JitterSeed); zero draws from the clock. The chaos
 	// harness pins it per fleet member for reproducible runs.
 	JitterSeed int64
+
+	// TraceSample is the head-sampling rate for request traces in [0,1].
+	// Zero means DefaultTraceSample; negative disables tracing entirely
+	// (no /debug/traces endpoint, no per-request decision). Reload traces
+	// and error/slow tails are kept regardless of the rate.
+	TraceSample float64
+	// TraceBuffer bounds each of the collector's two trace rings; zero
+	// means the telemetry package default (256 per ring).
+	TraceBuffer int
+	// TraceSeed pins the trace ID generator and head sampler for
+	// reproducible runs; zero draws from the clock.
+	TraceSeed int64
 }
+
+// DefaultTraceSample is the head-sampling rate when Config.TraceSample
+// is zero: 1% keeps always-on tracing cheap while still producing a
+// steady trickle of exemplar request traces.
+const DefaultTraceSample = 0.01
 
 // newLogger builds the daemon logger from the config values.
 func newLogger(cfg Config, w io.Writer) (*telemetry.Logger, error) {
@@ -268,8 +285,20 @@ func Run(ctx context.Context, cfg Config, logw io.Writer, ready func(addr string
 		Metrics:        reg,
 		JitterSeed:     cfg.JitterSeed,
 	}
+	if cfg.TraceSample >= 0 {
+		rate := cfg.TraceSample
+		if rate == 0 {
+			rate = DefaultTraceSample
+		}
+		scfg.Traces = telemetry.NewTracePlane(telemetry.TracePlaneOptions{
+			SampleRate: rate,
+			Seed:       cfg.TraceSeed,
+			Capacity:   cfg.TraceBuffer,
+			Registry:   reg,
+		})
+	}
 	if cfg.Delta {
-		scfg.BuildDelta = b.buildDelta
+		scfg.BuildDelta = snaps.wrapBuildDelta(b.buildDelta)
 	}
 	if snaps.replica() {
 		// Replica: the builder fetches encoded snapshots instead of

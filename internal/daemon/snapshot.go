@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -125,9 +126,23 @@ func (d *snapshots) takeCold() *serve.Snapshot {
 	return snap
 }
 
-// wrapBuild layers cold-start recovery over the dataset build: the
-// first reload serves the decoded on-disk generation — O(bytes), no
-// dataset parse, no inference — and every later reload builds fresh.
+// stamp assigns a freshly built snapshot its generation number at build
+// time. Stamping here — instead of minting in onSwap — means the
+// serving snapshot pointer, /statusz, and the identity header all carry
+// the generation before the swap publishes it, so they can never
+// disagree. Snapshots that already carry one (decoded from the store or
+// the wire) keep it.
+func (d *snapshots) stamp(snap *serve.Snapshot) *serve.Snapshot {
+	if snap != nil && snap.Generation == 0 {
+		snap.Generation = d.nextGen.Add(1)
+	}
+	return snap
+}
+
+// wrapBuild layers cold-start recovery and generation stamping over the
+// dataset build: the first reload serves the decoded on-disk generation
+// — O(bytes), no dataset parse, no inference — and every later reload
+// builds fresh.
 func (d *snapshots) wrapBuild(build func(ctx context.Context) (*serve.Snapshot, error)) func(ctx context.Context) (*serve.Snapshot, error) {
 	if d == nil {
 		return build
@@ -136,7 +151,25 @@ func (d *snapshots) wrapBuild(build func(ctx context.Context) (*serve.Snapshot, 
 		if snap := d.takeCold(); snap != nil {
 			return snap, nil
 		}
-		return build(ctx)
+		snap, err := build(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return d.stamp(snap), nil
+	}
+}
+
+// wrapBuildDelta layers generation stamping over the incremental build.
+func (d *snapshots) wrapBuildDelta(build func(ctx context.Context, prev *serve.Snapshot) (*serve.Snapshot, error)) func(ctx context.Context, prev *serve.Snapshot) (*serve.Snapshot, error) {
+	if d == nil {
+		return build
+	}
+	return func(ctx context.Context, prev *serve.Snapshot) (*serve.Snapshot, error) {
+		snap, err := build(ctx, prev)
+		if err != nil {
+			return nil, err
+		}
+		return d.stamp(snap), nil
 	}
 }
 
@@ -150,10 +183,12 @@ func (d *snapshots) wrapBuild(build func(ctx context.Context) (*serve.Snapshot, 
 // a replica that has never reached its publisher still starts from its
 // cache.
 func (d *snapshots) buildFromFetch(ctx context.Context) (*serve.Snapshot, error) {
-	data, gen, err := d.fetcher.Fetch(ctx)
+	fetchCtx, fetchSpan := telemetry.StartSpan(ctx, "fetch")
+	data, gen, err := d.fetcher.Fetch(fetchCtx)
 	if err != nil {
-		d.noteError(err)
 		if !errors.Is(err, snapstore.ErrUnchanged) {
+			fetchSpan.End()
+			d.noteError(err)
 			if snap := d.takeCold(); snap != nil {
 				d.log.Warn("publisher unreachable, serving cached snapshot",
 					"url", d.cfg.SnapshotURL, "generation", d.servingGen.Load(), "err", err)
@@ -164,12 +199,17 @@ func (d *snapshots) buildFromFetch(ctx context.Context) (*serve.Snapshot, error)
 		// A 304 can only race a forced reload that lost to a concurrent
 		// etag update; re-fetch unconditionally rather than fail it.
 		d.fetcher.Invalidate()
-		if data, gen, err = d.fetcher.Fetch(ctx); err != nil {
+		if data, gen, err = d.fetcher.Fetch(fetchCtx); err != nil {
+			fetchSpan.End()
 			d.noteError(err)
 			return nil, err
 		}
 	}
+	fetchSpan.AddBytes(int64(len(data)))
+	fetchSpan.End()
+	_, decodeSpan := telemetry.StartSpan(ctx, "decode")
 	snap, fileGen, err := snapstore.Decode(data)
+	decodeSpan.End()
 	if err != nil {
 		d.noteError(err)
 		return nil, err
@@ -179,15 +219,28 @@ func (d *snapshots) buildFromFetch(ctx context.Context) (*serve.Snapshot, error)
 		d.noteError(err)
 		return nil, err
 	}
+	// Link this reload to the publisher's: the decoded snapshot carries
+	// the traceparent of the publisher reload that built the generation,
+	// and adopting it re-identifies the replica's reload trace (fetch,
+	// decode, the swap to come) as part of that generation's lifecycle
+	// trace. On failure paths above the trace keeps its local ID, which
+	// the fetch hop already emitted to the publisher — so the two halves
+	// of an error join on that ID instead.
+	if sc, ok := telemetry.ParseTraceparent(snap.Provenance); ok {
+		telemetry.AdoptRemoteParent(ctx, sc)
+	}
 	d.noteContact(gen)
 	d.servingGen.Store(gen)
 	d.mu.Lock()
 	d.cold = nil // a live fetch supersedes any cached cold snapshot
 	d.mu.Unlock()
 	if d.store != nil {
+		_, persistSpan := telemetry.StartSpan(ctx, "persist")
 		if err := d.store.PublishEncoded(data); err != nil {
 			d.log.Warn("caching fetched snapshot failed", "generation", gen, "err", err)
+			persistSpan.SetAttr("error", err.Error())
 		}
+		persistSpan.End()
 	}
 	d.pub.Set(data)
 	d.observeLag()
@@ -198,19 +251,31 @@ func (d *snapshots) buildFromFetch(ctx context.Context) (*serve.Snapshot, error)
 // serving snapshot once and publish the same bytes to disk and to
 // /snapshot/current. Runs on the reload goroutine after the swap; a
 // failure here degrades persistence, never the reload.
-func (d *snapshots) onSwap(snap *serve.Snapshot) {
+func (d *snapshots) onSwap(ctx context.Context, snap *serve.Snapshot) {
 	if d == nil || d.replica() {
 		return // the replica path publishes in buildFromFetch, from the fetched bytes
 	}
 	if snap.Delta != nil && snap.Delta.Mode == serve.ModeSnapshot {
 		return // decoded from the store at cold start; already durable and published
 	}
-	gen := d.nextGen.Add(1)
+	gen := snap.Generation
+	if gen == 0 {
+		// The build wrappers stamp every fresh snapshot, so this only
+		// happens for snapshots minted outside the daemon (tests driving
+		// serve.Config directly). Mint locally without mutating snap — it
+		// is already published to concurrent readers.
+		gen = d.nextGen.Add(1)
+	}
+	_, span := telemetry.StartSpan(ctx, "publish")
+	defer span.End()
+	span.SetAttr("generation", strconv.FormatUint(gen, 10))
 	data := snapstore.Encode(snap, gen)
+	span.AddBytes(int64(len(data)))
 	d.servingGen.Store(gen)
 	if d.store != nil {
 		if err := d.store.PublishEncoded(data); err != nil {
 			d.log.Error("snapshot persistence failed", "generation", gen, "err", err)
+			span.SetAttr("error", err.Error())
 			return
 		}
 	}

@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ipleasing/internal/telemetry"
 )
 
 // Op kinds in the default traffic mix.
@@ -65,6 +67,13 @@ type Config struct {
 	Client *http.Client
 	// MaxErrorEvents caps the retained error log; 0 means 1024.
 	MaxErrorEvents int
+	// TraceEvery forces every Nth request to carry a sampled W3C
+	// traceparent header, making the server trace it regardless of its
+	// own head-sampling rate. The trace ID is recorded on the request's
+	// error event (if any) and on its latency-outlier sample, so slow or
+	// failed requests can be joined against the fleet's /debug/traces.
+	// 0 disables forced tracing. IDs derive from Seed.
+	TraceEvery int
 }
 
 // ErrorEvent is one failed request, timestamped for fault-window
@@ -75,6 +84,21 @@ type ErrorEvent struct {
 	Op     string    `json:"op"`
 	Status int       `json:"status,omitempty"`
 	Err    string    `json:"err,omitempty"`
+	// TraceID is set when the request carried a forced traceparent (see
+	// Config.TraceEvery): the join key into the server's /debug/traces.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// OutlierSample is one of the slowest traced requests of the run. Only
+// requests that carried a forced traceparent are eligible, so every
+// sample's server-side span tree is retrievable from /debug/traces by
+// its trace ID.
+type OutlierSample struct {
+	TraceID  string        `json:"trace_id"`
+	Op       string        `json:"op"`
+	Target   string        `json:"target"`
+	Duration time.Duration `json:"duration_ns"`
+	At       time.Time     `json:"at"`
 }
 
 // OpStats aggregates one op kind across the run.
@@ -98,6 +122,9 @@ type Report struct {
 	// ErrorEventsDropped counts events past the MaxErrorEvents cap, so
 	// a truncated log is never mistaken for a short one.
 	ErrorEventsDropped int64 `json:"error_events_dropped,omitempty"`
+	// Outliers are the slowest traced requests, slowest first (at most
+	// maxOutliers), present only with Config.TraceEvery set.
+	Outliers []OutlierSample `json:"outliers,omitempty"`
 }
 
 // ErrorRate returns errors/requests, 0 for an empty run.
@@ -156,16 +183,22 @@ type Generator struct {
 	client *http.Client
 	mix    []Op
 	ips    []string
+	ids    *telemetry.IDGen // nil unless TraceEvery > 0
 
 	requests atomic.Int64
 	errors   atomic.Int64
+	seq      atomic.Int64 // request ordinal for the TraceEvery stride
 
 	mu        sync.Mutex
 	byOp      map[string]*opRecorder
 	events    []ErrorEvent
 	dropped   int64
 	maxEvents int
+	outliers  []OutlierSample
 }
+
+// maxOutliers bounds the retained slowest-traced-request samples.
+const maxOutliers = 8
 
 // New validates cfg and returns a ready Generator.
 func New(cfg Config) (*Generator, error) {
@@ -203,11 +236,50 @@ func New(cfg Config) (*Generator, error) {
 	if maxEvents <= 0 {
 		maxEvents = 1024
 	}
-	return &Generator{
+	g := &Generator{
 		cfg: cfg, client: client, mix: mix, ips: ips,
 		byOp:      map[string]*opRecorder{},
 		maxEvents: maxEvents,
-	}, nil
+	}
+	if cfg.TraceEvery > 0 {
+		g.ids = telemetry.NewIDGen(cfg.Seed)
+	}
+	return g, nil
+}
+
+// nextTrace decides whether the next request is force-traced, returning
+// its sampled traceparent header value and bare trace ID ("" when not).
+func (g *Generator) nextTrace() (header, traceID string) {
+	if g.ids == nil {
+		return "", ""
+	}
+	if g.seq.Add(1)%int64(g.cfg.TraceEvery) != 0 {
+		return "", ""
+	}
+	sc := telemetry.SpanContext{
+		TraceID: g.ids.TraceID(),
+		SpanID:  g.ids.SpanID(),
+		Sampled: true,
+	}
+	return sc.Traceparent(), sc.TraceID.String()
+}
+
+// noteOutlier retains the slowest traced requests, slowest first.
+func (g *Generator) noteOutlier(s OutlierSample) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	i := sort.Search(len(g.outliers), func(i int) bool {
+		return g.outliers[i].Duration < s.Duration
+	})
+	if i >= maxOutliers {
+		return
+	}
+	g.outliers = append(g.outliers, OutlierSample{})
+	copy(g.outliers[i+1:], g.outliers[i:])
+	g.outliers[i] = s
+	if len(g.outliers) > maxOutliers {
+		g.outliers = g.outliers[:maxOutliers]
+	}
 }
 
 func (g *Generator) recorder(kind string) *opRecorder {
@@ -281,6 +353,7 @@ func (g *Generator) Run(ctx context.Context) *Report {
 	}
 	rep.ErrorEvents = append(rep.ErrorEvents, g.events...)
 	rep.ErrorEventsDropped = g.dropped
+	rep.Outliers = append(rep.Outliers, g.outliers...)
 	g.mu.Unlock()
 	return rep
 }
@@ -302,6 +375,7 @@ func (g *Generator) pickOp(rng *rand.Rand) string {
 
 func (g *Generator) do(ctx context.Context, rng *rand.Rand, target string) {
 	kind := g.pickOp(rng)
+	traceparent, traceID := g.nextTrace()
 	var (
 		resp *http.Response
 		err  error
@@ -310,7 +384,7 @@ func (g *Generator) do(ctx context.Context, rng *rand.Rand, target string) {
 	switch kind {
 	case OpLookup:
 		ip := g.ips[rng.Intn(len(g.ips))]
-		resp, err = g.get(ctx, target+"/lookup?ip="+ip)
+		resp, err = g.get(ctx, target+"/lookup?ip="+ip, traceparent)
 	case OpBatch:
 		var buf bytes.Buffer
 		buf.WriteString(`{"ips": [`)
@@ -322,9 +396,9 @@ func (g *Generator) do(ctx context.Context, rng *rand.Rand, target string) {
 			fmt.Fprintf(&buf, "%q", g.ips[rng.Intn(len(g.ips))])
 		}
 		buf.WriteString(`]}`)
-		resp, err = g.post(ctx, target+"/lookup/batch", &buf)
+		resp, err = g.post(ctx, target+"/lookup/batch", &buf, traceparent)
 	default: // OpTable1
-		resp, err = g.get(ctx, target+"/table1")
+		resp, err = g.get(ctx, target+"/table1", traceparent)
 	}
 	elapsed := time.Since(start)
 
@@ -345,7 +419,7 @@ func (g *Generator) do(ctx context.Context, rng *rand.Rand, target string) {
 	g.requests.Add(1)
 	if !ok {
 		g.errors.Add(1)
-		ev := ErrorEvent{At: start, Target: target, Op: kind}
+		ev := ErrorEvent{At: start, Target: target, Op: kind, TraceID: traceID}
 		if err != nil {
 			ev.Err = err.Error()
 		} else {
@@ -353,22 +427,34 @@ func (g *Generator) do(ctx context.Context, rng *rand.Rand, target string) {
 		}
 		g.noteError(ev)
 	}
+	if traceID != "" {
+		g.noteOutlier(OutlierSample{
+			TraceID: traceID, Op: kind, Target: target,
+			Duration: elapsed, At: start,
+		})
+	}
 	g.recorder(kind).observe(elapsed, ok)
 }
 
-func (g *Generator) get(ctx context.Context, url string) (*http.Response, error) {
+func (g *Generator) get(ctx context.Context, url, traceparent string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
+	if traceparent != "" {
+		req.Header.Set(telemetry.TraceparentHeader, traceparent)
+	}
 	return g.client.Do(req)
 }
 
-func (g *Generator) post(ctx context.Context, url string, body io.Reader) (*http.Response, error) {
+func (g *Generator) post(ctx context.Context, url string, body io.Reader, traceparent string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(telemetry.TraceparentHeader, traceparent)
+	}
 	return g.client.Do(req)
 }

@@ -64,10 +64,11 @@ type Config struct {
 	// OnSwap, when set, observes every successfully swapped-in snapshot
 	// after it becomes the serving snapshot. It runs synchronously on
 	// the reload goroutine — keep it bounded (the daemon uses it to
-	// persist and publish the new generation). A panic inside it is
-	// contained and logged; it can never fail the reload that already
-	// succeeded.
-	OnSwap func(snap *Snapshot)
+	// persist and publish the new generation). The context carries the
+	// reload's trace span (if the cycle is traced) so observer work
+	// shows up in the reload trace. A panic inside it is contained and
+	// logged; it can never fail the reload that already succeeded.
+	OnSwap func(ctx context.Context, snap *Snapshot)
 
 	// Replication, when set, reports the daemon's snapshot replication
 	// state. /statusz embeds it and /readyz attaches the generation lag,
@@ -108,6 +109,15 @@ type Config struct {
 	// embedded servers never share counters or leak scrape-time gauge
 	// closures into global state.
 	Metrics *telemetry.Registry
+
+	// Traces, when set, enables request tracing: incoming W3C
+	// traceparent headers are honored, a head sampler traces a fraction
+	// of the rest, error and slow-outlier requests are always kept, and
+	// finished traces are served from /debug/traces. Reload cycles get
+	// an owned, always-kept trace when the caller's context carries
+	// none. Nil disables tracing; unsampled requests pay one header
+	// lookup and one sampler draw either way (the nil-span no-op path).
+	Traces *telemetry.TracePlane
 
 	// JitterSeed seeds the RNG behind the full-jitter retry backoff.
 	// Zero draws from the clock; a fixed seed makes retry timing
@@ -269,6 +279,11 @@ func New(cfg Config) *Server {
 	// /metrics skips the limiter for the same reason the health probes
 	// do: a scrape during overload is exactly when the numbers matter.
 	s.route("metrics", "/metrics", false, c.Metrics.Handler().ServeHTTP)
+	if c.Traces != nil {
+		// Like /metrics: unlimited, so traces of an overload incident
+		// stay inspectable during the incident.
+		s.route("debug_traces", "/debug/traces", false, c.Traces.Collector.ServeHTTP)
+	}
 	return s
 }
 
@@ -373,7 +388,7 @@ func (s *Server) route(name, pattern string, limited bool, h http.HandlerFunc) {
 	if limited {
 		inner = http.TimeoutHandler(inner, s.cfg.RequestTimeout, "request timed out\n")
 	}
-	s.mux.Handle(pattern, s.harden(st, limited, inner))
+	s.mux.Handle(pattern, s.harden(name, st, limited, inner))
 }
 
 // statusRecorder captures the response status for error accounting.
@@ -398,25 +413,56 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 }
 
 // harden wraps a handler with the request-hardening middleware: arrival
-// counting, load shedding, latency observation, panic-to-500 recovery,
-// and 5xx accounting.
-func (s *Server) harden(st *endpointStats, limited bool, h http.Handler) http.Handler {
+// counting, the trace-or-not decision, load shedding, latency
+// observation, panic-to-500 recovery, and 5xx accounting.
+func (s *Server) harden(name string, st *endpointStats, limited bool, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		st.requests.Inc()
+		// The trace decision happens before shedding so the tail
+		// keep-rules capture shed requests too — an overload incident is
+		// exactly when traces matter. An unsampled request pays one
+		// header lookup and one sampler draw here and nothing after
+		// (nil-span no-op path; see BenchmarkTraceDecisionUnsampled).
+		var tr *telemetry.Trace
+		if tp := s.cfg.Traces; tp != nil {
+			sc, ok := telemetry.ParseTraceparent(r.Header.Get(telemetry.TraceparentHeader))
+			if (ok && sc.Sampled) || tp.Sampler.Sample() {
+				tr = telemetry.NewTraceWithIDs(name, tp.IDs)
+				if ok {
+					// Continue the caller's trace: same 128-bit ID, the
+					// caller's span as our root's parent.
+					tr.AdoptRemoteParent(sc)
+				}
+				r = r.WithContext(tr.Context(r.Context()))
+				w.Header().Set("X-Trace-Id", tr.ID().String())
+			}
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		if tr != nil {
+			// Registered before the accounting defer so it runs after
+			// panic recovery has settled the response status.
+			defer func() {
+				status := rec.status
+				if !rec.wrote {
+					status = http.StatusOK
+				}
+				tr.End()
+				s.cfg.Traces.Collector.Collect(name, status, tr)
+			}()
+		}
 		if limited {
 			select {
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()
 			default:
 				st.shed.Inc()
-				w.Header().Set("Retry-After",
+				rec.Header().Set("Retry-After",
 					strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-				http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+				http.Error(rec, "overloaded, retry later", http.StatusTooManyRequests)
 				return
 			}
 		}
 		start := s.cfg.now()
-		rec := &statusRecorder{ResponseWriter: w}
 		defer func() {
 			st.latency.Observe(s.cfg.now().Sub(start).Seconds())
 			if v := recover(); v != nil {
@@ -483,9 +529,32 @@ func (s *Server) Reload(ctx context.Context, forced bool) error {
 			}
 		}
 	}
-	ctx, span := telemetry.StartSpan(ctx, "reload")
+	// Trace the cycle. When the caller's context already carries a span
+	// (leaseinfer's -trace flag) the cycle nests under it; otherwise,
+	// with a trace plane configured, the cycle gets an owned trace that
+	// is always collected — the publisher half of every generation
+	// lifecycle — and whose identity becomes the snapshot's provenance.
+	var owned *telemetry.Trace
+	var span *telemetry.Span
+	if telemetry.SpanFrom(ctx) == nil && s.cfg.Traces != nil {
+		owned = telemetry.NewTraceWithIDs("reload", s.cfg.Traces.IDs)
+		span = owned.Root()
+		ctx = owned.Context(ctx)
+	} else {
+		ctx, span = telemetry.StartSpan(ctx, "reload")
+	}
 	span.SetAttr("mode", mode)
-	defer span.End()
+	reloadOK := false
+	defer func() {
+		span.End()
+		if owned != nil {
+			status := http.StatusInternalServerError
+			if reloadOK {
+				status = http.StatusOK
+			}
+			s.cfg.Traces.Collector.CollectHot(telemetry.KindReload, "reload", status, owned)
+		}
+	}()
 
 	start := s.cfg.now()
 	var err error
@@ -525,12 +594,26 @@ func (s *Server) Reload(ctx context.Context, forced bool) error {
 				mode = snap.Delta.Mode
 				span.SetAttr("mode", mode)
 			}
+			// Stamp the snapshot's provenance — the traceparent of this
+			// reload span — before the swap publishes the pointer, so
+			// readers never observe a mutation. Snapshots that arrived
+			// with provenance (a replica decode) keep the original
+			// publisher's.
+			if snap.Provenance == "" {
+				snap.Provenance = span.Traceparent()
+			}
+			if snap.Generation != 0 {
+				span.SetAttr("generation", strconv.FormatUint(snap.Generation, 10))
+			}
+			swapCtx, swapSpan := telemetry.StartSpan(ctx, "swap")
 			s.snap.Store(snap)
 			// Roll the load's per-source accounting onto the ingest_*
 			// counter families so data loss is scrapeable per reload.
 			diag.ObserveReports(s.cfg.Metrics, snap.Reports)
-			s.notifySwap(snap)
+			s.notifySwap(swapCtx, snap)
+			swapSpan.End()
 			s.observeDelta(snap)
+			reloadOK = true
 			s.finishReload(ReloadEvent{
 				At: start, OK: true, Forced: forced, Attempts: attempts,
 				DurationMS: s.cfg.now().Sub(start).Milliseconds(),
@@ -558,7 +641,7 @@ func (s *Server) Reload(ctx context.Context, forced bool) error {
 // notifySwap runs the OnSwap observer with panic containment: the swap
 // already happened, so an observer bug degrades to a logged error, never
 // a failed reload or a dead daemon.
-func (s *Server) notifySwap(snap *Snapshot) {
+func (s *Server) notifySwap(ctx context.Context, snap *Snapshot) {
 	if s.cfg.OnSwap == nil {
 		return
 	}
@@ -567,7 +650,7 @@ func (s *Server) notifySwap(snap *Snapshot) {
 			s.cfg.Logger.Error("snapshot swap observer panicked", "panic", v)
 		}
 	}()
-	s.cfg.OnSwap(snap)
+	s.cfg.OnSwap(ctx, snap)
 }
 
 // observeDelta rolls a delta-built snapshot's patch statistics onto the
@@ -658,6 +741,21 @@ func (s *Server) ReloadLoop(ctx context.Context) {
 	}
 }
 
+// GenerationHeader is the response header naming the snapshot
+// generation that answered a data request. It is stamped from the same
+// atomic snapshot-pointer read that produces the body, so clients (the
+// chaos harness's byte-identity invariant) can group responses by
+// generation without a second, racy status round trip.
+const GenerationHeader = "X-Snapshot-Generation"
+
+// setGenerationHeader stamps the answering snapshot's generation.
+// Absent when the process never assigns generations (no snapshot store).
+func setGenerationHeader(w http.ResponseWriter, snap *Snapshot) {
+	if snap.Generation != 0 {
+		w.Header().Set(GenerationHeader, strconv.FormatUint(snap.Generation, 10))
+	}
+}
+
 // writeJSON renders one response body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -687,48 +785,72 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, ErrNoSnapshot.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	setGenerationHeader(w, snap)
+	ctx := r.Context()
+	_, decSpan := telemetry.StartSpan(ctx, "decode")
 	q := r.URL.Query()
 	resp := lookupResponse{SnapshotBuiltAt: snap.BuiltAt}
+	var (
+		lookup func()
+		query  string
+	)
 	switch {
 	case q.Get("prefix") != "":
 		arg := q.Get("prefix")
 		p, err := netutil.ParsePrefix(arg)
 		if err != nil {
+			decSpan.End()
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		resp.Query = "prefix=" + arg
-		if inf := snap.LookupPrefix(p); inf != nil {
-			resp.Found, resp.Inference = true, View(inf)
+		query = "prefix=" + arg
+		lookup = func() {
+			if inf := snap.LookupPrefix(p); inf != nil {
+				resp.Found, resp.Inference = true, View(inf)
+			}
 		}
 	case q.Get("ip") != "":
 		arg := q.Get("ip")
 		a, err := netutil.ParseAddr(arg)
 		if err != nil {
+			decSpan.End()
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		resp.Query = "ip=" + arg
-		if inf := snap.LookupAddr(a); inf != nil {
-			resp.Found, resp.Inference = true, View(inf)
+		query = "ip=" + arg
+		lookup = func() {
+			if inf := snap.LookupAddr(a); inf != nil {
+				resp.Found, resp.Inference = true, View(inf)
+			}
 		}
 	case q.Get("asn") != "":
 		arg := q.Get("asn")
 		asn, err := strconv.ParseUint(strings.TrimPrefix(arg, "AS"), 10, 32)
 		if err != nil {
+			decSpan.End()
 			http.Error(w, "invalid asn: "+arg, http.StatusBadRequest)
 			return
 		}
-		resp.Query = "asn=" + arg
-		for _, inf := range snap.LookupASN(uint32(asn)) {
-			resp.Inferences = append(resp.Inferences, View(inf))
+		query = "asn=" + arg
+		lookup = func() {
+			for _, inf := range snap.LookupASN(uint32(asn)) {
+				resp.Inferences = append(resp.Inferences, View(inf))
+			}
+			resp.Found = len(resp.Inferences) > 0
 		}
-		resp.Found = len(resp.Inferences) > 0
 	default:
+		decSpan.End()
 		http.Error(w, "missing query: one of prefix=, ip=, asn=", http.StatusBadRequest)
 		return
 	}
+	decSpan.End()
+	resp.Query = query
+	_, lpmSpan := telemetry.StartSpan(ctx, "lookup")
+	lookup()
+	lpmSpan.End()
+	_, renderSpan := telemetry.StartSpan(ctx, "render")
 	writeJSON(w, http.StatusOK, resp)
+	renderSpan.End()
 }
 
 // MaxBatchIPs caps one /lookup/batch request. At the LPM's per-address
@@ -772,12 +894,18 @@ func (s *Server) handleLookupBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, ErrNoSnapshot.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	setGenerationHeader(w, snap)
+	ctx := r.Context()
+	_, decSpan := telemetry.StartSpan(ctx, "decode")
 	var req batchLookupRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
+		decSpan.End()
 		http.Error(w, "invalid body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	decSpan.AddRecords(int64(len(req.IPs)))
+	decSpan.End()
 	if len(req.IPs) == 0 {
 		http.Error(w, "empty batch: body must carry {\"ips\": [...]}", http.StatusBadRequest)
 		return
@@ -791,6 +919,7 @@ func (s *Server) handleLookupBatch(w http.ResponseWriter, r *http.Request) {
 		SnapshotBuiltAt: snap.BuiltAt,
 		Results:         make([]batchLookupItem, len(req.IPs)),
 	}
+	_, lpmSpan := telemetry.StartSpan(ctx, "lookup")
 	for i, raw := range req.IPs {
 		item := &resp.Results[i]
 		item.IP = raw
@@ -803,7 +932,11 @@ func (s *Server) handleLookupBatch(w http.ResponseWriter, r *http.Request) {
 			item.Found, item.Inference = true, View(inf)
 		}
 	}
+	lpmSpan.AddRecords(int64(len(req.IPs)))
+	lpmSpan.End()
+	_, renderSpan := telemetry.StartSpan(ctx, "render")
 	writeJSON(w, http.StatusOK, resp)
+	renderSpan.End()
 }
 
 // handleTable1 serves the snapshot's pre-rendered Table-1 summary.
@@ -813,8 +946,12 @@ func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, ErrNoSnapshot.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	setGenerationHeader(w, snap)
+	_, renderSpan := telemetry.StartSpan(r.Context(), "render")
 	w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
 	w.Write(snap.Table1()) //nolint:errcheck
+	renderSpan.AddBytes(int64(len(snap.Table1())))
+	renderSpan.End()
 }
 
 // loadReportResponse is the /loadreport JSON shape.
@@ -833,6 +970,7 @@ func (s *Server) handleLoadReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, ErrNoSnapshot.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	setGenerationHeader(w, snap)
 	writeJSON(w, http.StatusOK, loadReportResponse{
 		BuiltAt:         snap.BuiltAt,
 		Dir:             snap.Dir,
@@ -941,15 +1079,22 @@ type statuszResponse struct {
 }
 
 type statuszSnapshot struct {
-	BuiltAt         time.Time `json:"built_at"`
-	AgeSeconds      float64   `json:"age_seconds"`
-	Dir             string    `json:"dir,omitempty"`
-	Strict          bool      `json:"strict"`
-	Inferences      int       `json:"inferences"`
-	Leased          int       `json:"leased"`
-	RoutedPrefixes  int       `json:"routed_prefixes"`
-	LeasedShare     float64   `json:"leased_share_of_bgp"`
-	SkippedAnalyses []string  `json:"skipped_analyses,omitempty"`
+	// Generation and BuiltAt are read from the same atomic
+	// snapshot-pointer load, so they can never disagree about which
+	// snapshot is serving (the race DESIGN.md §12 used to document).
+	Generation uint64    `json:"generation"`
+	BuiltAt    time.Time `json:"built_at"`
+	// Provenance is the traceparent of the reload that built the
+	// serving snapshot — the join key into /debug/traces.
+	Provenance      string   `json:"provenance,omitempty"`
+	AgeSeconds      float64  `json:"age_seconds"`
+	Dir             string   `json:"dir,omitempty"`
+	Strict          bool     `json:"strict"`
+	Inferences      int      `json:"inferences"`
+	Leased          int      `json:"leased"`
+	RoutedPrefixes  int      `json:"routed_prefixes"`
+	LeasedShare     float64  `json:"leased_share_of_bgp"`
+	SkippedAnalyses []string `json:"skipped_analyses,omitempty"`
 }
 
 type statuszReload struct {
@@ -975,7 +1120,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	}
 	if snap := s.snap.Load(); snap != nil {
 		resp.Snapshot = &statuszSnapshot{
+			Generation:      snap.Generation,
 			BuiltAt:         snap.BuiltAt,
+			Provenance:      snap.Provenance,
 			AgeSeconds:      now.Sub(snap.BuiltAt).Seconds(),
 			Dir:             snap.Dir,
 			Strict:          snap.Strict,

@@ -35,6 +35,18 @@ type Snapshot struct {
 	// BuiltAt is when the snapshot finished building. The Server stamps
 	// it at swap time if the builder left it zero.
 	BuiltAt time.Time
+	// Generation is the snapshot's monotonically increasing publication
+	// number, stamped by whoever minted the snapshot (the daemon's
+	// build wrappers, or the snapshot codec on decode). Zero means the
+	// process never assigns generations (no snapshot store configured).
+	Generation uint64
+	// Provenance is the W3C traceparent of the reload span that built
+	// the snapshot. The Server stamps it at swap time if the builder
+	// left it empty and the reload is being traced; the snapshot codec
+	// carries it across the wire so a replica's fetch/decode/swap spans
+	// can link back to the publisher's reload trace. Empty when the
+	// build was untraced.
+	Provenance string
 	// Dir is the dataset directory the snapshot was loaded from.
 	Dir string
 	// Strict records the ingestion policy of the load.
@@ -113,6 +125,8 @@ func (s *Snapshot) ByASN() map[uint32][]int32 { return s.byASN }
 // is required except Delta.
 type Restored struct {
 	BuiltAt         time.Time
+	Generation      uint64
+	Provenance      string
 	Dir             string
 	Strict          bool
 	Result          *core.Result // must carry the flat arena (core.ResultFromFlat)
@@ -149,6 +163,8 @@ func Restore(parts Restored) (*Snapshot, error) {
 	}
 	s := &Snapshot{
 		BuiltAt:         parts.BuiltAt,
+		Generation:      parts.Generation,
+		Provenance:      parts.Provenance,
 		Dir:             parts.Dir,
 		Strict:          parts.Strict,
 		Result:          parts.Result,

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ipleasing/internal/telemetry"
+)
+
+// tracedServer builds a primed server with an always-sample trace plane.
+func tracedServer(t *testing.T, rate float64) (*Server, *httptest.Server) {
+	t.Helper()
+	s := newTestServer(t, Config{
+		Traces: telemetry.NewTracePlane(telemetry.TracePlaneOptions{
+			SampleRate: rate,
+			Seed:       42,
+		}),
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// debugTraces fetches and decodes /debug/traces with an optional query.
+func debugTraces(t *testing.T, ts *httptest.Server, query string) []telemetry.TraceRecord {
+	t.Helper()
+	code, body, _ := get(t, ts, "/debug/traces"+query)
+	if code != 200 {
+		t.Fatalf("/debug/traces%s: code %d body %s", query, code, body)
+	}
+	var resp struct {
+		Traces []telemetry.TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("/debug/traces%s: decode: %v", query, err)
+	}
+	return resp.Traces
+}
+
+func TestTracedRequestCollected(t *testing.T) {
+	_, ts := tracedServer(t, 1)
+
+	code, _, hdr := get(t, ts, "/lookup?ip=10.0.0.77")
+	if code != 200 {
+		t.Fatalf("lookup: code %d", code)
+	}
+	traceID := hdr.Get("X-Trace-Id")
+	if len(traceID) != 32 {
+		t.Fatalf("X-Trace-Id = %q, want 32 hex chars", traceID)
+	}
+
+	recs := debugTraces(t, ts, "?trace_id="+traceID)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records for trace %s, want 1", len(recs), traceID)
+	}
+	rec := recs[0]
+	if rec.Endpoint != "lookup" || rec.Kind != telemetry.KindSampled || rec.Status != 200 {
+		t.Errorf("record = %s/%s/%d, want lookup/sampled/200", rec.Endpoint, rec.Kind, rec.Status)
+	}
+	if rec.Root == nil || rec.Root.TraceID != traceID {
+		t.Fatalf("root trace_id = %v, want %s", rec.Root, traceID)
+	}
+	// The request root carries the per-phase child spans.
+	var phases []string
+	for _, c := range rec.Root.Children {
+		phases = append(phases, c.Name)
+	}
+	joined := strings.Join(phases, ",")
+	for _, want := range []string{"decode", "lookup", "render"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("child spans %q missing %q", joined, want)
+		}
+	}
+}
+
+func TestIncomingTraceparentAdopted(t *testing.T) {
+	// Rate 0: only the incoming sampled flag can start a trace.
+	_, ts := tracedServer(t, 0)
+
+	const incoming = "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01"
+	req, err := http.NewRequest("GET", ts.URL+"/lookup?ip=10.0.0.77", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(telemetry.TraceparentHeader, incoming)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); got != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("X-Trace-Id = %q, want the incoming trace ID", got)
+	}
+
+	recs := debugTraces(t, ts, "?trace_id=0123456789abcdef0123456789abcdef")
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	if recs[0].Root.ParentSpanID != "00f067aa0ba902b7" {
+		t.Errorf("root parent_span_id = %q, want the incoming span ID", recs[0].Root.ParentSpanID)
+	}
+}
+
+func TestErrorRequestAlwaysKept(t *testing.T) {
+	// Rate 1 so the decision is taken; the error keep-rule routes it to
+	// the hot ring regardless of sampling.
+	_, ts := tracedServer(t, 1)
+
+	code, _, hdr := get(t, ts, "/lookup?ip=not-an-ip")
+	if code != 400 {
+		t.Fatalf("bad lookup: code %d, want 400", code)
+	}
+	traceID := hdr.Get("X-Trace-Id")
+	recs := debugTraces(t, ts, "?trace_id="+traceID)
+	if len(recs) != 1 || recs[0].Kind != telemetry.KindError || recs[0].Status != 400 {
+		t.Fatalf("error trace = %+v, want one error/400 record", recs)
+	}
+}
+
+func TestUnsampledRequestUntraced(t *testing.T) {
+	_, ts := tracedServer(t, 0)
+
+	code, _, hdr := get(t, ts, "/lookup?ip=10.0.0.77")
+	if code != 200 {
+		t.Fatalf("lookup: code %d", code)
+	}
+	if got := hdr.Get("X-Trace-Id"); got != "" {
+		t.Errorf("X-Trace-Id = %q on unsampled request, want none", got)
+	}
+	if recs := debugTraces(t, ts, "?kind=sampled"); len(recs) != 0 {
+		t.Errorf("collector holds %d sampled records, want 0", len(recs))
+	}
+}
+
+func TestReloadTraceCollected(t *testing.T) {
+	s, ts := tracedServer(t, 0)
+
+	// The initial Reload in newTestServer ran before tracing could be
+	// observed here; drive another and look for its reload record.
+	if err := s.Reload(context.Background(), true); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	recs := debugTraces(t, ts, "?kind=reload")
+	if len(recs) == 0 {
+		t.Fatal("no reload traces collected")
+	}
+	rec := recs[0]
+	if rec.Endpoint != "reload" || rec.Status != 200 || rec.Root == nil {
+		t.Fatalf("reload record = %+v", rec)
+	}
+	var hasSwap bool
+	for _, c := range rec.Root.Children {
+		if c.Name == "swap" {
+			hasSwap = true
+		}
+	}
+	if !hasSwap {
+		t.Errorf("reload root children lack a swap span: %+v", rec.Root.Children)
+	}
+}
+
+func TestGenerationHeaderMatchesStatusz(t *testing.T) {
+	s := newTestServer(t, Config{
+		Build: func(ctx context.Context) (*Snapshot, error) {
+			snap := testSnapshot()
+			snap.Generation = 7
+			return snap, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, _, hdr := get(t, ts, "/lookup?ip=10.0.0.77")
+	if code != 200 {
+		t.Fatalf("lookup: code %d", code)
+	}
+	if got := hdr.Get(GenerationHeader); got != "7" {
+		t.Fatalf("%s = %q, want 7", GenerationHeader, got)
+	}
+
+	code, body, _ := get(t, ts, "/statusz")
+	if code != 200 {
+		t.Fatalf("statusz: code %d", code)
+	}
+	var st struct {
+		Snapshot struct {
+			Generation uint64 `json:"generation"`
+		} `json:"snapshot"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("statusz decode: %v", err)
+	}
+	if st.Snapshot.Generation != 7 {
+		t.Fatalf("statusz generation = %d, want 7", st.Snapshot.Generation)
+	}
+}

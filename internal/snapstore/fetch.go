@@ -20,6 +20,12 @@ import (
 // parsing the ETag.
 const generationHeader = "X-Snapshot-Generation"
 
+// provenanceHeader carries the published generation's provenance — the
+// W3C traceparent of the publisher reload that built it — on publisher
+// responses, so operators can join a fetched generation to the
+// publisher's /debug/traces without decoding the body.
+const provenanceHeader = "X-Snapshot-Traceparent"
+
 // ErrUnchanged reports a conditional fetch answered 304: the publisher
 // still serves the generation the fetcher already has.
 var ErrUnchanged = errors.New("snapstore: snapshot unchanged")
@@ -97,6 +103,7 @@ func genETag(gen uint64) string { return fmt.Sprintf("%q", fmt.Sprintf("gen-%016
 type publication struct {
 	gen  uint64
 	etag string
+	prov string // provenance traceparent from the meta section, may be ""
 	data []byte
 }
 
@@ -120,7 +127,13 @@ func (p *Publisher) Set(data []byte) error {
 	if err != nil {
 		return err
 	}
-	p.cur.Store(&publication{gen: gen, etag: genETag(gen), data: data})
+	// The bytes just passed the whole-file checksum, so a provenance
+	// read can only fail on a meta reshape bug — surface that too.
+	prov, err := ReadProvenance(data)
+	if err != nil {
+		return err
+	}
+	p.cur.Store(&publication{gen: gen, etag: genETag(gen), prov: prov, data: data})
 	return nil
 }
 
@@ -152,6 +165,9 @@ func (p *Publisher) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h := w.Header()
 	h.Set("ETag", cur.etag)
 	h.Set(generationHeader, strconv.FormatUint(cur.gen, 10))
+	if cur.prov != "" {
+		h.Set(provenanceHeader, cur.prov)
+	}
 	h.Set("Content-Type", "application/octet-stream")
 	h.Set("Content-Length", strconv.Itoa(len(cur.data)))
 	if r.Header.Get("If-None-Match") == cur.etag {
@@ -258,6 +274,18 @@ func (f *Fetcher) storeETag(etag string) {
 	f.mu.Unlock()
 }
 
+// setTraceparent propagates the span carried by ctx (if any) onto an
+// outbound publisher request as a W3C traceparent header, so the
+// publisher's request tracing can link the hop to the replica's reload
+// trace. Note the replica later ADOPTS the publisher's generation trace
+// on a successful decode; the ID emitted here is recorded as the
+// replaced ID in that case, and joins the two error paths otherwise.
+func setTraceparent(ctx context.Context, req *http.Request) {
+	if tp := telemetry.SpanFrom(ctx).Traceparent(); tp != "" {
+		req.Header.Set(telemetry.TraceparentHeader, tp)
+	}
+}
+
 // Probe asks the publisher (HEAD) which generation it currently serves,
 // without transferring the body. Used by the replica poll loop to skip
 // no-op reloads and to measure replication lag.
@@ -266,6 +294,7 @@ func (f *Fetcher) Probe(ctx context.Context) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("snapstore: probe %s: %w", f.url, err)
 	}
+	setTraceparent(ctx, req)
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("snapstore: probe %s: %w", f.url, err)
@@ -304,6 +333,7 @@ func (f *Fetcher) Fetch(ctx context.Context) ([]byte, uint64, error) {
 	if etag := f.loadETag(); etag != "" {
 		req.Header.Set("If-None-Match", etag)
 	}
+	setTraceparent(ctx, req)
 	resp, err := f.client.Do(req)
 	if err != nil {
 		f.metrics.observeFetch("error")

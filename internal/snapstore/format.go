@@ -34,7 +34,13 @@ import (
 // upgrade together and there is no cross-version migration path. Bump it
 // on ANY layout change — a version mismatch is a clean typed rejection,
 // a silent layout drift is a corruption bug.
-const FormatVersion = 1
+//
+// Version history:
+//
+//	1 — initial layout.
+//	2 — meta section gained a trailing provenance traceparent (the
+//	    publisher reload trace that built the generation).
+const FormatVersion = 2
 
 // magic identifies a snapshot file. 8 bytes, never changes; the version
 // field after it is what evolves.
@@ -168,6 +174,7 @@ func encodeMeta(snap *serve.Snapshot) []byte {
 	}
 	b = appendStr(b, snap.Dir)
 	b = appendStrs(b, snap.SkippedAnalyses)
+	b = appendStr(b, snap.Provenance)
 	return b
 }
 
@@ -442,6 +449,7 @@ type decodedMeta struct {
 	routedSpace     uint64
 	arenaLen        int
 	skippedAnalyses []string
+	provenance      string
 }
 
 func decodeMeta(payload []byte) (decodedMeta, *CorruptError) {
@@ -454,6 +462,7 @@ func decodeMeta(payload []byte) (decodedMeta, *CorruptError) {
 	m.strict = r.u8() == 1
 	m.dir = r.str(nil)
 	m.skippedAnalyses = r.strlist(nil)
+	m.provenance = r.str(nil)
 	r.done()
 	if r.err != nil {
 		return decodedMeta{}, r.err
@@ -673,6 +682,8 @@ func Decode(data []byte) (*serve.Snapshot, uint64, error) {
 	}
 	snap, err := serve.Restore(serve.Restored{
 		BuiltAt:         meta.builtAt,
+		Generation:      gen,
+		Provenance:      meta.provenance,
 		Dir:             meta.dir,
 		Strict:          meta.strict,
 		Result:          res,
@@ -703,6 +714,42 @@ func ReadGeneration(data []byte) (uint64, error) {
 		return 0, corrupt("file", "whole-file CRC mismatch", ErrChecksum)
 	}
 	return gen, nil
+}
+
+// ReadProvenance extracts the provenance traceparent from an encoded
+// snapshot's meta section without a full decode. Like ReadGeneration it
+// validates the header and whole-file checksum first, so the publisher
+// can read it from bytes it is about to serve.
+func ReadProvenance(data []byte) (string, error) {
+	_, nsect, cerr := header(data)
+	if cerr != nil {
+		return "", cerr
+	}
+	body := len(data) - 4
+	if crc32.Checksum(data[:body], castagnoli) != binary.LittleEndian.Uint32(data[body:]) {
+		return "", corrupt("file", "whole-file CRC mismatch", ErrChecksum)
+	}
+	tableEnd := headerSize + nsect*sectionEntrySize
+	if tableEnd > body {
+		return "", corrupt("header", "section table extends past file", ErrTruncated)
+	}
+	for i := 0; i < nsect; i++ {
+		e := data[headerSize+i*sectionEntrySize:]
+		if binary.LittleEndian.Uint32(e[0:4]) != secMeta {
+			continue
+		}
+		off := binary.LittleEndian.Uint64(e[4:12])
+		ln := binary.LittleEndian.Uint64(e[12:20])
+		if off < uint64(tableEnd) || off > uint64(body) || ln > uint64(body)-off {
+			return "", corrupt("header", "meta section extends past file", ErrTruncated)
+		}
+		meta, cerr := decodeMeta(data[off : off+ln])
+		if cerr != nil {
+			return "", cerr
+		}
+		return meta.provenance, nil
+	}
+	return "", corrupt("meta", "section missing", nil)
 }
 
 // SectionRange locates one section's payload inside an encoded

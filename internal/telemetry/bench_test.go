@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"io"
+	"net/http"
 	"testing"
 )
 
@@ -37,6 +38,23 @@ func BenchmarkHistogramObserve(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Observe(0.00042)
+	}
+}
+
+func BenchmarkTraceDecisionUnsampled(b *testing.B) {
+	// The full per-request cost an UNSAMPLED request pays for the trace
+	// plane: a header lookup (absent), the traceparent parse fast path,
+	// and one head-sampler draw at a rate that keeps ~nothing. This is
+	// the overhead budget gated by scripts/check.sh — the nil-span
+	// no-op convention means everything past this point is free.
+	hdr := make(http.Header)
+	hdr.Set("User-Agent", "bench")
+	s := NewSampler(1e-9, 42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ParseTraceparent(hdr.Get(TraceparentHeader)); ok || s.Sample() {
+			b.Fatal("unsampled bench sampled a request")
+		}
 	}
 }
 

@@ -21,13 +21,69 @@ import (
 type Trace struct {
 	root *Span
 	now  func() time.Time // test hook; time.Now outside tests
+	ids  *IDGen
+
+	idMu   sync.Mutex
+	id     TraceID
+	parent SpanID // remote parent span ID, when adopted off the wire
 }
+
+// defaultIDGen mints IDs for traces created outside a TracePlane
+// (leaseinfer's -trace flag, tests); clock-seeded once per process.
+var defaultIDGen = NewIDGen(0)
 
 // NewTrace starts a trace whose root span is named name.
 func NewTrace(name string) *Trace {
-	t := &Trace{now: time.Now}
-	t.root = &Span{tr: t, name: name, start: t.now()}
+	return NewTraceWithIDs(name, nil)
+}
+
+// NewTraceWithIDs starts a trace minting its trace and span IDs from
+// ids (nil uses a process-wide clock-seeded generator).
+func NewTraceWithIDs(name string, ids *IDGen) *Trace {
+	if ids == nil {
+		ids = defaultIDGen
+	}
+	t := &Trace{now: time.Now, ids: ids, id: ids.TraceID()}
+	t.root = &Span{tr: t, name: name, id: ids.SpanID(), start: t.now()}
 	return t
+}
+
+// ID returns the trace's 128-bit identity.
+func (t *Trace) ID() TraceID {
+	t.idMu.Lock()
+	defer t.idMu.Unlock()
+	return t.id
+}
+
+// AdoptRemoteParent re-identifies the trace as a continuation of the
+// remote span context sc: the trace takes sc's trace ID and records
+// sc's span ID as the root span's parent. Span IDs minted locally are
+// kept. The replaced local trace ID is recorded as a root attribute so
+// orphaned references (e.g. a traceparent already emitted on an
+// outbound hop) stay explicable.
+func (t *Trace) AdoptRemoteParent(sc SpanContext) {
+	if t == nil || sc.TraceID.IsZero() {
+		return
+	}
+	t.idMu.Lock()
+	old := t.id
+	t.id = sc.TraceID
+	t.parent = sc.SpanID
+	t.idMu.Unlock()
+	if old != sc.TraceID {
+		t.root.SetAttr("trace.replaced_id", old.String())
+	}
+}
+
+// AdoptRemoteParent re-identifies the trace carried by ctx (if any) as
+// a continuation of sc. It reports whether a trace was adopted.
+func AdoptRemoteParent(ctx context.Context, sc SpanContext) bool {
+	s := SpanFrom(ctx)
+	if s == nil || s.tr == nil {
+		return false
+	}
+	s.tr.AdoptRemoteParent(sc)
+	return true
 }
 
 // Root returns the trace's root span.
@@ -78,6 +134,7 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 type Span struct {
 	tr    *Trace
 	name  string
+	id    SpanID
 	start time.Time
 
 	mu       sync.Mutex
@@ -102,11 +159,29 @@ func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	child := &Span{tr: s.tr, name: name, start: s.tr.now()}
+	child := &Span{tr: s.tr, name: name, id: s.tr.ids.SpanID(), start: s.tr.now()}
 	s.mu.Lock()
 	s.children = append(s.children, child)
 	s.mu.Unlock()
 	return child
+}
+
+// SpanContext returns the span's wire identity (Sampled set: a span
+// only exists on a trace that was kept). Zero on a nil span.
+func (s *Span) SpanContext() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.tr.ID(), SpanID: s.id, Sampled: true}
+}
+
+// Traceparent renders the span's wire identity as a W3C traceparent
+// header value, or "" on a nil span.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return s.SpanContext().Traceparent()
 }
 
 // End stamps the span's end time. Ending twice keeps the first stamp.
@@ -169,15 +244,18 @@ func (s *Span) Duration() time.Duration {
 // overlap, and sequential pipelines leave (small) untraced gaps, so
 // SelfMS makes the gap explicit instead of hiding it.
 type SpanNode struct {
-	Name       string            `json:"name"`
-	Start      time.Time         `json:"start"`
-	DurationMS float64           `json:"duration_ms"`
-	SelfMS     float64           `json:"self_ms"`
-	Records    int64             `json:"records,omitempty"`
-	Bytes      int64             `json:"bytes,omitempty"`
-	Unfinished bool              `json:"unfinished,omitempty"`
-	Attrs      map[string]string `json:"attrs,omitempty"`
-	Children   []*SpanNode       `json:"children,omitempty"`
+	Name         string            `json:"name"`
+	TraceID      string            `json:"trace_id,omitempty"` // root node only
+	SpanID       string            `json:"span_id,omitempty"`
+	ParentSpanID string            `json:"parent_span_id,omitempty"`
+	Start        time.Time         `json:"start"`
+	DurationMS   float64           `json:"duration_ms"`
+	SelfMS       float64           `json:"self_ms"`
+	Records      int64             `json:"records,omitempty"`
+	Bytes        int64             `json:"bytes,omitempty"`
+	Unfinished   bool              `json:"unfinished,omitempty"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+	Children     []*SpanNode       `json:"children,omitempty"`
 }
 
 // node snapshots the span subtree. Children are ordered by start time,
@@ -198,6 +276,9 @@ func (s *Span) node() *SpanNode {
 		Start:   s.start,
 		Records: s.records.Load(),
 		Bytes:   s.bytes.Load(),
+	}
+	if !s.id.IsZero() {
+		n.SpanID = s.id.String()
 	}
 	if len(attrs) > 0 {
 		n.Attrs = attrs
@@ -229,6 +310,7 @@ func (s *Span) node() *SpanNode {
 	var childMS float64
 	for _, o := range ord {
 		cn := o.span.node()
+		cn.ParentSpanID = n.SpanID
 		childMS += cn.DurationMS
 		n.Children = append(n.Children, cn)
 	}
@@ -243,8 +325,22 @@ func durationMS(d time.Duration) float64 {
 	return float64(d.Nanoseconds()) / 1e6
 }
 
-// Tree snapshots the whole trace as a SpanNode tree.
-func (t *Trace) Tree() *SpanNode { return t.root.node() }
+// Tree snapshots the whole trace as a SpanNode tree. The root node
+// carries the trace ID and — when the trace was adopted off the wire —
+// the remote parent's span ID.
+func (t *Trace) Tree() *SpanNode {
+	n := t.root.node()
+	t.idMu.Lock()
+	id, parent := t.id, t.parent
+	t.idMu.Unlock()
+	if !id.IsZero() {
+		n.TraceID = id.String()
+	}
+	if !parent.IsZero() {
+		n.ParentSpanID = parent.String()
+	}
+	return n
+}
 
 // WriteJSON renders the trace tree as indented JSON.
 func (t *Trace) WriteJSON(w io.Writer) error {

@@ -1,0 +1,533 @@
+package telemetry
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the cross-process half of the tracer: span identity
+// (128-bit trace IDs, 64-bit span IDs), W3C traceparent propagation,
+// a seedable head sampler, and a bounded in-process collector of
+// finished span trees served from /debug/traces. The in-process half
+// (Trace/Span) lives in trace.go.
+
+// TraceparentHeader is the W3C trace-context header name in canonical
+// MIME form. Always pass this (not the lowercase wire form) to
+// http.Header.Get: Get canonicalizes its argument, and the canonical
+// form takes the no-allocation fast path — this is on the unsampled
+// per-request budget.
+const TraceparentHeader = "Traceparent"
+
+// TraceID is a 128-bit W3C trace identifier.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// SpanID is a 64-bit W3C span identifier.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// SpanContext is the wire identity of one span: what a W3C traceparent
+// header carries across a process boundary.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Traceparent renders the context as a W3C traceparent header value
+// (version 00): 00-<32 hex trace id>-<16 hex span id>-<2 hex flags>.
+func (sc SpanContext) Traceparent() string {
+	flags := byte(0)
+	if sc.Sampled {
+		flags = 1
+	}
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, sc.TraceID[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, sc.SpanID[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, []byte{flags})
+	return string(b)
+}
+
+// ParseTraceparent parses a version-00 W3C traceparent header. It
+// returns ok=false for anything malformed: wrong length or version,
+// uppercase or non-hex digits, missing dashes, or all-zero IDs. The
+// empty string (no header) takes the early-exit fast path, so untraced
+// requests pay a single length check.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	var sc SpanContext
+	if len(h) != 55 {
+		return sc, false
+	}
+	if h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return sc, false
+	}
+	if !decodeLowerHex(sc.TraceID[:], h[3:35]) {
+		return sc, false
+	}
+	if !decodeLowerHex(sc.SpanID[:], h[36:52]) {
+		return sc, false
+	}
+	var flags [1]byte
+	if !decodeLowerHex(flags[:], h[53:55]) {
+		return sc, false
+	}
+	if sc.TraceID.IsZero() || sc.SpanID.IsZero() {
+		return sc, false
+	}
+	sc.Sampled = flags[0]&1 != 0
+	return sc, true
+}
+
+// decodeLowerHex decodes src (lowercase hex only, per the W3C spec)
+// into dst; len(src) must be 2*len(dst).
+func decodeLowerHex(dst []byte, src string) bool {
+	for i := 0; i < len(dst); i++ {
+		hi, ok1 := lowerHexVal(src[2*i])
+		lo, ok2 := lowerHexVal(src[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func lowerHexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// splitmix64 is the SplitMix64 output function: a bijective mix of a
+// counter into a well-distributed 64-bit value. One multiply-xor chain,
+// no locks, and a fixed seed reproduces the exact ID sequence.
+func splitmix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// splitmixGamma is the SplitMix64 state increment (the golden gamma).
+const splitmixGamma = 0x9e3779b97f4a7c15
+
+// IDGen mints trace and span IDs from an atomic SplitMix64 stream:
+// collision-free within a process (the underlying counter is), cheap
+// enough for the per-request path, and deterministic under a fixed
+// seed for reproducible harness runs.
+type IDGen struct {
+	state atomic.Uint64
+}
+
+// NewIDGen returns a generator seeded with seed; seed 0 draws from the
+// clock so independent processes get independent streams.
+func NewIDGen(seed int64) *IDGen {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	g := &IDGen{}
+	g.state.Store(uint64(seed))
+	return g
+}
+
+// Uint64 returns the next value in the stream.
+func (g *IDGen) Uint64() uint64 {
+	return splitmix64(g.state.Add(splitmixGamma))
+}
+
+// TraceID mints a non-zero 128-bit trace ID.
+func (g *IDGen) TraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		hi, lo := g.Uint64(), g.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(hi >> (56 - 8*i))
+			id[8+i] = byte(lo >> (56 - 8*i))
+		}
+	}
+	return id
+}
+
+// SpanID mints a non-zero 64-bit span ID.
+func (g *IDGen) SpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		v := g.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(v >> (56 - 8*i))
+		}
+	}
+	return id
+}
+
+// Sampler makes the head-sampling decision for requests that arrive
+// without a sampled traceparent. It compares an independent SplitMix64
+// stream against a fixed threshold, so the decision is one atomic add,
+// one mix, and one compare — no locks, no floating point — and the
+// sequence of decisions is deterministic under a fixed seed.
+type Sampler struct {
+	threshold uint64 // sample iff next stream value < threshold
+	gen       IDGen
+}
+
+// NewSampler returns a sampler keeping roughly rate of decisions
+// (rate <= 0 keeps none, rate >= 1 keeps all), seeded with seed
+// (0 draws from the clock).
+func NewSampler(rate float64, seed int64) *Sampler {
+	s := &Sampler{}
+	switch {
+	case rate <= 0:
+		s.threshold = 0
+	case rate >= 1:
+		s.threshold = ^uint64(0)
+	default:
+		s.threshold = uint64(rate * float64(1<<63) * 2)
+	}
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	s.gen.state.Store(uint64(seed))
+	return s
+}
+
+// Sample returns the next head-sampling decision.
+func (s *Sampler) Sample() bool {
+	switch s.threshold {
+	case 0:
+		return false
+	case ^uint64(0):
+		return true
+	}
+	return s.gen.Uint64() < s.threshold
+}
+
+// Trace record kinds, in ascending order of how eagerly the collector
+// keeps them. Sampled records share one ring; error, slow, and reload
+// records share a second ("hot") ring so a burst of ordinary traffic
+// cannot evict the tails worth debugging.
+const (
+	KindSampled = "sampled" // head-sampled ordinary request
+	KindSlow    = "slow"    // per-endpoint latency outlier
+	KindError   = "error"   // response status >= 400 (or none written)
+	KindReload  = "reload"  // snapshot reload/publish cycle
+)
+
+// TraceRecord is one finished trace as served from /debug/traces.
+type TraceRecord struct {
+	TraceID    string    `json:"trace_id"`
+	Endpoint   string    `json:"endpoint"`
+	Kind       string    `json:"kind"`
+	Status     int       `json:"status,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Root       *SpanNode `json:"root"`
+}
+
+// endpointLatency is a per-endpoint decayed mean used by the slow-tail
+// keep rule. Only traced requests feed it, so it is an estimate of the
+// sampled population — good enough to flag multiples of typical.
+type endpointLatency struct {
+	mean float64 // ms
+	n    int64
+}
+
+// Collector keeps finished span trees in two bounded rings and serves
+// them as JSON. All methods are safe on a nil receiver so callers can
+// thread an optional collector without branching.
+type Collector struct {
+	capacity   int
+	slowFactor float64
+	slowMin    float64 // ms
+	slowWarmup int64
+
+	kept    *CounterVec // by kind
+	dropped *CounterVec // by ring, on eviction
+
+	mu       sync.Mutex
+	hot      ring
+	sampled  sampledRing
+	latency  map[string]*endpointLatency
+	dropHot  int64
+	dropSamp int64
+}
+
+// ring is a fixed-capacity FIFO of trace records.
+type ring struct {
+	buf  []TraceRecord
+	next int
+	full bool
+}
+
+type sampledRing = ring
+
+func (r *ring) push(rec TraceRecord, capacity int) (evicted bool) {
+	if len(r.buf) < capacity {
+		r.buf = append(r.buf, rec)
+		return false
+	}
+	evicted = true
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % capacity
+	r.full = true
+	return evicted
+}
+
+// newestFirst appends the ring's records, newest first, to dst.
+func (r *ring) newestFirst(dst []TraceRecord) []TraceRecord {
+	n := len(r.buf)
+	for i := 0; i < n; i++ {
+		// r.next is the oldest slot once the ring has wrapped.
+		idx := (r.next + n - 1 - i) % n
+		dst = append(dst, r.buf[idx])
+	}
+	return dst
+}
+
+// CollectorOptions configures NewCollector. Zero values pick defaults.
+type CollectorOptions struct {
+	Capacity   int           // records per ring (default 256)
+	SlowFactor float64       // slow iff duration > SlowFactor * endpoint mean (default 4)
+	SlowMin    time.Duration // and > SlowMin (default 5ms)
+	SlowWarmup int           // endpoint observations before slow-flagging (default 32)
+	Registry   *Registry     // for kept/dropped counters (default: private registry)
+}
+
+// NewCollector returns a collector with the given options.
+func NewCollector(o CollectorOptions) *Collector {
+	if o.Capacity <= 0 {
+		o.Capacity = 256
+	}
+	if o.SlowFactor <= 0 {
+		o.SlowFactor = 4
+	}
+	if o.SlowMin <= 0 {
+		o.SlowMin = 5 * time.Millisecond
+	}
+	if o.SlowWarmup <= 0 {
+		o.SlowWarmup = 32
+	}
+	reg := o.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Collector{
+		capacity:   o.Capacity,
+		slowFactor: o.SlowFactor,
+		slowMin:    durationMS(o.SlowMin),
+		slowWarmup: int64(o.SlowWarmup),
+		kept: reg.CounterVec("traces_kept_total",
+			"Finished traces kept by the in-process collector.", "kind"),
+		dropped: reg.CounterVec("traces_dropped_total",
+			"Traces evicted from the in-process collector rings.", "ring"),
+		latency: make(map[string]*endpointLatency),
+	}
+}
+
+// Collect classifies and stores a finished request trace: status >= 400
+// (or no status) is an error, a per-endpoint latency outlier is slow —
+// both always kept in the hot ring — everything else goes to the
+// sampled ring. Callers End the trace first.
+func (c *Collector) Collect(endpoint string, status int, tr *Trace) {
+	if c == nil || tr == nil {
+		return
+	}
+	root := tr.Tree()
+	kind := KindSampled
+	if status >= 400 || status == 0 {
+		kind = KindError
+	}
+	c.mu.Lock()
+	lat := c.latency[endpoint]
+	if lat == nil {
+		lat = &endpointLatency{}
+		c.latency[endpoint] = lat
+	}
+	if kind == KindSampled && lat.n >= c.slowWarmup &&
+		root.DurationMS > c.slowMin && root.DurationMS > c.slowFactor*lat.mean {
+		kind = KindSlow
+	}
+	// Update the mean after the decision so one outlier doesn't hide
+	// the next; errors still count toward typical endpoint latency.
+	lat.n++
+	lat.mean += (root.DurationMS - lat.mean) / float64(min64(lat.n, 256))
+	c.storeLocked(kind, endpoint, status, root)
+	c.mu.Unlock()
+	c.kept.With(kind).Inc()
+}
+
+// CollectHot stores a trace straight into the hot ring under the given
+// kind, bypassing classification. Reload/publish cycles use it so the
+// generation lifecycle is always inspectable regardless of sampling.
+func (c *Collector) CollectHot(kind, endpoint string, status int, tr *Trace) {
+	if c == nil || tr == nil {
+		return
+	}
+	root := tr.Tree()
+	c.mu.Lock()
+	c.storeLocked(kind, endpoint, status, root)
+	c.mu.Unlock()
+	c.kept.With(kind).Inc()
+}
+
+func (c *Collector) storeLocked(kind, endpoint string, status int, root *SpanNode) {
+	rec := TraceRecord{
+		TraceID:    root.TraceID,
+		Endpoint:   endpoint,
+		Kind:       kind,
+		Status:     status,
+		Start:      root.Start,
+		DurationMS: root.DurationMS,
+		Root:       root,
+	}
+	if kind == KindSampled {
+		if c.sampled.push(rec, c.capacity) {
+			c.dropSamp++
+			c.dropped.With("sampled").Inc()
+		}
+		return
+	}
+	if c.hot.push(rec, c.capacity) {
+		c.dropHot++
+		c.dropped.With("hot").Inc()
+	}
+}
+
+// tracesResponse is the JSON shape of /debug/traces.
+type tracesResponse struct {
+	Count   int              `json:"count"`
+	Dropped map[string]int64 `json:"dropped"`
+	Traces  []TraceRecord    `json:"traces"`
+}
+
+// ServeHTTP serves the collected traces as JSON, newest first across
+// both rings. Query parameters filter the result: trace_id (exact),
+// endpoint (exact), kind (exact), min_ms (minimum duration), and limit
+// (maximum records returned, default 128).
+func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if c == nil {
+		http.Error(w, "trace collection disabled", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	limit := 128
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	minMS := 0.0
+	if v := q.Get("min_ms"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			http.Error(w, "bad min_ms", http.StatusBadRequest)
+			return
+		}
+		minMS = f
+	}
+	traceID, endpoint, kind := q.Get("trace_id"), q.Get("endpoint"), q.Get("kind")
+
+	c.mu.Lock()
+	all := make([]TraceRecord, 0, len(c.hot.buf)+len(c.sampled.buf))
+	all = c.hot.newestFirst(all)
+	all = c.sampled.newestFirst(all)
+	resp := tracesResponse{
+		Dropped: map[string]int64{"hot": c.dropHot, "sampled": c.dropSamp},
+	}
+	c.mu.Unlock()
+
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Start.After(all[j].Start) })
+	for _, rec := range all {
+		if traceID != "" && rec.TraceID != traceID {
+			continue
+		}
+		if endpoint != "" && rec.Endpoint != endpoint {
+			continue
+		}
+		if kind != "" && rec.Kind != kind {
+			continue
+		}
+		if rec.DurationMS < minMS {
+			continue
+		}
+		resp.Traces = append(resp.Traces, rec)
+		if len(resp.Traces) >= limit {
+			break
+		}
+	}
+	resp.Count = len(resp.Traces)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&resp)
+}
+
+// TracePlane bundles everything a server needs to trace requests:
+// ID minting, the head sampler, and the collector behind /debug/traces.
+type TracePlane struct {
+	IDs       *IDGen
+	Sampler   *Sampler
+	Collector *Collector
+}
+
+// TracePlaneOptions configures NewTracePlane.
+type TracePlaneOptions struct {
+	SampleRate float64       // head-sampling rate in [0,1]
+	Seed       int64         // seeds sampler and ID stream; 0 draws from the clock
+	Capacity   int           // collector ring capacity (default 256)
+	SlowFactor float64       // see CollectorOptions
+	SlowMin    time.Duration // see CollectorOptions
+	SlowWarmup int           // see CollectorOptions
+	Registry   *Registry     // for collector counters
+}
+
+// NewTracePlane assembles a trace plane. The ID stream is derived from
+// Seed but offset from the sampler's so the two never correlate.
+func NewTracePlane(o TracePlaneOptions) *TracePlane {
+	idSeed := o.Seed
+	if idSeed != 0 {
+		idSeed = int64(splitmix64(uint64(idSeed)) | 1)
+	}
+	return &TracePlane{
+		IDs:     NewIDGen(idSeed),
+		Sampler: NewSampler(o.SampleRate, o.Seed),
+		Collector: NewCollector(CollectorOptions{
+			Capacity:   o.Capacity,
+			SlowFactor: o.SlowFactor,
+			SlowMin:    o.SlowMin,
+			SlowWarmup: o.SlowWarmup,
+			Registry:   o.Registry,
+		}),
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

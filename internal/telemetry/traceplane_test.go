@@ -1,0 +1,286 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	ids := NewIDGen(42)
+	for i := 0; i < 100; i++ {
+		sc := SpanContext{TraceID: ids.TraceID(), SpanID: ids.SpanID(), Sampled: i%2 == 0}
+		h := sc.Traceparent()
+		if len(h) != 55 {
+			t.Fatalf("traceparent %q: len %d, want 55", h, len(h))
+		}
+		got, ok := ParseTraceparent(h)
+		if !ok {
+			t.Fatalf("ParseTraceparent(%q) rejected own output", h)
+		}
+		if got != sc {
+			t.Fatalf("round trip: got %+v want %+v", got, sc)
+		}
+	}
+}
+
+func TestTraceparentMalformed(t *testing.T) {
+	valid := SpanContext{TraceID: NewIDGen(1).TraceID(), SpanID: NewIDGen(2).SpanID(), Sampled: true}.Traceparent()
+	cases := []string{
+		"",
+		"00",
+		valid[:54],             // truncated
+		valid + "0",            // too long
+		"01" + valid[2:],       // unknown version
+		"ff" + valid[2:],       // invalid version
+		strings.ToUpper(valid), // uppercase hex is invalid per spec
+		strings.Replace(valid, "-", "_", 3),
+		valid[:3] + strings.Repeat("0", 32) + valid[35:],  // all-zero trace id
+		valid[:36] + strings.Repeat("0", 16) + valid[52:], // all-zero span id
+		valid[:53] + "zz",           // non-hex flags
+		valid[:3] + "g" + valid[4:], // non-hex trace id
+	}
+	for _, c := range cases {
+		if _, ok := ParseTraceparent(c); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed header", c)
+		}
+	}
+}
+
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01")
+	f.Add(strings.Repeat("0", 55))
+	f.Add("00-zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz-zzzzzzzzzzzzzzzz-zz")
+	f.Fuzz(func(t *testing.T, h string) {
+		sc, ok := ParseTraceparent(h)
+		if !ok {
+			return
+		}
+		// Everything accepted must re-serialize to an equivalent header
+		// (flags beyond the sampled bit are dropped by design).
+		h2 := sc.Traceparent()
+		sc2, ok2 := ParseTraceparent(h2)
+		if !ok2 || sc2 != sc {
+			t.Fatalf("accepted %q but re-parse of %q gave %+v ok=%v", h, h2, sc2, ok2)
+		}
+		if sc.TraceID.IsZero() || sc.SpanID.IsZero() {
+			t.Fatalf("accepted zero ID from %q", h)
+		}
+	})
+}
+
+func TestSamplerDeterministicUnderSeed(t *testing.T) {
+	run := func() []bool {
+		s := NewSampler(0.25, 99)
+		out := make([]bool, 4096)
+		for i := range out {
+			out[i] = s.Sample()
+		}
+		return out
+	}
+	a, b := run(), run()
+	kept := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identically-seeded samplers", i)
+		}
+		if a[i] {
+			kept++
+		}
+	}
+	// 4096 trials at rate 0.25: expect ~1024, allow generous slack.
+	if kept < 800 || kept > 1250 {
+		t.Fatalf("kept %d of 4096 at rate 0.25", kept)
+	}
+	if s := NewSampler(0, 1); s.Sample() {
+		t.Fatal("rate 0 sampled")
+	}
+	for i, s := 0, NewSampler(1, 1); i < 100; i++ {
+		if !s.Sample() {
+			t.Fatal("rate 1 skipped")
+		}
+	}
+}
+
+func TestIDGenDeterministicAndNonZero(t *testing.T) {
+	a, b := NewIDGen(7), NewIDGen(7)
+	for i := 0; i < 100; i++ {
+		ta, tb := a.TraceID(), b.TraceID()
+		if ta != tb {
+			t.Fatalf("trace id %d differs under same seed", i)
+		}
+		if ta.IsZero() {
+			t.Fatal("zero trace id")
+		}
+		sa, sb := a.SpanID(), b.SpanID()
+		if sa != sb || sa.IsZero() {
+			t.Fatalf("span id %d: %v vs %v", i, sa, sb)
+		}
+	}
+}
+
+// endTrace builds a finished single-span trace with a synthetic duration.
+func endTrace(name string, d time.Duration) *Trace {
+	base := time.Unix(1700000000, 0)
+	tr := NewTrace(name)
+	clk := base
+	tr.now = func() time.Time { return clk }
+	tr.root.start = base
+	clk = base.Add(d)
+	tr.End()
+	return tr
+}
+
+func TestCollectorRingEvictionAccounting(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(CollectorOptions{Capacity: 4, Registry: reg})
+	for i := 0; i < 10; i++ {
+		c.Collect("lookup", 200, endTrace(fmt.Sprintf("req-%d", i), time.Millisecond))
+	}
+	for i := 0; i < 7; i++ {
+		c.Collect("lookup", 500, endTrace(fmt.Sprintf("err-%d", i), time.Millisecond))
+	}
+
+	rr := httptest.NewRecorder()
+	c.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?limit=100", nil))
+	var resp tracesResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Count != 8 {
+		t.Fatalf("count %d, want 8 (two rings of 4)", resp.Count)
+	}
+	if resp.Dropped["sampled"] != 6 || resp.Dropped["hot"] != 3 {
+		t.Fatalf("dropped = %v, want sampled=6 hot=3", resp.Dropped)
+	}
+	// Newest survive eviction: the last 4 error traces are present.
+	errs := 0
+	for _, rec := range resp.Traces {
+		if rec.Kind == KindError {
+			errs++
+			if rec.Status != 500 {
+				t.Fatalf("error record status %d", rec.Status)
+			}
+		}
+	}
+	if errs != 4 {
+		t.Fatalf("%d error records, want 4", errs)
+	}
+
+	// The registry counters agree with the endpoint's accounting.
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	for _, want := range []string{
+		`traces_dropped_total{ring="sampled"} 6`,
+		`traces_dropped_total{ring="hot"} 3`,
+		`traces_kept_total{kind="sampled"} 10`,
+		`traces_kept_total{kind="error"} 7`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestCollectorSlowKeepRule(t *testing.T) {
+	c := NewCollector(CollectorOptions{Capacity: 64, SlowFactor: 4, SlowMin: time.Millisecond, SlowWarmup: 8})
+	for i := 0; i < 20; i++ {
+		c.Collect("lookup", 200, endTrace("fast", 100*time.Microsecond))
+	}
+	c.Collect("lookup", 200, endTrace("outlier", 50*time.Millisecond))
+
+	rr := httptest.NewRecorder()
+	c.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?kind=slow", nil))
+	var resp tracesResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Count != 1 || resp.Traces[0].Root.Name != "outlier" {
+		t.Fatalf("slow filter returned %d records: %+v", resp.Count, resp.Traces)
+	}
+	if resp.Traces[0].Kind != KindSlow {
+		t.Fatalf("outlier kind %q", resp.Traces[0].Kind)
+	}
+}
+
+func TestCollectorFilters(t *testing.T) {
+	c := NewCollector(CollectorOptions{Capacity: 64})
+	tr := endTrace("target", 10*time.Millisecond)
+	c.Collect("lookup", 200, tr)
+	c.Collect("table1", 200, endTrace("other", 2*time.Millisecond))
+	c.CollectHot(KindReload, "reload", 200, endTrace("cycle", 30*time.Millisecond))
+
+	get := func(q string) tracesResponse {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		c.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces"+q, nil))
+		var resp tracesResponse
+		if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decode %q: %v", q, err)
+		}
+		return resp
+	}
+	if r := get("?endpoint=lookup"); r.Count != 1 || r.Traces[0].Endpoint != "lookup" {
+		t.Fatalf("endpoint filter: %+v", r)
+	}
+	if r := get("?trace_id=" + tr.ID().String()); r.Count != 1 || r.Traces[0].TraceID != tr.ID().String() {
+		t.Fatalf("trace_id filter: %+v", r)
+	}
+	if r := get("?min_ms=5"); r.Count != 2 {
+		t.Fatalf("min_ms filter returned %d, want 2", r.Count)
+	}
+	if r := get("?kind=reload"); r.Count != 1 || r.Traces[0].Endpoint != "reload" {
+		t.Fatalf("kind filter: %+v", r)
+	}
+	if r := get("?limit=1"); r.Count != 1 {
+		t.Fatalf("limit: %+v", r)
+	}
+	if rr := httptest.NewRecorder(); true {
+		c.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?min_ms=-1", nil))
+		if rr.Code != 400 {
+			t.Fatalf("bad min_ms gave %d", rr.Code)
+		}
+	}
+}
+
+func TestAdoptRemoteParent(t *testing.T) {
+	ids := NewIDGen(5)
+	remote := SpanContext{TraceID: ids.TraceID(), SpanID: ids.SpanID(), Sampled: true}
+	tr := NewTraceWithIDs("replica-reload", NewIDGen(9))
+	orig := tr.ID()
+	ctx := tr.Context(context.Background())
+	if !AdoptRemoteParent(ctx, remote) {
+		t.Fatal("adoption failed on traced context")
+	}
+	if tr.ID() != remote.TraceID {
+		t.Fatalf("trace id %v, want adopted %v", tr.ID(), remote.TraceID)
+	}
+	_, child := StartSpan(ctx, "decode")
+	child.End()
+	tr.End()
+	n := tr.Tree()
+	if n.TraceID != remote.TraceID.String() {
+		t.Fatalf("tree trace id %q", n.TraceID)
+	}
+	if n.ParentSpanID != remote.SpanID.String() {
+		t.Fatalf("root parent span %q, want %q", n.ParentSpanID, remote.SpanID)
+	}
+	if n.Attrs["trace.replaced_id"] != orig.String() {
+		t.Fatalf("replaced id attr %q, want %q", n.Attrs["trace.replaced_id"], orig)
+	}
+	if len(n.Children) != 1 || n.Children[0].ParentSpanID != n.SpanID {
+		t.Fatalf("child linkage broken: %+v", n.Children)
+	}
+	if AdoptRemoteParent(context.Background(), remote) {
+		t.Fatal("adoption succeeded on untraced context")
+	}
+}

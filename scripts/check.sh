@@ -51,7 +51,14 @@ echo "== delta equivalence matrix + reload breaker (race-gated)"
 go test -race -run 'TestDeltaEquivalence|TestDeltaZeroChurnAliases|TestDeltaReloadBreaker' .
 
 echo "== fuzz seed corpora (go test -run Fuzz)"
-go test -run 'Fuzz' ./internal/mrt ./internal/arinwhois ./internal/lacnicwhois
+go test -run 'Fuzz' ./internal/mrt ./internal/arinwhois ./internal/lacnicwhois ./internal/telemetry
+
+# The tracing plane is race-gated even in -quick mode: span trees are
+# built across request goroutines, the collector rings are shared with
+# the /debug/traces scraper, and remote-parent adoption rewrites trace
+# identity under concurrent span starts.
+echo "== tracing plane tests (race-gated)"
+go test -race -run 'Trace|Sampler|Collector|AdoptRemoteParent' ./internal/telemetry ./internal/serve
 
 # bench_val OUT NAME UNIT pulls the value reported under a unit column
 # (ns/op, B/op, allocs/op) of a named benchmark line. Matching on the
@@ -240,7 +247,10 @@ replica_pid=""
 trap '{ [ -n "$leased_pid" ] && kill "$leased_pid"; [ -n "$replica_pid" ] && kill "$replica_pid"; rm -rf "$scrape_dir"; } 2>/dev/null || true' EXIT
 go run ./cmd/synthgen -out "$scrape_dir/ds" -scale 0.005 -seed 11 >/dev/null
 go build -o "$scrape_dir/leased" ./cmd/leased
-"$scrape_dir/leased" -addr 127.0.0.1:0 -data "$scrape_dir/ds" -snapshot-dir "$scrape_dir/snaps" >"$scrape_dir/log" 2>&1 &
+# -trace-sample 1 so the single smoke request below is definitely traced;
+# the /debug/traces scrape further down depends on it.
+"$scrape_dir/leased" -addr 127.0.0.1:0 -data "$scrape_dir/ds" -snapshot-dir "$scrape_dir/snaps" \
+	-trace-sample 1 -trace-seed 7 >"$scrape_dir/log" 2>&1 &
 leased_pid=$!
 
 addr=""
@@ -277,6 +287,23 @@ do
 	fi
 done
 echo "ok: all required metric families present at http://$addr/metrics"
+
+echo "== tracing: /debug/traces scrape smoke"
+# The lookup above ran at -trace-sample 1, so the collector must hold at
+# least one finished request trace (and the boot reload's trace): proof
+# the whole plane is wired — sampler -> span tree -> collector ->
+# exposition.
+traces=$(curl -fsS "http://$addr/debug/traces")
+printf '%s\n' "$traces" | grep -q '"trace_id"' || {
+	printf '%s\n' "$traces" | head -20
+	echo "FAIL: /debug/traces returned no sampled traces"
+	exit 1
+}
+printf '%s\n' "$traces" | grep -q '"kind": "reload"' || {
+	echo "FAIL: /debug/traces holds no reload trace"
+	exit 1
+}
+echo "ok: /debug/traces serves sampled request and reload traces"
 
 echo "== replication: replica chained off the publisher's /snapshot/current"
 # A second daemon with no dataset at all, serving the publisher's
@@ -339,6 +366,19 @@ go build -o "$scrape_dir/leasestorm" ./cmd/leasestorm
 	exit 1
 }
 
+echo "== fleet trace assembly gate (cross-process lifecycle + error tails)"
+# The run report must assemble at least one generation-lifecycle trace
+# joining publisher and replica spans under one trace ID, at least one
+# error-tail trace, and at least one trace crossing a process boundary.
+for key in lifecycle_count error_trace_count cross_process_count; do
+	val=$(sed -n "s/.*\"$key\": \([0-9]*\).*/\1/p" "$scrape_dir/storm.json" | head -1)
+	[ -n "$val" ] && [ "$val" -gt 0 ] || {
+		echo "FAIL: storm report $key=${val:-missing}, want >= 1"
+		exit 1
+	}
+done
+echo "ok: storm assembled cross-process lifecycle and error-tail traces"
+
 echo "== fleet sabotage negative check (checker must FAIL a broken fleet)"
 # A checker that cannot fail proves nothing: pin one replica to its boot
 # generation and require the same storm to exit non-zero.
@@ -364,10 +404,13 @@ echo "== wrote BENCH_fleet.json"
 cat BENCH_fleet.json
 
 echo "== telemetry: primitive overhead benchmarks"
-tel_out=$(go test -run '^$' -bench 'BenchmarkCounterInc$|BenchmarkHistogramObserve$|BenchmarkCounterVecWith$|BenchmarkWritePrometheus$' -benchmem ./internal/telemetry)
+tel_out=$(go test -run '^$' -bench 'BenchmarkCounterInc$|BenchmarkHistogramObserve$|BenchmarkCounterVecWith$|BenchmarkWritePrometheus$|BenchmarkTraceDecisionUnsampled$' -benchmem ./internal/telemetry)
 echo "$tel_out"
 
-printf '%s\n' "$tel_out" | bench_json > BENCH_telemetry.json
+echo "== telemetry bench regression gate (vs committed BENCH_telemetry.json)"
+for b in BenchmarkCounterInc BenchmarkHistogramObserve BenchmarkCounterVecWith BenchmarkWritePrometheus BenchmarkTraceDecisionUnsampled; do
+	bench_gate BENCH_telemetry.json "$b" "$(bench_val "$tel_out" "$b" ns/op)" "$(bench_val "$tel_out" "$b" allocs/op)"
+done
 
 # Counter.Inc is the hottest instrumentation call (every request, every
 # parsed record). Budget: 50ns/op — far above its real cost, so only a
@@ -379,5 +422,21 @@ awk -v ns="$counter_ns" 'BEGIN { exit !(ns + 0 <= 50) }' || {
 	exit 1
 }
 
+# The unsampled trace decision runs on EVERY request when tracing is on
+# (the default). Budget: 100ns/op and zero allocations — tracing must be
+# invisible to requests it does not sample.
+trace_ns=$(bench_val "$tel_out" BenchmarkTraceDecisionUnsampled ns/op)
+trace_allocs=$(bench_val "$tel_out" BenchmarkTraceDecisionUnsampled allocs/op)
+[ -n "$trace_ns" ] || { echo "FAIL: BenchmarkTraceDecisionUnsampled missing from bench output"; exit 1; }
+awk -v ns="$trace_ns" 'BEGIN { exit !(ns + 0 <= 100) }' || {
+	echo "FAIL: BenchmarkTraceDecisionUnsampled ${trace_ns}ns/op exceeds 100ns/op budget"
+	exit 1
+}
+[ "$trace_allocs" = "0" ] || {
+	echo "FAIL: BenchmarkTraceDecisionUnsampled allocates ($trace_allocs allocs/op, want 0)"
+	exit 1
+}
+
+printf '%s\n' "$tel_out" | bench_json > BENCH_telemetry.json
 echo "== wrote BENCH_telemetry.json"
 cat BENCH_telemetry.json
