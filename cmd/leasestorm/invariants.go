@@ -63,6 +63,13 @@ type checker struct {
 	samples    []lagSample
 	violations []Violation
 	identities int // identity comparisons performed (report visibility)
+	// loadModes is the last snapshot load mode ("mmap"/"heap"/"built")
+	// each replica self-reported on /statusz. The run report publishes
+	// it, and identity violations across replicas running in different
+	// modes are annotated — a body mismatch between an mmap and a heap
+	// replica of the same generation points at the zero-copy view
+	// layer, not replication.
+	loadModes map[string]string
 }
 
 func newChecker(cfg StormConfig, sched chaos.Schedule, f *fleet, start time.Time) *checker {
@@ -78,7 +85,26 @@ func newChecker(cfg StormConfig, sched chaos.Schedule, f *fleet, start time.Time
 			"/lookup?prefix=10.0.0.0/24",
 			"/table1",
 		},
+		loadModes: make(map[string]string),
 	}
+}
+
+// LoadModes returns the last load mode each replica reported, keyed by
+// base URL.
+func (c *checker) LoadModes() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.loadModes))
+	for k, v := range c.loadModes {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *checker) loadModeOf(url string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.loadModes[url]
 }
 
 func (c *checker) violate(v Violation) {
@@ -133,9 +159,20 @@ func (c *checker) statuszGen(ctx context.Context, baseURL string) (uint64, error
 		Replication *struct {
 			ServingGeneration uint64 `json:"serving_generation"`
 		} `json:"replication"`
+		Snapshot *struct {
+			LoadMode string `json:"load_mode"`
+		} `json:"snapshot"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		return 0, err
+	}
+	if body.Snapshot != nil && body.Snapshot.LoadMode != "" {
+		c.mu.Lock()
+		if c.loadModes == nil {
+			c.loadModes = make(map[string]string)
+		}
+		c.loadModes[baseURL] = body.Snapshot.LoadMode
+		c.mu.Unlock()
 	}
 	if body.Replication == nil {
 		return 0, fmt.Errorf("no replication section")
@@ -235,9 +272,15 @@ func (c *checker) sampleIdentity(probe string) {
 		compared = true
 		for _, o := range group[1:] {
 			if o.hash != group[0].hash {
+				detail := fmt.Sprintf("generation %s, probe %s: body %s != %s (from %s)",
+					gen, probe, o.hash, group[0].hash, group[0].url)
+				// A mismatch across load modes indicts the mmap view
+				// layer rather than replication; name both modes.
+				if ma, mb := c.loadModeOf(o.url), c.loadModeOf(group[0].url); ma != mb && ma != "" && mb != "" {
+					detail += fmt.Sprintf(" [load modes differ: %s=%s, %s=%s]", o.url, ma, group[0].url, mb)
+				}
 				c.violate(Violation{Invariant: InvIdentity, At: elapsed, Replica: o.url,
-					Detail: fmt.Sprintf("generation %s, probe %s: body %s != %s (from %s)",
-						gen, probe, o.hash, group[0].hash, group[0].url)})
+					Detail: detail})
 			}
 		}
 	}

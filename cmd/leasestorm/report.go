@@ -29,11 +29,16 @@ type RunReport struct {
 	// publisher and replicas, error tails, and their fault attribution.
 	Traces *TraceSummary `json:"traces,omitempty"`
 
-	Samples        int     `json:"samples"`
-	IdentityChecks int     `json:"identity_checks"`
-	MaxLag         uint64  `json:"max_lag"`
-	ErrorBudget    float64 `json:"error_budget"`
-	HealSLOMS      int64   `json:"heal_slo_ms"`
+	Samples        int `json:"samples"`
+	IdentityChecks int `json:"identity_checks"`
+	// ReplicaLoadModes is each replica's snapshot load mode ("mmap" or
+	// "heap") as last self-reported on /statusz, keyed by base URL —
+	// so a run that mixed modes (deliberately or via fallback) is
+	// visible in the artifact next to any identity verdicts.
+	ReplicaLoadModes map[string]string `json:"replica_load_modes,omitempty"`
+	MaxLag           uint64            `json:"max_lag"`
+	ErrorBudget      float64           `json:"error_budget"`
+	HealSLOMS        int64             `json:"heal_slo_ms"`
 
 	Violations []Violation `json:"violations"`
 	Pass       bool        `json:"pass"`

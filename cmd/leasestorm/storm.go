@@ -184,6 +184,7 @@ func RunStorm(ctx context.Context, cfg StormConfig) (*RunReport, error) {
 		Traces:              traces,
 		Samples:             samples,
 		IdentityChecks:      identities,
+		ReplicaLoadModes:    chk.LoadModes(),
 		MaxLag:              cfg.MaxLag,
 		ErrorBudget:         cfg.ErrorBudget,
 		HealSLOMS:           cfg.HealSLO.Milliseconds(),

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -74,6 +75,11 @@ func newSnapshots(cfg Config, log *telemetry.Logger, reg *telemetry.Registry) (*
 		metrics: snapstore.NewMetrics(reg),
 		pub:     snapstore.NewPublisher(),
 	}
+	switch cfg.SnapshotLoadMode {
+	case "", "mmap", "heap":
+	default:
+		return nil, fmt.Errorf("unknown snapshot load mode %q (want mmap or heap)", cfg.SnapshotLoadMode)
+	}
 	if cfg.SnapshotDir != "" {
 		st, err := snapstore.Open(cfg.SnapshotDir, snapstore.StoreOptions{
 			Keep:    cfg.SnapshotKeep,
@@ -87,14 +93,18 @@ func newSnapshots(cfg Config, log *telemetry.Logger, reg *telemetry.Registry) (*
 		if gen, ok := st.NewestGeneration(); ok {
 			d.nextGen.Store(gen)
 		}
-		snap, gen, data, err := st.LoadCurrentEncoded()
+		ld, err := st.LoadCurrentOpen(snapstore.OpenOptions{ForceHeap: !d.mmapEnabled()})
 		switch {
 		case err == nil:
-			d.cold = snap
-			d.servingGen.Store(gen)
-			d.pub.Set(data)
-			log.Info("cold start from snapshot store",
-				"dir", cfg.SnapshotDir, "generation", gen, "inferences", snap.NumInferences())
+			d.cold = ld.Snap
+			d.servingGen.Store(ld.Gen)
+			// The publisher serves /snapshot/current straight from the
+			// mapping (its own reference) instead of a heap copy.
+			if perr := d.pub.SetMapped(ld.Data, backingOf(ld)); perr != nil {
+				log.Warn("publishing cold snapshot failed", "generation", ld.Gen, "err", perr)
+			}
+			log.Info("cold start from snapshot store", "dir", cfg.SnapshotDir,
+				"generation", ld.Gen, "inferences", ld.Snap.NumInferences(), "load_mode", ld.Mode)
 		case errors.Is(err, snapstore.ErrNoSnapshot):
 			log.Info("snapshot store empty, first load will run inference", "dir", cfg.SnapshotDir)
 		default:
@@ -116,6 +126,19 @@ func newSnapshots(cfg Config, log *telemetry.Logger, reg *telemetry.Registry) (*
 // replica reports whether the daemon serves fetched snapshots instead
 // of loading a dataset.
 func (d *snapshots) replica() bool { return d != nil && d.fetcher != nil }
+
+// mmapEnabled reports whether on-disk generations should be opened
+// through the mapping path (the default; "heap" forces decode).
+func (d *snapshots) mmapEnabled() bool { return d.cfg.SnapshotLoadMode != "heap" }
+
+// backingOf converts a Loaded's concrete *Mapped to the serve.Backing
+// interface without producing a typed-nil interface for heap loads.
+func backingOf(ld *snapstore.Loaded) serve.Backing {
+	if ld.Backing != nil {
+		return ld.Backing
+	}
+	return nil
+}
 
 // takeCold consumes the snapshot recovered from disk, once.
 func (d *snapshots) takeCold() *serve.Snapshot {
@@ -183,6 +206,9 @@ func (d *snapshots) wrapBuildDelta(build func(ctx context.Context, prev *serve.S
 // a replica that has never reached its publisher still starts from its
 // cache.
 func (d *snapshots) buildFromFetch(ctx context.Context) (*serve.Snapshot, error) {
+	if d.store != nil && d.mmapEnabled() {
+		return d.buildFromFetchFile(ctx)
+	}
 	fetchCtx, fetchSpan := telemetry.StartSpan(ctx, "fetch")
 	data, gen, err := d.fetcher.Fetch(fetchCtx)
 	if err != nil {
@@ -231,9 +257,7 @@ func (d *snapshots) buildFromFetch(ctx context.Context) (*serve.Snapshot, error)
 	}
 	d.noteContact(gen)
 	d.servingGen.Store(gen)
-	d.mu.Lock()
-	d.cold = nil // a live fetch supersedes any cached cold snapshot
-	d.mu.Unlock()
+	d.dropCold()
 	if d.store != nil {
 		_, persistSpan := telemetry.StartSpan(ctx, "persist")
 		if err := d.store.PublishEncoded(data); err != nil {
@@ -245,6 +269,88 @@ func (d *snapshots) buildFromFetch(ctx context.Context) (*serve.Snapshot, error)
 	d.pub.Set(data)
 	d.observeLag()
 	return snap, nil
+}
+
+// dropCold discards a cached cold snapshot a live fetch has
+// superseded, releasing its backing (the creation reference of a
+// mapping that will now never serve).
+func (d *snapshots) dropCold() {
+	d.mu.Lock()
+	snap := d.cold
+	d.cold = nil
+	d.mu.Unlock()
+	if snap != nil {
+		snap.Release()
+	}
+}
+
+// buildFromFetchFile is buildFromFetch for a replica with a local
+// store and mapping enabled: the body streams straight to a temp file
+// in the store directory (never buffered on the heap), is adopted as a
+// generation file, and the serving snapshot is opened as views over
+// the mapped file — so a replica reload's transient memory is one
+// 256 KiB copy buffer regardless of snapshot size, and the fetched
+// bytes land in the page cache once, shared by the mapping and
+// /snapshot/current re-serving.
+func (d *snapshots) buildFromFetchFile(ctx context.Context) (*serve.Snapshot, error) {
+	fetchCtx, fetchSpan := telemetry.StartSpan(ctx, "fetch")
+	dir := d.store.Dir()
+	tmpPath, gen, err := d.fetcher.FetchToFile(fetchCtx, dir)
+	if err != nil {
+		if !errors.Is(err, snapstore.ErrUnchanged) {
+			fetchSpan.End()
+			d.noteError(err)
+			if snap := d.takeCold(); snap != nil {
+				d.log.Warn("publisher unreachable, serving cached snapshot",
+					"url", d.cfg.SnapshotURL, "generation", d.servingGen.Load(), "err", err)
+				return snap, nil
+			}
+			return nil, err
+		}
+		// A 304 can only race a forced reload that lost to a concurrent
+		// etag update; re-fetch unconditionally rather than fail it.
+		d.fetcher.Invalidate()
+		if tmpPath, gen, err = d.fetcher.FetchToFile(fetchCtx, dir); err != nil {
+			fetchSpan.End()
+			d.noteError(err)
+			return nil, err
+		}
+	}
+	if fi, serr := os.Stat(tmpPath); serr == nil {
+		fetchSpan.AddBytes(fi.Size())
+	}
+	fetchSpan.End()
+	_, persistSpan := telemetry.StartSpan(ctx, "persist")
+	path, err := d.store.AdoptFile(tmpPath, gen)
+	persistSpan.End()
+	if err != nil {
+		os.Remove(tmpPath)
+		d.noteError(err)
+		return nil, err
+	}
+	_, openSpan := telemetry.StartSpan(ctx, "open")
+	ld, err := snapstore.OpenFile(path, snapstore.OpenOptions{Logger: d.log, Metrics: d.metrics})
+	openSpan.End()
+	if err != nil {
+		// The whole-file CRC passed during the stream, so this is local
+		// damage (torn write, disk fault); the generation file stays for
+		// post-mortem and LoadCurrentOpen skips it.
+		d.noteError(err)
+		return nil, err
+	}
+	// Link this reload to the publisher's generation trace (see
+	// buildFromFetch).
+	if sc, ok := telemetry.ParseTraceparent(ld.Snap.Provenance); ok {
+		telemetry.AdoptRemoteParent(ctx, sc)
+	}
+	d.noteContact(gen)
+	d.servingGen.Store(gen)
+	d.dropCold()
+	if perr := d.pub.SetMapped(ld.Data, backingOf(ld)); perr != nil {
+		d.log.Warn("republishing fetched snapshot failed", "generation", gen, "err", perr)
+	}
+	d.observeLag()
+	return ld.Snap, nil
 }
 
 // onSwap is the publisher's serve.Config.OnSwap hook: encode the newly

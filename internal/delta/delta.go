@@ -423,4 +423,3 @@ func sortedIndex[T any](objs []*T, cmp func(a, b *T) int) []int32 {
 	slices.SortFunc(idx, func(i, j int32) int { return cmp(objs[i], objs[j]) })
 	return idx
 }
-

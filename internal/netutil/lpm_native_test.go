@@ -1,0 +1,138 @@
+package netutil
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// TestLPMNativeRoundTrip: an index rebuilt over its native encoding —
+// the zero-copy path a mapped snapshot takes — must answer every
+// longest-match and exact lookup identically to the original.
+func TestLPMNativeRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ps := randomPrefixSet(rng, 200+rng.Intn(400))
+		orig := BuildLPM(ps)
+		dec, err := LPMFromNative(orig.AppendNative(nil), len(ps))
+		if err != nil {
+			t.Fatalf("seed %d: from native: %v", seed, err)
+		}
+		if dec.Len() != orig.Len() {
+			t.Fatalf("seed %d: rebuilt %d nodes, want %d", seed, dec.Len(), orig.Len())
+		}
+		for trial := 0; trial < 3000; trial++ {
+			a := Addr(rng.Uint32())
+			gi, gok := dec.Lookup(a)
+			wi, wok := orig.Lookup(a)
+			if gi != wi || gok != wok {
+				t.Fatalf("seed %d: Lookup(%v) = %d,%v; want %d,%v", seed, a, gi, gok, wi, wok)
+			}
+		}
+		for _, p := range ps {
+			gi, gok := dec.LookupExact(p)
+			wi, wok := orig.LookupExact(p)
+			if gi != wi || gok != wok {
+				t.Fatalf("seed %d: LookupExact(%v) = %d,%v; want %d,%v", seed, p, gi, gok, wi, wok)
+			}
+		}
+	}
+}
+
+func TestLPMNativeEmpty(t *testing.T) {
+	dec, err := LPMFromNative(BuildLPM(nil).AppendNative(nil), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dec.Lookup(MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("empty native index matched an address")
+	}
+}
+
+// TestLPMNativeRejects: the native decoder validates every record
+// before the index exists — a mapped file with damaged nodes must fail
+// construction, never corrupt a descent at query time.
+func TestLPMNativeRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ps := randomPrefixSet(rng, 64)
+	good := BuildLPM(ps).AppendNative(nil)
+
+	node := func(i int) int { return lpmNativeHeaderSize + i*lpmNativeNodeSize }
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+		trunc  int // if > 0, cut to this many bytes instead
+	}{
+		{name: "empty", trunc: 1},
+		{name: "short-header", trunc: 4},
+		{name: "cut-mid-node", trunc: len(good) - 7},
+		{name: "dups-flag", mutate: func(b []byte) { b[4] = 7 }},
+		{name: "header-padding", mutate: func(b []byte) { b[6] = 1 }},
+		{name: "count-overclaims", mutate: func(b []byte) {
+			binary.LittleEndian.PutUint32(b[0:4], 1<<30)
+		}},
+		{name: "prefix-len-33", mutate: func(b []byte) { b[node(1)+20] = 33 }},
+		{name: "mask-mismatch", mutate: func(b []byte) {
+			binary.LittleEndian.PutUint32(b[node(1)+4:], 0xffffffff)
+		}},
+		{name: "host-bits", mutate: func(b []byte) {
+			binary.LittleEndian.PutUint32(b[node(1):], 0x0a0000ff)
+			binary.LittleEndian.PutUint32(b[node(1)+4:], maskOf(8))
+			b[node(1)+20] = 8
+		}},
+		{name: "val-past-arena", mutate: func(b []byte) {
+			binary.LittleEndian.PutUint32(b[node(1)+8:], uint32(len(ps)))
+		}},
+		{name: "val-below-minus-one", mutate: func(b []byte) {
+			binary.LittleEndian.PutUint32(b[node(1)+8:], 0xfffffffe) // int32(-2)
+		}},
+		{name: "kid-out-of-range", mutate: func(b []byte) {
+			binary.LittleEndian.PutUint32(b[node(1)+12:], 1<<20)
+		}},
+		{name: "kid-self-loop", mutate: func(b []byte) {
+			binary.LittleEndian.PutUint32(b[node(1)+12:], 1)
+		}},
+		{name: "node-padding", mutate: func(b []byte) { b[node(1)+22] = 0xee }},
+		{name: "no-root-anchor", mutate: func(b []byte) {
+			binary.LittleEndian.PutUint32(b[node(0)+4:], maskOf(1))
+			b[node(0)+20] = 1
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := append([]byte(nil), good...)
+			if tc.trunc > 0 {
+				mut = mut[:tc.trunc]
+			} else {
+				tc.mutate(mut)
+			}
+			if _, err := LPMFromNative(mut, len(ps)); err == nil {
+				t.Fatal("damaged native LPM encoding accepted")
+			}
+		})
+	}
+}
+
+// TestLPMNativeUnalignedFallsBack: the aliasing fast path needs the
+// records 8-aligned; shifting the buffer by one byte must route through
+// the copying decode and still produce a correct index.
+func TestLPMNativeUnalignedFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := randomPrefixSet(rng, 100)
+	orig := BuildLPM(ps)
+	enc := orig.AppendNative(nil)
+	shifted := make([]byte, len(enc)+1)
+	copy(shifted[1:], enc)
+	dec, err := LPMFromNative(shifted[1:], len(ps))
+	if err != nil {
+		t.Fatalf("from unaligned native: %v", err)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a := Addr(rng.Uint32())
+		gi, gok := dec.Lookup(a)
+		wi, wok := orig.Lookup(a)
+		if gi != wi || gok != wok {
+			t.Fatalf("Lookup(%v) = %d,%v; want %d,%v", a, gi, gok, wi, wok)
+		}
+	}
+}

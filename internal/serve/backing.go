@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Backing is the lifecycle owner of memory a snapshot's indexes alias —
+// in practice a memory-mapped snapshot file (snapstore.Mapped). The
+// snapshot holds exactly one backing reference for as long as its own
+// refcount is positive; other holders (the daemon's publish endpoint
+// re-serving the mapped bytes) take their own references. When the last
+// reference drops, Release unmaps — so the contract every view-backed
+// reader relies on is: never touch a view without an acquired
+// reference, and never fail to release one.
+type Backing interface {
+	// Acquire takes a reference. It returns false when the backing has
+	// already been released for the last time — the memory is gone and
+	// the caller must re-resolve whatever pointer led it here.
+	Acquire() bool
+	// Release drops a reference; the last drop frees the memory.
+	Release()
+}
+
+// Snapshot load modes, as reported by Snapshot.LoadMode and /statusz.
+const (
+	// LoadModeBuilt marks a snapshot constructed in-process (full build,
+	// delta patch) — heap-owned, no backing lifecycle.
+	LoadModeBuilt = "built"
+	// LoadModeHeap marks a snapshot decoded from snapshot bytes into
+	// heap-owned indexes (the v2 path and every mmap fallback).
+	LoadModeHeap = "heap"
+	// LoadModeMmap marks a snapshot whose indexes are views over a
+	// memory-mapped snapshot file.
+	LoadModeMmap = "mmap"
+)
+
+// ASNViewEntry is one ASN's slot in the flat ASN index: a run of Cnt
+// arena indexes starting at Off in the shared slab.
+type ASNViewEntry struct {
+	ASN uint32
+	Off uint32
+	Cnt uint32
+}
+
+// ASNView is the byASN index as a pair of flat arrays instead of a
+// map-of-slices: sorted (ASN, offset, count) entries over one int32
+// slab. Both slices may alias a memory-mapped snapshot section — the
+// view allocates nothing and is never mutated, so it can serve straight
+// from the page cache. Lookup is a binary search; an ASN absent from
+// the entries originates nothing.
+type ASNView struct {
+	entries []ASNViewEntry
+	slab    []int32
+}
+
+// NewASNView validates and wraps a decoded ASN index. Entries must be
+// strictly ascending by ASN (sorted, no duplicates), every run must lie
+// inside the slab, and every slab value in a referenced run must index
+// into an arena of arenaLen — the same invariants Restore checks on the
+// map form, enforced here once at open so lookups can trust the views.
+func NewASNView(entries []ASNViewEntry, slab []int32, arenaLen int) (*ASNView, error) {
+	for i := range entries {
+		e := &entries[i]
+		if i > 0 && entries[i-1].ASN >= e.ASN {
+			return nil, fmt.Errorf("serve: ASN view entries out of order at %d (ASN %d after %d)",
+				i, e.ASN, entries[i-1].ASN)
+		}
+		if e.Cnt == 0 {
+			return nil, fmt.Errorf("serve: ASN view entry %d (ASN %d) has an empty run", i, e.ASN)
+		}
+		end := uint64(e.Off) + uint64(e.Cnt)
+		if end > uint64(len(slab)) {
+			return nil, fmt.Errorf("serve: ASN view entry %d (ASN %d) run [%d,%d) outside slab of %d",
+				i, e.ASN, e.Off, end, len(slab))
+		}
+		for _, j := range slab[e.Off : e.Off+e.Cnt] {
+			if j < 0 || int(j) >= arenaLen {
+				return nil, fmt.Errorf("serve: ASN view entry for ASN %d holds arena index %d outside arena of %d",
+					e.ASN, j, arenaLen)
+			}
+		}
+	}
+	return &ASNView{entries: entries, slab: slab}, nil
+}
+
+// Lookup returns the arena-index run for asn, nil if it originates
+// nothing. The returned slice aliases the view; read-only.
+func (v *ASNView) Lookup(asn uint32) []int32 {
+	i := sort.Search(len(v.entries), func(i int) bool { return v.entries[i].ASN >= asn })
+	if i >= len(v.entries) || v.entries[i].ASN != asn {
+		return nil
+	}
+	e := &v.entries[i]
+	return v.slab[e.Off : e.Off+e.Cnt]
+}
+
+// Len returns the number of ASNs in the view.
+func (v *ASNView) Len() int { return len(v.entries) }
+
+// ForEach visits every (ASN, run) pair in ascending ASN order. The run
+// slice aliases the view; read-only.
+func (v *ASNView) ForEach(fn func(asn uint32, list []int32)) {
+	for i := range v.entries {
+		e := &v.entries[i]
+		fn(e.ASN, v.slab[e.Off:e.Off+e.Cnt])
+	}
+}

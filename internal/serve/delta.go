@@ -95,9 +95,11 @@ func PatchSnapshot(prev *Snapshot, res *core.Result, plan *core.PatchPlan, repor
 	// ASN index: translate surviving entries through the remap (it is
 	// monotonic over non-negative values, so list order is preserved),
 	// append the re-classified slots, and re-sort only the lists they
-	// touched.
-	s.byASN = make(map[uint32][]int32, len(prev.byASN))
-	for asn, list := range prev.byASN {
+	// touched. prev.ByASN() (not the field) so a view-backed previous
+	// generation materializes its flat index instead of patching nothing.
+	prevByASN := prev.ByASN()
+	s.byASN = make(map[uint32][]int32, len(prevByASN))
+	for asn, list := range prevByASN {
 		nl := make([]int32, 0, len(list))
 		for _, j := range list {
 			if nj := plan.Remap[j]; nj >= 0 {

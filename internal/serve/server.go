@@ -355,8 +355,26 @@ func (s *Server) initMetrics() {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Snapshot returns the currently served snapshot, nil before the first
-// successful reload.
+// successful reload. The pointer is only guaranteed readable while it
+// stays the serving snapshot; request paths that may outlive a swap use
+// acquireSnap instead.
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// acquireSnap returns the serving snapshot with a read reference held
+// (nil before the first reload). The loop covers the one race a bare
+// Load has against a view-backed snapshot: between Load and Acquire the
+// swap path may retire the snapshot and the last in-flight request may
+// release its mapping — Acquire then fails and the retry observes the
+// replacement. Heap snapshots acquire unconditionally, so the loop
+// runs once. Callers must Release exactly once.
+func (s *Server) acquireSnap() *Snapshot {
+	for {
+		snap := s.snap.Load()
+		if snap == nil || snap.Acquire() {
+			return snap
+		}
+	}
+}
 
 // Route registers an additional endpoint behind the same hardening
 // middleware (arrival counting, optional load shedding + request
@@ -606,12 +624,19 @@ func (s *Server) Reload(ctx context.Context, forced bool) error {
 				span.SetAttr("generation", strconv.FormatUint(snap.Generation, 10))
 			}
 			swapCtx, swapSpan := telemetry.StartSpan(ctx, "swap")
-			s.snap.Store(snap)
+			old := s.snap.Swap(snap)
 			// Roll the load's per-source accounting onto the ingest_*
 			// counter families so data loss is scrapeable per reload.
 			diag.ObserveReports(s.cfg.Metrics, snap.Reports)
 			s.notifySwap(swapCtx, snap)
 			swapSpan.End()
+			// Drop the retired snapshot's serving reference. For a
+			// view-backed (mmap) snapshot this is the drain point: the
+			// mapping stays valid until the last in-flight request that
+			// acquired it releases, and only then is the file unmapped.
+			if old != nil && old != snap {
+				old.Release()
+			}
 			s.observeDelta(snap)
 			reloadOK = true
 			s.finishReload(ReloadEvent{
@@ -780,11 +805,12 @@ type lookupResponse struct {
 //	/lookup?ip=198.51.100.7         longest-prefix-match classification
 //	/lookup?asn=64500               every leaf originated by the ASN
 func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
-	snap := s.snap.Load()
+	snap := s.acquireSnap()
 	if snap == nil {
 		http.Error(w, ErrNoSnapshot.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	defer snap.Release()
 	setGenerationHeader(w, snap)
 	ctx := r.Context()
 	_, decSpan := telemetry.StartSpan(ctx, "decode")
@@ -889,11 +915,12 @@ func (s *Server) handleLookupBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	snap := s.snap.Load()
+	snap := s.acquireSnap()
 	if snap == nil {
 		http.Error(w, ErrNoSnapshot.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	defer snap.Release()
 	setGenerationHeader(w, snap)
 	ctx := r.Context()
 	_, decSpan := telemetry.StartSpan(ctx, "decode")
@@ -941,11 +968,12 @@ func (s *Server) handleLookupBatch(w http.ResponseWriter, r *http.Request) {
 
 // handleTable1 serves the snapshot's pre-rendered Table-1 summary.
 func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
-	snap := s.snap.Load()
+	snap := s.acquireSnap()
 	if snap == nil {
 		http.Error(w, ErrNoSnapshot.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	defer snap.Release()
 	setGenerationHeader(w, snap)
 	_, renderSpan := telemetry.StartSpan(r.Context(), "render")
 	w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
@@ -965,11 +993,12 @@ type loadReportResponse struct {
 
 // handleLoadReport serves the snapshot's per-source load accounting.
 func (s *Server) handleLoadReport(w http.ResponseWriter, r *http.Request) {
-	snap := s.snap.Load()
+	snap := s.acquireSnap()
 	if snap == nil {
 		http.Error(w, ErrNoSnapshot.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	defer snap.Release()
 	setGenerationHeader(w, snap)
 	writeJSON(w, http.StatusOK, loadReportResponse{
 		BuiltAt:         snap.BuiltAt,
@@ -1095,6 +1124,10 @@ type statuszSnapshot struct {
 	RoutedPrefixes  int      `json:"routed_prefixes"`
 	LeasedShare     float64  `json:"leased_share_of_bgp"`
 	SkippedAnalyses []string `json:"skipped_analyses,omitempty"`
+	// LoadMode is how the serving snapshot's indexes were materialized:
+	// built in-process, heap-decoded from snapshot bytes, or views over
+	// a memory-mapped snapshot file.
+	LoadMode string `json:"load_mode,omitempty"`
 }
 
 type statuszReload struct {
@@ -1118,7 +1151,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: now.Sub(s.started).Seconds(),
 		Endpoints:     make(map[string]statuszCounts, len(s.stats)),
 	}
-	if snap := s.snap.Load(); snap != nil {
+	if snap := s.acquireSnap(); snap != nil {
 		resp.Snapshot = &statuszSnapshot{
 			Generation:      snap.Generation,
 			BuiltAt:         snap.BuiltAt,
@@ -1131,7 +1164,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			RoutedPrefixes:  snap.Result.TotalBGPPrefixes,
 			LeasedShare:     snap.Result.LeasedShareOfBGP(),
 			SkippedAnalyses: snap.SkippedAnalyses,
+			LoadMode:        snap.LoadMode(),
 		}
+		snap.Release()
 	}
 	if s.cfg.Replication != nil {
 		resp.Replication = s.cfg.Replication()

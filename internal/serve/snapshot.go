@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"ipleasing/internal/core"
@@ -68,7 +69,65 @@ type Snapshot struct {
 	// byASN holds flat indices into infs rather than pointers, so the
 	// delta path can translate an old generation's lists through a
 	// PatchPlan remap without chasing pointers into a retired array.
-	byASN map[uint32][]int32
+	// View-backed snapshots carry asnView instead and leave byASN nil.
+	byASN   map[uint32][]int32
+	asnView *ASNView
+
+	// backing, when non-nil, owns memory the snapshot's indexes alias
+	// (a memory-mapped snapshot file). refs counts the holders keeping
+	// those views safe to read: the serving slot plus every in-flight
+	// request that called Acquire. The last Release drops the
+	// snapshot's backing reference, which may unmap the file — so
+	// every reader of a possibly-mapped snapshot goes through
+	// Acquire/Release (Server.acquireSnap). Heap snapshots skip all of
+	// it: nil backing makes Acquire a constant true and Release a
+	// no-op, keeping the built path branch-cheap and GC-managed.
+	backing  Backing
+	refs     atomic.Int64
+	loadMode string
+}
+
+// Acquire takes a read reference on the snapshot's backing memory.
+// It returns false only for a view-backed snapshot whose last
+// reference already dropped (the mapping is gone); the caller must
+// re-resolve the snapshot pointer. Heap snapshots always succeed.
+func (s *Snapshot) Acquire() bool {
+	if s.backing == nil {
+		return true
+	}
+	for {
+		n := s.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release drops a reference taken by Acquire (or the creation
+// reference Restore minted). The last drop releases the backing —
+// for a mapped snapshot, potentially munmap — after which every view
+// (inference arena, LPM nodes, ASN index, table1) is invalid.
+func (s *Snapshot) Release() {
+	if s.backing == nil {
+		return
+	}
+	if s.refs.Add(-1) == 0 {
+		s.backing.Release()
+	}
+}
+
+// LoadMode reports how the snapshot's indexes were materialized:
+// LoadModeBuilt (constructed in-process), LoadModeHeap (decoded from
+// snapshot bytes onto the heap), or LoadModeMmap (views over a mapped
+// file).
+func (s *Snapshot) LoadMode() string {
+	if s.loadMode == "" {
+		return LoadModeBuilt
+	}
+	return s.loadMode
 }
 
 // NewSnapshot indexes an inference result for serving. The result and
@@ -117,9 +176,21 @@ func (s *Snapshot) FlatInferences() []core.Inference { return s.infs }
 func (s *Snapshot) LPM() *netutil.LPM { return s.lpm }
 
 // ByASN exposes the snapshot's ASN index — flat arena indexes per
-// originating ASN — for the snapshot codec. Read-only: neither the map
-// nor its lists may be mutated.
-func (s *Snapshot) ByASN() map[uint32][]int32 { return s.byASN }
+// originating ASN — for the snapshot codec and the delta patch path.
+// Read-only: neither the map nor its lists may be mutated. For a
+// view-backed snapshot the map is materialized on each call (those
+// callers — re-encode, delta patch — never run against mapped
+// snapshots in the daemon; this keeps them correct anyway).
+func (s *Snapshot) ByASN() map[uint32][]int32 {
+	if s.byASN == nil && s.asnView != nil {
+		m := make(map[uint32][]int32, s.asnView.Len())
+		s.asnView.ForEach(func(asn uint32, list []int32) {
+			m[asn] = append([]int32(nil), list...)
+		})
+		return m
+	}
+	return s.byASN
+}
 
 // Restored carries decoded snapshot sections into Restore. Every field
 // is required except Delta.
@@ -139,6 +210,18 @@ type Restored struct {
 	// store sets Mode to ModeSnapshot so reload accounting distinguishes
 	// decoded generations from full and delta builds.
 	Delta *DeltaInfo
+	// ByASNView is the flat alternative to ByASN used by the mmap open
+	// path (exactly one of the two may be set). It must already be
+	// validated (NewASNView).
+	ByASNView *ASNView
+	// Backing, when non-nil, owns the memory the decoded sections alias;
+	// the snapshot takes over one reference to it (refcount 1 at birth)
+	// and releases it when its own last reference drops.
+	Backing Backing
+	// LoadMode labels how the sections were materialized (LoadModeHeap /
+	// LoadModeMmap); empty defaults to LoadModeHeap for restored
+	// snapshots.
+	LoadMode string
 }
 
 // Restore assembles a servable Snapshot from already-decoded sections
@@ -175,9 +258,21 @@ func Restore(parts Restored) (*Snapshot, error) {
 		infs:            infs,
 		lpm:             parts.LPM,
 		byASN:           parts.ByASN,
+		asnView:         parts.ByASNView,
+		backing:         parts.Backing,
+		loadMode:        parts.LoadMode,
 	}
-	if s.byASN == nil {
+	if s.loadMode == "" {
+		s.loadMode = LoadModeHeap
+	}
+	if s.byASN == nil && s.asnView == nil {
 		s.byASN = make(map[uint32][]int32)
+	}
+	if s.backing != nil {
+		// The creation reference: whoever restored the snapshot owns it
+		// until the serving swap takes over (Server.Reload releases the
+		// retired snapshot's reference after the swap).
+		s.refs.Store(1)
 	}
 	return s, nil
 }
@@ -237,7 +332,12 @@ func (s *Snapshot) LookupAddrs(dst []*core.Inference, addrs []netutil.Addr) []*c
 // LookupASN returns every classified leaf prefix originated by the ASN,
 // in the result's registry-then-prefix order.
 func (s *Snapshot) LookupASN(asn uint32) []*core.Inference {
-	idx := s.byASN[asn]
+	var idx []int32
+	if s.asnView != nil {
+		idx = s.asnView.Lookup(asn)
+	} else {
+		idx = s.byASN[asn]
+	}
 	if len(idx) == 0 {
 		return nil
 	}

@@ -1,0 +1,67 @@
+package snapstore
+
+import (
+	"sync"
+
+	"ipleasing/internal/core"
+	"ipleasing/internal/serve"
+)
+
+// Arena recycling: the inference arena is the one multi-megabyte heap
+// allocation a v3 restore cannot view out of the mapped file, and at a
+// reload cadence of one generation per open it is also almost all of
+// the restore's garbage — the GC tax (mark work, write-barrier flushes,
+// assist debt) costs more than the fill itself. A mapped snapshot has
+// the lifecycle hook heap snapshots lack: its refcount already proves
+// the moment nothing can reach the arena (the same proof that makes
+// munmap safe), so the final release returns the arena to a pool for
+// the next open instead of handing it to the collector.
+//
+// Invariant: arenas in the pool are fully zeroed. arenaPut clears the
+// buffer before pooling — off the open critical path, and it keeps the
+// pool free of stale pointers into a by-then-unmapped file — so
+// arenaGet hands out memory exactly as make() would.
+
+// arenaBuf is the pooled unit. The pointer indirection keeps
+// sync.Pool's interface boxing allocation-free.
+type arenaBuf struct {
+	infs []core.Inference
+}
+
+var arenaPool = sync.Pool{New: func() any { return &arenaBuf{} }}
+
+// arenaGet returns a zeroed n-record arena, reusing a pooled buffer
+// when one is large enough.
+func arenaGet(n uint32) *arenaBuf {
+	buf := arenaPool.Get().(*arenaBuf)
+	if uint32(cap(buf.infs)) >= n {
+		buf.infs = buf.infs[:n]
+		return buf
+	}
+	buf.infs = make([]core.Inference, n)
+	return buf
+}
+
+// arenaPut zeroes the buffer's full capacity and pools it. Safe only
+// once nothing references the arena — the callers are openV3's error
+// paths (the arena never escaped) and the snapshot's final release
+// (the refcount drained).
+func arenaPut(buf *arenaBuf) {
+	if buf == nil {
+		return
+	}
+	clear(buf.infs[:cap(buf.infs)])
+	arenaPool.Put(buf)
+}
+
+// arenaRecycler wraps a mapped snapshot's backing so the final release
+// recycles the arena in the same breath as the munmap.
+type arenaRecycler struct {
+	serve.Backing
+	buf *arenaBuf
+}
+
+func (r *arenaRecycler) Release() {
+	arenaPut(r.buf)
+	r.Backing.Release()
+}

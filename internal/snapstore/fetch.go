@@ -2,16 +2,20 @@ package snapstore
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ipleasing/internal/serve"
 	"ipleasing/internal/telemetry"
 )
 
@@ -105,6 +109,11 @@ type publication struct {
 	etag string
 	prov string // provenance traceparent from the meta section, may be ""
 	data []byte
+	// backing, when non-nil, owns data's memory (a mapped generation
+	// file). The publication holds one reference; every in-flight
+	// download holds another, so replacing the publication never unmaps
+	// bytes a response is still streaming.
+	backing serve.Backing
 }
 
 // Publisher serves the most recently published encoded snapshot over
@@ -122,7 +131,15 @@ func NewPublisher() *Publisher { return &Publisher{} }
 
 // Set publishes an encoded snapshot, validating it first — a publisher
 // must never hand replicas bytes it could not load itself.
-func (p *Publisher) Set(data []byte) error {
+func (p *Publisher) Set(data []byte) error { return p.SetMapped(data, nil) }
+
+// SetMapped publishes an encoded snapshot whose bytes alias a
+// refcounted backing — a publisher cold-starting from its own
+// memory-mapped generation file serves /snapshot/current straight from
+// the mapping instead of holding a second heap copy. The publisher
+// takes its own reference (the caller must still hold one) and drops
+// it when the publication is replaced. A nil backing is plain Set.
+func (p *Publisher) SetMapped(data []byte, backing serve.Backing) error {
 	gen, err := ReadGeneration(data)
 	if err != nil {
 		return err
@@ -133,7 +150,13 @@ func (p *Publisher) Set(data []byte) error {
 	if err != nil {
 		return err
 	}
-	p.cur.Store(&publication{gen: gen, etag: genETag(gen), prov: prov, data: data})
+	if backing != nil && !backing.Acquire() {
+		return errors.New("snapstore: publish backing already released")
+	}
+	old := p.cur.Swap(&publication{gen: gen, etag: genETag(gen), prov: prov, data: data, backing: backing})
+	if old != nil && old.backing != nil {
+		old.backing.Release()
+	}
 	return nil
 }
 
@@ -154,13 +177,26 @@ func (p *Publisher) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	cur := p.cur.Load()
-	if cur == nil {
-		// A warming publisher tells replicas how soon to come back, so
-		// fleet cold starts don't synchronize into a poll stampede.
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
-		return
+	// Pin the publication's backing (if any) for the whole response:
+	// losing the Load/Acquire race just means a newer publication
+	// replaced this one and released the last reference — retry against
+	// the newer one.
+	var cur *publication
+	for {
+		cur = p.cur.Load()
+		if cur == nil {
+			// A warming publisher tells replicas how soon to come back, so
+			// fleet cold starts don't synchronize into a poll stampede.
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+			return
+		}
+		if cur.backing == nil || cur.backing.Acquire() {
+			break
+		}
+	}
+	if cur.backing != nil {
+		defer cur.backing.Release()
 	}
 	h := w.Header()
 	h.Set("ETag", cur.etag)
@@ -318,17 +354,14 @@ func (f *Fetcher) Probe(ctx context.Context) (uint64, error) {
 	return gen, nil
 }
 
-// Fetch downloads the current snapshot, conditionally on the last
-// generation this fetcher delivered. Returns ErrUnchanged on 304. A
-// successful return has already passed the whole-file checksum
-// (ReadGeneration); the caller still runs the full Decode, whose
-// per-section validation is what makes a malicious or truncated body
-// unservable.
-func (f *Fetcher) Fetch(ctx context.Context) ([]byte, uint64, error) {
+// get issues the conditional GET and vets the status line. A non-nil
+// response is a 200 whose body the caller must drain and close; every
+// error path has already closed it. ErrUnchanged (304) comes back as
+// an error so both body-handling callers share one status switch.
+func (f *Fetcher) get(ctx context.Context) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.url, nil)
 	if err != nil {
-		f.metrics.observeFetch("error")
-		return nil, 0, fmt.Errorf("snapstore: fetch %s: %w", f.url, err)
+		return nil, fmt.Errorf("snapstore: fetch %s: %w", f.url, err)
 	}
 	if etag := f.loadETag(); etag != "" {
 		req.Header.Set("If-None-Match", etag)
@@ -336,37 +369,84 @@ func (f *Fetcher) Fetch(ctx context.Context) ([]byte, uint64, error) {
 	setTraceparent(ctx, req)
 	resp, err := f.client.Do(req)
 	if err != nil {
+		return nil, fmt.Errorf("snapstore: fetch %s: %w", f.url, err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		return resp, nil
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotModified:
+		return nil, ErrUnchanged
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return nil, wrapRetryAfter(ErrNotPublished, resp, f.retryCap, f.now())
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return nil, wrapRetryAfter(
+			fmt.Errorf("snapstore: fetch %s: status %d", f.url, resp.StatusCode),
+			resp, f.retryCap, f.now())
+	default:
+		return nil, fmt.Errorf("snapstore: fetch %s: status %d", f.url, resp.StatusCode)
+	}
+}
+
+// observeGetErr files a get() failure under the right outcome label.
+func (f *Fetcher) observeGetErr(err error) {
+	if errors.Is(err, ErrUnchanged) {
+		f.metrics.observeFetch("unchanged")
+	} else {
 		f.metrics.observeFetch("error")
-		return nil, 0, fmt.Errorf("snapstore: fetch %s: %w", f.url, err)
+	}
+}
+
+// Fetch downloads the current snapshot into memory, conditionally on
+// the last generation this fetcher delivered. Returns ErrUnchanged on
+// 304. The body is read in bounded chunks — the byte cap is enforced
+// and replica_fetch_bytes_total counted incrementally while the body
+// streams, so a lying Content-Length or an oversized body is cut off
+// mid-transfer instead of buffered whole. A successful return has
+// already passed the whole-file checksum (ReadGeneration); the caller
+// still runs the full Decode, whose per-section validation is what
+// makes a malicious or truncated body unservable.
+//
+// Replica daemons that keep an on-disk store prefer FetchToFile, which
+// never holds the body on the heap at all.
+func (f *Fetcher) Fetch(ctx context.Context) ([]byte, uint64, error) {
+	resp, err := f.get(ctx)
+	if err != nil {
+		f.observeGetErr(err)
+		return nil, 0, err
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
-	switch {
-	case resp.StatusCode == http.StatusNotModified:
-		f.metrics.observeFetch("unchanged")
-		return nil, 0, ErrUnchanged
-	case resp.StatusCode == http.StatusServiceUnavailable:
-		f.metrics.observeFetch("error")
-		return nil, 0, wrapRetryAfter(ErrNotPublished, resp, f.retryCap, f.now())
-	case resp.StatusCode == http.StatusTooManyRequests:
-		f.metrics.observeFetch("error")
-		return nil, 0, wrapRetryAfter(
-			fmt.Errorf("snapstore: fetch %s: status %d", f.url, resp.StatusCode),
-			resp, f.retryCap, f.now())
-	case resp.StatusCode != http.StatusOK:
-		f.metrics.observeFetch("error")
-		return nil, 0, fmt.Errorf("snapstore: fetch %s: status %d", f.url, resp.StatusCode)
+	var data []byte
+	if cl := resp.ContentLength; cl > 0 {
+		if cl > f.maxBytes {
+			f.metrics.observeFetch("error")
+			return nil, 0, fmt.Errorf("snapstore: fetch %s: body exceeds %d byte cap", f.url, f.maxBytes)
+		}
+		data = make([]byte, 0, cl)
 	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, f.maxBytes+1))
-	if err != nil {
-		f.metrics.observeFetch("error")
-		return nil, 0, fmt.Errorf("snapstore: fetch %s: read body: %w", f.url, err)
-	}
-	if int64(len(data)) > f.maxBytes {
-		f.metrics.observeFetch("error")
-		return nil, 0, fmt.Errorf("snapstore: fetch %s: body exceeds %d byte cap", f.url, f.maxBytes)
+	buf := make([]byte, 256<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if int64(len(data))+int64(n) > f.maxBytes {
+				f.metrics.observeFetch("error")
+				return nil, 0, fmt.Errorf("snapstore: fetch %s: body exceeds %d byte cap", f.url, f.maxBytes)
+			}
+			data = append(data, buf[:n]...)
+			f.metrics.observeFetchBytes(n)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.metrics.observeFetch("error")
+			return nil, 0, fmt.Errorf("snapstore: fetch %s: read body: %w", f.url, err)
+		}
 	}
 	gen, err := ReadGeneration(data)
 	if err != nil {
@@ -379,4 +459,149 @@ func (f *Fetcher) Fetch(ctx context.Context) ([]byte, uint64, error) {
 	f.metrics.observeBytes(len(data))
 	f.log.Info("snapshot fetched", "url", f.url, "generation", gen, "bytes", len(data))
 	return data, gen, nil
+}
+
+// crcTailWriter streams a snapshot body to dst while computing the
+// whole-file Castagnoli checksum. The checksum covers everything
+// except the trailing 4-byte footer — whose position is unknown until
+// EOF — so the writer lags the CRC four bytes behind the stream. It
+// also captures the first header-sized chunk (for generation/version
+// parsing) and enforces the byte cap incrementally: an oversized body
+// fails mid-stream, never after buffering.
+type crcTailWriter struct {
+	dst     io.Writer
+	max     int64     // 0 = uncapped
+	onBytes func(int) // progress hook (replica_fetch_bytes_total), may be nil
+
+	n      int64
+	crc    uint32
+	lag    [4]byte
+	lagLen int
+	head   []byte
+}
+
+// errBodyTooBig marks an incremental cap violation; callers rewrap it
+// with the URL and cap.
+var errBodyTooBig = errors.New("snapstore: body exceeds byte cap")
+
+func (w *crcTailWriter) Write(p []byte) (int, error) {
+	if w.max > 0 && w.n+int64(len(p)) > w.max {
+		return 0, errBodyTooBig
+	}
+	if _, err := w.dst.Write(p); err != nil {
+		return 0, err
+	}
+	if w.onBytes != nil && len(p) > 0 {
+		w.onBytes(len(p))
+	}
+	if len(w.head) < headerSize+4 {
+		need := headerSize + 4 - len(w.head)
+		if need > len(p) {
+			need = len(p)
+		}
+		w.head = append(w.head, p[:need]...)
+	}
+	total := w.lagLen + len(p)
+	if total <= len(w.lag) {
+		copy(w.lag[w.lagLen:], p)
+		w.lagLen = total
+	} else {
+		cut := total - len(w.lag) // bytes leaving the lag window into the CRC
+		m := cut
+		if m > w.lagLen {
+			m = w.lagLen
+		}
+		w.crc = crc32.Update(w.crc, castagnoli, w.lag[:m])
+		rem := w.lagLen - m
+		copy(w.lag[:rem], w.lag[m:w.lagLen])
+		w.crc = crc32.Update(w.crc, castagnoli, p[:cut-m])
+		copy(w.lag[rem:], p[cut-m:])
+		w.lagLen = len(w.lag)
+	}
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// finish validates what streamed: length, whole-file CRC against the
+// lagged footer, and the header fields. Returns the generation.
+func (w *crcTailWriter) finish() (uint64, *CorruptError) {
+	if w.n < headerSize+4 {
+		return 0, corrupt("header", fmt.Sprintf("body of %d bytes is shorter than any snapshot", w.n), ErrTruncated)
+	}
+	if stored := binary.LittleEndian.Uint32(w.lag[:]); stored != w.crc {
+		return 0, corrupt("file", "whole-file CRC mismatch", ErrChecksum)
+	}
+	_, gen, _, cerr := header(w.head)
+	if cerr != nil {
+		return 0, cerr
+	}
+	return gen, nil
+}
+
+// FetchToFile downloads the current snapshot by streaming the body to
+// a temp file in dir — the body never lives on the heap, so a replica
+// adopting a multi-hundred-MB generation pays one fixed 256 KiB copy
+// buffer instead of a transient allocation the size of the snapshot.
+// The whole-file checksum is computed and the byte cap enforced while
+// the body streams; the temp file is fsynced before the path is
+// returned and removed on every error path. dir should be the
+// replica's store directory so Store.AdoptFile can rename the result
+// into place (same filesystem) and OpenFile can map it.
+//
+// As with Fetch, a successful return has passed only the whole-file
+// checksum; adoption-time OpenFile performs the per-section
+// validation.
+func (f *Fetcher) FetchToFile(ctx context.Context, dir string) (string, uint64, error) {
+	resp, err := f.get(ctx)
+	if err != nil {
+		f.observeGetErr(err)
+		return "", 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if cl := resp.ContentLength; cl > 0 && cl > f.maxBytes {
+		f.metrics.observeFetch("error")
+		return "", 0, fmt.Errorf("snapstore: fetch %s: body exceeds %d byte cap", f.url, f.maxBytes)
+	}
+	tmp, err := os.CreateTemp(dir, ".fetch-*.snap")
+	if err != nil {
+		f.metrics.observeFetch("error")
+		return "", 0, fmt.Errorf("snapstore: fetch %s: %w", f.url, err)
+	}
+	tmpPath := tmp.Name()
+	fail := func(outcome string, err error) (string, uint64, error) {
+		tmp.Close()
+		os.Remove(tmpPath)
+		f.metrics.observeFetch(outcome)
+		return "", 0, err
+	}
+	w := &crcTailWriter{dst: tmp, max: f.maxBytes, onBytes: f.metrics.observeFetchBytes}
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		if errors.Is(err, errBodyTooBig) {
+			err = fmt.Errorf("snapstore: fetch %s: body exceeds %d byte cap", f.url, f.maxBytes)
+		} else {
+			err = fmt.Errorf("snapstore: fetch %s: stream body: %w", f.url, err)
+		}
+		return fail("error", err)
+	}
+	gen, cerr := w.finish()
+	if cerr != nil {
+		f.log.Warn("fetched snapshot rejected", "url", f.url, "bytes", w.n, "err", cerr)
+		return fail("corrupt", fmt.Errorf("snapstore: fetch %s: %w", f.url, cerr))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("error", fmt.Errorf("snapstore: fetch %s: fsync: %w", f.url, err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		f.metrics.observeFetch("error")
+		return "", 0, fmt.Errorf("snapstore: fetch %s: close temp: %w", f.url, err)
+	}
+	f.storeETag(genETag(gen))
+	f.metrics.observeFetch("ok")
+	f.metrics.observeBytes(int(w.n))
+	f.log.Info("snapshot fetched to file", "url", f.url, "generation", gen, "bytes", w.n)
+	return tmpPath, gen, nil
 }

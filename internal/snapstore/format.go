@@ -28,19 +28,34 @@ import (
 	"ipleasing/internal/whois"
 )
 
-// FormatVersion is the current snapshot format version. A decoder only
-// accepts files with exactly this version: the format is a serving-index
-// dump, not an archival interchange format, so publisher and replica
-// upgrade together and there is no cross-version migration path. Bump it
-// on ANY layout change — a version mismatch is a clean typed rejection,
-// a silent layout drift is a corruption bug.
+// FormatVersion is the current snapshot format version — the only
+// version Encode writes. The decoder additionally accepts
+// LegacyVersion files (the previous on-disk generation survives a
+// process upgrade) through the fully materializing legacy path; any
+// other version is a clean typed rejection. Bump FormatVersion on ANY
+// layout change — a version mismatch is a clean typed rejection, a
+// silent layout drift is a corruption bug.
 //
 // Version history:
 //
 //	1 — initial layout.
 //	2 — meta section gained a trailing provenance traceparent (the
 //	    publisher reload trace that built the generation).
-const FormatVersion = 2
+//	3 — relocatable mmap-servable layout: the varint arena/LPM/byASN
+//	    sections were replaced by offset-addressed, 8-aligned flat
+//	    sections (string table, u32 slab, fixed-width records, native
+//	    LPM nodes, flat ASN index) that serve.Snapshot and netutil.LPM
+//	    wrap as views over the raw bytes — from the heap or straight
+//	    from a memory-mapped file.
+const FormatVersion = 3
+
+// LegacyVersion is the one previous format version Decode still
+// accepts (heap-materializing path only — a legacy file is never
+// served from a mapping). One version of backward compatibility is the
+// whole policy: a fleet upgrades publisher and replicas one release at
+// a time, and a replica's store may hold the previous release's files,
+// but there is no archival migration path across more than one bump.
+const LegacyVersion = 2
 
 // magic identifies a snapshot file. 8 bytes, never changes; the version
 // field after it is what evolves.
@@ -52,11 +67,21 @@ const magic = "IPLSNAP1"
 // requires a FormatVersion bump.
 const (
 	secMeta    = 1 // build metadata: BuiltAt, Dir, Strict, totals, skipped analyses
-	secArena   = 2 // flat inference arena, registry-major All order
-	secLPM     = 3 // flat LPM node array (netutil.LPM wire form)
-	secByASN   = 4 // ASN -> arena index lists
+	secArena   = 2 // v2: flat inference arena, registry-major All order (varint)
+	secLPM     = 3 // v2: flat LPM node array (netutil.LPM wire form)
+	secByASN   = 4 // v2: ASN -> arena index lists (varint)
 	secTable1  = 5 // pre-rendered Markdown Table 1, verbatim bytes
 	secReports = 6 // per-source load accounting
+
+	// v3 relocatable sections. Every v3 payload starts at an 8-aligned
+	// file offset (the encoder zero-pads the gaps) so fixed-width
+	// records can be aliased in place.
+	secStrTab      = 7  // interned string table: offsets + lengths into one blob
+	secU32Slab     = 8  // all ASN/origin list elements, one flat u32 array
+	secStrRefs     = 9  // all facilitator references, one flat string-ID array
+	secRecords     = 10 // fixed 56-byte inference records addressing the slabs
+	secLPMNative   = 11 // LPM node array in native in-memory layout (AppendNative)
+	secByASNNative = 12 // sorted (ASN, off, count) entries over an int32 slab
 )
 
 // headerSize is magic(8) + version(4) + generation(8) + section count(4).
@@ -248,17 +273,81 @@ func encodeReports(reports []*diag.LoadReport) []byte {
 	return b
 }
 
-// Encode serializes a serving snapshot into the versioned binary form.
-// The encoding reads only the snapshot's immutable serving indexes —
-// the flat arena, the LPM node array, the ASN index, the pre-rendered
-// Table 1, and the load accounting — so a decoded snapshot answers
-// every query byte-identically without re-running inference or any
-// index build. gen is the generation number stamped into the header.
+// fileSection is one (id, payload) pair headed for encodeFile.
+type fileSection struct {
+	id      uint32
+	payload []byte
+}
+
+// encodeFile assembles the header, section table, payloads, and
+// whole-file CRC. When align is true every payload is placed at an
+// 8-aligned file offset with zero bytes in the gaps (the v3 layout
+// contract that makes fixed-width sections aliasable in place); the
+// header plus table is 8-aligned by construction (24 + 24n).
+func encodeFile(version uint32, gen uint64, sections []fileSection, align bool) []byte {
+	offs := make([]int, len(sections))
+	off := headerSize + len(sections)*sectionEntrySize
+	for i, s := range sections {
+		if align {
+			off = (off + 7) &^ 7
+		}
+		offs[i] = off
+		off += len(s.payload)
+	}
+	total := off + 4 // whole-file CRC
+
+	b := make([]byte, 0, total)
+	b = append(b, magic...)
+	b = appendU32(b, version)
+	b = appendU64(b, gen)
+	b = appendU32(b, uint32(len(sections)))
+	for i, s := range sections {
+		b = appendU32(b, s.id)
+		b = appendU64(b, uint64(offs[i]))
+		b = appendU64(b, uint64(len(s.payload)))
+		b = appendU32(b, crc32.Checksum(s.payload, castagnoli))
+	}
+	for i, s := range sections {
+		for len(b) < offs[i] {
+			b = append(b, 0)
+		}
+		b = append(b, s.payload...)
+	}
+	b = appendU32(b, crc32.Checksum(b, castagnoli))
+	return b
+}
+
+// Encode serializes a serving snapshot into the current (v3,
+// relocatable) binary form. The encoding reads only the snapshot's
+// immutable serving indexes — the flat arena, the LPM node array, the
+// ASN index, the pre-rendered Table 1, and the load accounting — so a
+// decoded snapshot answers every query byte-identically without
+// re-running inference or any index build, and an mmap open serves the
+// fixed-width sections in place without decoding them at all. gen is
+// the generation number stamped into the header.
 func Encode(snap *serve.Snapshot, gen uint64) []byte {
-	sections := []struct {
-		id      uint32
-		payload []byte
-	}{
+	strtab, u32slab, strrefs, records := encodeV3Arena(snap.FlatInferences())
+	sections := []fileSection{
+		{secMeta, encodeMeta(snap)},
+		{secStrTab, strtab},
+		{secU32Slab, u32slab},
+		{secStrRefs, strrefs},
+		{secRecords, records},
+		{secLPMNative, snap.LPM().AppendNative(nil)},
+		{secByASNNative, encodeByASNNative(snap.ByASN())},
+		{secTable1, snap.Table1()},
+		{secReports, encodeReports(snap.Reports)},
+	}
+	return encodeFile(FormatVersion, gen, sections, true)
+}
+
+// EncodeLegacy serializes a snapshot into the previous (v2, varint)
+// layout. Production code always writes Encode's current format; this
+// exists so the legacy decode path — which must keep accepting the
+// previous release's on-disk generations — stays testable and
+// benchmarkable without checked-in binary fixtures.
+func EncodeLegacy(snap *serve.Snapshot, gen uint64) []byte {
+	sections := []fileSection{
 		{secMeta, encodeMeta(snap)},
 		{secArena, encodeArena(snap.FlatInferences())},
 		{secLPM, snap.LPM().AppendBinary(nil)},
@@ -266,31 +355,7 @@ func Encode(snap *serve.Snapshot, gen uint64) []byte {
 		{secTable1, snap.Table1()},
 		{secReports, encodeReports(snap.Reports)},
 	}
-
-	total := headerSize + len(sections)*sectionEntrySize
-	off := total
-	for _, s := range sections {
-		total += len(s.payload)
-	}
-	total += 4 // whole-file CRC
-
-	b := make([]byte, 0, total)
-	b = append(b, magic...)
-	b = appendU32(b, FormatVersion)
-	b = appendU64(b, gen)
-	b = appendU32(b, uint32(len(sections)))
-	for _, s := range sections {
-		b = appendU32(b, s.id)
-		b = appendU64(b, uint64(off))
-		b = appendU64(b, uint64(len(s.payload)))
-		b = appendU32(b, crc32.Checksum(s.payload, castagnoli))
-		off += len(s.payload)
-	}
-	for _, s := range sections {
-		b = append(b, s.payload...)
-	}
-	b = appendU32(b, crc32.Checksum(b, castagnoli))
-	return b
+	return encodeFile(LegacyVersion, gen, sections, false)
 }
 
 // ---- decoding ----
@@ -382,29 +447,73 @@ func (r *reader) count(what string, elemMin int) int {
 	return int(v)
 }
 
-func (r *reader) str(intern map[string]string) string {
+func (r *reader) str() string {
 	n := r.count("string length", 1)
 	b := r.take(n)
-	if b == nil || len(b) == 0 {
+	if len(b) == 0 {
 		return ""
-	}
-	if intern != nil {
-		if s, ok := intern[string(b)]; ok {
-			return s
-		}
-		s := string(b)
-		intern[s] = s
-		return s
 	}
 	return string(b)
 }
 
-func (r *reader) u32list() []uint32 {
+// strRef reads a string as a substring of blob — the single backing
+// buffer the legacy arena decode copies its payload into once — so a
+// section with tens of thousands of string fields costs one allocation
+// total instead of one per field. blob must be string(r.data).
+func (r *reader) strRef(blob string) string {
+	n := r.count("string length", 1)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	off := r.off
+	if r.take(n) == nil {
+		return ""
+	}
+	return blob[off : off+n]
+}
+
+// u32chunks hands out sub-slices of large shared blocks, so decoding
+// many tiny lists costs one allocation per block rather than per list.
+// Handed-out slices are capacity-capped and blocks are never grown in
+// place, so no later take can alias an earlier one.
+type u32chunks struct{ cur []uint32 }
+
+func (c *u32chunks) take(n int) []uint32 {
+	if cap(c.cur)-len(c.cur) < n {
+		size := 1 << 13
+		if n > size {
+			size = n
+		}
+		c.cur = make([]uint32, 0, size)
+	}
+	start := len(c.cur)
+	c.cur = c.cur[:start+n]
+	return c.cur[start : start+n : start+n]
+}
+
+// strchunks is u32chunks for string slices.
+type strchunks struct{ cur []string }
+
+func (c *strchunks) take(n int) []string {
+	if cap(c.cur)-len(c.cur) < n {
+		size := 1 << 10
+		if n > size {
+			size = n
+		}
+		c.cur = make([]string, 0, size)
+	}
+	start := len(c.cur)
+	c.cur = c.cur[:start+n]
+	return c.cur[start : start+n : start+n]
+}
+
+// u32listIn decodes a varint u32 list into chunk-allocated storage.
+func (r *reader) u32listIn(c *u32chunks) []uint32 {
 	n := r.count("u32 list", 1)
 	if n == 0 {
 		return nil
 	}
-	out := make([]uint32, n)
+	out := c.take(n)
 	for i := range out {
 		v := r.uvarint()
 		if v > 0xFFFFFFFF {
@@ -419,14 +528,31 @@ func (r *reader) u32list() []uint32 {
 	return out
 }
 
-func (r *reader) strlist(intern map[string]string) []string {
+// strlistIn decodes a varint string list into chunk-allocated storage,
+// with every element a substring of blob.
+func (r *reader) strlistIn(c *strchunks, blob string) []string {
+	n := r.count("string list", 1)
+	if n == 0 {
+		return nil
+	}
+	out := c.take(n)
+	for i := range out {
+		out[i] = r.strRef(blob)
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+func (r *reader) strlist() []string {
 	n := r.count("string list", 1)
 	if n == 0 {
 		return nil
 	}
 	out := make([]string, n)
 	for i := range out {
-		out[i] = r.str(intern)
+		out[i] = r.str()
 	}
 	if r.err != nil {
 		return nil
@@ -460,9 +586,9 @@ func decodeMeta(payload []byte) (decodedMeta, *CorruptError) {
 	m.routedSpace = r.u64()
 	m.arenaLen = int(r.uvarint())
 	m.strict = r.u8() == 1
-	m.dir = r.str(nil)
-	m.skippedAnalyses = r.strlist(nil)
-	m.provenance = r.str(nil)
+	m.dir = r.str()
+	m.skippedAnalyses = r.strlist()
+	m.provenance = r.str()
 	r.done()
 	if r.err != nil {
 		return decodedMeta{}, r.err
@@ -481,7 +607,14 @@ func decodeArena(payload []byte) ([]core.Inference, *CorruptError) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	intern := make(map[string]string)
+	// One backing buffer for every string field: each decoded string is
+	// a substring of blob, and each decoded list a sub-slice of a shared
+	// chunk — the arena's tens of thousands of per-field allocations
+	// collapse to a handful of block allocations (this was ~54k
+	// allocs/op in BenchmarkSnapshotDecode before).
+	blob := string(payload)
+	var u32s u32chunks
+	var strs strchunks
 	infs := make([]core.Inference, n)
 	for i := range infs {
 		inf := &infs[i]
@@ -489,13 +622,13 @@ func decodeArena(payload []byte) ([]core.Inference, *CorruptError) {
 		inf.Category = core.Category(r.u8())
 		inf.Prefix = netutil.Prefix{Base: netutil.Addr(r.u32()), Len: r.u8()}
 		inf.Root = netutil.Prefix{Base: netutil.Addr(r.u32()), Len: r.u8()}
-		inf.HolderOrg = r.str(intern)
-		inf.NetName = r.str(intern)
-		inf.Country = r.str(intern)
-		inf.RootASNs = r.u32list()
-		inf.RootOrigins = r.u32list()
-		inf.LeafOrigins = r.u32list()
-		inf.Facilitators = r.strlist(intern)
+		inf.HolderOrg = r.strRef(blob)
+		inf.NetName = r.strRef(blob)
+		inf.Country = r.strRef(blob)
+		inf.RootASNs = r.u32listIn(&u32s)
+		inf.RootOrigins = r.u32listIn(&u32s)
+		inf.LeafOrigins = r.u32listIn(&u32s)
+		inf.Facilitators = r.strlistIn(&strs, blob)
 		if r.err != nil {
 			return nil, r.err
 		}
@@ -562,8 +695,8 @@ func decodeReports(payload []byte) ([]*diag.LoadReport, *CorruptError) {
 	var reports []*diag.LoadReport
 	for i := 0; i < n; i++ {
 		rep := &diag.LoadReport{
-			Source:  r.str(nil),
-			File:    r.str(nil),
+			Source:  r.str(),
+			File:    r.str(),
 			Parsed:  int(r.uvarint()),
 			Skipped: int(r.uvarint()),
 			Bytes:   int64(r.u64()),
@@ -584,50 +717,62 @@ func decodeReports(payload []byte) ([]*diag.LoadReport, *CorruptError) {
 }
 
 // header validates the fixed header and whole-file checksum, returning
-// the generation and the section table region. Shared by Decode and
-// ReadGeneration so both reject non-snapshots identically.
-func header(data []byte) (gen uint64, nsect int, err *CorruptError) {
+// the format version, the generation, and the section table region.
+// Shared by Decode and ReadGeneration so both reject non-snapshots
+// identically. Only FormatVersion and LegacyVersion pass.
+func header(data []byte) (ver uint32, gen uint64, nsect int, err *CorruptError) {
 	if len(data) < headerSize+4 {
-		return 0, 0, corrupt("header", fmt.Sprintf("file of %d bytes is shorter than any snapshot", len(data)), ErrTruncated)
+		return 0, 0, 0, corrupt("header", fmt.Sprintf("file of %d bytes is shorter than any snapshot", len(data)), ErrTruncated)
 	}
 	if string(data[:8]) != magic {
-		return 0, 0, corrupt("header", "not a snapshot file", ErrBadMagic)
+		return 0, 0, 0, corrupt("header", "not a snapshot file", ErrBadMagic)
 	}
-	if v := binary.LittleEndian.Uint32(data[8:12]); v != FormatVersion {
-		return 0, 0, corrupt("header", fmt.Sprintf("format version %d, want %d", v, FormatVersion), ErrBadVersion)
+	ver = binary.LittleEndian.Uint32(data[8:12])
+	if ver != FormatVersion && ver != LegacyVersion {
+		return 0, 0, 0, corrupt("header", fmt.Sprintf("format version %d, want %d (or legacy %d)", ver, FormatVersion, LegacyVersion), ErrBadVersion)
 	}
 	gen = binary.LittleEndian.Uint64(data[12:20])
 	n := binary.LittleEndian.Uint32(data[20:24])
 	if n == 0 || n > maxSections {
-		return 0, 0, corrupt("header", fmt.Sprintf("implausible section count %d", n), nil)
+		return 0, 0, 0, corrupt("header", fmt.Sprintf("implausible section count %d", n), nil)
 	}
-	return gen, int(n), nil
+	return ver, gen, int(n), nil
 }
 
-// Decode validates and decodes a snapshot file, returning a fully
-// servable snapshot and its generation. The returned snapshot carries
-// Delta.Mode == serve.ModeSnapshot so reload accounting distinguishes
-// restored generations from full and delta builds.
-//
-// Decode never returns a partial snapshot: any magic, version,
-// checksum, bounds, or structural failure yields (nil, 0, err) with
-// errors.Is(err, ErrCorrupt) true.
-func Decode(data []byte) (*serve.Snapshot, uint64, error) {
-	gen, nsect, cerr := header(data)
+// parseFile validates the header, checksums, and section table, and
+// returns the format version, generation, and per-section payload
+// slices (aliasing data). Every byte is proven before any section is
+// handed out — eager, not lazy — so a caller that goes on to alias
+// sections in place (the mmap path) has already validated everything
+// it will trust. The happy path pays exactly one scan: the whole-file
+// CRC covers the header, the section table, every payload, and the
+// alignment padding between them, so the per-section CRCs carry no
+// additional proof when it matches. They are the attribution pass: on
+// a whole-file mismatch each section is re-checksummed individually so
+// the error names the section that rotted rather than just "the file".
+// The validate-then-trust contract: after parseFile succeeds,
+// structural decoding may still reject the content, but no read past
+// a section's bounds and no checksum surprise is possible.
+func parseFile(data []byte) (ver uint32, gen uint64, payloads map[uint32][]byte, cerr *CorruptError) {
+	ver, gen, nsect, cerr := header(data)
 	if cerr != nil {
-		return nil, 0, cerr
+		return 0, 0, nil, cerr
 	}
 	body := len(data) - 4
 	fileCRC := binary.LittleEndian.Uint32(data[body:])
-	if crc32.Checksum(data[:body], castagnoli) != fileCRC {
-		return nil, 0, corrupt("file", "whole-file CRC mismatch", ErrChecksum)
-	}
 
 	tableEnd := headerSize + nsect*sectionEntrySize
 	if tableEnd > body {
-		return nil, 0, corrupt("header", "section table extends past file", ErrTruncated)
+		return 0, 0, nil, corrupt("header", "section table extends past file", ErrTruncated)
 	}
-	payloads := make(map[uint32][]byte, nsect)
+	type tableEntry struct {
+		id  uint32
+		crc uint32
+		off uint64
+		ln  uint64
+	}
+	entries := make([]tableEntry, nsect)
+	payloads = make(map[uint32][]byte, nsect)
 	for i := 0; i < nsect; i++ {
 		e := data[headerSize+i*sectionEntrySize:]
 		id := binary.LittleEndian.Uint32(e[0:4])
@@ -635,51 +780,106 @@ func Decode(data []byte) (*serve.Snapshot, uint64, error) {
 		ln := binary.LittleEndian.Uint64(e[12:20])
 		crc := binary.LittleEndian.Uint32(e[20:24])
 		if off < uint64(tableEnd) || off > uint64(body) || ln > uint64(body)-off {
-			return nil, 0, corrupt("header", fmt.Sprintf("section %d extends past file", id), ErrTruncated)
+			return 0, 0, nil, corrupt("header", fmt.Sprintf("section %d extends past file", id), ErrTruncated)
 		}
 		if _, dup := payloads[id]; dup {
-			return nil, 0, corrupt("header", fmt.Sprintf("duplicate section %d", id), nil)
+			return 0, 0, nil, corrupt("header", fmt.Sprintf("duplicate section %d", id), nil)
 		}
-		payload := data[off : off+ln]
-		if crc32.Checksum(payload, castagnoli) != crc {
-			return nil, 0, corrupt(sectionName(id), "section CRC mismatch", ErrChecksum)
+		if ver == FormatVersion && off%8 != 0 {
+			return 0, 0, nil, corrupt(sectionName(id), fmt.Sprintf("v3 section at unaligned offset %d", off), nil)
 		}
-		payloads[id] = payload
+		entries[i] = tableEntry{id: id, crc: crc, off: off, ln: ln}
+		payloads[id] = data[off : off+ln]
 	}
-	for _, id := range []uint32{secMeta, secArena, secLPM, secByASN, secTable1, secReports} {
+	if crc32.Checksum(data[:body], castagnoli) != fileCRC {
+		for _, e := range entries {
+			if crc32.Checksum(data[e.off:e.off+e.ln], castagnoli) != e.crc {
+				return 0, 0, nil, corrupt(sectionName(e.id), "section CRC mismatch", ErrChecksum)
+			}
+		}
+		return 0, 0, nil, corrupt("file", "whole-file CRC mismatch", ErrChecksum)
+	}
+	var required []uint32
+	if ver == LegacyVersion {
+		required = []uint32{secMeta, secArena, secLPM, secByASN, secTable1, secReports}
+	} else {
+		required = []uint32{secMeta, secStrTab, secU32Slab, secStrRefs, secRecords,
+			secLPMNative, secByASNNative, secTable1, secReports}
+	}
+	for _, id := range required {
 		if _, ok := payloads[id]; !ok {
-			return nil, 0, corrupt(sectionName(id), "section missing", nil)
+			return 0, 0, nil, corrupt(sectionName(id), "section missing", nil)
 		}
 	}
+	return ver, gen, payloads, nil
+}
 
-	meta, cerr := decodeMeta(payloads[secMeta])
+// Decode validates and decodes a snapshot file, returning a fully
+// servable snapshot and its generation. The returned snapshot carries
+// Delta.Mode == serve.ModeSnapshot so reload accounting distinguishes
+// restored generations from full and delta builds.
+//
+// For current-format (v3) input the snapshot's indexes are views over
+// data — the caller must treat data as immutable for the snapshot's
+// lifetime (the GC keeps it alive). Legacy (v2) input is fully
+// materialized onto the heap and data is not retained.
+//
+// Decode never returns a partial snapshot: any magic, version,
+// checksum, bounds, or structural failure yields (nil, 0, err) with
+// errors.Is(err, ErrCorrupt) true.
+func Decode(data []byte) (*serve.Snapshot, uint64, error) {
+	ver, gen, payloads, cerr := parseFile(data)
 	if cerr != nil {
 		return nil, 0, cerr
+	}
+	if ver == LegacyVersion {
+		snap, err := decodeLegacy(payloads, gen)
+		if err != nil {
+			return nil, 0, err
+		}
+		return snap, gen, nil
+	}
+	snap, err := openV3(payloads, gen, nil, serve.LoadModeHeap)
+	if err != nil {
+		return nil, 0, err
+	}
+	return snap, gen, nil
+}
+
+// decodeLegacy materializes a v2 snapshot fully onto the heap.
+func decodeLegacy(payloads map[uint32][]byte, gen uint64) (*serve.Snapshot, error) {
+	meta, cerr := decodeMeta(payloads[secMeta])
+	if cerr != nil {
+		return nil, cerr
 	}
 	infs, cerr := decodeArena(payloads[secArena])
 	if cerr != nil {
-		return nil, 0, cerr
+		return nil, cerr
 	}
 	if len(infs) != meta.arenaLen {
-		return nil, 0, corrupt("arena", fmt.Sprintf("arena holds %d inferences, meta says %d", len(infs), meta.arenaLen), nil)
+		return nil, corrupt("arena", fmt.Sprintf("arena holds %d inferences, meta says %d", len(infs), meta.arenaLen), nil)
 	}
 	lpm, err := netutil.DecodeLPM(payloads[secLPM], len(infs))
 	if err != nil {
-		return nil, 0, corrupt("lpm", "index rejected", err)
+		return nil, corrupt("lpm", "index rejected", err)
 	}
 	byASN, cerr := decodeByASN(payloads[secByASN], len(infs))
 	if cerr != nil {
-		return nil, 0, cerr
+		return nil, cerr
 	}
 	reports, cerr := decodeReports(payloads[secReports])
 	if cerr != nil {
-		return nil, 0, cerr
+		return nil, cerr
 	}
 
 	res, err := core.ResultFromFlat(infs, meta.totalBGP, meta.routedSpace)
 	if err != nil {
-		return nil, 0, corrupt("arena", "result rejected", err)
+		return nil, corrupt("arena", "result rejected", err)
 	}
+	// Copy table1 out of the input: a legacy decode promises not to
+	// retain (or alias) the file bytes, which is what lets the mmap
+	// open path fall back to this decoder and then drop its mapping.
+	table1 := append([]byte(nil), payloads[secTable1]...)
 	snap, err := serve.Restore(serve.Restored{
 		BuiltAt:         meta.builtAt,
 		Generation:      gen,
@@ -689,15 +889,15 @@ func Decode(data []byte) (*serve.Snapshot, uint64, error) {
 		Result:          res,
 		LPM:             lpm,
 		ByASN:           byASN,
-		Table1:          payloads[secTable1],
+		Table1:          table1,
 		Reports:         reports,
 		SkippedAnalyses: meta.skippedAnalyses,
 		Delta:           &serve.DeltaInfo{Mode: serve.ModeSnapshot},
 	})
 	if err != nil {
-		return nil, 0, corrupt("snapshot", "restore rejected", err)
+		return nil, corrupt("snapshot", "restore rejected", err)
 	}
-	return snap, gen, nil
+	return snap, nil
 }
 
 // ReadGeneration extracts the generation number from an encoded
@@ -705,7 +905,7 @@ func Decode(data []byte) (*serve.Snapshot, uint64, error) {
 // cheap integrity check a store or fetcher runs before committing to a
 // full decode.
 func ReadGeneration(data []byte) (uint64, error) {
-	gen, _, cerr := header(data)
+	_, gen, _, cerr := header(data)
 	if cerr != nil {
 		return 0, cerr
 	}
@@ -721,7 +921,7 @@ func ReadGeneration(data []byte) (uint64, error) {
 // validates the header and whole-file checksum first, so the publisher
 // can read it from bytes it is about to serve.
 func ReadProvenance(data []byte) (string, error) {
-	_, nsect, cerr := header(data)
+	_, _, nsect, cerr := header(data)
 	if cerr != nil {
 		return "", cerr
 	}
@@ -765,7 +965,7 @@ type SectionRange struct {
 // SectionRanges parses an intact snapshot's section table and returns
 // every section's payload range within the file.
 func SectionRanges(data []byte) ([]SectionRange, error) {
-	_, nsect, cerr := header(data)
+	_, _, nsect, cerr := header(data)
 	if cerr != nil {
 		return nil, cerr
 	}
@@ -802,6 +1002,18 @@ func sectionName(id uint32) string {
 		return "table1"
 	case secReports:
 		return "reports"
+	case secStrTab:
+		return "strtab"
+	case secU32Slab:
+		return "u32slab"
+	case secStrRefs:
+		return "strrefs"
+	case secRecords:
+		return "records"
+	case secLPMNative:
+		return "lpm"
+	case secByASNNative:
+		return "byasn"
 	}
 	return fmt.Sprintf("section-%d", id)
 }

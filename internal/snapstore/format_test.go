@@ -144,15 +144,22 @@ func patchSection(t *testing.T, data []byte, name string, mutate func(payload []
 	b = appendU32(b, FormatVersion)
 	b = appendU64(b, gen)
 	b = appendU32(b, uint32(len(out)))
+	// v3 payloads must sit at 8-aligned offsets, same as encodeFile.
+	offs := make([]int, len(out))
 	off := headerSize + len(out)*sectionEntrySize
-	for _, s := range out {
+	for i, s := range out {
+		off = (off + 7) &^ 7
+		offs[i] = off
 		b = appendU32(b, s.id)
 		b = appendU64(b, uint64(off))
 		b = appendU64(b, uint64(len(s.payload)))
 		b = appendU32(b, crc32.Checksum(s.payload, castagnoli))
 		off += len(s.payload)
 	}
-	for _, s := range out {
+	for i, s := range out {
+		for len(b) < offs[i] {
+			b = append(b, 0)
+		}
 		b = append(b, s.payload...)
 	}
 	return appendU32(b, crc32.Checksum(b, castagnoli))
@@ -165,19 +172,40 @@ func TestDecodeRejectsStructuralDamage(t *testing.T) {
 		section string
 		mutate  func(payload []byte) []byte
 	}{
-		{"arena-count-bomb", "arena", func(p []byte) []byte {
-			// Claim 2^40 inferences in a payload that holds far fewer: the
-			// allocation-bomb guard must refuse before allocating.
-			out := binary.AppendUvarint(nil, 1<<40)
-			_, n := binary.Uvarint(p)
-			return append(out, p[n:]...)
+		{"records-count-bomb", "records", func(p []byte) []byte {
+			// Claim 2^32-1 records in a payload that holds far fewer: the
+			// fixed-width length check must refuse before allocating.
+			out := append([]byte(nil), p...)
+			binary.LittleEndian.PutUint32(out[0:4], 0xffffffff)
+			return out
 		}},
 		{"byasn-index-out-of-arena", "byasn", func(p []byte) []byte {
-			// One ASN entry pointing past the arena.
-			out := binary.AppendUvarint(nil, 1)
-			out = binary.AppendUvarint(out, 64512)
-			out = binary.AppendUvarint(out, 1)
-			return binary.AppendUvarint(out, 1<<40)
+			// One ASN entry whose single arena index points far past the
+			// arena.
+			out := appendU32(nil, 1) // entry count
+			out = appendU32(out, 1)  // slab length
+			out = appendU32(out, 64512)
+			out = appendU32(out, 0)
+			out = appendU32(out, 1)
+			return appendU32(out, 1<<30)
+		}},
+		{"strtab-run-out-of-blob", "strtab", func(p []byte) []byte {
+			// First string's (off, len) run reaches past the blob.
+			out := append([]byte(nil), p...)
+			binary.LittleEndian.PutUint32(out[12:16], 0xffff0000)
+			return out
+		}},
+		{"strrefs-id-out-of-table", "strrefs", func(p []byte) []byte {
+			// A facilitator reference naming a string ID the table lacks.
+			out := append([]byte(nil), p...)
+			if binary.LittleEndian.Uint32(out[0:4]) == 0 {
+				// No facilitators in the fixture: add one dangling ref.
+				binary.LittleEndian.PutUint32(out[0:4], 1)
+				out = appendU32(out, 0xffffff00)
+			} else {
+				binary.LittleEndian.PutUint32(out[8:12], 0xffffff00)
+			}
+			return out
 		}},
 		{"lpm-garbage", "lpm", func(p []byte) []byte {
 			return []byte{0xff, 0xff, 0xff}
@@ -198,10 +226,9 @@ func TestDecodeRejectsStructuralDamage(t *testing.T) {
 		{"reports-trailing-garbage", "reports", func(p []byte) []byte {
 			return append(append([]byte(nil), p...), 0xde, 0xad)
 		}},
-		{"arena-bad-category", "arena", func(p []byte) []byte {
+		{"records-bad-category", "records", func(p []byte) []byte {
 			out := append([]byte(nil), p...)
-			_, n := binary.Uvarint(p)
-			out[n+1] = 0xee // first inference's category byte
+			out[8+53] = 0xee // first record's category byte
 			return out
 		}},
 	}

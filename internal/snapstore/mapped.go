@@ -1,0 +1,167 @@
+package snapstore
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"ipleasing/internal/serve"
+	"ipleasing/internal/telemetry"
+)
+
+// Mapped is a refcounted memory-mapped snapshot file. It implements
+// serve.Backing: the serving snapshot holds the creation reference,
+// each in-flight request that touches the snapshot holds one more, and
+// the final Release unmaps. The swap path (serve.Server.Reload)
+// releases the old generation's creation reference only after the new
+// snapshot is installed, so a mapping disappears exactly when the last
+// in-flight request over it drains — never under one.
+type Mapped struct {
+	refs    atomic.Int64
+	data    []byte
+	metrics *Metrics
+}
+
+// newMapped wraps a mapping with its creation reference already held.
+func newMapped(data []byte, metrics *Metrics) *Mapped {
+	m := &Mapped{data: data, metrics: metrics}
+	m.refs.Store(1)
+	metrics.observeMmapActive(+1)
+	return m
+}
+
+// Bytes returns the mapped file. Valid only while the caller holds a
+// reference.
+func (m *Mapped) Bytes() []byte { return m.data }
+
+// Active reports whether the mapping is still live (any reference
+// outstanding). Test hook for the unmap-after-drain guarantee.
+func (m *Mapped) Active() bool { return m.refs.Load() > 0 }
+
+// Acquire takes a reference, failing when the mapping has already been
+// released for the last time.
+func (m *Mapped) Acquire() bool {
+	for {
+		n := m.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if m.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release drops a reference; the last one unmaps the file.
+func (m *Mapped) Release() {
+	if m.refs.Add(-1) == 0 {
+		m.metrics.observeMmapActive(-1)
+		munmapFile(m.data)
+		m.data = nil
+	}
+}
+
+// OpenOptions configures OpenFile.
+type OpenOptions struct {
+	// ForceHeap disables the mapping path: the file is read and decoded
+	// onto the heap exactly as a fetched body would be. Set by the
+	// daemon when the operator passes -snapshot-mmap=false.
+	ForceHeap bool
+	Logger    *telemetry.Logger
+	Metrics   *Metrics
+}
+
+// Loaded is a snapshot opened from a generation file.
+type Loaded struct {
+	Snap *serve.Snapshot
+	Gen  uint64
+	// Data is the encoded file: the live mapping when Backing is
+	// non-nil (valid only while a reference is held), a heap copy
+	// otherwise. Publishers hand it to Publisher.SetMapped to serve
+	// /snapshot/current without a second copy.
+	Data []byte
+	// Backing is the mapping the snapshot serves from, nil in heap
+	// mode. The snapshot owns the creation reference; callers that keep
+	// Data past the snapshot's lifetime must Acquire their own.
+	Backing *Mapped
+	// Mode is serve.LoadModeMmap or serve.LoadModeHeap.
+	Mode string
+}
+
+// OpenFile opens one snapshot generation file for serving. On a v3
+// file it maps the bytes (page cache, shared, read-only), hints
+// readahead, CRC-validates every section eagerly — validate-then-
+// trust: a corrupt file fails here with ErrCorrupt; a valid one is
+// never integrity-checked again — and assembles the snapshot as views
+// over the mapping: no per-record decode, interned strings built once,
+// near-zero allocations. A v2 (legacy) file, a mapping failure, or an
+// unsupported platform degrade to the heap path: read, full
+// materializing decode, same semantics, more RAM and startup time.
+func OpenFile(path string, opts OpenOptions) (*Loaded, error) {
+	if opts.ForceHeap || !mmapSupported {
+		return openHeap(path, opts)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapstore: open %s: %w", path, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("snapstore: stat %s: %w", path, err)
+	}
+	size := fi.Size()
+	if size < headerSize {
+		return nil, corrupt("header", fmt.Sprintf("%s is %d bytes", path, size), ErrTruncated)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("snapstore: %s: %d bytes exceed the address space", path, size)
+	}
+	data, err := mmapFile(f, int(size))
+	if err != nil {
+		// Mapping can fail for environmental reasons (filesystem without
+		// mmap support, vm.max_map_count); that must degrade, not fail.
+		opts.Logger.Warn("snapshot mmap failed, falling back to heap decode", "file", path, "err", err)
+		return openHeap(path, opts)
+	}
+	madviseWillNeed(data)
+	ver, gen, _, cerr := header(data)
+	if cerr != nil {
+		munmapFile(data)
+		return nil, cerr
+	}
+	if ver == LegacyVersion {
+		// One version back loads, but not zero-copy: the v2 arena needs
+		// a materializing decode, so the mapping buys nothing.
+		munmapFile(data)
+		opts.Logger.Info("legacy snapshot version, decoding onto heap", "file", path, "version", ver)
+		return openHeap(path, opts)
+	}
+	_, _, payloads, cerr := parseFile(data)
+	if cerr != nil {
+		munmapFile(data)
+		return nil, cerr
+	}
+	backing := newMapped(data, opts.Metrics)
+	snap, err := openV3(payloads, gen, backing, serve.LoadModeMmap)
+	if err != nil {
+		backing.Release()
+		return nil, err
+	}
+	opts.Metrics.observeLoadMode(serve.LoadModeMmap)
+	return &Loaded{Snap: snap, Gen: gen, Data: data, Backing: backing, Mode: serve.LoadModeMmap}, nil
+}
+
+// openHeap is the materializing path: identical output, no mapping.
+func openHeap(path string, opts OpenOptions) (*Loaded, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapstore: read %s: %w", path, err)
+	}
+	snap, gen, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	opts.Metrics.observeLoadMode(serve.LoadModeHeap)
+	return &Loaded{Snap: snap, Gen: gen, Data: data, Mode: serve.LoadModeHeap}, nil
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package snapstore
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(data []byte) error { return nil }
+
+func madviseWillNeed(data []byte) error { return nil }

@@ -1,0 +1,36 @@
+//go:build unix
+
+package snapstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the OpenFile mapping path at build time; on
+// non-unix platforms OpenFile silently degrades to heap decode.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared: the pages are
+// the kernel's page cache for the file, so a warm file costs no read
+// I/O and a second process mapping the same generation shares the
+// physical memory.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}
+
+// madviseWillNeed hints the kernel to start readahead for the whole
+// mapping. OpenFile issues it before the CRC pass, so validation
+// (which touches every page anyway) runs against sequential readahead
+// instead of one-page-at-a-time demand faults. Advisory: errors are
+// ignored by the caller.
+func madviseWillNeed(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Madvise(data, syscall.MADV_WILLNEED)
+}

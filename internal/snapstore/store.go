@@ -27,11 +27,14 @@ var ErrNoSnapshot = errors.New("snapstore: no loadable snapshot generation")
 // *Metrics discards every observation, so wiring telemetry is optional
 // everywhere in this package.
 type Metrics struct {
-	publish *telemetry.CounterVec
-	load    *telemetry.CounterVec
-	fetch   *telemetry.CounterVec
-	bytes   *telemetry.Gauge
-	lag     *telemetry.Gauge
+	publish    *telemetry.CounterVec
+	load       *telemetry.CounterVec
+	fetch      *telemetry.CounterVec
+	bytes      *telemetry.Gauge
+	lag        *telemetry.Gauge
+	fetchBytes *telemetry.Counter
+	loadMode   *telemetry.CounterVec
+	mmapActive *telemetry.Gauge
 }
 
 // NewMetrics registers the snapshot instrument families on a registry:
@@ -50,6 +53,12 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 			"Size in bytes of the most recently published or loaded snapshot."),
 		lag: r.Gauge("replica_generation_lag",
 			"Publisher generation minus the replica's serving generation."),
+		fetchBytes: r.Counter("replica_fetch_bytes_total",
+			"Snapshot body bytes downloaded by the replica fetcher, counted while streaming."),
+		loadMode: r.CounterVec("snapshot_load_mode_total",
+			"Snapshot open operations by load mode (mmap or heap).", "mode"),
+		mmapActive: r.Gauge("snapshot_mmap_active",
+			"Live snapshot memory mappings (serving or draining)."),
 	}
 }
 
@@ -82,6 +91,24 @@ func (m *Metrics) observeBytes(n int) {
 func (m *Metrics) ObserveLag(lag float64) {
 	if m != nil {
 		m.lag.Set(lag)
+	}
+}
+
+func (m *Metrics) observeFetchBytes(n int) {
+	if m != nil {
+		m.fetchBytes.Add(uint64(n))
+	}
+}
+
+func (m *Metrics) observeLoadMode(mode string) {
+	if m != nil {
+		m.loadMode.With(mode).Inc()
+	}
+}
+
+func (m *Metrics) observeMmapActive(d float64) {
+	if m != nil {
+		m.mmapActive.Add(d)
 	}
 }
 
@@ -321,4 +348,70 @@ func (st *Store) LoadCurrentEncoded() (*serve.Snapshot, uint64, []byte, error) {
 	}
 	st.metrics.observeLoad("missing")
 	return nil, 0, nil, fmt.Errorf("%w in %s (%d candidates)", ErrNoSnapshot, st.dir, len(gens))
+}
+
+// LoadCurrentOpen is LoadCurrent through OpenFile: the newest valid
+// generation is opened for serving — memory-mapped when the file,
+// platform, and options allow, heap-decoded otherwise — falling back
+// generation by generation past anything unreadable or corrupt.
+// Returns ErrNoSnapshot when nothing on disk is loadable.
+func (st *Store) LoadCurrentOpen(opts OpenOptions) (*Loaded, error) {
+	if opts.Logger == nil {
+		opts.Logger = st.log
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = st.metrics
+	}
+	gens, err := st.generations()
+	if err != nil {
+		st.metrics.observeLoad("error")
+		return nil, err
+	}
+	for _, gen := range gens {
+		name := genFileName(gen)
+		ld, err := OpenFile(filepath.Join(st.dir, name), opts)
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				st.metrics.observeLoad("corrupt")
+			} else {
+				st.metrics.observeLoad("error")
+			}
+			st.log.Warn("snapshot rejected, trying older generation", "file", name, "err", err)
+			continue
+		}
+		st.metrics.observeLoad("ok")
+		st.metrics.observeBytes(len(ld.Data))
+		st.log.Info("snapshot opened", "generation", ld.Gen, "bytes", len(ld.Data),
+			"file", name, "load_mode", ld.Mode)
+		return ld, nil
+	}
+	st.metrics.observeLoad("missing")
+	return nil, fmt.Errorf("%w in %s (%d candidates)", ErrNoSnapshot, st.dir, len(gens))
+}
+
+// AdoptFile durably adopts an already-written snapshot file — a
+// replica fetch streamed to disk — as generation gen: rename into
+// place, fsync the directory, repoint MANIFEST, prune. The rename
+// requires tmpPath to be on the store's filesystem (FetchToFile writes
+// its temp inside the store directory for exactly this reason), and
+// the caller must have fsynced the file and verified its checksums.
+// Returns the adopted generation file's path.
+func (st *Store) AdoptFile(tmpPath string, gen uint64) (string, error) {
+	name := genFileName(gen)
+	dst := filepath.Join(st.dir, name)
+	if err := os.Rename(tmpPath, dst); err != nil {
+		st.metrics.observePublish("error")
+		return "", fmt.Errorf("snapstore: adopt %s: %w", tmpPath, err)
+	}
+	if err := st.syncDir(); err != nil {
+		st.metrics.observePublish("error")
+		return "", err
+	}
+	if err := st.writeAtomic(manifestName, []byte(name+"\n")); err != nil {
+		st.log.Warn("snapshot manifest update failed", "generation", gen, "err", err)
+	}
+	st.prune(gen)
+	st.metrics.observePublish("ok")
+	st.log.Info("snapshot adopted", "generation", gen, "file", name)
+	return dst, nil
 }

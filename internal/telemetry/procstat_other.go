@@ -1,0 +1,7 @@
+//go:build !linux
+
+package telemetry
+
+// readPageFaults is unavailable off Linux; the page-fault gauges are
+// simply not registered.
+func readPageFaults() (minflt, majflt uint64, ok bool) { return 0, 0, false }

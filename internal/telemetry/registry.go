@@ -386,6 +386,17 @@ func (r *Registry) RegisterRuntimeMetrics() {
 			runtime.ReadMemStats(&ms)
 			return float64(ms.NumGC)
 		})
+	// Page-fault counters (Linux), read from /proc/self/stat at scrape
+	// time. With mmap-backed snapshot serving these are the cost model:
+	// major faults measure what actually hit disk.
+	if _, _, ok := readPageFaults(); ok {
+		r.GaugeFunc("process_minor_page_faults_total",
+			"Cumulative minor page faults (page-cache hits) for the process.",
+			func() float64 { mn, _, _ := readPageFaults(); return float64(mn) })
+		r.GaugeFunc("process_major_page_faults_total",
+			"Cumulative major page faults (disk reads) for the process.",
+			func() float64 { _, mj, _ := readPageFaults(); return float64(mj) })
+	}
 }
 
 // escapeLabelValue escapes a label value per the text exposition format.

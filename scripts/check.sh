@@ -171,15 +171,15 @@ printf '%s\n' "$core_out" | bench_json > BENCH_core.json
 echo "== wrote BENCH_core.json"
 cat BENCH_core.json
 
-echo "== snapshot persistence benchmarks (encode / decode / cold start)"
+echo "== snapshot persistence benchmarks (encode / decode / cold start / mmap)"
 # count 5, not 3: the cold-start bench touches disk, and on a shared
 # 1-CPU box host-steal bursts can outlast a 3-rep window — more reps
 # give the minimum a better chance of landing in a quiet interval.
-snap_out=$(go test -run '^$' -bench 'BenchmarkSnapshotEncode$|BenchmarkSnapshotDecode$|BenchmarkSnapshotColdStart$' -benchmem -benchtime 1s -count 5 . | bench_min)
+snap_out=$(go test -run '^$' -bench 'BenchmarkSnapshotEncode$|BenchmarkSnapshotDecode$|BenchmarkSnapshotColdStart$|BenchmarkSnapshotLegacyDecode$|BenchmarkSnapshotMmapColdStart$' -benchmem -benchtime 1s -count 5 . | bench_min)
 echo "$snap_out"
 
 echo "== snapshot bench regression gate (vs committed BENCH_snapshot.json)"
-for b in BenchmarkSnapshotEncode BenchmarkSnapshotDecode BenchmarkSnapshotColdStart; do
+for b in BenchmarkSnapshotEncode BenchmarkSnapshotDecode BenchmarkSnapshotColdStart BenchmarkSnapshotLegacyDecode BenchmarkSnapshotMmapColdStart; do
 	bench_gate BENCH_snapshot.json "$b" "$(bench_val "$snap_out" "$b" ns/op)" "$(bench_val "$snap_out" "$b" allocs/op)"
 done
 
@@ -194,6 +194,35 @@ awk -v c="$cold_ns" -v f="$full_ns" 'BEGIN { exit !(c * 5 <= f) }' || {
 	exit 1
 }
 echo "  ok: snapshot cold start ${cold_ns} ns/op vs full reload ${full_ns} ns/op (>=5x)"
+
+# Hard gate on the point of the mmap path: opening a mapped generation
+# must beat the heap cold start this repo shipped before the v3 format
+# landed by 5x in ns/op and 50x in allocs/op. The comparators are the
+# pre-v3 committed BenchmarkSnapshotColdStart baseline (11,706,907 ns,
+# 54,509 allocs — the v2 decode-everything path), pinned as literals:
+# the live heap benches have since gotten faster themselves, and a gate
+# against a moving comparator would silently relax. Absolute, like the
+# gates above — no baseline file can weaken it.
+mmap_ns=$(bench_val "$snap_out" BenchmarkSnapshotMmapColdStart ns/op)
+mmap_allocs=$(bench_val "$snap_out" BenchmarkSnapshotMmapColdStart allocs/op)
+[ -n "$mmap_ns" ] && [ -n "$mmap_allocs" ] || { echo "FAIL: BenchmarkSnapshotMmapColdStart missing from bench output"; exit 1; }
+awk -v m="$mmap_ns" 'BEGIN { exit !(m * 5 <= 11706907) }' || {
+	echo "FAIL: mmap cold start not 5x under the pre-v3 heap baseline: ${mmap_ns} ns/op vs 11706907 ns/op"
+	exit 1
+}
+awk -v a="$mmap_allocs" 'BEGIN { exit !(a * 50 <= 54509) }' || {
+	echo "FAIL: mmap cold start not 50x under the pre-v3 alloc baseline: ${mmap_allocs} allocs/op vs 54509 allocs/op"
+	exit 1
+}
+# Live sanity companion: mapping must never be slower than decoding the
+# same store's legacy v2 bytes onto the heap.
+legacy_ns=$(bench_val "$snap_out" BenchmarkSnapshotLegacyDecode ns/op)
+[ -n "$legacy_ns" ] || { echo "FAIL: BenchmarkSnapshotLegacyDecode missing from bench output"; exit 1; }
+awk -v m="$mmap_ns" -v l="$legacy_ns" 'BEGIN { exit !(m + 0 <= l + 0) }' || {
+	echo "FAIL: mmap cold start slower than legacy v2 heap decode: ${mmap_ns} ns/op vs ${legacy_ns} ns/op"
+	exit 1
+}
+echo "  ok: mmap cold start ${mmap_ns} ns/op, ${mmap_allocs} allocs/op (gates: 5x/50x vs pre-v3 baseline; <= legacy decode ${legacy_ns} ns/op)"
 
 printf '%s\n' "$snap_out" | bench_json > BENCH_snapshot.json
 echo "== wrote BENCH_snapshot.json"
@@ -244,7 +273,9 @@ replica_pid=""
 # Every command in the trap tolerates failure: under set -e a kill of an
 # already-dead pid would otherwise abort the trap and overwrite the
 # script's real exit status with 1.
-trap '{ [ -n "$leased_pid" ] && kill "$leased_pid"; [ -n "$replica_pid" ] && kill "$replica_pid"; rm -rf "$scrape_dir"; } 2>/dev/null || true' EXIT
+heap_pid=""
+mmap_pid=""
+trap '{ [ -n "$leased_pid" ] && kill "$leased_pid"; [ -n "$replica_pid" ] && kill "$replica_pid"; [ -n "$heap_pid" ] && kill "$heap_pid"; [ -n "$mmap_pid" ] && kill "$mmap_pid"; rm -rf "$scrape_dir"; } 2>/dev/null || true' EXIT
 go run ./cmd/synthgen -out "$scrape_dir/ds" -scale 0.005 -seed 11 >/dev/null
 go build -o "$scrape_dir/leased" ./cmd/leased
 # -trace-sample 1 so the single smoke request below is definitely traced;
@@ -340,13 +371,84 @@ for family in replica_fetch_total replica_generation_lag; do
 		exit 1
 	fi
 done
+echo "== mmap/heap load-mode identity: same snapshot, byte-identical answers"
+# Boot two more replicas off the same publisher: one with a local store
+# (streamed fetch-to-disk + mapped serving — the default mode needs a
+# directory to map from) and one with -snapshot-mmap=false forcing the
+# materializing heap decode of the identical bytes. Every read endpoint
+# must answer byte-for-byte the same — the proof that the zero-copy path
+# changes where bytes live, never what they say.
+"$scrape_dir/leased" -addr 127.0.0.1:0 -data /nonexistent -snapshot-dir "$scrape_dir/msnaps" \
+	-snapshot-url "http://$addr/snapshot/current" -poll 250ms >"$scrape_dir/mmap.log" 2>&1 &
+mmap_pid=$!
+"$scrape_dir/leased" -addr 127.0.0.1:0 -data /nonexistent -snapshot-mmap=false \
+	-snapshot-url "http://$addr/snapshot/current" -poll 250ms >"$scrape_dir/heap.log" 2>&1 &
+heap_pid=$!
+maddr=""
+haddr=""
+i=0
+while [ $i -lt 100 ]; do
+	maddr=$(sed -n 's/.* msg=listening addr=\([^ ]*\).*/\1/p' "$scrape_dir/mmap.log")
+	haddr=$(sed -n 's/.* msg=listening addr=\([^ ]*\).*/\1/p' "$scrape_dir/heap.log")
+	[ -n "$maddr" ] && [ -n "$haddr" ] && break
+	kill -0 "$mmap_pid" 2>/dev/null || { cat "$scrape_dir/mmap.log"; echo "mmap replica died before listening"; exit 1; }
+	kill -0 "$heap_pid" 2>/dev/null || { cat "$scrape_dir/heap.log"; echo "heap replica died before listening"; exit 1; }
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$maddr" ] && [ -n "$haddr" ] || { echo "identity replicas never reported listen addresses"; exit 1; }
+
+# Wait out the poll interval: listening precedes the first fetch.
+for a in "$maddr" "$haddr"; do
+	i=0
+	while [ $i -lt 100 ]; do
+		curl -fsS "http://$a/readyz" >/dev/null 2>&1 && break
+		sleep 0.1
+		i=$((i + 1))
+	done
+done
+curl -fsS "http://$maddr/statusz" | grep -q '"load_mode": "mmap"' || {
+	curl -fsS "http://$maddr/statusz" | head -20
+	echo "FAIL: mmap replica /statusz does not report load_mode mmap"
+	exit 1
+}
+curl -fsS "http://$haddr/statusz" | grep -q '"load_mode": "heap"' || {
+	curl -fsS "http://$haddr/statusz" | head -20
+	echo "FAIL: heap replica /statusz does not report load_mode heap"
+	exit 1
+}
+for path in "/table1" "/loadreport" "/lookup?prefix=1.0.0.0/24" "/lookup?ip=1.2.3.4" "/lookup?asn=64500"; do
+	# No -f: a non-200 body (unknown ASN, say) still has to match its
+	# twin. -s keeps curl quiet but connection failures still exit
+	# non-zero, and the non-empty check below catches an empty pair.
+	curl -sS "http://$maddr$path" > "$scrape_dir/ep.mmap"
+	curl -sS "http://$haddr$path" > "$scrape_dir/ep.heap"
+	[ -s "$scrape_dir/ep.mmap" ] || { echo "FAIL: empty response from mmap replica on $path"; exit 1; }
+	cmp -s "$scrape_dir/ep.mmap" "$scrape_dir/ep.heap" || {
+		echo "FAIL: mmap and heap replicas disagree on $path"
+		exit 1
+	}
+done
+batch='{"ips": ["1.2.3.4", "8.8.8.8", "100.64.1.1", "198.51.100.7"]}'
+curl -fsS -X POST -d "$batch" "http://$maddr/lookup/batch" > "$scrape_dir/batch.mmap"
+curl -fsS -X POST -d "$batch" "http://$haddr/lookup/batch" > "$scrape_dir/batch.heap"
+cmp -s "$scrape_dir/batch.mmap" "$scrape_dir/batch.heap" || {
+	echo "FAIL: mmap and heap replicas disagree on POST /lookup/batch"
+	exit 1
+}
+kill "$mmap_pid" 2>/dev/null
+wait "$mmap_pid" 2>/dev/null || true
+mmap_pid=""
+kill "$heap_pid" 2>/dev/null
+wait "$heap_pid" 2>/dev/null || true
+heap_pid=""
 kill "$replica_pid" 2>/dev/null
 wait "$replica_pid" 2>/dev/null || true
 replica_pid=""
 kill "$leased_pid" 2>/dev/null
 wait "$leased_pid" 2>/dev/null || true
 leased_pid=""
-echo "ok: replica serves the publisher's bytes with replication metrics live at http://$raddr/metrics"
+echo "ok: replica serves the publisher's bytes; mmap and heap load modes answer byte-identically"
 
 # The fleet chaos harness is race-gated even in -quick mode: the proxy
 # mutates fault state under concurrent connections, the load generator

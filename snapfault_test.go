@@ -79,6 +79,38 @@ func TestSnapshotFaultMatrixNeverServesDamage(t *testing.T) {
 	}
 }
 
+// TestOpenFileFaultMatrixFailsAtOpen applies the same damage matrix to
+// generation files on disk and opens them through the mmap path. The
+// validate-then-trust contract: every fault is caught by the eager
+// per-section checksums at open time with a typed corruption error —
+// never deferred to a SIGBUS or a garbage answer at query time.
+func TestOpenFileFaultMatrixFailsAtOpen(t *testing.T) {
+	snap, _ := storeFixture(t)
+	intact := snapstore.Encode(snap, 1)
+	faults := snapshotFaults(t, intact)
+	rnd := rand.New(rand.NewSource(7))
+	dir := t.TempDir()
+	for _, f := range faults {
+		t.Run(f.Name, func(t *testing.T) {
+			for round := 0; round < 4; round++ {
+				damaged := f.Apply(rnd, intact)
+				path := filepath.Join(dir, genName(1))
+				if err := os.WriteFile(path, damaged, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				ld, err := snapstore.OpenFile(path, snapstore.OpenOptions{})
+				if err == nil {
+					ld.Snap.Release()
+					t.Fatalf("round %d: damaged generation opened cleanly", round)
+				}
+				if !errors.Is(err, snapstore.ErrCorrupt) {
+					t.Fatalf("round %d: error %v does not wrap ErrCorrupt", round, err)
+				}
+			}
+		})
+	}
+}
+
 // TestStoreFallsBackThroughFaultMatrix stacks a damaged generation on
 // top of an intact one for every fault kind and requires LoadCurrent to
 // serve the intact generation every time.
